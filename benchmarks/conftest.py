@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at the scale of
+the selected experiment profile (``REPRO_PROFILE``, default ``smoke``) and
+writes its rows to ``benchmarks/results/`` so EXPERIMENTS.md can be refreshed
+from the latest run.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import get_profile
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The experiment profile used by every benchmark in this session."""
+    return get_profile()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir, profile):
+    """Callable persisting one experiment's rows/curves to a JSON file."""
+
+    def _save(name, payload):
+        path = os.path.join(results_dir, "{}.json".format(name))
+        with open(path, "w") as handle:
+            json.dump({"profile": profile.name, "data": payload}, handle, indent=2, default=str)
+        return path
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,46 @@
+"""Benchmark: accelerator-template ablations (pipeline depth, hardware penalty).
+
+Covers the design choices DESIGN.md calls out beyond the paper's figures:
+how pipeline depth trades FPS against resources for a fixed PE array, and how
+the hardware-penalty weight (lambda in Eq. 4) pulls the derived agent towards
+cheaper operators.
+"""
+
+from conftest import run_once
+from repro.experiments import run_chunk_ablation, run_hw_penalty_ablation
+from repro.networks import resnet20
+
+
+def test_chunk_count_ablation(benchmark, profile, save_result):
+    network = resnet20(
+        in_channels=profile.frame_stack,
+        input_size=profile.obs_size,
+        feature_dim=profile.feature_dim,
+        base_width=profile.base_width,
+    )
+    rows = run_once(benchmark, run_chunk_ablation, network, chunk_counts=(1, 2, 3, 4))
+    assert len(rows) == 4
+    # With a fixed per-chunk PE array, deeper pipelines never reduce throughput
+    # (each extra chunk adds compute) while consuming more DSPs.
+    fps = [row["fps"] for row in rows]
+    dsp = [row["dsp"] for row in rows]
+    assert fps == sorted(fps)
+    assert dsp == sorted(dsp)
+    save_result("ablation_chunks", rows)
+    print()
+    for row in rows:
+        print("chunks={chunks}  fps={fps:.1f}  latency={latency_ms:.3f}ms  dsp={dsp}".format(**row))
+
+
+def test_hw_penalty_weight_ablation(benchmark, profile, save_result):
+    rows = run_once(benchmark, run_hw_penalty_ablation, profile, penalty_weights=(0.0, 0.1, 1.0))
+    assert len(rows) == 3
+    # Stronger hardware penalties must not derive more expensive agents.
+    flops = [row["derived_flops"] for row in rows]
+    assert flops[-1] <= flops[0]
+    save_result("ablation_hw_penalty", rows)
+    print()
+    for row in rows:
+        print("lambda={penalty_weight}  derived MFLOPs={flops:.3f}  ops={derived_ops}".format(
+            penalty_weight=row["penalty_weight"], flops=row["derived_flops"] / 1e6,
+            derived_ops=row["derived_ops"]))

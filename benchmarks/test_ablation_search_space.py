@@ -1,0 +1,35 @@
+"""Benchmark: search-space cardinality audit and DAS-vs-random ablation.
+
+Checks the two headline cardinality claims (9^12 agents, > 10^27 accelerator
+configurations) and that the differentiable accelerator search is at least as
+good as uniform random search at a matched evaluation budget.
+"""
+
+from conftest import run_once
+from repro.experiments import run_das_vs_random, run_search_space_audit
+from repro.networks import resnet14
+
+
+def test_search_space_audit(benchmark, save_result):
+    audit = run_once(benchmark, run_search_space_audit)
+    assert audit["agent_space_meets_paper"]
+    assert audit["accelerator_space_exceeds_1e27"]
+    save_result("ablation_search_space", audit)
+    print()
+    print("Agent space: {:.3e}   Accelerator space: {:.3e}   Joint: {:.3e}".format(
+        float(audit["agent_space"]), float(audit["accelerator_space"]), float(audit["joint_space"])))
+
+
+def test_das_vs_random_search(benchmark, profile, save_result):
+    network = resnet14(
+        in_channels=profile.frame_stack,
+        input_size=profile.obs_size,
+        feature_dim=profile.feature_dim,
+        base_width=profile.base_width,
+    )
+    result = run_once(benchmark, run_das_vs_random, network, steps=profile.das_steps, seed=profile.seed)
+    assert result["das_wins"], "DAS must match or beat random search at equal budget"
+    save_result("ablation_das_vs_random", result)
+    print()
+    print("DAS FPS: {:.1f} ({} DSP)   Random-search FPS: {:.1f} ({} DSP)".format(
+        result["das_fps"], result["das_dsp"], result["random_fps"], result["random_dsp"]))

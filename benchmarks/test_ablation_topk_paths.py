@@ -1,0 +1,25 @@
+"""Benchmark: multi-path backward (top-K) ablation for the agent search.
+
+Eq. 7 of the paper activates K paths in the backward pass to trade search cost
+against gradient stability.  This ablation runs short searches with K = 1, 2,
+and 4 activated paths and records the resulting architecture-distribution
+entropy and training returns.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import run_topk_ablation
+
+
+def test_topk_backward_paths_ablation(benchmark, profile, save_result):
+    rows = run_once(benchmark, run_topk_ablation, profile, "Breakout", (1, 2, 4))
+    assert len(rows) == 3
+    for row in rows:
+        assert np.isfinite(row["alpha_entropy"])
+        assert row["updates"] > 0
+        assert len(row["derived_ops"].split(",")) == 12
+    save_result("ablation_topk_paths", rows)
+    print()
+    for row in rows:
+        print("K={k}  alpha-entropy={alpha_entropy:.3f}  train-return={train_return:.1f}  updates={updates}".format(**row))

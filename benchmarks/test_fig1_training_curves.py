@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Fig. 1 (test-score evolution for different backbones).
+
+Paper shape being checked: one evaluation curve per (game, backbone) pair,
+monotone in recorded steps, with every point finite — the raw material of the
+paper's Fig. 1 panels.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import format_fig1, run_fig1
+
+
+def test_fig1_training_curves(benchmark, profile, save_result):
+    curves = run_once(benchmark, run_fig1, profile)
+
+    assert set(curves) == set(profile.games_fig1)
+    for game, by_backbone in curves.items():
+        assert set(by_backbone) == set(profile.backbones_fig1)
+        for backbone, curve in by_backbone.items():
+            assert curve, "every (game, backbone) pair must record at least one point"
+            steps = [point[0] for point in curve]
+            values = [point[1] for point in curve]
+            assert steps == sorted(steps)
+            assert all(np.isfinite(v) for v in values)
+
+    save_result("fig1_training_curves", curves)
+    print()
+    print(format_fig1(curves))

@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Fig. 3 (score / FPS trade-off under the ZC706 budget).
+
+Paper shapes being checked, per game:
+
+* the DAS-searched accelerator for the A3C-S agent delivers more FPS than the
+  DNNBuilder baseline running the same agent, and
+* the co-searched (smaller) A3C-S agent reaches higher FPS than ResNet-14 when
+  both use DAS-searched accelerators.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import format_fig3, run_fig3
+
+
+def test_fig3_score_fps_tradeoff(benchmark, profile, save_result):
+    rows = run_once(benchmark, run_fig3, profile)
+
+    assert rows
+    by_game = {}
+    for row in rows:
+        by_game.setdefault(row["game"], {})[row["configuration"]] = row
+
+    for game, configs in by_game.items():
+        assert set(configs) == {"ResNet-14 + DAS", "A3C-S + DAS", "A3C-S + DNNBuilder"}
+        assert all(np.isfinite(row["score"]) for row in configs.values())
+        assert all(row["dsp"] <= 900 for row in configs.values())
+        # Claim (b): DAS beats DNNBuilder for the same (A3C-S) agent.
+        assert configs["A3C-S + DAS"]["fps"] > configs["A3C-S + DNNBuilder"]["fps"]
+        # Claim (a): the searched agent reaches higher FPS than ResNet-14 on
+        # DAS accelerators.  This needs the architecture parameters to have
+        # actually converged towards hardware-cheap operators, which the
+        # seconds-scale smoke profile cannot provide, so the strict assertion
+        # is only enforced for the larger profiles; the measured ratio is
+        # always recorded in benchmarks/results/ for EXPERIMENTS.md.
+        ratio = configs["A3C-S + DAS"]["fps"] / configs["ResNet-14 + DAS"]["fps"]
+        assert np.isfinite(ratio) and ratio > 0
+        if profile.name != "smoke":
+            assert ratio >= 1.0
+
+    save_result("fig3_score_fps_tradeoff", rows)
+    print()
+    print(format_fig3(rows))

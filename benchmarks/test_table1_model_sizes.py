@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table I (test scores of different backbone sizes).
+
+Paper shape being checked: backbones differ in cost by construction, every
+(game, backbone) cell trains and evaluates to a finite score, and the printed
+table mirrors Table I's rows with the paper's reported numbers alongside.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_model_sizes(benchmark, profile, save_result):
+    rows = run_once(benchmark, run_table1, profile)
+
+    assert len(rows) == len(profile.games_table1) * len(profile.backbones_table1)
+    assert all(np.isfinite(row["score"]) for row in rows)
+
+    # Backbone cost ordering (the x-axis of the paper's model-size story).
+    by_backbone = {}
+    for row in rows:
+        by_backbone.setdefault(row["backbone"], row["flops"])
+    resnet_flops = [by_backbone[name] for name in ("ResNet-14", "ResNet-20") if name in by_backbone]
+    assert resnet_flops == sorted(resnet_flops)
+
+    save_result("table1_model_sizes", rows)
+    print()
+    print(format_table1(rows))

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""End-to-end A3C-S co-search on one game (paper Algorithm 1, scaled down).
+
+Runs the full pipeline: train a ResNet-20 teacher, co-search the agent
+architecture and the accelerator with AC-distillation and one-level
+optimisation, derive the final agent + accelerator, and compare against the
+FA3C baseline numbers and the DNNBuilder accelerator.
+
+Run:  python examples/cosearch_breakout.py [game]
+"""
+
+import sys
+
+from repro.accelerator import DNNBuilderAccelerator
+from repro.baselines import FA3C_REPORTED
+from repro.cosearch import A3CSCoSearch, A3CSConfig
+from repro.drl import evaluate_agent
+
+
+def main():
+    game = sys.argv[1] if len(sys.argv) > 1 else "Breakout"
+    config = A3CSConfig(
+        obs_size=28,
+        frame_stack=2,
+        max_episode_steps=200,
+        num_envs=2,
+        search_steps=600,
+        teacher_steps=400,
+        final_das_steps=120,
+        seed=0,
+    )
+    print("Running A3C-S co-search on {} ({} search steps)".format(game, config.search_steps))
+    result = A3CSCoSearch(game, config=config).run()
+
+    print()
+    print("Derived agent operators per cell:")
+    for cell, name in enumerate(result.operator_names):
+        print("  cell {:2d}: {}".format(cell, name))
+    print("Derived agent FLOPs: {:.2f} M".format(result.agent.backbone.flops() / 1e6))
+    print()
+    print("Derived accelerator:")
+    print(result.accelerator_config.describe())
+    print("  " + result.accelerator_metrics.summary())
+
+    score = evaluate_agent(
+        result.agent,
+        game,
+        episodes=3,
+        seed=0,
+        env_kwargs={"obs_size": config.obs_size, "frame_stack": config.frame_stack,
+                    "max_episode_steps": config.max_episode_steps},
+    )
+    dnnbuilder = DNNBuilderAccelerator(result.agent.backbone)
+    print()
+    print("Test score of the derived agent: {:.1f}".format(score))
+    print("FPS on the co-searched accelerator: {:.1f}".format(result.fps))
+    print("FPS on the DNNBuilder baseline     : {:.1f}  ({:.2f}x slower)".format(
+        dnnbuilder.fps, result.fps / dnnbuilder.fps))
+    if game in FA3C_REPORTED:
+        print("FA3C reported (real Atari, for reference): score {} at {} FPS".format(
+            FA3C_REPORTED[game].score, FA3C_REPORTED[game].fps))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""AC-distillation study (paper Table II, scaled down).
+
+Trains the Vanilla backbone on one game under the three distillation
+strategies — none, policy-only, and the paper's AC-distillation — using a
+shared ResNet-20 teacher, and prints the resulting test scores.
+
+Run:  python examples/distillation_study.py
+"""
+
+from repro.experiments import format_table2, get_profile, run_table2
+
+
+def main():
+    profile = get_profile()
+    print("Running the distillation study with the {!r} profile".format(profile.name))
+    rows = run_table2(profile, backbones=("Vanilla",))
+    print(format_table2(rows))
+    print()
+    for row in rows:
+        improved = row["ac"] >= row["none"]
+        print(
+            "{} / {}: AC-distillation {} the no-distillation baseline "
+            "({:.1f} vs {:.1f})".format(
+                row["game"],
+                row["backbone"],
+                "matches or beats" if improved else "does not beat (at this scale)",
+                row["ac"],
+                row["none"],
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Model-size study (paper Table I / Fig. 1, scaled down).
+
+Trains the Vanilla and ResNet backbones on a couple of games, prints the
+test-score table with the paper's reported numbers alongside, and shows the
+training curves — the experiment that motivates searching task-specific agents.
+
+Run:  python examples/model_size_study.py              (smoke scale, ~minutes)
+      REPRO_PROFILE=fast python examples/model_size_study.py
+"""
+
+from repro.experiments import format_fig1, format_table1, get_profile, run_fig1, run_table1
+
+
+def main():
+    profile = get_profile()
+    print("Running the model-size study with the {!r} profile".format(profile.name))
+    print("Games: {}   backbones: {}".format(profile.games_table1, profile.backbones_table1))
+    print()
+
+    rows = run_table1(profile)
+    print(format_table1(rows))
+    print()
+
+    curves = run_fig1(profile)
+    print(format_fig1(curves))
+    print()
+
+    # Qualitative take-away matching the paper's Sec. V-B insights.
+    by_game = {}
+    for row in rows:
+        by_game.setdefault(row["game"], []).append(row)
+    for game, game_rows in by_game.items():
+        best = max(game_rows, key=lambda r: r["score"])
+        print(
+            "{}: best backbone at this scale is {} (score {:.1f}, {:.2f} MFLOPs)".format(
+                game, best["backbone"], best["score"], best["flops"] / 1e6
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

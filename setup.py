@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments that lack the ``wheel`` package required by PEP 660 builds
+(``python setup.py develop`` remains functional there).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "A3C-S: Automated Agent Accelerator Co-Search towards Efficient Deep "
+        "Reinforcement Learning (DAC 2021) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

@@ -1,0 +1,26 @@
+"""A3C-S: Automated Agent Accelerator Co-Search — full Python reproduction.
+
+Subpackages
+-----------
+``repro.nn``
+    NumPy reverse-mode autodiff and neural-network layers (PyTorch substitute).
+``repro.envs``
+    Synthetic Atari-like arcade environments (ALE substitute).
+``repro.networks``
+    Vanilla DQN CNN, ResNet-14/20/38/74 baselines, NAS operators, supernet.
+``repro.drl``
+    Actor-critic (A2C) training, AC-distillation, evaluation protocol.
+``repro.nas``
+    Gumbel-Softmax machinery, architecture parameters, DNAS search loops.
+``repro.accelerator``
+    Chunk-based pipelined accelerator template, analytical cost model,
+    differentiable accelerator search (DAS), DNNBuilder baseline, FPGA budgets.
+``repro.cosearch``
+    The A3C-S co-search pipeline (Algorithm 1) and final derivation.
+``repro.experiments``
+    Harness modules regenerating every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

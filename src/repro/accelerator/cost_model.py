@@ -1,0 +1,246 @@
+"""Analytical accelerator performance / resource model.
+
+This is the reproduction's stand-in for the DNN-Chip Predictor [25] /
+AutoDNNchip [13] analytical models the paper uses during search and for the
+Vivado-HLS FPS measurements it reports:
+
+* per-layer latency = max(compute cycles, memory cycles) assuming
+  double-buffered overlap of computation and DRAM transfers,
+* chunk latency = sum of its layers' latencies (layers run sequentially
+  within a chunk),
+* pipelined throughput = clock / slowest-chunk latency (chunks form a
+  pipeline over consecutive frames),
+* resources: DSPs = PEs per chunk (1 MAC/DSP) + NoC overhead, BRAM = buffers,
+* a quadratic penalty term for configurations exceeding the device budget so
+  the differentiable search is steered back into the feasible region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .dataflow import estimate_layer_traffic, noc_efficiency, pe_utilization
+from .design_space import AcceleratorConfig
+from .fpga import ZC706
+from .workload import extract_workload
+
+__all__ = ["LayerCost", "AcceleratorMetrics", "AcceleratorCostModel"]
+
+#: Energy per operation, relative units (DRAM access is ~100x a MAC).
+_ENERGY_PER_MAC = 1.0
+_ENERGY_PER_DRAM_BYTE = 100.0
+_ENERGY_PER_BUFFER_BYTE = 3.0
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Cost of one layer executed on its assigned chunk."""
+
+    name: str
+    chunk_index: int
+    compute_cycles: float
+    memory_cycles: float
+    dram_bytes: float
+    utilization: float
+
+    @property
+    def latency_cycles(self):
+        """Double-buffered latency: the slower of compute and memory."""
+        return max(self.compute_cycles, self.memory_cycles)
+
+    @property
+    def bound(self):
+        """Whether the layer is compute- or memory-bound."""
+        return "compute" if self.compute_cycles >= self.memory_cycles else "memory"
+
+
+@dataclass
+class AcceleratorMetrics:
+    """Full evaluation of one accelerator configuration on one network."""
+
+    fps: float
+    latency_ms: float
+    throughput_macs_per_s: float
+    dsp_used: int
+    bram_kb_used: float
+    energy_mj: float
+    feasible: bool
+    resource_penalty: float
+    layer_costs: list = field(default_factory=list)
+    chunk_cycles: list = field(default_factory=list)
+
+    @property
+    def bottleneck_chunk(self):
+        """Index of the pipeline chunk limiting throughput."""
+        if not self.chunk_cycles:
+            return 0
+        return int(np.argmax(self.chunk_cycles))
+
+    def cost(self, latency_weight=1.0, energy_weight=0.0, objective="latency"):
+        """Scalar hardware cost used as ``L_cost`` during search (lower is better).
+
+        ``objective`` selects the primary term: ``"latency"`` (end-to-end
+        latency in ms), ``"fps"`` (the inverse pipeline throughput, i.e. the
+        slowest chunk — what the paper's FPS metric optimises), or ``"edp"``
+        (energy-delay product).  The resource-overshoot penalty multiplies the
+        whole cost so infeasible designs are always dominated.
+        """
+        if objective == "fps":
+            primary = 1000.0 / max(self.fps, 1e-9)  # ms per frame at steady state
+        elif objective == "edp":
+            primary = self.latency_ms * self.energy_mj
+        else:
+            primary = self.latency_ms
+        cost = latency_weight * primary + energy_weight * self.energy_mj
+        return cost * (1.0 + self.resource_penalty)
+
+    def summary(self):
+        """One-line human readable summary."""
+        return (
+            "FPS={:.1f} latency={:.3f}ms DSP={} BRAM={:.0f}KB energy={:.2f}mJ feasible={}".format(
+                self.fps, self.latency_ms, self.dsp_used, self.bram_kb_used, self.energy_mj, self.feasible
+            )
+        )
+
+
+class AcceleratorCostModel:
+    """Analytical performance predictor for the chunk-based pipeline template.
+
+    Parameters
+    ----------
+    device:
+        The :class:`~repro.accelerator.fpga.FPGADevice` resource budget
+        (defaults to the paper's ZC706).
+    dsp_per_pe:
+        DSP slices consumed per processing element (1 MAC/cycle each).
+    """
+
+    def __init__(self, device=ZC706, dsp_per_pe=1.0):
+        self.device = device
+        self.dsp_per_pe = float(dsp_per_pe)
+
+    # ------------------------------------------------------------------ #
+    # Per-layer cost
+    # ------------------------------------------------------------------ #
+    def layer_cost(self, layer, chunk, chunk_index=0, bandwidth_share=1.0):
+        """Cost of one :class:`~repro.accelerator.workload.LayerWorkload` on ``chunk``."""
+        utilization = pe_utilization(layer, chunk)
+        efficiency = noc_efficiency(chunk.noc, chunk.num_pes)
+        effective_macs_per_cycle = max(1e-6, chunk.num_pes * utilization * efficiency)
+        compute_cycles = layer.macs / effective_macs_per_cycle
+
+        traffic = estimate_layer_traffic(layer, chunk)
+        bytes_per_cycle = max(1e-6, self.device.bytes_per_cycle * bandwidth_share)
+        memory_cycles = traffic.total_bytes / bytes_per_cycle
+
+        return LayerCost(
+            name=layer.name,
+            chunk_index=chunk_index,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            dram_bytes=traffic.total_bytes,
+            utilization=utilization,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Resources
+    # ------------------------------------------------------------------ #
+    def chunk_resources(self, chunk):
+        """``(dsp, bram_kb)`` consumed by one chunk."""
+        noc_overhead = {"systolic": 1.0, "broadcast": 1.05, "multicast": 1.1}[chunk.noc]
+        dsp = int(np.ceil(chunk.num_pes * self.dsp_per_pe * noc_overhead))
+        return dsp, chunk.buffer_kb
+
+    def resource_usage(self, config):
+        """Total ``(dsp, bram_kb)`` of an accelerator configuration."""
+        dsp_total = 0
+        bram_total = 0.0
+        for chunk in config.chunks:
+            dsp, bram = self.chunk_resources(chunk)
+            dsp_total += dsp
+            bram_total += bram
+        return dsp_total, bram_total
+
+    def resource_penalty(self, dsp_used, bram_used):
+        """Quadratic overshoot penalty steering the search into the budget."""
+        dsp_over = max(0.0, dsp_used / self.device.dsp_count - 1.0)
+        bram_over = max(0.0, bram_used / self.device.bram_kb - 1.0)
+        return 10.0 * (dsp_over ** 2 + bram_over ** 2) + 5.0 * (dsp_over + bram_over)
+
+    # ------------------------------------------------------------------ #
+    # Whole-network evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, network_or_workloads, config):
+        """Evaluate ``config`` on a network, returning :class:`AcceleratorMetrics`.
+
+        ``network_or_workloads`` may be a backbone object (anything exposing
+        ``layer_specs()``), a list of layer-spec dicts, or an already extracted
+        list of :class:`~repro.accelerator.workload.LayerWorkload`.
+        """
+        workloads = self._coerce_workloads(network_or_workloads)
+        if not isinstance(config, AcceleratorConfig):
+            raise TypeError("config must be an AcceleratorConfig")
+        num_chunks = config.num_chunks
+        # Pipeline chunks stream from DRAM concurrently -> share the bandwidth.
+        bandwidth_share = 1.0 / num_chunks
+
+        layer_costs = []
+        chunk_cycles = np.zeros(num_chunks)
+        dram_bytes_total = 0.0
+        macs_total = 0
+        for index, layer in enumerate(workloads):
+            chunk_index = config.chunk_of_layer(index) if config.layer_assignment else index % num_chunks
+            chunk = config.chunks[chunk_index]
+            cost = self.layer_cost(layer, chunk, chunk_index, bandwidth_share)
+            layer_costs.append(cost)
+            chunk_cycles[chunk_index] += cost.latency_cycles
+            dram_bytes_total += cost.dram_bytes
+            macs_total += layer.macs
+
+        clock_hz = self.device.frequency_mhz * 1e6
+        total_cycles = float(chunk_cycles.sum())
+        slowest = float(chunk_cycles.max()) if num_chunks > 0 else total_cycles
+        latency_ms = total_cycles / clock_hz * 1e3
+        fps = clock_hz / max(slowest, 1e-6)
+
+        dsp_used, bram_used = self.resource_usage(config)
+        penalty = self.resource_penalty(dsp_used, bram_used)
+        feasible = penalty == 0.0
+
+        # Relative energy: MACs + DRAM traffic + buffer traffic (proportional to MACs).
+        energy = (
+            macs_total * _ENERGY_PER_MAC
+            + dram_bytes_total * _ENERGY_PER_DRAM_BYTE
+            + macs_total * _ENERGY_PER_BUFFER_BYTE
+        ) * 1e-9  # arbitrary mJ-like scaling
+
+        throughput = macs_total * fps
+
+        return AcceleratorMetrics(
+            fps=fps,
+            latency_ms=latency_ms,
+            throughput_macs_per_s=throughput,
+            dsp_used=dsp_used,
+            bram_kb_used=bram_used,
+            energy_mj=energy,
+            feasible=feasible,
+            resource_penalty=penalty,
+            layer_costs=layer_costs,
+            chunk_cycles=list(chunk_cycles),
+        )
+
+    def layer_latency_table(self, network_or_workloads, config):
+        """Per-layer latency in cycles on ``config`` (used by the Eq. 8 penalty)."""
+        metrics = self.evaluate(network_or_workloads, config)
+        return {cost.name: cost.latency_cycles for cost in metrics.layer_costs}
+
+    @staticmethod
+    def _coerce_workloads(network_or_workloads):
+        if hasattr(network_or_workloads, "layer_specs"):
+            return extract_workload(network_or_workloads)
+        items = list(network_or_workloads)
+        if items and isinstance(items[0], dict):
+            return extract_workload(items)
+        return items

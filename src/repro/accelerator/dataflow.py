@@ -1,0 +1,160 @@
+"""Dataflow analysis: tiling, on-chip reuse, and DRAM traffic estimation.
+
+This implements the analytical part of the DNN-Chip-Predictor-style cost model
+the paper relies on: given one layer's workload and one chunk's configuration
+(PE array, buffers, tile sizes, loop order, dataflow), estimate
+
+* how many DRAM bytes must be moved for inputs, weights and outputs, and
+* how efficiently the PE array is utilised,
+
+which together determine whether the layer is compute- or memory-bound.
+
+The reuse model follows the standard taxonomy:
+
+* **weight stationary** — weights are fetched once; inputs are re-fetched for
+  every output-channel tile; partial sums are spilled when the input-channel
+  loop is tiled.
+* **output stationary** — outputs are written exactly once; weights are
+  re-fetched for every spatial tile; inputs re-fetched per output-channel tile.
+* **row stationary** — a balanced scheme that splits the re-fetch overhead
+  between the three operands (Eyeriss-style).
+
+On top of the dataflow-level reuse, a tile that does not fit into its assigned
+buffer partition incurs a proportional re-fetch factor, and the loop order
+determines which operand benefits from the outermost-loop reuse.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .workload import BYTES_PER_VALUE
+
+__all__ = ["TrafficEstimate", "estimate_layer_traffic", "pe_utilization", "tile_counts", "noc_efficiency"]
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """DRAM traffic breakdown (bytes) for one layer on one chunk."""
+
+    input_bytes: float
+    weight_bytes: float
+    output_bytes: float
+
+    @property
+    def total_bytes(self):
+        return self.input_bytes + self.weight_bytes + self.output_bytes
+
+
+def tile_counts(layer, chunk):
+    """Number of tiles along the output-channel / input-channel / spatial loops."""
+    tiles_oc = max(1, math.ceil(layer.out_channels / chunk.tile_oc))
+    effective_ic = max(1, layer.in_channels // layer.groups)
+    tiles_ic = max(1, math.ceil(effective_ic / chunk.tile_ic))
+    tiles_sp = max(1, math.ceil(layer.output_size / chunk.tile_spatial)) ** 2
+    return tiles_oc, tiles_ic, tiles_sp
+
+
+def _buffer_refetch_factor(tile_bytes, buffer_kb):
+    """Extra re-fetches needed when a tile exceeds its buffer partition."""
+    capacity = buffer_kb * 1024.0
+    if capacity <= 0:
+        return 4.0
+    return max(1.0, tile_bytes / capacity)
+
+
+def _loop_order_bonus(loop_order, operand):
+    """Reuse bonus for the operand kept in the outermost loop position.
+
+    Keeping an operand's loop outermost means that operand's working set stays
+    resident longest; the corresponding traffic is scaled by this factor.
+    """
+    outer = loop_order[0]
+    mapping = {"oc": "weight", "ic": "input", "sp": "output"}
+    return 0.75 if mapping.get(outer) == operand else 1.0
+
+
+def estimate_layer_traffic(layer, chunk):
+    """Estimate DRAM traffic for ``layer`` executed on ``chunk``.
+
+    Returns a :class:`TrafficEstimate`.  FC layers are treated as 1x1 convs
+    with a single spatial position, which the formulas below handle naturally.
+    """
+    tiles_oc, tiles_ic, tiles_sp = tile_counts(layer, chunk)
+
+    # Tile footprints in bytes.
+    weight_tile_bytes = chunk.tile_oc * chunk.tile_ic * layer.kernel_size ** 2 * BYTES_PER_VALUE
+    input_tile_bytes = chunk.tile_ic * (chunk.tile_spatial + layer.kernel_size - 1) ** 2 * BYTES_PER_VALUE
+    output_tile_bytes = chunk.tile_oc * chunk.tile_spatial ** 2 * BYTES_PER_VALUE
+
+    weight_refetch = _buffer_refetch_factor(weight_tile_bytes, chunk.weight_buffer_kb)
+    input_refetch = _buffer_refetch_factor(input_tile_bytes, chunk.input_buffer_kb)
+    output_refetch = _buffer_refetch_factor(output_tile_bytes, chunk.output_buffer_kb)
+
+    if chunk.dataflow == "weight_stationary":
+        weight_traffic = layer.weight_bytes * weight_refetch
+        input_traffic = layer.input_bytes * tiles_oc * input_refetch
+        # Partial sums are read+written once per extra input-channel tile.
+        output_traffic = layer.output_bytes * max(1, 2 * tiles_ic - 1) * output_refetch
+    elif chunk.dataflow == "output_stationary":
+        output_traffic = layer.output_bytes * output_refetch
+        input_traffic = layer.input_bytes * tiles_oc * input_refetch
+        weight_traffic = layer.weight_bytes * tiles_sp * weight_refetch
+    elif chunk.dataflow == "row_stationary":
+        # Balanced reuse: each operand pays a square-root share of the re-fetches.
+        weight_traffic = layer.weight_bytes * math.sqrt(tiles_sp) * weight_refetch
+        input_traffic = layer.input_bytes * math.sqrt(tiles_oc) * input_refetch
+        output_traffic = layer.output_bytes * max(1.0, tiles_ic / 2.0) * output_refetch
+    else:
+        raise ValueError("unknown dataflow {!r}".format(chunk.dataflow))
+
+    weight_traffic *= _loop_order_bonus(chunk.loop_order, "weight")
+    input_traffic *= _loop_order_bonus(chunk.loop_order, "input")
+    output_traffic *= _loop_order_bonus(chunk.loop_order, "output")
+
+    # Traffic can never be lower than touching every operand exactly once.
+    return TrafficEstimate(
+        input_bytes=max(input_traffic, layer.input_bytes),
+        weight_bytes=max(weight_traffic, layer.weight_bytes),
+        output_bytes=max(output_traffic, layer.output_bytes),
+    )
+
+
+def noc_efficiency(noc, num_pes):
+    """Effective MAC efficiency of the PE inter-connection.
+
+    Broadcast networks deliver operands to every PE each cycle but scale
+    poorly with array size; systolic arrays have near-perfect scaling with a
+    small pipeline fill overhead; multicast sits in between with a modest
+    constant overhead.
+    """
+    if noc == "broadcast":
+        return max(0.55, 0.98 - 1.5e-4 * num_pes)
+    if noc == "systolic":
+        return 0.92
+    if noc == "multicast":
+        return 0.88
+    raise ValueError("unknown NoC type {!r}".format(noc))
+
+
+def pe_utilization(layer, chunk):
+    """Fraction of PEs doing useful work for this layer.
+
+    The PE rows map to output channels and the PE columns map to the spatial /
+    input-channel dimension.  A layer whose dimensions are smaller than the
+    array (or a depthwise layer, whose effective input channels are 1) cannot
+    fill the array, which is the main reason very large PE arrays do not
+    always win and the searched accelerator is layer-dependent.
+    """
+    # Rows: output-channel mapping.
+    rows_busy = min(chunk.pe_rows, layer.out_channels, chunk.tile_oc)
+    row_util = rows_busy / chunk.pe_rows
+
+    # Columns: spatial x input-channel mapping.
+    effective_ic = max(1, layer.in_channels // layer.groups)
+    spatial_positions = layer.output_size ** 2
+    cols_busy = min(chunk.pe_cols, spatial_positions * min(effective_ic, chunk.tile_ic))
+    col_util = cols_busy / chunk.pe_cols
+
+    return max(1e-3, row_util * col_util)

@@ -1,0 +1,316 @@
+"""The searchable accelerator design space of A3C-S.
+
+The paper's accelerator template (Sec. IV-A) is a chunk-based pipelined
+micro-architecture: the network's layers are partitioned onto a small number
+of sub-accelerators ("chunks") that operate as pipeline stages.  The
+searchable knobs, mirroring Sec. V-A, are
+
+1. **PE settings** — the PE-array shape and the PE inter-connection (NoC),
+2. **buffer management** — the per-chunk on-chip buffer size and how it is
+   split between input, weight, and output buffers,
+3. **tiling & scheduling** — channel / spatial tile sizes and the loop order
+   of the MAC computation (the dataflow),
+4. **layer allocation** — which pipeline chunk each layer is assigned to.
+
+Every knob is categorical, so the whole space is a product of finite choice
+lists; :meth:`AcceleratorDesignSpace.space_size` exceeds the 10^27 figure
+quoted in the paper once layer allocation is included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "ChunkConfig",
+    "AcceleratorConfig",
+    "AcceleratorDesignSpace",
+    "PE_ARRAY_CHOICES",
+    "NOC_CHOICES",
+    "DATAFLOW_CHOICES",
+    "BUFFER_KB_CHOICES",
+    "BUFFER_SPLIT_CHOICES",
+    "TILE_CHANNEL_CHOICES",
+    "TILE_SPATIAL_CHOICES",
+    "LOOP_ORDER_CHOICES",
+    "NUM_CHUNK_CHOICES",
+]
+
+#: PE-array shapes (rows x columns).  Rows map to output channels, columns to
+#: spatial positions / input channels depending on the dataflow.  Narrow-and-
+#: wide shapes matter because DRL backbones have few channels but large
+#: feature maps, so tall arrays under-utilise their rows.
+PE_ARRAY_CHOICES = (
+    (4, 4),
+    (4, 16),
+    (8, 4),
+    (8, 8),
+    (8, 16),
+    (8, 32),
+    (16, 8),
+    (16, 16),
+    (16, 32),
+    (32, 8),
+    (32, 32),
+)
+
+#: PE inter-connection styles (network-on-chip).
+NOC_CHOICES = ("systolic", "broadcast", "multicast")
+
+#: MAC scheduling (dataflow) styles, in the Eyeriss taxonomy.
+DATAFLOW_CHOICES = ("weight_stationary", "output_stationary", "row_stationary")
+
+#: Total per-chunk on-chip buffer capacity in KB.
+BUFFER_KB_CHOICES = (64, 128, 256, 512)
+
+#: Fractions of the chunk buffer devoted to (input, weight, output).
+BUFFER_SPLIT_CHOICES = (
+    (0.25, 0.50, 0.25),
+    (0.50, 0.25, 0.25),
+    (0.25, 0.25, 0.50),
+    (1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0),
+)
+
+#: Channel tiling factors (applied to both input- and output-channel loops).
+TILE_CHANNEL_CHOICES = (4, 8, 16, 32, 64)
+
+#: Spatial (output feature map) tiling factors.
+TILE_SPATIAL_CHOICES = (4, 8, 16, 32)
+
+#: Loop orders of the (output-channel, input-channel, spatial) tile loops.
+LOOP_ORDER_CHOICES = (
+    ("oc", "ic", "sp"),
+    ("oc", "sp", "ic"),
+    ("ic", "oc", "sp"),
+    ("ic", "sp", "oc"),
+    ("sp", "oc", "ic"),
+    ("sp", "ic", "oc"),
+)
+
+#: Number of pipeline chunks (sub-accelerators).
+NUM_CHUNK_CHOICES = (1, 2, 3, 4)
+
+#: Per-chunk parameter names and their choice lists, in a stable order.
+CHUNK_PARAMETERS = (
+    ("pe_array", PE_ARRAY_CHOICES),
+    ("noc", NOC_CHOICES),
+    ("dataflow", DATAFLOW_CHOICES),
+    ("buffer_kb", BUFFER_KB_CHOICES),
+    ("buffer_split", BUFFER_SPLIT_CHOICES),
+    ("tile_oc", TILE_CHANNEL_CHOICES),
+    ("tile_ic", TILE_CHANNEL_CHOICES),
+    ("tile_spatial", TILE_SPATIAL_CHOICES),
+    ("loop_order", LOOP_ORDER_CHOICES),
+)
+
+
+@dataclass(frozen=True)
+class ChunkConfig:
+    """Configuration of one pipeline chunk (sub-accelerator)."""
+
+    pe_rows: int = 16
+    pe_cols: int = 16
+    noc: str = "systolic"
+    dataflow: str = "weight_stationary"
+    buffer_kb: float = 256.0
+    input_buffer_fraction: float = 0.25
+    weight_buffer_fraction: float = 0.5
+    output_buffer_fraction: float = 0.25
+    tile_oc: int = 16
+    tile_ic: int = 16
+    tile_spatial: int = 8
+    loop_order: tuple = ("oc", "ic", "sp")
+
+    @property
+    def num_pes(self):
+        """Total number of processing elements in the chunk."""
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def input_buffer_kb(self):
+        return self.buffer_kb * self.input_buffer_fraction
+
+    @property
+    def weight_buffer_kb(self):
+        return self.buffer_kb * self.weight_buffer_fraction
+
+    @property
+    def output_buffer_kb(self):
+        return self.buffer_kb * self.output_buffer_fraction
+
+    @classmethod
+    def from_choices(cls, pe_array, noc, dataflow, buffer_kb, buffer_split, tile_oc, tile_ic,
+                     tile_spatial, loop_order):
+        """Build a chunk config from raw choice values (registry order)."""
+        return cls(
+            pe_rows=pe_array[0],
+            pe_cols=pe_array[1],
+            noc=noc,
+            dataflow=dataflow,
+            buffer_kb=float(buffer_kb),
+            input_buffer_fraction=buffer_split[0],
+            weight_buffer_fraction=buffer_split[1],
+            output_buffer_fraction=buffer_split[2],
+            tile_oc=tile_oc,
+            tile_ic=tile_ic,
+            tile_spatial=tile_spatial,
+            loop_order=tuple(loop_order),
+        )
+
+
+@dataclass
+class AcceleratorConfig:
+    """A fully specified accelerator: chunks plus the layer-to-chunk mapping."""
+
+    chunks: list = field(default_factory=lambda: [ChunkConfig()])
+    layer_assignment: list = field(default_factory=list)
+
+    @property
+    def num_chunks(self):
+        return len(self.chunks)
+
+    def chunk_of_layer(self, layer_index):
+        """Pipeline chunk index that executes ``layer_index``."""
+        if not self.layer_assignment:
+            return 0
+        return int(self.layer_assignment[layer_index]) % self.num_chunks
+
+    def layers_of_chunk(self, chunk_index, num_layers=None):
+        """Indices of the layers assigned to ``chunk_index``."""
+        count = num_layers if num_layers is not None else len(self.layer_assignment)
+        return [i for i in range(count) if self.chunk_of_layer(i) == chunk_index]
+
+    def describe(self):
+        """Human-readable multi-line description used by examples and reports."""
+        lines = ["Accelerator with {} chunk(s)".format(self.num_chunks)]
+        for index, chunk in enumerate(self.chunks):
+            lines.append(
+                "  chunk {}: {}x{} PEs ({}), {} dataflow, {:.0f} KB buffers "
+                "(I/W/O = {:.0%}/{:.0%}/{:.0%}), tiles oc={} ic={} sp={}, order={}".format(
+                    index,
+                    chunk.pe_rows,
+                    chunk.pe_cols,
+                    chunk.noc,
+                    chunk.dataflow,
+                    chunk.buffer_kb,
+                    chunk.input_buffer_fraction,
+                    chunk.weight_buffer_fraction,
+                    chunk.output_buffer_fraction,
+                    chunk.tile_oc,
+                    chunk.tile_ic,
+                    chunk.tile_spatial,
+                    "/".join(chunk.loop_order),
+                )
+            )
+        if self.layer_assignment:
+            lines.append("  layer assignment: {}".format(list(self.layer_assignment)))
+        return "\n".join(lines)
+
+
+class AcceleratorDesignSpace:
+    """Categorical view of the accelerator search space for a given network.
+
+    Parameters
+    ----------
+    num_layers:
+        Number of layers of the network to be accelerated (defines the layer-
+        allocation dimensions).
+    max_chunks:
+        Maximum number of pipeline chunks considered by the search.
+
+    The space is exposed as an ordered list of named categorical dimensions
+    (:meth:`dimensions`), which is exactly what the differentiable accelerator
+    search (DAS) engine parameterises with Gumbel-Softmax distributions.
+    """
+
+    def __init__(self, num_layers, max_chunks=4):
+        if num_layers < 1:
+            raise ValueError("num_layers must be positive")
+        self.num_layers = int(num_layers)
+        self.max_chunks = int(max_chunks)
+        self._dimensions = self._build_dimensions()
+
+    # ------------------------------------------------------------------ #
+    # Dimension registry
+    # ------------------------------------------------------------------ #
+    def _build_dimensions(self):
+        dims = [("num_chunks", tuple(c for c in NUM_CHUNK_CHOICES if c <= self.max_chunks))]
+        for chunk_index in range(self.max_chunks):
+            for name, choices in CHUNK_PARAMETERS:
+                dims.append(("chunk{}.{}".format(chunk_index, name), tuple(choices)))
+        for layer_index in range(self.num_layers):
+            dims.append(("layer{}.chunk".format(layer_index), tuple(range(self.max_chunks))))
+        return dims
+
+    def dimensions(self):
+        """Ordered list of ``(name, choices)`` categorical dimensions."""
+        return list(self._dimensions)
+
+    def dimension_sizes(self):
+        """List of the number of choices per dimension (same order)."""
+        return [len(choices) for _, choices in self._dimensions]
+
+    def num_dimensions(self):
+        """Number of categorical dimensions."""
+        return len(self._dimensions)
+
+    def space_size(self):
+        """Total number of accelerator configurations (the paper quotes > 10^27)."""
+        size = 1
+        for _, choices in self._dimensions:
+            size *= len(choices)
+        return size
+
+    # ------------------------------------------------------------------ #
+    # Encoding / decoding
+    # ------------------------------------------------------------------ #
+    def sample_indices(self, rng):
+        """Uniformly sample one choice index per dimension."""
+        return {
+            name: int(rng.integers(len(choices))) for name, choices in self._dimensions
+        }
+
+    def random_config(self, rng):
+        """Sample a random full accelerator configuration."""
+        return self.decode(self.sample_indices(rng))
+
+    def default_indices(self):
+        """A reasonable hand-designed starting point (all middle choices)."""
+        return {name: len(choices) // 2 for name, choices in self._dimensions}
+
+    def decode(self, indices):
+        """Turn a ``{dimension: choice index}`` dict into an :class:`AcceleratorConfig`."""
+        lookup = dict(self._dimensions)
+
+        def value(name):
+            choices = lookup[name]
+            return choices[int(indices[name]) % len(choices)]
+
+        num_chunks = value("num_chunks")
+        chunks = []
+        for chunk_index in range(num_chunks):
+            prefix = "chunk{}.".format(chunk_index)
+            chunks.append(
+                ChunkConfig.from_choices(
+                    pe_array=value(prefix + "pe_array"),
+                    noc=value(prefix + "noc"),
+                    dataflow=value(prefix + "dataflow"),
+                    buffer_kb=value(prefix + "buffer_kb"),
+                    buffer_split=value(prefix + "buffer_split"),
+                    tile_oc=value(prefix + "tile_oc"),
+                    tile_ic=value(prefix + "tile_ic"),
+                    tile_spatial=value(prefix + "tile_spatial"),
+                    loop_order=value(prefix + "loop_order"),
+                )
+            )
+        assignment = [
+            value("layer{}.chunk".format(layer_index)) % num_chunks
+            for layer_index in range(self.num_layers)
+        ]
+        return AcceleratorConfig(chunks=chunks, layer_assignment=assignment)
+
+    def encode_uniform_logits(self):
+        """Zero-initialised logits for every dimension (used by DAS)."""
+        return {name: np.zeros(len(choices)) for name, choices in self._dimensions}

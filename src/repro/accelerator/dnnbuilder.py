@@ -1,0 +1,112 @@
+"""DNNBuilder-style baseline accelerator (Fig. 3 comparison).
+
+DNNBuilder [26] builds a layer-wise pipelined FPGA accelerator in which every
+layer (or group of layers, when the pipeline depth is capped) receives its own
+dedicated compute stage, with resources allocated proportionally to each
+stage's compute load and a fixed weight-stationary, fine-grained column-based
+dataflow.  It does not search dataflows, buffer splits or layer allocations —
+which is exactly what A3C-S's DAS engine adds — so this baseline isolates the
+benefit of the searched accelerator while using the *same* analytical cost
+model for a fair comparison, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cost_model import AcceleratorCostModel
+from .design_space import AcceleratorConfig, ChunkConfig
+from .fpga import ZC706
+from .workload import extract_workload
+
+__all__ = ["DNNBuilderAccelerator", "build_dnnbuilder_config"]
+
+#: DNNBuilder pipelines at most this many dedicated stages on mid-size FPGAs.
+_MAX_STAGES = 4
+
+#: PE-array row options DNNBuilder's resource allocator chooses from.
+_ROW_OPTIONS = (4, 8, 16, 32)
+
+
+def build_dnnbuilder_config(workloads, device=ZC706, max_stages=_MAX_STAGES):
+    """Construct the DNNBuilder-style configuration for a workload list.
+
+    Resource allocation follows the tool's published heuristic: the DSP budget
+    is split across pipeline stages proportionally to each stage's MAC count,
+    and each stage uses a weight-stationary dataflow with buffers sized to a
+    fixed fraction of the BRAM budget.
+    """
+    num_stages = min(max_stages, len(workloads))
+    # Contiguous, MAC-balanced grouping of layers into stages.
+    total_macs = sum(w.macs for w in workloads)
+    assignment = []
+    stage = 0
+    accumulated = 0.0
+    for workload in workloads:
+        assignment.append(min(stage, num_stages - 1))
+        accumulated += workload.macs
+        if accumulated >= total_macs * (stage + 1) / num_stages and stage < num_stages - 1:
+            stage += 1
+
+    stage_macs = np.zeros(num_stages)
+    for index, workload in enumerate(workloads):
+        stage_macs[assignment[index]] += workload.macs
+
+    # Allocate DSPs proportionally to stage compute, BRAM evenly.
+    usable_dsp = device.dsp_count * 0.95
+    bram_per_stage = min(256.0, device.bram_kb * 0.9 / num_stages)
+    chunks = []
+    for stage_index in range(num_stages):
+        share = stage_macs[stage_index] / max(total_macs, 1)
+        dsp_budget = max(16.0, usable_dsp * share)
+        # Choose the largest power-of-two-ish array fitting the DSP share.
+        rows = max(r for r in _ROW_OPTIONS if r * r <= dsp_budget or r == _ROW_OPTIONS[0])
+        cols = max(4, int(dsp_budget // rows))
+        cols = min(cols, 32)
+        chunks.append(
+            ChunkConfig(
+                pe_rows=rows,
+                pe_cols=cols,
+                noc="broadcast",
+                dataflow="weight_stationary",
+                buffer_kb=bram_per_stage,
+                input_buffer_fraction=0.25,
+                weight_buffer_fraction=0.5,
+                output_buffer_fraction=0.25,
+                tile_oc=min(32, rows),
+                tile_ic=16,
+                tile_spatial=8,
+                loop_order=("oc", "ic", "sp"),
+            )
+        )
+    return AcceleratorConfig(chunks=chunks, layer_assignment=assignment)
+
+
+class DNNBuilderAccelerator:
+    """Evaluate a network on the DNNBuilder-style baseline accelerator."""
+
+    name = "DNNBuilder"
+
+    def __init__(self, network, device=ZC706, max_stages=_MAX_STAGES):
+        self.workloads = extract_workload(network)
+        self.device = device
+        self.cost_model = AcceleratorCostModel(device=device)
+        self.config = build_dnnbuilder_config(self.workloads, device=device, max_stages=max_stages)
+        self._metrics = None
+
+    @property
+    def metrics(self):
+        """Cost-model metrics of the baseline configuration."""
+        if self._metrics is None:
+            self._metrics = self.cost_model.evaluate(self.workloads, self.config)
+        return self._metrics
+
+    @property
+    def fps(self):
+        """Frames per second achieved by the baseline."""
+        return self.metrics.fps
+
+    def __repr__(self):
+        return "DNNBuilderAccelerator(stages={}, device={})".format(
+            self.config.num_chunks, self.device.name
+        )

@@ -1,0 +1,72 @@
+"""FPGA device resource budgets.
+
+The paper measures its accelerators on a Xilinx ZC706 board using the Vivado
+HLS flow, with the DSP count (900) as the binding resource limit for the
+Fig. 3 comparison.  Since no FPGA tooling is available offline, devices are
+modelled by their headline resource budgets, which is exactly what the
+analytical performance predictor used during the paper's search consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FPGADevice", "ZC706", "ZCU102", "ULTRA96", "DEVICES", "get_device"]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Resource and performance envelope of one FPGA board.
+
+    Attributes
+    ----------
+    name:
+        Board name.
+    dsp_count:
+        Number of DSP slices (each modelled as one MAC per cycle).
+    bram_kb:
+        Total on-chip block RAM capacity in kilobytes.
+    dram_bandwidth_gbps:
+        Off-chip memory bandwidth in gigabytes per second.
+    frequency_mhz:
+        Target clock frequency of the generated accelerator.
+    """
+
+    name: str
+    dsp_count: int
+    bram_kb: float
+    dram_bandwidth_gbps: float
+    frequency_mhz: float
+
+    @property
+    def bytes_per_cycle(self):
+        """Off-chip bytes transferable per accelerator clock cycle."""
+        return self.dram_bandwidth_gbps * 1e9 / (self.frequency_mhz * 1e6)
+
+    @property
+    def peak_macs_per_second(self):
+        """Peak MAC throughput if every DSP computes one MAC per cycle."""
+        return self.dsp_count * self.frequency_mhz * 1e6
+
+    def __str__(self):
+        return "{} ({} DSPs, {:.0f} KB BRAM)".format(self.name, self.dsp_count, self.bram_kb)
+
+
+#: The paper's evaluation board: Xilinx Zynq-7000 ZC706 (900 DSPs, 19.1 Mb BRAM).
+ZC706 = FPGADevice(name="ZC706", dsp_count=900, bram_kb=2442.0, dram_bandwidth_gbps=12.8, frequency_mhz=200.0)
+
+#: A larger Zynq UltraScale+ board, used for scaling studies.
+ZCU102 = FPGADevice(name="ZCU102", dsp_count=2520, bram_kb=4608.0, dram_bandwidth_gbps=21.3, frequency_mhz=300.0)
+
+#: A small edge board, used to stress the resource-constraint handling.
+ULTRA96 = FPGADevice(name="Ultra96", dsp_count=360, bram_kb=948.0, dram_bandwidth_gbps=8.5, frequency_mhz=150.0)
+
+DEVICES = {device.name: device for device in (ZC706, ZCU102, ULTRA96)}
+
+
+def get_device(name):
+    """Look up a device by name (case-insensitive)."""
+    for key, device in DEVICES.items():
+        if key.lower() == name.lower():
+            return device
+    raise KeyError("unknown device {!r}; known devices: {}".format(name, ", ".join(DEVICES)))

@@ -1,0 +1,98 @@
+"""Fast accelerator performance predictor with memoisation.
+
+During search the cost model is called for every sampled accelerator and every
+sampled single-path network, many of which repeat.  Mirroring the role of the
+DNN-Chip Predictor [25] in the paper ("fast and reliable estimation during
+search"), :class:`PerformancePredictor` wraps the analytical model with a
+cache keyed on the (network fingerprint, configuration fingerprint) pair.
+"""
+
+from __future__ import annotations
+
+from .cost_model import AcceleratorCostModel
+from .fpga import ZC706
+from .workload import extract_workload
+
+__all__ = ["PerformancePredictor", "workload_fingerprint", "config_fingerprint"]
+
+
+def workload_fingerprint(workloads):
+    """Hashable fingerprint of a workload list."""
+    return tuple(
+        (w.name, w.kind, w.macs, w.in_channels, w.out_channels, w.kernel_size, w.output_size, w.groups)
+        for w in workloads
+    )
+
+
+def config_fingerprint(config):
+    """Hashable fingerprint of an :class:`AcceleratorConfig`."""
+    chunk_keys = tuple(
+        (
+            c.pe_rows,
+            c.pe_cols,
+            c.noc,
+            c.dataflow,
+            c.buffer_kb,
+            round(c.input_buffer_fraction, 4),
+            round(c.weight_buffer_fraction, 4),
+            round(c.output_buffer_fraction, 4),
+            c.tile_oc,
+            c.tile_ic,
+            c.tile_spatial,
+            tuple(c.loop_order),
+        )
+        for c in config.chunks
+    )
+    return chunk_keys, tuple(config.layer_assignment)
+
+
+class PerformancePredictor:
+    """Memoising wrapper around :class:`AcceleratorCostModel`.
+
+    Parameters
+    ----------
+    device:
+        Target FPGA budget.
+    max_cache_entries:
+        Cache size cap; the cache is cleared when it grows past this bound
+        (search loops generate many unique design points).
+    """
+
+    def __init__(self, device=ZC706, max_cache_entries=50000):
+        self.cost_model = AcceleratorCostModel(device=device)
+        self.device = device
+        self.max_cache_entries = int(max_cache_entries)
+        self._cache = {}
+        self.hits = 0
+        self.misses = 0
+
+    def predict(self, network_or_workloads, config):
+        """Evaluate (with caching) and return :class:`AcceleratorMetrics`."""
+        workloads = self._coerce(network_or_workloads)
+        key = (workload_fingerprint(workloads), config_fingerprint(config))
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        metrics = self.cost_model.evaluate(workloads, config)
+        if len(self._cache) >= self.max_cache_entries:
+            self._cache.clear()
+        self._cache[key] = metrics
+        return metrics
+
+    def fps(self, network_or_workloads, config):
+        """Shorthand returning only the predicted frames per second."""
+        return self.predict(network_or_workloads, config).fps
+
+    def cache_info(self):
+        """Return ``(hits, misses, size)`` statistics."""
+        return self.hits, self.misses, len(self._cache)
+
+    @staticmethod
+    def _coerce(network_or_workloads):
+        if hasattr(network_or_workloads, "layer_specs"):
+            return extract_workload(network_or_workloads)
+        items = list(network_or_workloads)
+        if items and isinstance(items[0], dict):
+            return extract_workload(items)
+        return items

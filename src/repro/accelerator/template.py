@@ -1,0 +1,145 @@
+"""The chunk-based pipelined accelerator template.
+
+This object binds together a design-space point (:class:`AcceleratorConfig`),
+the analytical cost model, and a target network, mirroring how the paper's
+parameterised micro-architecture template [21] is used: multiple
+sub-accelerators (chunks) execute disjoint groups of layers as pipeline
+stages, each chunk with its own PE array, buffer hierarchy and dataflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cost_model import AcceleratorCostModel
+from .design_space import AcceleratorConfig, AcceleratorDesignSpace, ChunkConfig
+from .fpga import ZC706
+from .workload import extract_workload
+
+__all__ = ["ChunkPipelineAccelerator", "balanced_layer_assignment"]
+
+
+def balanced_layer_assignment(workloads, num_chunks):
+    """Greedy MAC-balanced assignment of layers to pipeline chunks.
+
+    Contiguous groups of layers are assigned to chunks so each chunk receives
+    roughly the same share of the network's total MACs.  This is the natural
+    hand-designed baseline against which the searched (possibly non-contiguous)
+    layer allocation is compared.
+    """
+    total = sum(w.macs for w in workloads)
+    target = total / max(num_chunks, 1)
+    assignment = []
+    chunk = 0
+    accumulated = 0.0
+    for workload in workloads:
+        assignment.append(min(chunk, num_chunks - 1))
+        accumulated += workload.macs
+        if accumulated >= target * (chunk + 1) and chunk < num_chunks - 1:
+            chunk += 1
+    return assignment
+
+
+class ChunkPipelineAccelerator:
+    """A concrete accelerator instance: template + configuration + network.
+
+    Parameters
+    ----------
+    network:
+        Backbone (or layer-spec list) whose inference is being accelerated.
+    config:
+        The :class:`AcceleratorConfig` design point.  If omitted, a balanced
+        2-chunk default configuration is built.
+    device:
+        Target FPGA budget (defaults to the paper's ZC706).
+    """
+
+    def __init__(self, network, config=None, device=ZC706):
+        self.workloads = extract_workload(network)
+        self.device = device
+        self.cost_model = AcceleratorCostModel(device=device)
+        if config is None:
+            config = self.default_config()
+        self.config = config
+        self._metrics = None
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def default_config(self, num_chunks=2):
+        """A sensible hand-designed configuration (used as a non-searched baseline)."""
+        chunks = [
+            ChunkConfig(
+                pe_rows=16,
+                pe_cols=16,
+                noc="systolic",
+                dataflow="weight_stationary",
+                buffer_kb=256.0,
+                tile_oc=16,
+                tile_ic=16,
+                tile_spatial=8,
+            )
+            for _ in range(num_chunks)
+        ]
+        assignment = balanced_layer_assignment(self.workloads, num_chunks)
+        return AcceleratorConfig(chunks=chunks, layer_assignment=assignment)
+
+    def design_space(self, max_chunks=4):
+        """The categorical design space for this network's layer count."""
+        return AcceleratorDesignSpace(num_layers=len(self.workloads), max_chunks=max_chunks)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, config=None):
+        """Evaluate ``config`` (or the bound one) and cache the metrics."""
+        config = config if config is not None else self.config
+        metrics = self.cost_model.evaluate(self.workloads, config)
+        if config is self.config:
+            self._metrics = metrics
+        return metrics
+
+    @property
+    def metrics(self):
+        """Metrics of the bound configuration (computed lazily)."""
+        if self._metrics is None:
+            self._metrics = self.evaluate()
+        return self._metrics
+
+    @property
+    def fps(self):
+        """Frames per second of the bound configuration."""
+        return self.metrics.fps
+
+    def set_config(self, config):
+        """Re-bind the accelerator to a new configuration."""
+        self.config = config
+        self._metrics = None
+        return self
+
+    def utilization_report(self):
+        """Per-layer utilisation / boundedness table (list of dicts)."""
+        report = []
+        for cost in self.metrics.layer_costs:
+            report.append(
+                {
+                    "layer": cost.name,
+                    "chunk": cost.chunk_index,
+                    "utilization": cost.utilization,
+                    "bound": cost.bound,
+                    "latency_cycles": cost.latency_cycles,
+                }
+            )
+        return report
+
+    def pipeline_balance(self):
+        """Ratio slowest-chunk / mean-chunk latency (1.0 = perfectly balanced)."""
+        cycles = np.asarray(self.metrics.chunk_cycles, dtype=float)
+        if cycles.size == 0 or cycles.mean() == 0:
+            return 1.0
+        return float(cycles.max() / cycles.mean())
+
+    def __repr__(self):
+        return "ChunkPipelineAccelerator(layers={}, chunks={}, device={})".format(
+            len(self.workloads), self.config.num_chunks, self.device.name
+        )

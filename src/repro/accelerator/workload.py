@@ -1,0 +1,134 @@
+"""Workload extraction: turning a network into per-layer accelerator workloads.
+
+Every backbone in :mod:`repro.networks` exposes ``layer_specs()`` describing
+its conv / FC layers.  This module converts those specs into
+:class:`LayerWorkload` records carrying the quantities the analytical cost
+model needs: MAC counts and the activation / weight footprints in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LayerWorkload", "extract_workload", "total_macs", "total_weight_bytes"]
+
+#: Bytes per value; the accelerators use 16-bit fixed point as in most FPGA flows.
+BYTES_PER_VALUE = 2
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """Hardware-relevant description of one network layer.
+
+    Attributes
+    ----------
+    name:
+        Layer name (from the network's ``layer_specs``).
+    kind:
+        ``"conv"`` or ``"fc"``.
+    macs:
+        Multiply-accumulate operations for a batch-1 inference.
+    input_bytes / weight_bytes / output_bytes:
+        Data footprints of the layer's operands in bytes.
+    out_channels / output_size / kernel_size / in_channels / groups:
+        Geometry fields used by the tiling / dataflow analysis (FC layers set
+        ``output_size = 1`` and ``kernel_size = 1``).
+    """
+
+    name: str
+    kind: str
+    macs: int
+    input_bytes: int
+    weight_bytes: int
+    output_bytes: int
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    output_size: int
+    groups: int = 1
+
+    @property
+    def total_bytes(self):
+        """Total operand footprint of the layer."""
+        return self.input_bytes + self.weight_bytes + self.output_bytes
+
+    @property
+    def arithmetic_intensity(self):
+        """MACs per byte moved if nothing is reused on chip (roofline x-axis)."""
+        return self.macs / max(self.total_bytes, 1)
+
+
+def _conv_workload(spec):
+    out_size = spec["output_size"]
+    in_size = spec["input_size"]
+    c_in = spec["in_channels"]
+    c_out = spec["out_channels"]
+    k = spec["kernel_size"]
+    groups = spec.get("groups", 1)
+    macs = out_size * out_size * c_out * (c_in // groups) * k * k
+    input_bytes = in_size * in_size * c_in * BYTES_PER_VALUE
+    weight_bytes = c_out * (c_in // groups) * k * k * BYTES_PER_VALUE
+    output_bytes = out_size * out_size * c_out * BYTES_PER_VALUE
+    return LayerWorkload(
+        name=spec["name"],
+        kind="conv",
+        macs=int(macs),
+        input_bytes=int(input_bytes),
+        weight_bytes=int(weight_bytes),
+        output_bytes=int(output_bytes),
+        in_channels=int(c_in),
+        out_channels=int(c_out),
+        kernel_size=int(k),
+        output_size=int(out_size),
+        groups=int(groups),
+    )
+
+
+def _fc_workload(spec):
+    in_features = spec["in_features"]
+    out_features = spec["out_features"]
+    macs = in_features * out_features
+    return LayerWorkload(
+        name=spec["name"],
+        kind="fc",
+        macs=int(macs),
+        input_bytes=int(in_features * BYTES_PER_VALUE),
+        weight_bytes=int(in_features * out_features * BYTES_PER_VALUE),
+        output_bytes=int(out_features * BYTES_PER_VALUE),
+        in_channels=int(in_features),
+        out_channels=int(out_features),
+        kernel_size=1,
+        output_size=1,
+        groups=1,
+    )
+
+
+def extract_workload(network_or_specs):
+    """Build the list of :class:`LayerWorkload` for a network.
+
+    Accepts either a network object exposing ``layer_specs()`` or an already
+    extracted list of spec dictionaries.
+    """
+    if hasattr(network_or_specs, "layer_specs"):
+        specs = network_or_specs.layer_specs()
+    else:
+        specs = list(network_or_specs)
+    workloads = []
+    for spec in specs:
+        if spec["type"] == "conv":
+            workloads.append(_conv_workload(spec))
+        elif spec["type"] == "fc":
+            workloads.append(_fc_workload(spec))
+        else:
+            raise ValueError("unknown layer type {!r}".format(spec["type"]))
+    return workloads
+
+
+def total_macs(workloads):
+    """Total MAC count over a workload list."""
+    return int(sum(w.macs for w in workloads))
+
+
+def total_weight_bytes(workloads):
+    """Total weight footprint over a workload list."""
+    return int(sum(w.weight_bytes for w in workloads))

@@ -1,0 +1,18 @@
+"""Baseline systems the paper compares against: FA3C, random search, manual designs."""
+
+from .fa3c import A3CS_PAPER_REPORTED, FA3C_REPORTED, FA3CBaseline, fa3c_reported_games
+from .manual_designs import MANUAL_ACCELERATOR_RECIPES, build_manual_accelerator, manual_recipe_names
+from .random_search import random_accelerator_search, random_architecture, random_architecture_search
+
+__all__ = [
+    "FA3CBaseline",
+    "FA3C_REPORTED",
+    "A3CS_PAPER_REPORTED",
+    "fa3c_reported_games",
+    "MANUAL_ACCELERATOR_RECIPES",
+    "build_manual_accelerator",
+    "manual_recipe_names",
+    "random_architecture",
+    "random_architecture_search",
+    "random_accelerator_search",
+]

@@ -1,0 +1,111 @@
+"""FA3C baseline (Cho et al., ASPLOS 2019) — Table III comparison.
+
+FA3C is an FPGA-accelerated A3C training/inference system.  The paper compares
+A3C-S's resulting accelerators against FA3C using the numbers *reported in the
+FA3C paper* (score / FPS on six Atari games at a constant 260 FPS), exactly as
+Table III does, so this module records those reference constants and provides
+a modelled FA3C-style accelerator (a single monolithic weight-stationary
+engine running the Vanilla backbone) for experiments that want a simulated
+rather than quoted baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accelerator.cost_model import AcceleratorCostModel
+from ..accelerator.design_space import AcceleratorConfig, ChunkConfig
+from ..accelerator.fpga import ZC706
+from ..accelerator.workload import extract_workload
+
+__all__ = ["FA3C_REPORTED", "A3CS_PAPER_REPORTED", "FA3CBaseline", "fa3c_reported_games"]
+
+
+@dataclass(frozen=True)
+class _ReportedEntry:
+    """One game's reported (test score, FPS) pair."""
+
+    score: float
+    fps: float
+
+
+#: Table III, FA3C column: test score / FPS reported by the FA3C paper.
+FA3C_REPORTED = {
+    "BeamRider": _ReportedEntry(score=3100.0, fps=260.0),
+    "Breakout": _ReportedEntry(score=340.0, fps=260.0),
+    "Pong": _ReportedEntry(score=0.0, fps=260.0),
+    "Qbert": _ReportedEntry(score=6100.0, fps=260.0),
+    "Seaquest": _ReportedEntry(score=170.0, fps=260.0),
+    "SpaceInvaders": _ReportedEntry(score=830.0, fps=260.0),
+}
+
+#: Table III, A3C-S column: the paper's own reported score / FPS (for EXPERIMENTS.md
+#: comparisons; our reproduction re-derives its own values).
+A3CS_PAPER_REPORTED = {
+    "BeamRider": _ReportedEntry(score=36745.0, fps=617.7),
+    "Breakout": _ReportedEntry(score=670.0, fps=1596.3),
+    "Pong": _ReportedEntry(score=20.9, fps=787.4),
+    "Qbert": _ReportedEntry(score=15194.0, fps=1222.9),
+    "Seaquest": _ReportedEntry(score=478940.0, fps=778.1),
+    "SpaceInvaders": _ReportedEntry(score=109417.0, fps=535.6),
+}
+
+
+def fa3c_reported_games():
+    """The six games Table III reports."""
+    return list(FA3C_REPORTED)
+
+
+class FA3CBaseline:
+    """A modelled FA3C-style accelerator for a given backbone.
+
+    FA3C uses one monolithic compute engine (no layer pipelining) with a
+    weight-stationary systolic array sized to the FPGA's DSP budget and large
+    unified buffers; running a network through it gives the FPS our cost model
+    would assign to an FA3C-like design, useful for ablations beyond the
+    quoted Table III numbers.
+    """
+
+    name = "FA3C"
+
+    def __init__(self, network, device=ZC706):
+        self.workloads = extract_workload(network)
+        self.device = device
+        self.cost_model = AcceleratorCostModel(device=device)
+        rows = 16
+        cols = max(4, min(32, int(device.dsp_count * 0.9 // rows)))
+        self.config = AcceleratorConfig(
+            chunks=[
+                ChunkConfig(
+                    pe_rows=rows,
+                    pe_cols=cols,
+                    noc="systolic",
+                    dataflow="weight_stationary",
+                    buffer_kb=512.0,
+                    tile_oc=rows,
+                    tile_ic=16,
+                    tile_spatial=8,
+                )
+            ],
+            layer_assignment=[0] * len(self.workloads),
+        )
+        self._metrics = None
+
+    @property
+    def metrics(self):
+        """Cost-model metrics of the FA3C-style design."""
+        if self._metrics is None:
+            self._metrics = self.cost_model.evaluate(self.workloads, self.config)
+        return self._metrics
+
+    @property
+    def fps(self):
+        """Frames per second of the FA3C-style design."""
+        return self.metrics.fps
+
+    @staticmethod
+    def reported(game):
+        """Reported (score, fps) entry for ``game`` from the FA3C paper."""
+        if game not in FA3C_REPORTED:
+            raise KeyError("FA3C reports no numbers for {!r}".format(game))
+        return FA3C_REPORTED[game]

@@ -1,0 +1,87 @@
+"""Hand-designed reference points: expert accelerator configurations and agents.
+
+These mirror the "early works require experts' manual design" baselines the
+paper contrasts against: a few sensible, fixed accelerator configurations and
+the standard backbone choices, used by ablation benchmarks to show what the
+automated co-search buys over manual design.
+"""
+
+from __future__ import annotations
+
+from ..accelerator.design_space import AcceleratorConfig, ChunkConfig
+from ..accelerator.template import balanced_layer_assignment
+from ..accelerator.workload import extract_workload
+
+__all__ = ["MANUAL_ACCELERATOR_RECIPES", "build_manual_accelerator", "manual_recipe_names"]
+
+#: Named expert recipes: (num_chunks, pe_array, noc, dataflow, buffer_kb).
+MANUAL_ACCELERATOR_RECIPES = {
+    "single_big_ws": {
+        "num_chunks": 1,
+        "pe_array": (16, 32),
+        "noc": "systolic",
+        "dataflow": "weight_stationary",
+        "buffer_kb": 512.0,
+    },
+    "dual_balanced_os": {
+        "num_chunks": 2,
+        "pe_array": (16, 16),
+        "noc": "systolic",
+        "dataflow": "output_stationary",
+        "buffer_kb": 256.0,
+    },
+    "quad_pipeline_rs": {
+        "num_chunks": 4,
+        "pe_array": (8, 16),
+        "noc": "multicast",
+        "dataflow": "row_stationary",
+        "buffer_kb": 128.0,
+    },
+    "edge_small": {
+        "num_chunks": 1,
+        "pe_array": (8, 8),
+        "noc": "broadcast",
+        "dataflow": "weight_stationary",
+        "buffer_kb": 64.0,
+    },
+}
+
+
+def manual_recipe_names():
+    """Names of the available expert recipes."""
+    return list(MANUAL_ACCELERATOR_RECIPES)
+
+
+def build_manual_accelerator(network_or_workloads, recipe="single_big_ws"):
+    """Instantiate an expert-designed :class:`AcceleratorConfig` for a network.
+
+    The layer assignment is the MAC-balanced contiguous split an engineer
+    would start from.
+    """
+    if recipe not in MANUAL_ACCELERATOR_RECIPES:
+        raise KeyError(
+            "unknown recipe {!r}; available: {}".format(recipe, ", ".join(MANUAL_ACCELERATOR_RECIPES))
+        )
+    spec = MANUAL_ACCELERATOR_RECIPES[recipe]
+    if hasattr(network_or_workloads, "layer_specs"):
+        workloads = extract_workload(network_or_workloads)
+    else:
+        workloads = list(network_or_workloads)
+        if workloads and isinstance(workloads[0], dict):
+            workloads = extract_workload(workloads)
+    num_chunks = spec["num_chunks"]
+    chunks = [
+        ChunkConfig(
+            pe_rows=spec["pe_array"][0],
+            pe_cols=spec["pe_array"][1],
+            noc=spec["noc"],
+            dataflow=spec["dataflow"],
+            buffer_kb=spec["buffer_kb"],
+            tile_oc=min(32, spec["pe_array"][0] * 2),
+            tile_ic=16,
+            tile_spatial=8,
+        )
+        for _ in range(num_chunks)
+    ]
+    assignment = balanced_layer_assignment(workloads, num_chunks)
+    return AcceleratorConfig(chunks=chunks, layer_assignment=assignment)

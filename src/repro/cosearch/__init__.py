@@ -1,0 +1,17 @@
+"""A3C-S co-search: Algorithm 1, hardware coupling, Pareto utilities."""
+
+from .a3cs import A3CSCoSearch, A3CSConfig, A3CSResult
+from .hardware import HardwarePenalty, UnitGranularityDAS, unit_of_layer_map
+from .pareto import dominates, hypervolume_2d, pareto_front
+
+__all__ = [
+    "A3CSCoSearch",
+    "A3CSConfig",
+    "A3CSResult",
+    "HardwarePenalty",
+    "UnitGranularityDAS",
+    "unit_of_layer_map",
+    "dominates",
+    "pareto_front",
+    "hypervolume_2d",
+]

@@ -1,0 +1,52 @@
+"""Pareto-front utilities for score-vs-efficiency trade-offs (Fig. 3 style)."""
+
+from __future__ import annotations
+
+__all__ = ["dominates", "pareto_front", "hypervolume_2d"]
+
+
+def dominates(a, b):
+    """Whether point ``a`` dominates ``b`` (both maximised, tuples of metrics)."""
+    at_least_as_good = all(x >= y for x, y in zip(a, b))
+    strictly_better = any(x > y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(points):
+    """Indices of the non-dominated points (all objectives maximised).
+
+    Parameters
+    ----------
+    points:
+        Sequence of equal-length metric tuples, e.g. ``(test_score, fps)``.
+    """
+    indices = []
+    for i, candidate in enumerate(points):
+        dominated = False
+        for j, other in enumerate(points):
+            if i != j and dominates(other, candidate):
+                dominated = True
+                break
+        if not dominated:
+            indices.append(i)
+    return indices
+
+
+def hypervolume_2d(points, reference=(0.0, 0.0)):
+    """Hypervolume (area) dominated by a 2-D maximisation front.
+
+    A scalar summary of a score/FPS trade-off curve: larger is better.  Points
+    below the reference in either coordinate contribute nothing.
+    """
+    front = sorted(
+        {(max(x, reference[0]), max(y, reference[1])) for x, y in (points[i] for i in pareto_front(points))},
+        key=lambda p: p[0],
+    )
+    area = 0.0
+    previous_x = reference[0]
+    # Sweep in increasing x; each segment contributes (x - prev_x) * best y to its right.
+    for index, (x, _) in enumerate(front):
+        best_y_right = max(p[1] for p in front[index:])
+        area += (x - previous_x) * (best_y_right - reference[1])
+        previous_x = x
+    return area

@@ -1,0 +1,208 @@
+"""Synchronous advantage actor-critic (A2C) trainer.
+
+This is the DRL training loop the paper builds on (Sec. III and Algorithm 1's
+inner loop): collect a rollout of length ``L`` from parallel environments,
+compute td-errors, and update the actor and critic with the combined task
+loss of Eq. 12 (policy gradient + value + entropy + optional AC-distillation),
+using RMSProp with the paper's linear learning-rate decay schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import RMSProp, Tensor, clip_grad_norm, no_grad
+from ..utils.logging import MetricLogger
+from .distillation import ACDistiller, DistillationMode
+from .losses import TaskLossWeights, combine_task_loss, entropy_loss, policy_gradient_loss, value_loss
+from .rollout import RolloutBuffer
+
+__all__ = ["A2CConfig", "A2CTrainer"]
+
+
+@dataclass
+class A2CConfig:
+    """Hyper-parameters of the A2C trainer.
+
+    Defaults follow Sec. V-A of the paper (discount 0.99, rollout length 5,
+    RMSProp at 1e-3, entropy weight 1e-2, distillation weights 1e-1 / 1e-3),
+    scaled-down step budgets are supplied by the experiment harness.
+    """
+
+    gamma: float = 0.99
+    rollout_length: int = 5
+    num_envs: int = 4
+    learning_rate: float = 1e-3
+    final_learning_rate: float = 1e-4
+    lr_hold_fraction: float = 1.0 / 3.0
+    total_steps: int = 10000
+    max_grad_norm: float = 0.5
+    entropy_beta: float = 1e-2
+    actor_distill_beta: float = 1e-1
+    critic_distill_beta: float = 1e-3
+    distillation_mode: str = DistillationMode.NONE
+    eval_interval: int = 0
+    eval_episodes: int = 5
+    seed: int = 0
+
+    def loss_weights(self):
+        """Bundle the beta coefficients into a :class:`TaskLossWeights`."""
+        return TaskLossWeights(
+            entropy=self.entropy_beta,
+            actor_distill=self.actor_distill_beta,
+            critic_distill=self.critic_distill_beta,
+        )
+
+
+class A2CTrainer:
+    """Trains an :class:`~repro.drl.agent.ActorCriticAgent` on a vector env.
+
+    Parameters
+    ----------
+    agent:
+        The student actor-critic agent to optimise.
+    vector_env:
+        A :class:`~repro.envs.vector_env.VectorEnv` providing rollouts.
+    config:
+        An :class:`A2CConfig`.
+    teacher:
+        Optional frozen teacher agent for AC-distillation (Sec. IV-B).
+    evaluator:
+        Optional callable ``evaluator(agent) -> float`` used every
+        ``config.eval_interval`` environment steps to record test scores.
+    """
+
+    def __init__(self, agent, vector_env, config=None, teacher=None, evaluator=None):
+        self.agent = agent
+        self.env = vector_env
+        self.config = config if config is not None else A2CConfig()
+        self.distiller = ACDistiller(teacher, mode=self.config.distillation_mode) if teacher is not None \
+            else ACDistiller(None, mode=DistillationMode.NONE)
+        self.evaluator = evaluator
+        self.optimizer = RMSProp(self.agent.parameters(), lr=self.config.learning_rate)
+        self.logger = MetricLogger()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.total_env_steps = 0
+        self.updates = 0
+        self._recent_returns = []
+        self._observations = None
+
+    # ------------------------------------------------------------------ #
+    # Learning-rate schedule (paper: hold then linear decay)
+    # ------------------------------------------------------------------ #
+    def _current_lr(self):
+        cfg = self.config
+        hold = cfg.lr_hold_fraction * cfg.total_steps
+        if self.total_env_steps <= hold or cfg.total_steps <= hold:
+            return cfg.learning_rate
+        fraction = min(1.0, (self.total_env_steps - hold) / (cfg.total_steps - hold))
+        return cfg.learning_rate + fraction * (cfg.final_learning_rate - cfg.learning_rate)
+
+    # ------------------------------------------------------------------ #
+    # Rollout collection
+    # ------------------------------------------------------------------ #
+    def _collect_rollout(self, buffer):
+        """Fill ``buffer`` with ``rollout_length`` synchronous steps."""
+        if self._observations is None:
+            self._observations = self.env.reset(seed=self.config.seed)
+        buffer.reset()
+        while not buffer.full:
+            actions, values = self.agent.act(self._observations, self.rng)
+            next_observations, rewards, dones, infos = self.env.step(actions)
+            buffer.add(self._observations, actions, rewards, dones, values)
+            self._observations = next_observations
+            self.total_env_steps += self.env.num_envs
+            for info in infos:
+                if "episode_return" in info:
+                    self._recent_returns.append(info["episode_return"])
+                    self.logger.log("episode_return", info["episode_return"], step=self.total_env_steps)
+        with no_grad():
+            bootstrap = self.agent.forward(self._observations).value.data
+        return bootstrap
+
+    # ------------------------------------------------------------------ #
+    # One update
+    # ------------------------------------------------------------------ #
+    def update(self, buffer, bootstrap_values):
+        """Compute Eq. 12 on the stored rollout and apply one RMSProp step."""
+        cfg = self.config
+        batch = buffer.compute_targets(bootstrap_values, cfg.gamma)
+        observations = batch["observations"]
+        actions = batch["actions"]
+
+        chosen_log_probs, entropy_per_sample, values, output = self.agent.evaluate_actions(
+            observations, actions
+        )
+        loss_policy = policy_gradient_loss(chosen_log_probs, batch["advantages"])
+        loss_value = value_loss(values, batch["returns"])
+        loss_entropy = entropy_loss(output.probs, output.log_probs)
+
+        actor_distill, critic_distill = (None, None)
+        if self.distiller.enabled:
+            actor_distill, critic_distill = self.distiller.losses(observations, output)
+
+        total = combine_task_loss(
+            loss_policy,
+            loss_value,
+            loss_entropy,
+            actor_distill=actor_distill,
+            critic_distill=critic_distill,
+            weights=cfg.loss_weights(),
+        )
+
+        self.optimizer.zero_grad()
+        total.backward()
+        grad_norm = clip_grad_norm(self.agent.parameters(), cfg.max_grad_norm)
+        self.optimizer.set_lr(self._current_lr())
+        self.optimizer.step()
+        self.updates += 1
+
+        self.logger.log("loss/total", total.item(), step=self.total_env_steps)
+        self.logger.log("loss/policy", loss_policy.item(), step=self.total_env_steps)
+        self.logger.log("loss/value", loss_value.item(), step=self.total_env_steps)
+        self.logger.log("loss/entropy", loss_entropy.item(), step=self.total_env_steps)
+        if actor_distill is not None:
+            self.logger.log("loss/actor_distill", actor_distill.item(), step=self.total_env_steps)
+        if critic_distill is not None:
+            self.logger.log("loss/critic_distill", critic_distill.item(), step=self.total_env_steps)
+        self.logger.log("grad_norm", grad_norm, step=self.total_env_steps)
+        self.logger.log("lr", self.optimizer.lr, step=self.total_env_steps)
+        return total.item()
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def train(self, total_steps=None):
+        """Run training for ``total_steps`` environment steps.
+
+        Returns the :class:`~repro.utils.logging.MetricLogger` holding episode
+        returns, loss curves, and any periodic evaluation scores.
+        """
+        cfg = self.config
+        target_steps = total_steps if total_steps is not None else cfg.total_steps
+        obs_shape = self.env.observation_space.shape
+        buffer = RolloutBuffer(cfg.rollout_length, self.env.num_envs, obs_shape)
+        next_eval = cfg.eval_interval if cfg.eval_interval else None
+
+        self.agent.train()
+        while self.total_env_steps < target_steps:
+            bootstrap = self._collect_rollout(buffer)
+            self.update(buffer, bootstrap)
+            if next_eval is not None and self.total_env_steps >= next_eval and self.evaluator is not None:
+                self.agent.eval()
+                score = float(self.evaluator(self.agent))
+                self.agent.train()
+                self.logger.log("eval_score", score, step=self.total_env_steps)
+                next_eval += cfg.eval_interval
+        return self.logger
+
+    # ------------------------------------------------------------------ #
+    # Convenience metrics
+    # ------------------------------------------------------------------ #
+    def mean_recent_return(self, window=20):
+        """Mean of the last ``window`` completed training episode returns."""
+        if not self._recent_returns:
+            return 0.0
+        return float(np.mean(self._recent_returns[-window:]))

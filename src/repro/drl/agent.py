@@ -1,0 +1,137 @@
+"""Actor-critic agent: a shared feature backbone with policy and value heads.
+
+This is the DRL model structure of the paper (Sec. III): the policy
+``pi(a|s; theta_pi)`` and the value function ``V(s; theta_v)`` are DNNs that
+share a convolutional feature extractor (the *backbone*, which is what A3C-S
+searches over), followed by small fully-connected heads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, no_grad
+from ..nn import functional as F
+
+__all__ = ["ActorCriticAgent", "PolicyOutput"]
+
+
+class PolicyOutput:
+    """Bundle of everything a forward pass of the agent produces.
+
+    Attributes
+    ----------
+    logits:
+        Unnormalised action scores, shape ``(batch, num_actions)``.
+    log_probs:
+        Log of the policy distribution.
+    probs:
+        Policy distribution.
+    value:
+        State-value estimates, shape ``(batch,)``.
+    """
+
+    def __init__(self, logits, log_probs, probs, value):
+        self.logits = logits
+        self.log_probs = log_probs
+        self.probs = probs
+        self.value = value
+
+
+class ActorCriticAgent(Module):
+    """Actor-critic agent with a pluggable backbone.
+
+    Parameters
+    ----------
+    backbone:
+        Any module mapping ``(batch, C, H, W)`` observations to
+        ``(batch, feature_dim)`` features (Vanilla, ResNet, supernet-derived).
+    num_actions:
+        Size of the discrete action space.
+    feature_dim:
+        Backbone output dimensionality (defaults to ``backbone.feature_dim``).
+    """
+
+    def __init__(self, backbone, num_actions, feature_dim=None, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        feature_dim = feature_dim if feature_dim is not None else backbone.feature_dim
+        self.backbone = backbone
+        self.num_actions = int(num_actions)
+        self.feature_dim = int(feature_dim)
+        # Orthogonal init with small policy gain is the standard RL head setup.
+        self.policy_head = Linear(self.feature_dim, self.num_actions, rng=rng, init_scheme="orthogonal")
+        self.policy_head.weight.data *= 0.01
+        self.value_head = Linear(self.feature_dim, 1, rng=rng, init_scheme="orthogonal")
+
+    # ------------------------------------------------------------------ #
+    # Forward passes
+    # ------------------------------------------------------------------ #
+    def forward(self, observations, **backbone_kwargs):
+        """Full forward pass returning a :class:`PolicyOutput`."""
+        obs = observations if isinstance(observations, Tensor) else Tensor(observations)
+        features = self.backbone(obs, **backbone_kwargs)
+        logits = self.policy_head(features)
+        log_probs = F.log_softmax(logits, axis=-1)
+        probs = F.softmax(logits, axis=-1)
+        value = self.value_head(features).reshape(-1)
+        return PolicyOutput(logits, log_probs, probs, value)
+
+    def policy_value(self, observations, **backbone_kwargs):
+        """Convenience wrapper returning ``(probs, value)`` NumPy arrays without grads."""
+        with no_grad():
+            output = self.forward(observations, **backbone_kwargs)
+        return output.probs.data, output.value.data
+
+    # ------------------------------------------------------------------ #
+    # Acting
+    # ------------------------------------------------------------------ #
+    def act(self, observations, rng, greedy=False, **backbone_kwargs):
+        """Sample actions from the current policy.
+
+        Parameters
+        ----------
+        observations:
+            Batch of observations ``(batch, C, H, W)``.
+        rng:
+            Generator used for sampling.
+        greedy:
+            If true, take the arg-max action instead of sampling (evaluation
+            still samples in the paper's protocol, so the default is False).
+
+        Returns
+        -------
+        actions, values:
+            Integer actions ``(batch,)`` and value estimates ``(batch,)``.
+        """
+        probs, values = self.policy_value(observations, **backbone_kwargs)
+        if greedy:
+            actions = probs.argmax(axis=-1)
+        else:
+            cumulative = probs.cumsum(axis=-1)
+            draws = rng.random((probs.shape[0], 1))
+            actions = (draws < cumulative).argmax(axis=-1)
+        return actions.astype(np.int64), values
+
+    def evaluate_actions(self, observations, actions, **backbone_kwargs):
+        """Recompute log-probabilities / entropy / values for stored rollout data.
+
+        Returns
+        -------
+        chosen_log_probs:
+            Log pi(a_t | s_t) for the stored actions, shape ``(batch,)``.
+        entropy:
+            Per-sample policy entropy, shape ``(batch,)``.
+        value:
+            Value estimates, shape ``(batch,)``.
+        output:
+            The full :class:`PolicyOutput` (used by distillation losses).
+        """
+        output = self.forward(observations, **backbone_kwargs)
+        actions = np.asarray(actions, dtype=np.int64)
+        batch = actions.shape[0]
+        mask = np.zeros(output.log_probs.shape)
+        mask[np.arange(batch), actions] = 1.0
+        chosen_log_probs = (output.log_probs * Tensor(mask)).sum(axis=-1)
+        entropy = F.entropy(output.probs, output.log_probs, reduction="none")
+        return chosen_log_probs, entropy, output.value, output

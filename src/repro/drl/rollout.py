@@ -1,0 +1,130 @@
+"""Rollout storage and n-step return / temporal-difference target computation.
+
+The paper's Algorithm 1 collects rollouts of length ``L`` (rollout length 5 in
+Sec. V-A) from the current policy, then computes the td-error
+``delta_t = r_t + gamma * V(s_{t+1}) - V(s_t)`` used by both the policy
+gradient (Eq. 13) and the value loss (Eq. 14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RolloutBuffer", "compute_returns", "compute_td_errors", "compute_gae"]
+
+
+def compute_returns(rewards, dones, bootstrap_values, gamma):
+    """N-step discounted returns with bootstrapping from the final value.
+
+    Parameters
+    ----------
+    rewards, dones:
+        Arrays of shape ``(steps, num_envs)``.
+    bootstrap_values:
+        Value estimates of the state following the last step, ``(num_envs,)``.
+    gamma:
+        Discount factor.
+
+    Returns
+    -------
+    returns:
+        Array of shape ``(steps, num_envs)`` where
+        ``returns[t] = r_t + gamma * (1 - done_t) * returns[t+1]``.
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    dones = np.asarray(dones, dtype=np.float64)
+    steps = rewards.shape[0]
+    returns = np.zeros_like(rewards)
+    running = np.asarray(bootstrap_values, dtype=np.float64).copy()
+    for t in reversed(range(steps)):
+        running = rewards[t] + gamma * (1.0 - dones[t]) * running
+        returns[t] = running
+    return returns
+
+
+def compute_td_errors(rewards, dones, values, bootstrap_values, gamma):
+    """One-step td-errors ``delta_t = r_t + gamma V(s_{t+1}) - V(s_t)``.
+
+    ``values`` has shape ``(steps, num_envs)`` and holds ``V(s_t)`` estimates
+    recorded during the rollout; ``bootstrap_values`` is ``V(s_{steps})``.
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    dones = np.asarray(dones, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    next_values = np.concatenate([values[1:], np.asarray(bootstrap_values)[None, :]], axis=0)
+    return rewards + gamma * (1.0 - dones) * next_values - values
+
+
+def compute_gae(rewards, dones, values, bootstrap_values, gamma, lam=0.95):
+    """Generalised advantage estimation (optional variance-reduction extension)."""
+    deltas = compute_td_errors(rewards, dones, values, bootstrap_values, gamma)
+    dones = np.asarray(dones, dtype=np.float64)
+    advantages = np.zeros_like(deltas)
+    running = np.zeros(deltas.shape[1])
+    for t in reversed(range(deltas.shape[0])):
+        running = deltas[t] + gamma * lam * (1.0 - dones[t]) * running
+        advantages[t] = running
+    return advantages
+
+
+class RolloutBuffer:
+    """Fixed-length rollout storage for synchronous actor-critic training.
+
+    Stores ``rollout_length`` transitions from ``num_envs`` parallel
+    environments, then yields the flattened tensors needed to evaluate the
+    task loss of Eq. 12.
+    """
+
+    def __init__(self, rollout_length, num_envs, obs_shape):
+        self.rollout_length = int(rollout_length)
+        self.num_envs = int(num_envs)
+        self.obs_shape = tuple(obs_shape)
+        self.reset()
+
+    def reset(self):
+        """Clear the buffer for the next rollout."""
+        shape = (self.rollout_length, self.num_envs)
+        self.observations = np.zeros(shape + self.obs_shape, dtype=np.float64)
+        self.actions = np.zeros(shape, dtype=np.int64)
+        self.rewards = np.zeros(shape, dtype=np.float64)
+        self.dones = np.zeros(shape, dtype=np.float64)
+        self.values = np.zeros(shape, dtype=np.float64)
+        self.pos = 0
+
+    @property
+    def full(self):
+        """Whether the rollout has reached its configured length."""
+        return self.pos >= self.rollout_length
+
+    def add(self, observations, actions, rewards, dones, values):
+        """Append one synchronous step from all environments."""
+        if self.full:
+            raise RuntimeError("rollout buffer is full; call reset() first")
+        index = self.pos
+        self.observations[index] = observations
+        self.actions[index] = actions
+        self.rewards[index] = rewards
+        self.dones[index] = np.asarray(dones, dtype=np.float64)
+        self.values[index] = values
+        self.pos += 1
+
+    def compute_targets(self, bootstrap_values, gamma):
+        """Compute n-step returns, td-errors, and advantages for the rollout.
+
+        Returns a dict with flattened (``steps * num_envs``) arrays:
+        ``observations``, ``actions``, ``returns``, ``td_errors``, ``advantages``.
+        The advantage used by the paper's policy loss (Eq. 13) is the td-error.
+        """
+        if not self.full:
+            raise RuntimeError("rollout buffer is not full yet")
+        returns = compute_returns(self.rewards, self.dones, bootstrap_values, gamma)
+        td_errors = compute_td_errors(self.rewards, self.dones, self.values, bootstrap_values, gamma)
+        flat = self.rollout_length * self.num_envs
+        return {
+            "observations": self.observations.reshape((flat,) + self.obs_shape),
+            "actions": self.actions.reshape(flat),
+            "returns": returns.reshape(flat),
+            "td_errors": td_errors.reshape(flat),
+            "advantages": td_errors.reshape(flat),
+            "values": self.values.reshape(flat),
+        }

@@ -1,0 +1,44 @@
+"""Synthetic Atari-like environment suite (Arcade Learning Environment substitute)."""
+
+from .arcade import DuelGame, MazeGame, NavigatorGame, PaddleGame, ShooterGame
+from .base import ACTION_MEANINGS, Action, ArcadeGame, Box, Discrete, Env
+from .registry import ATARI_GAMES, GAME_REGISTRY, game_info, game_names, make_env, make_game
+from .vector_env import VectorEnv, make_vector_env
+from .wrappers import (
+    ClipReward,
+    EpisodicLife,
+    FrameSkip,
+    FrameStack,
+    NullOpStart,
+    ResizeObservation,
+    Wrapper,
+)
+
+__all__ = [
+    "Action",
+    "ACTION_MEANINGS",
+    "ArcadeGame",
+    "Box",
+    "Discrete",
+    "Env",
+    "PaddleGame",
+    "ShooterGame",
+    "MazeGame",
+    "NavigatorGame",
+    "DuelGame",
+    "GAME_REGISTRY",
+    "ATARI_GAMES",
+    "game_names",
+    "game_info",
+    "make_game",
+    "make_env",
+    "Wrapper",
+    "FrameSkip",
+    "ResizeObservation",
+    "FrameStack",
+    "ClipReward",
+    "NullOpStart",
+    "EpisodicLife",
+    "VectorEnv",
+    "make_vector_env",
+]

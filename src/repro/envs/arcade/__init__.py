@@ -1,0 +1,9 @@
+"""Parameterised arcade game engines standing in for the Atari 2600 suite."""
+
+from .duel import DuelGame
+from .maze import MazeGame
+from .navigator import NavigatorGame
+from .paddle import PaddleGame
+from .shooter import ShooterGame
+
+__all__ = ["PaddleGame", "ShooterGame", "MazeGame", "NavigatorGame", "DuelGame"]

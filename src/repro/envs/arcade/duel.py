@@ -1,0 +1,193 @@
+"""One-on-one duel engine (Boxing, Bowling).
+
+Boxing: the player and an opponent move in a small ring; landing a punch when
+adjacent scores a point, taking one costs a point, and the score is clipped to
+the 0-100 range of the Atari game.
+
+Bowling mode (``static_opponent=True``): the "opponent" is replaced by a rack
+of static pins; the player aims and fires a ball down the lane, scoring per
+pin knocked over, with a limited number of throws per episode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Action, ArcadeGame
+
+__all__ = ["DuelGame"]
+
+
+class DuelGame(ArcadeGame):
+    """Configurable duel / aiming game.
+
+    Parameters
+    ----------
+    punch_reward:
+        Reward for landing a hit on the opponent.
+    punch_penalty:
+        Penalty when the opponent lands a hit.
+    opponent_skill:
+        Probability per tick that the opponent behaves optimally
+        (chases / dodges / counter-punches).
+    score_cap:
+        Maximum cumulative raw score (Boxing caps at 100); ``None`` disables.
+    static_opponent:
+        Bowling mode — replaces the opponent with pin targets.
+    max_throws:
+        Number of throws per episode in bowling mode.
+    """
+
+    def __init__(
+        self,
+        game_id="Boxing",
+        punch_reward=1.0,
+        punch_penalty=1.0,
+        opponent_skill=0.5,
+        score_cap=100.0,
+        static_opponent=False,
+        pins=10,
+        max_throws=21,
+        player_speed=0.05,
+        **kwargs,
+    ):
+        super().__init__(game_id=game_id, **kwargs)
+        self.punch_reward = float(punch_reward)
+        self.punch_penalty = float(punch_penalty)
+        self.opponent_skill = float(opponent_skill)
+        self.score_cap = score_cap
+        self.static_opponent = bool(static_opponent)
+        self.num_pins = int(pins)
+        self.max_throws = int(max_throws)
+        self.player_speed = float(player_speed)
+
+    # ------------------------------------------------------------------ #
+    def _reset_game(self):
+        self.raw_score = 0.0
+        if self.static_opponent:
+            self.player_x = 0.5
+            self.player_y = 0.9
+            self.pins_standing = np.ones(self.num_pins, dtype=bool)
+            self.throws = 0
+            self.ball = None  # [x, y] when rolling
+        else:
+            self.player_x, self.player_y = 0.3, 0.5
+            self.opponent_x, self.opponent_y = 0.7, 0.5
+            self.player_cooldown = 0
+            self.opponent_cooldown = 0
+
+    def _pin_position(self, index):
+        """Triangular rack layout near the top of the lane."""
+        row = 0
+        count = 0
+        while count + row + 1 <= index:
+            count += row + 1
+            row += 1
+        col = index - count
+        x = 0.5 + (col - row / 2.0) * 0.08
+        y = 0.1 + row * 0.05
+        return x, y
+
+    def _step_bowling(self, action):
+        reward = 0.0
+        if self.ball is None:
+            if action == Action.LEFT:
+                self.player_x -= self.player_speed
+            elif action == Action.RIGHT:
+                self.player_x += self.player_speed
+            elif action == Action.FIRE and self.throws < self.max_throws:
+                self.ball = [self.player_x, self.player_y]
+                self.throws += 1
+            self.player_x = float(np.clip(self.player_x, 0.2, 0.8))
+        else:
+            self.ball[1] -= 0.06
+            # Small lane drift makes perfect strikes stochastic.
+            self.ball[0] += self._rng.normal(0.0, 0.004)
+            for i in range(self.num_pins):
+                if not self.pins_standing[i]:
+                    continue
+                px, py = self._pin_position(i)
+                if abs(self.ball[0] - px) < 0.05 and abs(self.ball[1] - py) < 0.05:
+                    self.pins_standing[i] = False
+                    reward += self.punch_reward
+            if self.ball[1] <= 0.05:
+                self.ball = None
+                if not self.pins_standing.any():
+                    self.pins_standing[:] = True  # new rack
+        return reward, False
+
+    def _is_game_over(self):
+        if self.static_opponent:
+            return self.throws >= self.max_throws and self.ball is None
+        if self.score_cap is not None:
+            return abs(self.raw_score) >= self.score_cap
+        return False
+
+    def _step_boxing(self, action):
+        reward = 0.0
+        life_lost = False
+
+        if self.player_cooldown > 0:
+            self.player_cooldown -= 1
+        if self.opponent_cooldown > 0:
+            self.opponent_cooldown -= 1
+
+        if action == Action.LEFT:
+            self.player_x -= self.player_speed
+        elif action == Action.RIGHT:
+            self.player_x += self.player_speed
+        elif action == Action.UP:
+            self.player_y -= self.player_speed
+        elif action == Action.DOWN:
+            self.player_y += self.player_speed
+        self.player_x = float(np.clip(self.player_x, 0.1, 0.9))
+        self.player_y = float(np.clip(self.player_y, 0.1, 0.9))
+
+        distance = np.hypot(self.player_x - self.opponent_x, self.player_y - self.opponent_y)
+
+        # Player punch.
+        if action == Action.FIRE and self.player_cooldown == 0:
+            self.player_cooldown = 3
+            if distance < 0.15:
+                reward += self.punch_reward
+                self.raw_score += self.punch_reward
+
+        # Opponent behaviour: close in and counter-punch when skilled,
+        # wander otherwise.
+        if self._rng.random() < self.opponent_skill:
+            dx = np.sign(self.player_x - self.opponent_x)
+            dy = np.sign(self.player_y - self.opponent_y)
+            self.opponent_x += dx * self.player_speed * 0.6
+            self.opponent_y += dy * self.player_speed * 0.6
+            if distance < 0.15 and self.opponent_cooldown == 0:
+                self.opponent_cooldown = 4
+                reward -= self.punch_penalty
+                self.raw_score -= self.punch_penalty
+        else:
+            self.opponent_x += self._rng.normal(0.0, 0.01)
+            self.opponent_y += self._rng.normal(0.0, 0.01)
+        self.opponent_x = float(np.clip(self.opponent_x, 0.1, 0.9))
+        self.opponent_y = float(np.clip(self.opponent_y, 0.1, 0.9))
+
+        return reward, life_lost
+
+    def _step_game(self, action):
+        if self.static_opponent:
+            return self._step_bowling(action)
+        return self._step_boxing(action)
+
+    def _render_objects(self, canvas):
+        if self.static_opponent:
+            self.draw_rect(canvas, self.player_x, self.player_y, 0.06, 0.04, 1.0)
+            for i in range(self.num_pins):
+                if self.pins_standing[i]:
+                    px, py = self._pin_position(i)
+                    self.draw_point(canvas, px, py, 0.7, radius=1)
+            if self.ball is not None:
+                self.draw_point(canvas, self.ball[0], self.ball[1], 0.9, radius=1)
+        else:
+            # Ring ropes.
+            self.draw_rect(canvas, 0.5, 0.05, 0.9, 0.02, 0.2)
+            self.draw_rect(canvas, 0.5, 0.95, 0.9, 0.02, 0.2)
+            self.draw_rect(canvas, self.player_x, self.player_y, 0.07, 0.07, 1.0)
+            self.draw_rect(canvas, self.opponent_x, self.opponent_y, 0.07, 0.07, 0.5)

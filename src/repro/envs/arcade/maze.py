@@ -1,0 +1,170 @@
+"""Maze / chase arcade engine (Alien, WizardOfWor, Qbert-like games).
+
+The player walks on a grid collecting pellets while enemies roam the maze.
+Enemies mix random walking with chasing; touching an enemy loses a life.
+Collecting every pellet clears the level, pays a bonus and respawns a harder
+level, which produces the steadily growing scores of maze games in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Action, ArcadeGame
+
+__all__ = ["MazeGame"]
+
+
+class MazeGame(ArcadeGame):
+    """Configurable maze-chase game.
+
+    Parameters
+    ----------
+    grid_size:
+        Side length of the square maze grid.
+    num_enemies:
+        Number of roaming enemies.
+    chase_prob:
+        Probability per tick that an enemy moves towards the player instead of
+        randomly.
+    pellet_reward:
+        Reward per pellet collected.
+    clear_bonus:
+        Extra reward for clearing all pellets.
+    enemy_penalty:
+        Negative reward applied when caught (on top of the lost life).
+    wall_density:
+        Fraction of interior cells turned into walls.
+    """
+
+    def __init__(
+        self,
+        game_id="Alien",
+        grid_size=11,
+        num_enemies=3,
+        chase_prob=0.4,
+        pellet_reward=10.0,
+        clear_bonus=100.0,
+        enemy_penalty=0.0,
+        wall_density=0.15,
+        enemy_move_every=1,
+        **kwargs,
+    ):
+        super().__init__(game_id=game_id, **kwargs)
+        self.grid_size = int(grid_size)
+        self.num_enemies = int(num_enemies)
+        self.chase_prob = float(chase_prob)
+        self.pellet_reward = float(pellet_reward)
+        self.clear_bonus = float(clear_bonus)
+        self.enemy_penalty = float(enemy_penalty)
+        self.wall_density = float(wall_density)
+        self.enemy_move_every = int(enemy_move_every)
+
+    # ------------------------------------------------------------------ #
+    def _reset_game(self):
+        self.level = 0
+        self._spawn_level()
+
+    def _spawn_level(self):
+        """Generate walls, pellets, and starting positions for a new level."""
+        size = self.grid_size
+        self.level += 1
+        self.walls = np.zeros((size, size), dtype=bool)
+        interior = self._rng.random((size - 2, size - 2)) < self.wall_density
+        self.walls[1:-1, 1:-1] = interior
+        # Border walls.
+        self.walls[0, :] = True
+        self.walls[-1, :] = True
+        self.walls[:, 0] = True
+        self.walls[:, -1] = True
+        # Player starts at the centre (carve it free).
+        self.player = np.array([size // 2, size // 2])
+        self.walls[tuple(self.player)] = False
+        # Pellets on every free cell except the player's.
+        self.pellets = ~self.walls
+        self.pellets[tuple(self.player)] = False
+        # Enemies start in the corners.
+        corners = [(1, 1), (1, size - 2), (size - 2, 1), (size - 2, size - 2)]
+        self.enemies = []
+        for i in range(self.num_enemies):
+            pos = np.array(corners[i % len(corners)])
+            self.walls[tuple(pos)] = False
+            self.pellets[tuple(pos)] = False
+            self.enemies.append(pos.copy())
+        self._tick = 0
+
+    def _try_move(self, position, delta):
+        """Return the new position after attempting a move (walls block)."""
+        target = position + delta
+        if self.walls[tuple(target)]:
+            return position
+        return target
+
+    def _step_game(self, action):
+        reward = 0.0
+        life_lost = False
+        self._tick += 1
+
+        deltas = {
+            Action.UP: np.array([-1, 0]),
+            Action.DOWN: np.array([1, 0]),
+            Action.LEFT: np.array([0, -1]),
+            Action.RIGHT: np.array([0, 1]),
+        }
+        if action in deltas:
+            self.player = self._try_move(self.player, deltas[action])
+
+        # Collect pellet.
+        if self.pellets[tuple(self.player)]:
+            self.pellets[tuple(self.player)] = False
+            reward += self.pellet_reward
+
+        # Enemies move (chase with probability chase_prob, random otherwise),
+        # harder levels move every tick even if enemy_move_every > 1.
+        move_period = max(1, self.enemy_move_every - (self.level - 1))
+        if self._tick % move_period == 0:
+            for enemy in self.enemies:
+                if self._rng.random() < min(0.95, self.chase_prob + 0.05 * (self.level - 1)):
+                    diff = self.player - enemy
+                    if abs(diff[0]) >= abs(diff[1]):
+                        delta = np.array([np.sign(diff[0]), 0], dtype=int)
+                    else:
+                        delta = np.array([0, np.sign(diff[1])], dtype=int)
+                else:
+                    delta = list(deltas.values())[self._rng.integers(4)]
+                enemy[:] = self._try_move(enemy, delta)
+
+        # Collision with an enemy.
+        for enemy in self.enemies:
+            if np.array_equal(enemy, self.player):
+                life_lost = True
+                reward -= self.enemy_penalty
+                # Respawn the player at the centre after being caught.
+                self.player = np.array([self.grid_size // 2, self.grid_size // 2])
+                break
+
+        # Level cleared.
+        if not self.pellets.any():
+            reward += self.clear_bonus * self.level
+            self._spawn_level()
+
+        return reward, life_lost
+
+    def _render_objects(self, canvas):
+        size = self.grid_size
+        cell = 1.0 / size
+        for row in range(size):
+            for col in range(size):
+                x = (col + 0.5) * cell
+                y = (row + 0.5) * cell
+                if self.walls[row, col]:
+                    self.draw_rect(canvas, x, y, cell, cell, 0.3)
+                elif self.pellets[row, col]:
+                    self.draw_point(canvas, x, y, 0.5, radius=0)
+        for enemy in self.enemies:
+            x = (enemy[1] + 0.5) * cell
+            y = (enemy[0] + 0.5) * cell
+            self.draw_rect(canvas, x, y, cell * 0.8, cell * 0.8, 0.7)
+        px = (self.player[1] + 0.5) * cell
+        py = (self.player[0] + 0.5) * cell
+        self.draw_rect(canvas, px, py, cell * 0.8, cell * 0.8, 1.0)

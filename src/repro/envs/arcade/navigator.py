@@ -1,0 +1,181 @@
+"""Free-navigation shooter engine (ChopperCommand, Seaquest, BeamRider, ...).
+
+The player moves freely in two dimensions.  Targets spawn at the edges and
+drift across the field; shooting one yields a reward.  Hazards also spawn and
+must be avoided.  Some games (Seaquest, ChopperCommand) add "rescue" objects
+that pay a bonus when touched.  This single engine, with different spawn rates
+and reward scales, covers the flight / scrolling games of the paper's suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Action, ArcadeGame
+
+__all__ = ["NavigatorGame"]
+
+
+class NavigatorGame(ArcadeGame):
+    """Configurable free-movement shooter.
+
+    Parameters
+    ----------
+    target_points:
+        Reward for destroying one target.
+    rescue_points:
+        Reward for touching a rescue object (0 disables rescues).
+    target_spawn_prob, hazard_spawn_prob, rescue_spawn_prob:
+        Per-tick spawn probabilities.
+    target_speed, hazard_speed:
+        Drift speeds of spawned objects.
+    player_speed, bullet_speed:
+        Player / bullet speeds.
+    vertical_motion:
+        Whether the player may move vertically (False pins it to the bottom
+        row, making the game behave like a horizontally scrolling shooter).
+    """
+
+    def __init__(
+        self,
+        game_id="ChopperCommand",
+        target_points=100.0,
+        rescue_points=0.0,
+        target_spawn_prob=0.12,
+        hazard_spawn_prob=0.06,
+        rescue_spawn_prob=0.0,
+        target_speed=0.015,
+        hazard_speed=0.02,
+        player_speed=0.05,
+        bullet_speed=0.08,
+        max_objects=8,
+        vertical_motion=True,
+        **kwargs,
+    ):
+        super().__init__(game_id=game_id, **kwargs)
+        self.target_points = float(target_points)
+        self.rescue_points = float(rescue_points)
+        self.target_spawn_prob = float(target_spawn_prob)
+        self.hazard_spawn_prob = float(hazard_spawn_prob)
+        self.rescue_spawn_prob = float(rescue_spawn_prob)
+        self.target_speed = float(target_speed)
+        self.hazard_speed = float(hazard_speed)
+        self.player_speed = float(player_speed)
+        self.bullet_speed = float(bullet_speed)
+        self.max_objects = int(max_objects)
+        self.vertical_motion = bool(vertical_motion)
+
+    # ------------------------------------------------------------------ #
+    def _reset_game(self):
+        self.player_x = 0.5
+        self.player_y = 0.8 if self.vertical_motion else 0.9
+        self.facing = 1.0  # +1 right, -1 left; used when the player can fly freely
+        self.targets = []  # each: [x, y, vx]
+        self.hazards = []
+        self.rescues = []
+        self.bullets = []  # each: [x, y, vx, vy]
+
+    def _spawn(self, speed):
+        """Spawn an object at a random vertical position on either edge."""
+        side = self._rng.integers(2)
+        x = 0.02 if side == 0 else 0.98
+        vx = speed if side == 0 else -speed
+        y = self._rng.uniform(0.1, 0.85)
+        return [x, y, vx]
+
+    def _step_game(self, action):
+        reward = 0.0
+        life_lost = False
+
+        # Player control.
+        if action == Action.LEFT:
+            self.player_x -= self.player_speed
+            self.facing = -1.0
+        elif action == Action.RIGHT:
+            self.player_x += self.player_speed
+            self.facing = 1.0
+        elif action == Action.UP and self.vertical_motion:
+            self.player_y -= self.player_speed
+        elif action == Action.DOWN and self.vertical_motion:
+            self.player_y += self.player_speed
+        elif action == Action.FIRE and len(self.bullets) < 3:
+            if self.vertical_motion:
+                # Free-flight games shoot in the direction the player faces.
+                self.bullets.append(
+                    [self.player_x, self.player_y, self.facing * self.bullet_speed, 0.0]
+                )
+            else:
+                # Bottom-pinned games (BeamRider, BattleZone) shoot upward.
+                self.bullets.append([self.player_x, self.player_y, 0.0, -self.bullet_speed])
+        self.player_x = float(np.clip(self.player_x, 0.05, 0.95))
+        self.player_y = float(np.clip(self.player_y, 0.1, 0.9))
+
+        # Spawning.
+        if len(self.targets) < self.max_objects and self._rng.random() < self.target_spawn_prob:
+            self.targets.append(self._spawn(self.target_speed))
+        if len(self.hazards) < self.max_objects and self._rng.random() < self.hazard_spawn_prob:
+            self.hazards.append(self._spawn(self.hazard_speed))
+        if (
+            self.rescue_points > 0.0
+            and len(self.rescues) < self.max_objects
+            and self._rng.random() < self.rescue_spawn_prob
+        ):
+            self.rescues.append(self._spawn(self.target_speed * 0.5))
+
+        # Object drift.
+        for group in (self.targets, self.hazards, self.rescues):
+            for obj in group:
+                obj[0] += obj[2]
+        self.targets = [o for o in self.targets if 0.0 < o[0] < 1.0]
+        self.hazards = [o for o in self.hazards if 0.0 < o[0] < 1.0]
+        self.rescues = [o for o in self.rescues if 0.0 < o[0] < 1.0]
+
+        # Bullets fly and destroy targets.
+        surviving_bullets = []
+        for bullet in self.bullets:
+            bullet[0] += bullet[2]
+            bullet[1] += bullet[3]
+            if not (0.0 < bullet[0] < 1.0 and 0.0 < bullet[1] < 1.0):
+                continue
+            hit_index = None
+            for i, target in enumerate(self.targets):
+                if abs(bullet[0] - target[0]) < 0.05 and abs(bullet[1] - target[1]) < 0.05:
+                    hit_index = i
+                    break
+            if hit_index is not None:
+                del self.targets[hit_index]
+                reward += self.target_points
+            else:
+                surviving_bullets.append(bullet)
+        self.bullets = surviving_bullets
+
+        # Hazard collisions.
+        surviving_hazards = []
+        for hazard in self.hazards:
+            if abs(hazard[0] - self.player_x) < 0.05 and abs(hazard[1] - self.player_y) < 0.05:
+                life_lost = True
+                continue
+            surviving_hazards.append(hazard)
+        self.hazards = surviving_hazards
+
+        # Rescue pickups.
+        surviving_rescues = []
+        for rescue in self.rescues:
+            if abs(rescue[0] - self.player_x) < 0.06 and abs(rescue[1] - self.player_y) < 0.06:
+                reward += self.rescue_points
+                continue
+            surviving_rescues.append(rescue)
+        self.rescues = surviving_rescues
+
+        return reward, life_lost
+
+    def _render_objects(self, canvas):
+        self.draw_rect(canvas, self.player_x, self.player_y, 0.07, 0.05, 1.0)
+        for target in self.targets:
+            self.draw_rect(canvas, target[0], target[1], 0.05, 0.04, 0.6)
+        for hazard in self.hazards:
+            self.draw_rect(canvas, hazard[0], hazard[1], 0.05, 0.04, 0.35)
+        for rescue in self.rescues:
+            self.draw_point(canvas, rescue[0], rescue[1], 0.8, radius=1)
+        for bullet in self.bullets:
+            self.draw_point(canvas, bullet[0], bullet[1], 0.9, radius=0)

@@ -1,0 +1,289 @@
+"""Environment API and the arcade-game base class.
+
+The paper evaluates on Atari 2600 games from the Arcade Learning Environment.
+ROMs and the ALE are unavailable offline, so this package provides a family of
+lightweight NumPy arcade games that expose the same interface contract:
+
+* image observations (square grey-scale frames, values in ``[0, 1]``),
+* a small discrete action set,
+* per-game reward scales and difficulty,
+* stochasticity through a seedable ``numpy.random.Generator``.
+
+The interface follows the classic Gym convention (``reset`` / ``step``), which
+keeps the DRL training code (:mod:`repro.drl`) identical to what would run on
+the real ALE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Discrete", "Box", "Env", "ArcadeGame", "ACTION_MEANINGS", "Action"]
+
+
+class Action:
+    """Integer constants of the shared minimal action set."""
+
+    NOOP = 0
+    FIRE = 1
+    UP = 2
+    DOWN = 3
+    LEFT = 4
+    RIGHT = 5
+
+
+#: Human-readable names of the shared action set (index == action id).
+ACTION_MEANINGS = ("NOOP", "FIRE", "UP", "DOWN", "LEFT", "RIGHT")
+
+
+class Discrete:
+    """A discrete action space of ``n`` actions, ``{0, ..., n-1}``."""
+
+    def __init__(self, n):
+        self.n = int(n)
+
+    def sample(self, rng):
+        """Draw a uniformly random action."""
+        return int(rng.integers(0, self.n))
+
+    def contains(self, action):
+        """Whether ``action`` is a valid member of the space."""
+        return 0 <= int(action) < self.n
+
+    def __repr__(self):
+        return "Discrete({})".format(self.n)
+
+    def __eq__(self, other):
+        return isinstance(other, Discrete) and other.n == self.n
+
+
+class Box:
+    """A continuous observation space with elementwise bounds."""
+
+    def __init__(self, low, high, shape):
+        self.low = float(low)
+        self.high = float(high)
+        self.shape = tuple(shape)
+
+    def contains(self, value):
+        """Whether ``value`` has the right shape and lies within bounds."""
+        value = np.asarray(value)
+        return value.shape == self.shape and bool(
+            np.all(value >= self.low - 1e-6) and np.all(value <= self.high + 1e-6)
+        )
+
+    def __repr__(self):
+        return "Box(low={}, high={}, shape={})".format(self.low, self.high, self.shape)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Box)
+            and other.shape == self.shape
+            and other.low == self.low
+            and other.high == self.high
+        )
+
+
+class Env:
+    """Abstract environment interface (Gym-style)."""
+
+    action_space = None
+    observation_space = None
+
+    def reset(self, seed=None):
+        """Start a new episode and return the first observation."""
+        raise NotImplementedError
+
+    def step(self, action):
+        """Apply ``action``; return ``(observation, reward, done, info)``."""
+        raise NotImplementedError
+
+    def close(self):
+        """Release resources (no-op for in-memory games)."""
+
+    def seed(self, seed):
+        """Reseed the environment's random generator."""
+        self._rng = np.random.default_rng(seed)
+        return seed
+
+
+class ArcadeGame(Env):
+    """Base class for the synthetic arcade games.
+
+    Sub-classes implement ``_reset_game`` / ``_step_game`` / ``_render_objects``
+    in terms of abstract game state; this base class provides the canvas
+    renderer, lives handling, score accounting and episode-length limits.
+
+    Parameters
+    ----------
+    game_id:
+        Name of the game (used in reprs and the registry).
+    render_size:
+        Side length of the square grey-scale observation canvas.
+    max_episode_steps:
+        Hard cap on episode length (the ALE applies a similar cap).
+    lives:
+        Number of lives before the episode terminates.
+    score_scale:
+        Multiplier applied to every reward, reproducing per-game score
+        magnitudes (Atlantis scores are ~1e6, Boxing is capped near 100, ...).
+    sticky_action_prob:
+        Probability of repeating the previous action instead of the new one,
+        the standard ALE stochasticity mechanism.
+    """
+
+    metadata = {"render_modes": ["array"]}
+
+    def __init__(
+        self,
+        game_id,
+        render_size=84,
+        max_episode_steps=1000,
+        lives=3,
+        score_scale=1.0,
+        sticky_action_prob=0.0,
+        seed=0,
+    ):
+        self.game_id = game_id
+        self.render_size = int(render_size)
+        self.max_episode_steps = int(max_episode_steps)
+        self.initial_lives = int(lives)
+        self.score_scale = float(score_scale)
+        self.sticky_action_prob = float(sticky_action_prob)
+        self.action_space = Discrete(len(ACTION_MEANINGS))
+        self.observation_space = Box(0.0, 1.0, (self.render_size, self.render_size))
+        self._rng = np.random.default_rng(seed)
+        self._elapsed = 0
+        self._lives = self.initial_lives
+        self._score = 0.0
+        self._last_action = Action.NOOP
+        self._done = True
+
+    # ------------------------------------------------------------------ #
+    # Hooks for subclasses
+    # ------------------------------------------------------------------ #
+    def _reset_game(self):
+        """Reset game-specific state (positions, waves, timers)."""
+        raise NotImplementedError
+
+    def _step_game(self, action):
+        """Advance the game by one tick.
+
+        Returns
+        -------
+        reward:
+            Un-scaled reward earned this tick.
+        life_lost:
+            Whether the player lost a life this tick.
+        """
+        raise NotImplementedError
+
+    def _render_objects(self, canvas):
+        """Draw all game objects onto ``canvas`` (in place)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Env interface
+    # ------------------------------------------------------------------ #
+    def reset(self, seed=None):
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        self._elapsed = 0
+        self._lives = self.initial_lives
+        self._score = 0.0
+        self._last_action = Action.NOOP
+        self._done = False
+        self._reset_game()
+        return self._observation()
+
+    def step(self, action):
+        if self._done:
+            raise RuntimeError("step() called on a finished episode; call reset() first")
+        action = int(action)
+        if not self.action_space.contains(action):
+            raise ValueError("invalid action {}".format(action))
+        if self.sticky_action_prob > 0.0 and self._rng.random() < self.sticky_action_prob:
+            action = self._last_action
+        self._last_action = action
+
+        reward, life_lost = self._step_game(action)
+        reward = float(reward) * self.score_scale
+        self._score += reward
+        self._elapsed += 1
+
+        if life_lost:
+            self._lives -= 1
+        done = self._lives <= 0 or self._elapsed >= self.max_episode_steps or self._is_game_over()
+        self._done = done
+        info = {
+            "lives": self._lives,
+            "score": self._score,
+            "elapsed_steps": self._elapsed,
+            "life_lost": life_lost,
+        }
+        return self._observation(), reward, done, info
+
+    def _is_game_over(self):
+        """Game-specific extra termination condition (default: none)."""
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def _observation(self):
+        canvas = np.zeros((self.render_size, self.render_size), dtype=np.float64)
+        self._render_objects(canvas)
+        return np.clip(canvas, 0.0, 1.0)
+
+    def draw_rect(self, canvas, x, y, width, height, intensity):
+        """Draw an axis-aligned rectangle given fractional coordinates.
+
+        ``x, y`` are the centre of the rectangle in ``[0, 1]`` (x to the right,
+        y downward); ``width`` / ``height`` are fractional extents.
+        """
+        size = self.render_size
+        half_w = max(1, int(round(width * size / 2)))
+        half_h = max(1, int(round(height * size / 2)))
+        cx = int(round(x * (size - 1)))
+        cy = int(round(y * (size - 1)))
+        x0, x1 = max(0, cx - half_w), min(size, cx + half_w)
+        y0, y1 = max(0, cy - half_h), min(size, cy + half_h)
+        if x0 < x1 and y0 < y1:
+            canvas[y0:y1, x0:x1] = np.maximum(canvas[y0:y1, x0:x1], intensity)
+
+    def draw_point(self, canvas, x, y, intensity, radius=1):
+        """Draw a small square blob centred at fractional ``(x, y)``."""
+        size = self.render_size
+        cx = int(round(x * (size - 1)))
+        cy = int(round(y * (size - 1)))
+        x0, x1 = max(0, cx - radius), min(size, cx + radius + 1)
+        y0, y1 = max(0, cy - radius), min(size, cy + radius + 1)
+        if x0 < x1 and y0 < y1:
+            canvas[y0:y1, x0:x1] = np.maximum(canvas[y0:y1, x0:x1], intensity)
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def lives(self):
+        """Remaining lives in the current episode."""
+        return self._lives
+
+    @property
+    def score(self):
+        """Accumulated (scaled) score of the current episode."""
+        return self._score
+
+    @property
+    def elapsed_steps(self):
+        """Number of steps taken in the current episode."""
+        return self._elapsed
+
+    def get_action_meanings(self):
+        """Names of the actions in this game's action set."""
+        return list(ACTION_MEANINGS)
+
+    def __repr__(self):
+        return "{}(game_id={!r}, obs={}x{})".format(
+            type(self).__name__, self.game_id, self.render_size, self.render_size
+        )

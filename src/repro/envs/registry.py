@@ -1,0 +1,219 @@
+"""Registry of the Atari-like game suite used throughout the paper.
+
+Every game the paper evaluates (Tables I-III, Figs. 1-3) has an entry here
+mapping its name to one of the arcade engines plus a parameter set that gives
+the game its own dynamics, difficulty, and score scale.  Score scales are
+chosen so the *relative magnitudes* of the games roughly match the paper
+(e.g. Atlantis and DemonAttack produce very large scores, Boxing is capped
+near 100, Tennis / Pong hover around small positive and negative values).
+
+The ``difficulty`` field (1 = easy ... 5 = hard) drives how much a larger
+backbone helps: it is used by tests and the Table I harness to verify the
+paper's qualitative claim that bigger networks pay off on harder games.
+"""
+
+from __future__ import annotations
+
+from .arcade import DuelGame, MazeGame, NavigatorGame, PaddleGame, ShooterGame
+from .wrappers import ClipReward, FrameSkip, FrameStack, NullOpStart, ResizeObservation
+
+__all__ = ["GAME_REGISTRY", "ATARI_GAMES", "make_game", "make_env", "game_names", "game_info"]
+
+
+def _entry(engine, difficulty, **params):
+    return {"engine": engine, "difficulty": difficulty, "params": params}
+
+
+#: Game name -> engine class, difficulty rating and constructor parameters.
+GAME_REGISTRY = {
+    # Paddle family -------------------------------------------------------
+    "Breakout": _entry(
+        PaddleGame, 2,
+        brick_rows=4, brick_cols=8, brick_points=1.0, ball_speed=0.04,
+        paddle_width=0.2, lives=5, score_scale=1.0, max_episode_steps=1000,
+    ),
+    "Pong": _entry(
+        PaddleGame, 1,
+        brick_rows=0, point_reward=1.0, point_penalty=1.0, ball_speed=0.035,
+        paddle_width=0.22, opponent_skill=0.6, lives=21, score_scale=1.0,
+        max_episode_steps=1000,
+    ),
+    "Tennis": _entry(
+        PaddleGame, 3,
+        brick_rows=0, point_reward=1.0, point_penalty=1.0, ball_speed=0.045,
+        paddle_width=0.16, opponent_skill=0.8, lives=24, score_scale=1.0,
+        max_episode_steps=1000,
+    ),
+    # Fixed shooter family -------------------------------------------------
+    "SpaceInvaders": _entry(
+        ShooterGame, 3,
+        enemy_rows=4, enemy_cols=6, enemy_points=5.0, enemy_speed=0.01,
+        bomb_prob=0.08, wave_bonus=100.0, lives=3, score_scale=2.0,
+        max_episode_steps=1200,
+    ),
+    "Assault": _entry(
+        ShooterGame, 3,
+        enemy_rows=3, enemy_cols=5, enemy_points=21.0, enemy_speed=0.012,
+        bomb_prob=0.1, wave_bonus=150.0, lives=4, score_scale=2.0,
+        max_episode_steps=1200,
+    ),
+    "DemonAttack": _entry(
+        ShooterGame, 4,
+        enemy_rows=3, enemy_cols=4, enemy_points=20.0, enemy_speed=0.015,
+        bomb_prob=0.12, wave_bonus=400.0, lives=4, score_scale=20.0,
+        max_episode_steps=1500,
+    ),
+    "Asterix": _entry(
+        ShooterGame, 3,
+        enemy_rows=2, enemy_cols=6, enemy_points=50.0, enemy_speed=0.012,
+        bomb_prob=0.05, wave_bonus=500.0, lives=3, score_scale=10.0,
+        max_episode_steps=1200,
+    ),
+    "Atlantis": _entry(
+        ShooterGame, 2,
+        enemy_rows=2, enemy_cols=4, enemy_points=100.0, enemy_speed=0.02,
+        bomb_prob=0.03, wave_bonus=1000.0, lives=6, score_scale=100.0,
+        max_episode_steps=1500,
+    ),
+    "Centipede": _entry(
+        ShooterGame, 2,
+        enemy_rows=5, enemy_cols=6, enemy_points=3.0, enemy_speed=0.008,
+        bomb_prob=0.06, wave_bonus=60.0, lives=3, score_scale=3.0,
+        max_episode_steps=1000,
+    ),
+    "Phoenix": _entry(
+        ShooterGame, 3,
+        enemy_rows=3, enemy_cols=6, enemy_points=8.0, enemy_speed=0.013,
+        bomb_prob=0.09, wave_bonus=120.0, lives=4, score_scale=2.0,
+        max_episode_steps=1200,
+    ),
+    # Maze / chase family --------------------------------------------------
+    "Alien": _entry(
+        MazeGame, 4,
+        grid_size=11, num_enemies=3, chase_prob=0.4, pellet_reward=10.0,
+        clear_bonus=200.0, lives=3, score_scale=1.0, max_episode_steps=1000,
+    ),
+    "WizardOfWor": _entry(
+        MazeGame, 4,
+        grid_size=9, num_enemies=4, chase_prob=0.5, pellet_reward=5.0,
+        clear_bonus=100.0, lives=3, score_scale=1.0, max_episode_steps=900,
+    ),
+    "Qbert": _entry(
+        MazeGame, 3,
+        grid_size=9, num_enemies=2, chase_prob=0.35, pellet_reward=25.0,
+        clear_bonus=300.0, lives=4, score_scale=1.0, max_episode_steps=1000,
+    ),
+    "MsPacman": _entry(
+        MazeGame, 3,
+        grid_size=13, num_enemies=4, chase_prob=0.45, pellet_reward=10.0,
+        clear_bonus=250.0, lives=3, score_scale=1.0, max_episode_steps=1200,
+    ),
+    # Free navigation / flight family --------------------------------------
+    "ChopperCommand": _entry(
+        NavigatorGame, 4,
+        target_points=100.0, target_spawn_prob=0.12, hazard_spawn_prob=0.08,
+        lives=3, score_scale=1.0, max_episode_steps=1000,
+    ),
+    "BeamRider": _entry(
+        NavigatorGame, 4,
+        target_points=44.0, target_spawn_prob=0.15, hazard_spawn_prob=0.1,
+        vertical_motion=False, lives=3, score_scale=2.0, max_episode_steps=1200,
+    ),
+    "Seaquest": _entry(
+        NavigatorGame, 5,
+        target_points=20.0, rescue_points=50.0, rescue_spawn_prob=0.05,
+        target_spawn_prob=0.14, hazard_spawn_prob=0.1, lives=3,
+        score_scale=50.0, max_episode_steps=1500,
+    ),
+    "TimePilot": _entry(
+        NavigatorGame, 3,
+        target_points=100.0, target_spawn_prob=0.1, hazard_spawn_prob=0.07,
+        target_speed=0.02, lives=4, score_scale=1.0, max_episode_steps=1000,
+    ),
+    "BattleZone": _entry(
+        NavigatorGame, 4,
+        target_points=1000.0, target_spawn_prob=0.06, hazard_spawn_prob=0.06,
+        vertical_motion=False, lives=3, score_scale=1.0, max_episode_steps=1000,
+    ),
+    "Asteroids": _entry(
+        NavigatorGame, 3,
+        target_points=50.0, target_spawn_prob=0.18, hazard_spawn_prob=0.12,
+        target_speed=0.025, hazard_speed=0.03, lives=4, score_scale=1.0,
+        max_episode_steps=1000,
+    ),
+    "CrazyClimber": _entry(
+        NavigatorGame, 2,
+        target_points=100.0, target_spawn_prob=0.2, hazard_spawn_prob=0.04,
+        target_speed=0.01, lives=5, score_scale=10.0, max_episode_steps=1200,
+    ),
+    # Duel / aiming family --------------------------------------------------
+    "Boxing": _entry(
+        DuelGame, 2,
+        punch_reward=1.0, punch_penalty=1.0, opponent_skill=0.5, score_cap=100.0,
+        lives=1, score_scale=1.0, max_episode_steps=800,
+    ),
+    "Bowling": _entry(
+        DuelGame, 1,
+        static_opponent=True, punch_reward=1.0, pins=10, max_throws=21,
+        lives=1, score_scale=3.0, max_episode_steps=800,
+    ),
+}
+
+#: All registered game names in a stable order.
+ATARI_GAMES = tuple(sorted(GAME_REGISTRY))
+
+
+def game_names():
+    """Return the list of registered game names."""
+    return list(ATARI_GAMES)
+
+
+def game_info(name):
+    """Return the registry entry (engine, difficulty, params) for ``name``."""
+    if name not in GAME_REGISTRY:
+        raise KeyError(
+            "unknown game {!r}; registered games: {}".format(name, ", ".join(ATARI_GAMES))
+        )
+    return GAME_REGISTRY[name]
+
+
+def make_game(name, render_size=84, seed=0, **overrides):
+    """Instantiate the raw (unwrapped) arcade game for ``name``.
+
+    ``overrides`` are merged over the registry parameters, letting experiments
+    shrink episodes or change difficulty without editing the registry.
+    """
+    entry = game_info(name)
+    params = dict(entry["params"])
+    params.update(overrides)
+    return entry["engine"](game_id=name, render_size=render_size, seed=seed, **params)
+
+
+def make_env(
+    name,
+    obs_size=42,
+    frame_stack=2,
+    frame_skip=2,
+    clip_rewards=False,
+    null_op_max=0,
+    render_size=84,
+    seed=0,
+    **overrides,
+):
+    """Build the standard wrapped environment used by the DRL trainer.
+
+    The wrapper stack mirrors the usual Atari preprocessing pipeline:
+    frame-skip -> resize -> frame-stack (-> reward clipping -> null-op starts).
+    """
+    env = make_game(name, render_size=render_size, seed=seed, **overrides)
+    if frame_skip and frame_skip > 1:
+        env = FrameSkip(env, skip=frame_skip)
+    if obs_size and obs_size != render_size:
+        env = ResizeObservation(env, size=obs_size)
+    if frame_stack and frame_stack > 1:
+        env = FrameStack(env, num_frames=frame_stack)
+    if clip_rewards:
+        env = ClipReward(env)
+    if null_op_max and null_op_max > 0:
+        env = NullOpStart(env, max_null_ops=null_op_max)
+    return env

@@ -1,0 +1,89 @@
+"""Synchronous vectorised environment.
+
+A3C/A2C-style training interleaves several environment copies so each gradient
+update sees decorrelated rollouts.  ``VectorEnv`` steps ``num_envs`` wrapped
+environments in lock-step (synchronously, in-process) and auto-resets finished
+episodes, reporting completed episode returns through the step ``info``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Env
+
+__all__ = ["VectorEnv", "make_vector_env"]
+
+
+class VectorEnv(Env):
+    """Run ``len(env_fns)`` environments in lock-step.
+
+    Parameters
+    ----------
+    env_fns:
+        A list of zero-argument callables, each constructing one environment.
+    """
+
+    def __init__(self, env_fns):
+        if not env_fns:
+            raise ValueError("need at least one environment")
+        self.envs = [fn() for fn in env_fns]
+        self.num_envs = len(self.envs)
+        self.action_space = self.envs[0].action_space
+        self.observation_space = self.envs[0].observation_space
+        self._episode_returns = np.zeros(self.num_envs)
+        self._episode_lengths = np.zeros(self.num_envs, dtype=int)
+
+    def reset(self, seed=None):
+        observations = []
+        for index, env in enumerate(self.envs):
+            env_seed = None if seed is None else seed + index
+            observations.append(env.reset(seed=env_seed))
+        self._episode_returns[:] = 0.0
+        self._episode_lengths[:] = 0
+        return np.stack(observations)
+
+    def step(self, actions):
+        """Step every environment; auto-reset finished ones.
+
+        Returns
+        -------
+        observations, rewards, dones, infos:
+            Batched arrays / list of per-env info dicts.  When an episode
+            finishes, its info contains ``episode_return`` / ``episode_length``
+            and the observation returned is the first of the next episode.
+        """
+        actions = np.asarray(actions)
+        if actions.shape[0] != self.num_envs:
+            raise ValueError("expected {} actions, got {}".format(self.num_envs, actions.shape[0]))
+        observations, rewards, dones, infos = [], [], [], []
+        for index, (env, action) in enumerate(zip(self.envs, actions)):
+            obs, reward, done, info = env.step(int(action))
+            self._episode_returns[index] += reward
+            self._episode_lengths[index] += 1
+            info = dict(info)
+            if done:
+                info["episode_return"] = float(self._episode_returns[index])
+                info["episode_length"] = int(self._episode_lengths[index])
+                self._episode_returns[index] = 0.0
+                self._episode_lengths[index] = 0
+                obs = env.reset()
+            observations.append(obs)
+            rewards.append(reward)
+            dones.append(done)
+            infos.append(info)
+        return np.stack(observations), np.asarray(rewards), np.asarray(dones), infos
+
+    def close(self):
+        for env in self.envs:
+            env.close()
+
+
+def make_vector_env(name, num_envs=4, seed=0, **env_kwargs):
+    """Build a :class:`VectorEnv` of ``num_envs`` copies of a registered game."""
+    from .registry import make_env
+
+    def make_one(index):
+        return lambda: make_env(name, seed=seed + index, **env_kwargs)
+
+    return VectorEnv([make_one(i) for i in range(num_envs)])

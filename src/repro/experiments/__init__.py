@@ -1,0 +1,57 @@
+"""Experiment harnesses regenerating every table and figure of the paper."""
+
+from .ablations import (
+    run_chunk_ablation,
+    run_das_vs_random,
+    run_hw_penalty_ablation,
+    run_search_space_audit,
+    run_topk_ablation,
+)
+from .fig1 import PAPER_FIG1_GAMES, format_fig1, run_fig1
+from .fig2 import SEARCH_SCHEMES, format_fig2, run_fig2
+from .fig3 import PAPER_FIG3_CLAIMS, format_fig3, run_fig3
+from .profiles import ExperimentProfile, PROFILES, default_profile_name, get_profile
+from .reporting import format_series, format_table, paper_comparison_table, rows_to_csv, rows_to_json
+from .runners import build_evaluator, train_backbone_agent, train_with_distillation
+from .table1 import PAPER_TABLE1, format_table1, run_table1
+from .table2 import DISTILLATION_STRATEGIES, PAPER_TABLE2, format_table2, run_table2
+from .table3 import PAPER_TABLE3, format_table3, run_table3
+
+__all__ = [
+    "ExperimentProfile",
+    "PROFILES",
+    "get_profile",
+    "default_profile_name",
+    "format_table",
+    "format_series",
+    "paper_comparison_table",
+    "rows_to_csv",
+    "rows_to_json",
+    "build_evaluator",
+    "train_backbone_agent",
+    "train_with_distillation",
+    "PAPER_TABLE1",
+    "run_table1",
+    "format_table1",
+    "PAPER_TABLE2",
+    "DISTILLATION_STRATEGIES",
+    "run_table2",
+    "format_table2",
+    "PAPER_TABLE3",
+    "run_table3",
+    "format_table3",
+    "PAPER_FIG1_GAMES",
+    "run_fig1",
+    "format_fig1",
+    "SEARCH_SCHEMES",
+    "run_fig2",
+    "format_fig2",
+    "PAPER_FIG3_CLAIMS",
+    "run_fig3",
+    "format_fig3",
+    "run_topk_ablation",
+    "run_hw_penalty_ablation",
+    "run_chunk_ablation",
+    "run_search_space_audit",
+    "run_das_vs_random",
+]

@@ -1,0 +1,56 @@
+"""Fig. 1: test-score evolution during training for different backbone sizes.
+
+The paper plots the 30-episode evaluation score against training steps for
+five backbones on four games (Alien, Atlantis, SpaceInvaders, WizardOfWor).
+The harness reproduces the same curves at the profile's scale: periodic
+evaluations are recorded during A2C training of each (game, backbone) pair.
+"""
+
+from __future__ import annotations
+
+from ..drl import DistillationMode
+from .profiles import get_profile
+from .reporting import format_series
+from .runners import train_backbone_agent
+
+__all__ = ["run_fig1", "format_fig1", "PAPER_FIG1_GAMES"]
+
+#: The four games shown in the paper's Fig. 1.
+PAPER_FIG1_GAMES = ("Alien", "Atlantis", "SpaceInvaders", "WizardOfWor")
+
+
+def run_fig1(profile=None, games=None, backbones=None):
+    """Regenerate the Fig. 1 training curves.
+
+    Returns
+    -------
+    curves:
+        ``{game: {backbone: [(step, score), ...]}}``.
+    """
+    profile = profile if profile is not None else get_profile()
+    games = list(games if games is not None else profile.games_fig1)
+    backbones = list(backbones if backbones is not None else profile.backbones_fig1)
+    curves = {}
+    for game in games:
+        curves[game] = {}
+        for backbone in backbones:
+            result = train_backbone_agent(
+                game,
+                backbone,
+                profile,
+                distillation_mode=DistillationMode.NONE,
+                track_curve=True,
+            )
+            curves[game][backbone] = result["curve"]
+    return curves
+
+
+def format_fig1(curves):
+    """Text rendering of the Fig. 1 curves (one line per game/backbone)."""
+    lines = ["### Fig. 1 - test-score evolution during training", ""]
+    for game, by_backbone in curves.items():
+        for backbone, curve in by_backbone.items():
+            steps = [point[0] for point in curve]
+            values = [point[1] for point in curve]
+            lines.append(format_series((steps, values), name="{} / {}".format(game, backbone)))
+    return "\n".join(lines)

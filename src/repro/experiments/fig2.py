@@ -1,0 +1,139 @@
+"""Fig. 2: test-score evolution of the three search schemes.
+
+The paper compares (1) Direct-NAS (no distillation), (2) A3C-S with bi-level
+optimisation, and (3) A3C-S with one-level optimisation, showing that only
+the distilled one-level scheme improves steadily — the first demonstration
+that DNAS can work for DRL.  The harness runs all three schemes at the
+profile's scale, recording the evaluation score of the currently derived
+architecture at regular intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..drl import DistillationMode, train_teacher
+from ..nas import DRLArchitectureSearch, OptimizationScheme, SearchConfig
+from .profiles import get_profile
+from .reporting import format_series
+
+__all__ = ["SEARCH_SCHEMES", "run_fig2", "format_fig2"]
+
+#: The three curves of Fig. 2 (label, distillation mode, optimisation scheme).
+SEARCH_SCHEMES = (
+    ("Direct-NAS", DistillationMode.NONE, OptimizationScheme.ONE_LEVEL),
+    ("A3C-S:Bi-level", DistillationMode.AC, OptimizationScheme.BI_LEVEL),
+    ("A3C-S:One-level", DistillationMode.AC, OptimizationScheme.ONE_LEVEL),
+)
+
+
+def _make_search_evaluator(game, profile):
+    """Evaluator that scores the currently derived architecture of a supernet agent."""
+
+    def evaluator(agent, op_indices):
+        return _evaluate_fixed_path(agent, op_indices, game, profile)
+
+    return evaluator
+
+
+def _evaluate_fixed_path(agent, op_indices, game, profile):
+    """Score the supernet agent constrained to the derived single path."""
+    from ..envs import make_env
+    from ..nn import no_grad
+
+    env = make_env(
+        game,
+        obs_size=profile.obs_size,
+        frame_stack=profile.frame_stack,
+        max_episode_steps=profile.max_episode_steps,
+        null_op_max=30,
+        seed=profile.seed,
+    )
+    rng = np.random.default_rng(profile.seed)
+    scores = []
+    for episode in range(profile.eval_episodes):
+        obs = env.reset(seed=profile.seed + 500 + episode)
+        done = False
+        total = 0.0
+        while not done:
+            with no_grad():
+                actions, _ = agent.act(obs[None, ...], rng, op_indices=op_indices)
+            obs, reward, done, _ = env.step(int(actions[0]))
+            total += reward
+        scores.append(total)
+    return float(np.mean(scores))
+
+
+def run_fig2(profile=None, games=None, schemes=None):
+    """Regenerate the Fig. 2 search-score curves.
+
+    Returns
+    -------
+    curves:
+        ``{game: {scheme_label: [(step, score), ...]}}``.
+    """
+    profile = profile if profile is not None else get_profile()
+    games = list(games if games is not None else profile.games_fig2)
+    schemes = list(schemes if schemes is not None else SEARCH_SCHEMES)
+    env_kwargs = {
+        "obs_size": profile.obs_size,
+        "frame_stack": profile.frame_stack,
+        "max_episode_steps": profile.max_episode_steps,
+    }
+    supernet_kwargs = {
+        "input_size": profile.obs_size,
+        "in_channels": profile.frame_stack,
+        "feature_dim": profile.feature_dim,
+        "base_width": profile.base_width,
+    }
+    curves = {}
+    for game in games:
+        curves[game] = {}
+        teacher = None
+        if any(mode != DistillationMode.NONE for _, mode, _ in schemes):
+            teacher, _ = train_teacher(
+                game,
+                backbone_name="ResNet-20",
+                total_steps=profile.teacher_steps,
+                num_envs=profile.num_envs,
+                obs_size=profile.obs_size,
+                frame_stack=profile.frame_stack,
+                feature_dim=profile.feature_dim,
+                base_width=profile.base_width,
+                seed=profile.seed,
+            )
+        for label, mode, scheme in schemes:
+            config = SearchConfig(
+                total_steps=profile.search_steps,
+                num_envs=profile.num_envs,
+                distillation_mode=mode,
+                scheme=scheme,
+                eval_interval=max(1, profile.search_steps // max(profile.eval_points, 1)),
+                eval_episodes=profile.eval_episodes,
+                seed=profile.seed,
+            )
+            searcher = DRLArchitectureSearch(
+                game,
+                teacher=teacher if mode != DistillationMode.NONE else None,
+                config=config,
+                evaluator=_make_search_evaluator(game, profile),
+                env_kwargs=env_kwargs,
+                supernet_kwargs=supernet_kwargs,
+            )
+            result = searcher.search()
+            steps, values = result.logger.series("eval_score")
+            final_score = _evaluate_fixed_path(searcher.agent, result.op_indices, game, profile)
+            curve = list(zip(steps, values)) + [(result.total_env_steps, final_score)]
+            curves[game][label] = curve
+    return curves
+
+
+def format_fig2(curves):
+    """Text rendering of the Fig. 2 curves."""
+    lines = ["### Fig. 2 - search-score evolution of the three search schemes", ""]
+    for game, by_scheme in curves.items():
+        for label, curve in by_scheme.items():
+            steps = [point[0] for point in curve]
+            values = [point[1] for point in curve]
+            lines.append(format_series((steps, values), name="{} / {}".format(game, label)))
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Fig. 3: test-score / FPS trade-off of agents and accelerators.
+
+The paper's Fig. 3 plots, per game, three design points under the same
+900-DSP (ZC706) budget:
+
+1. **ResNet-14 + DAS accelerator** — the strongest hand-designed agent from
+   Table II, accelerated by A3C-S's own DAS engine;
+2. **A3C-S agent + DAS accelerator** — the fully co-searched solution;
+3. **A3C-S agent + DNNBuilder** — the searched agent on the SOTA baseline
+   accelerator.
+
+Claims reproduced: (a) the searched agent achieves higher FPS than ResNet-14
+on searched accelerators at comparable-or-better scores, and (b) the DAS
+accelerator achieves higher FPS than DNNBuilder for the same agent.
+Both agents are trained with AC-distillation, as in the paper.
+"""
+
+from __future__ import annotations
+
+from ..accelerator import DifferentiableAcceleratorSearch, DASConfig, DNNBuilderAccelerator
+from ..cosearch import A3CSCoSearch, A3CSConfig
+from ..drl import DistillationMode
+from .profiles import get_profile
+from .reporting import format_table
+from .runners import build_evaluator, train_backbone_agent
+
+__all__ = ["run_fig3", "format_fig3", "PAPER_FIG3_CLAIMS"]
+
+#: Qualitative claims of Fig. 3 recorded for EXPERIMENTS.md.
+PAPER_FIG3_CLAIMS = {
+    "das_vs_dnnbuilder": "A3C-S's DAS accelerators achieve higher FPS than DNNBuilder for the same agent",
+    "a3cs_vs_resnet14": "A3C-S searched agents achieve higher FPS than ResNet-14 on DAS accelerators "
+    "at comparable or better test scores",
+}
+
+
+def run_fig3(profile=None, games=None):
+    """Regenerate the Fig. 3 design points.
+
+    Returns one row per (game, configuration) with the test score, predicted
+    FPS, and resource usage of each design point.
+    """
+    profile = profile if profile is not None else get_profile()
+    games = list(games if games is not None else profile.games_fig3)
+    das_config = DASConfig(objective="fps", seed=profile.seed)
+    rows = []
+    for game in games:
+        # --- A3C-S co-searched agent + accelerator -----------------------
+        cosearch_config = A3CSConfig(
+            obs_size=profile.obs_size,
+            frame_stack=profile.frame_stack,
+            max_episode_steps=profile.max_episode_steps,
+            num_envs=profile.num_envs,
+            base_width=profile.base_width,
+            feature_dim=profile.feature_dim,
+            search_steps=profile.search_steps,
+            teacher_steps=profile.teacher_steps,
+            final_das_steps=profile.das_steps,
+            seed=profile.seed,
+        )
+        cosearch = A3CSCoSearch(game, config=cosearch_config)
+        a3cs_result = cosearch.run()
+        evaluator = build_evaluator(game, profile)
+        a3cs_score = float(evaluator(a3cs_result.agent))
+
+        # --- ResNet-14 trained with AC-distillation (shared teacher) -----
+        resnet_result = train_backbone_agent(
+            game,
+            "ResNet-14",
+            profile,
+            distillation_mode=DistillationMode.AC,
+            teacher=cosearch.teacher,
+            total_steps=profile.search_steps,
+        )
+        resnet_agent = resnet_result["agent"]
+        resnet_score = resnet_result["score"]
+
+        # --- Accelerators -------------------------------------------------
+        resnet_das = DifferentiableAcceleratorSearch(
+            resnet_agent.backbone, config=das_config
+        ).search(steps=profile.das_steps)
+        a3cs_dnnbuilder = DNNBuilderAccelerator(a3cs_result.agent.backbone)
+
+        rows.append(
+            {
+                "game": game,
+                "configuration": "ResNet-14 + DAS",
+                "score": resnet_score,
+                "fps": resnet_das.fps,
+                "dsp": resnet_das.best_metrics.dsp_used,
+                "feasible": resnet_das.best_metrics.feasible,
+            }
+        )
+        rows.append(
+            {
+                "game": game,
+                "configuration": "A3C-S + DAS",
+                "score": a3cs_score,
+                "fps": a3cs_result.fps,
+                "dsp": a3cs_result.accelerator_metrics.dsp_used,
+                "feasible": a3cs_result.accelerator_metrics.feasible,
+            }
+        )
+        rows.append(
+            {
+                "game": game,
+                "configuration": "A3C-S + DNNBuilder",
+                "score": a3cs_score,
+                "fps": a3cs_dnnbuilder.fps,
+                "dsp": a3cs_dnnbuilder.metrics.dsp_used,
+                "feasible": a3cs_dnnbuilder.metrics.feasible,
+            }
+        )
+    return rows
+
+
+def format_fig3(rows):
+    """Markdown rendering of the Fig. 3 reproduction."""
+    return format_table(
+        rows,
+        headers=["game", "configuration", "score", "fps", "dsp", "feasible"],
+        title="Fig. 3 - test score / FPS trade-off under the ZC706 DSP budget",
+    )

@@ -1,0 +1,105 @@
+"""Result formatting: markdown tables, CSV export, paper-vs-measured reports."""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+
+__all__ = ["format_table", "rows_to_csv", "rows_to_json", "paper_comparison_table", "format_series"]
+
+
+def format_table(rows, headers=None, floatfmt="{:.1f}", title=None):
+    """Render a list of dict rows as a GitHub-markdown table string.
+
+    Parameters
+    ----------
+    rows:
+        List of dictionaries (all sharing the same keys).
+    headers:
+        Column order; defaults to the keys of the first row.
+    floatfmt:
+        Format string applied to float cells.
+    title:
+        Optional title line prepended to the table.
+    """
+    if not rows:
+        return "(no rows)"
+    headers = list(headers) if headers is not None else list(rows[0].keys())
+
+    def fmt(value):
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    lines = []
+    if title:
+        lines.append("### {}".format(title))
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(row.get(h, "")) for h in headers) + " |")
+    return "\n".join(lines)
+
+
+def format_series(series, name="series", floatfmt="{:.1f}"):
+    """Render an ``(steps, values)`` curve as a compact single-line summary."""
+    steps, values = series
+    if not values:
+        return "{}: (empty)".format(name)
+    points = ", ".join(
+        "{}:{}".format(step, floatfmt.format(value)) for step, value in zip(steps, values)
+    )
+    return "{}: {}".format(name, points)
+
+
+def rows_to_csv(rows, path, headers=None):
+    """Write dict rows to a CSV file and return the path."""
+    if not rows:
+        raise ValueError("no rows to write")
+    headers = list(headers) if headers is not None else list(rows[0].keys())
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=headers, extrasaction="ignore")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def rows_to_json(rows, path, metadata=None):
+    """Write dict rows (plus optional metadata) to a JSON file and return the path."""
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump({"metadata": metadata or {}, "rows": rows}, handle, indent=2)
+    return path
+
+
+def paper_comparison_table(measured, paper_reference, key_field, value_field="value",
+                           measured_label="measured", paper_label="paper"):
+    """Join measured rows with paper-reported values on ``key_field``.
+
+    ``measured`` is a list of dicts; ``paper_reference`` maps key -> reported
+    value.  Rows missing from either side are kept with blank cells, so the
+    report makes gaps explicit instead of hiding them.
+    """
+    rows = []
+    seen = set()
+    for row in measured:
+        key = row[key_field]
+        seen.add(key)
+        rows.append(
+            {
+                key_field: key,
+                measured_label: row.get(value_field, ""),
+                paper_label: paper_reference.get(key, ""),
+            }
+        )
+    for key, value in paper_reference.items():
+        if key not in seen:
+            rows.append({key_field: key, measured_label: "", paper_label: value})
+    return rows

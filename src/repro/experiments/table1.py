@@ -1,0 +1,79 @@
+"""Table I: test scores of backbones of different sizes on the Atari suite.
+
+Paper claim (Sec. V-B): larger backbones generally score higher, especially on
+harder games, but there is a task-specific sweet spot — ResNet-74 is *worse*
+than ResNet-20/38 on most games because it is harder to train within the step
+budget.  The harness trains every (game, backbone) pair at the profile's scale
+and reports the evaluation scores next to the paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+from ..drl import DistillationMode
+from .profiles import get_profile
+from .reporting import format_table
+from .runners import train_backbone_agent
+
+__all__ = ["PAPER_TABLE1", "run_table1", "format_table1"]
+
+#: Paper Table I (test scores); games x {Vanilla, ResNet-14/20/38/74}.
+PAPER_TABLE1 = {
+    "Breakout": {"Vanilla": 523.7, "ResNet-14": 776.5, "ResNet-20": 811.0, "ResNet-38": 818.5, "ResNet-74": 2.2},
+    "Alien": {"Vanilla": 1724.0, "ResNet-14": 9007.0, "ResNet-20": 9323.0, "ResNet-38": 8829.0, "ResNet-74": 4456.0},
+    "Asterix": {"Vanilla": 4850.0, "ResNet-14": 708500.0, "ResNet-20": 856800.0, "ResNet-38": 756120.0, "ResNet-74": 539060.0},
+    "Atlantis": {"Vanilla": 3064320.0, "ResNet-14": 3127390.0, "ResNet-20": 3156130.0, "ResNet-38": 3181090.0, "ResNet-74": 3046490.0},
+    "TimePilot": {"Vanilla": 4780.0, "ResNet-14": 9070.0, "ResNet-20": 9680.0, "ResNet-38": 9500.0, "ResNet-74": 9040.0},
+    "SpaceInvaders": {"Vanilla": 1171.0, "ResNet-14": 9848.0, "ResNet-20": 46870.0, "ResNet-38": 17962.0, "ResNet-74": 15111.0},
+    "WizardOfWor": {"Vanilla": 1320.0, "ResNet-14": 2690.0, "ResNet-20": 3580.0, "ResNet-38": 3160.0, "ResNet-74": 1850.0},
+    "Tennis": {"Vanilla": -23.7, "ResNet-14": 13.8, "ResNet-20": 11.5, "ResNet-38": 19.6, "ResNet-74": 19.3},
+    "Asteroids": {"Vanilla": 2095.0, "ResNet-14": 5690.0, "ResNet-20": 5744.0, "ResNet-38": 1947.0, "ResNet-74": 4792.0},
+    "Assault": {"Vanilla": 10164.0, "ResNet-14": 14470.0, "ResNet-20": 17314.0, "ResNet-38": 12406.5, "ResNet-74": 9849.0},
+    "BattleZone": {"Vanilla": 7600.0, "ResNet-14": 5800.0, "ResNet-20": 13100.0, "ResNet-38": 13300.0, "ResNet-74": 4100.0},
+    "BeamRider": {"Vanilla": 5530.0, "ResNet-14": 23984.0, "ResNet-20": 25961.0, "ResNet-38": 29498.0, "ResNet-74": 30048.0},
+    "Bowling": {"Vanilla": 28.1, "ResNet-14": 53.0, "ResNet-20": 59.2, "ResNet-38": 33.2, "ResNet-74": 50.8},
+    "Boxing": {"Vanilla": 4.2, "ResNet-14": 100.0, "ResNet-20": 100.0, "ResNet-38": 99.3, "ResNet-74": 87.1},
+    "Centipede": {"Vanilla": 5025.0, "ResNet-14": 6690.0, "ResNet-20": 6410.0, "ResNet-38": 6384.6, "ResNet-74": 6899.0},
+    "ChopperCommand": {"Vanilla": 1320.0, "ResNet-14": 11170.0, "ResNet-20": 14910.0, "ResNet-38": 4370.0, "ResNet-74": 8240.0},
+}
+
+
+def run_table1(profile=None, games=None, backbones=None):
+    """Regenerate Table I at the profile's scale.
+
+    Returns
+    -------
+    rows:
+        One dict per (game, backbone): measured score, backbone FLOPs and
+        parameter count, plus the paper-reported score for reference.
+    """
+    profile = profile if profile is not None else get_profile()
+    games = list(games if games is not None else profile.games_table1)
+    backbones = list(backbones if backbones is not None else profile.backbones_table1)
+    rows = []
+    for game in games:
+        for backbone in backbones:
+            result = train_backbone_agent(
+                game, backbone, profile, distillation_mode=DistillationMode.NONE
+            )
+            agent = result["agent"]
+            rows.append(
+                {
+                    "game": game,
+                    "backbone": backbone,
+                    "score": result["score"],
+                    "train_return": result["trainer"].mean_recent_return(),
+                    "flops": agent.backbone.flops(),
+                    "params": agent.backbone.num_parameters(),
+                    "paper_score": PAPER_TABLE1.get(game, {}).get(backbone, float("nan")),
+                }
+            )
+    return rows
+
+
+def format_table1(rows):
+    """Markdown rendering of the Table I reproduction."""
+    return format_table(
+        rows,
+        headers=["game", "backbone", "score", "paper_score", "flops", "params"],
+        title="Table I - test scores of different backbone sizes",
+    )

@@ -1,0 +1,120 @@
+"""Table II: the AC-distillation ablation.
+
+Paper claim (Sec. V-C): distillation helps DRL training, and the proposed
+AC-distillation (actor KL + critic MSE) beats policy-only distillation on most
+games, for both the Vanilla backbone and ResNet-14.  The harness trains each
+(game, backbone, strategy) cell at the profile's scale, sharing one teacher
+per game across strategies for a controlled comparison.
+"""
+
+from __future__ import annotations
+
+from ..drl import DistillationMode, train_teacher
+from .profiles import get_profile
+from .reporting import format_table
+from .runners import train_with_distillation
+
+__all__ = ["PAPER_TABLE2", "DISTILLATION_STRATEGIES", "run_table2", "format_table2"]
+
+#: The three strategies of Table II, in presentation order.
+DISTILLATION_STRATEGIES = (
+    ("No distillation", DistillationMode.NONE),
+    ("Policy distillation only", DistillationMode.POLICY_ONLY),
+    ("AC-distillation", DistillationMode.AC),
+)
+
+#: Paper Table II: game -> backbone -> strategy -> score.
+PAPER_TABLE2 = {
+    "Alien": {
+        "Vanilla": {"none": 1724.0, "policy": 3096.0, "ac": 3419.0},
+        "ResNet-14": {"none": 9007.0, "policy": 14682.0, "ac": 15723.0},
+    },
+    "SpaceInvaders": {
+        "Vanilla": {"none": 1171.0, "policy": 26821.0, "ac": 30124.0},
+        "ResNet-14": {"none": 9848.0, "policy": 76246.0, "ac": 111189.0},
+    },
+    "Asterix": {
+        "Vanilla": {"none": 4850.0, "policy": 59020.0, "ac": 64510.0},
+        "ResNet-14": {"none": 708500.0, "policy": 749870.0, "ac": 849400.0},
+    },
+    "Asteroids": {
+        "Vanilla": {"none": 2095.0, "policy": 4131.0, "ac": 4647.0},
+        "ResNet-14": {"none": 5690.0, "policy": 15371.0, "ac": 15947.0},
+    },
+    "Assault": {
+        "Vanilla": {"none": 10164.0, "policy": 8088.4, "ac": 9628.5},
+        "ResNet-14": {"none": 14470.0, "policy": 11697.0, "ac": 14052.0},
+    },
+    "BattleZone": {
+        "Vanilla": {"none": 7600.0, "policy": 14200.0, "ac": 14400.0},
+        "ResNet-14": {"none": 5800.0, "policy": 16300.0, "ac": 17500.0},
+    },
+    "BeamRider": {
+        "Vanilla": {"none": 5530.0, "policy": 14417.0, "ac": 21519.0},
+        "ResNet-14": {"none": 23984.0, "policy": 38311.0, "ac": 39604.0},
+    },
+    "Boxing": {
+        "Vanilla": {"none": 4.2, "policy": 2.8, "ac": 100.0},
+        "ResNet-14": {"none": 100.0, "policy": 100.0, "ac": 100.0},
+    },
+    "Centipede": {
+        "Vanilla": {"none": 5025.0, "policy": 5800.0, "ac": 6575.5},
+        "ResNet-14": {"none": 6690.0, "policy": 7744.3, "ac": 8056.9},
+    },
+    "ChopperCommand": {
+        "Vanilla": {"none": 1320.0, "policy": 15900.0, "ac": 19120.0},
+        "ResNet-14": {"none": 11170.0, "policy": 26320.0, "ac": 31190.0},
+    },
+    "CrazyClimber": {
+        "Vanilla": {"none": 118300.0, "policy": 138610.0, "ac": 145700.0},
+        "ResNet-14": {"none": 128710.0, "policy": 135290.0, "ac": 138470.0},
+    },
+    "DemonAttack": {
+        "Vanilla": {"none": 318349.0, "policy": 463823.0, "ac": 483490.0},
+        "ResNet-14": {"none": 481818.0, "policy": 517801.0, "ac": 521051.0},
+    },
+}
+
+
+def run_table2(profile=None, games=None, backbones=("Vanilla", "ResNet-14")):
+    """Regenerate Table II at the profile's scale.
+
+    Returns one row per (game, backbone) with the scores under all three
+    distillation strategies and the paper's reported values for reference.
+    """
+    profile = profile if profile is not None else get_profile()
+    games = list(games if games is not None else profile.games_table2)
+    rows = []
+    for game in games:
+        # One ResNet-20 teacher per game, shared by every strategy and backbone.
+        teacher, _ = train_teacher(
+            game,
+            backbone_name="ResNet-20",
+            total_steps=profile.teacher_steps,
+            num_envs=profile.num_envs,
+            obs_size=profile.obs_size,
+            frame_stack=profile.frame_stack,
+            feature_dim=profile.feature_dim,
+            base_width=profile.base_width,
+            seed=profile.seed,
+        )
+        for backbone in backbones:
+            row = {"game": game, "backbone": backbone}
+            for label, mode in DISTILLATION_STRATEGIES:
+                score, _ = train_with_distillation(game, backbone, profile, mode, teacher=teacher)
+                row[mode] = score
+            paper = PAPER_TABLE2.get(game, {}).get(backbone, {})
+            row["paper_none"] = paper.get("none", float("nan"))
+            row["paper_policy"] = paper.get("policy", float("nan"))
+            row["paper_ac"] = paper.get("ac", float("nan"))
+            rows.append(row)
+    return rows
+
+
+def format_table2(rows):
+    """Markdown rendering of the Table II reproduction."""
+    return format_table(
+        rows,
+        headers=["game", "backbone", "none", "policy", "ac", "paper_none", "paper_policy", "paper_ac"],
+        title="Table II - distillation strategy ablation",
+    )

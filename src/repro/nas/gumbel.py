@@ -1,0 +1,123 @@
+"""Gumbel-Softmax sampling machinery for differentiable architecture search.
+
+A3C-S relies on two pieces of Gumbel machinery (paper Eq. 6-9):
+
+* **hard Gumbel-Softmax (straight-through)** sampling — the forward pass uses
+  a one-hot sample (single-path forward, Eq. 6) while the backward pass flows
+  gradients through the soft relaxation;
+* **top-K multi-path backward** (Eq. 7) — only the K most probable paths
+  participate in the gradient approximation, trading search stability (more
+  paths) against cost (fewer paths), following ProxylessNAS [19];
+* a **temperature schedule** — the paper initialises the temperature at 5 and
+  decays it by 0.98 every 1e5 steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor
+from ..nn import functional as F
+
+__all__ = ["sample_gumbel", "gumbel_softmax", "hard_gumbel_softmax", "top_k_active", "TemperatureSchedule"]
+
+
+def sample_gumbel(shape, rng, eps=1e-12):
+    """Draw standard Gumbel(0, 1) noise of the given shape."""
+    uniform = rng.random(shape)
+    return -np.log(-np.log(uniform + eps) + eps)
+
+
+def gumbel_softmax(logits, temperature, rng, noise=None):
+    """Soft Gumbel-Softmax relaxation (differentiable w.r.t. ``logits``).
+
+    Parameters
+    ----------
+    logits:
+        Tensor of unnormalised log-probabilities, shape ``(num_choices,)``.
+    temperature:
+        Softmax temperature; lower values approach a one-hot sample.
+    rng:
+        Random generator for the Gumbel noise.
+    noise:
+        Optional pre-drawn Gumbel noise (for reproducibility across calls).
+
+    Returns
+    -------
+    soft:
+        Tensor of relaxed probabilities summing to one.
+    """
+    if noise is None:
+        noise = sample_gumbel(logits.data.shape, rng)
+    perturbed = (logits + Tensor(noise)) / float(temperature)
+    return F.softmax(perturbed, axis=-1)
+
+
+def hard_gumbel_softmax(logits, temperature, rng, noise=None):
+    """Straight-through hard Gumbel-Softmax (paper's ``GS_hard``).
+
+    Returns
+    -------
+    gates:
+        Tensor whose *data* is a one-hot vector selecting the sampled choice
+        but whose gradient is that of the soft relaxation (straight-through
+        estimator) — exactly the single-path-forward / soft-backward behaviour
+        of Eq. 6-7.
+    soft:
+        The underlying soft relaxation tensor.
+    index:
+        The sampled (arg-max) choice index.
+    """
+    soft = gumbel_softmax(logits, temperature, rng, noise=noise)
+    index = int(np.argmax(soft.data))
+    one_hot = np.zeros_like(soft.data)
+    one_hot[index] = 1.0
+    # Straight-through: forward value is one-hot, gradient is d(soft)/d(logits).
+    gates = soft + Tensor(one_hot - soft.data)
+    return gates, soft, index
+
+
+def top_k_active(soft_probs, k, always_include=None):
+    """Indices of the top-``k`` probability paths (multi-path backward, Eq. 7).
+
+    Parameters
+    ----------
+    soft_probs:
+        Soft Gumbel probabilities (Tensor or array), shape ``(num_choices,)``.
+    k:
+        Number of activated paths, clipped to ``[1, num_choices]``.
+    always_include:
+        An index (typically the hard-sampled one) guaranteed to be active.
+    """
+    probs = soft_probs.data if isinstance(soft_probs, Tensor) else np.asarray(soft_probs)
+    num_choices = probs.shape[-1]
+    k = int(np.clip(k, 1, num_choices))
+    order = np.argsort(-probs)
+    active = list(order[:k])
+    if always_include is not None and always_include not in active:
+        active[-1] = int(always_include)
+    return sorted(int(i) for i in active)
+
+
+class TemperatureSchedule:
+    """Exponential temperature decay: ``tau = tau0 * decay^(step / interval)``.
+
+    Defaults follow Sec. V-A: initial temperature 5, decayed by 0.98 every
+    1e5 steps.  ``min_temperature`` keeps the relaxation numerically sane.
+    """
+
+    def __init__(self, initial=5.0, decay=0.98, decay_interval=int(1e5), min_temperature=0.1):
+        self.initial = float(initial)
+        self.decay = float(decay)
+        self.decay_interval = int(decay_interval)
+        self.min_temperature = float(min_temperature)
+
+    def value(self, step):
+        """Temperature at training step ``step``."""
+        exponent = step // self.decay_interval
+        return max(self.min_temperature, self.initial * (self.decay ** exponent))
+
+    def __repr__(self):
+        return "TemperatureSchedule(initial={}, decay={}, every={})".format(
+            self.initial, self.decay, self.decay_interval
+        )

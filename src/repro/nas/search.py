@@ -1,0 +1,368 @@
+"""Differentiable NAS for DRL agents (the agent-search half of A3C-S).
+
+Implements the three search schemes compared in Fig. 2 of the paper:
+
+* **Direct-NAS** — DNAS applied to DRL without any distillation; the paper
+  shows this fails because of the high variance of DRL gradients.
+* **A3C-S: bi-level** — AC-distillation plus DARTS-style bi-level
+  optimisation, whose one-step approximation yields biased gradients that
+  interact badly with DRL's variance (scores stay low).
+* **A3C-S: one-level** — AC-distillation plus one-level optimisation (update
+  the supernet weights and the architecture parameters in the same iteration,
+  SNAS-style), the scheme A3C-S adopts.
+
+The searcher also accepts a hardware-penalty hook so the full co-search
+(:mod:`repro.cosearch`) can reuse the exact same loop with the accelerator
+term of Eq. 4 added to the architecture-parameter gradient (Eq. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..drl.agent import ActorCriticAgent
+from ..drl.distillation import ACDistiller, DistillationMode
+from ..drl.losses import TaskLossWeights, combine_task_loss, entropy_loss, policy_gradient_loss, value_loss
+from ..drl.rollout import RolloutBuffer
+from ..envs import make_vector_env
+from ..networks.supernet import AgentSuperNet
+from ..nn import Adam, RMSProp, Tensor, clip_grad_norm, no_grad
+from ..utils.logging import MetricLogger
+from .arch_params import ArchitectureParameters
+from .gumbel import TemperatureSchedule
+
+__all__ = ["SearchConfig", "SearchResult", "DRLArchitectureSearch", "OptimizationScheme"]
+
+
+class OptimizationScheme:
+    """String constants for the Fig. 2 search schemes."""
+
+    ONE_LEVEL = "one-level"
+    BI_LEVEL = "bi-level"
+
+    ALL = (ONE_LEVEL, BI_LEVEL)
+
+    @staticmethod
+    def validate(scheme):
+        """Return ``scheme`` if known, raise otherwise."""
+        if scheme not in OptimizationScheme.ALL:
+            raise ValueError(
+                "unknown optimisation scheme {!r}; expected one of {}".format(scheme, OptimizationScheme.ALL)
+            )
+        return scheme
+
+
+@dataclass
+class SearchConfig:
+    """Hyper-parameters of the DRL agent search (defaults follow Sec. V-A)."""
+
+    gamma: float = 0.99
+    rollout_length: int = 5
+    num_envs: int = 4
+    total_steps: int = 4000
+    weight_lr: float = 1e-3
+    alpha_lr: float = 1e-3
+    alpha_momentum: float = 0.9
+    max_grad_norm: float = 0.5
+    entropy_beta: float = 1e-2
+    actor_distill_beta: float = 1e-1
+    critic_distill_beta: float = 1e-3
+    distillation_mode: str = DistillationMode.AC
+    scheme: str = OptimizationScheme.ONE_LEVEL
+    num_backward_paths: int = 2
+    temperature_initial: float = 5.0
+    temperature_decay: float = 0.98
+    temperature_interval: int = 1000
+    hw_penalty_weight: float = 0.0
+    eval_interval: int = 0
+    eval_episodes: int = 3
+    seed: int = 0
+
+    def loss_weights(self):
+        """Bundle the beta coefficients of Eq. 12."""
+        return TaskLossWeights(
+            entropy=self.entropy_beta,
+            actor_distill=self.actor_distill_beta,
+            critic_distill=self.critic_distill_beta,
+        )
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search run."""
+
+    op_indices: list
+    logger: object
+    alpha_probabilities: object
+    final_entropy: float
+    total_env_steps: int
+
+    def operator_names(self):
+        """Names of the derived operators per cell."""
+        from ..networks.operators import CANDIDATE_OPERATORS
+
+        return [CANDIDATE_OPERATORS[i].name for i in self.op_indices]
+
+
+class DRLArchitectureSearch:
+    """DNAS over the agent supernet driven by actor-critic training.
+
+    Parameters
+    ----------
+    game:
+        Registered game name (the environment the agent is searched for).
+    supernet:
+        An :class:`~repro.networks.supernet.AgentSuperNet`; built from
+        ``supernet_kwargs`` when omitted.
+    teacher:
+        A frozen teacher agent for AC-distillation (``None`` disables
+        distillation regardless of ``config.distillation_mode``).
+    config:
+        A :class:`SearchConfig`.
+    hardware_penalty:
+        Optional callable ``(sampled_indices, gates) -> Tensor`` implementing
+        the layer-wise hardware-cost penalty of Eq. 8; its output is added to
+        the architecture-parameter objective weighted by
+        ``config.hw_penalty_weight`` (this is how the co-search injects
+        ``lambda * L_cost``).
+    env_kwargs / supernet_kwargs:
+        Geometry options shared between the environment and the supernet.
+    """
+
+    def __init__(
+        self,
+        game,
+        supernet=None,
+        teacher=None,
+        config=None,
+        hardware_penalty=None,
+        evaluator=None,
+        env_kwargs=None,
+        supernet_kwargs=None,
+    ):
+        self.game = game
+        self.config = config if config is not None else SearchConfig()
+        OptimizationScheme.validate(self.config.scheme)
+        self.env_kwargs = dict(env_kwargs or {})
+        self.env_kwargs.setdefault("obs_size", 42)
+        self.env_kwargs.setdefault("frame_stack", 2)
+        supernet_kwargs = dict(supernet_kwargs or {})
+        supernet_kwargs.setdefault("in_channels", self.env_kwargs["frame_stack"])
+        supernet_kwargs.setdefault("input_size", self.env_kwargs["obs_size"])
+        supernet_kwargs.setdefault("feature_dim", 128)
+        supernet_kwargs.setdefault("base_width", 8)
+
+        self.rng = np.random.default_rng(self.config.seed)
+        if supernet is None:
+            supernet = AgentSuperNet(rng=np.random.default_rng(self.config.seed), **supernet_kwargs)
+        self.supernet = supernet
+        self.agent = ActorCriticAgent(
+            supernet, num_actions=6, feature_dim=supernet.feature_dim, rng=np.random.default_rng(self.config.seed)
+        )
+        self.arch = ArchitectureParameters(
+            supernet.num_cells, supernet.num_choices_per_cell, rng=np.random.default_rng(self.config.seed + 1)
+        )
+        self.distiller = (
+            ACDistiller(teacher, mode=self.config.distillation_mode)
+            if teacher is not None
+            else ACDistiller(None, mode=DistillationMode.NONE)
+        )
+        self.hardware_penalty = hardware_penalty
+        self.evaluator = evaluator
+
+        self.env = make_vector_env(
+            game, num_envs=self.config.num_envs, seed=self.config.seed, **self.env_kwargs
+        )
+        self.weight_optimizer = RMSProp(self.agent.parameters(), lr=self.config.weight_lr)
+        self.alpha_optimizer = Adam(
+            self.arch.parameters(), lr=self.config.alpha_lr, betas=(self.config.alpha_momentum, 0.999)
+        )
+        self.temperature = TemperatureSchedule(
+            initial=self.config.temperature_initial,
+            decay=self.config.temperature_decay,
+            decay_interval=self.config.temperature_interval,
+        )
+        self.logger = MetricLogger()
+        self.total_env_steps = 0
+        self.updates = 0
+        self._observations = None
+        self._recent_returns = []
+
+    # ------------------------------------------------------------------ #
+    # Rollout collection along the currently sampled path
+    # ------------------------------------------------------------------ #
+    def _collect_rollout(self, buffer, sampled_indices):
+        if self._observations is None:
+            self._observations = self.env.reset(seed=self.config.seed)
+        buffer.reset()
+        while not buffer.full:
+            with no_grad():
+                actions, values = self.agent.act(self._observations, self.rng, op_indices=sampled_indices)
+            next_observations, rewards, dones, infos = self.env.step(actions)
+            buffer.add(self._observations, actions, rewards, dones, values)
+            self._observations = next_observations
+            self.total_env_steps += self.env.num_envs
+            for info in infos:
+                if "episode_return" in info:
+                    self._recent_returns.append(info["episode_return"])
+                    self.logger.log("episode_return", info["episode_return"], step=self.total_env_steps)
+        with no_grad():
+            bootstrap = self.agent.forward(self._observations, op_indices=sampled_indices).value.data
+        return bootstrap
+
+    # ------------------------------------------------------------------ #
+    # Loss evaluation on a rollout with gated (multi-path-backward) forward
+    # ------------------------------------------------------------------ #
+    def _task_loss(self, batch, gates, active_indices):
+        chosen_log_probs, entropy_per_sample, values, output = self.agent.evaluate_actions(
+            batch["observations"], batch["actions"], gates=gates, active_indices=active_indices
+        )
+        loss_policy = policy_gradient_loss(chosen_log_probs, batch["advantages"])
+        loss_value = value_loss(values, batch["returns"])
+        loss_entropy = entropy_loss(output.probs, output.log_probs)
+        actor_distill, critic_distill = (None, None)
+        if self.distiller.enabled:
+            actor_distill, critic_distill = self.distiller.losses(batch["observations"], output)
+        total = combine_task_loss(
+            loss_policy,
+            loss_value,
+            loss_entropy,
+            actor_distill=actor_distill,
+            critic_distill=critic_distill,
+            weights=self.config.loss_weights(),
+        )
+        components = {
+            "policy": loss_policy.item(),
+            "value": loss_value.item(),
+            "entropy": loss_entropy.item(),
+            "actor_distill": actor_distill.item() if actor_distill is not None else 0.0,
+            "critic_distill": critic_distill.item() if critic_distill is not None else 0.0,
+        }
+        return total, components
+
+    def _add_hardware_penalty(self, total_loss, sampled_indices, gates):
+        """Add ``lambda * L_cost`` (Eq. 4 / Eq. 8) when a penalty hook is set."""
+        if self.hardware_penalty is None or self.config.hw_penalty_weight <= 0.0:
+            return total_loss, 0.0
+        penalty = self.hardware_penalty(sampled_indices, gates)
+        if penalty is None:
+            return total_loss, 0.0
+        total = total_loss + penalty * self.config.hw_penalty_weight
+        value = penalty.item() if isinstance(penalty, Tensor) else float(penalty)
+        return total, value
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def _one_level_update(self, buffer):
+        """One-level: weights and alpha updated from the same rollout loss."""
+        temperature = self.temperature.value(self.total_env_steps)
+        gates, active, sampled = self.arch.sample(
+            temperature, self.rng, num_backward_paths=self.config.num_backward_paths
+        )
+        bootstrap = self._collect_rollout(buffer, sampled)
+        batch = buffer.compute_targets(bootstrap, self.config.gamma)
+        total, components = self._task_loss(batch, gates, active)
+        total, hw_value = self._add_hardware_penalty(total, sampled, gates)
+
+        self.weight_optimizer.zero_grad()
+        self.alpha_optimizer.zero_grad()
+        total.backward()
+        clip_grad_norm(self.agent.parameters(), self.config.max_grad_norm)
+        self.weight_optimizer.step()
+        self.alpha_optimizer.step()
+        return total.item(), components, hw_value
+
+    def _bi_level_update(self, buffer):
+        """Bi-level: weights on one rollout, alpha on a fresh "validation" rollout.
+
+        This is the DARTS-style one-step approximation whose gradient bias the
+        paper blames for the failure of bi-level search under DRL variance.
+        """
+        temperature = self.temperature.value(self.total_env_steps)
+        # --- weight step -------------------------------------------------
+        gates, active, sampled = self.arch.sample(
+            temperature, self.rng, num_backward_paths=self.config.num_backward_paths
+        )
+        bootstrap = self._collect_rollout(buffer, sampled)
+        batch = buffer.compute_targets(bootstrap, self.config.gamma)
+        total_w, components = self._task_loss(batch, gates, active)
+        self.weight_optimizer.zero_grad()
+        self.alpha_optimizer.zero_grad()
+        total_w.backward()
+        clip_grad_norm(self.agent.parameters(), self.config.max_grad_norm)
+        self.weight_optimizer.step()
+
+        # --- alpha step on a fresh rollout ("validation" data) -----------
+        gates_v, active_v, sampled_v = self.arch.sample(
+            temperature, self.rng, num_backward_paths=self.config.num_backward_paths
+        )
+        bootstrap_v = self._collect_rollout(buffer, sampled_v)
+        batch_v = buffer.compute_targets(bootstrap_v, self.config.gamma)
+        total_a, _ = self._task_loss(batch_v, gates_v, active_v)
+        total_a, hw_value = self._add_hardware_penalty(total_a, sampled_v, gates_v)
+        self.weight_optimizer.zero_grad()
+        self.alpha_optimizer.zero_grad()
+        total_a.backward()
+        self.alpha_optimizer.step()
+        return total_w.item(), components, hw_value
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def search(self, total_steps=None):
+        """Run the agent search and return a :class:`SearchResult`."""
+        cfg = self.config
+        target = total_steps if total_steps is not None else cfg.total_steps
+        obs_shape = self.env.observation_space.shape
+        buffer = RolloutBuffer(cfg.rollout_length, self.env.num_envs, obs_shape)
+        next_eval = cfg.eval_interval if cfg.eval_interval else None
+
+        self.agent.train()
+        while self.total_env_steps < target:
+            if cfg.scheme == OptimizationScheme.ONE_LEVEL:
+                loss_value, components, hw_value = self._one_level_update(buffer)
+            else:
+                loss_value, components, hw_value = self._bi_level_update(buffer)
+            self.updates += 1
+            self.logger.log("loss/total", loss_value, step=self.total_env_steps)
+            for key, value in components.items():
+                self.logger.log("loss/{}".format(key), value, step=self.total_env_steps)
+            if hw_value:
+                self.logger.log("loss/hw_penalty", hw_value, step=self.total_env_steps)
+            self.logger.log("alpha_entropy", self.arch.entropy(), step=self.total_env_steps)
+
+            if next_eval is not None and self.total_env_steps >= next_eval and self.evaluator is not None:
+                score = float(self.evaluator(self.agent, self.arch.derive()))
+                self.logger.log("eval_score", score, step=self.total_env_steps)
+                next_eval += cfg.eval_interval
+
+        op_indices = self.arch.derive()
+        return SearchResult(
+            op_indices=op_indices,
+            logger=self.logger,
+            alpha_probabilities=self.arch.probabilities(),
+            final_entropy=self.arch.entropy(),
+            total_env_steps=self.total_env_steps,
+        )
+
+    def derive_agent(self, rng=None):
+        """Derive the final stand-alone agent from the current alpha."""
+        op_indices = self.arch.derive()
+        backbone = self.supernet.derive(op_indices, rng=rng)
+        derived = ActorCriticAgent(
+            backbone, num_actions=self.agent.num_actions, feature_dim=backbone.feature_dim,
+            rng=np.random.default_rng(self.config.seed),
+        )
+        # The heads keep the weights trained during the search.
+        derived.policy_head.load_state_dict(self.agent.policy_head.state_dict())
+        derived.value_head.load_state_dict(self.agent.value_head.state_dict())
+        return derived
+
+    def mean_recent_return(self, window=20):
+        """Mean of the last ``window`` training episode returns."""
+        if not self._recent_returns:
+            return 0.0
+        return float(np.mean(self._recent_returns[-window:]))

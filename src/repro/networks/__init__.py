@@ -1,0 +1,33 @@
+"""DRL agent backbones: Vanilla DQN CNN, ResNets, NAS operators and supernet."""
+
+from .operators import (
+    CANDIDATE_OPERATORS,
+    OperatorSpec,
+    build_operator,
+    operator_macs,
+    operator_params,
+)
+from .resnet import RESNET_BLOCKS, ResNet, build_backbone, resnet14, resnet20, resnet38, resnet74
+from .supernet import AgentSuperNet, CellConfig, DerivedAgentNet, SearchableCell, default_cell_configs
+from .vanilla import VanillaNet
+
+__all__ = [
+    "VanillaNet",
+    "ResNet",
+    "resnet14",
+    "resnet20",
+    "resnet38",
+    "resnet74",
+    "RESNET_BLOCKS",
+    "build_backbone",
+    "OperatorSpec",
+    "CANDIDATE_OPERATORS",
+    "build_operator",
+    "operator_macs",
+    "operator_params",
+    "CellConfig",
+    "SearchableCell",
+    "AgentSuperNet",
+    "DerivedAgentNet",
+    "default_cell_configs",
+]

@@ -1,0 +1,118 @@
+"""The "Vanilla" backbone: the original small CNN from Nature DQN [1].
+
+The paper uses this network (conv 8x8/4 -> conv 4x4/2 -> conv 3x3/1 -> FC) as
+the smallest baseline feature extractor for its model-size ablation (Table I,
+Fig. 1) and distillation ablation (Table II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Conv2d, Flatten, Linear, Module, ReLU
+
+__all__ = ["VanillaNet"]
+
+
+class VanillaNet(Module):
+    """Nature-DQN convolutional feature extractor.
+
+    Parameters
+    ----------
+    in_channels:
+        Number of stacked input frames (the paper stacks 4 grey-scale frames).
+    input_size:
+        Spatial resolution of the (square) observation, 84 for Atari.
+    feature_dim:
+        Output feature dimensionality fed to the policy / value heads.
+    """
+
+    name = "Vanilla"
+
+    def __init__(self, in_channels=4, input_size=84, feature_dim=256, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.input_size = input_size
+        self.feature_dim = feature_dim
+
+        # The classic Nature-DQN kernels assume a large (84x84) observation.
+        # Smaller observations (used by the scaled-down experiment profiles)
+        # get proportionally smaller kernels/strides so every conv still
+        # produces a non-empty feature map.
+        if input_size >= 64:
+            conv_params = [(32, 8, 4, 0), (64, 4, 2, 0), (64, 3, 1, 0)]
+        elif input_size >= 32:
+            conv_params = [(32, 4, 2, 0), (64, 4, 2, 0), (64, 3, 1, 0)]
+        else:
+            conv_params = [(32, 3, 2, 1), (64, 3, 2, 1), (64, 3, 1, 1)]
+        channels = in_channels
+        convs = []
+        for out_channels, kernel, stride, padding in conv_params:
+            convs.append(Conv2d(channels, out_channels, kernel, stride=stride, padding=padding, rng=rng))
+            channels = out_channels
+        self.conv1, self.conv2, self.conv3 = convs
+
+        size = input_size
+        for conv in (self.conv1, self.conv2, self.conv3):
+            size = conv.output_spatial(size)
+        self._final_spatial = size
+        self.flatten = Flatten()
+        self.fc = Linear(64 * size * size, feature_dim, rng=rng)
+        self.relu = ReLU()
+
+    def forward(self, x):
+        x = self.relu(self.conv1(x))
+        x = self.relu(self.conv2(x))
+        x = self.relu(self.conv3(x))
+        x = self.flatten(x)
+        return self.relu(self.fc(x))
+
+    def layer_specs(self):
+        """Per-layer workload description consumed by the accelerator cost model.
+
+        Returns a list of dicts, one per conv / FC layer, with the fields the
+        analytical model needs (channel counts, kernel, stride, output size).
+        """
+        specs = []
+        size = self.input_size
+        for name, conv in (("conv1", self.conv1), ("conv2", self.conv2), ("conv3", self.conv3)):
+            out_size = conv.output_spatial(size)
+            specs.append(
+                {
+                    "name": name,
+                    "type": "conv",
+                    "in_channels": conv.in_channels,
+                    "out_channels": conv.out_channels,
+                    "kernel_size": conv.kernel_size,
+                    "stride": conv.stride,
+                    "input_size": size,
+                    "output_size": out_size,
+                    "groups": conv.groups,
+                }
+            )
+            size = out_size
+        specs.append(
+            {
+                "name": "fc",
+                "type": "fc",
+                "in_features": self.fc.in_features,
+                "out_features": self.fc.out_features,
+            }
+        )
+        return specs
+
+    def flops(self):
+        """Total multiply-accumulate count of one forward pass (batch of 1)."""
+        total = 0
+        for spec in self.layer_specs():
+            if spec["type"] == "conv":
+                total += (
+                    spec["output_size"] ** 2
+                    * spec["out_channels"]
+                    * (spec["in_channels"] // spec["groups"])
+                    * spec["kernel_size"] ** 2
+                )
+            else:
+                total += spec["in_features"] * spec["out_features"]
+        return int(total)

@@ -1,0 +1,92 @@
+"""NumPy autodiff + neural-network substrate used by the A3C-S reproduction.
+
+Public surface:
+
+* :class:`Tensor` — reverse-mode autodiff array.
+* :mod:`repro.nn.functional` — functional ops and losses (imported as ``F``).
+* Layer classes (:class:`Linear`, :class:`Conv2d`, :class:`BatchNorm2d`, ...).
+* Building blocks (:class:`BasicResBlock`, :class:`InvertedResidual`, ...).
+* Optimisers (:class:`SGD`, :class:`RMSProp`, :class:`Adam`) and schedules.
+"""
+
+from . import functional
+from . import init
+from .blocks import BasicResBlock, ConvBNReLU, InvertedResidual, SkipConnection, count_conv_flops
+from .modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .optim import (
+    Adam,
+    ConstantSchedule,
+    LinearDecaySchedule,
+    Optimizer,
+    RMSProp,
+    SGD,
+    StepDecaySchedule,
+    clip_grad_norm,
+)
+from .serialization import load_module, load_state_dict, save_module, save_state_dict
+from .tensor import Tensor, as_tensor, no_grad, is_grad_enabled, unbroadcast
+
+F = functional
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "functional",
+    "F",
+    "init",
+    "Parameter",
+    "Module",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Flatten",
+    "Identity",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+    "ConvBNReLU",
+    "BasicResBlock",
+    "InvertedResidual",
+    "SkipConnection",
+    "count_conv_flops",
+    "Optimizer",
+    "SGD",
+    "RMSProp",
+    "Adam",
+    "ConstantSchedule",
+    "LinearDecaySchedule",
+    "StepDecaySchedule",
+    "clip_grad_norm",
+    "save_state_dict",
+    "load_state_dict",
+    "save_module",
+    "load_module",
+]

@@ -1,0 +1,437 @@
+"""Functional neural-network operations on :class:`repro.nn.tensor.Tensor`.
+
+These free functions implement the forward/backward math for the layers the
+A3C-S reproduction needs: convolutions (via im2col), pooling, activations,
+normalisation statistics, softmax families, and the loss primitives used by
+the actor-critic training objective (Eq. 12-15 of the paper) and by the
+AC-distillation mechanism (Eq. 10-11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "linear",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "batch_norm2d",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "mse_loss",
+    "huber_loss",
+    "cross_entropy",
+    "nll_loss",
+    "kl_divergence",
+    "entropy",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Activations
+# --------------------------------------------------------------------------- #
+def relu(x):
+    """Rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def leaky_relu(x, negative_slope=0.01):
+    """Leaky ReLU with configurable negative slope."""
+    x = as_tensor(x)
+    mask = (x.data > 0).astype(np.float64)
+    scale = mask + negative_slope * (1.0 - mask)
+
+    def backward(grad):
+        x._accumulate(grad * scale)
+
+    return Tensor._make(x.data * scale, (x,), backward)
+
+
+def sigmoid(x):
+    """Logistic sigmoid."""
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x):
+    """Hyperbolic tangent."""
+    return as_tensor(x).tanh()
+
+
+# --------------------------------------------------------------------------- #
+# Linear / convolution
+# --------------------------------------------------------------------------- #
+def linear(x, weight, bias=None):
+    """Affine map ``x @ weight.T + bias``.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, in_features)``.
+    weight:
+        Weight of shape ``(out_features, in_features)``.
+    bias:
+        Optional bias of shape ``(out_features,)``.
+    """
+    out = as_tensor(x).matmul(as_tensor(weight).transpose())
+    if bias is not None:
+        out = out + as_tensor(bias)
+    return out
+
+
+def conv_output_size(size, kernel, stride, padding):
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x, kernel_size, stride, padding):
+    """Unfold image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Array of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N, out_h, out_w, C * kh * kw)``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel_size
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    strides = x.strides
+    shape = (n, c, out_h, out_w, kh, kw)
+    new_strides = (
+        strides[0],
+        strides[1],
+        strides[2] * stride,
+        strides[3] * stride,
+        strides[2],
+        strides[3],
+    )
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=new_strides)
+    # (N, out_h, out_w, C, kh, kw) -> (N, out_h, out_w, C*kh*kw)
+    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h, out_w, c * kh * kw)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(cols, x_shape, kernel_size, stride, padding):
+    """Fold column gradients back into an image gradient (adjoint of im2col)."""
+    n, c, h, w = x_shape
+    kh, kw = kernel_size
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += (
+                cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(x, weight, bias=None, stride=1, padding=0, groups=1):
+    """2-D convolution with im2col, supporting grouped / depthwise convs.
+
+    Parameters
+    ----------
+    x:
+        Input tensor of shape ``(N, C_in, H, W)``.
+    weight:
+        Filter tensor of shape ``(C_out, C_in // groups, kh, kw)``.
+    bias:
+        Optional bias tensor of shape ``(C_out,)``.
+    stride, padding:
+        Spatial stride and zero padding.
+    groups:
+        Number of filter groups; ``groups == C_in`` gives a depthwise conv.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    n, c_in, h, w = x.data.shape
+    c_out, c_in_g, kh, kw = weight.data.shape
+    if c_in % groups != 0 or c_out % groups != 0:
+        raise ValueError("channels must be divisible by groups")
+    if c_in_g != c_in // groups:
+        raise ValueError(
+            "weight expects {} input channels per group, input provides {}".format(
+                c_in_g, c_in // groups
+            )
+        )
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+
+    if groups == 1:
+        cols = im2col(x.data, (kh, kw), stride, padding)  # (N, oh, ow, C*kh*kw)
+        w_mat = weight.data.reshape(c_out, -1)  # (C_out, C*kh*kw)
+        out_data = cols @ w_mat.T  # (N, oh, ow, C_out)
+        out_data = out_data.transpose(0, 3, 1, 2)
+
+        def backward(grad):
+            # grad: (N, C_out, oh, ow)
+            grad_mat = grad.transpose(0, 2, 3, 1)  # (N, oh, ow, C_out)
+            if weight.requires_grad:
+                gw = np.tensordot(grad_mat, cols, axes=([0, 1, 2], [0, 1, 2]))
+                weight._accumulate(gw.reshape(weight.data.shape))
+            if x.requires_grad:
+                gcols = grad_mat @ w_mat  # (N, oh, ow, C*kh*kw)
+                x._accumulate(col2im(gcols, x.data.shape, (kh, kw), stride, padding))
+
+        out = Tensor._make(out_data, (x, weight), backward)
+    else:
+        group_in = c_in // groups
+        group_out = c_out // groups
+        cols_per_group = []
+        out_chunks = []
+        w_mats = []
+        for g in range(groups):
+            xg = x.data[:, g * group_in : (g + 1) * group_in]
+            cols = im2col(xg, (kh, kw), stride, padding)
+            wg = weight.data[g * group_out : (g + 1) * group_out].reshape(group_out, -1)
+            cols_per_group.append(cols)
+            w_mats.append(wg)
+            out_chunks.append((cols @ wg.T).transpose(0, 3, 1, 2))
+        out_data = np.concatenate(out_chunks, axis=1)
+
+        def backward(grad):
+            gx_full = np.zeros_like(x.data) if x.requires_grad else None
+            gw_full = np.zeros_like(weight.data) if weight.requires_grad else None
+            for g in range(groups):
+                grad_g = grad[:, g * group_out : (g + 1) * group_out]
+                grad_mat = grad_g.transpose(0, 2, 3, 1)
+                if gw_full is not None:
+                    gw = np.tensordot(grad_mat, cols_per_group[g], axes=([0, 1, 2], [0, 1, 2]))
+                    gw_full[g * group_out : (g + 1) * group_out] = gw.reshape(
+                        group_out, group_in, kh, kw
+                    )
+                if gx_full is not None:
+                    gcols = grad_mat @ w_mats[g]
+                    gx_full[:, g * group_in : (g + 1) * group_in] = col2im(
+                        gcols, (n, group_in, h, w), (kh, kw), stride, padding
+                    )
+            if gw_full is not None:
+                weight._accumulate(gw_full)
+            if gx_full is not None:
+                x._accumulate(gx_full)
+
+        out = Tensor._make(out_data, (x, weight), backward)
+
+    if bias is not None:
+        bias = as_tensor(bias)
+        out = out + bias.reshape(1, -1, 1, 1)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Pooling
+# --------------------------------------------------------------------------- #
+def max_pool2d(x, kernel_size=2, stride=None):
+    """Max pooling over non-overlapping (or strided) windows."""
+    x = as_tensor(x)
+    stride = stride or kernel_size
+    n, c, h, w = x.data.shape
+    out_h = (h - kernel_size) // stride + 1
+    out_w = (w - kernel_size) // stride + 1
+    cols = im2col(
+        x.data.reshape(n * c, 1, h, w), (kernel_size, kernel_size), stride, 0
+    )  # (N*C, oh, ow, k*k)
+    argmax = cols.argmax(axis=-1)
+    out_data = cols.max(axis=-1).reshape(n, c, out_h, out_w)
+
+    def backward(grad):
+        gcols = np.zeros_like(cols)
+        flat_idx = argmax.reshape(-1)
+        gcols.reshape(-1, kernel_size * kernel_size)[
+            np.arange(flat_idx.size), flat_idx
+        ] = grad.reshape(-1)
+        gx = col2im(gcols, (n * c, 1, h, w), (kernel_size, kernel_size), stride, 0)
+        x._accumulate(gx.reshape(n, c, h, w))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x, kernel_size=2, stride=None):
+    """Average pooling over windows."""
+    x = as_tensor(x)
+    stride = stride or kernel_size
+    n, c, h, w = x.data.shape
+    out_h = (h - kernel_size) // stride + 1
+    out_w = (w - kernel_size) // stride + 1
+    cols = im2col(x.data.reshape(n * c, 1, h, w), (kernel_size, kernel_size), stride, 0)
+    out_data = cols.mean(axis=-1).reshape(n, c, out_h, out_w)
+    k2 = kernel_size * kernel_size
+
+    def backward(grad):
+        gcols = np.repeat(grad.reshape(n * c, out_h, out_w, 1), k2, axis=-1) / k2
+        gx = col2im(gcols, (n * c, 1, h, w), (kernel_size, kernel_size), stride, 0)
+        x._accumulate(gx.reshape(n, c, h, w))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def global_avg_pool2d(x):
+    """Average over the full spatial extent, returning ``(N, C)``."""
+    x = as_tensor(x)
+    return x.mean(axis=(2, 3))
+
+
+# --------------------------------------------------------------------------- #
+# Normalisation
+# --------------------------------------------------------------------------- #
+def batch_norm2d(x, gamma, beta, running_mean, running_var, training, momentum=0.1, eps=1e-5):
+    """Batch normalisation over the channel dimension of an NCHW tensor.
+
+    ``running_mean`` / ``running_var`` are plain NumPy arrays updated in place
+    during training and used verbatim during evaluation.
+    """
+    x = as_tensor(x)
+    gamma = as_tensor(gamma)
+    beta = as_tensor(beta)
+    if training:
+        mean = x.mean(axis=(0, 2, 3), keepdims=True)
+        var = x.var(axis=(0, 2, 3), keepdims=True)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean.data.reshape(-1)
+        running_var *= 1.0 - momentum
+        running_var += momentum * var.data.reshape(-1)
+    else:
+        mean = Tensor(running_mean.reshape(1, -1, 1, 1))
+        var = Tensor(running_var.reshape(1, -1, 1, 1))
+    x_hat = (x - mean) / (var + eps).sqrt()
+    return x_hat * gamma.reshape(1, -1, 1, 1) + beta.reshape(1, -1, 1, 1)
+
+
+def dropout(x, p=0.5, training=True, rng=None):
+    """Inverted dropout; identity when ``training`` is False or ``p == 0``."""
+    x = as_tensor(x)
+    if not training or p <= 0.0:
+        return x
+    rng = rng if rng is not None else np.random.default_rng()
+    mask = (rng.random(x.data.shape) >= p).astype(np.float64) / (1.0 - p)
+
+    def backward(grad):
+        x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+# --------------------------------------------------------------------------- #
+# Softmax family
+# --------------------------------------------------------------------------- #
+def softmax(x, axis=-1):
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x, axis=-1):
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+# --------------------------------------------------------------------------- #
+# Losses
+# --------------------------------------------------------------------------- #
+def mse_loss(prediction, target, reduction="mean"):
+    """Mean-squared error; used by the value loss (Eq. 14) and critic distillation (Eq. 11)."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = prediction - target
+    loss = diff * diff
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def huber_loss(prediction, target, delta=1.0, reduction="mean"):
+    """Huber (smooth-L1) loss, a robust alternative to MSE for value targets."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = prediction - target
+    abs_diff = diff.abs()
+    quadratic = abs_diff.clip(0.0, delta)
+    linear = abs_diff - quadratic
+    loss = quadratic * quadratic * 0.5 + linear * delta
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def nll_loss(log_probs, targets, reduction="mean"):
+    """Negative log likelihood given log-probabilities and integer targets."""
+    log_probs = as_tensor(log_probs)
+    targets = np.asarray(targets.data if isinstance(targets, Tensor) else targets, dtype=np.int64)
+    n = log_probs.data.shape[0]
+    mask = np.zeros_like(log_probs.data)
+    mask[np.arange(n), targets] = -1.0
+    picked = log_probs * Tensor(mask)
+    loss = picked.sum(axis=-1)
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def cross_entropy(logits, targets, reduction="mean"):
+    """Cross-entropy between logits and integer class targets."""
+    return nll_loss(log_softmax(logits, axis=-1), targets, reduction=reduction)
+
+
+def kl_divergence(p_probs, q_log_probs, axis=-1, reduction="mean"):
+    """KL(p || q) where ``p_probs`` are probabilities and ``q_log_probs`` log-probs.
+
+    This is the actor-distillation loss of Eq. 10: the teacher distribution
+    ``p`` is treated as a constant, so only gradients w.r.t. the student
+    log-probabilities flow.
+    """
+    p_probs = as_tensor(p_probs).detach()
+    q_log_probs = as_tensor(q_log_probs)
+    p_log = Tensor(np.log(np.clip(p_probs.data, 1e-12, None)))
+    per_sample = (p_probs * (p_log - q_log_probs)).sum(axis=axis)
+    if reduction == "mean":
+        return per_sample.mean()
+    if reduction == "sum":
+        return per_sample.sum()
+    return per_sample
+
+
+def entropy(probs, log_probs=None, axis=-1, reduction="mean"):
+    """Shannon entropy of a categorical distribution (Eq. 15 uses its negation)."""
+    probs = as_tensor(probs)
+    if log_probs is None:
+        log_probs = Tensor(np.log(np.clip(probs.data, 1e-12, None)))
+    else:
+        log_probs = as_tensor(log_probs)
+    per_sample = -(probs * log_probs).sum(axis=axis)
+    if reduction == "mean":
+        return per_sample.mean()
+    if reduction == "sum":
+        return per_sample.sum()
+    return per_sample

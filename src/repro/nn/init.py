@@ -1,0 +1,65 @@
+"""Weight initialisation schemes for :mod:`repro.nn` modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "kaiming_normal", "xavier_uniform", "uniform_", "zeros", "ones", "orthogonal"]
+
+
+def _fan_in_out(shape):
+    """Compute fan-in / fan-out for linear and conv weight shapes."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape))
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape, rng, gain=np.sqrt(2.0)):
+    """He/Kaiming uniform initialisation suited to ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * np.sqrt(3.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape, rng, gain=np.sqrt(2.0)):
+    """He/Kaiming normal initialisation."""
+    fan_in, _ = _fan_in_out(shape)
+    std = gain / np.sqrt(max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape, rng, gain=1.0):
+    """Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform_(shape, rng, low=-0.1, high=0.1):
+    """Plain uniform initialisation in ``[low, high]``."""
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape, rng=None):
+    """All-zeros initialisation (biases, batch-norm beta)."""
+    return np.zeros(shape)
+
+
+def ones(shape, rng=None):
+    """All-ones initialisation (batch-norm gamma)."""
+    return np.ones(shape)
+
+
+def orthogonal(shape, rng, gain=1.0):
+    """Orthogonal initialisation, commonly used for RL policy/value heads."""
+    flat_shape = (shape[0], int(np.prod(shape[1:])))
+    a = rng.normal(0.0, 1.0, flat_shape)
+    u, _, vt = np.linalg.svd(a, full_matrices=False)
+    q = u if u.shape == flat_shape else vt
+    return gain * q.reshape(shape)

@@ -1,0 +1,206 @@
+"""Optimisers and learning-rate schedules.
+
+The paper trains DRL agents with RMSProp (initial LR 1e-3, constant for the
+first third of training then linearly decayed to 1e-4) and updates the
+architecture parameters alpha with Adam (LR 1e-3).  Both optimisers, plus
+plain SGD with momentum and the linear-decay schedule, are implemented here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "RMSProp",
+    "Adam",
+    "LinearDecaySchedule",
+    "ConstantSchedule",
+    "StepDecaySchedule",
+    "clip_grad_norm",
+]
+
+
+def clip_grad_norm(parameters, max_norm):
+    """Clip the global L2 norm of gradients in place.
+
+    Returns the pre-clipping norm so callers can log it; gradient clipping is
+    a standard stabiliser for A2C-style training.
+    """
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g ** 2).sum()) for g in grads)))
+    if max_norm is not None and total > max_norm and total > 0.0:
+        scale = max_norm / (total + 1e-12)
+        for param in parameters:
+            if param.grad is not None:
+                param.grad = param.grad * scale
+    return total
+
+
+class Optimizer:
+    """Base optimiser: holds parameters and per-parameter state."""
+
+    def __init__(self, parameters, lr):
+        self.parameters = list(parameters)
+        self.lr = float(lr)
+        self.steps = 0
+
+    def zero_grad(self):
+        """Clear gradients on all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self):
+        """Apply one update using the accumulated gradients."""
+        raise NotImplementedError
+
+    def set_lr(self, lr):
+        """Update the learning rate (used by schedules)."""
+        self.lr = float(lr)
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters, lr=0.01, momentum=0.0, weight_decay=0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        self.steps += 1
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+
+class RMSProp(Optimizer):
+    """RMSProp as used by the Nature DQN / A3C line of work.
+
+    Uses the "centered=False" variant with a shared epsilon, matching the
+    optimiser the paper inherits from [1] (Mnih et al.).
+    """
+
+    def __init__(self, parameters, lr=1e-3, alpha=0.99, eps=1e-5, weight_decay=0.0):
+        super().__init__(parameters, lr)
+        self.alpha = alpha
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._square_avg = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        self.steps += 1
+        for param, square_avg in zip(self.parameters, self._square_avg):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            square_avg *= self.alpha
+            square_avg += (1.0 - self.alpha) * grad * grad
+            param.data -= self.lr * grad / (np.sqrt(square_avg) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam optimiser; used for the architecture parameters alpha (Sec. V-A)."""
+
+    def __init__(self, parameters, lr=1e-3, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        self.steps += 1
+        bias1 = 1.0 - self.beta1 ** self.steps
+        bias2 = 1.0 - self.beta2 ** self.steps
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class ConstantSchedule:
+    """A learning-rate schedule that never changes."""
+
+    def __init__(self, lr):
+        self.lr = float(lr)
+
+    def value(self, step):
+        """Learning rate at ``step``."""
+        return self.lr
+
+
+class LinearDecaySchedule:
+    """Paper schedule: constant LR until ``hold_steps`` then linear decay.
+
+    The paper keeps 1e-3 for the first 1e7 steps of a 3e7-step run, then
+    decays linearly to 1e-4 by the final step.
+    """
+
+    def __init__(self, initial_lr=1e-3, final_lr=1e-4, hold_steps=int(1e7), total_steps=int(3e7)):
+        if total_steps <= hold_steps:
+            raise ValueError("total_steps must exceed hold_steps")
+        self.initial_lr = float(initial_lr)
+        self.final_lr = float(final_lr)
+        self.hold_steps = int(hold_steps)
+        self.total_steps = int(total_steps)
+
+    def value(self, step):
+        """Learning rate at environment step ``step``."""
+        if step <= self.hold_steps:
+            return self.initial_lr
+        fraction = min(1.0, (step - self.hold_steps) / (self.total_steps - self.hold_steps))
+        return self.initial_lr + fraction * (self.final_lr - self.initial_lr)
+
+    def apply(self, optimizer, step):
+        """Set the optimiser learning rate for the given step and return it."""
+        lr = self.value(step)
+        optimizer.set_lr(lr)
+        return lr
+
+
+class StepDecaySchedule:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, initial_lr, step_size, gamma=0.5, min_lr=0.0):
+        self.initial_lr = float(initial_lr)
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+        self.min_lr = float(min_lr)
+
+    def value(self, step):
+        """Learning rate at ``step``."""
+        decays = step // self.step_size
+        return max(self.min_lr, self.initial_lr * (self.gamma ** decays))
+
+    def apply(self, optimizer, step):
+        """Set the optimiser learning rate for the given step and return it."""
+        lr = self.value(step)
+        optimizer.set_lr(lr)
+        return lr

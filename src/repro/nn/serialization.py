@@ -1,0 +1,35 @@
+"""Saving and loading module state dicts to ``.npz`` files."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["save_state_dict", "load_state_dict", "save_module", "load_module"]
+
+
+def save_state_dict(state_dict, path):
+    """Write a ``{name: ndarray}`` state dict to a compressed ``.npz`` file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in state_dict.items()})
+    return path
+
+
+def load_state_dict(path):
+    """Load a state dict previously written by :func:`save_state_dict`."""
+    with np.load(path) as data:
+        return {key: data[key] for key in data.files}
+
+
+def save_module(module, path):
+    """Persist a module's parameters and buffers to disk."""
+    return save_state_dict(module.state_dict(), path)
+
+
+def load_module(module, path):
+    """Load parameters and buffers from disk into ``module`` (in place)."""
+    module.load_state_dict(load_state_dict(path))
+    return module

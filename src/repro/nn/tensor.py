@@ -1,0 +1,544 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the foundation of the :mod:`repro.nn` substrate.  The paper's
+experiments rely on PyTorch; this reproduction rebuilds the minimal but
+complete autograd engine the A3C-S algorithms need: a :class:`Tensor` that
+records the operations applied to it and can back-propagate gradients through
+arbitrary DAGs of those operations.
+
+The design follows the classic "tape of nodes" approach:
+
+* every differentiable operation creates a new :class:`Tensor` whose
+  ``_parents`` reference the input tensors and whose ``_backward`` closure
+  knows how to push the output gradient onto each parent's ``grad``;
+* :meth:`Tensor.backward` topologically sorts the graph and runs the closures
+  in reverse order.
+
+Broadcasting is fully supported: gradients flowing into a broadcast operand
+are reduced (summed) back to the operand's shape by :func:`unbroadcast`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "unbroadcast", "as_tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = [True]
+
+
+class no_grad:
+    """Context manager that disables gradient tracking.
+
+    Mirrors ``torch.no_grad``: operations performed inside the block produce
+    tensors with ``requires_grad=False`` and do not record parents, which
+    keeps rollout collection and evaluation cheap.
+    """
+
+    def __enter__(self):
+        self._prev = _GRAD_ENABLED[0]
+        _GRAD_ENABLED[0] = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _GRAD_ENABLED[0] = self._prev
+        return False
+
+
+def is_grad_enabled():
+    """Return ``True`` when operations should record the autograd graph."""
+    return _GRAD_ENABLED[0]
+
+
+def unbroadcast(grad, shape):
+    """Reduce ``grad`` so that it matches ``shape``.
+
+    When an operand was broadcast during the forward pass, the gradient
+    arriving at the operand has the broadcast (larger) shape.  Summing over
+    the broadcast axes recovers the gradient of the original operand.
+
+    Parameters
+    ----------
+    grad:
+        Gradient with the broadcast output shape.
+    shape:
+        The shape of the original operand.
+    """
+    if grad.shape == tuple(shape):
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size-1 in the operand but expanded in the output.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, requires_grad=False):
+    """Coerce ``value`` into a :class:`Tensor` (no copy if already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A NumPy-backed array with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a ``numpy.ndarray`` of ``float64``.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` for this
+        tensor during :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(self, data, requires_grad=False, _parents=(), _backward=None, name=None):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self.grad = None
+        self._parents = tuple(_parents) if is_grad_enabled() else ()
+        self._backward = _backward if is_grad_enabled() else None
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    @property
+    def size(self):
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return "Tensor(shape={}, data={}{})".format(self.shape, self.data, grad_flag)
+
+    def item(self):
+        """Return the single scalar held by this tensor as a Python float."""
+        return float(self.data)
+
+    def numpy(self):
+        """Return the underlying ``numpy.ndarray`` (no copy)."""
+        return self.data
+
+    def detach(self):
+        """Return a new tensor sharing data but severed from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self):
+        """Return a detached deep copy of this tensor."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self):
+        """Reset the accumulated gradient to ``None``."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _make(cls, data, parents, backward):
+        """Create a result tensor, wiring the graph only when needed."""
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = cls(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad):
+        """Accumulate ``grad`` into this tensor's ``grad`` buffer."""
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad=None):
+        """Back-propagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of some scalar objective w.r.t. this tensor.  Defaults to
+            ``1.0`` which requires this tensor to be a scalar.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient requires a scalar "
+                    "tensor, got shape {}".format(self.shape)
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order over the reachable graph.
+        topo = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other):
+        other = as_tensor(other)
+
+        def backward(grad):
+            self._accumulate(grad)
+            other._accumulate(grad)
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = as_tensor(other)
+
+        def backward(grad):
+            self._accumulate(grad)
+            other._accumulate(-grad)
+
+        return Tensor._make(self.data - other.data, (self, other), backward)
+
+    def __rsub__(self, other):
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other):
+        other = as_tensor(other)
+
+        def backward(grad):
+            self._accumulate(grad * other.data)
+            other._accumulate(grad * self.data)
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = as_tensor(other)
+
+        def backward(grad):
+            self._accumulate(grad / other.data)
+            other._accumulate(-grad * self.data / (other.data ** 2))
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return as_tensor(other).__truediv__(self)
+
+    def __neg__(self):
+        def backward(grad):
+            self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __pow__(self, exponent):
+        if isinstance(exponent, Tensor):
+            exponent = float(exponent.data)
+        exponent = float(exponent)
+
+        def backward(grad):
+            self._accumulate(grad * exponent * np.power(self.data, exponent - 1))
+
+        return Tensor._make(np.power(self.data, exponent), (self,), backward)
+
+    # Comparison operators return plain boolean arrays (non-differentiable).
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+    def __ge__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data >= other
+
+    def __le__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data <= other
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+
+        def backward(grad):
+            self._accumulate(grad.reshape(original))
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    def flatten(self, start_dim=1):
+        """Flatten dimensions from ``start_dim`` onward (batch-preserving)."""
+        shape = self.data.shape
+        new_shape = shape[:start_dim] + (-1,)
+        return self.reshape(*new_shape)
+
+    def transpose(self, *axes):
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            self._accumulate(np.transpose(grad, inverse))
+
+        return Tensor._make(np.transpose(self.data, axes), (self,), backward)
+
+    def __getitem__(self, index):
+        if isinstance(index, Tensor):
+            index = index.data.astype(np.int64)
+
+        def backward(grad):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return Tensor._make(self.data[index], (self,), backward)
+
+    def pad2d(self, padding):
+        """Zero-pad the last two (spatial) dimensions by ``padding`` pixels."""
+        if padding == 0:
+            return self
+        pad_width = [(0, 0)] * (self.data.ndim - 2) + [(padding, padding), (padding, padding)]
+
+        def backward(grad):
+            slices = tuple(
+                slice(p[0], grad.shape[i] - p[1]) for i, p in enumerate(pad_width)
+            )
+            self._accumulate(grad[slices])
+
+        return Tensor._make(np.pad(self.data, pad_width), (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims=False):
+        def backward(grad):
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def mean(self, axis=None, keepdims=False):
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+
+        def backward(grad):
+            g = grad / count
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return Tensor._make(self.data.mean(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def max(self, axis=None, keepdims=False):
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = grad
+            expanded = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                expanded = np.expand_dims(out_data, axis=axis)
+            mask = (self.data == expanded).astype(np.float64)
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            self._accumulate(mask * g)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def var(self, axis=None, keepdims=False):
+        """Population variance (ddof=0), differentiable."""
+        mu = self.mean(axis=axis, keepdims=True)
+        diff = self - mu
+        return (diff * diff).mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise math used throughout the library
+    # ------------------------------------------------------------------ #
+    def exp(self):
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self):
+        def backward(grad):
+            self._accumulate(grad / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self):
+        out_data = np.sqrt(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self):
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self):
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad):
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self):
+        mask = (self.data > 0).astype(np.float64)
+
+        def backward(grad):
+            self._accumulate(grad * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def clip(self, low, high):
+        mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
+
+        def backward(grad):
+            self._accumulate(grad * mask)
+
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+
+    def abs(self):
+        sign = np.sign(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * sign)
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra
+    # ------------------------------------------------------------------ #
+    def matmul(self, other):
+        other = as_tensor(other)
+        a, b = self.data, other.data
+
+        def backward(grad):
+            if a.ndim == 2 and b.ndim == 2:
+                self._accumulate(grad @ b.T)
+                other._accumulate(a.T @ grad)
+            else:
+                # Batched matmul: contract over the last two dims.
+                self._accumulate(np.matmul(grad, np.swapaxes(b, -1, -2)))
+                other._accumulate(np.matmul(np.swapaxes(a, -1, -2), grad))
+
+        return Tensor._make(np.matmul(a, b), (self, other), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------ #
+    # Graph composition helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def stack(tensors, axis=0):
+        """Stack tensors along a new ``axis`` (differentiable)."""
+        tensors = [as_tensor(t) for t in tensors]
+        data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad):
+            pieces = np.split(grad, len(tensors), axis=axis)
+            for tensor, piece in zip(tensors, pieces):
+                tensor._accumulate(np.squeeze(piece, axis=axis))
+
+        return Tensor._make(data, tuple(tensors), backward)
+
+    @staticmethod
+    def concatenate(tensors, axis=0):
+        """Concatenate tensors along an existing ``axis`` (differentiable)."""
+        tensors = [as_tensor(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad):
+            for i, tensor in enumerate(tensors):
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(offsets[i], offsets[i + 1])
+                tensor._accumulate(grad[tuple(slicer)])
+
+        return Tensor._make(data, tuple(tensors), backward)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zeros(cls, shape, requires_grad=False):
+        return cls(np.zeros(shape), requires_grad=requires_grad)
+
+    @classmethod
+    def ones(cls, shape, requires_grad=False):
+        return cls(np.ones(shape), requires_grad=requires_grad)
+
+    @classmethod
+    def randn(cls, shape, rng=None, scale=1.0, requires_grad=False):
+        rng = rng if rng is not None else np.random.default_rng()
+        return cls(rng.standard_normal(shape) * scale, requires_grad=requires_grad)

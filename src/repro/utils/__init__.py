@@ -1,0 +1,15 @@
+"""Shared utilities: seeding, run configuration, lightweight logging."""
+
+from .seeding import SeedSequence, seed_everything, split_rng
+from .logging import MetricLogger, RunRecorder
+from .config import asdict_shallow, update_dataclass
+
+__all__ = [
+    "SeedSequence",
+    "seed_everything",
+    "split_rng",
+    "MetricLogger",
+    "RunRecorder",
+    "asdict_shallow",
+    "update_dataclass",
+]

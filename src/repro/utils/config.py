@@ -1,0 +1,25 @@
+"""Small helpers for working with dataclass-based experiment configs."""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["asdict_shallow", "update_dataclass"]
+
+
+def asdict_shallow(config):
+    """Return a shallow ``{field: value}`` dict of a dataclass instance."""
+    return {f.name: getattr(config, f.name) for f in dataclasses.fields(config)}
+
+
+def update_dataclass(config, **overrides):
+    """Return a copy of ``config`` with the given fields replaced.
+
+    Unknown field names raise ``ValueError`` so typos in experiment scripts
+    fail loudly instead of being silently ignored.
+    """
+    valid = {f.name for f in dataclasses.fields(config)}
+    unknown = set(overrides) - valid
+    if unknown:
+        raise ValueError("unknown config fields: {}".format(sorted(unknown)))
+    return dataclasses.replace(config, **overrides)

@@ -1,0 +1,93 @@
+"""Accelerator analysis tests: roofline, bottleneck report, comparisons, dataflow sweep."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    ChunkPipelineAccelerator,
+    DNNBuilderAccelerator,
+    bottleneck_report,
+    compare_accelerators,
+    dataflow_sweep,
+    roofline_analysis,
+)
+from repro.baselines import build_manual_accelerator
+from repro.networks import resnet14
+
+
+@pytest.fixture
+def network():
+    return resnet14(in_channels=2, input_size=42, feature_dim=64, base_width=8)
+
+
+@pytest.fixture
+def config(network):
+    return ChunkPipelineAccelerator(network).config
+
+
+class TestRoofline:
+    def test_one_point_per_layer(self, network, config):
+        points = roofline_analysis(network, config)
+        assert len(points) == len(ChunkPipelineAccelerator(network).workloads)
+
+    def test_achieved_never_exceeds_roof(self, network, config):
+        for point in roofline_analysis(network, config):
+            roof = min(point.peak_macs_per_cycle, point.bandwidth_roof)
+            assert point.achieved_macs_per_cycle <= roof * 1.001
+
+    def test_efficiency_in_unit_interval(self, network, config):
+        for point in roofline_analysis(network, config):
+            assert 0.0 < point.efficiency <= 1.001
+
+    def test_bound_labels_valid(self, network, config):
+        for point in roofline_analysis(network, config):
+            assert point.bound in ("compute", "memory")
+            assert point.arithmetic_intensity > 0
+
+
+class TestBottleneckReport:
+    def test_report_fields(self, network, config):
+        report = bottleneck_report(network, config, top_k=3)
+        assert 0 <= report["bottleneck_chunk"] < config.num_chunks
+        assert report["chunk_cycles"] > 0
+        assert report["fps"] > 0
+        assert 1 <= len(report["dominant_layers"]) <= 3
+
+    def test_dominant_layers_sorted(self, network, config):
+        report = bottleneck_report(network, config, top_k=5)
+        cycles = [layer["cycles"] for layer in report["dominant_layers"]]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_fractions_bounded(self, network, config):
+        report = bottleneck_report(network, config)
+        for layer in report["dominant_layers"]:
+            assert 0.0 < layer["fraction_of_chunk"] <= 1.0
+
+
+class TestComparison:
+    def test_compare_accelerators_rows(self, network, config):
+        other = build_manual_accelerator(network, "quad_pipeline_rs")
+        rows = compare_accelerators(network, [config, other], labels=["default", "quad"])
+        assert [row["label"] for row in rows] == ["default", "quad"]
+        assert rows[0]["fps_vs_first"] == pytest.approx(1.0)
+        assert all(np.isfinite(row["fps"]) for row in rows)
+
+    def test_label_mismatch_raises(self, network, config):
+        with pytest.raises(ValueError):
+            compare_accelerators(network, [config], labels=["a", "b"])
+
+    def test_comparison_matches_direct_evaluation(self, network):
+        baseline = DNNBuilderAccelerator(network)
+        rows = compare_accelerators(network, [baseline.config], labels=["dnnbuilder"])
+        assert rows[0]["fps"] == pytest.approx(baseline.fps)
+
+
+class TestDataflowSweep:
+    def test_all_three_dataflows_evaluated(self, network, config):
+        results = dataflow_sweep(network, config)
+        assert set(results) == {"weight_stationary", "output_stationary", "row_stationary"}
+        assert all(fps > 0 for fps in results.values())
+
+    def test_dataflow_choice_matters(self, network, config):
+        results = dataflow_sweep(network, config)
+        assert len(set(round(fps, 6) for fps in results.values())) > 1

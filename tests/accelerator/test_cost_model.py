@@ -1,0 +1,210 @@
+"""Dataflow / cost-model tests: traffic, utilisation, latency, resources, FPS."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    AcceleratorCostModel,
+    ChunkConfig,
+    ULTRA96,
+    ZC706,
+    balanced_layer_assignment,
+    estimate_layer_traffic,
+    extract_workload,
+    noc_efficiency,
+    pe_utilization,
+    tile_counts,
+)
+from repro.networks import VanillaNet, resnet14
+
+
+@pytest.fixture
+def workloads():
+    return extract_workload(resnet14(in_channels=2, input_size=42, feature_dim=64, base_width=8))
+
+
+@pytest.fixture
+def conv_layer(workloads):
+    return workloads[1]  # a representative middle conv layer
+
+
+def default_chunk(**kwargs):
+    base = dict(pe_rows=8, pe_cols=16, noc="systolic", dataflow="weight_stationary",
+                buffer_kb=256.0, tile_oc=16, tile_ic=16, tile_spatial=8)
+    base.update(kwargs)
+    return ChunkConfig(**base)
+
+
+class TestDataflowAnalysis:
+    def test_tile_counts_ceiling(self, conv_layer):
+        chunk = default_chunk(tile_oc=3, tile_ic=3, tile_spatial=5)
+        tiles_oc, tiles_ic, tiles_sp = tile_counts(conv_layer, chunk)
+        assert tiles_oc == int(np.ceil(conv_layer.out_channels / 3))
+        assert tiles_ic == int(np.ceil(conv_layer.in_channels / 3))
+        assert tiles_sp == int(np.ceil(conv_layer.output_size / 5)) ** 2
+
+    def test_traffic_at_least_compulsory(self, workloads):
+        chunk = default_chunk()
+        for layer in workloads:
+            traffic = estimate_layer_traffic(layer, chunk)
+            assert traffic.input_bytes >= layer.input_bytes
+            assert traffic.weight_bytes >= layer.weight_bytes
+            assert traffic.output_bytes >= layer.output_bytes
+
+    def test_weight_stationary_fetches_weights_once_when_buffered(self, conv_layer):
+        chunk = default_chunk(dataflow="weight_stationary", buffer_kb=4096.0,
+                              tile_oc=64, tile_ic=64, tile_spatial=32)
+        traffic = estimate_layer_traffic(conv_layer, chunk)
+        assert traffic.weight_bytes <= conv_layer.weight_bytes * 1.01
+
+    def test_output_stationary_writes_outputs_once(self, conv_layer):
+        chunk = default_chunk(dataflow="output_stationary", buffer_kb=4096.0,
+                              tile_oc=64, tile_ic=64, tile_spatial=32)
+        traffic = estimate_layer_traffic(conv_layer, chunk)
+        assert traffic.output_bytes <= conv_layer.output_bytes * 1.01
+
+    def test_small_buffers_increase_traffic(self, conv_layer):
+        big = estimate_layer_traffic(conv_layer, default_chunk(buffer_kb=1024.0)).total_bytes
+        small = estimate_layer_traffic(conv_layer, default_chunk(buffer_kb=16.0)).total_bytes
+        assert small >= big
+
+    def test_unknown_dataflow_raises(self, conv_layer):
+        with pytest.raises(ValueError):
+            estimate_layer_traffic(conv_layer, default_chunk(dataflow="alien_flow"))
+
+    def test_loop_order_changes_traffic(self, conv_layer):
+        a = estimate_layer_traffic(conv_layer, default_chunk(loop_order=("oc", "ic", "sp"), tile_ic=4, tile_oc=4)).total_bytes
+        b = estimate_layer_traffic(conv_layer, default_chunk(loop_order=("sp", "ic", "oc"), tile_ic=4, tile_oc=4)).total_bytes
+        assert a != b
+
+
+class TestUtilizationAndNoC:
+    def test_utilization_bounded(self, workloads):
+        chunk = default_chunk()
+        for layer in workloads:
+            util = pe_utilization(layer, chunk)
+            assert 0.0 < util <= 1.0
+
+    def test_small_layer_underutilizes_big_array(self, conv_layer):
+        small_array = pe_utilization(conv_layer, default_chunk(pe_rows=8, pe_cols=8))
+        big_array = pe_utilization(conv_layer, default_chunk(pe_rows=32, pe_cols=32, tile_oc=64))
+        assert small_array >= big_array
+
+    def test_depthwise_layers_underutilize(self):
+        depthwise = extract_workload([
+            {"name": "dw", "type": "conv", "in_channels": 64, "out_channels": 64, "kernel_size": 3,
+             "stride": 1, "input_size": 8, "output_size": 8, "groups": 64}
+        ])[0]
+        dense = extract_workload([
+            {"name": "d", "type": "conv", "in_channels": 64, "out_channels": 64, "kernel_size": 3,
+             "stride": 1, "input_size": 8, "output_size": 8, "groups": 1}
+        ])[0]
+        chunk = default_chunk(pe_rows=32, pe_cols=32, tile_oc=64, tile_ic=64)
+        assert pe_utilization(depthwise, chunk) <= pe_utilization(dense, chunk)
+
+    def test_noc_efficiency_ranges(self):
+        for noc in ("systolic", "broadcast", "multicast"):
+            assert 0.5 <= noc_efficiency(noc, 256) <= 1.0
+
+    def test_broadcast_degrades_with_size(self):
+        assert noc_efficiency("broadcast", 64) > noc_efficiency("broadcast", 1024)
+
+    def test_unknown_noc_raises(self):
+        with pytest.raises(ValueError):
+            noc_efficiency("token_ring", 64)
+
+
+class TestCostModel:
+    def make_config(self, workloads, num_chunks=2, **chunk_kwargs):
+        chunks = [default_chunk(**chunk_kwargs) for _ in range(num_chunks)]
+        return AcceleratorConfig(chunks=chunks,
+                                 layer_assignment=balanced_layer_assignment(workloads, num_chunks))
+
+    def test_metrics_fields(self, workloads):
+        model = AcceleratorCostModel()
+        metrics = model.evaluate(workloads, self.make_config(workloads))
+        assert metrics.fps > 0
+        assert metrics.latency_ms > 0
+        assert metrics.dsp_used > 0
+        assert metrics.bram_kb_used > 0
+        assert len(metrics.layer_costs) == len(workloads)
+        assert len(metrics.chunk_cycles) == 2
+
+    def test_layer_cost_bound_labels(self, workloads):
+        model = AcceleratorCostModel()
+        metrics = model.evaluate(workloads, self.make_config(workloads))
+        assert all(cost.bound in ("compute", "memory") for cost in metrics.layer_costs)
+
+    def test_more_pes_never_slower_for_compute_bound(self, workloads):
+        model = AcceleratorCostModel()
+        small = model.evaluate(workloads, self.make_config(workloads, pe_rows=4, pe_cols=4))
+        large = model.evaluate(workloads, self.make_config(workloads, pe_rows=8, pe_cols=16))
+        assert large.fps >= small.fps
+
+    def test_resource_accounting(self, workloads):
+        model = AcceleratorCostModel()
+        config = self.make_config(workloads, num_chunks=3)
+        dsp, bram = model.resource_usage(config)
+        assert dsp == 3 * default_chunk().num_pes  # systolic has no DSP overhead
+        assert bram == pytest.approx(3 * 256.0)
+
+    def test_noc_overhead_increases_dsp(self, workloads):
+        model = AcceleratorCostModel()
+        systolic, _ = model.chunk_resources(default_chunk(noc="systolic"))
+        multicast, _ = model.chunk_resources(default_chunk(noc="multicast"))
+        assert multicast > systolic
+
+    def test_infeasible_configuration_flagged(self, workloads):
+        model = AcceleratorCostModel(device=ULTRA96)
+        config = self.make_config(workloads, num_chunks=4, pe_rows=32, pe_cols=32)
+        metrics = model.evaluate(workloads, config)
+        assert not metrics.feasible
+        assert metrics.resource_penalty > 0
+        assert metrics.cost() > model.evaluate(workloads, self.make_config(workloads)).cost()
+
+    def test_feasible_has_zero_penalty(self, workloads):
+        model = AcceleratorCostModel(device=ZC706)
+        metrics = model.evaluate(workloads, self.make_config(workloads))
+        assert metrics.feasible and metrics.resource_penalty == 0.0
+
+    def test_cost_objectives(self, workloads):
+        model = AcceleratorCostModel()
+        metrics = model.evaluate(workloads, self.make_config(workloads))
+        assert metrics.cost(objective="latency") == pytest.approx(metrics.latency_ms)
+        assert metrics.cost(objective="fps") == pytest.approx(1000.0 / metrics.fps)
+        assert metrics.cost(objective="edp") == pytest.approx(metrics.latency_ms * metrics.energy_mj)
+
+    def test_pipeline_fps_set_by_slowest_chunk(self, workloads):
+        model = AcceleratorCostModel()
+        metrics = model.evaluate(workloads, self.make_config(workloads))
+        clock = ZC706.frequency_mhz * 1e6
+        assert metrics.fps == pytest.approx(clock / max(metrics.chunk_cycles))
+
+    def test_latency_is_sum_of_chunks(self, workloads):
+        model = AcceleratorCostModel()
+        metrics = model.evaluate(workloads, self.make_config(workloads))
+        clock = ZC706.frequency_mhz * 1e6
+        assert metrics.latency_ms == pytest.approx(sum(metrics.chunk_cycles) / clock * 1e3)
+
+    def test_layer_latency_table(self, workloads):
+        model = AcceleratorCostModel()
+        table = model.layer_latency_table(workloads, self.make_config(workloads))
+        assert set(table) == {w.name for w in workloads}
+        assert all(v > 0 for v in table.values())
+
+    def test_accepts_network_object(self):
+        model = AcceleratorCostModel()
+        net = VanillaNet(in_channels=2, input_size=42, feature_dim=64)
+        config = AcceleratorConfig(chunks=[default_chunk()], layer_assignment=[0] * 4)
+        assert model.evaluate(net, config).fps > 0
+
+    def test_bad_config_type_raises(self, workloads):
+        model = AcceleratorCostModel()
+        with pytest.raises(TypeError):
+            model.evaluate(workloads, {"not": "a config"})
+
+    def test_bottleneck_chunk_index(self, workloads):
+        model = AcceleratorCostModel()
+        metrics = model.evaluate(workloads, self.make_config(workloads))
+        assert metrics.bottleneck_chunk == int(np.argmax(metrics.chunk_cycles))

@@ -1,0 +1,124 @@
+"""Property-based tests for the accelerator analytical model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator import (
+    AcceleratorCostModel,
+    AcceleratorDesignSpace,
+    ChunkConfig,
+    estimate_layer_traffic,
+    extract_workload,
+    pe_utilization,
+)
+from repro.accelerator.design_space import (
+    BUFFER_KB_CHOICES,
+    DATAFLOW_CHOICES,
+    LOOP_ORDER_CHOICES,
+    NOC_CHOICES,
+    PE_ARRAY_CHOICES,
+    TILE_CHANNEL_CHOICES,
+    TILE_SPATIAL_CHOICES,
+)
+
+layer_strategy = st.fixed_dictionaries(
+    {
+        "in_channels": st.integers(1, 64),
+        "out_channels": st.integers(1, 64),
+        "kernel_size": st.sampled_from([1, 3, 5]),
+        "input_size": st.integers(4, 42),
+        "stride": st.sampled_from([1, 2]),
+    }
+)
+
+chunk_strategy = st.builds(
+    ChunkConfig.from_choices,
+    pe_array=st.sampled_from(PE_ARRAY_CHOICES),
+    noc=st.sampled_from(NOC_CHOICES),
+    dataflow=st.sampled_from(DATAFLOW_CHOICES),
+    buffer_kb=st.sampled_from(BUFFER_KB_CHOICES),
+    buffer_split=st.sampled_from([(0.25, 0.5, 0.25), (1 / 3, 1 / 3, 1 / 3)]),
+    tile_oc=st.sampled_from(TILE_CHANNEL_CHOICES),
+    tile_ic=st.sampled_from(TILE_CHANNEL_CHOICES),
+    tile_spatial=st.sampled_from(TILE_SPATIAL_CHOICES),
+    loop_order=st.sampled_from(LOOP_ORDER_CHOICES),
+)
+
+
+def make_workload(spec):
+    output_size = (spec["input_size"] + 2 * (spec["kernel_size"] // 2) - spec["kernel_size"]) // spec["stride"] + 1
+    return extract_workload(
+        [
+            {
+                "name": "layer",
+                "type": "conv",
+                "in_channels": spec["in_channels"],
+                "out_channels": spec["out_channels"],
+                "kernel_size": spec["kernel_size"],
+                "stride": spec["stride"],
+                "input_size": spec["input_size"],
+                "output_size": max(1, output_size),
+                "groups": 1,
+            }
+        ]
+    )[0]
+
+
+@settings(max_examples=60, deadline=None)
+@given(layer=layer_strategy, chunk=chunk_strategy)
+def test_traffic_never_below_compulsory(layer, chunk):
+    workload = make_workload(layer)
+    traffic = estimate_layer_traffic(workload, chunk)
+    assert traffic.input_bytes >= workload.input_bytes
+    assert traffic.weight_bytes >= workload.weight_bytes
+    assert traffic.output_bytes >= workload.output_bytes
+    assert np.isfinite(traffic.total_bytes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(layer=layer_strategy, chunk=chunk_strategy)
+def test_utilization_in_unit_interval(layer, chunk):
+    workload = make_workload(layer)
+    util = pe_utilization(workload, chunk)
+    assert 0.0 < util <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(layer=layer_strategy, chunk=chunk_strategy)
+def test_layer_cost_positive_and_finite(layer, chunk):
+    workload = make_workload(layer)
+    model = AcceleratorCostModel()
+    cost = model.layer_cost(workload, chunk)
+    assert cost.compute_cycles > 0
+    assert cost.memory_cycles > 0
+    assert np.isfinite(cost.latency_cycles)
+    assert cost.latency_cycles >= max(cost.compute_cycles, cost.memory_cycles) - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10000), num_layers=st.integers(1, 10))
+def test_random_configs_always_evaluate(seed, num_layers):
+    rng = np.random.default_rng(seed)
+    space = AcceleratorDesignSpace(num_layers=num_layers, max_chunks=4)
+    config = space.random_config(rng)
+    workloads = [
+        make_workload({"in_channels": 8, "out_channels": 16, "kernel_size": 3, "input_size": 16, "stride": 1})
+        for _ in range(num_layers)
+    ]
+    metrics = AcceleratorCostModel().evaluate(workloads, config)
+    assert metrics.fps > 0
+    assert np.isfinite(metrics.latency_ms)
+    assert metrics.dsp_used > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10000))
+def test_decode_is_deterministic(seed):
+    space = AcceleratorDesignSpace(num_layers=5, max_chunks=4)
+    rng = np.random.default_rng(seed)
+    indices = space.sample_indices(rng)
+    a = space.decode(indices)
+    b = space.decode(indices)
+    assert a.layer_assignment == b.layer_assignment
+    assert [c.pe_rows for c in a.chunks] == [c.pe_rows for c in b.chunks]

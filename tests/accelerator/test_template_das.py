@@ -1,0 +1,205 @@
+"""Template, DNNBuilder baseline, predictor, and DAS engine tests."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    ChunkPipelineAccelerator,
+    DASConfig,
+    DNNBuilderAccelerator,
+    DifferentiableAcceleratorSearch,
+    PerformancePredictor,
+    ZC706,
+    balanced_layer_assignment,
+    build_dnnbuilder_config,
+    config_fingerprint,
+    extract_workload,
+    workload_fingerprint,
+)
+from repro.baselines import build_manual_accelerator, manual_recipe_names
+from repro.networks import VanillaNet, resnet14
+
+
+@pytest.fixture
+def network():
+    return resnet14(in_channels=2, input_size=42, feature_dim=64, base_width=8)
+
+
+@pytest.fixture
+def workloads(network):
+    return extract_workload(network)
+
+
+class TestBalancedAssignment:
+    def test_every_layer_assigned(self, workloads):
+        assignment = balanced_layer_assignment(workloads, 3)
+        assert len(assignment) == len(workloads)
+        assert set(assignment) <= {0, 1, 2}
+
+    def test_assignment_monotone_contiguous(self, workloads):
+        assignment = balanced_layer_assignment(workloads, 4)
+        assert assignment == sorted(assignment)
+
+    def test_single_chunk(self, workloads):
+        assert set(balanced_layer_assignment(workloads, 1)) == {0}
+
+    def test_balance_quality(self, workloads):
+        assignment = balanced_layer_assignment(workloads, 2)
+        macs = [0, 0]
+        for workload, chunk in zip(workloads, assignment):
+            macs[chunk] += workload.macs
+        total = sum(macs)
+        assert max(macs) / total < 0.8  # neither chunk holds (almost) everything
+
+
+class TestChunkPipelineAccelerator:
+    def test_default_config_feasible(self, network):
+        accelerator = ChunkPipelineAccelerator(network)
+        assert accelerator.metrics.feasible
+        assert accelerator.fps > 0
+
+    def test_set_config_invalidates_cache(self, network):
+        accelerator = ChunkPipelineAccelerator(network)
+        fps_before = accelerator.fps
+        accelerator.set_config(accelerator.default_config(num_chunks=4))
+        assert accelerator.fps != fps_before or accelerator.config.num_chunks == 4
+
+    def test_utilization_report_rows(self, network):
+        accelerator = ChunkPipelineAccelerator(network)
+        report = accelerator.utilization_report()
+        assert len(report) == len(accelerator.workloads)
+        assert all(0 < row["utilization"] <= 1 for row in report)
+
+    def test_pipeline_balance_at_least_one(self, network):
+        assert ChunkPipelineAccelerator(network).pipeline_balance() >= 1.0
+
+    def test_design_space_matches_layer_count(self, network):
+        accelerator = ChunkPipelineAccelerator(network)
+        space = accelerator.design_space()
+        layer_dims = [name for name, _ in space.dimensions() if name.startswith("layer")]
+        assert len(layer_dims) == len(accelerator.workloads)
+
+
+class TestDNNBuilderBaseline:
+    def test_config_respects_device_budget(self, workloads):
+        config = build_dnnbuilder_config(workloads, device=ZC706)
+        from repro.accelerator import AcceleratorCostModel
+
+        dsp, bram = AcceleratorCostModel().resource_usage(config)
+        assert dsp <= ZC706.dsp_count
+        assert bram <= ZC706.bram_kb
+
+    def test_stage_count_capped(self, workloads):
+        config = build_dnnbuilder_config(workloads, max_stages=4)
+        assert config.num_chunks <= 4
+
+    def test_contiguous_layer_grouping(self, workloads):
+        config = build_dnnbuilder_config(workloads)
+        assert config.layer_assignment == sorted(config.layer_assignment)
+
+    def test_accelerator_wrapper(self, network):
+        baseline = DNNBuilderAccelerator(network)
+        assert baseline.fps > 0
+        assert baseline.metrics.feasible
+
+    def test_weight_stationary_everywhere(self, workloads):
+        config = build_dnnbuilder_config(workloads)
+        assert all(chunk.dataflow == "weight_stationary" for chunk in config.chunks)
+
+
+class TestManualDesigns:
+    def test_all_recipes_build_and_evaluate(self, network, workloads):
+        from repro.accelerator import AcceleratorCostModel
+
+        model = AcceleratorCostModel()
+        for recipe in manual_recipe_names():
+            config = build_manual_accelerator(workloads, recipe)
+            metrics = model.evaluate(workloads, config)
+            assert metrics.fps > 0
+
+    def test_unknown_recipe_raises(self, workloads):
+        with pytest.raises(KeyError):
+            build_manual_accelerator(workloads, "does_not_exist")
+
+
+class TestPredictor:
+    def test_cache_hits_on_repeat(self, network):
+        predictor = PerformancePredictor()
+        accelerator = ChunkPipelineAccelerator(network)
+        predictor.predict(network, accelerator.config)
+        predictor.predict(network, accelerator.config)
+        hits, misses, size = predictor.cache_info()
+        assert hits == 1 and misses == 1 and size == 1
+
+    def test_fingerprints_stable(self, network, workloads):
+        accelerator = ChunkPipelineAccelerator(network)
+        assert workload_fingerprint(workloads) == workload_fingerprint(extract_workload(network))
+        assert config_fingerprint(accelerator.config) == config_fingerprint(accelerator.config)
+
+    def test_fps_shorthand(self, network):
+        predictor = PerformancePredictor()
+        accelerator = ChunkPipelineAccelerator(network)
+        assert predictor.fps(network, accelerator.config) == predictor.predict(network, accelerator.config).fps
+
+
+class TestDAS:
+    def test_search_returns_feasible_design(self, network):
+        das = DifferentiableAcceleratorSearch(network, config=DASConfig(seed=0, objective="fps"))
+        result = das.search(steps=30)
+        assert result.best_metrics.feasible
+        assert result.fps > 0
+        assert len(result.cost_history) == 30
+
+    def test_search_beats_dnnbuilder_on_fps(self, network):
+        """The core Fig. 3 claim: DAS accelerators out-FPS DNNBuilder."""
+        das = DifferentiableAcceleratorSearch(network, config=DASConfig(seed=0, objective="fps"))
+        result = das.search(steps=60)
+        baseline = DNNBuilderAccelerator(network)
+        assert result.fps > baseline.fps
+
+    def test_search_respects_dsp_budget(self, network):
+        das = DifferentiableAcceleratorSearch(network, config=DASConfig(seed=1, objective="fps"))
+        result = das.search(steps=40)
+        assert result.best_metrics.dsp_used <= ZC706.dsp_count
+
+    def test_phi_updated_by_steps(self, network):
+        das = DifferentiableAcceleratorSearch(network, config=DASConfig(seed=0))
+        before = {name: logits.data.copy() for name, logits in das.phi.items()}
+        for _ in range(5):
+            das.step()
+        changed = any(not np.allclose(before[name], logits.data) for name, logits in das.phi.items())
+        assert changed
+
+    def test_derive_indices_are_argmax(self, network):
+        das = DifferentiableAcceleratorSearch(network, config=DASConfig(seed=0))
+        for _ in range(3):
+            das.step()
+        derived = das.derive_indices()
+        for name, logits in das.phi.items():
+            assert derived[name] == int(np.argmax(logits.data))
+
+    def test_probabilities_normalised(self, network):
+        das = DifferentiableAcceleratorSearch(network, config=DASConfig(seed=0))
+        for probs in das.probabilities().values():
+            assert probs.sum() == pytest.approx(1.0)
+
+    def test_refine_never_worsens(self, network):
+        das = DifferentiableAcceleratorSearch(network, config=DASConfig(seed=0, objective="fps"))
+        start = das.space.default_indices()
+        _, _, start_cost = das.evaluate_indices(start)
+        _, _, _, refined_cost = das.refine(start, max_passes=1)
+        assert refined_cost <= start_cost
+
+    def test_warm_start_candidates_are_valid(self, network):
+        das = DifferentiableAcceleratorSearch(network, config=DASConfig(seed=0))
+        candidates = das.warm_start_candidates()
+        assert candidates
+        for indices in candidates[:5]:
+            config, metrics, cost = das.evaluate_indices(indices)
+            assert cost > 0
+
+    def test_das_on_vanilla_network(self):
+        vanilla = VanillaNet(in_channels=2, input_size=42, feature_dim=64)
+        das = DifferentiableAcceleratorSearch(vanilla, config=DASConfig(seed=0, objective="fps"))
+        result = das.search(steps=20)
+        assert result.best_metrics.feasible

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_profile
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_profile():
+    """A profile small enough for unit/integration tests."""
+    return get_profile("smoke").with_overrides(
+        obs_size=21,
+        max_episode_steps=60,
+        train_steps=80,
+        search_steps=60,
+        teacher_steps=60,
+        das_steps=25,
+        eval_episodes=1,
+        eval_points=2,
+        num_envs=2,
+        feature_dim=32,
+        base_width=4,
+    )
+
+
+def numerical_gradient(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar-valued ``fn`` at array ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn()
+        flat[i] = original - eps
+        lower = fn()
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+@pytest.fixture
+def numgrad():
+    """Expose the numerical-gradient helper to tests."""
+    return numerical_gradient

@@ -1,0 +1,119 @@
+"""A2C trainer and evaluation protocol tests (integration-light)."""
+
+import numpy as np
+import pytest
+
+from repro.drl import (
+    A2CConfig,
+    A2CTrainer,
+    DistillationMode,
+    Evaluator,
+    evaluate_agent,
+    make_agent,
+    train_teacher,
+)
+from repro.envs import make_vector_env
+
+ENV_KW = {"obs_size": 21, "frame_stack": 2, "max_episode_steps": 60}
+
+
+def make_trainer(total_steps=100, distillation_mode=DistillationMode.NONE, teacher=None, seed=0):
+    agent = make_agent("Vanilla", obs_size=21, frame_stack=2, feature_dim=32, seed=seed)
+    env = make_vector_env("Breakout", num_envs=2, seed=seed, **ENV_KW)
+    config = A2CConfig(total_steps=total_steps, num_envs=2, distillation_mode=distillation_mode, seed=seed)
+    return A2CTrainer(agent, env, config=config, teacher=teacher)
+
+
+class TestA2CTrainer:
+    def test_training_advances_steps_and_updates(self):
+        trainer = make_trainer(total_steps=100)
+        trainer.train()
+        assert trainer.total_env_steps >= 100
+        assert trainer.updates == trainer.total_env_steps // (2 * trainer.config.rollout_length)
+
+    def test_logger_records_losses(self):
+        trainer = make_trainer(total_steps=60)
+        logger = trainer.train()
+        for name in ("loss/total", "loss/policy", "loss/value", "loss/entropy", "grad_norm", "lr"):
+            assert logger.latest(name) is not None, name
+
+    def test_parameters_change_during_training(self):
+        trainer = make_trainer(total_steps=60)
+        before = [p.data.copy() for p in trainer.agent.parameters()]
+        trainer.train()
+        changed = any(not np.allclose(b, p.data) for b, p in zip(before, trainer.agent.parameters()))
+        assert changed
+
+    def test_lr_schedule_holds_then_decays(self):
+        trainer = make_trainer(total_steps=300)
+        trainer.train()
+        _, lrs = trainer.logger.series("lr")
+        assert lrs[0] == pytest.approx(trainer.config.learning_rate)
+        assert lrs[-1] < trainer.config.learning_rate
+
+    def test_distillation_losses_logged_when_enabled(self):
+        teacher, _ = train_teacher(
+            "Breakout", backbone_name="Vanilla", total_steps=40, num_envs=2,
+            obs_size=21, frame_stack=2, feature_dim=32, seed=1,
+        )
+        trainer = make_trainer(total_steps=60, distillation_mode=DistillationMode.AC, teacher=teacher)
+        logger = trainer.train()
+        assert logger.latest("loss/actor_distill") is not None
+        assert logger.latest("loss/critic_distill") is not None
+
+    def test_no_distillation_without_teacher(self):
+        trainer = make_trainer(total_steps=40)
+        logger = trainer.train()
+        assert logger.latest("loss/actor_distill") is None
+
+    def test_evaluator_hook_called(self):
+        calls = []
+
+        def fake_evaluator(agent):
+            calls.append(1)
+            return 1.0
+
+        agent = make_agent("Vanilla", obs_size=21, frame_stack=2, feature_dim=32, seed=0)
+        env = make_vector_env("Breakout", num_envs=2, seed=0, **ENV_KW)
+        config = A2CConfig(total_steps=120, num_envs=2, eval_interval=40, seed=0)
+        trainer = A2CTrainer(agent, env, config=config, evaluator=fake_evaluator)
+        logger = trainer.train()
+        assert calls
+        assert logger.latest("eval_score") == 1.0
+
+    def test_mean_recent_return_defaults_to_zero(self):
+        trainer = make_trainer(total_steps=10)
+        assert trainer.mean_recent_return() == 0.0
+
+
+class TestEvaluation:
+    def test_evaluate_agent_returns_mean_score(self):
+        agent = make_agent("Vanilla", obs_size=21, frame_stack=2, feature_dim=32, seed=0)
+        score = evaluate_agent(agent, "Breakout", episodes=2, seed=0, env_kwargs=ENV_KW)
+        assert np.isfinite(score)
+
+    def test_evaluation_restores_training_mode(self):
+        agent = make_agent("Vanilla", obs_size=21, frame_stack=2, feature_dim=32, seed=0)
+        agent.train()
+        evaluate_agent(agent, "Breakout", episodes=1, seed=0, env_kwargs=ENV_KW)
+        assert agent.training
+
+    def test_evaluator_callable(self):
+        evaluator = Evaluator("Breakout", episodes=1, seed=0, env_kwargs=ENV_KW)
+        agent = make_agent("Vanilla", obs_size=21, frame_stack=2, feature_dim=32, seed=0)
+        assert np.isfinite(evaluator(agent))
+
+    def test_greedy_evaluation_deterministic(self):
+        agent = make_agent("Vanilla", obs_size=21, frame_stack=2, feature_dim=32, seed=0)
+        kwargs = dict(episodes=2, seed=3, env_kwargs=ENV_KW, greedy=True, null_op_max=0)
+        a = evaluate_agent(agent, "Breakout", **kwargs)
+        b = evaluate_agent(agent, "Breakout", **kwargs)
+        assert a == b
+
+    def test_train_teacher_returns_eval_mode_agent(self):
+        teacher, trainer = train_teacher(
+            "Breakout", backbone_name="Vanilla", total_steps=40, num_envs=2,
+            obs_size=21, frame_stack=2, feature_dim=32, seed=0,
+        )
+        assert not teacher.training
+        assert trainer.total_env_steps >= 40

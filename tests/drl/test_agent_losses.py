@@ -1,0 +1,113 @@
+"""Actor-critic agent and task-loss tests."""
+
+import numpy as np
+import pytest
+
+from repro.drl import (
+    ActorCriticAgent,
+    TaskLossWeights,
+    combine_task_loss,
+    entropy_loss,
+    make_agent,
+    policy_gradient_loss,
+    value_loss,
+)
+from repro.networks import VanillaNet
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+@pytest.fixture
+def small_agent(rng):
+    backbone = VanillaNet(in_channels=2, input_size=28, feature_dim=32, rng=rng)
+    return ActorCriticAgent(backbone, num_actions=6, rng=rng)
+
+
+class TestAgent:
+    def test_forward_output_shapes(self, small_agent, rng):
+        obs = rng.standard_normal((3, 2, 28, 28))
+        out = small_agent.forward(obs)
+        assert out.logits.shape == (3, 6)
+        assert out.probs.shape == (3, 6)
+        assert out.value.shape == (3,)
+
+    def test_policy_is_distribution(self, small_agent, rng):
+        out = small_agent.forward(rng.standard_normal((4, 2, 28, 28)))
+        np.testing.assert_allclose(out.probs.data.sum(axis=-1), np.ones(4), rtol=1e-8)
+
+    def test_act_returns_valid_actions(self, small_agent, rng):
+        actions, values = small_agent.act(rng.standard_normal((5, 2, 28, 28)), rng)
+        assert actions.shape == (5,) and values.shape == (5,)
+        assert ((actions >= 0) & (actions < 6)).all()
+
+    def test_greedy_act_is_argmax(self, small_agent, rng):
+        obs = rng.standard_normal((2, 2, 28, 28))
+        probs, _ = small_agent.policy_value(obs)
+        actions, _ = small_agent.act(obs, rng, greedy=True)
+        np.testing.assert_array_equal(actions, probs.argmax(axis=-1))
+
+    def test_act_records_no_graph(self, small_agent, rng):
+        small_agent.act(rng.standard_normal((2, 2, 28, 28)), rng)
+        assert all(p.grad is None for p in small_agent.parameters())
+
+    def test_evaluate_actions_log_probs_match(self, small_agent, rng):
+        obs = rng.standard_normal((4, 2, 28, 28))
+        actions = np.array([0, 1, 2, 3])
+        chosen, entropy, values, output = small_agent.evaluate_actions(obs, actions)
+        expected = output.log_probs.data[np.arange(4), actions]
+        np.testing.assert_allclose(chosen.data, expected, rtol=1e-10)
+        assert entropy.shape == (4,)
+        assert (entropy.data >= 0).all()
+
+    def test_make_agent_factory(self):
+        agent = make_agent("ResNet-14", obs_size=28, frame_stack=2, feature_dim=32, base_width=4)
+        assert agent.backbone.depth == 14
+        assert agent.num_actions == 6
+
+    def test_policy_head_small_init(self, small_agent):
+        # A near-uniform initial policy is required for stable early exploration.
+        assert np.abs(small_agent.policy_head.weight.data).max() < 0.1
+
+
+class TestLosses:
+    def test_policy_gradient_sign(self):
+        # Positive advantage with low log-prob must give positive loss pressure.
+        log_probs = Tensor(np.log(np.array([0.1, 0.9])), requires_grad=True)
+        loss_pos = policy_gradient_loss(log_probs, np.array([1.0, 1.0]))
+        assert loss_pos.item() > 0
+
+    def test_policy_gradient_detaches_advantage(self, rng):
+        logits = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        log_probs = F.log_softmax(logits)
+        chosen = (log_probs * Tensor(np.eye(4)[:3])).sum(axis=-1)
+        loss = policy_gradient_loss(chosen, np.array([1.0, -1.0, 0.5]))
+        loss.backward()
+        assert logits.grad is not None
+
+    def test_value_loss_half_mse(self):
+        values = Tensor(np.array([1.0, 2.0]))
+        loss = value_loss(values, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(0.5 * (1 + 4) / 2)
+
+    def test_entropy_loss_is_negative_entropy(self, rng):
+        logits = Tensor(rng.standard_normal((4, 5)))
+        probs, log_probs = F.softmax(logits), F.log_softmax(logits)
+        assert entropy_loss(probs, log_probs).item() == pytest.approx(-F.entropy(probs, log_probs).item())
+
+    def test_combine_task_loss_weights(self):
+        weights = TaskLossWeights(entropy=0.5, actor_distill=2.0, critic_distill=3.0)
+        total = combine_task_loss(
+            Tensor(1.0), Tensor(2.0), Tensor(4.0), actor_distill=Tensor(1.0), critic_distill=Tensor(1.0),
+            weights=weights,
+        )
+        assert total.item() == pytest.approx(1 + 2 + 0.5 * 4 + 2 + 3)
+
+    def test_combine_without_distillation(self):
+        total = combine_task_loss(Tensor(1.0), Tensor(1.0), Tensor(1.0), weights=TaskLossWeights(entropy=1.0))
+        assert total.item() == pytest.approx(3.0)
+
+    def test_paper_default_weights(self):
+        weights = TaskLossWeights()
+        assert weights.entropy == pytest.approx(1e-2)
+        assert weights.actor_distill == pytest.approx(1e-1)
+        assert weights.critic_distill == pytest.approx(1e-3)

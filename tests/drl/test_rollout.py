@@ -1,0 +1,115 @@
+"""Rollout / return / td-error computation tests against hand-worked values."""
+
+import numpy as np
+import pytest
+
+from repro.drl import RolloutBuffer, compute_gae, compute_returns, compute_td_errors
+
+
+class TestReturns:
+    def test_single_env_hand_computed(self):
+        rewards = np.array([[1.0], [0.0], [2.0]])
+        dones = np.zeros((3, 1))
+        bootstrap = np.array([10.0])
+        returns = compute_returns(rewards, dones, bootstrap, gamma=0.5)
+        # r2 + 0.5*10 = 7 ; r1 + 0.5*7 = 3.5 ; r0 + 0.5*3.5 = 2.75
+        np.testing.assert_allclose(returns[:, 0], [2.75, 3.5, 7.0])
+
+    def test_done_blocks_bootstrap(self):
+        rewards = np.array([[1.0], [1.0]])
+        dones = np.array([[0.0], [1.0]])
+        returns = compute_returns(rewards, dones, np.array([100.0]), gamma=0.9)
+        np.testing.assert_allclose(returns[:, 0], [1.9, 1.0])
+
+    def test_multi_env_independent(self):
+        rewards = np.array([[1.0, 0.0], [0.0, 1.0]])
+        dones = np.zeros((2, 2))
+        returns = compute_returns(rewards, dones, np.array([0.0, 0.0]), gamma=1.0)
+        np.testing.assert_allclose(returns, [[1.0, 1.0], [0.0, 1.0]])
+
+    def test_gamma_zero_returns_rewards(self, rng):
+        rewards = rng.standard_normal((4, 3))
+        returns = compute_returns(rewards, np.zeros((4, 3)), rng.standard_normal(3), gamma=0.0)
+        np.testing.assert_allclose(returns, rewards)
+
+
+class TestTDErrors:
+    def test_definition(self):
+        rewards = np.array([[1.0], [2.0]])
+        dones = np.zeros((2, 1))
+        values = np.array([[0.5], [0.7]])
+        bootstrap = np.array([0.9])
+        deltas = compute_td_errors(rewards, dones, values, bootstrap, gamma=0.9)
+        np.testing.assert_allclose(deltas[:, 0], [1.0 + 0.9 * 0.7 - 0.5, 2.0 + 0.9 * 0.9 - 0.7])
+
+    def test_done_masks_next_value(self):
+        rewards = np.array([[1.0]])
+        dones = np.array([[1.0]])
+        values = np.array([[0.3]])
+        deltas = compute_td_errors(rewards, dones, values, np.array([5.0]), gamma=0.99)
+        np.testing.assert_allclose(deltas[0, 0], 1.0 - 0.3)
+
+    def test_gae_reduces_to_td_when_lambda_zero(self, rng):
+        rewards = rng.standard_normal((5, 2))
+        dones = np.zeros((5, 2))
+        values = rng.standard_normal((5, 2))
+        bootstrap = rng.standard_normal(2)
+        td = compute_td_errors(rewards, dones, values, bootstrap, 0.9)
+        gae = compute_gae(rewards, dones, values, bootstrap, 0.9, lam=0.0)
+        np.testing.assert_allclose(gae, td)
+
+    def test_gae_equals_full_returns_when_lambda_one(self, rng):
+        rewards = rng.standard_normal((5, 1))
+        dones = np.zeros((5, 1))
+        values = rng.standard_normal((5, 1))
+        bootstrap = rng.standard_normal(1)
+        gae = compute_gae(rewards, dones, values, bootstrap, 0.9, lam=1.0)
+        returns = compute_returns(rewards, dones, bootstrap, 0.9)
+        np.testing.assert_allclose(gae + values, returns, rtol=1e-10)
+
+
+class TestRolloutBuffer:
+    def make_full_buffer(self, rng, length=5, envs=2, obs_shape=(2, 4, 4)):
+        buffer = RolloutBuffer(length, envs, obs_shape)
+        for _ in range(length):
+            buffer.add(
+                rng.standard_normal((envs,) + obs_shape),
+                rng.integers(0, 6, envs),
+                rng.standard_normal(envs),
+                np.zeros(envs),
+                rng.standard_normal(envs),
+            )
+        return buffer
+
+    def test_fills_and_reports_full(self, rng):
+        buffer = self.make_full_buffer(rng)
+        assert buffer.full
+
+    def test_add_after_full_raises(self, rng):
+        buffer = self.make_full_buffer(rng)
+        with pytest.raises(RuntimeError):
+            buffer.add(np.zeros((2, 2, 4, 4)), np.zeros(2), np.zeros(2), np.zeros(2), np.zeros(2))
+
+    def test_targets_require_full(self, rng):
+        buffer = RolloutBuffer(3, 2, (2, 4, 4))
+        with pytest.raises(RuntimeError):
+            buffer.compute_targets(np.zeros(2), 0.99)
+
+    def test_targets_shapes_flattened(self, rng):
+        buffer = self.make_full_buffer(rng, length=4, envs=3)
+        batch = buffer.compute_targets(np.zeros(3), 0.99)
+        assert batch["observations"].shape == (12, 2, 4, 4)
+        assert batch["actions"].shape == (12,)
+        assert batch["returns"].shape == (12,)
+        assert batch["advantages"].shape == (12,)
+
+    def test_advantages_are_td_errors(self, rng):
+        buffer = self.make_full_buffer(rng)
+        batch = buffer.compute_targets(np.zeros(2), 0.9)
+        np.testing.assert_allclose(batch["advantages"], batch["td_errors"])
+
+    def test_reset_clears_position(self, rng):
+        buffer = self.make_full_buffer(rng)
+        buffer.reset()
+        assert not buffer.full
+        assert buffer.pos == 0

@@ -1,0 +1,120 @@
+"""Environment API tests: spaces, canvas drawing, base-class bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.envs import ACTION_MEANINGS, Action, Box, Discrete
+from repro.envs.arcade import PaddleGame
+
+
+class TestSpaces:
+    def test_discrete_contains(self):
+        space = Discrete(6)
+        assert space.contains(0) and space.contains(5)
+        assert not space.contains(6) and not space.contains(-1)
+
+    def test_discrete_sample_in_range(self, rng):
+        space = Discrete(4)
+        samples = [space.sample(rng) for _ in range(100)]
+        assert set(samples) <= {0, 1, 2, 3}
+
+    def test_discrete_equality(self):
+        assert Discrete(3) == Discrete(3)
+        assert Discrete(3) != Discrete(4)
+
+    def test_box_contains(self):
+        box = Box(0.0, 1.0, (2, 2))
+        assert box.contains(np.zeros((2, 2)))
+        assert not box.contains(np.zeros((3, 2)))
+        assert not box.contains(np.full((2, 2), 2.0))
+
+    def test_action_constants_match_meanings(self):
+        assert ACTION_MEANINGS[Action.NOOP] == "NOOP"
+        assert ACTION_MEANINGS[Action.FIRE] == "FIRE"
+        assert len(ACTION_MEANINGS) == 6
+
+
+class TestArcadeGameBase:
+    def make_game(self, **kwargs):
+        return PaddleGame(game_id="Breakout", render_size=32, lives=2, max_episode_steps=50, seed=0, **kwargs)
+
+    def test_reset_returns_valid_observation(self):
+        game = self.make_game()
+        obs = game.reset(seed=0)
+        assert game.observation_space.contains(obs)
+
+    def test_step_before_reset_raises(self):
+        game = self.make_game()
+        with pytest.raises(RuntimeError):
+            game.step(0)
+
+    def test_invalid_action_raises(self):
+        game = self.make_game()
+        game.reset(seed=0)
+        with pytest.raises(ValueError):
+            game.step(99)
+
+    def test_episode_terminates_at_step_limit(self):
+        game = self.make_game()
+        game.reset(seed=0)
+        done = False
+        steps = 0
+        while not done:
+            _, _, done, _ = game.step(Action.NOOP)
+            steps += 1
+        assert steps <= 50
+
+    def test_info_fields(self):
+        game = self.make_game()
+        game.reset(seed=0)
+        _, _, _, info = game.step(Action.FIRE)
+        assert {"lives", "score", "elapsed_steps", "life_lost"} <= set(info)
+
+    def test_score_accumulates_scaled_rewards(self):
+        game = PaddleGame(game_id="Breakout", render_size=32, score_scale=10.0, seed=0, max_episode_steps=400)
+        game.reset(seed=3)
+        total = 0.0
+        done = False
+        rng = np.random.default_rng(0)
+        while not done:
+            _, reward, done, info = game.step(int(rng.integers(6)))
+            total += reward
+        assert info["score"] == pytest.approx(total)
+
+    def test_draw_rect_and_point_stay_in_bounds(self):
+        game = self.make_game()
+        canvas = np.zeros((32, 32))
+        game.draw_rect(canvas, 0.99, 0.99, 0.3, 0.3, 1.0)
+        game.draw_point(canvas, 0.0, 0.0, 0.5, radius=2)
+        assert canvas.max() <= 1.0
+        assert canvas.shape == (32, 32)
+
+    def test_draw_uses_max_intensity(self):
+        game = self.make_game()
+        canvas = np.full((32, 32), 0.9)
+        game.draw_rect(canvas, 0.5, 0.5, 0.2, 0.2, 0.3)
+        assert canvas.min() == pytest.approx(0.9)
+
+    def test_get_action_meanings(self):
+        assert self.make_game().get_action_meanings() == list(ACTION_MEANINGS)
+
+    def test_sticky_actions_repeat_previous(self):
+        game = PaddleGame(game_id="Breakout", render_size=32, sticky_action_prob=1.0, seed=0)
+        game.reset(seed=0)
+        x_start = game.paddle_x
+        # With sticky probability 1 every action is replaced by the previous
+        # one, which starts as NOOP, so the paddle can never move.
+        for _ in range(5):
+            game.step(Action.RIGHT)
+        assert game.paddle_x == x_start
+
+    def test_determinism_same_seed(self):
+        game_a, game_b = self.make_game(), self.make_game()
+        obs_a = game_a.reset(seed=7)
+        obs_b = game_b.reset(seed=7)
+        np.testing.assert_allclose(obs_a, obs_b)
+        for action in [1, 4, 5, 0, 4, 1]:
+            oa, ra, da, _ = game_a.step(action)
+            ob, rb, db, _ = game_b.step(action)
+            np.testing.assert_allclose(oa, ob)
+            assert ra == rb and da == db

@@ -1,0 +1,71 @@
+"""Property-based environment tests: invariants under arbitrary action sequences."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.envs import make_game
+
+action_sequences = st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=40)
+
+# A representative game from each engine family keeps the property suite fast.
+FAMILY_GAMES = ("Breakout", "SpaceInvaders", "Alien", "ChopperCommand", "Boxing")
+
+
+@settings(max_examples=15, deadline=None)
+@given(actions=action_sequences, game=st.sampled_from(FAMILY_GAMES), seed=st.integers(0, 1000))
+def test_observations_always_bounded(actions, game, seed):
+    env = make_game(game, render_size=32, seed=seed, max_episode_steps=60)
+    obs = env.reset(seed=seed)
+    assert 0.0 <= obs.min() and obs.max() <= 1.0
+    for action in actions:
+        obs, reward, done, _ = env.step(action)
+        assert obs.shape == (32, 32)
+        assert 0.0 <= obs.min() and obs.max() <= 1.0
+        assert np.isfinite(reward)
+        if done:
+            break
+
+
+@settings(max_examples=15, deadline=None)
+@given(actions=action_sequences, game=st.sampled_from(FAMILY_GAMES))
+def test_lives_never_increase(actions, game):
+    env = make_game(game, render_size=32, seed=0, max_episode_steps=60)
+    env.reset(seed=0)
+    previous = env.lives
+    for action in actions:
+        _, _, done, info = env.step(action)
+        assert info["lives"] <= previous
+        previous = info["lives"]
+        if done:
+            break
+
+
+@settings(max_examples=15, deadline=None)
+@given(actions=action_sequences, game=st.sampled_from(FAMILY_GAMES), seed=st.integers(0, 50))
+def test_same_seed_same_trajectory(actions, game, seed):
+    env_a = make_game(game, render_size=32, seed=seed, max_episode_steps=80)
+    env_b = make_game(game, render_size=32, seed=seed, max_episode_steps=80)
+    obs_a, obs_b = env_a.reset(seed=seed), env_b.reset(seed=seed)
+    np.testing.assert_array_equal(obs_a, obs_b)
+    for action in actions:
+        oa, ra, da, _ = env_a.step(action)
+        ob, rb, db, _ = env_b.step(action)
+        np.testing.assert_array_equal(oa, ob)
+        assert ra == rb and da == db
+        if da:
+            break
+
+
+@settings(max_examples=10, deadline=None)
+@given(game=st.sampled_from(FAMILY_GAMES), seed=st.integers(0, 100))
+def test_elapsed_steps_monotonic(game, seed):
+    env = make_game(game, render_size=32, seed=seed, max_episode_steps=40)
+    env.reset(seed=seed)
+    previous = 0
+    done = False
+    while not done:
+        _, _, done, info = env.step(0)
+        assert info["elapsed_steps"] == previous + 1
+        previous = info["elapsed_steps"]
+    assert previous <= 40

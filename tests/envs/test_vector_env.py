@@ -1,0 +1,66 @@
+"""Vectorised environment tests."""
+
+import numpy as np
+import pytest
+
+from repro.envs import VectorEnv, make_env, make_vector_env
+
+
+class TestVectorEnv:
+    def test_requires_at_least_one_env(self):
+        with pytest.raises(ValueError):
+            VectorEnv([])
+
+    def test_reset_shapes(self):
+        venv = make_vector_env("Breakout", num_envs=3, obs_size=28, frame_stack=2, seed=0)
+        obs = venv.reset(seed=0)
+        assert obs.shape == (3, 2, 28, 28)
+
+    def test_step_shapes_and_types(self, rng):
+        venv = make_vector_env("Breakout", num_envs=2, obs_size=28, frame_stack=2, seed=0)
+        venv.reset(seed=0)
+        obs, rewards, dones, infos = venv.step([1, 4])
+        assert obs.shape == (2, 2, 28, 28)
+        assert rewards.shape == (2,)
+        assert dones.shape == (2,)
+        assert len(infos) == 2
+
+    def test_wrong_action_count_raises(self):
+        venv = make_vector_env("Breakout", num_envs=2, obs_size=28, seed=0)
+        venv.reset(seed=0)
+        with pytest.raises(ValueError):
+            venv.step([1])
+
+    def test_auto_reset_and_episode_stats(self, rng):
+        venv = make_vector_env(
+            "Breakout", num_envs=2, obs_size=28, frame_stack=2, max_episode_steps=30, seed=0
+        )
+        venv.reset(seed=0)
+        episode_infos = []
+        for _ in range(120):
+            actions = [venv.action_space.sample(rng) for _ in range(venv.num_envs)]
+            _, _, dones, infos = venv.step(actions)
+            episode_infos.extend(info for info in infos if "episode_return" in info)
+        assert episode_infos, "episodes should complete and report returns"
+        assert all("episode_length" in info for info in episode_infos)
+        assert all(info["episode_length"] <= 30 for info in episode_infos)
+
+    def test_different_seeds_give_different_streams(self):
+        venv = make_vector_env("SpaceInvaders", num_envs=2, obs_size=28, frame_stack=2, seed=0)
+        obs = venv.reset(seed=0)
+        # The two copies start identically (same layout) but evolve with
+        # different RNG streams; after some random play they should diverge.
+        rng = np.random.default_rng(0)
+        diverged = False
+        for _ in range(60):
+            actions = [rng.integers(6), rng.integers(6)]
+            obs, _, _, _ = venv.step(actions)
+            if not np.allclose(obs[0], obs[1]):
+                diverged = True
+                break
+        assert diverged
+
+    def test_close_does_not_raise(self):
+        venv = make_vector_env("Breakout", num_envs=2, obs_size=28, seed=0)
+        venv.reset(seed=0)
+        venv.close()

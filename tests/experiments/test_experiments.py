@@ -1,0 +1,170 @@
+"""Experiment-harness tests: profiles, reporting, paper reference data, light runs."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DISTILLATION_STRATEGIES,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PROFILES,
+    build_evaluator,
+    format_series,
+    format_table,
+    get_profile,
+    paper_comparison_table,
+    rows_to_csv,
+    rows_to_json,
+    run_chunk_ablation,
+    run_das_vs_random,
+    run_hw_penalty_ablation,
+    run_search_space_audit,
+    train_backbone_agent,
+)
+from repro.networks import VanillaNet
+
+
+class TestProfiles:
+    def test_three_profiles_defined(self):
+        assert {"smoke", "fast", "full"} <= set(PROFILES)
+
+    def test_full_profile_covers_paper_sweeps(self):
+        full = get_profile("full")
+        assert len(full.games_table1) == 16
+        assert len(full.games_table2) == 12
+        assert len(full.games_table3) == 6
+        assert len(full.games_fig1) == 4
+        assert len(full.backbones_table1) == 5
+
+    def test_overrides(self):
+        profile = get_profile("smoke", train_steps=11)
+        assert profile.train_steps == 11
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("hyperspeed")
+
+    def test_env_var_selects_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "fast")
+        assert get_profile().name == "fast"
+
+
+class TestReporting:
+    def test_format_table_markdown(self):
+        rows = [{"game": "Pong", "score": 20.5}, {"game": "Breakout", "score": 300.0}]
+        text = format_table(rows, title="scores")
+        assert "| game | score |" in text
+        assert "Pong" in text and "300.0" in text
+        assert text.startswith("### scores")
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_series(self):
+        text = format_series(([0, 10], [1.0, 2.0]), name="curve")
+        assert text.startswith("curve:") and "10:2.0" in text
+
+    def test_rows_to_csv_and_json(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        csv_path = rows_to_csv(rows, str(tmp_path / "out.csv"))
+        json_path = rows_to_json(rows, str(tmp_path / "out.json"), metadata={"profile": "smoke"})
+        assert "a,b" in open(csv_path).read()
+        assert "profile" in open(json_path).read()
+
+    def test_rows_to_csv_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            rows_to_csv([], str(tmp_path / "x.csv"))
+
+    def test_paper_comparison_table_joins(self):
+        measured = [{"game": "Pong", "value": 5.0}]
+        rows = paper_comparison_table(measured, {"Pong": 20.9, "Breakout": 670.0}, key_field="game")
+        games = {row["game"] for row in rows}
+        assert games == {"Pong", "Breakout"}
+
+
+class TestPaperReferenceData:
+    def test_table1_reference_complete(self):
+        assert len(PAPER_TABLE1) == 16
+        for game, scores in PAPER_TABLE1.items():
+            assert set(scores) == {"Vanilla", "ResNet-14", "ResNet-20", "ResNet-38", "ResNet-74"}
+
+    def test_table1_larger_nets_usually_beat_vanilla(self):
+        """Sec. V-B: ResNet-20 outscores Vanilla on nearly every game."""
+        wins = sum(1 for scores in PAPER_TABLE1.values() if scores["ResNet-20"] > scores["Vanilla"])
+        assert wins >= 14
+
+    def test_table1_resnet74_not_the_best(self):
+        """Sec. V-B: a further size increase does not keep improving scores."""
+        best_counts = sum(
+            1 for scores in PAPER_TABLE1.values() if max(scores, key=scores.get) == "ResNet-74"
+        )
+        assert best_counts <= 3
+
+    def test_table2_reference_complete(self):
+        assert len(PAPER_TABLE2) == 12
+        for game, by_backbone in PAPER_TABLE2.items():
+            assert set(by_backbone) == {"Vanilla", "ResNet-14"}
+
+    def test_table2_ac_distillation_wins_most_cells(self):
+        """Sec. V-C: AC-distillation performs best on most tasks."""
+        cells = 0
+        ac_wins = 0
+        for by_backbone in PAPER_TABLE2.values():
+            for scores in by_backbone.values():
+                cells += 1
+                if scores["ac"] >= max(scores["none"], scores["policy"]):
+                    ac_wins += 1
+        assert ac_wins / cells > 0.8
+
+    def test_table3_speedup_range(self):
+        for game, row in PAPER_TABLE3.items():
+            speedup = row["a3cs_fps"] / row["fa3c_fps"]
+            assert 2.0 <= speedup <= 6.2
+
+    def test_distillation_strategy_labels(self):
+        assert [mode for _, mode in DISTILLATION_STRATEGIES] == ["none", "policy", "ac"]
+
+
+class TestLightweightRunners:
+    def test_train_backbone_agent_smoke(self, tiny_profile):
+        result = train_backbone_agent("Breakout", "Vanilla", tiny_profile, total_steps=40)
+        assert np.isfinite(result["score"])
+        assert result["agent"].backbone.flops() > 0
+
+    def test_track_curve_records_points(self, tiny_profile):
+        result = train_backbone_agent("Breakout", "Vanilla", tiny_profile, total_steps=60, track_curve=True)
+        assert result["curve"]
+        steps = [point[0] for point in result["curve"]]
+        assert steps == sorted(steps)
+
+    def test_build_evaluator(self, tiny_profile):
+        evaluator = build_evaluator("Breakout", tiny_profile)
+        assert evaluator.episodes == tiny_profile.eval_episodes
+
+
+class TestAblations:
+    def test_search_space_audit(self):
+        audit = run_search_space_audit()
+        assert audit["agent_space_meets_paper"]
+        assert audit["accelerator_space_exceeds_1e27"]
+        assert audit["joint_space"] == audit["agent_space"] * audit["accelerator_space"]
+
+    def test_chunk_ablation_rows(self):
+        net = VanillaNet(in_channels=2, input_size=42, feature_dim=64)
+        rows = run_chunk_ablation(net, chunk_counts=(1, 2))
+        assert len(rows) == 2
+        assert all(row["fps"] > 0 for row in rows)
+
+    def test_hw_penalty_ablation_monotone(self, tiny_profile):
+        rows = run_hw_penalty_ablation(tiny_profile, penalty_weights=(0.0, 1.0))
+        assert len(rows) == 2
+        # A positive penalty weight must not derive a more expensive network
+        # than ignoring hardware cost entirely.
+        assert rows[1]["derived_flops"] <= rows[0]["derived_flops"]
+
+    def test_das_vs_random(self):
+        net = VanillaNet(in_channels=2, input_size=42, feature_dim=64)
+        result = run_das_vs_random(net, steps=40, seed=0)
+        assert result["das_fps"] > 0 and result["random_fps"] > 0
+        assert result["das_wins"] == (result["das_fps"] >= result["random_fps"])

@@ -1,0 +1,135 @@
+"""Supernet tests: cell layout, gated forward, derivation, workload export."""
+
+import numpy as np
+import pytest
+
+from repro.networks import AgentSuperNet, CANDIDATE_OPERATORS, DerivedAgentNet, default_cell_configs
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def small_supernet(rng):
+    return AgentSuperNet(in_channels=2, input_size=28, feature_dim=32, num_cells=6, base_width=4,
+                         rng=np.random.default_rng(0))
+
+
+def one_hot_gates(supernet, indices):
+    gates = []
+    for index in indices:
+        data = np.zeros(supernet.num_choices_per_cell)
+        data[index] = 1.0
+        gates.append(Tensor(data, requires_grad=True))
+    return gates
+
+
+class TestCellConfigs:
+    def test_default_layout_matches_resnet_staging(self):
+        configs = default_cell_configs(num_cells=12, in_channels=16, input_size=42, base_width=16)
+        assert len(configs) == 12
+        strides = [c.stride for c in configs]
+        assert strides.count(2) == 2  # stage transitions only
+        widths = sorted({c.out_channels for c in configs})
+        assert widths == [16, 32, 64]
+
+    def test_indivisible_cells_raise(self):
+        with pytest.raises(ValueError):
+            default_cell_configs(num_cells=10, in_channels=8, input_size=28, num_stages=3)
+
+    def test_output_size_halves_on_stride(self):
+        configs = default_cell_configs(num_cells=6, in_channels=8, input_size=20, base_width=8)
+        for config in configs:
+            if config.stride == 2:
+                assert config.output_size == (config.input_size + 1) // 2
+
+
+class TestSuperNet:
+    def test_paper_scale_search_space(self):
+        supernet = AgentSuperNet(in_channels=4, input_size=84, num_cells=12, base_width=16)
+        assert supernet.search_space_size() == 9 ** 12
+
+    def test_single_path_forward_shape(self, small_supernet, rng):
+        x = Tensor(rng.standard_normal((2, 2, 28, 28)))
+        out = small_supernet.forward_architecture(x, [0] * 6)
+        assert out.shape == (2, 32)
+
+    def test_gated_forward_equals_single_path(self, small_supernet, rng):
+        indices = [1, 8, 3, 0, 5, 2]
+        x = Tensor(rng.standard_normal((1, 2, 28, 28)))
+        gated = small_supernet(x, gates=one_hot_gates(small_supernet, indices))
+        single = small_supernet.forward_architecture(x, indices)
+        np.testing.assert_allclose(gated.data, single.data, rtol=1e-10)
+
+    def test_forward_requires_gates_or_indices(self, small_supernet, rng):
+        with pytest.raises(ValueError):
+            small_supernet(Tensor(rng.standard_normal((1, 2, 28, 28))))
+
+    def test_wrong_gate_count_raises(self, small_supernet, rng):
+        with pytest.raises(ValueError):
+            small_supernet(Tensor(rng.standard_normal((1, 2, 28, 28))), gates=[Tensor(np.ones(9))])
+
+    def test_gradient_reaches_gates(self, small_supernet, rng):
+        gates = one_hot_gates(small_supernet, [0] * 6)
+        x = Tensor(rng.standard_normal((1, 2, 28, 28)))
+        out = small_supernet(x, gates=gates)
+        out.sum().backward()
+        assert gates[0].grad is not None
+
+    def test_multi_path_active_indices(self, small_supernet, rng):
+        # Activating two paths per cell must still produce the sampled path's value
+        # because the gate data is one-hot.
+        indices = [0, 1, 2, 3, 4, 5]
+        gates = one_hot_gates(small_supernet, indices)
+        active = [[i, (i + 1) % 9] for i in indices]
+        x = Tensor(rng.standard_normal((1, 2, 28, 28)))
+        out = small_supernet(x, gates=gates, active_indices=active)
+        single = small_supernet.forward_architecture(x, indices)
+        np.testing.assert_allclose(out.data, single.data, rtol=1e-10)
+
+    def test_cost_tables_shape(self, small_supernet):
+        macs = small_supernet.candidate_macs_table()
+        params = small_supernet.candidate_params_table()
+        assert macs.shape == (6, 9)
+        assert params.shape == (6, 9)
+        assert (macs >= 0).all()
+
+    def test_skip_column_cheapest(self, small_supernet):
+        macs = small_supernet.candidate_macs_table()
+        skip_index = [i for i, s in enumerate(CANDIDATE_OPERATORS) if s.name == "skip"][0]
+        assert (macs[:, skip_index] <= macs.min(axis=1) + 1e-9).all()
+
+    def test_layer_specs_depend_on_ops(self, small_supernet):
+        all_skip = small_supernet.layer_specs([8] * 6)
+        all_conv = small_supernet.layer_specs([0] * 6)
+        assert len(all_conv) > len(all_skip)
+
+    def test_flops_ordering(self, small_supernet):
+        cheap = small_supernet.flops([8] * 6)   # all skip
+        heavy = small_supernet.flops([1] * 6)   # all conv k5
+        assert cheap < heavy
+
+
+class TestDerivation:
+    def test_derive_copies_weights(self, small_supernet, rng):
+        indices = [0, 2, 8, 4, 1, 6]
+        derived = small_supernet.derive(indices, copy_weights=True)
+        x = Tensor(rng.standard_normal((2, 2, 28, 28)))
+        np.testing.assert_allclose(
+            derived(x).data, small_supernet.forward_architecture(x, indices).data, rtol=1e-8
+        )
+
+    def test_derive_without_weight_copy_differs(self, small_supernet, rng):
+        indices = [0] * 6
+        derived = small_supernet.derive(indices, copy_weights=False, rng=np.random.default_rng(99))
+        x = Tensor(rng.standard_normal((1, 2, 28, 28)))
+        assert not np.allclose(derived(x).data, small_supernet.forward_architecture(x, indices).data)
+
+    def test_derived_metadata(self, small_supernet):
+        derived = small_supernet.derive([8] * 6)
+        assert isinstance(derived, DerivedAgentNet)
+        assert derived.operator_names() == ["skip"] * 6
+        assert derived.flops() == small_supernet.flops([8] * 6)
+        assert len(derived.layer_specs()) == len(small_supernet.layer_specs([8] * 6))
+
+    def test_derive_wrong_length_raises(self, small_supernet):
+        with pytest.raises(ValueError):
+            small_supernet.derive([0, 1])

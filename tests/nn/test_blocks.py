@@ -1,0 +1,99 @@
+"""Building-block tests: ConvBNReLU, residual blocks, inverted residuals, skips."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BasicResBlock, ConvBNReLU, Identity, InvertedResidual, SkipConnection, Tensor, count_conv_flops
+
+
+class TestConvBNReLU:
+    def test_output_shape_same_padding(self, rng):
+        block = ConvBNReLU(3, 8, kernel_size=3, stride=1, rng=rng)
+        out = block(Tensor(rng.standard_normal((2, 3, 10, 10))))
+        assert out.shape == (2, 8, 10, 10)
+
+    def test_stride_halves_resolution(self, rng):
+        block = ConvBNReLU(3, 8, kernel_size=3, stride=2, rng=rng)
+        out = block(Tensor(rng.standard_normal((1, 3, 10, 10))))
+        assert out.shape == (1, 8, 5, 5)
+
+    def test_relu_applied(self, rng):
+        block = ConvBNReLU(2, 4, rng=rng)
+        out = block(Tensor(rng.standard_normal((2, 2, 6, 6))))
+        assert (out.data >= 0).all()
+
+    def test_no_relu_option(self, rng):
+        block = ConvBNReLU(2, 4, rng=rng, use_relu=False)
+        out = block(Tensor(rng.standard_normal((4, 2, 6, 6))))
+        assert (out.data < 0).any()
+
+
+class TestBasicResBlock:
+    def test_identity_shortcut_when_shape_preserved(self, rng):
+        block = BasicResBlock(8, 8, stride=1, rng=rng)
+        assert isinstance(block.shortcut, Identity)
+
+    def test_projection_shortcut_on_stride(self, rng):
+        block = BasicResBlock(8, 16, stride=2, rng=rng)
+        assert not isinstance(block.shortcut, Identity)
+        out = block(Tensor(rng.standard_normal((2, 8, 8, 8))))
+        assert out.shape == (2, 16, 4, 4)
+
+    def test_gradients_flow_through_both_paths(self, rng):
+        block = BasicResBlock(4, 4, rng=rng)
+        x = Tensor(rng.standard_normal((1, 4, 6, 6)), requires_grad=True)
+        block(x).sum().backward()
+        assert x.grad is not None
+        assert block.conv1.conv.weight.grad is not None
+
+
+class TestInvertedResidual:
+    def test_residual_used_when_shape_preserved(self, rng):
+        block = InvertedResidual(8, 8, stride=1, expansion=3, rng=rng)
+        assert block.use_residual
+
+    def test_no_residual_on_stride_or_channel_change(self, rng):
+        assert not InvertedResidual(8, 16, stride=1, rng=rng).use_residual
+        assert not InvertedResidual(8, 8, stride=2, rng=rng).use_residual
+
+    def test_expansion_one_skips_expansion_conv(self, rng):
+        block = InvertedResidual(8, 8, expansion=1, rng=rng)
+        assert len(list(block.body)) == 2
+        block3 = InvertedResidual(8, 8, expansion=3, rng=rng)
+        assert len(list(block3.body)) == 3
+
+    def test_hidden_channels(self, rng):
+        block = InvertedResidual(8, 8, expansion=5, rng=rng)
+        assert block.hidden_channels == 40
+
+    @pytest.mark.parametrize("kernel_size,stride", [(3, 1), (5, 1), (3, 2), (5, 2)])
+    def test_output_shapes(self, rng, kernel_size, stride):
+        block = InvertedResidual(4, 6, kernel_size=kernel_size, stride=stride, rng=rng)
+        out = block(Tensor(rng.standard_normal((2, 4, 8, 8))))
+        expected = 8 if stride == 1 else 4
+        assert out.shape == (2, 6, expected, expected)
+
+
+class TestSkipConnection:
+    def test_true_identity(self, rng):
+        skip = SkipConnection(8, 8, stride=1, rng=rng)
+        assert skip.is_identity
+        x = Tensor(rng.standard_normal((1, 8, 5, 5)))
+        np.testing.assert_allclose(skip(x).data, x.data)
+
+    def test_projection_when_shape_changes(self, rng):
+        skip = SkipConnection(8, 16, stride=2, rng=rng)
+        assert not skip.is_identity
+        out = skip(Tensor(rng.standard_normal((1, 8, 8, 8))))
+        assert out.shape == (1, 16, 4, 4)
+
+
+class TestFlopCounting:
+    def test_count_conv_flops(self):
+        # 3x3 conv, 8->16 channels, 10x10 output.
+        assert count_conv_flops(8, 16, 3, 10, 10) == 10 * 10 * 16 * 8 * 9
+
+    def test_grouped_flops_divide(self):
+        full = count_conv_flops(8, 16, 3, 10, 10, groups=1)
+        grouped = count_conv_flops(8, 16, 3, 10, 10, groups=8)
+        assert grouped == full // 8

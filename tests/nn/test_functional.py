@@ -1,0 +1,261 @@
+"""Functional-op tests: convolution against a naive reference, losses, softmax."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+def naive_conv2d(x, w, stride=1, padding=0):
+    """Direct 6-loop convolution used as the reference implementation."""
+    n, c_in, h, wid = x.shape
+    c_out, _, kh, kw = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (wid + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, c_out, out_h, out_w))
+    for b in range(n):
+        for o in range(c_out):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x[b, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[b, o, i, j] = (patch * w[o]).sum()
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive(self, rng, stride, padding):
+        x = rng.standard_normal((2, 3, 8, 8))
+        w = rng.standard_normal((4, 3, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), stride=stride, padding=padding)
+        np.testing.assert_allclose(out.data, naive_conv2d(x, w, stride, padding), rtol=1e-10)
+
+    def test_bias_added_per_channel(self, rng):
+        x = rng.standard_normal((1, 2, 5, 5))
+        w = rng.standard_normal((3, 2, 3, 3))
+        b = np.array([1.0, 2.0, 3.0])
+        out_no_bias = F.conv2d(Tensor(x), Tensor(w), padding=1)
+        out_bias = F.conv2d(Tensor(x), Tensor(w), Tensor(b), padding=1)
+        np.testing.assert_allclose(out_bias.data - out_no_bias.data, b.reshape(1, 3, 1, 1) * np.ones_like(out_no_bias.data))
+
+    def test_grouped_conv_matches_blockwise(self, rng):
+        x = rng.standard_normal((2, 4, 6, 6))
+        w = rng.standard_normal((6, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1, groups=2)
+        # Evaluate each group independently with the naive reference.
+        ref0 = naive_conv2d(x[:, :2], w[:3], 1, 1)
+        ref1 = naive_conv2d(x[:, 2:], w[3:], 1, 1)
+        np.testing.assert_allclose(out.data, np.concatenate([ref0, ref1], axis=1), rtol=1e-10)
+
+    def test_depthwise_output_shape(self, rng):
+        x = rng.standard_normal((1, 8, 10, 10))
+        w = rng.standard_normal((8, 1, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1, groups=8)
+        assert out.shape == (1, 8, 10, 10)
+
+    def test_input_gradient(self, rng, numgrad):
+        x = Tensor(rng.standard_normal((1, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 2, 3, 3)), requires_grad=True)
+        loss = (F.conv2d(x, w, stride=2, padding=1) ** 2).sum()
+        loss.backward()
+        num_x = numgrad(lambda: (F.conv2d(Tensor(x.data), Tensor(w.data), stride=2, padding=1) ** 2).sum().item(), x.data)
+        num_w = numgrad(lambda: (F.conv2d(Tensor(x.data), Tensor(w.data), stride=2, padding=1) ** 2).sum().item(), w.data)
+        np.testing.assert_allclose(x.grad, num_x, rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(w.grad, num_w, rtol=1e-4, atol=1e-6)
+
+    def test_grouped_gradient(self, rng, numgrad):
+        x = Tensor(rng.standard_normal((1, 4, 4, 4)), requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 2, 3, 3)), requires_grad=True)
+
+        def loss_value():
+            return (F.conv2d(Tensor(x.data), Tensor(w.data), padding=1, groups=2) ** 2).sum().item()
+
+        (F.conv2d(x, w, padding=1, groups=2) ** 2).sum().backward()
+        np.testing.assert_allclose(x.grad, numgrad(loss_value, x.data), rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(w.grad, numgrad(loss_value, w.data), rtol=1e-4, atol=1e-6)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = rng.standard_normal((1, 3, 5, 5))
+        w = rng.standard_normal((2, 4, 3, 3))
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(x), Tensor(w))
+
+    def test_output_size_helper(self):
+        assert F.conv_output_size(84, 8, 4, 0) == 20
+        assert F.conv_output_size(42, 3, 2, 1) == 21
+        assert F.conv_output_size(10, 3, 1, 1) == 10
+
+
+class TestIm2Col:
+    def test_roundtrip_shapes(self, rng):
+        x = rng.standard_normal((2, 3, 6, 6))
+        cols = F.im2col(x, (3, 3), stride=1, padding=1)
+        assert cols.shape == (2, 6, 6, 27)
+
+    def test_col2im_is_adjoint(self, rng):
+        # <im2col(x), y> == <x, col2im(y)> for random y proves adjointness.
+        x = rng.standard_normal((1, 2, 5, 5))
+        cols = F.im2col(x, (3, 3), stride=2, padding=1)
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        back = F.col2im(y, x.shape, (3, 3), stride=2, padding=1)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), kernel_size=2)
+        np.testing.assert_allclose(out.data, [[[[5, 7], [13, 15]]]])
+
+    def test_max_pool_gradient_goes_to_max(self):
+        x = Tensor(np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((1, 1, 4, 4))
+        expected[0, 0, 1, 1] = expected[0, 0, 1, 3] = expected[0, 0, 3, 1] = expected[0, 0, 3, 3] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), kernel_size=2)
+        np.testing.assert_allclose(out.data, [[[[2.5, 4.5], [10.5, 12.5]]]])
+
+    def test_avg_pool_gradient_uniform(self, rng, numgrad):
+        x = Tensor(rng.standard_normal((1, 2, 4, 4)), requires_grad=True)
+        (F.avg_pool2d(x, 2) ** 2).sum().backward()
+        num = numgrad(lambda: (F.avg_pool2d(Tensor(x.data), 2) ** 2).sum().item(), x.data)
+        np.testing.assert_allclose(x.grad, num, rtol=1e-5, atol=1e-7)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((2, 3, 5, 5))
+        out = F.global_avg_pool2d(Tensor(x))
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)))
+
+
+class TestActivationsAndNorm:
+    def test_leaky_relu(self):
+        x = Tensor([-2.0, 3.0], requires_grad=True)
+        out = F.leaky_relu(x, 0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.1, 1.0])
+
+    def test_batch_norm_training_normalises(self, rng):
+        x = rng.standard_normal((8, 4, 5, 5)) * 3 + 2
+        gamma, beta = Tensor(np.ones(4)), Tensor(np.zeros(4))
+        rm, rv = np.zeros(4), np.ones(4)
+        out = F.batch_norm2d(Tensor(x), gamma, beta, rm, rv, training=True)
+        assert abs(out.data.mean()) < 1e-6
+        assert out.data.std() == pytest.approx(1.0, rel=1e-2)
+
+    def test_batch_norm_updates_running_stats(self, rng):
+        x = rng.standard_normal((8, 4, 5, 5)) + 5.0
+        rm, rv = np.zeros(4), np.ones(4)
+        F.batch_norm2d(Tensor(x), Tensor(np.ones(4)), Tensor(np.zeros(4)), rm, rv, training=True, momentum=0.5)
+        assert (rm > 1.0).all()
+
+    def test_batch_norm_eval_uses_running_stats(self, rng):
+        x = rng.standard_normal((4, 2, 3, 3))
+        rm, rv = np.full(2, 10.0), np.full(2, 4.0)
+        out = F.batch_norm2d(Tensor(x), Tensor(np.ones(2)), Tensor(np.zeros(2)), rm, rv, training=False)
+        np.testing.assert_allclose(out.data, (x - 10.0) / np.sqrt(4.0 + 1e-5), rtol=1e-6)
+
+    def test_dropout_eval_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert F.dropout(x, 0.5, training=False) is x
+
+    def test_dropout_scales_kept_units(self, rng):
+        x = Tensor(np.ones((1000,)))
+        out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 2.0)
+
+
+class TestSoftmaxAndLosses:
+    def test_softmax_sums_to_one(self, rng):
+        x = rng.standard_normal((5, 7)) * 10
+        out = F.softmax(Tensor(x))
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(5), rtol=1e-10)
+
+    def test_log_softmax_consistent_with_softmax(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)))
+        np.testing.assert_allclose(np.exp(F.log_softmax(x).data), F.softmax(x).data, rtol=1e-10)
+
+    def test_softmax_stable_for_large_logits(self):
+        x = Tensor([[1000.0, 1001.0]])
+        out = F.softmax(x)
+        assert np.isfinite(out.data).all()
+
+    def test_mse_loss_value_and_grad(self, numgrad):
+        p = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        t = np.array([2.0, 2.0, 1.0])
+        loss = F.mse_loss(p, Tensor(t))
+        assert loss.item() == pytest.approx(((1) ** 2 + 0 + 4) / 3)
+        loss.backward()
+        num = numgrad(lambda: F.mse_loss(Tensor(p.data), Tensor(t)).item(), p.data)
+        np.testing.assert_allclose(p.grad, num, rtol=1e-5)
+
+    def test_mse_reductions(self):
+        p, t = Tensor([1.0, 3.0]), Tensor([0.0, 0.0])
+        assert F.mse_loss(p, t, reduction="sum").item() == pytest.approx(10.0)
+        assert F.mse_loss(p, t, reduction="none").shape == (2,)
+
+    def test_huber_quadratic_inside_delta(self):
+        p, t = Tensor([0.5]), Tensor([0.0])
+        assert F.huber_loss(p, t).item() == pytest.approx(0.125)
+
+    def test_huber_linear_outside_delta(self):
+        p, t = Tensor([3.0]), Tensor([0.0])
+        # 0.5 * delta^2 + delta * (|x| - delta) = 0.5 + 2
+        assert F.huber_loss(p, t).item() == pytest.approx(2.5)
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.standard_normal((4, 5))
+        targets = np.array([0, 2, 4, 1])
+        loss = F.cross_entropy(Tensor(logits), targets)
+        log_probs = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(4), targets].mean()
+        assert loss.item() == pytest.approx(expected, rel=1e-8)
+
+    def test_cross_entropy_gradient(self, rng, numgrad):
+        logits = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        targets = np.array([1, 0, 3])
+        F.cross_entropy(logits, targets).backward()
+        num = numgrad(lambda: F.cross_entropy(Tensor(logits.data), targets).item(), logits.data)
+        np.testing.assert_allclose(logits.grad, num, rtol=1e-4, atol=1e-7)
+
+    def test_kl_divergence_zero_for_identical(self, rng):
+        logits = rng.standard_normal((4, 6))
+        p = F.softmax(Tensor(logits))
+        q_log = F.log_softmax(Tensor(logits))
+        assert F.kl_divergence(p, q_log).item() == pytest.approx(0.0, abs=1e-10)
+
+    def test_kl_divergence_positive(self, rng):
+        p = F.softmax(Tensor(rng.standard_normal((4, 6))))
+        q_log = F.log_softmax(Tensor(rng.standard_normal((4, 6))))
+        assert F.kl_divergence(p, q_log).item() > 0.0
+
+    def test_kl_divergence_gradient_only_to_student(self, rng):
+        teacher = F.softmax(Tensor(rng.standard_normal((2, 3)), requires_grad=True))
+        student_logits = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        F.kl_divergence(teacher, F.log_softmax(student_logits)).backward()
+        assert student_logits.grad is not None
+
+    def test_entropy_max_for_uniform(self):
+        probs = Tensor(np.full((1, 4), 0.25))
+        assert F.entropy(probs).item() == pytest.approx(np.log(4), rel=1e-8)
+
+    def test_entropy_zero_for_onehot(self):
+        probs = Tensor(np.array([[1.0, 0.0, 0.0]]))
+        assert F.entropy(probs).item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_nll_loss_sum_reduction(self, rng):
+        log_probs = F.log_softmax(Tensor(rng.standard_normal((3, 4))))
+        targets = np.array([0, 1, 2])
+        per_sample = F.nll_loss(log_probs, targets, reduction="none")
+        total = F.nll_loss(log_probs, targets, reduction="sum")
+        assert total.item() == pytest.approx(per_sample.data.sum(), rel=1e-10)

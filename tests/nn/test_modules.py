@@ -1,0 +1,200 @@
+"""Module-system tests: registration, state dicts, layer behaviour, containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+    load_state_dict,
+    save_module,
+    save_state_dict,
+)
+
+
+class TinyNet(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=rng)
+        self.fc2 = Linear(8, 2, rng=rng)
+        self.act = ReLU()
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self, rng):
+        net = TinyNet(rng)
+        names = [name for name, _ in net.named_parameters()]
+        assert "fc1.weight" in names and "fc2.bias" in names
+        assert len(net.parameters()) == 4
+
+    def test_num_parameters(self, rng):
+        net = TinyNet(rng)
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_named_modules_includes_children(self, rng):
+        net = TinyNet(rng)
+        names = [name for name, _ in net.named_modules()]
+        assert "fc1" in names and "fc2" in names
+
+    def test_train_eval_propagates(self, rng):
+        net = Sequential(Linear(3, 3, rng=rng), Dropout(0.5), BatchNorm2d(3))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad_clears_all(self, rng):
+        net = TinyNet(rng)
+        out = net(Tensor(rng.standard_normal((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        net_a = TinyNet(rng)
+        net_b = TinyNet(np.random.default_rng(999))
+        net_b.load_state_dict(net_a.state_dict())
+        x = Tensor(rng.standard_normal((3, 4)))
+        np.testing.assert_allclose(net_a(x).data, net_b(x).data)
+
+    def test_shape_mismatch_raises(self, rng):
+        net = TinyNet(rng)
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_buffers_roundtrip(self, rng):
+        bn_a = BatchNorm2d(4)
+        bn_a.running_mean[:] = 7.0
+        bn_b = BatchNorm2d(4)
+        bn_b.load_state_dict(bn_a.state_dict())
+        np.testing.assert_allclose(bn_b.running_mean, 7.0)
+
+    def test_copy_weights_from(self, rng):
+        net_a, net_b = TinyNet(rng), TinyNet(np.random.default_rng(7))
+        net_b.copy_weights_from(net_a)
+        np.testing.assert_allclose(net_a.fc1.weight.data, net_b.fc1.weight.data)
+
+    def test_save_and_load_npz(self, rng, tmp_path):
+        net = TinyNet(rng)
+        path = save_module(net, str(tmp_path / "model.npz"))
+        restored = load_state_dict(path)
+        np.testing.assert_allclose(restored["fc1.weight"], net.fc1.weight.data)
+
+    def test_save_state_dict_creates_directories(self, rng, tmp_path):
+        path = str(tmp_path / "deep" / "dir" / "state.npz")
+        save_state_dict({"x": np.ones(3)}, path)
+        assert load_state_dict(path)["x"].sum() == 3
+
+
+class TestLayers:
+    def test_linear_shapes_and_values(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        x = rng.standard_normal((4, 5))
+        out = layer(Tensor(x))
+        np.testing.assert_allclose(out.data, x @ layer.weight.data.T + layer.bias.data, rtol=1e-10)
+
+    def test_linear_no_bias(self, rng):
+        layer = Linear(5, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_orthogonal_init(self, rng):
+        layer = Linear(16, 16, rng=rng, init_scheme="orthogonal")
+        w = layer.weight.data
+        np.testing.assert_allclose(w @ w.T, np.eye(16), atol=1e-8)
+
+    def test_conv_output_spatial(self, rng):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        assert conv.output_spatial(42) == 21
+
+    def test_conv_forward_shape(self, rng):
+        conv = Conv2d(2, 4, 5, stride=1, padding=2, rng=rng)
+        out = conv(Tensor(rng.standard_normal((3, 2, 10, 10))))
+        assert out.shape == (3, 4, 10, 10)
+
+    def test_batchnorm_learnable_params(self):
+        bn = BatchNorm2d(6)
+        assert len(bn.parameters()) == 2
+        assert bn.gamma.data.shape == (6,)
+
+    def test_activations_shapes(self, rng):
+        x = Tensor(rng.standard_normal((2, 5)))
+        for layer in (ReLU(), LeakyReLU(), Tanh(), Sigmoid(), Identity()):
+            assert layer(x).shape == x.shape
+
+    def test_flatten(self, rng):
+        out = Flatten()(Tensor(rng.standard_normal((2, 3, 4, 5))))
+        assert out.shape == (2, 60)
+
+    def test_pooling_layers(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 8, 8)))
+        assert MaxPool2d(2)(x).shape == (1, 2, 4, 4)
+        assert AvgPool2d(4)(x).shape == (1, 2, 2, 2)
+        assert GlobalAvgPool2d()(x).shape == (1, 2)
+
+    def test_dropout_respects_mode(self, rng):
+        layer = Dropout(0.9, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100,)))
+        layer.eval()
+        np.testing.assert_allclose(layer(x).data, 1.0)
+        layer.train()
+        assert (layer(x).data == 0).sum() > 50
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self, rng):
+        net = Sequential(Linear(4, 4, rng=rng), ReLU(), Linear(4, 2, rng=rng))
+        assert len(net) == 3
+        out = net(Tensor(rng.standard_normal((2, 4))))
+        assert out.shape == (2, 2)
+
+    def test_sequential_indexing_and_iteration(self, rng):
+        net = Sequential(Linear(4, 4, rng=rng), ReLU())
+        assert isinstance(net[1], ReLU)
+        assert len(list(iter(net))) == 2
+
+    def test_sequential_append_registers_params(self, rng):
+        net = Sequential(Linear(4, 4, rng=rng))
+        before = len(net.parameters())
+        net.append(Linear(4, 4, rng=rng))
+        assert len(net.parameters()) == before + 2
+
+    def test_module_list(self, rng):
+        layers = ModuleList([Linear(2, 2, rng=rng) for _ in range(3)])
+        assert len(layers) == 3
+        assert len(layers.parameters()) == 6
+        with pytest.raises(RuntimeError):
+            layers(Tensor(np.ones((1, 2))))
+
+    def test_parameter_is_tensor_with_grad(self):
+        p = Parameter(np.ones((2, 2)))
+        assert isinstance(p, Tensor)
+        assert p.requires_grad

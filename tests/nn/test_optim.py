@@ -1,0 +1,150 @@
+"""Optimiser and learning-rate-schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    ConstantSchedule,
+    LinearDecaySchedule,
+    Parameter,
+    RMSProp,
+    SGD,
+    StepDecaySchedule,
+    Tensor,
+    clip_grad_norm,
+)
+
+
+def quadratic_loss(param, target):
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+def run_optimizer(optimizer_cls, steps=300, **kwargs):
+    """Minimise ||x - target||^2 and return the final distance."""
+    target = np.array([1.0, -2.0, 3.0])
+    param = Parameter(np.zeros(3))
+    optimizer = optimizer_cls([param], **kwargs)
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = quadratic_loss(param, target)
+        loss.backward()
+        optimizer.step()
+    return float(np.abs(param.data - target).max())
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        assert run_optimizer(SGD, lr=0.1) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert run_optimizer(SGD, lr=0.05, momentum=0.9) < 1e-3
+
+    def test_rmsprop_converges(self):
+        assert run_optimizer(RMSProp, lr=0.05) < 1e-2
+
+    def test_adam_converges(self):
+        assert run_optimizer(Adam, lr=0.1) < 1e-3
+
+    def test_adam_bias_correction_first_step(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], lr=0.1)
+        optimizer.zero_grad()
+        quadratic_loss(param, np.array([0.0])).backward()
+        optimizer.step()
+        # With bias correction the very first step is ~lr in magnitude.
+        assert param.data[0] == pytest.approx(0.9, abs=1e-6)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Parameter(np.array([5.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        # Zero task gradient: only decay acts.
+        param.grad = np.zeros(1)
+        optimizer.step()
+        assert param.data[0] < 5.0
+
+    def test_skips_parameters_without_grad(self):
+        param = Parameter(np.array([1.0]))
+        other = Parameter(np.array([2.0]))
+        optimizer = SGD([param, other], lr=0.1)
+        param.grad = np.array([1.0])
+        optimizer.step()
+        assert other.data[0] == 2.0
+
+    def test_set_lr(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1)
+        optimizer.set_lr(0.5)
+        assert optimizer.lr == 0.5
+
+    def test_zero_grad_clears(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1)
+        param.grad = np.array([3.0])
+        optimizer.zero_grad()
+        assert param.grad is None
+
+
+class TestGradClipping:
+    def test_norm_reported(self):
+        param = Parameter(np.array([1.0]))
+        param.grad = np.array([3.0, 4.0][:1]) * 0 + 3.0
+        norm = clip_grad_norm([param], max_norm=None)
+        assert norm == pytest.approx(3.0)
+
+    def test_clipping_rescales(self):
+        a = Parameter(np.zeros(2))
+        a.grad = np.array([3.0, 4.0])
+        norm = clip_grad_norm([a], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(a.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_no_clipping_below_threshold(self):
+        a = Parameter(np.zeros(2))
+        a.grad = np.array([0.3, 0.4])
+        clip_grad_norm([a], max_norm=1.0)
+        np.testing.assert_allclose(a.grad, [0.3, 0.4])
+
+    def test_empty_gradients(self):
+        a = Parameter(np.zeros(2))
+        assert clip_grad_norm([a], max_norm=1.0) == 0.0
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(1e-3)
+        assert schedule.value(0) == schedule.value(10 ** 9) == 1e-3
+
+    def test_linear_decay_holds_then_decays(self):
+        schedule = LinearDecaySchedule(initial_lr=1e-3, final_lr=1e-4, hold_steps=100, total_steps=400)
+        assert schedule.value(50) == 1e-3
+        assert schedule.value(100) == 1e-3
+        mid = schedule.value(250)
+        assert 1e-4 < mid < 1e-3
+        assert schedule.value(400) == pytest.approx(1e-4)
+        assert schedule.value(10 ** 6) == pytest.approx(1e-4)
+
+    def test_linear_decay_paper_defaults(self):
+        schedule = LinearDecaySchedule()
+        assert schedule.value(int(1e7)) == pytest.approx(1e-3)
+        assert schedule.value(int(3e7)) == pytest.approx(1e-4)
+
+    def test_linear_decay_invalid_config(self):
+        with pytest.raises(ValueError):
+            LinearDecaySchedule(hold_steps=100, total_steps=100)
+
+    def test_linear_decay_apply_sets_lr(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=1e-3)
+        schedule = LinearDecaySchedule(hold_steps=10, total_steps=20)
+        lr = schedule.apply(optimizer, 20)
+        assert optimizer.lr == lr == pytest.approx(1e-4)
+
+    def test_step_decay(self):
+        schedule = StepDecaySchedule(initial_lr=1.0, step_size=10, gamma=0.5, min_lr=0.2)
+        assert schedule.value(0) == 1.0
+        assert schedule.value(10) == 0.5
+        assert schedule.value(25) == 0.25
+        assert schedule.value(1000) == 0.2

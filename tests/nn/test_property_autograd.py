@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor, unbroadcast
+from repro.nn import functional as F
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_dims=2, max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_add_zero_is_identity(x):
+    t = Tensor(x)
+    np.testing.assert_allclose((t + 0.0).data, x)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_mean_gradient_is_uniform(x):
+    t = Tensor(x, requires_grad=True)
+    t.mean().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(x, 1.0 / x.size))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), finite_floats)
+def test_scalar_mul_gradient(x, scalar):
+    t = Tensor(x, requires_grad=True)
+    (t * scalar).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(x, scalar))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_relu_output_nonnegative_and_bounded(x):
+    out = Tensor(x).relu().data
+    assert (out >= 0).all()
+    assert (out <= np.maximum(x, 0) + 1e-12).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sigmoid_range(x):
+    out = Tensor(x).sigmoid().data
+    assert ((out > 0) & (out < 1)).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 4), st.integers(2, 6)), elements=finite_floats))
+def test_softmax_rows_sum_to_one(x):
+    out = F.softmax(Tensor(x)).data
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(x.shape[0]), rtol=1e-9)
+    assert (out >= 0).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 4), st.integers(2, 6)), elements=finite_floats))
+def test_entropy_nonnegative_and_bounded(x):
+    probs = F.softmax(Tensor(x))
+    value = F.entropy(probs).item()
+    assert -1e-9 <= value <= np.log(x.shape[1]) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(dtype=np.float64, shape=st.tuples(st.integers(2, 4), st.integers(2, 5)), elements=finite_floats),
+    arrays(dtype=np.float64, shape=st.tuples(st.integers(2, 5),), elements=finite_floats),
+)
+def test_unbroadcast_inverts_broadcast_sum(matrix, row):
+    # Truncate/extend row so the shapes broadcast.
+    row = np.resize(row, matrix.shape[1])
+    a = Tensor(matrix, requires_grad=True)
+    b = Tensor(row, requires_grad=True)
+    (a + b).sum().backward()
+    np.testing.assert_allclose(b.grad, np.full_like(row, matrix.shape[0]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_double_negation_identity(x):
+    t = Tensor(x)
+    np.testing.assert_allclose((-(-t)).data, x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_unbroadcast_shape_contract(x):
+    grad = np.broadcast_to(x, (3,) + x.shape)
+    out = unbroadcast(np.array(grad), x.shape)
+    assert out.shape == x.shape
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 6), st.integers(2, 6), st.integers(1, 3))
+def test_linear_gradient_shapes(batch, features, out_features):
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((batch, features)), requires_grad=True)
+    w = Tensor(rng.standard_normal((out_features, features)), requires_grad=True)
+    F.linear(x, w).sum().backward()
+    assert x.grad.shape == x.data.shape
+    assert w.grad.shape == w.data.shape

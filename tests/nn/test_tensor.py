@@ -1,0 +1,262 @@
+"""Autograd engine tests: every Tensor op's gradient is checked numerically."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad, unbroadcast
+
+
+def check_gradient(build_loss, params, numgrad, rtol=1e-4, atol=1e-6):
+    """Compare analytic and numerical gradients for every parameter."""
+    loss = build_loss()
+    loss.backward()
+    for param in params:
+        analytic = param.grad
+        numeric = numgrad(lambda: build_loss().item(), param.data)
+        np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+class TestBasics:
+    def test_tensor_wraps_numpy(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.ndim == 2
+        assert t.size == 4
+        assert not t.requires_grad
+
+    def test_item_requires_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_backward_requires_scalar_without_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_detach_severs_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 3).detach()
+        assert not b.requires_grad
+        c = (b * 2).sum()
+        assert not c.requires_grad
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_no_grad_context(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with no_grad():
+            b = a * 2 + 1
+        assert not b.requires_grad
+        assert b._backward is None
+
+    def test_gradient_accumulates_across_backwards(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * 3).sum().backward()
+        (a * 3).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_constructors(self):
+        assert Tensor.zeros((2, 3)).data.sum() == 0
+        assert Tensor.ones((2, 3)).data.sum() == 6
+        r = Tensor.randn((4, 4), rng=np.random.default_rng(0), scale=2.0)
+        assert r.shape == (4, 4)
+
+
+class TestUnbroadcast:
+    def test_no_change_when_same_shape(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_sum_over_leading_axis(self):
+        g = np.ones((4, 2, 3))
+        out = unbroadcast(g, (2, 3))
+        np.testing.assert_allclose(out, np.full((2, 3), 4.0))
+
+    def test_sum_over_size_one_axis(self):
+        g = np.ones((2, 5))
+        out = unbroadcast(g, (2, 1))
+        np.testing.assert_allclose(out, np.full((2, 1), 5.0))
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        check_gradient(lambda: (a + b).sum(), [a, b], numgrad)
+
+    def test_add_broadcast(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4,)), requires_grad=True)
+        check_gradient(lambda: (a + b).sum(), [a, b], numgrad)
+
+    def test_sub(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        check_gradient(lambda: (a - b).sum(), [a, b], numgrad)
+
+    def test_rsub(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        check_gradient(lambda: (5.0 - a).sum(), [a], numgrad)
+
+    def test_mul(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        check_gradient(lambda: (a * b).sum(), [a, b], numgrad)
+
+    def test_mul_broadcast_scalar(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        check_gradient(lambda: (a * 2.5).sum(), [a], numgrad)
+
+    def test_div(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 3)) + 3.0, requires_grad=True)
+        check_gradient(lambda: (a / b).sum(), [a, b], numgrad)
+
+    def test_rdiv(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((2, 3)) + 3.0, requires_grad=True)
+        check_gradient(lambda: (1.0 / a).sum(), [a], numgrad)
+
+    def test_neg(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        check_gradient(lambda: (-a).sum(), [a], numgrad)
+
+    def test_pow(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((2, 3)) + 2.0, requires_grad=True)
+        check_gradient(lambda: (a ** 3).sum(), [a], numgrad)
+
+    def test_chained_expression(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((3,)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3,)), requires_grad=True)
+        check_gradient(lambda: ((a * b + a) / (b * b + 2.0)).sum(), [a, b], numgrad)
+
+    def test_reused_tensor_accumulates(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((3,)), requires_grad=True)
+        check_gradient(lambda: (a * a + a * 2.0).sum(), [a], numgrad)
+
+
+class TestShapeOps:
+    def test_reshape(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        check_gradient(lambda: (a.reshape(3, 4) * 2).sum(), [a], numgrad)
+
+    def test_flatten(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        out = a.flatten()
+        assert out.shape == (2, 12)
+        check_gradient(lambda: (a.flatten() ** 2).sum(), [a], numgrad)
+
+    def test_transpose(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        assert a.transpose().shape == (4, 3, 2)
+        check_gradient(lambda: (a.transpose(1, 0, 2) * 3).sum(), [a], numgrad)
+
+    def test_getitem(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        check_gradient(lambda: (a[1:4] * 2).sum(), [a], numgrad)
+
+    def test_pad2d(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((1, 2, 3, 3)), requires_grad=True)
+        out = a.pad2d(1)
+        assert out.shape == (1, 2, 5, 5)
+        check_gradient(lambda: (a.pad2d(1) ** 2).sum(), [a], numgrad)
+
+    def test_pad2d_zero_is_identity(self, rng):
+        a = Tensor(rng.standard_normal((1, 1, 3, 3)))
+        assert a.pad2d(0) is a
+
+    def test_stack(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        out = Tensor.stack([a, b], axis=0)
+        assert out.shape == (2, 2, 3)
+        check_gradient(lambda: (Tensor.stack([a, b]) * 2).sum(), [a, b], numgrad)
+
+    def test_concatenate(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=0)
+        assert out.shape == (6, 3)
+        check_gradient(lambda: (Tensor.concatenate([a, b], axis=0) ** 2).sum(), [a, b], numgrad)
+
+
+class TestReductions:
+    def test_sum_all(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        check_gradient(lambda: (a.sum() * 2), [a], numgrad)
+
+    def test_sum_axis(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        check_gradient(lambda: (a.sum(axis=1) ** 2).sum(), [a], numgrad)
+
+    def test_sum_keepdims(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)))
+        assert a.sum(axis=1, keepdims=True).shape == (3, 1)
+
+    def test_mean_all(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        check_gradient(lambda: a.mean() * 5, [a], numgrad)
+
+    def test_mean_axis_tuple(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        check_gradient(lambda: (a.mean(axis=(1, 2)) ** 2).sum(), [a], numgrad)
+
+    def test_max_gradient_flows_to_argmax(self):
+        a = Tensor([[1.0, 5.0, 2.0]], requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_axis(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)))
+        np.testing.assert_allclose(a.max(axis=1).data, a.data.max(axis=1))
+
+    def test_var_matches_numpy(self, rng):
+        a = Tensor(rng.standard_normal((5, 6)))
+        np.testing.assert_allclose(a.var().item(), a.data.var(), rtol=1e-10)
+
+
+class TestElementwiseMath:
+    @pytest.mark.parametrize("op", ["exp", "log", "sqrt", "tanh", "sigmoid", "relu", "abs"])
+    def test_unary_gradients(self, op, rng, numgrad):
+        base = rng.standard_normal((3, 4))
+        if op in ("log", "sqrt"):
+            base = np.abs(base) + 0.5
+        a = Tensor(base, requires_grad=True)
+        check_gradient(lambda: (getattr(a, op)() * 1.5).sum(), [a], numgrad, rtol=1e-3)
+
+    def test_clip_gradient_masks_out_of_range(self):
+        a = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_relu_zeroes_negative(self):
+        a = Tensor([-1.0, 2.0])
+        np.testing.assert_allclose(a.relu().data, [0.0, 2.0])
+
+    def test_comparison_operators_return_arrays(self):
+        a = Tensor([1.0, 2.0, 3.0])
+        assert (a > 1.5).tolist() == [False, True, True]
+        assert (a <= 2.0).tolist() == [True, True, False]
+
+
+class TestMatmul:
+    def test_matmul_2d(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        check_gradient(lambda: (a @ b).sum(), [a, b], numgrad)
+
+    def test_matmul_batched(self, rng, numgrad):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 4, 5)), requires_grad=True)
+        check_gradient(lambda: (a @ b).sum(), [a, b], numgrad)
+
+    def test_matmul_values(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 2))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)

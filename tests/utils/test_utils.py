@@ -1,0 +1,132 @@
+"""Utility tests: seeding, metric logging, run recording, config helpers."""
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    MetricLogger,
+    RunRecorder,
+    SeedSequence,
+    asdict_shallow,
+    seed_everything,
+    split_rng,
+    update_dataclass,
+)
+
+
+class TestSeeding:
+    def test_seed_everything_returns_generator(self):
+        rng = seed_everything(123)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_seed_everything_reproducible(self):
+        a = seed_everything(7).standard_normal(5)
+        b = seed_everything(7).standard_normal(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_split_rng_independent_children(self):
+        children = split_rng(np.random.default_rng(0), 3)
+        assert len(children) == 3
+        draws = [child.standard_normal(4) for child in children]
+        assert not np.allclose(draws[0], draws[1])
+
+    def test_seed_sequence_named_streams_reproducible(self):
+        seq = SeedSequence(42)
+        a = seq.rng("envs").standard_normal(3)
+        b = seq.rng("envs").standard_normal(3)
+        c = seq.rng("weights").standard_normal(3)
+        np.testing.assert_allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_seed_sequence_seed_lookup(self):
+        seq = SeedSequence(42)
+        assert seq.seed("x") == seq.seed("x")
+        assert 0 <= seq.seed("x") < 2 ** 31
+
+
+class TestMetricLogger:
+    def test_log_and_series(self):
+        logger = MetricLogger()
+        logger.log("loss", 1.0, step=10)
+        logger.log("loss", 0.5, step=20)
+        steps, values = logger.series("loss")
+        assert steps == [10, 20]
+        assert values == [1.0, 0.5]
+
+    def test_default_steps_are_sequential(self):
+        logger = MetricLogger()
+        logger.log("x", 1.0)
+        logger.log("x", 2.0)
+        steps, _ = logger.series("x")
+        assert steps == [0, 1]
+
+    def test_latest_and_default(self):
+        logger = MetricLogger()
+        assert logger.latest("missing") is None
+        assert logger.latest("missing", default=3.0) == 3.0
+        logger.log("y", 5.0)
+        assert logger.latest("y") == 5.0
+
+    def test_mean_with_window(self):
+        logger = MetricLogger()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            logger.log("r", value)
+        assert logger.mean("r") == pytest.approx(2.5)
+        assert logger.mean("r", last=2) == pytest.approx(3.5)
+        assert logger.mean("missing") is None
+
+    def test_names_and_as_dict(self):
+        logger = MetricLogger()
+        logger.log("b", 1.0)
+        logger.log("a", 2.0)
+        assert logger.names() == ["a", "b"]
+        exported = logger.as_dict()
+        assert exported["a"]["values"] == [2.0]
+
+
+class TestRunRecorder:
+    def test_add_and_len(self):
+        recorder = RunRecorder("exp")
+        recorder.add(game="Pong", score=1.0)
+        recorder.add(game="Breakout", score=2.0)
+        assert len(recorder) == 2
+
+    def test_save_writes_json(self, tmp_path):
+        recorder = RunRecorder("exp", output_dir=str(tmp_path))
+        recorder.add(value=1)
+        path = recorder.save()
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["name"] == "exp"
+        assert payload["rows"] == [{"value": 1}]
+
+    def test_save_explicit_path(self, tmp_path):
+        recorder = RunRecorder("exp")
+        recorder.add(value=2)
+        path = recorder.save(str(tmp_path / "custom.json"))
+        assert os.path.exists(path)
+
+
+class TestConfigHelpers:
+    @dataclasses.dataclass
+    class DummyConfig:
+        steps: int = 10
+        lr: float = 0.1
+
+    def test_asdict_shallow(self):
+        config = self.DummyConfig()
+        assert asdict_shallow(config) == {"steps": 10, "lr": 0.1}
+
+    def test_update_dataclass_returns_copy(self):
+        config = self.DummyConfig()
+        updated = update_dataclass(config, steps=99)
+        assert updated.steps == 99
+        assert config.steps == 10
+
+    def test_update_dataclass_rejects_unknown_field(self):
+        with pytest.raises(ValueError):
+            update_dataclass(self.DummyConfig(), batch_size=4)
