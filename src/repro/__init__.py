@@ -4,8 +4,13 @@ Subpackages
 -----------
 ``repro.nn``
     NumPy reverse-mode autodiff and neural-network layers (PyTorch substitute).
+``repro.runtime``
+    Tape-free batched inference engine (compiled plans, pre-allocated
+    buffers) serving every no-grad forward: rollouts, evaluation, teacher
+    targets, co-search agent-reward queries.
 ``repro.envs``
-    Synthetic Atari-like arcade environments (ALE substitute).
+    Synthetic Atari-like arcade environments (ALE substitute) with
+    synchronous and worker-parallel vectorisation.
 ``repro.networks``
     Vanilla DQN CNN, ResNet-14/20/38/74 baselines, NAS operators, supernet.
 ``repro.drl``

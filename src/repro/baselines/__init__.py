@@ -2,9 +2,15 @@
 
 from .fa3c import A3CS_PAPER_REPORTED, FA3C_REPORTED, FA3CBaseline, fa3c_reported_games
 from .manual_designs import MANUAL_ACCELERATOR_RECIPES, build_manual_accelerator, manual_recipe_names
-from .random_search import random_accelerator_search, random_architecture, random_architecture_search
+from .random_search import (
+    make_rollout_score_fn,
+    random_accelerator_search,
+    random_architecture,
+    random_architecture_search,
+)
 
 __all__ = [
+    "make_rollout_score_fn",
     "FA3CBaseline",
     "FA3C_REPORTED",
     "A3CS_PAPER_REPORTED",

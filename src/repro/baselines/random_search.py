@@ -2,7 +2,10 @@
 
 Differentiable search methods are conventionally compared against random
 search over the same space and evaluation budget; these helpers implement
-that comparison for the ablation benchmarks.
+that comparison for the ablation benchmarks.  Agent-reward queries (scoring
+a sampled architecture by playing episodes) are pure inference and run on
+the tape-free :mod:`repro.runtime` engine via
+:func:`make_rollout_score_fn`.
 """
 
 from __future__ import annotations
@@ -13,7 +16,40 @@ from ..accelerator.design_space import AcceleratorDesignSpace
 from ..accelerator.predictor import PerformancePredictor
 from ..networks.operators import CANDIDATE_OPERATORS
 
-__all__ = ["random_architecture", "random_architecture_search", "random_accelerator_search"]
+__all__ = [
+    "random_architecture",
+    "random_architecture_search",
+    "random_accelerator_search",
+    "make_rollout_score_fn",
+]
+
+
+def make_rollout_score_fn(agent, game, episodes=2, max_steps=120, seed=0, env_kwargs=None):
+    """Build ``score_fn(op_indices) -> mean episode return`` for architecture search.
+
+    ``agent`` must be an :class:`~repro.drl.agent.ActorCriticAgent` whose
+    backbone is an :class:`~repro.networks.supernet.AgentSuperNet`; each
+    candidate architecture is scored with the standard evaluation protocol
+    along the fixed path (null-op starts disabled, short episodes).  Every
+    per-step action query is served by the runtime engine's per-path plan
+    cache, so random search over many architectures never touches the
+    autograd tape.
+    """
+    from ..drl.evaluation import evaluate_agent
+
+    def score_fn(op_indices):
+        return evaluate_agent(
+            agent,
+            game,
+            episodes=episodes,
+            null_op_max=0,
+            seed=seed,
+            env_kwargs=env_kwargs,
+            max_steps_per_episode=max_steps,
+            backbone_kwargs={"op_indices": [int(i) for i in op_indices]},
+        )
+
+    return score_fn
 
 
 def random_architecture(num_cells, rng):

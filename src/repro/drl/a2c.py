@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..nn import RMSProp, Tensor, clip_grad_norm, no_grad
+from ..nn import RMSProp, clip_grad_norm
 from ..utils.logging import MetricLogger
 from .distillation import ACDistiller, DistillationMode
 from .losses import TaskLossWeights, combine_task_loss, entropy_loss, policy_gradient_loss, value_loss
@@ -118,8 +118,8 @@ class A2CTrainer:
                 if "episode_return" in info:
                     self._recent_returns.append(info["episode_return"])
                     self.logger.log("episode_return", info["episode_return"], step=self.total_env_steps)
-        with no_grad():
-            bootstrap = self.agent.forward(self._observations).value.data
+        # Bootstrap values are pure inference: use the tape-free runtime path.
+        _, bootstrap = self.agent.policy_value(self._observations)
         return bootstrap
 
     # ------------------------------------------------------------------ #

@@ -52,7 +52,8 @@ class ActorCriticAgent(Module):
         Backbone output dimensionality (defaults to ``backbone.feature_dim``).
     """
 
-    def __init__(self, backbone, num_actions, feature_dim=None, rng=None):
+    def __init__(self, backbone, num_actions, feature_dim=None, rng=None, use_runtime=True,
+                 runtime_dtype=None):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng(0)
         feature_dim = feature_dim if feature_dim is not None else backbone.feature_dim
@@ -63,6 +64,18 @@ class ActorCriticAgent(Module):
         self.policy_head = Linear(self.feature_dim, self.num_actions, rng=rng, init_scheme="orthogonal")
         self.policy_head.weight.data *= 0.01
         self.value_head = Linear(self.feature_dim, 1, rng=rng, init_scheme="orthogonal")
+        self.use_runtime = bool(use_runtime)
+        self.runtime_dtype = runtime_dtype if runtime_dtype is not None else np.float64
+        self._runtime = None
+
+    @property
+    def runtime(self):
+        """The lazily-built tape-free :class:`~repro.runtime.RuntimePolicy`."""
+        if self._runtime is None or self._runtime.dtype != np.dtype(self.runtime_dtype):
+            from ..runtime import RuntimePolicy
+
+            self._runtime = RuntimePolicy(self, dtype=self.runtime_dtype)
+        return self._runtime
 
     # ------------------------------------------------------------------ #
     # Forward passes
@@ -78,7 +91,21 @@ class ActorCriticAgent(Module):
         return PolicyOutput(logits, log_probs, probs, value)
 
     def policy_value(self, observations, **backbone_kwargs):
-        """Convenience wrapper returning ``(probs, value)`` NumPy arrays without grads."""
+        """Convenience wrapper returning ``(probs, value)`` NumPy arrays without grads.
+
+        This is the inference chokepoint (``act``, evaluation, teacher
+        targets, co-search rollouts all land here); when ``use_runtime`` is
+        set it executes on the tape-free :mod:`repro.runtime` engine instead
+        of the autograd graph, falling back to the eager path for forward
+        arguments the runtime cannot compile (e.g. gated supernet forwards).
+        """
+        if self.use_runtime:
+            from ..runtime.compiler import CompileError
+
+            try:
+                return self.runtime.policy_value(observations, **backbone_kwargs)
+            except CompileError:
+                pass
         with no_grad():
             output = self.forward(observations, **backbone_kwargs)
         return output.probs.data, output.value.data

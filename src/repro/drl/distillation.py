@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Tensor, no_grad
+from ..nn import Tensor
 from ..nn import functional as F
 
 __all__ = ["DistillationMode", "ACDistiller", "actor_distillation_loss", "critic_distillation_loss"]
@@ -82,6 +82,10 @@ class ACDistiller:
     def teacher_targets(self, observations):
         """Run the frozen teacher on a batch of observations.
 
+        The teacher is pure inference (its parameters are never updated), so
+        this goes through the tape-free runtime engine via ``policy_value``
+        rather than building an autograd forward.
+
         Returns
         -------
         probs, values:
@@ -90,9 +94,7 @@ class ACDistiller:
         """
         if not self.enabled:
             return None, None
-        with no_grad():
-            output = self.teacher.forward(observations)
-        return output.probs.data, output.value.data
+        return self.teacher.policy_value(observations)
 
     def losses(self, observations, student_output, teacher_probs=None, teacher_values=None):
         """Compute ``(actor_distill_loss, critic_distill_loss)`` tensors.

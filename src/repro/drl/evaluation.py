@@ -17,8 +17,11 @@ __all__ = ["evaluate_agent", "Evaluator", "greedy_policy_score"]
 
 
 def evaluate_agent(agent, game, episodes=30, null_op_max=30, seed=0, env_kwargs=None, greedy=False,
-                   max_steps_per_episode=None):
+                   max_steps_per_episode=None, use_runtime=None, backbone_kwargs=None):
     """Average episode score of ``agent`` on ``game``.
+
+    Evaluation is pure inference, so the per-step action queries run on the
+    tape-free :mod:`repro.runtime` engine by default (via ``agent.act``).
 
     Parameters
     ----------
@@ -36,6 +39,13 @@ def evaluate_agent(agent, game, episodes=30, null_op_max=30, seed=0, env_kwargs=
         Whether to act greedily instead of sampling from the policy.
     max_steps_per_episode:
         Optional hard cap overriding the game's own episode limit.
+    use_runtime:
+        Force the runtime fast path on/off for this evaluation; ``None``
+        keeps the agent's own ``use_runtime`` setting (benchmarks use this to
+        time the eager baseline).
+    backbone_kwargs:
+        Extra keyword arguments forwarded to ``agent.act`` (e.g.
+        ``op_indices`` to score a fixed supernet path).
 
     Returns
     -------
@@ -45,10 +55,14 @@ def evaluate_agent(agent, game, episodes=30, null_op_max=30, seed=0, env_kwargs=
     env_kwargs = dict(env_kwargs or {})
     if max_steps_per_episode is not None:
         env_kwargs["max_episode_steps"] = max_steps_per_episode
+    backbone_kwargs = dict(backbone_kwargs or {})
     env = make_env(game, null_op_max=null_op_max, seed=seed, **env_kwargs)
     rng = np.random.default_rng(seed)
     scores = []
     was_training = agent.training
+    previous_runtime = agent.use_runtime
+    if use_runtime is not None:
+        agent.use_runtime = bool(use_runtime)
     agent.eval()
     try:
         for episode in range(episodes):
@@ -57,11 +71,12 @@ def evaluate_agent(agent, game, episodes=30, null_op_max=30, seed=0, env_kwargs=
             total = 0.0
             while not done:
                 with no_grad():
-                    actions, _ = agent.act(obs[None, ...], rng, greedy=greedy)
+                    actions, _ = agent.act(obs[None, ...], rng, greedy=greedy, **backbone_kwargs)
                 obs, reward, done, _ = env.step(int(actions[0]))
                 total += reward
             scores.append(total)
     finally:
+        agent.use_runtime = previous_runtime
         if was_training:
             agent.train()
     return float(np.mean(scores))

@@ -4,6 +4,13 @@ The paper's Algorithm 1 collects rollouts of length ``L`` (rollout length 5 in
 Sec. V-A) from the current policy, then computes the td-error
 ``delta_t = r_t + gamma * V(s_{t+1}) - V(s_t)`` used by both the policy
 gradient (Eq. 13) and the value loss (Eq. 14).
+
+Dtype policy: rollout data is bulk storage and target arithmetic — single
+precision end-to-end.  :class:`RolloutBuffer` stores float32 and the target
+helpers take an explicit ``dtype`` parameter: ``None`` (the default) keeps
+the dtype the inputs came in with (so float64 callers and their tight
+numerical parity tests are untouched), while the buffer pipeline passes its
+own float32 storage through without ever upcasting to float64.
 """
 
 from __future__ import annotations
@@ -13,7 +20,21 @@ import numpy as np
 __all__ = ["RolloutBuffer", "compute_returns", "compute_td_errors", "compute_gae"]
 
 
-def compute_returns(rewards, dones, bootstrap_values, gamma):
+def _resolve_dtype(dtype, *arrays):
+    """The computation dtype: explicit ``dtype``, else promoted from inputs.
+
+    Non-float inputs (e.g. integer rewards) promote to float64 — discounting
+    must never run in integer arithmetic.
+    """
+    if dtype is not None:
+        return np.dtype(dtype)
+    resolved = np.result_type(*[np.asarray(a) for a in arrays])
+    if resolved.kind != "f":
+        return np.dtype(np.float64)
+    return resolved
+
+
+def compute_returns(rewards, dones, bootstrap_values, gamma, dtype=None):
     """N-step discounted returns with bootstrapping from the final value.
 
     Parameters
@@ -24,6 +45,9 @@ def compute_returns(rewards, dones, bootstrap_values, gamma):
         Value estimates of the state following the last step, ``(num_envs,)``.
     gamma:
         Discount factor.
+    dtype:
+        Computation dtype; ``None`` promotes from the inputs (no upcast of
+        float32 rollout data, no downcast of float64 callers).
 
     Returns
     -------
@@ -31,38 +55,48 @@ def compute_returns(rewards, dones, bootstrap_values, gamma):
         Array of shape ``(steps, num_envs)`` where
         ``returns[t] = r_t + gamma * (1 - done_t) * returns[t+1]``.
     """
-    rewards = np.asarray(rewards, dtype=np.float64)
-    dones = np.asarray(dones, dtype=np.float64)
+    dtype = _resolve_dtype(dtype, rewards, dones, bootstrap_values)
+    rewards = np.asarray(rewards, dtype=dtype)
+    dones = np.asarray(dones, dtype=dtype)
+    gamma = dtype.type(gamma)
+    one = dtype.type(1.0)
     steps = rewards.shape[0]
     returns = np.zeros_like(rewards)
-    running = np.asarray(bootstrap_values, dtype=np.float64).copy()
+    running = np.asarray(bootstrap_values, dtype=dtype).copy()
     for t in reversed(range(steps)):
-        running = rewards[t] + gamma * (1.0 - dones[t]) * running
+        running = rewards[t] + gamma * (one - dones[t]) * running
         returns[t] = running
     return returns
 
 
-def compute_td_errors(rewards, dones, values, bootstrap_values, gamma):
+def compute_td_errors(rewards, dones, values, bootstrap_values, gamma, dtype=None):
     """One-step td-errors ``delta_t = r_t + gamma V(s_{t+1}) - V(s_t)``.
 
     ``values`` has shape ``(steps, num_envs)`` and holds ``V(s_t)`` estimates
     recorded during the rollout; ``bootstrap_values`` is ``V(s_{steps})``.
     """
-    rewards = np.asarray(rewards, dtype=np.float64)
-    dones = np.asarray(dones, dtype=np.float64)
-    values = np.asarray(values, dtype=np.float64)
-    next_values = np.concatenate([values[1:], np.asarray(bootstrap_values)[None, :]], axis=0)
-    return rewards + gamma * (1.0 - dones) * next_values - values
+    dtype = _resolve_dtype(dtype, rewards, dones, values, bootstrap_values)
+    rewards = np.asarray(rewards, dtype=dtype)
+    dones = np.asarray(dones, dtype=dtype)
+    values = np.asarray(values, dtype=dtype)
+    gamma = dtype.type(gamma)
+    one = dtype.type(1.0)
+    bootstrap = np.asarray(bootstrap_values, dtype=dtype)
+    next_values = np.concatenate([values[1:], bootstrap[None, :]], axis=0)
+    return rewards + gamma * (one - dones) * next_values - values
 
 
-def compute_gae(rewards, dones, values, bootstrap_values, gamma, lam=0.95):
+def compute_gae(rewards, dones, values, bootstrap_values, gamma, lam=0.95, dtype=None):
     """Generalised advantage estimation (optional variance-reduction extension)."""
-    deltas = compute_td_errors(rewards, dones, values, bootstrap_values, gamma)
-    dones = np.asarray(dones, dtype=np.float64)
+    dtype = _resolve_dtype(dtype, rewards, dones, values, bootstrap_values)
+    deltas = compute_td_errors(rewards, dones, values, bootstrap_values, gamma, dtype=dtype)
+    dones = np.asarray(dones, dtype=dtype)
     advantages = np.zeros_like(deltas)
-    running = np.zeros(deltas.shape[1])
+    decay = dtype.type(gamma * lam)
+    one = dtype.type(1.0)
+    running = np.zeros(deltas.shape[1], dtype=dtype)
     for t in reversed(range(deltas.shape[0])):
-        running = deltas[t] + gamma * lam * (1.0 - dones[t]) * running
+        running = deltas[t] + decay * (one - dones[t]) * running
         advantages[t] = running
     return advantages
 
@@ -72,23 +106,27 @@ class RolloutBuffer:
 
     Stores ``rollout_length`` transitions from ``num_envs`` parallel
     environments, then yields the flattened tensors needed to evaluate the
-    task loss of Eq. 12.
+    task loss of Eq. 12.  Storage and target computation are float32 by
+    default (rollout data does not need double precision and the runtime
+    inference path benefits from the halved copies); pass
+    ``dtype=np.float64`` to reproduce the historical behaviour.
     """
 
-    def __init__(self, rollout_length, num_envs, obs_shape):
+    def __init__(self, rollout_length, num_envs, obs_shape, dtype=np.float32):
         self.rollout_length = int(rollout_length)
         self.num_envs = int(num_envs)
         self.obs_shape = tuple(obs_shape)
+        self.dtype = np.dtype(dtype)
         self.reset()
 
     def reset(self):
         """Clear the buffer for the next rollout."""
         shape = (self.rollout_length, self.num_envs)
-        self.observations = np.zeros(shape + self.obs_shape, dtype=np.float64)
+        self.observations = np.zeros(shape + self.obs_shape, dtype=self.dtype)
         self.actions = np.zeros(shape, dtype=np.int64)
-        self.rewards = np.zeros(shape, dtype=np.float64)
-        self.dones = np.zeros(shape, dtype=np.float64)
-        self.values = np.zeros(shape, dtype=np.float64)
+        self.rewards = np.zeros(shape, dtype=self.dtype)
+        self.dones = np.zeros(shape, dtype=self.dtype)
+        self.values = np.zeros(shape, dtype=self.dtype)
         self.pos = 0
 
     @property
@@ -104,7 +142,7 @@ class RolloutBuffer:
         self.observations[index] = observations
         self.actions[index] = actions
         self.rewards[index] = rewards
-        self.dones[index] = np.asarray(dones, dtype=np.float64)
+        self.dones[index] = np.asarray(dones, dtype=self.dtype)
         self.values[index] = values
         self.pos += 1
 
@@ -117,8 +155,10 @@ class RolloutBuffer:
         """
         if not self.full:
             raise RuntimeError("rollout buffer is not full yet")
-        returns = compute_returns(self.rewards, self.dones, bootstrap_values, gamma)
-        td_errors = compute_td_errors(self.rewards, self.dones, self.values, bootstrap_values, gamma)
+        returns = compute_returns(self.rewards, self.dones, bootstrap_values, gamma, dtype=self.dtype)
+        td_errors = compute_td_errors(
+            self.rewards, self.dones, self.values, bootstrap_values, gamma, dtype=self.dtype
+        )
         flat = self.rollout_length * self.num_envs
         return {
             "observations": self.observations.reshape((flat,) + self.obs_shape),

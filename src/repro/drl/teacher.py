@@ -20,7 +20,7 @@ __all__ = ["make_agent", "train_teacher"]
 
 
 def make_agent(backbone_name, num_actions=6, obs_size=42, frame_stack=2, feature_dim=128,
-               base_width=8, seed=0):
+               base_width=8, seed=0, use_runtime=True, runtime_dtype=None):
     """Build an :class:`ActorCriticAgent` with a named backbone.
 
     Parameters
@@ -34,13 +34,24 @@ def make_agent(backbone_name, num_actions=6, obs_size=42, frame_stack=2, feature
         the NumPy substrate fast).
     base_width:
         First-stage channel width for the ResNet family.
+    use_runtime / runtime_dtype:
+        No-grad inference configuration (see
+        :class:`~repro.runtime.RuntimePolicy`); training forwards always use
+        the autograd engine regardless.
     """
     rng = np.random.default_rng(seed)
     kwargs = {"in_channels": frame_stack, "input_size": obs_size, "feature_dim": feature_dim, "rng": rng}
     if backbone_name.lower().startswith("resnet"):
         kwargs["base_width"] = base_width
     backbone = build_backbone(backbone_name, **kwargs)
-    return ActorCriticAgent(backbone, num_actions=num_actions, feature_dim=feature_dim, rng=rng)
+    return ActorCriticAgent(
+        backbone,
+        num_actions=num_actions,
+        feature_dim=feature_dim,
+        rng=rng,
+        use_runtime=use_runtime,
+        runtime_dtype=runtime_dtype,
+    )
 
 
 def train_teacher(

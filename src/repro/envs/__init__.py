@@ -2,8 +2,18 @@
 
 from .arcade import DuelGame, MazeGame, NavigatorGame, PaddleGame, ShooterGame
 from .base import ACTION_MEANINGS, Action, ArcadeGame, Box, Discrete, Env
-from .registry import ATARI_GAMES, GAME_REGISTRY, game_info, game_names, make_env, make_game
-from .vector_env import VectorEnv, make_vector_env
+from .registry import (
+    ATARI_GAMES,
+    GAME_REGISTRY,
+    default_vector_backend,
+    game_info,
+    game_names,
+    get_vector_backend,
+    make_env,
+    make_game,
+    register_vector_backend,
+)
+from .vector_env import AsyncVectorEnv, VectorEnv, make_vector_env, spawn_env_generators
 from .wrappers import (
     ClipReward,
     EpisodicLife,
@@ -40,5 +50,10 @@ __all__ = [
     "NullOpStart",
     "EpisodicLife",
     "VectorEnv",
+    "AsyncVectorEnv",
     "make_vector_env",
+    "spawn_env_generators",
+    "register_vector_backend",
+    "get_vector_backend",
+    "default_vector_backend",
 ]

@@ -14,10 +14,23 @@ paper's qualitative claim that bigger networks pay off on harder games.
 
 from __future__ import annotations
 
+import os
+
 from .arcade import DuelGame, MazeGame, NavigatorGame, PaddleGame, ShooterGame
 from .wrappers import ClipReward, FrameSkip, FrameStack, NullOpStart, ResizeObservation
 
-__all__ = ["GAME_REGISTRY", "ATARI_GAMES", "make_game", "make_env", "game_names", "game_info"]
+__all__ = [
+    "GAME_REGISTRY",
+    "ATARI_GAMES",
+    "make_game",
+    "make_env",
+    "game_names",
+    "game_info",
+    "VECTOR_BACKENDS",
+    "register_vector_backend",
+    "get_vector_backend",
+    "default_vector_backend",
+]
 
 
 def _entry(engine, difficulty, **params):
@@ -217,3 +230,49 @@ def make_env(
     if null_op_max and null_op_max > 0:
         env = NullOpStart(env, max_null_ops=null_op_max)
     return env
+
+
+# --------------------------------------------------------------------------- #
+# Vectorised-environment backends
+# --------------------------------------------------------------------------- #
+#: Backend name -> factory taking a list of env constructors.
+VECTOR_BACKENDS = {}
+
+
+def register_vector_backend(name, factory):
+    """Register a vector-env ``factory(env_fns) -> Env`` under ``name``."""
+    VECTOR_BACKENDS[name] = factory
+    return factory
+
+
+def default_vector_backend():
+    """The backend used when callers do not pick one explicitly.
+
+    Controlled by the ``REPRO_VECTOR_BACKEND`` environment variable
+    (``"sync"`` in-process lock-step, ``"async"`` worker processes);
+    defaults to ``"sync"``.
+    """
+    return os.environ.get("REPRO_VECTOR_BACKEND", "sync")
+
+
+def get_vector_backend(name=None):
+    """Resolve a backend name (``None`` -> :func:`default_vector_backend`)."""
+    _ensure_vector_backends()
+    name = name if name is not None else default_vector_backend()
+    if name not in VECTOR_BACKENDS:
+        raise KeyError(
+            "unknown vector-env backend {!r}; registered: {}".format(
+                name, ", ".join(sorted(VECTOR_BACKENDS))
+            )
+        )
+    return VECTOR_BACKENDS[name]
+
+
+def _ensure_vector_backends():
+    """Register the built-in backends (lazy: avoids an import cycle)."""
+    if "sync" in VECTOR_BACKENDS and "async" in VECTOR_BACKENDS:
+        return
+    from .vector_env import AsyncVectorEnv, VectorEnv
+
+    VECTOR_BACKENDS.setdefault("sync", VectorEnv)
+    VECTOR_BACKENDS.setdefault("async", AsyncVectorEnv)

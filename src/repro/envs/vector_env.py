@@ -1,18 +1,50 @@
-"""Synchronous vectorised environment.
+"""Synchronous and worker-parallel vectorised environments.
 
 A3C/A2C-style training interleaves several environment copies so each gradient
-update sees decorrelated rollouts.  ``VectorEnv`` steps ``num_envs`` wrapped
-environments in lock-step (synchronously, in-process) and auto-resets finished
-episodes, reporting completed episode returns through the step ``info``.
+update sees decorrelated rollouts.  Two implementations share one interface:
+
+* :class:`VectorEnv` steps ``num_envs`` wrapped environments in lock-step,
+  in-process;
+* :class:`AsyncVectorEnv` runs each environment in its own worker process
+  (fork-based ``multiprocessing``) so env stepping overlaps with the main
+  process's batched policy inference: ``step_async`` dispatches the actions
+  and returns immediately, ``step_wait`` gathers results.
+
+Both auto-reset finished episodes (reporting ``episode_return`` /
+``episode_length`` through the step ``info``) and both derive per-env
+randomness the same way, so a seeded serial and async vector env produce
+identical trajectories.
+
+Seed plumbing: ``reset(seed=N)`` spawns one child ``np.random.SeedSequence``
+per sub-environment and threads an explicit ``np.random.Generator`` built
+from it through every ``reset`` — including episode auto-resets, which
+continue the same per-env stream instead of silently re-deriving state from
+the original ``seed + index`` integer.  (``np.random.default_rng(generator)``
+returns the generator itself, so the base ``Env.reset(seed=...)`` contract is
+unchanged.)
 """
 
 from __future__ import annotations
+
+import multiprocessing as mp
 
 import numpy as np
 
 from .base import Env
 
-__all__ = ["VectorEnv", "make_vector_env"]
+__all__ = ["VectorEnv", "AsyncVectorEnv", "make_vector_env", "spawn_env_generators"]
+
+
+def spawn_env_generators(seed, num_envs):
+    """One independent ``np.random.Generator`` per sub-environment.
+
+    Uses ``SeedSequence.spawn`` so the streams are statistically independent
+    (unlike the historical ``seed + index`` convention) yet fully determined
+    by ``(seed, num_envs)`` — the property that makes serial and async vector
+    envs reproduce each other.
+    """
+    children = np.random.SeedSequence(seed).spawn(num_envs)
+    return [np.random.default_rng(child) for child in children]
 
 
 class VectorEnv(Env):
@@ -33,12 +65,17 @@ class VectorEnv(Env):
         self.observation_space = self.envs[0].observation_space
         self._episode_returns = np.zeros(self.num_envs)
         self._episode_lengths = np.zeros(self.num_envs, dtype=int)
+        self._rngs = [None] * self.num_envs
+        self._pending_actions = None
 
     def reset(self, seed=None):
-        observations = []
-        for index, env in enumerate(self.envs):
-            env_seed = None if seed is None else seed + index
-            observations.append(env.reset(seed=env_seed))
+        if self._pending_actions is not None:
+            raise RuntimeError("reset called with a step_async in flight; call step_wait first")
+        if seed is not None:
+            self._rngs = spawn_env_generators(seed, self.num_envs)
+        observations = [
+            env.reset(seed=rng) for env, rng in zip(self.envs, self._rngs)
+        ]
         self._episode_returns[:] = 0.0
         self._episode_lengths[:] = 0
         return np.stack(observations)
@@ -53,6 +90,8 @@ class VectorEnv(Env):
             finishes, its info contains ``episode_return`` / ``episode_length``
             and the observation returned is the first of the next episode.
         """
+        if self._pending_actions is not None:
+            raise RuntimeError("step called with a step_async in flight; call step_wait first")
         actions = np.asarray(actions)
         if actions.shape[0] != self.num_envs:
             raise ValueError("expected {} actions, got {}".format(self.num_envs, actions.shape[0]))
@@ -67,23 +106,238 @@ class VectorEnv(Env):
                 info["episode_length"] = int(self._episode_lengths[index])
                 self._episode_returns[index] = 0.0
                 self._episode_lengths[index] = 0
-                obs = env.reset()
+                # Thread the per-env generator through the auto-reset so the
+                # episode stream continues instead of replaying seed + index.
+                obs = env.reset(seed=self._rngs[index])
             observations.append(obs)
             rewards.append(reward)
             dones.append(done)
             infos.append(info)
         return np.stack(observations), np.asarray(rewards), np.asarray(dones), infos
 
+    # ------------------------------------------------------------------ #
+    # Async-compatible interface (trivial for the in-process variant)
+    # ------------------------------------------------------------------ #
+    def step_async(self, actions):
+        """Record the next batch of actions (executed by :meth:`step_wait`)."""
+        if self._pending_actions is not None:
+            raise RuntimeError("step_async called twice without step_wait")
+        self._pending_actions = np.asarray(actions)
+
+    def step_wait(self):
+        """Complete a :meth:`step_async` call."""
+        if self._pending_actions is None:
+            raise RuntimeError("step_wait called without step_async")
+        actions = self._pending_actions
+        self._pending_actions = None
+        return self.step(actions)
+
     def close(self):
         for env in self.envs:
             env.close()
 
 
-def make_vector_env(name, num_envs=4, seed=0, **env_kwargs):
-    """Build a :class:`VectorEnv` of ``num_envs`` copies of a registered game."""
-    from .registry import make_env
+def _async_worker(env_fn, conn):
+    """Worker loop owning one environment (and its generator) end-to-end.
+
+    Every reply is a ``("ok", payload)`` or ``("error", traceback)`` pair so
+    worker-side exceptions (bad action, bad game name, game bug) surface in
+    the parent process as real errors instead of a dead pipe.
+    """
+    import traceback
+
+    try:
+        env = env_fn()
+        init_error = None
+    except Exception:
+        env = None
+        init_error = traceback.format_exc()
+    rng = None
+    episode_return = 0.0
+    episode_length = 0
+    try:
+        while True:
+            command, payload = conn.recv()
+            if command == "close":
+                if env is not None:
+                    env.close()
+                conn.send(("ok", None))
+                break
+            if init_error is not None:
+                conn.send(("error", init_error))
+                continue
+            try:
+                if command == "reset":
+                    if payload is not None:
+                        rng = np.random.default_rng(payload)
+                    episode_return = 0.0
+                    episode_length = 0
+                    conn.send(("ok", env.reset(seed=rng)))
+                elif command == "step":
+                    obs, reward, done, info = env.step(int(payload))
+                    episode_return += reward
+                    episode_length += 1
+                    info = dict(info)
+                    if done:
+                        info["episode_return"] = float(episode_return)
+                        info["episode_length"] = int(episode_length)
+                        episode_return = 0.0
+                        episode_length = 0
+                        obs = env.reset(seed=rng)
+                    conn.send(("ok", (obs, reward, done, info)))
+                elif command == "spec":
+                    conn.send(("ok", (env.action_space, env.observation_space)))
+                else:
+                    conn.send(("error", "unknown command {!r}".format(command)))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+class AsyncVectorEnv(Env):
+    """Worker-process vectorised environment behind the ``VectorEnv`` interface.
+
+    Each sub-environment lives in a forked worker; ``step_async`` ships one
+    action per worker and returns immediately, letting rollout collectors
+    overlap environment stepping with batched policy inference on the main
+    process.  ``step`` is ``step_async`` + ``step_wait`` for drop-in use.
+
+    Parameters
+    ----------
+    env_fns:
+        Zero-argument environment constructors, one per worker.  Fork start
+        method means plain closures work (nothing is pickled at spawn time).
+    context:
+        ``multiprocessing`` start method; ``"fork"`` (default) is required
+        for closure ``env_fns`` and is available on every POSIX platform.
+    """
+
+    def __init__(self, env_fns, context="fork"):
+        if not env_fns:
+            raise ValueError("need at least one environment")
+        try:
+            ctx = mp.get_context(context)
+        except ValueError as error:
+            raise RuntimeError(
+                "AsyncVectorEnv needs the {!r} multiprocessing start method; "
+                "use the sync backend on this platform".format(context)
+            ) from error
+        self.num_envs = len(env_fns)
+        self._conns = []
+        self._procs = []
+        for fn in env_fns:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=_async_worker, args=(fn, child), daemon=True)
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        self._seed_sequences = [None] * self.num_envs
+        self._waiting = False
+        self._closed = False
+        self._conns[0].send(("spec", None))
+        self.action_space, self.observation_space = self._recv(self._conns[0])
+
+    @staticmethod
+    def _recv(conn):
+        """Receive one worker reply, re-raising worker-side errors here."""
+        status, payload = conn.recv()
+        if status == "error":
+            raise RuntimeError("async env worker failed:\n{}".format(payload))
+        return payload
+
+    def reset(self, seed=None):
+        if self._waiting:
+            raise RuntimeError("reset called with a step_async in flight; call step_wait first")
+        if seed is not None:
+            self._seed_sequences = np.random.SeedSequence(seed).spawn(self.num_envs)
+        for conn, child_sequence in zip(self._conns, self._seed_sequences):
+            conn.send(("reset", child_sequence))
+        observations = [self._recv(conn) for conn in self._conns]
+        # Sequences were delivered; workers keep the generators from now on.
+        self._seed_sequences = [None] * self.num_envs
+        return np.stack(observations)
+
+    def step_async(self, actions):
+        """Dispatch one action per worker without waiting for results."""
+        actions = np.asarray(actions)
+        if actions.shape[0] != self.num_envs:
+            raise ValueError("expected {} actions, got {}".format(self.num_envs, actions.shape[0]))
+        if self._waiting:
+            raise RuntimeError("step_async called twice without step_wait")
+        for conn, action in zip(self._conns, actions):
+            conn.send(("step", int(action)))
+        self._waiting = True
+
+    def step_wait(self):
+        """Gather the results of the in-flight :meth:`step_async`."""
+        if not self._waiting:
+            raise RuntimeError("step_wait called without step_async")
+        # Drain every worker before raising so one failed worker neither
+        # wedges the env in the waiting state nor desynchronises the other
+        # pipes' request/reply pairing.
+        replies = []
+        try:
+            for conn in self._conns:
+                replies.append(conn.recv())
+        finally:
+            self._waiting = False
+        errors = [payload for status, payload in replies if status == "error"]
+        if errors:
+            raise RuntimeError("async env worker failed:\n{}".format("\n".join(errors)))
+        results = [payload for _, payload in replies]
+        observations, rewards, dones, infos = zip(*results)
+        return (
+            np.stack(observations),
+            np.asarray(rewards),
+            np.asarray(dones),
+            list(infos),
+        )
+
+    def step(self, actions):
+        """Synchronous convenience wrapper: ``step_async`` + ``step_wait``."""
+        self.step_async(actions)
+        return self.step_wait()
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close", None))
+            except (BrokenPipeError, OSError):
+                continue
+        for conn in self._conns:
+            try:
+                conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5)
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_vector_env(name, num_envs=4, seed=0, backend=None, **env_kwargs):
+    """Build a vectorised environment of ``num_envs`` copies of a registered game.
+
+    ``backend`` selects the implementation from the registry in
+    :mod:`repro.envs.registry` (``"sync"`` in-process lock-step, ``"async"``
+    worker processes); ``None`` resolves the default via
+    :func:`repro.envs.registry.default_vector_backend` (the
+    ``REPRO_VECTOR_BACKEND`` environment variable, falling back to "sync").
+    """
+    from .registry import get_vector_backend, make_env
 
     def make_one(index):
         return lambda: make_env(name, seed=seed + index, **env_kwargs)
 
-    return VectorEnv([make_one(i) for i in range(num_envs)])
+    factory = get_vector_backend(backend)
+    return factory([make_one(i) for i in range(num_envs)])

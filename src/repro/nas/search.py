@@ -208,8 +208,9 @@ class DRLArchitectureSearch:
                 if "episode_return" in info:
                     self._recent_returns.append(info["episode_return"])
                     self.logger.log("episode_return", info["episode_return"], step=self.total_env_steps)
-        with no_grad():
-            bootstrap = self.agent.forward(self._observations, op_indices=sampled_indices).value.data
+        # Bootstrap values are pure inference along the sampled path: the
+        # runtime engine serves them from its per-path plan cache.
+        _, bootstrap = self.agent.policy_value(self._observations, op_indices=sampled_indices)
         return bootstrap
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,38 @@
+"""Tape-free batched inference runtime.
+
+Training needs gradients; inference needs throughput.  The autograd
+:class:`~repro.nn.tensor.Tensor` substrate pays for the former on every
+forward pass: each op allocates fresh output arrays, wraps them in tensors,
+and (outside ``no_grad``) wires backward closures.  Rollout collection,
+evaluation, teacher distillation and the co-search's agent-reward queries are
+all pure inference, so this subsystem executes them on a different engine:
+
+* :func:`~repro.runtime.compiler.compile_plan` captures a :class:`repro.nn`
+  module graph **once** (structurally, no tracing overhead) into a flat
+  :class:`~repro.runtime.plan.Plan` of NumPy steps;
+* :class:`~repro.runtime.engine.InferenceEngine` executes the plan with
+  pre-allocated activation buffers and cached im2col workspaces — zero
+  per-call allocations on the hot path and no ``Tensor`` wrapping;
+* :class:`~repro.runtime.engine.RuntimePolicy` wraps an
+  :class:`~repro.drl.agent.ActorCriticAgent` and serves ``(probs, values)``
+  batches for rollout collection, including sampled supernet paths (plans are
+  cached per path).
+
+The engine reads parameters live from the source module on every run, so a
+module can keep training between rollouts without invalidating its plans.
+``dtype=np.float64`` (the default) reproduces the eager math to a few ulps;
+``dtype=np.float32`` is the production fast path (~2-3x on BLAS-bound nets).
+"""
+
+from .compiler import compile_plan, register_expander, supported_module_types
+from .engine import InferenceEngine, RuntimePolicy
+from .plan import Plan
+
+__all__ = [
+    "Plan",
+    "compile_plan",
+    "register_expander",
+    "supported_module_types",
+    "InferenceEngine",
+    "RuntimePolicy",
+]

@@ -1,0 +1,405 @@
+"""Structural compiler: :class:`repro.nn` module trees -> flat :class:`Plan`.
+
+The module zoo of this repository is small and closed, so instead of tracing
+an example forward pass the compiler walks the module structure directly: a
+registry maps module types to *expanders* that append steps to the plan and
+return the output slot.  Composite expanders (``ConvBNReLU``, residual
+blocks, whole backbones) fuse what the eager path computes as separate tensor
+ops — conv + bias + batch-norm + activation become one GEMM plus in-place
+channel-wise arithmetic on a staging buffer.
+
+Modules without a registered expander fall back to an :class:`OpaqueStep`
+that runs their eager ``forward`` under ``no_grad``, so the engine stays
+total over custom user modules (just slower for that one node).
+
+Custom layers can join the fast path via :func:`register_expander`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import blocks as nn_blocks
+from ..nn import modules as nn_modules
+from ..nn.functional import conv_output_size
+from .plan import (
+    AddStep,
+    BatchNormStep,
+    Conv2dStep,
+    FlattenStep,
+    GlobalAvgPoolStep,
+    LinearStep,
+    OpaqueStep,
+    Plan,
+    Pool2dStep,
+    ReshapeStep,
+    SoftmaxStep,
+)
+
+__all__ = ["compile_plan", "register_expander", "supported_module_types", "CompileError"]
+
+_EXPANDERS = {}
+
+
+class CompileError(RuntimeError):
+    """Raised when a module tree cannot be compiled into a plan."""
+
+
+def register_expander(module_type, expander):
+    """Register ``expander(module, ctx, in_slot) -> out_slot`` for a module type."""
+    _EXPANDERS[module_type] = expander
+    return expander
+
+
+def supported_module_types():
+    """Module types with a native (non-opaque) expander."""
+    return sorted(_EXPANDERS, key=lambda t: t.__name__)
+
+
+def _expander(module_type):
+    def decorator(fn):
+        return register_expander(module_type, fn)
+
+    return decorator
+
+
+class CompileContext:
+    """Mutable state threaded through expanders while building one plan."""
+
+    def __init__(self, plan, path=None):
+        self.plan = plan
+        self.path = path
+        self.path_consumed = False
+
+    def emit(self, module, in_slot):
+        """Expand ``module`` (dispatching over its MRO) and return its output slot."""
+        for klass in type(module).__mro__:
+            expander = _EXPANDERS.get(klass)
+            if expander is not None:
+                return expander(module, self, in_slot)
+        return _emit_opaque(module, self, in_slot)
+
+    # Convenience wrappers -------------------------------------------------
+    def slot(self, shape, view=False):
+        return self.plan.new_slot(shape, view=view)
+
+    def shape(self, slot):
+        return self.plan.shape(slot)
+
+    def add(self, step):
+        return self.plan.add(step)
+
+
+def _emit_opaque(module, ctx, in_slot):
+    """Fallback expander: run the module eagerly to discover its output shape.
+
+    The probe runs in eval mode so compile-time shape discovery never mutates
+    training state (BN running statistics, dropout RNG streams); the module's
+    mode is restored afterwards and :class:`OpaqueStep` respects it at run
+    time.
+    """
+    from ..nn import Tensor, no_grad
+
+    probe = np.zeros(ctx.shape(in_slot), dtype=np.float64)
+    was_training = bool(getattr(module, "training", False))
+    if was_training:
+        module.eval()
+    try:
+        with no_grad():
+            out = module(Tensor(probe))
+    finally:
+        if was_training:
+            module.train()
+    out_slot = ctx.slot(out.shape)
+    ctx.add(OpaqueStep(module, in_slot, out_slot))
+    return out_slot
+
+
+# --------------------------------------------------------------------------- #
+# Primitive layers
+# --------------------------------------------------------------------------- #
+def _activation_kind(module):
+    """The fused-activation tag of an activation module, or ``None``."""
+    if isinstance(module, nn_modules.ReLU):
+        return "relu"
+    if isinstance(module, nn_modules.LeakyReLU):
+        return ("leaky_relu", module.negative_slope)
+    if isinstance(module, nn_modules.Tanh):
+        return "tanh"
+    if isinstance(module, nn_modules.Sigmoid):
+        return "sigmoid"
+    return None
+
+
+def _emit_conv(conv, ctx, in_slot, bn=None, activation=None):
+    """Emit a fused convolution step and its output slot."""
+    n, _, h, w = ctx.shape(in_slot)
+    oh = conv_output_size(h, conv.kernel_size, conv.stride, conv.padding)
+    ow = conv_output_size(w, conv.kernel_size, conv.stride, conv.padding)
+    out_slot = ctx.slot((n, conv.out_channels, oh, ow))
+    ctx.add(Conv2dStep(conv, in_slot, out_slot, bn=bn, activation=activation))
+    return out_slot
+
+
+@_expander(nn_modules.Conv2d)
+def _expand_conv2d(module, ctx, in_slot):
+    return _emit_conv(module, ctx, in_slot)
+
+
+@_expander(nn_modules.Linear)
+def _expand_linear(module, ctx, in_slot):
+    n = ctx.shape(in_slot)[0]
+    out_slot = ctx.slot((n, module.out_features))
+    ctx.add(LinearStep(module, in_slot, out_slot))
+    return out_slot
+
+
+@_expander(nn_modules.BatchNorm2d)
+def _expand_batchnorm(module, ctx, in_slot):
+    out_slot = ctx.slot(ctx.shape(in_slot))
+    ctx.add(BatchNormStep(module, in_slot, out_slot))
+    return out_slot
+
+
+def _expand_activation(module, ctx, in_slot):
+    # Standalone activation modules write to a fresh slot: the compiler cannot
+    # prove single-consumer ownership of an arbitrary input slot, and the copy
+    # is cheap next to any surrounding GEMM.  Composite expanders fuse
+    # activations in place instead.
+    out_slot = ctx.slot(ctx.shape(in_slot))
+    kind = _activation_kind(module)
+    ctx.add(AddStep(in_slot, _zero_like(ctx, in_slot), out_slot, activation=kind))
+    return out_slot
+
+
+_ZERO_SLOTS = "_zero_slots"
+
+
+def _zero_like(ctx, slot):
+    """A shared all-zero slot matching ``slot`` (used to copy-then-activate)."""
+    cache = getattr(ctx, _ZERO_SLOTS, None)
+    if cache is None:
+        cache = {}
+        setattr(ctx, _ZERO_SLOTS, cache)
+    shape = ctx.shape(slot)
+    if shape not in cache:
+        cache[shape] = ctx.slot(shape)  # plan buffers start uninitialised...
+    return cache[shape]
+
+
+for _act_type in (nn_modules.ReLU, nn_modules.LeakyReLU, nn_modules.Tanh, nn_modules.Sigmoid):
+    register_expander(_act_type, _expand_activation)
+
+
+@_expander(nn_modules.Identity)
+def _expand_identity(module, ctx, in_slot):
+    return in_slot
+
+
+@_expander(nn_modules.Flatten)
+def _expand_flatten(module, ctx, in_slot):
+    shape = ctx.shape(in_slot)
+    flat = int(np.prod(shape[1:]))
+    out_slot = ctx.slot((shape[0], flat), view=True)
+    ctx.add(FlattenStep(in_slot, out_slot))
+    return out_slot
+
+
+@_expander(nn_modules.Dropout)
+def _expand_dropout(module, ctx, in_slot):
+    if module.p <= 0.0:
+        return in_slot
+    # Plans outlive train/eval switches and training-mode dropout needs the
+    # module's RNG stream, so stay faithful via the eager fallback (which
+    # checks ``module.training`` at run time; inference rarely hits this).
+    return _emit_opaque(module, ctx, in_slot)
+
+
+@_expander(nn_modules.MaxPool2d)
+def _expand_maxpool(module, ctx, in_slot):
+    return _emit_pool("max", module.kernel_size, module.stride, ctx, in_slot)
+
+
+@_expander(nn_modules.AvgPool2d)
+def _expand_avgpool(module, ctx, in_slot):
+    return _emit_pool("avg", module.kernel_size, module.stride, ctx, in_slot)
+
+
+def _emit_pool(mode, kernel, stride, ctx, in_slot):
+    n, c, h, w = ctx.shape(in_slot)
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    out_slot = ctx.slot((n, c, oh, ow))
+    ctx.add(Pool2dStep(mode, kernel, stride, in_slot, out_slot))
+    return out_slot
+
+
+@_expander(nn_modules.GlobalAvgPool2d)
+def _expand_gap(module, ctx, in_slot):
+    n, c = ctx.shape(in_slot)[:2]
+    out_slot = ctx.slot((n, c))
+    ctx.add(GlobalAvgPoolStep(in_slot, out_slot))
+    return out_slot
+
+
+@_expander(nn_modules.Sequential)
+def _expand_sequential(module, ctx, in_slot):
+    slot = in_slot
+    for layer in module:
+        slot = ctx.emit(layer, slot)
+    return slot
+
+
+# --------------------------------------------------------------------------- #
+# Composite blocks
+# --------------------------------------------------------------------------- #
+@_expander(nn_blocks.ConvBNReLU)
+def _expand_conv_bn_relu(module, ctx, in_slot):
+    return _emit_conv(
+        module.conv,
+        ctx,
+        in_slot,
+        bn=module.bn,
+        activation=_activation_kind(module.act),
+    )
+
+
+@_expander(nn_blocks.BasicResBlock)
+def _expand_basic_res_block(module, ctx, in_slot):
+    body = ctx.emit(module.conv1, in_slot)
+    body = ctx.emit(module.conv2, body)
+    shortcut = ctx.emit(module.shortcut, in_slot)
+    # The body slot is owned by this block, so the join can write into it.
+    ctx.add(AddStep(body, shortcut, body, activation=_activation_kind(module.act)))
+    return body
+
+
+@_expander(nn_blocks.InvertedResidual)
+def _expand_inverted_residual(module, ctx, in_slot):
+    body = ctx.emit(module.body, in_slot)
+    if module.use_residual:
+        ctx.add(AddStep(body, in_slot, body))
+    return body
+
+
+@_expander(nn_blocks.SkipConnection)
+def _expand_skip(module, ctx, in_slot):
+    return ctx.emit(module.op, in_slot)
+
+
+# --------------------------------------------------------------------------- #
+# Backbones and agents (registered lazily to avoid import cycles)
+# --------------------------------------------------------------------------- #
+def _register_network_expanders():
+    from ..drl.agent import ActorCriticAgent
+    from ..networks.resnet import ResNet
+    from ..networks.supernet import AgentSuperNet, DerivedAgentNet
+    from ..networks.vanilla import VanillaNet
+
+    if VanillaNet in _EXPANDERS:
+        return
+
+    @_expander(VanillaNet)
+    def _expand_vanilla(module, ctx, in_slot):
+        slot = in_slot
+        for conv in (module.conv1, module.conv2, module.conv3):
+            slot = _emit_conv(conv, ctx, slot, activation="relu")
+        slot = ctx.emit(module.flatten, slot)
+        out_slot = ctx.slot((ctx.shape(slot)[0], module.fc.out_features))
+        ctx.add(LinearStep(module.fc, slot, out_slot, activation="relu"))
+        return out_slot
+
+    @_expander(ResNet)
+    def _expand_resnet(module, ctx, in_slot):
+        slot = ctx.emit(module.stem, in_slot)
+        slot = ctx.emit(module.stages, slot)
+        slot = ctx.emit(module.pool, slot)
+        out_slot = ctx.slot((ctx.shape(slot)[0], module.fc.out_features))
+        ctx.add(LinearStep(module.fc, slot, out_slot, activation="relu"))
+        return out_slot
+
+    @_expander(DerivedAgentNet)
+    def _expand_derived(module, ctx, in_slot):
+        slot = ctx.emit(module.stem, in_slot)
+        slot = ctx.emit(module.ops, slot)
+        slot = ctx.emit(module.pool, slot)
+        out_slot = ctx.slot((ctx.shape(slot)[0], module.fc.out_features))
+        ctx.add(LinearStep(module.fc, slot, out_slot, activation="relu"))
+        return out_slot
+
+    @_expander(AgentSuperNet)
+    def _expand_supernet(module, ctx, in_slot):
+        if ctx.path is None:
+            raise CompileError(
+                "AgentSuperNet requires a fixed path (op_indices) to compile; "
+                "gated multi-path forwards stay on the autograd engine"
+            )
+        if len(ctx.path) != module.num_cells:
+            raise CompileError(
+                "expected {} op indices, got {}".format(module.num_cells, len(ctx.path))
+            )
+        ctx.path_consumed = True
+        slot = ctx.emit(module.stem, in_slot)
+        for cell, op_index in zip(module.cells, ctx.path):
+            slot = ctx.emit(cell.candidates[int(op_index)], slot)
+        slot = ctx.emit(module.pool, slot)
+        out_slot = ctx.slot((ctx.shape(slot)[0], module.fc.out_features))
+        ctx.add(LinearStep(module.fc, slot, out_slot, activation="relu"))
+        return out_slot
+
+    @_expander(ActorCriticAgent)
+    def _expand_agent(module, ctx, in_slot):
+        features = ctx.emit(module.backbone, in_slot)
+        n = ctx.shape(features)[0]
+        logits = ctx.slot((n, module.num_actions))
+        ctx.add(LinearStep(module.policy_head, features, logits))
+        probs = ctx.slot((n, module.num_actions))
+        ctx.add(SoftmaxStep(logits, probs))
+        value_col = ctx.slot((n, 1))
+        ctx.add(LinearStep(module.value_head, features, value_col))
+        value = ctx.slot((n,), view=True)
+        ctx.add(ReshapeStep(value_col, value, ()))
+        ctx.agent_outputs = (probs, value)
+        return features
+
+
+def compile_plan(module, input_shape, dtype=np.float64, path=None):
+    """Compile ``module`` for a concrete ``input_shape`` into a ready :class:`Plan`.
+
+    Parameters
+    ----------
+    module:
+        Any :class:`repro.nn` module with a registered expander (backbones,
+        agents, blocks); unknown modules run via the eager fallback.
+    input_shape:
+        Full input shape including the batch dimension.
+    dtype:
+        Compute dtype of every buffer; ``np.float64`` matches the autograd
+        engine to a few ulps, ``np.float32`` is the fast path.
+    path:
+        Operator index per cell when compiling a sampled supernet path.
+
+    Returns
+    -------
+    plan:
+        A finalised :class:`Plan`.  For :class:`ActorCriticAgent` modules the
+        plan outputs ``(probs, values)``; otherwise the module output.
+    """
+    _register_network_expanders()
+    plan = Plan(dtype=dtype)
+    ctx = CompileContext(plan, path=tuple(int(i) for i in path) if path is not None else None)
+    input_slot = plan.new_slot(input_shape)
+    out_slot = ctx.emit(module, input_slot)
+    if ctx.path is not None and not ctx.path_consumed:
+        # Mirror the eager path, where forwarding op_indices to a module that
+        # does not take them raises: silently ignoring the path would serve
+        # wrong-but-plausible results (and cache one plan per ignored path).
+        raise CompileError(
+            "{} does not take a path (op_indices)".format(type(module).__name__)
+        )
+    outputs = getattr(ctx, "agent_outputs", None) or (out_slot,)
+    plan.finalize(input_slot, outputs)
+    # Zero-filled helper slots (copy-then-activate) must actually be zero.
+    for slot in getattr(ctx, _ZERO_SLOTS, {}).values():
+        plan.bufs[slot][...] = 0.0
+    return plan

@@ -1,0 +1,126 @@
+"""Inference engines: plan caching, buffer reuse, and the policy fast path.
+
+:class:`InferenceEngine` wraps one module and lazily compiles a :class:`Plan`
+per ``(path, input shape)`` signature, so changing the rollout batch size (or
+the sampled supernet path) transparently triggers re-compilation and buffer
+re-allocation while steady-state execution is allocation-free.
+
+:class:`RuntimePolicy` specialises the engine for
+:class:`~repro.drl.agent.ActorCriticAgent`: one plan evaluates backbone,
+policy head, softmax and value head, returning ``(probs, values)`` NumPy
+arrays — the exact contract of ``ActorCriticAgent.policy_value`` — without
+ever touching the autograd tape.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from .compiler import CompileError, compile_plan
+
+__all__ = ["InferenceEngine", "RuntimePolicy"]
+
+
+class InferenceEngine:
+    """Tape-free executor for one module.
+
+    Parameters
+    ----------
+    module:
+        The source module; parameters are read live on every run, so the
+        module can keep training between calls.
+    dtype:
+        Compute dtype.  ``np.float64`` (default) reproduces the autograd
+        engine's numerics to a few ulps; ``np.float32`` is the production
+        fast path.
+    max_plans:
+        Number of compiled ``(path, shape)`` signatures kept in the LRU
+        cache.  Rollout collection alternates over a handful of signatures;
+        supernet co-search churns through sampled paths, hence the bound.
+    """
+
+    def __init__(self, module, dtype=np.float64, max_plans=32):
+        self.module = module
+        self.dtype = np.dtype(dtype)
+        self.max_plans = int(max_plans)
+        self._plans = OrderedDict()
+
+    def plan_for(self, input_shape, path=None):
+        """Fetch (or compile) the plan for ``input_shape`` / ``path``."""
+        key = (tuple(input_shape), tuple(int(i) for i in path) if path is not None else None)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = compile_plan(self.module, key[0], dtype=self.dtype, path=key[1])
+            self._plans[key] = plan
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+        else:
+            self._plans.move_to_end(key)
+        return plan
+
+    def run(self, x, path=None):
+        """Execute the module on ``x``.
+
+        Returns the plan's output buffer(s): valid until the next ``run`` on
+        the same signature — copy before storing.
+        """
+        x = np.asarray(x)
+        return self.plan_for(x.shape, path=path).run(x)
+
+    def invalidate(self):
+        """Drop every compiled plan (e.g. after structural module surgery)."""
+        self._plans.clear()
+
+    @property
+    def num_plans(self):
+        """Number of currently cached compiled plans."""
+        return len(self._plans)
+
+    def __repr__(self):
+        return "InferenceEngine({}, dtype={}, plans={})".format(
+            type(self.module).__name__, self.dtype.name, len(self._plans)
+        )
+
+
+class RuntimePolicy:
+    """Batched ``(probs, values)`` inference for an actor-critic agent.
+
+    This is what rollout collection, evaluation and teacher-target queries
+    call instead of the autograd forward.  Sampled supernet paths are passed
+    as ``op_indices`` and compiled/cached per path; gated multi-path forwards
+    (which need gradients anyway) are rejected with :class:`CompileError` so
+    callers can fall back to the eager engine.
+    """
+
+    def __init__(self, agent, dtype=np.float64, max_plans=32):
+        self.agent = agent
+        self.engine = InferenceEngine(agent, dtype=dtype, max_plans=max_plans)
+
+    @property
+    def dtype(self):
+        return self.engine.dtype
+
+    def policy_value(self, observations, op_indices=None, **unsupported):
+        """Mirror ``ActorCriticAgent.policy_value`` on the runtime engine.
+
+        Returns fresh ``(probs, values)`` arrays (safe to store across
+        calls).  Raises :class:`CompileError` for forward arguments the
+        runtime cannot serve (e.g. ``gates``), signalling eager fallback.
+        """
+        if unsupported:
+            raise CompileError(
+                "runtime policy cannot serve forward kwargs {}".format(sorted(unsupported))
+            )
+        probs, values = self.engine.run(observations, path=op_indices)
+        return probs.copy(), values.copy()
+
+    def invalidate(self):
+        """Drop compiled plans (e.g. after loading a different state dict)."""
+        self.engine.invalidate()
+
+    def __repr__(self):
+        return "RuntimePolicy(dtype={}, plans={})".format(
+            self.engine.dtype.name, self.engine.num_plans
+        )

@@ -1,0 +1,471 @@
+"""Flat execution plans: pre-allocated buffers + pure-NumPy steps.
+
+A :class:`Plan` is the compiled form of a module graph for one concrete
+``(batch, dtype)`` signature: an ordered list of :class:`Step` objects reading
+and writing integer-indexed activation *slots*.  All activation buffers and
+im2col workspaces are allocated when the plan is finalised; running the plan
+performs no allocations beyond what NumPy's kernels do internally.
+
+Steps hold references to their source :class:`~repro.nn.modules.Module` and
+fetch parameter arrays (``module.weight.data``) on every run, so optimiser
+updates between rollouts are always visible without recompiling.  In float32
+mode each step keeps a cast buffer per parameter and refreshes it with
+``np.copyto`` each run (cheap: parameters are small next to activations).
+
+Aliasing contract: a step may mutate only buffers it owns (its output slot
+and workspaces), never its input slot.  In-place activation steps are the one
+exception; the compiler only emits them when the input slot has a single
+consumer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.functional import conv_output_size
+
+__all__ = [
+    "Plan",
+    "Step",
+    "Conv2dStep",
+    "LinearStep",
+    "BatchNormStep",
+    "ActivationStep",
+    "AddStep",
+    "FlattenStep",
+    "ReshapeStep",
+    "GlobalAvgPoolStep",
+    "Pool2dStep",
+    "SoftmaxStep",
+    "OpaqueStep",
+    "apply_activation",
+]
+
+
+def apply_activation(kind, array):
+    """Apply an activation in place on ``array`` (``None`` is the identity)."""
+    if kind is None:
+        return array
+    if kind == "relu":
+        np.maximum(array, 0.0, out=array)
+    elif kind == "tanh":
+        np.tanh(array, out=array)
+    elif kind == "sigmoid":
+        np.negative(array, out=array)
+        np.exp(array, out=array)
+        array += 1.0
+        np.reciprocal(array, out=array)
+    elif isinstance(kind, tuple) and kind[0] == "leaky_relu":
+        slope = kind[1]
+        np.multiply(array, slope, out=array, where=array < 0.0)
+    else:
+        raise ValueError("unknown activation {!r}".format(kind))
+    return array
+
+
+class Step:
+    """Base class of one executable plan node."""
+
+    def run(self, bufs):
+        """Execute against the plan's buffer table ``bufs`` (list of arrays)."""
+        raise NotImplementedError
+
+    def allocate(self, plan):
+        """Allocate per-step workspaces once the plan geometry is known."""
+
+    def __repr__(self):
+        return type(self).__name__
+
+
+class _ParamCache:
+    """Live, dtype-correct views of a module's parameter arrays.
+
+    ``fetch`` returns the source array untouched when the dtype already
+    matches (float64 path: zero copies) and otherwise refreshes a reusable
+    cast buffer via ``np.copyto``.
+    """
+
+    def __init__(self, dtype):
+        self.dtype = np.dtype(dtype)
+        self._buffers = {}
+
+    def fetch(self, key, source):
+        source = np.asarray(source)
+        if source.dtype == self.dtype:
+            return source
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape != source.shape:
+            buf = np.empty(source.shape, dtype=self.dtype)
+            self._buffers[key] = buf
+        np.copyto(buf, source)
+        return buf
+
+
+class _BNMixin:
+    """Shared batch-norm math for fused conv steps and standalone BN steps.
+
+    Supports both eval mode (running statistics) and train mode (batch
+    statistics + in-place running-stat updates), mirroring
+    :func:`repro.nn.functional.batch_norm2d`.
+    """
+
+    def _bn_scale_shift(self, bn, nchw, params):
+        """Per-channel ``(scale, shift)`` for ``y = x * scale + shift``.
+
+        ``nchw`` is the activation with channels second; in training mode the
+        batch statistics are computed from it and the module's running
+        buffers are updated in place (exactly like the eager path does during
+        rollout collection).
+        """
+        gamma = params.fetch("gamma", bn.gamma.data)
+        beta = params.fetch("beta", bn.beta.data)
+        if bn.training:
+            mean = nchw.mean(axis=(0, 2, 3))
+            # Two-pass variance (same association as the eager engine) via a
+            # lazily-allocated workspace: train-mode BN stays allocation-free
+            # per run without paying the workspace in eval-only plans.
+            ws = getattr(self, "_bn_ws", None)
+            if ws is None or ws.shape != nchw.shape or ws.dtype != nchw.dtype:
+                ws = np.empty_like(nchw)
+                self._bn_ws = ws
+            np.subtract(nchw, mean[None, :, None, None], out=ws)
+            np.square(ws, out=ws)
+            var = ws.mean(axis=(0, 2, 3))
+            bn.running_mean *= 1.0 - bn.momentum
+            bn.running_mean += bn.momentum * np.asarray(mean, dtype=np.float64)
+            bn.running_var *= 1.0 - bn.momentum
+            bn.running_var += bn.momentum * np.asarray(var, dtype=np.float64)
+        else:
+            mean = params.fetch("running_mean", bn.running_mean)
+            var = params.fetch("running_var", bn.running_var)
+        scale = gamma / np.sqrt(var + bn.eps)
+        shift = beta - mean * scale
+        return scale, shift
+
+    def _apply_bn_bias_act(self, out, bias, params):
+        """Fused bias + batch-norm + activation, in place on NCHW ``out``."""
+        if bias is not None:
+            out += params.fetch("bias", bias.data)[None, :, None, None]
+        if self.bn is not None:
+            scale, shift = self._bn_scale_shift(self.bn, out, params)
+            out *= scale[None, :, None, None]
+            out += shift[None, :, None, None]
+        apply_activation(self.activation, out)
+
+
+class Conv2dStep(Step, _BNMixin):
+    """Convolution (any ``groups``), optionally fused with BN and activation.
+
+    Per run: copy the input into a persistent zero-padded buffer, gather
+    patches into an im2col workspace laid out ``(N, C, kh, kw, oh, ow)`` —
+    the innermost spatial axes copy as contiguous rows, unlike the channels-
+    last layout the eager path materialises — then one batched GEMM
+    ``(C_out, C*k*k) @ (N, C*k*k, oh*ow)`` writing straight into the NCHW
+    output slot (no transposes), with bias / BN / activation applied in
+    place.  Depthwise convolutions use the same workspace with a per-channel
+    batched GEMM instead of the eager engine's per-group Python loop.
+    """
+
+    def __init__(self, conv, in_slot, out_slot, bn=None, activation=None):
+        self.conv = conv
+        self.bn = bn
+        self.activation = activation
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+
+    def allocate(self, plan):
+        n, c, h, w = plan.shape(self.in_slot)
+        conv = self.conv
+        k, s, p = conv.kernel_size, conv.stride, conv.padding
+        oh = conv_output_size(h, k, s, p)
+        ow = conv_output_size(w, k, s, p)
+        self._geom = (n, c, h, w, k, s, p, oh, ow)
+        dtype = plan.dtype
+        # Pointwise stride-1 convolutions are plain channel-mixing GEMMs: the
+        # input buffer itself serves as the column matrix, no gather needed.
+        self._direct = k == 1 and s == 1 and p == 0
+        self._padded = np.zeros((n, c, h + 2 * p, w + 2 * p), dtype=dtype) if p > 0 else None
+        self._cols = None if self._direct else np.empty((n, c, k, k, oh, ow), dtype=dtype)
+        self._params = _ParamCache(dtype)
+
+    def run(self, bufs):
+        x = bufs[self.in_slot]
+        n, c, h, w, k, s, p, oh, ow = self._geom
+        if self._direct:
+            cols = x
+        else:
+            if self._padded is not None:
+                self._padded[:, :, p:p + h, p:p + w] = x
+                x = self._padded
+            st = x.strides
+            patches = np.lib.stride_tricks.as_strided(
+                x,
+                shape=(n, c, k, k, oh, ow),
+                strides=(st[0], st[1], st[2], st[3], st[2] * s, st[3] * s),
+            )
+            np.copyto(self._cols, patches)
+            cols = self._cols
+        conv = self.conv
+        weight = self._params.fetch("weight", conv.weight.data)
+        out = bufs[self.out_slot]
+        groups = conv.groups
+        if groups == 1:
+            # (C_out, C*k*k) @ (N, C*k*k, oh*ow) -> (N, C_out, oh*ow).
+            np.matmul(
+                weight.reshape(conv.out_channels, -1),
+                cols.reshape(n, c * k * k, oh * ow),
+                out=out.reshape(n, conv.out_channels, oh * ow),
+            )
+        elif groups == c == conv.out_channels:
+            # Depthwise: (C, 1, k*k) @ (N, C, k*k, oh*ow) -> (N, C, 1, oh*ow).
+            np.matmul(
+                weight.reshape(c, 1, k * k),
+                cols.reshape(n, c, k * k, oh * ow),
+                out=out.reshape(n, c, 1, oh * ow),
+            )
+        else:
+            cin_g = c // groups
+            cout_g = conv.out_channels // groups
+            cols4d = cols.reshape(n, groups, cin_g * k * k, oh * ow)
+            out4d = out.reshape(n, groups, cout_g, oh * ow)
+            w_mats = weight.reshape(groups, cout_g, cin_g * k * k)
+            for g in range(groups):
+                np.matmul(w_mats[g], cols4d[:, g], out=out4d[:, g])
+        self._apply_bn_bias_act(out, conv.bias, self._params)
+
+
+class LinearStep(Step):
+    """Fully-connected layer, optionally fused with an activation."""
+
+    def __init__(self, linear, in_slot, out_slot, activation=None):
+        self.linear = linear
+        self.activation = activation
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+
+    def allocate(self, plan):
+        self._params = _ParamCache(plan.dtype)
+
+    def run(self, bufs):
+        weight = self._params.fetch("weight", self.linear.weight.data)
+        out = bufs[self.out_slot]
+        np.matmul(bufs[self.in_slot], weight.T, out=out)
+        if self.linear.bias is not None:
+            out += self._params.fetch("bias", self.linear.bias.data)
+        apply_activation(self.activation, out)
+
+
+class BatchNormStep(Step, _BNMixin):
+    """Standalone batch norm over an NCHW slot (for BN not fused into a conv)."""
+
+    def __init__(self, bn, in_slot, out_slot, activation=None):
+        self.bn = bn
+        self.activation = activation
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+
+    def allocate(self, plan):
+        self._params = _ParamCache(plan.dtype)
+
+    def run(self, bufs):
+        x = bufs[self.in_slot]
+        out = bufs[self.out_slot]
+        scale, shift = self._bn_scale_shift(self.bn, x, self._params)
+        np.multiply(x, scale[None, :, None, None], out=out)
+        out += shift[None, :, None, None]
+        apply_activation(self.activation, out)
+
+
+class ActivationStep(Step):
+    """In-place activation on a slot (compiler guarantees single-consumer)."""
+
+    def __init__(self, kind, slot):
+        self.kind = kind
+        self.slot = slot
+
+    def run(self, bufs):
+        apply_activation(self.kind, bufs[self.slot])
+
+
+class AddStep(Step):
+    """``out = a + b`` (residual join), optionally fused with an activation."""
+
+    def __init__(self, a_slot, b_slot, out_slot, activation=None):
+        self.a_slot = a_slot
+        self.b_slot = b_slot
+        self.out_slot = out_slot
+        self.activation = activation
+
+    def run(self, bufs):
+        out = bufs[self.out_slot]
+        np.add(bufs[self.a_slot], bufs[self.b_slot], out=out)
+        apply_activation(self.activation, out)
+
+
+class FlattenStep(Step):
+    """Flatten non-batch dimensions; a zero-copy view of a contiguous slot."""
+
+    def __init__(self, in_slot, out_slot):
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+
+    def run(self, bufs):
+        x = bufs[self.in_slot]
+        bufs[self.out_slot] = x.reshape(x.shape[0], -1)
+
+
+class ReshapeStep(Step):
+    """Reshape a slot to a fixed non-batch geometry (view, no copy)."""
+
+    def __init__(self, in_slot, out_slot, shape_tail):
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+        self.shape_tail = tuple(shape_tail)
+
+    def run(self, bufs):
+        x = bufs[self.in_slot]
+        bufs[self.out_slot] = x.reshape((x.shape[0],) + self.shape_tail)
+
+
+class GlobalAvgPoolStep(Step):
+    """Mean over the spatial extent of an NCHW slot -> ``(N, C)``."""
+
+    def __init__(self, in_slot, out_slot):
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+
+    def run(self, bufs):
+        bufs[self.in_slot].mean(axis=(2, 3), out=bufs[self.out_slot])
+
+
+class Pool2dStep(Step):
+    """Max / average pooling via a strided window view (no patch copies)."""
+
+    def __init__(self, mode, kernel_size, stride, in_slot, out_slot):
+        self.mode = mode
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+
+    def allocate(self, plan):
+        n, c, h, w = plan.shape(self.in_slot)
+        k, s = self.kernel_size, self.stride
+        self._geom = (n, c, h, w, k, s, (h - k) // s + 1, (w - k) // s + 1)
+
+    def run(self, bufs):
+        x = bufs[self.in_slot]
+        n, c, h, w, k, s, oh, ow = self._geom
+        st = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, oh, ow, k, k),
+            strides=(st[0], st[1], st[2] * s, st[3] * s, st[2], st[3]),
+        )
+        out = bufs[self.out_slot]
+        if self.mode == "max":
+            np.max(windows, axis=(4, 5), out=out)
+        else:
+            np.mean(windows, axis=(4, 5), out=out)
+
+
+class SoftmaxStep(Step):
+    """Numerically stable softmax along the last axis into a fresh slot."""
+
+    def __init__(self, in_slot, out_slot):
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+
+    def run(self, bufs):
+        x = bufs[self.in_slot]
+        out = bufs[self.out_slot]
+        np.subtract(x, x.max(axis=-1, keepdims=True), out=out)
+        np.exp(out, out=out)
+        out /= out.sum(axis=-1, keepdims=True)
+
+
+class OpaqueStep(Step):
+    """Fallback: run an uncompilable module eagerly under ``no_grad``.
+
+    Keeps the engine total over arbitrary user modules at the cost of the
+    eager path's allocations for that one step.
+    """
+
+    def __init__(self, module, in_slot, out_slot):
+        self.module = module
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+
+    def run(self, bufs):
+        from ..nn import Tensor, no_grad
+
+        with no_grad():
+            out = self.module(Tensor(np.asarray(bufs[self.in_slot], dtype=np.float64)))
+        np.copyto(bufs[self.out_slot], out.data)
+
+
+class Plan:
+    """A compiled module graph for one ``(input shape, dtype)`` signature."""
+
+    def __init__(self, dtype=np.float64):
+        self.dtype = np.dtype(dtype)
+        self.steps = []
+        self._shapes = []
+        self._view_slots = set()
+        self.bufs = None
+        self.input_slot = None
+        self.output_slots = ()
+
+    # ------------------------------------------------------------------ #
+    # Compile-time API (used by the compiler)
+    # ------------------------------------------------------------------ #
+    def new_slot(self, shape, view=False):
+        """Register an activation slot; ``view`` slots are filled by steps."""
+        slot = len(self._shapes)
+        self._shapes.append(tuple(int(d) for d in shape))
+        if view:
+            self._view_slots.add(slot)
+        return slot
+
+    def shape(self, slot):
+        """Compile-time shape of ``slot``."""
+        return self._shapes[slot]
+
+    def add(self, step):
+        """Append a step to the execution order."""
+        self.steps.append(step)
+        return step
+
+    def finalize(self, input_slot, output_slots):
+        """Fix the plan's interface and allocate every buffer and workspace."""
+        self.input_slot = input_slot
+        self.output_slots = tuple(output_slots)
+        self.bufs = [
+            None if slot in self._view_slots else np.empty(shape, dtype=self.dtype)
+            for slot, shape in enumerate(self._shapes)
+        ]
+        for step in self.steps:
+            step.allocate(self)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Runtime API
+    # ------------------------------------------------------------------ #
+    def run(self, x):
+        """Execute the plan on input ``x``; returns the output buffer(s).
+
+        The returned arrays are the plan's own buffers: they are valid until
+        the next ``run`` and must be copied by callers that keep them.
+        """
+        np.copyto(self.bufs[self.input_slot], x)
+        bufs = self.bufs
+        for step in self.steps:
+            step.run(bufs)
+        if len(self.output_slots) == 1:
+            return bufs[self.output_slots[0]]
+        return tuple(bufs[slot] for slot in self.output_slots)
+
+    def __repr__(self):
+        return "Plan(steps={}, slots={}, dtype={})".format(
+            len(self.steps), len(self._shapes), self.dtype.name
+        )

@@ -113,3 +113,60 @@ class TestRolloutBuffer:
         buffer.reset()
         assert not buffer.full
         assert buffer.pos == 0
+
+
+class TestDtypePolicy:
+    """Rollout storage and target math stay float32 end-to-end (no upcasts)."""
+
+    def test_buffer_stores_float32_by_default(self, rng):
+        buffer = RolloutBuffer(2, 2, (2, 4, 4))
+        assert buffer.observations.dtype == np.float32
+        assert buffer.rewards.dtype == np.float32
+        assert buffer.values.dtype == np.float32
+
+    def test_targets_are_float32_end_to_end(self, rng):
+        buffer = RolloutBuffer(3, 2, (2, 4, 4))
+        for _ in range(3):
+            buffer.add(
+                rng.standard_normal((2, 2, 4, 4)),
+                rng.integers(0, 6, 2),
+                rng.standard_normal(2),
+                np.zeros(2),
+                rng.standard_normal(2),
+            )
+        batch = buffer.compute_targets(np.zeros(2), 0.99)
+        for key in ("observations", "returns", "td_errors", "advantages", "values"):
+            assert batch[key].dtype == np.float32, key
+
+    def test_explicit_dtype_parameter(self, rng):
+        rewards = rng.standard_normal((4, 2)).astype(np.float32)
+        dones = np.zeros((4, 2), dtype=np.float32)
+        bootstrap = rng.standard_normal(2).astype(np.float32)
+        assert compute_returns(rewards, dones, bootstrap, 0.9).dtype == np.float32
+        assert compute_returns(rewards, dones, bootstrap, 0.9, dtype=np.float64).dtype == np.float64
+
+    def test_integer_inputs_promote_to_float(self):
+        """Raw integer rewards must never run discounting in int arithmetic."""
+        returns = compute_returns(
+            np.array([[1, 1]]), np.array([[0, 0]]), np.array([5, 5]), gamma=0.9
+        )
+        assert returns.dtype == np.float64
+        np.testing.assert_allclose(returns, [[5.5, 5.5]])
+
+    def test_float64_inputs_keep_float64(self, rng):
+        """Existing double-precision callers see no behavioural change."""
+        rewards = rng.standard_normal((4, 2))
+        dones = np.zeros((4, 2))
+        values = rng.standard_normal((4, 2))
+        bootstrap = rng.standard_normal(2)
+        assert compute_returns(rewards, dones, bootstrap, 0.9).dtype == np.float64
+        assert compute_td_errors(rewards, dones, values, bootstrap, 0.9).dtype == np.float64
+        assert compute_gae(rewards, dones, values, bootstrap, 0.9).dtype == np.float64
+
+    def test_float32_matches_float64_within_single_precision(self, rng):
+        rewards = rng.standard_normal((6, 3))
+        dones = (rng.random((6, 3)) < 0.2).astype(np.float64)
+        bootstrap = rng.standard_normal(3)
+        exact = compute_returns(rewards, dones, bootstrap, 0.97)
+        single = compute_returns(rewards, dones, bootstrap, 0.97, dtype=np.float32)
+        np.testing.assert_allclose(single, exact, rtol=1e-5, atol=1e-5)
