@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Compare fresh throughput benchmark results against the committed baseline.
+
+CI snapshots the committed ``benchmarks/results/*.json`` before running the
+benchmark suite, then calls this script with both directories.  Any
+``steps_per_sec`` entry that regressed by more than ``--threshold`` (default
+30%) produces a GitHub Actions warning annotation (``::warning``).  The
+script always exits 0: shared CI runners are far too noisy for a blocking
+throughput gate, but the annotation makes regressions visible on the run.
+
+Usage:
+    python benchmarks/compare_baseline.py \
+        --baseline-dir /tmp/bench-baseline --results-dir benchmarks/results
+"""
+
+import argparse
+import json
+import os
+import sys
+
+#: Benchmark files that carry a ``steps_per_sec`` table worth tracking.
+THROUGHPUT_RESULTS = ("runtime_throughput.json", "train_step_throughput.json")
+
+
+def load_steps_per_sec(path):
+    """The ``steps_per_sec`` table of one result file (``None`` if absent)."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return payload.get("data", {}).get("steps_per_sec")
+
+
+def compare_file(name, baseline_dir, results_dir, threshold):
+    """Yield ``(mode, baseline, fresh, ratio)`` rows regressing past the threshold."""
+    baseline = load_steps_per_sec(os.path.join(baseline_dir, name))
+    fresh = load_steps_per_sec(os.path.join(results_dir, name))
+    if not baseline or not fresh:
+        return
+    for mode, base_value in sorted(baseline.items()):
+        fresh_value = fresh.get(mode)
+        if not fresh_value or not base_value:
+            continue
+        ratio = fresh_value / base_value
+        if ratio < 1.0 - threshold:
+            yield mode, base_value, fresh_value, ratio
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True,
+                        help="directory holding the committed result snapshots")
+    parser.add_argument("--results-dir", default=os.path.join("benchmarks", "results"),
+                        help="directory holding the freshly generated results")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="relative slowdown that triggers a warning (0.30 = 30%%)")
+    args = parser.parse_args(argv)
+
+    regressions = 0
+    for name in THROUGHPUT_RESULTS:
+        for mode, base_value, fresh_value, ratio in compare_file(
+            name, args.baseline_dir, args.results_dir, args.threshold
+        ):
+            regressions += 1
+            print(
+                "::warning file=benchmarks/results/{name}::"
+                "{name} {mode}: {fresh:.1f} steps/s vs committed {base:.1f} "
+                "({pct:.0f}% of baseline, threshold {thr:.0f}%)".format(
+                    name=name, mode=mode, fresh=fresh_value, base=base_value,
+                    pct=ratio * 100.0, thr=(1.0 - args.threshold) * 100.0,
+                )
+            )
+    if regressions == 0:
+        print("benchmark throughput within {:.0f}% of the committed baseline".format(
+            args.threshold * 100.0))
+    # Never fail the job: throughput on shared runners is advisory.
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,15 +5,23 @@ inner loop): collect a rollout of length ``L`` from parallel environments,
 compute td-errors, and update the actor and critic with the combined task
 loss of Eq. 12 (policy gradient + value + entropy + optional AC-distillation),
 using RMSProp with the paper's linear learning-rate decay schedule.
+
+The gradient update runs on the compiled training runtime
+(:class:`~repro.runtime.train.CompiledTrainStep`) by default: one reverse-mode
+plan per batch signature, fused RMSProp + grad clipping, no autograd tape.
+The eager tape remains the reference path, selected per call whenever the
+runtime cannot compile the step (``use_compiled_train=False`` forces it).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..nn import RMSProp, clip_grad_norm
+from ..nn.serialization import load_state_dict, save_state_dict
 from ..utils.logging import MetricLogger
 from .distillation import ACDistiller, DistillationMode
 from .losses import TaskLossWeights, combine_task_loss, entropy_loss, policy_gradient_loss, value_loss
@@ -46,6 +54,10 @@ class A2CConfig:
     eval_interval: int = 0
     eval_episodes: int = 5
     seed: int = 0
+    #: Route updates through the compiled training runtime (eager fallback
+    #: stays available per call); ``compiled_train_dtype=None`` means float64.
+    use_compiled_train: bool = True
+    compiled_train_dtype: object = None
 
     def loss_weights(self):
         """Bundle the beta coefficients into a :class:`TaskLossWeights`."""
@@ -88,6 +100,7 @@ class A2CTrainer:
         self.updates = 0
         self._recent_returns = []
         self._observations = None
+        self._train_step = None
 
     # ------------------------------------------------------------------ #
     # Learning-rate schedule (paper: hold then linear decay)
@@ -125,10 +138,66 @@ class A2CTrainer:
     # ------------------------------------------------------------------ #
     # One update
     # ------------------------------------------------------------------ #
+    def _compiled_train_step(self):
+        """The lazily-built :class:`~repro.runtime.train.CompiledTrainStep`."""
+        if self._train_step is None:
+            from ..runtime.train import CompiledTrainStep
+
+            dtype = self.config.compiled_train_dtype
+            self._train_step = CompiledTrainStep(
+                self.agent,
+                self.optimizer,
+                dtype=np.float64 if dtype is None else dtype,
+            )
+        return self._train_step
+
+    def _update_compiled(self, batch):
+        """One train step on the compiled runtime (raises CompileError to fall back)."""
+        cfg = self.config
+        step = self._compiled_train_step()
+        # Compile (or fetch) the plan before the teacher forward, so an
+        # uncompilable agent falls back without a wasted teacher inference.
+        step.plan_for(np.asarray(batch["observations"]).shape)
+        teacher_probs = teacher_values = None
+        if self.distiller.enabled:
+            teacher_probs, values = self.distiller.teacher_targets(batch["observations"])
+            if self.distiller.mode == DistillationMode.AC:
+                teacher_values = values
+        self.optimizer.set_lr(self._current_lr())
+        result = step.step(
+            batch["observations"],
+            batch["actions"],
+            batch["returns"],
+            batch["advantages"],
+            max_grad_norm=cfg.max_grad_norm,
+            weights=cfg.loss_weights(),
+            teacher_probs=teacher_probs,
+            teacher_values=teacher_values,
+        )
+        self.updates += 1
+        self.logger.log("loss/total", result.total, step=self.total_env_steps)
+        for name in ("policy", "value", "entropy", "actor_distill", "critic_distill"):
+            if name in result.components:
+                self.logger.log("loss/" + name, result.components[name], step=self.total_env_steps)
+        self.logger.log("grad_norm", result.grad_norm, step=self.total_env_steps)
+        self.logger.log("lr", self.optimizer.lr, step=self.total_env_steps)
+        return result.total
+
     def update(self, buffer, bootstrap_values):
-        """Compute Eq. 12 on the stored rollout and apply one RMSProp step."""
+        """Compute Eq. 12 on the stored rollout and apply one RMSProp step.
+
+        Runs on the compiled training runtime when enabled, falling back to
+        the eager autograd tape for anything the compiler cannot serve.
+        """
         cfg = self.config
         batch = buffer.compute_targets(bootstrap_values, cfg.gamma)
+        if cfg.use_compiled_train:
+            from ..runtime.compiler import CompileError
+
+            try:
+                return self._update_compiled(batch)
+            except CompileError:
+                pass
         observations = batch["observations"]
         actions = batch["actions"]
 
@@ -197,6 +266,51 @@ class A2CTrainer:
                 self.logger.log("eval_score", score, step=self.total_env_steps)
                 next_eval += cfg.eval_interval
         return self.logger
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / resume
+    # ------------------------------------------------------------------ #
+    def save_checkpoint(self, path):
+        """Persist everything needed to continue training bit-identically.
+
+        The checkpoint covers the agent's parameters and buffers, the full
+        optimiser state (RMSProp square averages, step count, learning rate),
+        the trainer's RNG stream, and the step/update counters that drive the
+        learning-rate schedule.  The environment is *not* serialised: resume
+        with a freshly constructed (seeded) environment, exactly as at the
+        start of training.
+        """
+        state = {}
+        for key, value in self.agent.state_dict().items():
+            state["agent." + key] = value
+        for key, value in self.optimizer.state_dict().items():
+            state["optim." + key] = value
+        state["trainer.total_env_steps"] = np.int64(self.total_env_steps)
+        state["trainer.updates"] = np.int64(self.updates)
+        state["trainer.rng"] = np.asarray(json.dumps(self.rng.bit_generator.state))
+        return save_state_dict(state, path)
+
+    def load_checkpoint(self, path):
+        """Restore a checkpoint written by :meth:`save_checkpoint` (in place).
+
+        Compiled plans (inference and training) read parameters live, so they
+        survive the load; the next rollout re-seeds from a fresh environment
+        reset, and continuation is bit-identical to a trainer that never
+        stopped (given the same environment construction).
+        """
+        state = load_state_dict(path)
+        self.agent.load_state_dict(
+            {k[len("agent."):]: v for k, v in state.items() if k.startswith("agent.")}
+        )
+        self.optimizer.load_state_dict(
+            {k[len("optim."):]: v for k, v in state.items() if k.startswith("optim.")}
+        )
+        self.total_env_steps = int(state["trainer.total_env_steps"])
+        self.updates = int(state["trainer.updates"])
+        self.rng = np.random.default_rng()
+        self.rng.bit_generator.state = json.loads(str(state["trainer.rng"].item()))
+        self._observations = None
+        return self
 
     # ------------------------------------------------------------------ #
     # Convenience metrics

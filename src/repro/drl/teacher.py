@@ -64,9 +64,13 @@ def train_teacher(
     feature_dim=128,
     base_width=8,
     seed=0,
+    use_compiled_train=True,
     config_overrides=None,
 ):
     """Train the teacher agent the AC-distillation mechanism distils from.
+
+    The gradient steps run on the compiled training runtime by default
+    (``use_compiled_train``); the eager tape remains the per-call fallback.
 
     Returns
     -------
@@ -84,7 +88,12 @@ def train_teacher(
         seed=seed,
     )
     env = make_vector_env(game, num_envs=num_envs, obs_size=obs_size, frame_stack=frame_stack, seed=seed)
-    config = A2CConfig(total_steps=total_steps, num_envs=num_envs, seed=seed)
+    config = A2CConfig(
+        total_steps=total_steps,
+        num_envs=num_envs,
+        seed=seed,
+        use_compiled_train=use_compiled_train,
+    )
     if config_overrides:
         for key, value in config_overrides.items():
             setattr(config, key, value)

@@ -79,6 +79,11 @@ class SearchConfig:
     eval_interval: int = 0
     eval_episodes: int = 3
     seed: int = 0
+    #: Route one-level updates through the compiled training runtime (gated
+    #: multi-path plans + fused RMSProp); the eager tape stays the per-call
+    #: fallback.  ``compiled_train_dtype=None`` means float64.
+    use_compiled_train: bool = True
+    compiled_train_dtype: object = None
 
     def loss_weights(self):
         """Bundle the beta coefficients of Eq. 12."""
@@ -189,6 +194,7 @@ class DRLArchitectureSearch:
         self.updates = 0
         self._observations = None
         self._recent_returns = []
+        self._train_step = None
 
     # ------------------------------------------------------------------ #
     # Rollout collection along the currently sampled path
@@ -257,6 +263,80 @@ class DRLArchitectureSearch:
     # ------------------------------------------------------------------ #
     # Updates
     # ------------------------------------------------------------------ #
+    def _compiled_train_step(self):
+        """The lazily-built :class:`~repro.runtime.train.CompiledTrainStep`."""
+        if self._train_step is None:
+            from ..runtime.train import CompiledTrainStep
+
+            dtype = self.config.compiled_train_dtype
+            self._train_step = CompiledTrainStep(
+                self.agent,
+                self.weight_optimizer,
+                dtype=np.float64 if dtype is None else dtype,
+            )
+        return self._train_step
+
+    def _compiled_one_level(self, batch, gates, active, sampled):
+        """One-level update on the compiled runtime (Eq. 6-8, tape-free weights).
+
+        The supernet weights take the gated multi-path reverse plan plus the
+        fused RMSProp step; the architecture parameters receive the per-gate
+        gradients the plan produced, chained through the (tiny, eager) Gumbel
+        relaxation together with the hardware penalty of Eq. 8.
+        """
+        cfg = self.config
+        step = self._compiled_train_step()
+        gated_key = tuple(tuple(int(i) for i in cell) for cell in active)
+        # Compile (or fetch) the plan before the teacher forward, so an
+        # uncompilable supernet falls back without a wasted teacher inference.
+        step.plan_for(np.asarray(batch["observations"]).shape, gated_paths=gated_key)
+        teacher_probs = teacher_values = None
+        if self.distiller.enabled:
+            teacher_probs, values = self.distiller.teacher_targets(batch["observations"])
+            if self.distiller.mode == DistillationMode.AC:
+                teacher_values = values
+        result = step.step(
+            batch["observations"],
+            batch["actions"],
+            batch["returns"],
+            batch["advantages"],
+            max_grad_norm=cfg.max_grad_norm,
+            weights=cfg.loss_weights(),
+            teacher_probs=teacher_probs,
+            teacher_values=teacher_values,
+            gated_paths=gated_key,
+            gate_values=[
+                np.array([gates[c].data[i] for i in cell], dtype=np.float64)
+                for c, cell in enumerate(active)
+            ],
+        )
+        # Alpha update: seed the gate gradients back through the Gumbel graph.
+        self.alpha_optimizer.zero_grad()
+        seed = None
+        for gate, gate_grad, cell in zip(gates, result.gate_grads, active):
+            full = np.zeros(gate.data.shape)
+            full[list(cell)] = gate_grad
+            term = (gate * Tensor(full)).sum()
+            seed = term if seed is None else seed + term
+        total_value = result.total
+        hw_value = 0.0
+        if self.hardware_penalty is not None and cfg.hw_penalty_weight > 0.0:
+            penalty = self.hardware_penalty(sampled, gates)
+            if penalty is not None:
+                if isinstance(penalty, Tensor):
+                    seed = seed + penalty * cfg.hw_penalty_weight
+                    hw_value = penalty.item()
+                else:
+                    hw_value = float(penalty)
+                total_value += hw_value * cfg.hw_penalty_weight
+        seed.backward()
+        self.alpha_optimizer.step()
+
+        components = dict(result.components)
+        components.setdefault("actor_distill", 0.0)
+        components.setdefault("critic_distill", 0.0)
+        return total_value, components, hw_value
+
     def _one_level_update(self, buffer):
         """One-level: weights and alpha updated from the same rollout loss."""
         temperature = self.temperature.value(self.total_env_steps)
@@ -265,6 +345,13 @@ class DRLArchitectureSearch:
         )
         bootstrap = self._collect_rollout(buffer, sampled)
         batch = buffer.compute_targets(bootstrap, self.config.gamma)
+        if self.config.use_compiled_train:
+            from ..runtime.compiler import CompileError
+
+            try:
+                return self._compiled_one_level(batch, gates, active, sampled)
+            except CompileError:
+                pass
         total, components = self._task_loss(batch, gates, active)
         total, hw_value = self._add_hardware_penalty(total, sampled, gates)
 

@@ -11,6 +11,7 @@ Public surface:
 
 from . import functional
 from . import init
+from . import vjp
 from .blocks import BasicResBlock, ConvBNReLU, InvertedResidual, SkipConnection, count_conv_flops
 from .modules import (
     AvgPool2d,
@@ -55,6 +56,7 @@ __all__ = [
     "functional",
     "F",
     "init",
+    "vjp",
     "Parameter",
     "Module",
     "Sequential",

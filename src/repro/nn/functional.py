@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import vjp
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -52,11 +53,12 @@ def leaky_relu(x, negative_slope=0.01):
     x = as_tensor(x)
     mask = (x.data > 0).astype(np.float64)
     scale = mask + negative_slope * (1.0 - mask)
+    out_data = x.data * scale
 
     def backward(grad):
-        x._accumulate(grad * scale)
+        x._accumulate(vjp.leaky_relu_vjp(grad, out_data, negative_slope))
 
-    return Tensor._make(x.data * scale, (x,), backward)
+    return Tensor._make(out_data, (x,), backward)
 
 
 def sigmoid(x):
@@ -189,10 +191,10 @@ def conv2d(x, weight, bias=None, stride=1, padding=0, groups=1):
             # grad: (N, C_out, oh, ow)
             grad_mat = grad.transpose(0, 2, 3, 1)  # (N, oh, ow, C_out)
             if weight.requires_grad:
-                gw = np.tensordot(grad_mat, cols, axes=([0, 1, 2], [0, 1, 2]))
+                gw = vjp.conv2d_weight_vjp(grad_mat, cols)
                 weight._accumulate(gw.reshape(weight.data.shape))
             if x.requires_grad:
-                gcols = grad_mat @ w_mat  # (N, oh, ow, C*kh*kw)
+                gcols = vjp.conv2d_cols_vjp(grad_mat, w_mat)
                 x._accumulate(col2im(gcols, x.data.shape, (kh, kw), stride, padding))
 
         out = Tensor._make(out_data, (x, weight), backward)
@@ -218,12 +220,12 @@ def conv2d(x, weight, bias=None, stride=1, padding=0, groups=1):
                 grad_g = grad[:, g * group_out : (g + 1) * group_out]
                 grad_mat = grad_g.transpose(0, 2, 3, 1)
                 if gw_full is not None:
-                    gw = np.tensordot(grad_mat, cols_per_group[g], axes=([0, 1, 2], [0, 1, 2]))
+                    gw = vjp.conv2d_weight_vjp(grad_mat, cols_per_group[g])
                     gw_full[g * group_out : (g + 1) * group_out] = gw.reshape(
                         group_out, group_in, kh, kw
                     )
                 if gx_full is not None:
-                    gcols = grad_mat @ w_mats[g]
+                    gcols = vjp.conv2d_cols_vjp(grad_mat, w_mats[g])
                     gx_full[:, g * group_in : (g + 1) * group_in] = col2im(
                         gcols, (n, group_in, h, w), (kh, kw), stride, padding
                     )
@@ -257,11 +259,7 @@ def max_pool2d(x, kernel_size=2, stride=None):
     out_data = cols.max(axis=-1).reshape(n, c, out_h, out_w)
 
     def backward(grad):
-        gcols = np.zeros_like(cols)
-        flat_idx = argmax.reshape(-1)
-        gcols.reshape(-1, kernel_size * kernel_size)[
-            np.arange(flat_idx.size), flat_idx
-        ] = grad.reshape(-1)
+        gcols = vjp.max_pool_cols_vjp(grad, argmax, kernel_size * kernel_size)
         gx = col2im(gcols, (n * c, 1, h, w), (kernel_size, kernel_size), stride, 0)
         x._accumulate(gx.reshape(n, c, h, w))
 

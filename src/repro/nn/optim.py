@@ -41,12 +41,24 @@ def clip_grad_norm(parameters, max_norm):
 
 
 class Optimizer:
-    """Base optimiser: holds parameters and per-parameter state."""
+    """Base optimiser: holds parameters and per-parameter state.
+
+    Two update entry points share the same state and can be interleaved:
+
+    * :meth:`step` — the eager path, reading ``param.grad`` tensors filled by
+      the autograd tape;
+    * :meth:`apply_gradients` — the fused path used by the compiled training
+      runtime: takes raw gradient arrays (the plan's pre-allocated buffers),
+      applies global-norm clipping in place, and updates parameters through a
+      single reusable scratch buffer instead of materialising intermediate
+      tensors.
+    """
 
     def __init__(self, parameters, lr):
         self.parameters = list(parameters)
         self.lr = float(lr)
         self.steps = 0
+        self._scratch_buf = None
 
     def zero_grad(self):
         """Clear gradients on all managed parameters."""
@@ -60,6 +72,85 @@ class Optimizer:
     def set_lr(self, lr):
         """Update the learning rate (used by schedules)."""
         self.lr = float(lr)
+
+    # ------------------------------------------------------------------ #
+    # Fused in-place update path (compiled training runtime)
+    # ------------------------------------------------------------------ #
+    def apply_gradients(self, grads, max_norm=None):
+        """Clip and apply raw gradient arrays in one fused, in-place pass.
+
+        Parameters
+        ----------
+        grads:
+            Gradient arrays aligned with :attr:`parameters`; ``None`` entries
+            are skipped (parameters untouched by the compiled plan, exactly
+            like ``param.grad is None`` on the eager path).  The arrays are
+            mutated in place by clipping — they are plan-owned buffers that
+            get re-zeroed before the next backward.
+        max_norm:
+            Optional global L2-norm bound (the trainers' grad clipping).
+
+        Returns
+        -------
+        The pre-clipping global gradient norm, for logging.
+        """
+        grads = list(grads)
+        if len(grads) != len(self.parameters):
+            raise ValueError(
+                "expected {} gradient arrays, got {}".format(len(self.parameters), len(grads))
+            )
+        total = float(np.sqrt(sum(float(np.vdot(g, g)) for g in grads if g is not None)))
+        if max_norm is not None and total > max_norm and total > 0.0:
+            scale = max_norm / (total + 1e-12)
+            for grad in grads:
+                if grad is not None:
+                    grad *= scale
+        self._apply(grads)
+        return total
+
+    def _apply(self, grads):
+        """Subclass hook: consume aligned gradient arrays in place."""
+        raise NotImplementedError
+
+    def _scratch(self, shape):
+        """A float64 scratch view of ``shape`` (one buffer reused across params)."""
+        size = int(np.prod(shape))
+        if self._scratch_buf is None or self._scratch_buf.size < size:
+            self._scratch_buf = np.empty(size, dtype=np.float64)
+        return self._scratch_buf[:size].reshape(shape)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def _state_buffers(self):
+        """Subclass hook: the per-parameter state arrays, in a fixed order."""
+        return []
+
+    def state_dict(self):
+        """Snapshot of learning rate, step count, and per-parameter state."""
+        state = {"lr": np.float64(self.lr), "steps": np.int64(self.steps)}
+        for i, buf in enumerate(self._state_buffers()):
+            state["state{}".format(i)] = buf.copy()
+        return state
+
+    def load_state_dict(self, state):
+        """Restore a snapshot produced by :meth:`state_dict` (in place).
+
+        Raises ``KeyError`` on missing state entries (and the usual NumPy
+        shape error on mismatched buffers): a half-restored optimiser would
+        train subtly wrong, so mismatches fail loudly.
+        """
+        self.lr = float(state["lr"])
+        self.steps = int(state["steps"])
+        for i, buf in enumerate(self._state_buffers()):
+            key = "state{}".format(i)
+            if key not in state:
+                raise KeyError(
+                    "optimizer checkpoint is missing {!r}: state was saved from a "
+                    "different optimizer configuration".format(key)
+                )
+            buf[...] = state[key]
+        return self
 
 
 class SGD(Optimizer):
@@ -87,6 +178,26 @@ class SGD(Optimizer):
                 update = grad
             param.data -= self.lr * update
 
+    def _apply(self, grads):
+        self.steps += 1
+        for param, velocity, grad in zip(self.parameters, self._velocity, grads):
+            if grad is None:
+                continue
+            ws = self._scratch(param.data.shape)
+            np.multiply(grad, 1.0, out=ws)
+            if self.weight_decay:
+                ws += self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += ws
+                np.multiply(velocity, self.lr, out=ws)
+            else:
+                ws *= self.lr
+            param.data -= ws
+
+    def _state_buffers(self):
+        return list(self._velocity)
+
 
 class RMSProp(Optimizer):
     """RMSProp as used by the Nature DQN / A3C line of work.
@@ -113,6 +224,28 @@ class RMSProp(Optimizer):
             square_avg *= self.alpha
             square_avg += (1.0 - self.alpha) * grad * grad
             param.data -= self.lr * grad / (np.sqrt(square_avg) + self.eps)
+
+    def _apply(self, grads):
+        """Fused in-place RMSProp: one scratch buffer, zero intermediate tensors."""
+        self.steps += 1
+        for param, square_avg, grad in zip(self.parameters, self._square_avg, grads):
+            if grad is None:
+                continue
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            ws = self._scratch(param.data.shape)
+            np.multiply(grad, grad, out=ws)
+            ws *= 1.0 - self.alpha
+            square_avg *= self.alpha
+            square_avg += ws
+            np.sqrt(square_avg, out=ws)
+            ws += self.eps
+            np.divide(grad, ws, out=ws)
+            ws *= self.lr
+            param.data -= ws
+
+    def _state_buffers(self):
+        return list(self._square_avg)
 
 
 class Adam(Optimizer):
@@ -143,6 +276,32 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _apply(self, grads):
+        self.steps += 1
+        bias1 = 1.0 - self.beta1 ** self.steps
+        bias2 = 1.0 - self.beta2 ** self.steps
+        for param, m, v, grad in zip(self.parameters, self._m, self._v, grads):
+            if grad is None:
+                continue
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            ws = self._scratch(param.data.shape)
+            np.multiply(grad, grad, out=ws)
+            ws *= 1.0 - self.beta2
+            v *= self.beta2
+            v += ws
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            np.divide(v, bias2, out=ws)
+            np.sqrt(ws, out=ws)
+            ws += self.eps
+            np.divide(m, ws, out=ws)
+            ws *= self.lr / bias1
+            param.data -= ws
+
+    def _state_buffers(self):
+        return list(self._m) + list(self._v)
 
 
 class ConstantSchedule:

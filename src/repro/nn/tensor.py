@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import vjp
+
 __all__ = ["Tensor", "unbroadcast", "as_tensor", "no_grad", "is_grad_enabled"]
 
 _GRAD_ENABLED = [True]
@@ -439,7 +441,7 @@ class Tensor:
         out_data = np.tanh(self.data)
 
         def backward(grad):
-            self._accumulate(grad * (1.0 - out_data ** 2))
+            self._accumulate(vjp.tanh_vjp(grad, out_data))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -447,17 +449,17 @@ class Tensor:
         out_data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(grad):
-            self._accumulate(grad * out_data * (1.0 - out_data))
+            self._accumulate(vjp.sigmoid_vjp(grad, out_data))
 
         return Tensor._make(out_data, (self,), backward)
 
     def relu(self):
-        mask = (self.data > 0).astype(np.float64)
+        out_data = np.maximum(self.data, 0.0)
 
         def backward(grad):
-            self._accumulate(grad * mask)
+            self._accumulate(vjp.relu_vjp(grad, out_data))
 
-        return Tensor._make(self.data * mask, (self,), backward)
+        return Tensor._make(out_data, (self,), backward)
 
     def clip(self, low, high):
         mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
@@ -483,13 +485,9 @@ class Tensor:
         a, b = self.data, other.data
 
         def backward(grad):
-            if a.ndim == 2 and b.ndim == 2:
-                self._accumulate(grad @ b.T)
-                other._accumulate(a.T @ grad)
-            else:
-                # Batched matmul: contract over the last two dims.
-                self._accumulate(np.matmul(grad, np.swapaxes(b, -1, -2)))
-                other._accumulate(np.matmul(np.swapaxes(a, -1, -2), grad))
+            ga, gb = vjp.matmul_vjp(grad, a, b)
+            self._accumulate(ga)
+            other._accumulate(gb)
 
         return Tensor._make(np.matmul(a, b), (self, other), backward)
 

@@ -22,17 +22,32 @@ The engine reads parameters live from the source module on every run, so a
 module can keep training between rollouts without invalidating its plans.
 ``dtype=np.float64`` (the default) reproduces the eager math to a few ulps;
 ``dtype=np.float32`` is the production fast path (~2-3x on BLAS-bound nets).
+
+Since the compiled-training extension, the same compiler also emits
+**reverse-mode plans**: ``compile_plan(..., train=True)`` adds per-slot
+gradient buffers and per-op VJP steps (sharing the rules in
+:mod:`repro.nn.vjp` with the eager tape), and
+:class:`~repro.runtime.train.CompiledTrainStep` packages forward + loss head
++ backward + fused optimiser step into the facade that
+:class:`~repro.drl.a2c.A2CTrainer`, teacher training, and the one-level
+co-search updates route through.  The eager tape remains the
+always-available reference path, selected per call on
+:class:`~repro.runtime.compiler.CompileError`.
 """
 
-from .compiler import compile_plan, register_expander, supported_module_types
+from .compiler import CompileError, compile_plan, register_expander, supported_module_types
 from .engine import InferenceEngine, RuntimePolicy
 from .plan import Plan
+from .train import CompiledTrainStep, TrainStepResult
 
 __all__ = [
     "Plan",
     "compile_plan",
     "register_expander",
     "supported_module_types",
+    "CompileError",
     "InferenceEngine",
     "RuntimePolicy",
+    "CompiledTrainStep",
+    "TrainStepResult",
 ]

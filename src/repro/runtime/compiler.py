@@ -27,6 +27,7 @@ from .plan import (
     BatchNormStep,
     Conv2dStep,
     FlattenStep,
+    GateCombineStep,
     GlobalAvgPoolStep,
     LinearStep,
     OpaqueStep,
@@ -66,10 +67,17 @@ def _expander(module_type):
 class CompileContext:
     """Mutable state threaded through expanders while building one plan."""
 
-    def __init__(self, plan, path=None):
+    def __init__(self, plan, path=None, gated=None):
         self.plan = plan
         self.path = path
         self.path_consumed = False
+        self.gated = gated
+        self.gated_consumed = False
+
+    @property
+    def train(self):
+        """Whether this plan must also support the reverse-mode program."""
+        return self.plan.train
 
     def emit(self, module, in_slot):
         """Expand ``module`` (dispatching over its MRO) and return its output slot."""
@@ -100,6 +108,12 @@ def _emit_opaque(module, ctx, in_slot):
     """
     from ..nn import Tensor, no_grad
 
+    if ctx.train:
+        raise CompileError(
+            "{} has no compiled backward; training stays on the autograd tape".format(
+                type(module).__name__
+            )
+        )
     probe = np.zeros(ctx.shape(in_slot), dtype=np.float64)
     was_training = bool(getattr(module, "training", False))
     if was_training:
@@ -132,10 +146,22 @@ def _activation_kind(module):
 
 
 def _emit_conv(conv, ctx, in_slot, bn=None, activation=None):
-    """Emit a fused convolution step and its output slot."""
+    """Emit a fused convolution step and its output slot.
+
+    Training plans keep BN as its own step: reverse-mode batch norm needs the
+    pre-normalisation activations, which the fused step would overwrite.  The
+    activation still fuses into the last step of the pair (its VJP only needs
+    the post-activation output).
+    """
     n, _, h, w = ctx.shape(in_slot)
     oh = conv_output_size(h, conv.kernel_size, conv.stride, conv.padding)
     ow = conv_output_size(w, conv.kernel_size, conv.stride, conv.padding)
+    if bn is not None and ctx.train:
+        conv_slot = ctx.slot((n, conv.out_channels, oh, ow))
+        ctx.add(Conv2dStep(conv, in_slot, conv_slot))
+        out_slot = ctx.slot((n, conv.out_channels, oh, ow))
+        ctx.add(BatchNormStep(bn, conv_slot, out_slot, activation=activation))
+        return out_slot
     out_slot = ctx.slot((n, conv.out_channels, oh, ow))
     ctx.add(Conv2dStep(conv, in_slot, out_slot, bn=bn, activation=activation))
     return out_slot
@@ -212,6 +238,7 @@ def _expand_dropout(module, ctx, in_slot):
     # Plans outlive train/eval switches and training-mode dropout needs the
     # module's RNG stream, so stay faithful via the eager fallback (which
     # checks ``module.training`` at run time; inference rarely hits this).
+    # Training plans cannot host the fallback: _emit_opaque raises there.
     return _emit_opaque(module, ctx, in_slot)
 
 
@@ -329,10 +356,12 @@ def _register_network_expanders():
 
     @_expander(AgentSuperNet)
     def _expand_supernet(module, ctx, in_slot):
+        if ctx.gated is not None:
+            return _expand_supernet_gated(module, ctx, in_slot)
         if ctx.path is None:
             raise CompileError(
-                "AgentSuperNet requires a fixed path (op_indices) to compile; "
-                "gated multi-path forwards stay on the autograd engine"
+                "AgentSuperNet requires a fixed path (op_indices) or per-cell "
+                "active paths (gated_paths) to compile"
             )
         if len(ctx.path) != module.num_cells:
             raise CompileError(
@@ -342,6 +371,34 @@ def _register_network_expanders():
         slot = ctx.emit(module.stem, in_slot)
         for cell, op_index in zip(module.cells, ctx.path):
             slot = ctx.emit(cell.candidates[int(op_index)], slot)
+        slot = ctx.emit(module.pool, slot)
+        out_slot = ctx.slot((ctx.shape(slot)[0], module.fc.out_features))
+        ctx.add(LinearStep(module.fc, slot, out_slot, activation="relu"))
+        return out_slot
+
+    def _expand_supernet_gated(module, ctx, in_slot):
+        """Multi-path (gate-weighted) expansion for search-time train steps.
+
+        Each active candidate expands into its own branch slots; a
+        :class:`GateCombineStep` sums them with per-run gate values, in the
+        same left-to-right order as the eager gated forward.
+        """
+        if len(ctx.gated) != module.num_cells:
+            raise CompileError(
+                "expected {} active-path tuples, got {}".format(
+                    module.num_cells, len(ctx.gated)
+                )
+            )
+        ctx.gated_consumed = True
+        ctx.plan.set_gate_layout(ctx.gated)
+        slot = ctx.emit(module.stem, in_slot)
+        for cell_index, (cell, active) in enumerate(zip(module.cells, ctx.gated)):
+            if not active:
+                raise CompileError("at least one path must be active per cell")
+            branches = [ctx.emit(cell.candidates[int(i)], slot) for i in active]
+            out_slot = ctx.slot(ctx.shape(branches[0]))
+            ctx.add(GateCombineStep(cell_index, branches, out_slot))
+            slot = out_slot
         slot = ctx.emit(module.pool, slot)
         out_slot = ctx.slot((ctx.shape(slot)[0], module.fc.out_features))
         ctx.add(LinearStep(module.fc, slot, out_slot, activation="relu"))
@@ -360,10 +417,18 @@ def _register_network_expanders():
         value = ctx.slot((n,), view=True)
         ctx.add(ReshapeStep(value_col, value, ()))
         ctx.agent_outputs = (probs, value)
+        ctx.agent_slots = {
+            "features": features,
+            "logits": logits,
+            "probs": probs,
+            "value_col": value_col,
+            "value": value,
+        }
         return features
 
 
-def compile_plan(module, input_shape, dtype=np.float64, path=None):
+def compile_plan(module, input_shape, dtype=np.float64, path=None, train=False, gated_paths=None,
+                 pool=None):
     """Compile ``module`` for a concrete ``input_shape`` into a ready :class:`Plan`.
 
     Parameters
@@ -378,16 +443,36 @@ def compile_plan(module, input_shape, dtype=np.float64, path=None):
         engine to a few ulps, ``np.float32`` is the fast path.
     path:
         Operator index per cell when compiling a sampled supernet path.
+    train:
+        Also build the reverse-mode program (gradient buffers + per-step
+        VJPs).  Modules the runtime cannot differentiate (opaque fallbacks,
+        active dropout) raise :class:`CompileError` so callers fall back to
+        the eager tape.
+    gated_paths:
+        Per-cell tuples of active candidate indices for a gated (multi-path
+        backward) supernet expansion; gate *values* are provided per run via
+        :meth:`Plan.set_gates`.
+    pool:
+        Optional :class:`~repro.runtime.plan.BufferPool` the plan draws its
+        buffers from (and releases them to); engines that recompile often use
+        one so fresh plans touch warm pages.
 
     Returns
     -------
     plan:
         A finalised :class:`Plan`.  For :class:`ActorCriticAgent` modules the
-        plan outputs ``(probs, values)``; otherwise the module output.
+        plan outputs ``(probs, values)`` and ``plan.named_slots`` maps
+        ``features / logits / probs / value_col / value`` to their slots.
     """
     _register_network_expanders()
-    plan = Plan(dtype=dtype)
-    ctx = CompileContext(plan, path=tuple(int(i) for i in path) if path is not None else None)
+    plan = Plan(dtype=dtype, train=train, pool=pool)
+    ctx = CompileContext(
+        plan,
+        path=tuple(int(i) for i in path) if path is not None else None,
+        gated=tuple(tuple(int(i) for i in cell) for cell in gated_paths)
+        if gated_paths is not None
+        else None,
+    )
     input_slot = plan.new_slot(input_shape)
     out_slot = ctx.emit(module, input_slot)
     if ctx.path is not None and not ctx.path_consumed:
@@ -397,7 +482,12 @@ def compile_plan(module, input_shape, dtype=np.float64, path=None):
         raise CompileError(
             "{} does not take a path (op_indices)".format(type(module).__name__)
         )
+    if ctx.gated is not None and not ctx.gated_consumed:
+        raise CompileError(
+            "{} does not take gated paths (gates)".format(type(module).__name__)
+        )
     outputs = getattr(ctx, "agent_outputs", None) or (out_slot,)
+    plan.named_slots = dict(getattr(ctx, "agent_slots", {}))
     plan.finalize(input_slot, outputs)
     # Zero-filled helper slots (copy-then-activate) must actually be zero.
     for slot in getattr(ctx, _ZERO_SLOTS, {}).values():

@@ -12,20 +12,35 @@ updates between rollouts are always visible without recompiling.  In float32
 mode each step keeps a cast buffer per parameter and refreshes it with
 ``np.copyto`` each run (cheap: parameters are small next to activations).
 
+Training plans (``Plan(train=True)``) additionally carry a *reverse-mode
+program*: per-slot gradient buffers, per-parameter gradient accumulators, and
+a ``backward`` method on every step implementing its VJP (via the shared
+rules in :mod:`repro.nn.vjp`) against those buffers.  Running backward is the
+forward step list in reverse; forward activation buffers double as the saved
+intermediates, and the im2col workspaces are reused for the column
+gradients' geometry.
+
 Aliasing contract: a step may mutate only buffers it owns (its output slot
 and workspaces), never its input slot.  In-place activation steps are the one
 exception; the compiler only emits them when the input slot has a single
-consumer.
+consumer.  The mirrored contract holds in reverse mode: once backward
+reaches the step that *produced* a slot, every consumer has already added its
+contribution, so the producer owns the slot's gradient buffer and may mutate
+it in place.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
+from ..nn import vjp
 from ..nn.functional import conv_output_size
 
 __all__ = [
     "Plan",
+    "BufferPool",
     "Step",
     "Conv2dStep",
     "LinearStep",
@@ -37,6 +52,7 @@ __all__ = [
     "GlobalAvgPoolStep",
     "Pool2dStep",
     "SoftmaxStep",
+    "GateCombineStep",
     "OpaqueStep",
     "apply_activation",
 ]
@@ -63,6 +79,55 @@ def apply_activation(kind, array):
     return array
 
 
+class BufferPool:
+    """Recycles the large backing blocks of released plans.
+
+    Page-faulting freshly ``mmap``-ed buffers is expensive (hundreds of ms
+    per GB on typical virtualised hosts), and supernet co-search compiles a
+    new gated training plan for almost every sampled architecture.  Plans
+    allocated against a pool return their blocks on :meth:`Plan.release`, so
+    the next compile re-uses warm, already-faulted pages instead of paying
+    the fault storm again.
+
+    Blocks are raw byte arrays handed out best-fit (never more than
+    ``max_waste`` times the requested size, so odd-sized requests don't pin
+    huge blocks).  The pool performs no locking: plans sharing a pool must be
+    compiled and released from one thread, which is how the engines use it.
+    """
+
+    def __init__(self, max_waste=2.0):
+        self.max_waste = float(max_waste)
+        self._free = []
+
+    def take(self, nbytes):
+        """A byte block of capacity >= ``nbytes`` (recycled when possible)."""
+        nbytes = int(nbytes)
+        best = None
+        for index, block in enumerate(self._free):
+            if block.nbytes < nbytes:
+                continue
+            if best is None or block.nbytes < self._free[best].nbytes:
+                best = index
+        if best is not None and self._free[best].nbytes <= max(
+            int(nbytes * self.max_waste), nbytes + (1 << 16)
+        ):
+            return self._free.pop(best)
+        return np.empty(nbytes, dtype=np.uint8)
+
+    def give(self, blocks):
+        """Return released blocks to the free list."""
+        self._free.extend(blocks)
+
+    @property
+    def free_bytes(self):
+        """Total capacity currently sitting in the free list."""
+        return sum(block.nbytes for block in self._free)
+
+    def clear(self):
+        """Drop every pooled block (returning the memory to the allocator)."""
+        self._free.clear()
+
+
 class Step:
     """Base class of one executable plan node."""
 
@@ -72,6 +137,15 @@ class Step:
 
     def allocate(self, plan):
         """Allocate per-step workspaces once the plan geometry is known."""
+
+    def allocate_backward(self, plan):
+        """Allocate reverse-mode workspaces / register parameter gradients."""
+
+    def backward(self, bufs, grads):
+        """Push the output-slot gradient onto input slots and parameters."""
+        raise NotImplementedError(
+            "{} has no compiled backward".format(type(self).__name__)
+        )
 
     def __repr__(self):
         return type(self).__name__
@@ -109,6 +183,10 @@ class _BNMixin:
     :func:`repro.nn.functional.batch_norm2d`.
     """
 
+    #: Training plans flip this on so ``_bn_scale_shift`` saves the statistics
+    #: its backward needs; inference plans pay nothing for it.
+    _capture_stats = False
+
     def _bn_scale_shift(self, bn, nchw, params):
         """Per-channel ``(scale, shift)`` for ``y = x * scale + shift``.
 
@@ -138,7 +216,10 @@ class _BNMixin:
         else:
             mean = params.fetch("running_mean", bn.running_mean)
             var = params.fetch("running_var", bn.running_var)
-        scale = gamma / np.sqrt(var + bn.eps)
+        inv_std = 1.0 / np.sqrt(var + bn.eps)
+        if self._capture_stats:
+            self._saved_stats = (bool(bn.training), mean, inv_std, gamma)
+        scale = gamma * inv_std
         shift = beta - mean * scale
         return scale, shift
 
@@ -164,6 +245,13 @@ class Conv2dStep(Step, _BNMixin):
     output slot (no transposes), with bias / BN / activation applied in
     place.  Depthwise convolutions use the same workspace with a per-channel
     batched GEMM instead of the eager engine's per-group Python loop.
+
+    Reverse mode reuses the forward column workspace as the saved input
+    patches: the weight gradient is one batched GEMM against it, the input
+    gradient is a GEMM into a dedicated column-gradient workspace followed by
+    the ``col2im`` scatter of :func:`repro.nn.vjp.col2im_nchw_accumulate`.
+    Training plans never fuse BN into the conv (the compiler emits a separate
+    :class:`BatchNormStep` so the pre-normalisation activations survive).
     """
 
     def __init__(self, conv, in_slot, out_slot, bn=None, activation=None):
@@ -183,10 +271,45 @@ class Conv2dStep(Step, _BNMixin):
         dtype = plan.dtype
         # Pointwise stride-1 convolutions are plain channel-mixing GEMMs: the
         # input buffer itself serves as the column matrix, no gather needed.
-        self._direct = k == 1 and s == 1 and p == 0
-        self._padded = np.zeros((n, c, h + 2 * p, w + 2 * p), dtype=dtype) if p > 0 else None
-        self._cols = None if self._direct else np.empty((n, c, k, k, oh, ow), dtype=dtype)
+        self._direct = k == 1 and s == 1 and p == 0 and conv.groups == 1
+        self._padded = plan.alloc((n, c, h + 2 * p, w + 2 * p), zero=True) if p > 0 else None
+        self._cols = None if self._direct else plan.alloc((n, c, k, k, oh, ow))
         self._params = _ParamCache(dtype)
+
+    def allocate_backward(self, plan):
+        if self.bn is not None:
+            raise RuntimeError("training plans must not fuse BN into conv steps")
+        n, c, h, w, k, s, p, oh, ow = self._geom
+        conv = self.conv
+        dtype = plan.dtype
+        cout = conv.out_channels
+        groups = conv.groups
+        self._pg_w = plan.grad_for(conv.weight)
+        self._pg_b = plan.grad_for(conv.bias) if conv.bias is not None else None
+        # The plan input has no producer, so nothing ever reads its gradient:
+        # skip the column GEMM + col2im scatter entirely for stem convs (the
+        # single most expensive VJP in the net, at full input resolution).
+        self._input_grad_needed = self.in_slot != plan.input_slot
+        if self._direct:
+            self._gx_ws = plan.alloc((n, c, oh * ow)) if self._input_grad_needed else None
+            self._gw_ws = plan.alloc((n, cout, c))
+            self._gcols = None
+            self._gpad = None
+            return
+        self._gcols = plan.alloc((n, c, k, k, oh, ow)) if self._input_grad_needed else None
+        self._gpad = (
+            plan.alloc((n, c, h + 2 * p, w + 2 * p))
+            if p > 0 and self._input_grad_needed
+            else None
+        )
+        if groups == 1:
+            self._gw_ws = plan.alloc((n, cout, c * k * k))
+        elif groups == c == cout:
+            self._gw_ws = plan.alloc((n, c, 1, k * k))
+        else:
+            cin_g = c // groups
+            cout_g = cout // groups
+            self._gw_ws = plan.alloc((n, groups, cout_g, cin_g * k * k))
 
     def run(self, bufs):
         x = bufs[self.in_slot]
@@ -233,6 +356,63 @@ class Conv2dStep(Step, _BNMixin):
                 np.matmul(w_mats[g], cols4d[:, g], out=out4d[:, g])
         self._apply_bn_bias_act(out, conv.bias, self._params)
 
+    def backward(self, bufs, grads):
+        gout = grads[self.out_slot]
+        vjp.activation_vjp(self.activation, bufs[self.out_slot], gout)
+        n, c, h, w, k, s, p, oh, ow = self._geom
+        conv = self.conv
+        if self._pg_b is not None:
+            self._pg_b += gout.sum(axis=(0, 2, 3))
+        weight = self._params.fetch("weight", conv.weight.data)
+        cout = conv.out_channels
+        groups = conv.groups
+        gout3 = gout.reshape(n, cout, oh * ow)
+        if self._direct:
+            x3 = bufs[self.in_slot].reshape(n, c, oh * ow)
+            w_mat = weight.reshape(cout, c)
+            np.matmul(gout3, x3.transpose(0, 2, 1), out=self._gw_ws)
+            self._pg_w.reshape(cout, c)[...] += self._gw_ws.sum(axis=0)
+            if self._input_grad_needed:
+                np.matmul(w_mat.T, gout3, out=self._gx_ws)
+                grads[self.in_slot] += self._gx_ws.reshape(n, c, h, w)
+            return
+        cols = self._cols  # saved by the forward run
+        if groups == 1:
+            w_mat = weight.reshape(cout, c * k * k)
+            cols3 = cols.reshape(n, c * k * k, oh * ow)
+            np.matmul(gout3, cols3.transpose(0, 2, 1), out=self._gw_ws)
+            self._pg_w.reshape(cout, c * k * k)[...] += self._gw_ws.sum(axis=0)
+            if self._input_grad_needed:
+                np.matmul(w_mat.T, gout3, out=self._gcols.reshape(n, c * k * k, oh * ow))
+        elif groups == c == cout:
+            w2 = weight.reshape(c, 1, k * k)
+            cols4 = cols.reshape(n, c, k * k, oh * ow)
+            gout4 = gout.reshape(n, c, 1, oh * ow)
+            np.matmul(gout4, cols4.transpose(0, 1, 3, 2), out=self._gw_ws)
+            self._pg_w.reshape(c, 1, k * k)[...] += self._gw_ws.sum(axis=0)
+            if self._input_grad_needed:
+                np.matmul(
+                    w2.transpose(0, 2, 1), gout4, out=self._gcols.reshape(n, c, k * k, oh * ow)
+                )
+        else:
+            cin_g = c // groups
+            cout_g = cout // groups
+            cols4 = cols.reshape(n, groups, cin_g * k * k, oh * ow)
+            gout4 = gout.reshape(n, groups, cout_g, oh * ow)
+            gcols4 = (
+                self._gcols.reshape(n, groups, cin_g * k * k, oh * ow)
+                if self._input_grad_needed
+                else None
+            )
+            w_mats = weight.reshape(groups, cout_g, cin_g * k * k)
+            for g in range(groups):
+                np.matmul(gout4[:, g], cols4[:, g].transpose(0, 2, 1), out=self._gw_ws[:, g])
+                if self._input_grad_needed:
+                    np.matmul(w_mats[g].T, gout4[:, g], out=gcols4[:, g])
+            self._pg_w.reshape(groups, cout_g, cin_g * k * k)[...] += self._gw_ws.sum(axis=0)
+        if self._input_grad_needed:
+            vjp.col2im_nchw_accumulate(self._gcols, grads[self.in_slot], s, p, pad_ws=self._gpad)
+
 
 class LinearStep(Step):
     """Fully-connected layer, optionally fused with an activation."""
@@ -246,6 +426,14 @@ class LinearStep(Step):
     def allocate(self, plan):
         self._params = _ParamCache(plan.dtype)
 
+    def allocate_backward(self, plan):
+        n = plan.shape(self.in_slot)[0]
+        linear = self.linear
+        self._pg_w = plan.grad_for(linear.weight)
+        self._pg_b = plan.grad_for(linear.bias) if linear.bias is not None else None
+        self._gx_ws = plan.alloc((n, linear.in_features))
+        self._gw_ws = plan.alloc((linear.out_features, linear.in_features))
+
     def run(self, bufs):
         weight = self._params.fetch("weight", self.linear.weight.data)
         out = bufs[self.out_slot]
@@ -254,9 +442,27 @@ class LinearStep(Step):
             out += self._params.fetch("bias", self.linear.bias.data)
         apply_activation(self.activation, out)
 
+    def backward(self, bufs, grads):
+        gout = grads[self.out_slot]
+        vjp.activation_vjp(self.activation, bufs[self.out_slot], gout)
+        weight = self._params.fetch("weight", self.linear.weight.data)
+        _, _, gb = vjp.linear_vjp(
+            gout, bufs[self.in_slot], weight, gx_out=self._gx_ws, gw_out=self._gw_ws
+        )
+        self._pg_w += self._gw_ws
+        if self._pg_b is not None:
+            self._pg_b += gb
+        grads[self.in_slot] += self._gx_ws
+
 
 class BatchNormStep(Step, _BNMixin):
-    """Standalone batch norm over an NCHW slot (for BN not fused into a conv)."""
+    """Standalone batch norm over an NCHW slot (for BN not fused into a conv).
+
+    Training plans route every BN through this step (never fused into the
+    conv) so backward can see the pre-normalisation input; the statistics
+    used by the forward pass are captured per run and replayed into
+    :func:`repro.nn.vjp.batchnorm2d_vjp`.
+    """
 
     def __init__(self, bn, in_slot, out_slot, activation=None):
         self.bn = bn
@@ -267,6 +473,13 @@ class BatchNormStep(Step, _BNMixin):
     def allocate(self, plan):
         self._params = _ParamCache(plan.dtype)
 
+    def allocate_backward(self, plan):
+        self._capture_stats = True
+        self._pg_gamma = plan.grad_for(self.bn.gamma)
+        self._pg_beta = plan.grad_for(self.bn.beta)
+        self._bw_ws = plan.alloc(plan.shape(self.in_slot))
+        self._bn_ws = plan.alloc(plan.shape(self.in_slot))
+
     def run(self, bufs):
         x = bufs[self.in_slot]
         out = bufs[self.out_slot]
@@ -274,6 +487,17 @@ class BatchNormStep(Step, _BNMixin):
         np.multiply(x, scale[None, :, None, None], out=out)
         out += shift[None, :, None, None]
         apply_activation(self.activation, out)
+
+    def backward(self, bufs, grads):
+        gout = grads[self.out_slot]
+        vjp.activation_vjp(self.activation, bufs[self.out_slot], gout)
+        training, mean, inv_std, gamma = self._saved_stats
+        gx, dgamma, dbeta = vjp.batchnorm2d_vjp(
+            gout, bufs[self.in_slot], mean, inv_std, gamma, training, ws=self._bw_ws
+        )
+        self._pg_gamma += dgamma
+        self._pg_beta += dbeta
+        grads[self.in_slot] += gx
 
 
 class ActivationStep(Step):
@@ -286,9 +510,18 @@ class ActivationStep(Step):
     def run(self, bufs):
         apply_activation(self.kind, bufs[self.slot])
 
+    def backward(self, bufs, grads):
+        vjp.activation_vjp(self.kind, bufs[self.slot], grads[self.slot])
+
 
 class AddStep(Step):
-    """``out = a + b`` (residual join), optionally fused with an activation."""
+    """``out = a + b`` (residual join), optionally fused with an activation.
+
+    The compiler may alias ``out`` to ``a`` (in-place join on a block-owned
+    slot); backward then redefines the slot's gradient buffer in place, which
+    is safe because the producer of the pre-join value runs later in the
+    reverse program.
+    """
 
     def __init__(self, a_slot, b_slot, out_slot, activation=None):
         self.a_slot = a_slot
@@ -301,6 +534,13 @@ class AddStep(Step):
         np.add(bufs[self.a_slot], bufs[self.b_slot], out=out)
         apply_activation(self.activation, out)
 
+    def backward(self, bufs, grads):
+        gout = grads[self.out_slot]
+        vjp.activation_vjp(self.activation, bufs[self.out_slot], gout)
+        if self.a_slot != self.out_slot:
+            grads[self.a_slot] += gout
+        grads[self.b_slot] += gout
+
 
 class FlattenStep(Step):
     """Flatten non-batch dimensions; a zero-copy view of a contiguous slot."""
@@ -309,9 +549,19 @@ class FlattenStep(Step):
         self.in_slot = in_slot
         self.out_slot = out_slot
 
+    def allocate_backward(self, plan):
+        # The gradient buffer of the view slot aliases the source slot's
+        # buffer, so accumulation flows through with no backward work.
+        plan.grad_bufs[self.out_slot] = plan.grad_bufs[self.in_slot].reshape(
+            plan.shape(self.out_slot)
+        )
+
     def run(self, bufs):
         x = bufs[self.in_slot]
         bufs[self.out_slot] = x.reshape(x.shape[0], -1)
+
+    def backward(self, bufs, grads):
+        pass
 
 
 class ReshapeStep(Step):
@@ -322,9 +572,17 @@ class ReshapeStep(Step):
         self.out_slot = out_slot
         self.shape_tail = tuple(shape_tail)
 
+    def allocate_backward(self, plan):
+        plan.grad_bufs[self.out_slot] = plan.grad_bufs[self.in_slot].reshape(
+            plan.shape(self.out_slot)
+        )
+
     def run(self, bufs):
         x = bufs[self.in_slot]
         bufs[self.out_slot] = x.reshape((x.shape[0],) + self.shape_tail)
+
+    def backward(self, bufs, grads):
+        pass
 
 
 class GlobalAvgPoolStep(Step):
@@ -336,6 +594,10 @@ class GlobalAvgPoolStep(Step):
 
     def run(self, bufs):
         bufs[self.in_slot].mean(axis=(2, 3), out=bufs[self.out_slot])
+
+    def backward(self, bufs, grads):
+        spatial = bufs[self.in_slot].shape[2:]
+        grads[self.in_slot] += vjp.global_avg_pool_vjp(grads[self.out_slot], spatial)
 
 
 class Pool2dStep(Step):
@@ -368,6 +630,30 @@ class Pool2dStep(Step):
         else:
             np.mean(windows, axis=(4, 5), out=out)
 
+    def backward(self, bufs, grads):
+        n, c, h, w, k, s, oh, ow = self._geom
+        gout = grads[self.out_slot]
+        gin = grads[self.in_slot]
+        if self.mode == "avg":
+            g = gout * (1.0 / (k * k))
+            for i in range(k):
+                for j in range(k):
+                    gin[:, :, i : i + s * oh : s, j : j + s * ow : s] += g
+            return
+        x = bufs[self.in_slot]
+        st = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, oh, ow, k, k),
+            strides=(st[0], st[1], st[2] * s, st[3] * s, st[2], st[3]),
+        )
+        # First-winner-per-window semantics, matching the eager argmax rule.
+        argmax = windows.reshape(n, c, oh, ow, k * k).argmax(axis=-1)
+        for i in range(k):
+            for j in range(k):
+                mask = argmax == (i * k + j)
+                gin[:, :, i : i + s * oh : s, j : j + s * ow : s] += gout * mask
+
 
 class SoftmaxStep(Step):
     """Numerically stable softmax along the last axis into a fresh slot."""
@@ -376,6 +662,9 @@ class SoftmaxStep(Step):
         self.in_slot = in_slot
         self.out_slot = out_slot
 
+    def allocate_backward(self, plan):
+        self._ws = plan.alloc(plan.shape(self.out_slot))
+
     def run(self, bufs):
         x = bufs[self.in_slot]
         out = bufs[self.out_slot]
@@ -383,12 +672,53 @@ class SoftmaxStep(Step):
         np.exp(out, out=out)
         out /= out.sum(axis=-1, keepdims=True)
 
+    def backward(self, bufs, grads):
+        vjp.softmax_vjp(grads[self.out_slot], bufs[self.out_slot], into=self._ws)
+        grads[self.in_slot] += self._ws
+
+
+class GateCombineStep(Step):
+    """Gate-weighted sum of candidate-branch slots (gated supernet cell).
+
+    Gate *values* are per-run inputs (they change with every architecture
+    sample) read from the plan's ``gate_values`` table; backward writes the
+    per-gate scalar gradients into ``gate_grads`` so the caller can propagate
+    them through the (eager, tiny) Gumbel relaxation onto alpha.
+    """
+
+    def __init__(self, cell_index, in_slots, out_slot):
+        self.cell_index = int(cell_index)
+        self.in_slots = tuple(in_slots)
+        self.out_slot = out_slot
+
+    def allocate(self, plan):
+        self._plan = plan
+        self._ws = plan.alloc(plan.shape(self.out_slot))
+
+    def run(self, bufs):
+        gate = self._plan.gate_values[self.cell_index]
+        out = bufs[self.out_slot]
+        np.multiply(bufs[self.in_slots[0]], gate[0], out=out)
+        for i in range(1, len(self.in_slots)):
+            np.multiply(bufs[self.in_slots[i]], gate[i], out=self._ws)
+            out += self._ws
+
+    def backward(self, bufs, grads):
+        gate = self._plan.gate_values[self.cell_index]
+        gate_grad = self._plan.gate_grads[self.cell_index]
+        gout = grads[self.out_slot]
+        for i, slot in enumerate(self.in_slots):
+            gate_grad[i] = float(np.vdot(gout, bufs[slot]))
+            np.multiply(gout, gate[i], out=self._ws)
+            grads[slot] += self._ws
+
 
 class OpaqueStep(Step):
     """Fallback: run an uncompilable module eagerly under ``no_grad``.
 
     Keeps the engine total over arbitrary user modules at the cost of the
-    eager path's allocations for that one step.
+    eager path's allocations for that one step.  Training plans reject it at
+    compile time (the eager tape is the reference path for such modules).
     """
 
     def __init__(self, module, in_slot, out_slot):
@@ -405,16 +735,63 @@ class OpaqueStep(Step):
 
 
 class Plan:
-    """A compiled module graph for one ``(input shape, dtype)`` signature."""
+    """A compiled module graph for one ``(input shape, dtype)`` signature.
 
-    def __init__(self, dtype=np.float64):
+    With ``train=True`` the plan also owns the reverse-mode state: per-slot
+    gradient buffers (views alias their source buffer), per-parameter
+    gradient accumulators keyed by parameter identity, and — for gated
+    supernet plans — per-cell gate value/gradient tables.
+    """
+
+    def __init__(self, dtype=np.float64, train=False, pool=None):
         self.dtype = np.dtype(dtype)
+        self.train = bool(train)
         self.steps = []
         self._shapes = []
         self._view_slots = set()
         self.bufs = None
         self.input_slot = None
         self.output_slots = ()
+        self.named_slots = {}
+        self.grad_bufs = None
+        self.param_grads = OrderedDict()
+        self.gate_layout = None
+        self.gate_values = None
+        self.gate_grads = None
+        self._pool = pool
+        self._blocks = []
+
+    def alloc(self, shape, dtype=None, zero=False):
+        """Allocate a plan-owned array, recycling pooled blocks when possible.
+
+        Without a pool this is plain ``np.empty`` / ``np.zeros``; with one,
+        the backing block is drawn from (and later released back to) the
+        pool, so recompiles touch warm pages.  Contents are uninitialised
+        unless ``zero`` is set.
+        """
+        shape = tuple(int(d) for d in shape)
+        dtype = self.dtype if dtype is None else np.dtype(dtype)
+        if self._pool is None:
+            return np.zeros(shape, dtype=dtype) if zero else np.empty(shape, dtype=dtype)
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        block = self._pool.take(nbytes)
+        self._blocks.append(block)
+        array = block[:nbytes].view(dtype).reshape(shape)
+        if zero:
+            array.fill(0)
+        return array
+
+    def release(self):
+        """Hand this plan's backing blocks back to the pool.
+
+        The plan is unusable afterwards (its buffers may be recycled by the
+        next compile); engines call this when evicting a plan from a cache.
+        """
+        blocks, self._blocks = self._blocks, []
+        if self._pool is not None:
+            self._pool.give(blocks)
+        self.bufs = None
+        self.grad_bufs = None
 
     # ------------------------------------------------------------------ #
     # Compile-time API (used by the compiler)
@@ -436,16 +813,45 @@ class Plan:
         self.steps.append(step)
         return step
 
+    def set_gate_layout(self, layout):
+        """Declare the per-cell active-candidate layout of a gated plan."""
+        self.gate_layout = tuple(tuple(int(i) for i in cell) for cell in layout)
+
+    def grad_for(self, param):
+        """The pre-allocated gradient accumulator for ``param`` (register on first use)."""
+        key = id(param)
+        entry = self.param_grads.get(key)
+        if entry is None:
+            buf = self.alloc(param.data.shape, zero=True)
+            self.param_grads[key] = (param, buf)
+            return buf
+        return entry[1]
+
     def finalize(self, input_slot, output_slots):
         """Fix the plan's interface and allocate every buffer and workspace."""
         self.input_slot = input_slot
         self.output_slots = tuple(output_slots)
         self.bufs = [
-            None if slot in self._view_slots else np.empty(shape, dtype=self.dtype)
+            None if slot in self._view_slots else self.alloc(shape)
             for slot, shape in enumerate(self._shapes)
         ]
         for step in self.steps:
             step.allocate(self)
+        if self.gate_layout is not None:
+            self.gate_values = [
+                np.zeros(len(cell), dtype=self.dtype) for cell in self.gate_layout
+            ]
+            self.gate_grads = [
+                np.zeros(len(cell), dtype=np.float64) for cell in self.gate_layout
+            ]
+        if self.train:
+            # No zeroing here: zero_grads() runs before every backward pass.
+            self.grad_bufs = [
+                None if slot in self._view_slots else self.alloc(shape)
+                for slot, shape in enumerate(self._shapes)
+            ]
+            for step in self.steps:
+                step.allocate_backward(self)
         return self
 
     # ------------------------------------------------------------------ #
@@ -465,7 +871,41 @@ class Plan:
             return bufs[self.output_slots[0]]
         return tuple(bufs[slot] for slot in self.output_slots)
 
+    def set_gates(self, values):
+        """Load per-cell gate values for the next run of a gated plan."""
+        for buf, cell_values in zip(self.gate_values, values):
+            buf[...] = cell_values
+
+    def zero_grads(self):
+        """Reset every slot and parameter gradient accumulator to zero."""
+        for slot, buf in enumerate(self.grad_bufs):
+            if buf is not None and slot not in self._view_slots:
+                buf.fill(0.0)
+        for _, buf in self.param_grads.values():
+            buf.fill(0.0)
+
+    def seed_grad(self, slot, value):
+        """Write the loss gradient w.r.t. ``slot`` into its gradient buffer."""
+        self.grad_bufs[slot][...] = value
+
+    def run_backward(self):
+        """Run the reverse-mode program (the forward steps, reversed).
+
+        Callers must have ``zero_grads()``-ed and seeded the output-slot
+        gradients first; parameter gradients land in :attr:`param_grads`.
+        """
+        bufs = self.bufs
+        grads = self.grad_bufs
+        for step in reversed(self.steps):
+            step.backward(bufs, grads)
+
+    def param_grad(self, param):
+        """The accumulated gradient buffer for ``param`` (``None`` if untouched)."""
+        entry = self.param_grads.get(id(param))
+        return entry[1] if entry is not None else None
+
     def __repr__(self):
-        return "Plan(steps={}, slots={}, dtype={})".format(
-            len(self.steps), len(self._shapes), self.dtype.name
+        return "Plan(steps={}, slots={}, dtype={}{})".format(
+            len(self.steps), len(self._shapes), self.dtype.name,
+            ", train" if self.train else "",
         )

@@ -1,0 +1,302 @@
+"""Compiled training runtime: reverse-mode plans + fused optimiser steps.
+
+:class:`CompiledTrainStep` is the facade the trainers route their gradient
+updates through.  One call executes the whole actor-critic train step of
+Eq. 12 without ever touching the autograd tape:
+
+1. the agent's forward plan runs on the rollout batch (training-mode batch
+   norm included), leaving every intermediate activation in the plan's slot
+   buffers;
+2. the loss head — policy gradient, value regression, entropy, and the
+   optional AC-distillation terms — is evaluated in closed form on the
+   ``logits`` / ``probs`` / ``value`` buffers, producing both the scalar
+   components (for logging) and the exact seed gradients ``dL/d logits`` and
+   ``dL/d value``;
+3. the reverse-mode program (the forward steps, reversed) pushes those seeds
+   through per-op VJPs into pre-allocated parameter-gradient accumulators;
+4. the fused optimiser stage (:meth:`repro.nn.optim.Optimizer.apply_gradients`)
+   applies global-norm clipping and the RMSProp update in place on the
+   parameter arrays, reusing one scratch buffer instead of materialising
+   intermediate tensors.
+
+Plans are cached per ``(batch shape, sampled path, gated active-paths)``
+signature, so steady-state A2C training compiles exactly once; supernet
+co-search re-compiles when the sampled active paths change (a structural walk
+plus buffer allocation — microseconds next to the update itself).
+
+Anything the compiler cannot differentiate (opaque modules, active dropout)
+raises :class:`~repro.runtime.compiler.CompileError`, and every caller keeps
+the eager tape as the always-available reference path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from .compiler import CompileError, compile_plan
+from .plan import BufferPool
+
+__all__ = ["CompiledTrainStep", "TrainStepResult", "DEFAULT_LOSS_WEIGHTS"]
+
+
+class _LossWeights:
+    """Duck-typed stand-in for :class:`repro.drl.losses.TaskLossWeights`.
+
+    Defined here so the runtime never imports the drl layer (which imports
+    the runtime); any object with these three attributes is accepted.
+    """
+
+    def __init__(self, entropy=1e-2, actor_distill=1e-1, critic_distill=1e-3):
+        self.entropy = float(entropy)
+        self.actor_distill = float(actor_distill)
+        self.critic_distill = float(critic_distill)
+
+
+DEFAULT_LOSS_WEIGHTS = _LossWeights()
+
+
+class TrainStepResult:
+    """Outcome of one compiled train step.
+
+    Attributes
+    ----------
+    total:
+        Scalar value of the combined task loss (Eq. 12).
+    components:
+        ``{"policy", "value", "entropy"[, "actor_distill", "critic_distill"]}``
+        scalar loss terms, matching what the eager path logs.
+    grad_norm:
+        Pre-clipping global gradient norm (``None`` until the optimiser
+        stage ran).
+    gate_grads:
+        For gated supernet steps: per-cell arrays of ``dL/d gate`` aligned
+        with the active-path tuples, for the caller to chain through the
+        Gumbel relaxation onto alpha.  ``None`` otherwise.
+    """
+
+    __slots__ = ("total", "components", "grad_norm", "gate_grads")
+
+    def __init__(self, total, components, grad_norm=None, gate_grads=None):
+        self.total = total
+        self.components = components
+        self.grad_norm = grad_norm
+        self.gate_grads = gate_grads
+
+
+class CompiledTrainStep:
+    """Tape-free train-step executor for one actor-critic agent.
+
+    Parameters
+    ----------
+    agent:
+        An :class:`~repro.drl.agent.ActorCriticAgent` (anything whose
+        compiled plan exposes ``logits`` / ``probs`` / ``value`` slots).
+    optimizer:
+        The :class:`~repro.nn.optim.Optimizer` owning the agent's parameters.
+        Its state is shared with the eager path, so compiled and eager steps
+        can be freely interleaved.
+    dtype:
+        Compute dtype of the plans.  ``np.float64`` (default) matches the
+        autograd engine's gradients to ~1e-12; ``np.float32`` is the
+        production fast path.
+    max_plans:
+        LRU bound on cached ``(shape, path, gated)`` signatures.  Training
+        plans own gradient buffers too, so the bound is deliberately small;
+        evicted plans release their buffers into a shared
+        :class:`~repro.runtime.plan.BufferPool`, so the per-sample recompiles
+        of supernet co-search reuse warm pages instead of page-faulting
+        gigabytes of fresh workspace every update.
+    """
+
+    def __init__(self, agent, optimizer=None, dtype=np.float64, max_plans=2):
+        self.agent = agent
+        self.optimizer = optimizer
+        self.dtype = np.dtype(dtype)
+        self.max_plans = int(max_plans)
+        self._plans = OrderedDict()
+        self._failed = set()
+        self._pool = BufferPool()
+
+    # ------------------------------------------------------------------ #
+    # Plan cache
+    # ------------------------------------------------------------------ #
+    def plan_for(self, input_shape, path=None, gated_paths=None):
+        """Fetch (or compile) the training plan for one signature."""
+        key = (tuple(input_shape), path, gated_paths)
+        plan = self._plans.get(key)
+        if plan is None:
+            # Negative cache: an uncompilable agent raises once per signature
+            # instead of paying a full graph walk on every update.
+            if key in self._failed:
+                raise CompileError(
+                    "signature previously failed to compile; using the eager tape"
+                )
+            try:
+                plan = compile_plan(
+                    self.agent,
+                    key[0],
+                    dtype=self.dtype,
+                    path=path,
+                    train=True,
+                    gated_paths=gated_paths,
+                    pool=self._pool,
+                )
+                if "logits" not in plan.named_slots:
+                    plan.release()
+                    raise CompileError(
+                        "compiled module exposes no policy/value heads; "
+                        "CompiledTrainStep requires an actor-critic agent"
+                    )
+            except CompileError:
+                self._failed.add(key)
+                raise
+            self._plans[key] = plan
+            while len(self._plans) > self.max_plans:
+                _, evicted = self._plans.popitem(last=False)
+                evicted.release()
+        else:
+            self._plans.move_to_end(key)
+        return plan
+
+    def invalidate(self):
+        """Drop every compiled plan (e.g. after structural module surgery)."""
+        for plan in self._plans.values():
+            plan.release()
+        self._plans.clear()
+        self._failed.clear()
+        self._pool.clear()
+
+    @property
+    def num_plans(self):
+        """Number of currently cached compiled training plans."""
+        return len(self._plans)
+
+    # ------------------------------------------------------------------ #
+    # Forward + loss head + backward
+    # ------------------------------------------------------------------ #
+    def compute_gradients(
+        self,
+        observations,
+        actions,
+        returns,
+        advantages,
+        weights=None,
+        teacher_probs=None,
+        teacher_values=None,
+        op_indices=None,
+        gated_paths=None,
+        gate_values=None,
+    ):
+        """Run forward, evaluate the loss head, and fill the gradient buffers.
+
+        Parameters mirror the eager update: ``returns`` / ``advantages`` are
+        the rollout targets, ``teacher_probs`` enables the actor-distillation
+        KL term and ``teacher_values`` the critic-distillation MSE term
+        (pass ``None`` to disable either).  ``op_indices`` selects a sampled
+        supernet path; ``gated_paths`` + ``gate_values`` select a gated
+        multi-path-backward expansion.
+
+        Returns ``(plan, result)``: the plan holds the parameter gradients in
+        ``plan.param_grads``, the result the scalar losses (and gate grads).
+        """
+        obs = np.asarray(observations)
+        path = tuple(int(i) for i in op_indices) if op_indices is not None else None
+        gated = (
+            tuple(tuple(int(i) for i in cell) for cell in gated_paths)
+            if gated_paths is not None
+            else None
+        )
+        plan = self.plan_for(obs.shape, path=path, gated_paths=gated)
+        if gated is not None:
+            plan.set_gates(gate_values)
+        plan.run(obs)
+
+        weights = weights if weights is not None else DEFAULT_LOSS_WEIGHTS
+        dtype = plan.dtype
+        slots = plan.named_slots
+        logits = plan.bufs[slots["logits"]]
+        probs = plan.bufs[slots["probs"]]
+        values = plan.bufs[slots["value"]]
+        actions = np.asarray(actions, dtype=np.int64)
+        adv = np.asarray(advantages, dtype=dtype)
+        ret = np.asarray(returns, dtype=dtype)
+        batch = logits.shape[0]
+        idx = np.arange(batch)
+
+        # Stable log-softmax, mirroring nn.functional.log_softmax numerics.
+        logp = logits - logits.max(axis=-1, keepdims=True)
+        logp -= np.log(np.exp(logp).sum(axis=-1, keepdims=True))
+
+        # Eq. 13: policy gradient with detached advantages.
+        policy_loss = -float((adv * logp[idx, actions]).mean())
+        dlogits = probs * adv[:, None]
+        dlogits[idx, actions] -= adv
+
+        # Eq. 14: value regression onto bootstrapped returns.
+        vdiff = values - ret
+        value_loss = 0.5 * float((vdiff * vdiff).mean())
+        dvalue = vdiff.copy()
+
+        # Eq. 15: negative entropy (positive beta encourages exploration).
+        neg_entropy = (probs * logp).sum(axis=-1)
+        entropy_loss = float(neg_entropy.mean())
+        dlogits += weights.entropy * (probs * (logp - neg_entropy[:, None]))
+
+        total = policy_loss + value_loss + weights.entropy * entropy_loss
+        components = {
+            "policy": policy_loss,
+            "value": value_loss,
+            "entropy": entropy_loss,
+        }
+        if teacher_probs is not None:
+            # Eq. 10: KL(teacher || student) with the teacher detached.
+            teacher = np.asarray(teacher_probs, dtype=dtype)
+            teacher_log = np.log(np.clip(teacher, 1e-12, None))
+            actor_distill = float(((teacher * (teacher_log - logp)).sum(axis=-1)).mean())
+            total += weights.actor_distill * actor_distill
+            dlogits += weights.actor_distill * (probs - teacher)
+            components["actor_distill"] = actor_distill
+        if teacher_values is not None:
+            # Eq. 11: value MSE onto the (detached) teacher critic.
+            teacher_v = np.asarray(teacher_values, dtype=dtype)
+            cdiff = values - teacher_v
+            critic_distill = 0.5 * float((cdiff * cdiff).mean())
+            total += weights.critic_distill * critic_distill
+            dvalue += weights.critic_distill * cdiff
+            components["critic_distill"] = critic_distill
+        dlogits /= batch
+        dvalue /= batch
+
+        plan.zero_grads()
+        plan.seed_grad(slots["logits"], dlogits)
+        plan.seed_grad(slots["value_col"], dvalue[:, None])
+        plan.run_backward()
+
+        gate_grads = None
+        if gated is not None:
+            gate_grads = [g.copy() for g in plan.gate_grads]
+        return plan, TrainStepResult(float(total), components, gate_grads=gate_grads)
+
+    # ------------------------------------------------------------------ #
+    # Full step (gradients + fused optimiser stage)
+    # ------------------------------------------------------------------ #
+    def step(self, observations, actions, returns, advantages, max_grad_norm=None, **kwargs):
+        """One complete update: gradients + clipped fused optimiser step.
+
+        Returns a :class:`TrainStepResult` with ``grad_norm`` populated.
+        """
+        if self.optimizer is None:
+            raise RuntimeError("CompiledTrainStep.step requires an optimizer")
+        plan, result = self.compute_gradients(
+            observations, actions, returns, advantages, **kwargs
+        )
+        grads = [plan.param_grad(param) for param in self.optimizer.parameters]
+        result.grad_norm = self.optimizer.apply_gradients(grads, max_norm=max_grad_norm)
+        return result
+
+    def __repr__(self):
+        return "CompiledTrainStep({}, dtype={}, plans={})".format(
+            type(self.agent).__name__, self.dtype.name, len(self._plans)
+        )

@@ -1,0 +1,117 @@
+"""Smoke tests: every ``examples/*.py`` entry point must run end-to-end.
+
+Each example's ``main()`` is executed with tiny step budgets (patched in via
+monkeypatch) so the scripts can never silently rot while staying fast enough
+for the tier-1 suite.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+from repro.experiments import get_profile
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "examples")
+
+
+def load_example(name):
+    """Import ``examples/<name>.py`` as a standalone module (main() guarded)."""
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name + ".py"))
+    spec = importlib.util.spec_from_file_location("example_" + name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def smoke_profile():
+    """A seconds-scale profile for the profile-driven examples."""
+    return get_profile("smoke").with_overrides(
+        obs_size=21,
+        max_episode_steps=60,
+        train_steps=60,
+        search_steps=40,
+        teacher_steps=40,
+        das_steps=15,
+        eval_episodes=1,
+        eval_points=2,
+        num_envs=2,
+        feature_dim=32,
+        base_width=4,
+        games_table1=("Breakout",),
+        games_table2=("Breakout",),
+        games_fig1=("Breakout",),
+        backbones_table1=("Vanilla",),
+        backbones_fig1=("Vanilla",),
+    )
+
+
+def shrink_das_search(monkeypatch, module, steps=10):
+    """Cap the DAS step budget the example hard-codes in main()."""
+    original = module.DifferentiableAcceleratorSearch.search
+
+    def tiny_search(self, steps=steps, **kwargs):
+        return original(self, steps=min(int(steps), 10))
+
+    monkeypatch.setattr(module.DifferentiableAcceleratorSearch, "search", tiny_search)
+
+
+def test_quickstart_runs(monkeypatch, capsys):
+    module = load_example("quickstart")
+    monkeypatch.setattr(module, "TRAIN_STEPS", 40)
+    monkeypatch.setattr(module, "OBS_SIZE", 21)
+    shrink_das_search(monkeypatch, module)
+    module.main()
+    out = capsys.readouterr().out
+    assert "evaluation score" in out
+    assert "FPS speedup over DNNBuilder" in out
+
+
+def test_cosearch_breakout_runs(monkeypatch, capsys):
+    module = load_example("cosearch_breakout")
+    real_config = module.A3CSConfig
+
+    def tiny_config(**kwargs):
+        kwargs.update(
+            obs_size=21,
+            max_episode_steps=60,
+            num_envs=2,
+            search_steps=40,
+            teacher_steps=40,
+            final_das_steps=10,
+        )
+        return real_config(**kwargs)
+
+    monkeypatch.setattr(module, "A3CSConfig", tiny_config)
+    monkeypatch.setattr(sys, "argv", ["cosearch_breakout.py"])
+    module.main()
+    out = capsys.readouterr().out
+    assert "Derived agent operators per cell" in out
+    assert "Test score of the derived agent" in out
+
+
+def test_distillation_study_runs(monkeypatch, capsys, smoke_profile):
+    module = load_example("distillation_study")
+    monkeypatch.setattr(module, "get_profile", lambda *args, **kwargs: smoke_profile)
+    module.main()
+    out = capsys.readouterr().out
+    assert "AC-distillation" in out
+
+
+def test_model_size_study_runs(monkeypatch, capsys, smoke_profile):
+    module = load_example("model_size_study")
+    monkeypatch.setattr(module, "get_profile", lambda *args, **kwargs: smoke_profile)
+    module.main()
+    out = capsys.readouterr().out
+    assert "best backbone at this scale" in out
+
+
+def test_accelerator_search_runs(monkeypatch, capsys):
+    module = load_example("accelerator_search")
+    shrink_das_search(monkeypatch, module)
+    monkeypatch.setattr(sys, "argv", ["accelerator_search.py", "Vanilla"])
+    module.main()
+    out = capsys.readouterr().out
+    assert "DAS-searched accelerator" in out

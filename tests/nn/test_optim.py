@@ -148,3 +148,90 @@ class TestSchedules:
         assert schedule.value(10) == 0.5
         assert schedule.value(25) == 0.25
         assert schedule.value(1000) == 0.2
+
+
+class TestFusedApplyGradients:
+    """apply_gradients (compiled runtime path) must match zero_grad+step."""
+
+    @pytest.mark.parametrize("optimizer_cls,kwargs", [
+        (SGD, {"lr": 0.05, "momentum": 0.9}),
+        (RMSProp, {"lr": 1e-3}),
+        (Adam, {"lr": 1e-3}),
+    ])
+    def test_matches_eager_step(self, optimizer_cls, kwargs):
+        rng = np.random.default_rng(0)
+        shapes = [(4, 3), (3,), (2, 2, 2)]
+
+        def build():
+            params = [Parameter(rng_init.standard_normal(s)) for s in shapes]
+            return params, optimizer_cls(params, **kwargs)
+
+        rng_init = np.random.default_rng(1)
+        eager_params, eager_opt = build()
+        rng_init = np.random.default_rng(1)
+        fused_params, fused_opt = build()
+
+        for _ in range(5):
+            grads = [rng.standard_normal(s) for s in shapes]
+            for param, grad in zip(eager_params, grads):
+                param.grad = grad.copy()
+            eager_opt.step()
+            fused_opt.apply_gradients([g.copy() for g in grads])
+            for eager, fused in zip(eager_params, fused_params):
+                np.testing.assert_allclose(fused.data, eager.data, atol=1e-12)
+
+    def test_clipping_matches_clip_grad_norm(self):
+        rng = np.random.default_rng(2)
+        shapes = [(5,), (3, 3)]
+        grads = [rng.standard_normal(s) * 10.0 for s in shapes]
+
+        params = [Parameter(np.zeros(s)) for s in shapes]
+        for param, grad in zip(params, grads):
+            param.grad = grad.copy()
+        expected_norm = clip_grad_norm(params, 0.5)
+        eager_opt = RMSProp(params, lr=1e-3)
+        eager_opt.step()
+
+        fused_params = [Parameter(np.zeros(s)) for s in shapes]
+        fused_opt = RMSProp(fused_params, lr=1e-3)
+        norm = fused_opt.apply_gradients([g.copy() for g in grads], max_norm=0.5)
+        assert abs(norm - expected_norm) <= 1e-9
+        for eager, fused in zip(params, fused_params):
+            np.testing.assert_allclose(fused.data, eager.data, atol=1e-12)
+
+    def test_none_gradients_skip_parameters(self):
+        params = [Parameter(np.ones(3)), Parameter(np.ones(2))]
+        optimizer = RMSProp(params, lr=0.1)
+        before = params[1].data.copy()
+        optimizer.apply_gradients([np.ones(3), None])
+        assert not np.allclose(params[0].data, 1.0)
+        np.testing.assert_array_equal(params[1].data, before)
+
+    def test_mismatched_length_rejected(self):
+        optimizer = RMSProp([Parameter(np.ones(2))], lr=0.1)
+        with pytest.raises(ValueError):
+            optimizer.apply_gradients([])
+
+
+class TestOptimizerStateDict:
+    @pytest.mark.parametrize("optimizer_cls", [SGD, RMSProp, Adam])
+    def test_round_trip_restores_state_exactly(self, optimizer_cls):
+        rng = np.random.default_rng(3)
+        params = [Parameter(rng.standard_normal((3, 2)))]
+        optimizer = optimizer_cls(params, lr=0.01)
+        for _ in range(3):
+            params[0].grad = rng.standard_normal((3, 2))
+            optimizer.step()
+        optimizer.set_lr(0.005)
+        snapshot = optimizer.state_dict()
+
+        fresh = optimizer_cls([Parameter(params[0].data.copy())], lr=0.01)
+        fresh.load_state_dict(snapshot)
+        assert fresh.lr == optimizer.lr
+        assert fresh.steps == optimizer.steps
+        grad = rng.standard_normal((3, 2))
+        params[0].grad = grad.copy()
+        fresh.parameters[0].grad = grad.copy()
+        optimizer.step()
+        fresh.step()
+        np.testing.assert_array_equal(fresh.parameters[0].data, params[0].data)
