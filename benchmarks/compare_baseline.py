@@ -1,12 +1,14 @@
 #!/usr/bin/env python
-"""Compare fresh throughput benchmark results against the committed baseline.
+"""Compare fresh benchmark results against the committed baseline.
 
 CI snapshots the committed ``benchmarks/results/*.json`` before running the
 benchmark suite, then calls this script with both directories.  Any
 ``steps_per_sec`` entry that regressed by more than ``--threshold`` (default
-30%) produces a GitHub Actions warning annotation (``::warning``).  The
-script always exits 0: shared CI runners are far too noisy for a blocking
-throughput gate, but the annotation makes regressions visible on the run.
+30%), and any ``peak_plan_bytes`` entry that *grew* by more than the same
+threshold, produces a GitHub Actions warning annotation (``::warning``).
+The script always exits 0: shared CI runners are far too noisy for a
+blocking throughput gate, but the annotation makes regressions visible on
+the run.
 
 Usage:
     python benchmarks/compare_baseline.py \
@@ -19,23 +21,31 @@ import os
 import sys
 
 #: Benchmark files that carry a ``steps_per_sec`` table worth tracking.
-THROUGHPUT_RESULTS = ("runtime_throughput.json", "train_step_throughput.json")
+THROUGHPUT_RESULTS = (
+    "runtime_throughput.json",
+    "train_step_throughput.json",
+    "plan_optimizer.json",
+)
+
+#: Benchmark files that carry a ``peak_plan_bytes`` table (lower is better).
+MEMORY_RESULTS = ("plan_optimizer.json",)
 
 
-def load_steps_per_sec(path):
-    """The ``steps_per_sec`` table of one result file (``None`` if absent)."""
+def load_table(path, table):
+    """One named table of a result file (``None`` if absent)."""
     try:
         with open(path) as handle:
             payload = json.load(handle)
     except (OSError, ValueError):
         return None
-    return payload.get("data", {}).get("steps_per_sec")
+    return payload.get("data", {}).get(table)
 
 
-def compare_file(name, baseline_dir, results_dir, threshold):
+def compare_file(name, baseline_dir, results_dir, threshold, table="steps_per_sec",
+                 higher_is_better=True):
     """Yield ``(mode, baseline, fresh, ratio)`` rows regressing past the threshold."""
-    baseline = load_steps_per_sec(os.path.join(baseline_dir, name))
-    fresh = load_steps_per_sec(os.path.join(results_dir, name))
+    baseline = load_table(os.path.join(baseline_dir, name), table)
+    fresh = load_table(os.path.join(results_dir, name), table)
     if not baseline or not fresh:
         return
     for mode, base_value in sorted(baseline.items()):
@@ -43,7 +53,8 @@ def compare_file(name, baseline_dir, results_dir, threshold):
         if not fresh_value or not base_value:
             continue
         ratio = fresh_value / base_value
-        if ratio < 1.0 - threshold:
+        regressed = ratio < 1.0 - threshold if higher_is_better else ratio > 1.0 + threshold
+        if regressed:
             yield mode, base_value, fresh_value, ratio
 
 
@@ -71,9 +82,23 @@ def main(argv=None):
                     pct=ratio * 100.0, thr=(1.0 - args.threshold) * 100.0,
                 )
             )
+    for name in MEMORY_RESULTS:
+        for mode, base_value, fresh_value, ratio in compare_file(
+            name, args.baseline_dir, args.results_dir, args.threshold,
+            table="peak_plan_bytes", higher_is_better=False,
+        ):
+            regressions += 1
+            print(
+                "::warning file=benchmarks/results/{name}::"
+                "{name} {mode}: {fresh:.0f} peak plan bytes vs committed {base:.0f} "
+                "({pct:.0f}% of baseline, threshold {thr:.0f}%)".format(
+                    name=name, mode=mode, fresh=fresh_value, base=base_value,
+                    pct=ratio * 100.0, thr=(1.0 + args.threshold) * 100.0,
+                )
+            )
     if regressions == 0:
-        print("benchmark throughput within {:.0f}% of the committed baseline".format(
-            args.threshold * 100.0))
+        print("benchmark throughput and plan memory within {:.0f}% of the committed "
+              "baseline".format(args.threshold * 100.0))
     # Never fail the job: throughput on shared runners is advisory.
     return 0
 

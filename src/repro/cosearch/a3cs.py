@@ -63,6 +63,9 @@ class A3CSConfig:
     hw_penalty_weight: float = 0.1
     distillation_mode: str = DistillationMode.AC
     scheme: str = OptimizationScheme.ONE_LEVEL
+    #: Gumbel samples per one-level update (stacked-path compilation when
+    #: > 1): see :attr:`repro.nas.search.SearchConfig.grad_samples`.
+    grad_samples: int = 1
 
     # Hardware target.
     device: object = ZC706
@@ -84,6 +87,7 @@ class A3CSConfig:
             eval_interval=self.eval_interval,
             eval_episodes=self.eval_episodes,
             seed=self.seed,
+            grad_samples=self.grad_samples,
         )
 
     def das_config(self):

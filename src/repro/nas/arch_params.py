@@ -116,4 +116,5 @@ class ArchitectureParameters:
             key = "alpha{}".format(i)
             if key in state:
                 alpha.data[...] = state[key]
+                alpha.bump_version()
         return self

@@ -84,6 +84,13 @@ class SearchConfig:
     #: fallback.  ``compiled_train_dtype=None`` means float64.
     use_compiled_train: bool = True
     compiled_train_dtype: object = None
+    #: Gumbel samples per one-level update.  With ``K > 1`` the compiled
+    #: runtime stacks all K sampled paths into one batched plan (one compile
+    #: + one GEMM sweep over a leading sample axis) and the update applies
+    #: the mean of the K per-sample losses — a variance-reduced alpha
+    #: gradient at far less than K compiled updates' cost.  The rollout is
+    #: still collected along the first sample's hard path.
+    grad_samples: int = 1
 
     def loss_weights(self):
         """Bundle the beta coefficients of Eq. 12."""
@@ -337,8 +344,128 @@ class DRLArchitectureSearch:
         components.setdefault("critic_distill", 0.0)
         return total_value, components, hw_value
 
+    def _compiled_stacked_one_level(self, batch, samples):
+        """Stacked-path one-level update: K Gumbel samples, one compiled plan.
+
+        The plan's cells hold the union of the samples' active candidates;
+        per-sample gate values select each sample's paths (zero for branches
+        a sample did not activate), and alpha receives each sample's gate
+        gradients masked to *its own* active set — exactly the mean of K
+        per-path compiled updates, for one compile and one GEMM sweep.
+        """
+        cfg = self.config
+        step = self._compiled_train_step()
+        num_samples = len(samples)
+        num_cells = self.supernet.num_cells
+        union = tuple(
+            tuple(sorted(set().union(*[set(sample[1][c]) for sample in samples])))
+            for c in range(num_cells)
+        )
+        gate_values = []
+        for c in range(num_cells):
+            values = np.zeros((num_samples, len(union[c])))
+            for k, (gates, active, _) in enumerate(samples):
+                for i in active[c]:
+                    values[k, union[c].index(i)] = gates[c].data[i]
+            gate_values.append(values)
+        # Compile (or fetch) before the teacher forward, mirroring the K=1 path.
+        step.plan_for(
+            np.asarray(batch["observations"]).shape,
+            gated_paths=union,
+            num_samples=num_samples,
+        )
+        teacher_probs = teacher_values = None
+        if self.distiller.enabled:
+            teacher_probs, values = self.distiller.teacher_targets(batch["observations"])
+            if self.distiller.mode == DistillationMode.AC:
+                teacher_values = values
+        result = step.step(
+            batch["observations"],
+            batch["actions"],
+            batch["returns"],
+            batch["advantages"],
+            max_grad_norm=cfg.max_grad_norm,
+            weights=cfg.loss_weights(),
+            teacher_probs=teacher_probs,
+            teacher_values=teacher_values,
+            gated_paths=union,
+            gate_values=gate_values,
+            num_samples=num_samples,
+        )
+        gates0, _, sampled0 = samples[0]
+        self.alpha_optimizer.zero_grad()
+        seed = None
+        for k, (gates, active, _) in enumerate(samples):
+            for c, cell in enumerate(result.gate_layout):
+                full = np.zeros(gates[c].data.shape)
+                touched = False
+                for pos, i in enumerate(cell):
+                    if i in active[c]:
+                        full[i] = result.gate_grads[c][k, pos]
+                        touched = True
+                if not touched:
+                    continue
+                term = (gates[c] * Tensor(full)).sum()
+                seed = term if seed is None else seed + term
+        total_value = result.total
+        hw_value = 0.0
+        if self.hardware_penalty is not None and cfg.hw_penalty_weight > 0.0:
+            penalty = self.hardware_penalty(sampled0, gates0)
+            if penalty is not None:
+                if isinstance(penalty, Tensor):
+                    seed = seed + penalty * cfg.hw_penalty_weight
+                    hw_value = penalty.item()
+                else:
+                    hw_value = float(penalty)
+                total_value += hw_value * cfg.hw_penalty_weight
+        seed.backward()
+        self.alpha_optimizer.step()
+
+        components = dict(result.components)
+        components.setdefault("actor_distill", 0.0)
+        components.setdefault("critic_distill", 0.0)
+        return total_value, components, hw_value
+
+    def _stacked_one_level_update(self, buffer):
+        """One-level update averaging the loss over K sampled architectures."""
+        cfg = self.config
+        temperature = self.temperature.value(self.total_env_steps)
+        samples = [
+            self.arch.sample(temperature, self.rng, num_backward_paths=cfg.num_backward_paths)
+            for _ in range(cfg.grad_samples)
+        ]
+        gates0, _, sampled0 = samples[0]
+        bootstrap = self._collect_rollout(buffer, sampled0)
+        batch = buffer.compute_targets(bootstrap, cfg.gamma)
+        if cfg.use_compiled_train:
+            from ..runtime.compiler import CompileError
+
+            try:
+                return self._compiled_stacked_one_level(batch, samples)
+            except CompileError:
+                pass
+        # Eager fallback: mean of the K per-sample task losses on the tape.
+        total = None
+        components_mean = {}
+        for gates, active, _ in samples:
+            sample_total, components = self._task_loss(batch, gates, active)
+            total = sample_total if total is None else total + sample_total
+            for key, value in components.items():
+                components_mean[key] = components_mean.get(key, 0.0) + value / len(samples)
+        total = total * (1.0 / len(samples))
+        total, hw_value = self._add_hardware_penalty(total, sampled0, gates0)
+        self.weight_optimizer.zero_grad()
+        self.alpha_optimizer.zero_grad()
+        total.backward()
+        clip_grad_norm(self.agent.parameters(), cfg.max_grad_norm)
+        self.weight_optimizer.step()
+        self.alpha_optimizer.step()
+        return total.item(), components_mean, hw_value
+
     def _one_level_update(self, buffer):
         """One-level: weights and alpha updated from the same rollout loss."""
+        if self.config.grad_samples > 1:
+            return self._stacked_one_level_update(buffer)
         temperature = self.temperature.value(self.total_env_steps)
         gates, active, sampled = self.arch.sample(
             temperature, self.rng, num_backward_paths=self.config.num_backward_paths
@@ -421,6 +548,7 @@ class DRLArchitectureSearch:
             if hw_value:
                 self.logger.log("loss/hw_penalty", hw_value, step=self.total_env_steps)
             self.logger.log("alpha_entropy", self.arch.entropy(), step=self.total_env_steps)
+            self._log_runtime_stats()
 
             if next_eval is not None and self.total_env_steps >= next_eval and self.evaluator is not None:
                 score = float(self.evaluator(self.agent, self.arch.derive()))
@@ -434,6 +562,28 @@ class DRLArchitectureSearch:
             alpha_probabilities=self.arch.probabilities(),
             final_entropy=self.arch.entropy(),
             total_env_steps=self.total_env_steps,
+        )
+
+    def _log_runtime_stats(self):
+        """Log plan-cache / buffer-pool counters so compilation amortisation
+        (and the fusion/aliasing wins behind it) stays observable."""
+        from ..runtime import cache_stats
+
+        stats = cache_stats()
+        step = self.total_env_steps
+        self.logger.log("runtime/train_plan_hits", stats["train_plans"]["cache_hits"], step=step)
+        self.logger.log("runtime/train_plan_misses", stats["train_plans"]["cache_misses"], step=step)
+        self.logger.log(
+            "runtime/rollout_plan_hits", stats["inference_plans"]["cache_hits"], step=step
+        )
+        self.logger.log(
+            "runtime/rollout_plan_misses", stats["inference_plans"]["cache_misses"], step=step
+        )
+        self.logger.log(
+            "runtime/pool_bytes_recycled", stats["buffer_pools"]["bytes_pooled"], step=step
+        )
+        self.logger.log(
+            "runtime/pool_bytes_fresh", stats["buffer_pools"]["bytes_fresh"], step=step
         )
 
     def derive_agent(self, rng=None):

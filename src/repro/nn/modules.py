@@ -38,10 +38,41 @@ __all__ = [
 
 
 class Parameter(Tensor):
-    """A :class:`Tensor` that is registered as a learnable parameter."""
+    """A :class:`Tensor` that is registered as a learnable parameter.
+
+    Parameters additionally carry a monotonically increasing :attr:`version`
+    counter used by the compiled runtime's caches (cast-parameter buffers,
+    folded conv-BN weights) to detect live updates without comparing array
+    contents.  Any assignment to :attr:`data` — including augmented
+    assignments like ``param.data -= update``, which is how the optimisers
+    write back — bumps the version automatically.  Code that mutates the
+    array *through* the reference (``param.data[...] = value``) must call
+    :meth:`bump_version` afterwards; :meth:`Module.load_state_dict` does.
+    """
+
+    __slots__ = ("_version",)
 
     def __init__(self, data):
+        self._version = 0
         super().__init__(data, requires_grad=True)
+
+    @property
+    def data(self):
+        return Tensor.data.__get__(self, Parameter)
+
+    @data.setter
+    def data(self, value):
+        Tensor.data.__set__(self, value)
+        self._version += 1
+
+    @property
+    def version(self):
+        """Counter incremented on every (sanctioned) mutation of ``data``."""
+        return self._version
+
+    def bump_version(self):
+        """Mark ``data`` as mutated in place (invalidates runtime caches)."""
+        self._version += 1
 
 
 class Module:
@@ -143,11 +174,13 @@ class Module:
         """Load a snapshot produced by :meth:`state_dict` (in place)."""
         params = dict(self.named_parameters())
         buffers = dict(self.named_buffers())
+        buffers_loaded = False
         for name, value in state.items():
             if name.startswith("buffer."):
                 buf_name = name[len("buffer."):]
                 if buf_name in buffers:
                     buffers[buf_name][...] = value
+                    buffers_loaded = True
             elif name in params:
                 if params[name].data.shape != value.shape:
                     raise ValueError(
@@ -156,6 +189,12 @@ class Module:
                         )
                     )
                 params[name].data[...] = value
+                params[name].bump_version()
+        if buffers_loaded:
+            for _, module in self.named_modules():
+                bump = getattr(module, "bump_stats_version", None)
+                if bump is not None:
+                    bump()
         return self
 
     def copy_weights_from(self, other):
@@ -303,7 +342,14 @@ class Conv2d(Module):
 
 
 class BatchNorm2d(Module):
-    """Batch normalisation for NCHW feature maps with running statistics."""
+    """Batch normalisation for NCHW feature maps with running statistics.
+
+    The running buffers carry a :attr:`stats_version` counter (mirroring
+    :attr:`Parameter.version`) bumped by every sanctioned in-place update —
+    train-mode forwards and ``load_state_dict`` — so the runtime's folded
+    conv-BN weights can validate against an integer instead of comparing
+    buffer contents per run.
+    """
 
     def __init__(self, num_features, momentum=0.1, eps=1e-5):
         super().__init__()
@@ -314,8 +360,15 @@ class BatchNorm2d(Module):
         self.beta = Parameter(np.zeros(num_features))
         self.register_buffer("running_mean", np.zeros(num_features))
         self.register_buffer("running_var", np.ones(num_features))
+        self.stats_version = 0
+
+    def bump_stats_version(self):
+        """Mark the running buffers as mutated in place."""
+        self.stats_version += 1
 
     def forward(self, x):
+        if self.training:
+            self.bump_stats_version()
         return F.batch_norm2d(
             x,
             self.gamma,

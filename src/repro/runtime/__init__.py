@@ -37,11 +37,13 @@ always-available reference path, selected per call on
 
 from .compiler import CompileError, compile_plan, register_expander, supported_module_types
 from .engine import InferenceEngine, RuntimePolicy
-from .plan import Plan
+from .passes import PASS_NAMES, enabled_passes
+from .plan import BufferPool, Plan
 from .train import CompiledTrainStep, TrainStepResult
 
 __all__ = [
     "Plan",
+    "BufferPool",
     "compile_plan",
     "register_expander",
     "supported_module_types",
@@ -50,4 +52,35 @@ __all__ = [
     "RuntimePolicy",
     "CompiledTrainStep",
     "TrainStepResult",
+    "PASS_NAMES",
+    "enabled_passes",
+    "cache_stats",
 ]
+
+
+def cache_stats():
+    """Aggregate plan-cache and :class:`BufferPool` counters process-wide.
+
+    Sums hits / misses / evictions over every live :class:`InferenceEngine`
+    and :class:`CompiledTrainStep`, and recycled vs freshly-allocated bytes
+    over every live pool, so search loops can log how well compilation
+    amortises (fusion/aliasing wins are invisible without it).
+    """
+    from .engine import _ENGINES
+    from .plan import _POOLS
+    from .train import _TRAIN_STEPS
+
+    def _sum(objects, keys):
+        out = dict.fromkeys(keys, 0)
+        for obj in objects:
+            for key in keys:
+                out[key] += getattr(obj, key)
+        return out
+
+    inference = _sum(list(_ENGINES), ("cache_hits", "cache_misses", "cache_evictions"))
+    inference["engines"] = len(_ENGINES)
+    train = _sum(list(_TRAIN_STEPS), ("cache_hits", "cache_misses", "cache_evictions"))
+    train["executors"] = len(_TRAIN_STEPS)
+    pools = _sum(list(_POOLS), ("hits", "misses", "bytes_pooled", "bytes_fresh"))
+    pools["pools"] = len(_POOLS)
+    return {"inference_plans": inference, "train_plans": train, "buffer_pools": pools}

@@ -22,6 +22,7 @@ import numpy as np
 from ..nn import blocks as nn_blocks
 from ..nn import modules as nn_modules
 from ..nn.functional import conv_output_size
+from .passes import PassContext, enabled_passes, run_passes
 from .plan import (
     AddStep,
     BatchNormStep,
@@ -35,6 +36,7 @@ from .plan import (
     Pool2dStep,
     ReshapeStep,
     SoftmaxStep,
+    TileStep,
 )
 
 __all__ = ["compile_plan", "register_expander", "supported_module_types", "CompileError"]
@@ -73,6 +75,13 @@ class CompileContext:
         self.path_consumed = False
         self.gated = gated
         self.gated_consumed = False
+        #: Sample-group count of the region currently being expanded: 1 on the
+        #: shared trunk, ``plan.num_samples`` past the stacked-path TileStep.
+        #: Train-mode batch-norm steps read it to group their statistics.
+        self.stack_k = 1
+        #: Running-stat EMA repeats for shared-trunk BN of stacked plans (the
+        #: trunk runs once for what per-path execution would run K times).
+        self.stat_repeats = 1
 
     @property
     def train(self):
@@ -160,7 +169,12 @@ def _emit_conv(conv, ctx, in_slot, bn=None, activation=None):
         conv_slot = ctx.slot((n, conv.out_channels, oh, ow))
         ctx.add(Conv2dStep(conv, in_slot, conv_slot))
         out_slot = ctx.slot((n, conv.out_channels, oh, ow))
-        ctx.add(BatchNormStep(bn, conv_slot, out_slot, activation=activation))
+        ctx.add(
+            BatchNormStep(
+                bn, conv_slot, out_slot, activation=activation,
+                num_samples=ctx.stack_k, stat_repeats=ctx.stat_repeats,
+            )
+        )
         return out_slot
     out_slot = ctx.slot((n, conv.out_channels, oh, ow))
     ctx.add(Conv2dStep(conv, in_slot, out_slot, bn=bn, activation=activation))
@@ -183,7 +197,12 @@ def _expand_linear(module, ctx, in_slot):
 @_expander(nn_modules.BatchNorm2d)
 def _expand_batchnorm(module, ctx, in_slot):
     out_slot = ctx.slot(ctx.shape(in_slot))
-    ctx.add(BatchNormStep(module, in_slot, out_slot))
+    ctx.add(
+        BatchNormStep(
+            module, in_slot, out_slot,
+            num_samples=ctx.stack_k, stat_repeats=ctx.stat_repeats,
+        )
+    )
     return out_slot
 
 
@@ -382,6 +401,12 @@ def _register_network_expanders():
         Each active candidate expands into its own branch slots; a
         :class:`GateCombineStep` sums them with per-run gate values, in the
         same left-to-right order as the eager gated forward.
+
+        In stacked-path mode (``num_samples = K > 1``) the stem runs once on
+        the real batch, a :class:`TileStep` replicates its output into ``K``
+        sample groups folded into the batch axis, and every gated cell
+        combines its branches with per-sample gate values — one compile and
+        one GEMM sweep serve all ``K`` sampled architectures.
         """
         if len(ctx.gated) != module.num_cells:
             raise CompileError(
@@ -391,13 +416,25 @@ def _register_network_expanders():
             )
         ctx.gated_consumed = True
         ctx.plan.set_gate_layout(ctx.gated)
+        k = ctx.plan.num_samples
+        if k > 1:
+            # Shared trunk: repeat the BN running-stat EMA K times per run so
+            # the buffers track K per-path executions of the same batch.
+            ctx.stat_repeats = k
         slot = ctx.emit(module.stem, in_slot)
+        if k > 1:
+            ctx.stat_repeats = 1
+            shape = ctx.shape(slot)
+            stacked = ctx.slot((shape[0] * k,) + shape[1:])
+            ctx.add(TileStep(slot, stacked, k))
+            slot = stacked
+            ctx.stack_k = k
         for cell_index, (cell, active) in enumerate(zip(module.cells, ctx.gated)):
             if not active:
                 raise CompileError("at least one path must be active per cell")
             branches = [ctx.emit(cell.candidates[int(i)], slot) for i in active]
             out_slot = ctx.slot(ctx.shape(branches[0]))
-            ctx.add(GateCombineStep(cell_index, branches, out_slot))
+            ctx.add(GateCombineStep(cell_index, branches, out_slot, num_samples=k))
             slot = out_slot
         slot = ctx.emit(module.pool, slot)
         out_slot = ctx.slot((ctx.shape(slot)[0], module.fc.out_features))
@@ -428,7 +465,8 @@ def _register_network_expanders():
 
 
 def compile_plan(module, input_shape, dtype=np.float64, path=None, train=False, gated_paths=None,
-                 pool=None):
+                 pool=None, passes=None, num_samples=1, gate_weights=None, gate_topk=None,
+                 gate_threshold=None):
     """Compile ``module`` for a concrete ``input_shape`` into a ready :class:`Plan`.
 
     Parameters
@@ -456,6 +494,19 @@ def compile_plan(module, input_shape, dtype=np.float64, path=None, train=False, 
         Optional :class:`~repro.runtime.plan.BufferPool` the plan draws its
         buffers from (and releases them to); engines that recompile often use
         one so fresh plans touch warm pages.
+    passes:
+        Optimisation-pass selection forwarded to
+        :func:`repro.runtime.passes.enabled_passes` (``None`` reads the
+        ``REPRO_RUNTIME_PASSES`` environment variable; default: all passes).
+    num_samples:
+        Stacked-path mode: compile ``K`` sampled architectures into one plan
+        with a leading sample axis folded into the batch (requires
+        ``gated_paths``, whose cells then hold the *union* of the samples'
+        active candidates).  Gate values/gradients gain a ``(K, ...)`` axis.
+    gate_weights / gate_topk / gate_threshold:
+        Compile-time gate weights (aligned with ``gated_paths``) and pruning
+        limits for the gate-aware dead-branch-elimination pass.  The plan's
+        final per-cell layout is ``plan.gate_layout``.
 
     Returns
     -------
@@ -465,7 +516,11 @@ def compile_plan(module, input_shape, dtype=np.float64, path=None, train=False, 
         ``features / logits / probs / value_col / value`` to their slots.
     """
     _register_network_expanders()
-    plan = Plan(dtype=dtype, train=train, pool=pool)
+    num_samples = int(num_samples)
+    if num_samples > 1 and gated_paths is None:
+        raise CompileError("stacked-path compilation (num_samples > 1) requires gated_paths")
+    enabled = enabled_passes(passes)
+    plan = Plan(dtype=dtype, train=train, pool=pool, num_samples=num_samples)
     ctx = CompileContext(
         plan,
         path=tuple(int(i) for i in path) if path is not None else None,
@@ -488,8 +543,26 @@ def compile_plan(module, input_shape, dtype=np.float64, path=None, train=False, 
         )
     outputs = getattr(ctx, "agent_outputs", None) or (out_slot,)
     plan.named_slots = dict(getattr(ctx, "agent_slots", {}))
+    plan.input_slot = input_slot  # liveness analysis needs it pre-finalize
+    zero_slots = tuple(getattr(ctx, _ZERO_SLOTS, {}).values())
+    protected = {input_slot}
+    protected.update(outputs)
+    protected.update(plan.named_slots.values())
+    run_passes(
+        plan,
+        PassContext(
+            protected_slots=protected,
+            zero_slots=zero_slots,
+            gate_weights=gate_weights,
+            gate_topk=gate_topk,
+            gate_threshold=gate_threshold,
+        ),
+        enabled=enabled,
+    )
     plan.finalize(input_slot, outputs)
     # Zero-filled helper slots (copy-then-activate) must actually be zero.
-    for slot in getattr(ctx, _ZERO_SLOTS, {}).values():
-        plan.bufs[slot][...] = 0.0
+    # Fusion may have orphaned some of them (their buffer is then None).
+    for slot in zero_slots:
+        if plan.bufs[slot] is not None:
+            plan.bufs[slot][...] = 0.0
     return plan

@@ -14,13 +14,18 @@ ever touching the autograd tape.
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 
 import numpy as np
 
 from .compiler import CompileError, compile_plan
+from .plan import BufferPool
 
 __all__ = ["InferenceEngine", "RuntimePolicy"]
+
+#: Live engines, for :func:`repro.runtime.cache_stats` aggregation.
+_ENGINES = weakref.WeakSet()
 
 
 class InferenceEngine:
@@ -46,32 +51,59 @@ class InferenceEngine:
         self.dtype = np.dtype(dtype)
         self.max_plans = int(max_plans)
         self._plans = OrderedDict()
+        #: Evicted plans hand their buffers back here, so the per-sampled-path
+        #: recompiles of co-search rollouts reuse warm pages.
+        self.pool = BufferPool()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        _ENGINES.add(self)
 
     def plan_for(self, input_shape, path=None):
         """Fetch (or compile) the plan for ``input_shape`` / ``path``."""
         key = (tuple(input_shape), tuple(int(i) for i in path) if path is not None else None)
         plan = self._plans.get(key)
         if plan is None:
-            plan = compile_plan(self.module, key[0], dtype=self.dtype, path=key[1])
+            self.cache_misses += 1
+            plan = compile_plan(self.module, key[0], dtype=self.dtype, path=key[1],
+                                pool=self.pool)
             self._plans[key] = plan
             while len(self._plans) > self.max_plans:
-                self._plans.popitem(last=False)
+                _, evicted = self._plans.popitem(last=False)
+                evicted.release()
+                self.cache_evictions += 1
         else:
+            self.cache_hits += 1
             self._plans.move_to_end(key)
         return plan
+
+    def cache_stats(self):
+        """Plan-cache and buffer-pool counters for observability."""
+        return {
+            "plans": len(self._plans),
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
+            "pool": self.pool.stats(),
+        }
 
     def run(self, x, path=None):
         """Execute the module on ``x``.
 
-        Returns the plan's output buffer(s): valid until the next ``run`` on
-        the same signature — copy before storing.
+        Returns the plan's output buffer(s): valid only until the next call
+        on this engine — a later ``run`` on the same signature overwrites
+        them, and a new-signature compile may evict the plan and recycle its
+        backing memory through the buffer pool.  Copy before storing.
         """
         x = np.asarray(x)
         return self.plan_for(x.shape, path=path).run(x)
 
     def invalidate(self):
         """Drop every compiled plan (e.g. after structural module surgery)."""
+        for plan in self._plans.values():
+            plan.release()
         self._plans.clear()
+        self.pool.clear()
 
     @property
     def num_plans(self):

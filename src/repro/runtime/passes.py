@@ -1,0 +1,566 @@
+"""Graph-level optimisation passes over compiled :class:`~repro.runtime.plan.Plan`s.
+
+The structural compiler emits a faithful one-op-per-node program; this module
+rewrites that program *between emission and finalisation* — the classic
+deep-learning-compiler pipeline, specialised to the runtime's flat slot IR:
+
+``dead_branch``
+    Gate-aware dead-branch elimination for gated supernet plans: candidate
+    branches whose compile-time gate weight falls outside the requested
+    top-k / threshold are pruned from every :class:`GateCombineStep`, and the
+    orphaned branch subgraphs are swept by dead-code elimination.  Pruning to
+    top-k reproduces exactly the plan that compiling the pre-pruned
+    active-path layout would produce (the Eq. 7 multi-path-backward
+    semantics the ``ablation_topk_paths`` benchmark studies).
+
+``fuse_epilogue``
+    Epilogue fusion for inference plans: standalone batch-norm, activation
+    and residual-add steps are folded into the producing GEMM step
+    (:class:`Conv2dStep` / :class:`LinearStep`), so each intermediate feature
+    map is written once instead of being re-traversed per elementwise op.
+
+``fold_bn``
+    Inference-mode conv-BN weight folding: the (eval-mode) BN scale/shift is
+    pre-multiplied into the convolution kernel and bias, removing the two
+    per-run channel-wise passes over the output map.  Folded weights carry
+    live-parameter invalidation (parameter version counters + running-stat
+    content checks), so training between rollouts refreshes them
+    automatically; train-mode BN falls back to the unfolded math at run time.
+
+``alias_slots``
+    Slot-liveness buffer aliasing: a last-use analysis over the forward
+    program (and over the reverse program for training plans) assigns
+    non-overlapping slots to shared byte arenas, and sizes one shared scratch
+    arena for the transient im2col workspaces, cutting peak plan memory.
+    For training plans the gradient buffers are interval-shared with a fill
+    schedule that zeroes each buffer exactly when its live interval begins.
+
+Pass selection: every pass runs by default; the ``REPRO_RUNTIME_PASSES``
+environment variable (``all`` | ``none`` | comma-list, e.g.
+``fold_bn,alias_slots``) or the ``passes=`` argument of
+:func:`~repro.runtime.compiler.compile_plan` disables individual passes for
+bisection, mirroring the ``use_compiled_train`` fallback style.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .plan import (
+    ActivationStep,
+    AddStep,
+    BatchNormStep,
+    Conv2dStep,
+    FlattenStep,
+    GateCombineStep,
+    GlobalAvgPoolStep,
+    LinearStep,
+    OpaqueStep,
+    Pool2dStep,
+    ReshapeStep,
+    SoftmaxStep,
+    StoragePlan,
+    TileStep,
+)
+
+__all__ = ["PASS_NAMES", "enabled_passes", "run_passes", "PassContext"]
+
+#: Pipeline order matters: branch pruning first (smaller graph for everything
+#: after), then structural fusion, then weight folding, then the liveness
+#: analysis over the final step list.
+PASS_NAMES = ("dead_branch", "fuse_epilogue", "fold_bn", "alias_slots")
+
+ENV_VAR = "REPRO_RUNTIME_PASSES"
+
+#: Step types the analyses understand.  A plan containing anything else
+#: (custom :class:`Step` subclasses from third-party expanders) only receives
+#: the passes that need no graph analysis.
+_KNOWN_STEPS = frozenset(
+    {
+        ActivationStep,
+        AddStep,
+        BatchNormStep,
+        Conv2dStep,
+        FlattenStep,
+        GateCombineStep,
+        GlobalAvgPoolStep,
+        LinearStep,
+        OpaqueStep,
+        Pool2dStep,
+        ReshapeStep,
+        SoftmaxStep,
+        TileStep,
+    }
+)
+
+#: Step types whose output slot is a zero-copy view of their input slot.
+_VIEW_STEPS = (FlattenStep, ReshapeStep)
+
+
+def enabled_passes(spec=None):
+    """Resolve a pass-selection spec into a frozen set of pass names.
+
+    ``None`` reads ``REPRO_RUNTIME_PASSES`` (default: all passes).  Accepts
+    ``"all"``, ``"none"``, a comma-separated name list, or any iterable of
+    names; unknown names raise ``ValueError`` so typos fail loudly.
+    """
+    if spec is None:
+        spec = os.environ.get(ENV_VAR, "all")
+    if isinstance(spec, (set, frozenset, list, tuple)):
+        names = [str(name).strip() for name in spec]
+    else:
+        text = str(spec).strip().lower()
+        if text in ("all", ""):
+            return frozenset(PASS_NAMES)
+        if text == "none":
+            return frozenset()
+        names = [part.strip() for part in text.split(",") if part.strip()]
+    unknown = sorted(set(names) - set(PASS_NAMES))
+    if unknown:
+        raise ValueError(
+            "unknown runtime passes {}; valid names: {}".format(unknown, list(PASS_NAMES))
+        )
+    return frozenset(names)
+
+
+class PassContext:
+    """Compile-time facts the passes need beyond the plan itself."""
+
+    def __init__(
+        self,
+        protected_slots=(),
+        zero_slots=(),
+        gate_weights=None,
+        gate_topk=None,
+        gate_threshold=None,
+    ):
+        #: Slots with externally visible contents (plan input/outputs, named
+        #: slots): never re-routed, never storage-shared, never dead.
+        self.protected_slots = frozenset(protected_slots)
+        #: Shared all-zero helper slots: contents persist across runs, so
+        #: they may go dead but never share storage.
+        self.zero_slots = frozenset(zero_slots)
+        #: Per-cell gate weights aligned with the plan's gate layout (the
+        #: soft Gumbel probabilities at compile time); enables ``dead_branch``.
+        self.gate_weights = gate_weights
+        self.gate_topk = gate_topk
+        self.gate_threshold = gate_threshold
+
+
+# --------------------------------------------------------------------------- #
+# Step metadata
+# --------------------------------------------------------------------------- #
+def step_reads(step):
+    """Slots whose contents the step's ``run`` consumes."""
+    if isinstance(step, Conv2dStep):
+        reads = [step.in_slot]
+        if step.res_slot is not None:
+            reads.append(step.res_slot)
+        return reads
+    if isinstance(step, AddStep):
+        return [step.a_slot, step.b_slot]
+    if isinstance(step, ActivationStep):
+        return [step.slot]
+    if isinstance(step, GateCombineStep):
+        return list(step.in_slots)
+    return [step.in_slot]
+
+
+def step_writes(step):
+    """Slots the step's ``run`` (re)defines."""
+    if isinstance(step, ActivationStep):
+        return [step.slot]
+    return [step.out_slot]
+
+
+def _analyze(plan):
+    """Per-slot consumer/producer tables over the current step list."""
+    readers = {}
+    writers = {}
+    for index, step in enumerate(plan.steps):
+        for slot in step_reads(step):
+            readers.setdefault(slot, []).append(index)
+        for slot in step_writes(step):
+            writers.setdefault(slot, []).append(index)
+    return readers, writers
+
+
+def _view_roots(plan):
+    """Map each view slot to the slot whose storage it observes."""
+    root = {}
+
+    def find(slot):
+        while slot in root:
+            slot = root[slot]
+        return slot
+
+    for step in plan.steps:
+        if isinstance(step, _VIEW_STEPS):
+            root[step.out_slot] = find(step.in_slot)
+    return root, find
+
+
+def _ensure_storage(plan):
+    if plan.storage is None:
+        plan.storage = StoragePlan()
+    return plan.storage
+
+
+# --------------------------------------------------------------------------- #
+# dead_branch: gate-aware branch pruning + DCE sweep
+# --------------------------------------------------------------------------- #
+def dead_branch(plan, ctx):
+    """Prune gated-cell branches outside the top-k / threshold gate weights.
+
+    ``ctx.gate_weights`` holds, per cell, weights aligned with the plan's
+    current ``gate_layout``.  The surviving layout (always containing each
+    cell's arg-max branch) replaces ``plan.gate_layout``; callers remap their
+    per-run gate values through it.
+    """
+    if plan.gate_layout is None or ctx.gate_weights is None:
+        return
+    if ctx.gate_topk is None and ctx.gate_threshold is None:
+        return
+    new_layout = list(plan.gate_layout)
+    changed = False
+    for step in plan.steps:
+        if not isinstance(step, GateCombineStep):
+            continue
+        cell = step.cell_index
+        layout = plan.gate_layout[cell]
+        weights = np.asarray(ctx.gate_weights[cell], dtype=np.float64)
+        if weights.shape[-1] != len(layout):
+            raise ValueError(
+                "gate_weights for cell {} must align with its {} active paths".format(
+                    cell, len(layout)
+                )
+            )
+        order = np.argsort(-weights)
+        keep = set(
+            int(i) for i in (order[: int(ctx.gate_topk)] if ctx.gate_topk else order)
+        )
+        if ctx.gate_threshold is not None:
+            keep = {i for i in keep if weights[i] >= ctx.gate_threshold}
+        keep.add(int(np.argmax(weights)))
+        keep = sorted(keep)
+        if len(keep) == len(layout):
+            continue
+        step.in_slots = tuple(step.in_slots[i] for i in keep)
+        new_layout[cell] = tuple(layout[i] for i in keep)
+        changed = True
+    if changed:
+        plan.set_gate_layout(new_layout)
+        _dce(plan, ctx)
+
+
+def _dce(plan, ctx):
+    """Drop steps whose outputs nothing (transitively) consumes."""
+    needed = set(ctx.protected_slots)
+    keep = [False] * len(plan.steps)
+    for index in range(len(plan.steps) - 1, -1, -1):
+        step = plan.steps[index]
+        writes = step_writes(step)
+        if isinstance(step, OpaqueStep) or any(slot in needed for slot in writes):
+            keep[index] = True
+            needed.update(step_reads(step))
+            needed.update(writes)
+    plan.steps = [step for index, step in enumerate(plan.steps) if keep[index]]
+
+
+# --------------------------------------------------------------------------- #
+# fuse_epilogue: BN / activation / residual-add into the producing GEMM
+# --------------------------------------------------------------------------- #
+def _single_consumer(slot, readers, ctx):
+    return (
+        slot not in ctx.protected_slots
+        and slot not in ctx.zero_slots
+        and len(readers.get(slot, ())) == 1
+    )
+
+
+def fuse_epilogue(plan, ctx):
+    """Fold elementwise epilogues into the preceding GEMM step (inference only)."""
+    if plan.train:
+        return
+    changed = True
+    while changed:
+        changed = False
+        readers, writers = _analyze(plan)
+
+        def producer_of(slot, before=None):
+            """Latest step (re)defining ``slot``, optionally before ``before``."""
+            indices = [
+                i for i in writers.get(slot, ()) if before is None or i < before
+            ]
+            if not indices or (before is None and len(indices) != 1):
+                return None, None
+            return indices[-1], plan.steps[indices[-1]]
+
+        for index, step in enumerate(plan.steps):
+            # Standalone BN into its producing conv (mirrors what composite
+            # expanders emit for ConvBNReLU, for hand-rolled Sequentials).
+            if isinstance(step, BatchNormStep) and step.num_samples == 1:
+                _, prod = producer_of(step.in_slot)
+                if (
+                    isinstance(prod, Conv2dStep)
+                    and prod.bn is None
+                    and prod.activation is None
+                    and prod.res_slot is None
+                    and not prod.fold_bn
+                    and _single_consumer(step.in_slot, readers, ctx)
+                ):
+                    prod.bn = step.bn
+                    prod.activation = step.activation
+                    prod.out_slot = step.out_slot
+                    del plan.steps[index]
+                    changed = True
+                    break
+            if not isinstance(step, AddStep):
+                continue
+            zero_operand = None
+            if step.b_slot in ctx.zero_slots:
+                zero_operand, source = step.b_slot, step.a_slot
+            elif step.a_slot in ctx.zero_slots:
+                zero_operand, source = step.a_slot, step.b_slot
+            if zero_operand is not None:
+                # Copy-then-activate helper: retarget the producer instead.
+                _, prod = producer_of(source)
+                if (
+                    isinstance(prod, (Conv2dStep, LinearStep, BatchNormStep, AddStep))
+                    and prod.activation is None
+                    and _single_consumer(source, readers, ctx)
+                ):
+                    prod.activation = step.activation
+                    prod.out_slot = step.out_slot
+                    del plan.steps[index]
+                    changed = True
+                    break
+                continue
+            # Residual join: fuse into the conv producing one operand when the
+            # other operand is already materialised by then.  In-place joins
+            # (``out == body``, the compiler's block-owned form) conflate the
+            # pre- and post-join values under one slot id, so readers after
+            # the join are fine — only reads *between* the conv and the join
+            # (other than the join itself) block the fusion.
+            fused = False
+            for body, shortcut in ((step.a_slot, step.b_slot), (step.b_slot, step.a_slot)):
+                prod_index, prod = producer_of(body, before=index)
+                if (
+                    not isinstance(prod, Conv2dStep)
+                    or prod.activation is not None
+                    or prod.res_slot is not None
+                ):
+                    continue
+                if any(
+                    body in step_reads(plan.steps[i])
+                    for i in range(prod_index + 1, index)
+                ):
+                    continue  # pre-join value consumed elsewhere
+                in_place = step.out_slot == body
+                if not in_place:
+                    # Rewiring the conv's output requires the pre-join value
+                    # to be invisible elsewhere: the join is its only reader.
+                    if not _single_consumer(body, readers, ctx):
+                        continue
+                elif body in ctx.zero_slots:
+                    continue
+                shortcut_def = max(writers.get(shortcut, (-1,)))
+                if shortcut_def >= prod_index:
+                    continue  # shortcut not materialised before the conv runs
+                prod.res_slot = shortcut
+                prod.activation = step.activation
+                if not in_place:
+                    prod.out_slot = step.out_slot
+                del plan.steps[index]
+                changed = True
+                fused = True
+                break
+            if fused:
+                break
+
+
+# --------------------------------------------------------------------------- #
+# fold_bn: eval-mode BN scale/shift folded into conv weights
+# --------------------------------------------------------------------------- #
+def fold_bn(plan, ctx):
+    """Mark every BN-fused conv step for weight folding (inference only)."""
+    if plan.train:
+        return
+    for step in plan.steps:
+        if isinstance(step, Conv2dStep) and step.bn is not None:
+            step.fold_bn = True
+
+
+# --------------------------------------------------------------------------- #
+# alias_slots: liveness analysis -> shared storage arenas
+# --------------------------------------------------------------------------- #
+def _assign_arenas(intervals, nbytes_of):
+    """Greedy linear-scan assignment of live intervals to shared arenas.
+
+    ``intervals`` is ``{slot: (start, end)}`` in program order; two slots may
+    share an arena only when one's interval ends strictly before the other's
+    begins (the strictness keeps GEMM outputs from aliasing their inputs).
+    Returns ``(slot_arena, arena_nbytes)``.
+    """
+    slot_arena = {}
+    arenas = []  # [capacity, free_at]
+    for slot in sorted(intervals, key=lambda s: (intervals[s][0], s)):
+        start, end = intervals[slot]
+        nbytes = nbytes_of(slot)
+        fit = grow = None
+        for arena_id, (capacity, free_at) in enumerate(arenas):
+            if free_at >= start:
+                continue
+            if capacity >= nbytes:
+                if fit is None or capacity < arenas[fit][0]:
+                    fit = arena_id
+            elif grow is None or capacity > arenas[grow][0]:
+                grow = arena_id
+        if fit is not None:
+            arena_id = fit
+        elif grow is not None:
+            arena_id = grow
+            arenas[grow][0] = nbytes
+        else:
+            arena_id = len(arenas)
+            arenas.append([nbytes, end])
+        arenas[arena_id][1] = end
+        slot_arena[slot] = arena_id
+    return slot_arena, [capacity for capacity, _ in arenas]
+
+
+def _scratch_channels(plan):
+    """Per-channel maxima over every step's call-transient workspace needs."""
+    channels = {}
+    for step in plan.steps:
+        for channel, nbytes in step.scratch_requests(plan):
+            channels[channel] = max(channels.get(channel, 0), int(nbytes))
+    return channels
+
+
+def alias_slots(plan, ctx):
+    """Share storage between slots whose live ranges never overlap.
+
+    Inference plans alias the activation slots themselves and provision one
+    shared scratch arena for the transient im2col workspaces.  Training plans
+    keep every forward activation alive (they are the saved intermediates)
+    and instead alias the reverse program's gradient buffers, zeroing each
+    one at the start of its live interval via the plan's fill schedule.
+    """
+    storage = _ensure_storage(plan)
+    root_map, find = _view_roots(plan)
+    itemsize = plan.dtype.itemsize
+
+    def nbytes_of(slot):
+        return int(np.prod(plan.shape(slot))) * itemsize
+
+    protected_roots = {find(slot) for slot in ctx.protected_slots}
+    protected_roots |= {find(slot) for slot in ctx.zero_slots}
+
+    if not plan.train:
+        # Forward liveness: def index of each storage root and its last read.
+        first_def = {}
+        last_use = {}
+
+        def touch(slot, index):
+            root = find(slot)
+            first_def.setdefault(root, index)
+            last_use[root] = index
+
+        if plan.input_slot is not None:
+            touch(plan.input_slot, -1)
+        for index, step in enumerate(plan.steps):
+            for slot in step_reads(step):
+                touch(slot, index)
+            for slot in step_writes(step):
+                touch(slot, index)
+        intervals = {
+            slot: (first_def[slot], last_use[slot])
+            for slot in first_def
+            if slot not in protected_roots and slot not in plan._view_slots
+        }
+        storage.slot_arena, storage.arena_nbytes = _assign_arenas(intervals, nbytes_of)
+        storage.scratch_channels = _scratch_channels(plan)
+        return
+
+    # Training plans: alias the gradient buffers over the reverse program.
+    length = len(plan.steps)
+    touches = {}  # root -> [forward step indices touching its gradient]
+    for index, step in enumerate(plan.steps):
+        for slot in set(step_reads(step)) | set(step_writes(step)):
+            touches.setdefault(find(slot), []).append(index)
+    intervals = {}
+    fill_schedule = {}
+    for root, indices in touches.items():
+        if root in protected_roots or root in plan._view_slots:
+            continue
+        first, last = min(indices), max(indices)
+        if first == last:
+            continue  # single-step slot: gradient never crosses a step boundary
+        # Reverse positions: the gradient is first written by the backward of
+        # the *last* forward toucher and finally consumed by the backward of
+        # the *first* (its producer).
+        intervals[root] = (length - 1 - last, length - 1 - first)
+        fill_schedule.setdefault(last, []).append(root)
+    storage.grad_arena, storage.grad_arena_nbytes = _assign_arenas(intervals, nbytes_of)
+    storage.scratch_channels = _scratch_channels(plan)
+    storage.grad_fill_schedule = {
+        index: tuple(slots) for index, slots in fill_schedule.items()
+    }
+    # Gradients nothing touches (and nothing views) need no buffer at all.
+    storage.grad_dead = {
+        slot
+        for slot in range(len(plan._shapes))
+        if slot not in plan._view_slots
+        and find(slot) == slot
+        and slot not in touches
+        and slot not in protected_roots
+        and slot not in {find(v) for v in root_map}
+    }
+
+
+def mark_dead_slots(plan, ctx):
+    """Record slots no remaining step touches so finalize skips them."""
+    used = set(ctx.protected_slots)
+    if plan.input_slot is not None:
+        used.add(plan.input_slot)
+    for step in plan.steps:
+        used.update(step_reads(step))
+        used.update(step_writes(step))
+    storage = _ensure_storage(plan)
+    storage.dead_slots = {
+        slot
+        for slot in range(len(plan._shapes))
+        if slot not in used and slot not in plan._view_slots
+    }
+
+
+_PASS_FUNCS = {
+    "dead_branch": dead_branch,
+    "fuse_epilogue": fuse_epilogue,
+    "fold_bn": fold_bn,
+    "alias_slots": alias_slots,
+}
+
+#: Passes that are pure per-step rewrites and stay safe in the presence of
+#: unknown (third-party) step types.
+_ANALYSIS_FREE = frozenset({"fold_bn"})
+
+
+def run_passes(plan, ctx, enabled=None):
+    """Run the enabled passes, in pipeline order, on an un-finalised plan."""
+    enabled = enabled if isinstance(enabled, frozenset) else enabled_passes(enabled)
+    if not enabled:
+        return plan
+    analyzable = all(type(step) in _KNOWN_STEPS for step in plan.steps)
+    for name in PASS_NAMES:
+        if name not in enabled:
+            continue
+        if not analyzable and name not in _ANALYSIS_FREE:
+            continue
+        _PASS_FUNCS[name](plan, ctx)
+    if analyzable:
+        mark_dead_slots(plan, ctx)
+    return plan

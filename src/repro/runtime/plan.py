@@ -31,6 +31,7 @@ it in place.
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 
 import numpy as np
@@ -41,6 +42,7 @@ from ..nn.functional import conv_output_size
 __all__ = [
     "Plan",
     "BufferPool",
+    "StoragePlan",
     "Step",
     "Conv2dStep",
     "LinearStep",
@@ -53,9 +55,27 @@ __all__ = [
     "Pool2dStep",
     "SoftmaxStep",
     "GateCombineStep",
+    "TileStep",
     "OpaqueStep",
     "apply_activation",
 ]
+
+#: Live pools, for :func:`repro.runtime.cache_stats` aggregation.
+_POOLS = weakref.WeakSet()
+
+#: Shared scratch-arena channels.  A workspace may live in a channel when its
+#: contents are only alive within a single ``run``/``backward`` call of one
+#: step; workspaces that must coexist within one call use distinct channels
+#: (a conv backward holds its column gradients, weight-gradient workspace and
+#: padded scatter target at the same time).
+SCRATCH_MAIN = 0   # im2col columns / column gradients / elementwise temps
+SCRATCH_GEMM = 1   # per-sample weight-gradient workspaces
+SCRATCH_PAD = 2    # padded col2im scatter targets
+
+
+def stacked_view(array, num_samples):
+    """View a ``(K*N, ...)`` stacked-batch array as ``(K, N, ...)``."""
+    return array.reshape((num_samples, array.shape[0] // num_samples) + array.shape[1:])
 
 
 def apply_activation(kind, array):
@@ -98,6 +118,11 @@ class BufferPool:
     def __init__(self, max_waste=2.0):
         self.max_waste = float(max_waste)
         self._free = []
+        self.hits = 0
+        self.misses = 0
+        self.bytes_pooled = 0
+        self.bytes_fresh = 0
+        _POOLS.add(self)
 
     def take(self, nbytes):
         """A byte block of capacity >= ``nbytes`` (recycled when possible)."""
@@ -111,12 +136,27 @@ class BufferPool:
         if best is not None and self._free[best].nbytes <= max(
             int(nbytes * self.max_waste), nbytes + (1 << 16)
         ):
-            return self._free.pop(best)
+            block = self._free.pop(best)
+            self.hits += 1
+            self.bytes_pooled += block.nbytes
+            return block
+        self.misses += 1
+        self.bytes_fresh += nbytes
         return np.empty(nbytes, dtype=np.uint8)
 
     def give(self, blocks):
         """Return released blocks to the free list."""
         self._free.extend(blocks)
+
+    def stats(self):
+        """Counters for observability: recycled vs freshly-faulted bytes."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_pooled": self.bytes_pooled,
+            "bytes_fresh": self.bytes_fresh,
+            "free_bytes": self.free_bytes,
+        }
 
     @property
     def free_bytes(self):
@@ -141,6 +181,15 @@ class Step:
     def allocate_backward(self, plan):
         """Allocate reverse-mode workspaces / register parameter gradients."""
 
+    def scratch_requests(self, plan):
+        """``(channel, nbytes)`` pairs of this step's call-transient workspaces.
+
+        The aliasing pass sizes one shared arena per channel from the maxima;
+        :meth:`allocate` / :meth:`allocate_backward` then draw the workspaces
+        through :meth:`Plan.workspace` instead of private allocations.
+        """
+        return ()
+
     def backward(self, bufs, grads):
         """Push the output-slot gradient onto input slots and parameters."""
         raise NotImplementedError(
@@ -156,12 +205,17 @@ class _ParamCache:
 
     ``fetch`` returns the source array untouched when the dtype already
     matches (float64 path: zero copies) and otherwise refreshes a reusable
-    cast buffer via ``np.copyto``.
+    cast buffer via ``np.copyto``.  ``fetch_param`` is the
+    :class:`~repro.nn.modules.Parameter`-aware variant: the cast buffer is
+    only refreshed when the parameter's version counter moved, so steady-state
+    float32 rollouts skip the per-run re-cast of every weight entirely while
+    optimiser updates (which bump the version) still show up immediately.
     """
 
     def __init__(self, dtype):
         self.dtype = np.dtype(dtype)
         self._buffers = {}
+        self._versions = {}
 
     def fetch(self, key, source):
         source = np.asarray(source)
@@ -172,6 +226,23 @@ class _ParamCache:
             buf = np.empty(source.shape, dtype=self.dtype)
             self._buffers[key] = buf
         np.copyto(buf, source)
+        return buf
+
+    def fetch_param(self, key, param):
+        source = param.data
+        if source.dtype == self.dtype:
+            return source
+        version = getattr(param, "version", None)
+        if version is None:
+            return self.fetch(key, source)
+        buf = self._buffers.get(key)
+        if buf is not None and buf.shape == source.shape and self._versions.get(key) == version:
+            return buf
+        if buf is None or buf.shape != source.shape:
+            buf = np.empty(source.shape, dtype=self.dtype)
+            self._buffers[key] = buf
+        np.copyto(buf, source)
+        self._versions[key] = version
         return buf
 
 
@@ -195,8 +266,8 @@ class _BNMixin:
         buffers are updated in place (exactly like the eager path does during
         rollout collection).
         """
-        gamma = params.fetch("gamma", bn.gamma.data)
-        beta = params.fetch("beta", bn.beta.data)
+        gamma = params.fetch_param("gamma", bn.gamma)
+        beta = params.fetch_param("beta", bn.beta)
         if bn.training:
             mean = nchw.mean(axis=(0, 2, 3))
             # Two-pass variance (same association as the eager engine) via a
@@ -209,10 +280,20 @@ class _BNMixin:
             np.subtract(nchw, mean[None, :, None, None], out=ws)
             np.square(ws, out=ws)
             var = ws.mean(axis=(0, 2, 3))
-            bn.running_mean *= 1.0 - bn.momentum
-            bn.running_mean += bn.momentum * np.asarray(mean, dtype=np.float64)
-            bn.running_var *= 1.0 - bn.momentum
-            bn.running_var += bn.momentum * np.asarray(var, dtype=np.float64)
+            # Shared-trunk steps of stacked-path plans run once where K
+            # per-path executions (and the eager K-sample fallback) would run
+            # K times on identical batch statistics: repeat the EMA so the
+            # running buffers stay on the per-path trajectory.
+            mean64 = np.asarray(mean, dtype=np.float64)
+            var64 = np.asarray(var, dtype=np.float64)
+            for _ in range(getattr(self, "stat_repeats", 1)):
+                bn.running_mean *= 1.0 - bn.momentum
+                bn.running_mean += bn.momentum * mean64
+                bn.running_var *= 1.0 - bn.momentum
+                bn.running_var += bn.momentum * var64
+            bump = getattr(bn, "bump_stats_version", None)
+            if bump is not None:
+                bump()
         else:
             mean = params.fetch("running_mean", bn.running_mean)
             var = params.fetch("running_var", bn.running_var)
@@ -223,14 +304,16 @@ class _BNMixin:
         shift = beta - mean * scale
         return scale, shift
 
-    def _apply_bn_bias_act(self, out, bias, params):
-        """Fused bias + batch-norm + activation, in place on NCHW ``out``."""
+    def _apply_bn_bias_act(self, out, bias, params, res=None):
+        """Fused bias + batch-norm (+ residual) + activation, in place on ``out``."""
         if bias is not None:
-            out += params.fetch("bias", bias.data)[None, :, None, None]
+            out += params.fetch_param("bias", bias)[None, :, None, None]
         if self.bn is not None:
             scale, shift = self._bn_scale_shift(self.bn, out, params)
             out *= scale[None, :, None, None]
             out += shift[None, :, None, None]
+        if res is not None:
+            out += res
         apply_activation(self.activation, out)
 
 
@@ -260,6 +343,60 @@ class Conv2dStep(Step, _BNMixin):
         self.activation = activation
         self.in_slot = in_slot
         self.out_slot = out_slot
+        #: Optional residual slot added before the activation (epilogue-fusion
+        #: pass, inference plans only).
+        self.res_slot = None
+        #: Fold the (eval-mode) BN scale/shift into the kernel/bias so the
+        #: per-run channel-wise passes over the output map disappear (fold-BN
+        #: pass, inference plans only).  Train-mode BN falls back at run time.
+        self.fold_bn = False
+
+    def _layout(self, plan):
+        """Shared geometry facts for allocation and scratch sizing."""
+        n, c, h, w = plan.shape(self.in_slot)
+        conv = self.conv
+        k, s, p = conv.kernel_size, conv.stride, conv.padding
+        oh = conv_output_size(h, k, s, p)
+        ow = conv_output_size(w, k, s, p)
+        direct = k == 1 and s == 1 and p == 0 and conv.groups == 1
+        return n, c, h, w, k, s, p, oh, ow, direct
+
+    def _backward_ws_shapes(self, plan):
+        """``(gx, gw, gcols, gpad)`` workspace shapes (``None`` when unused)."""
+        n, c, h, w, k, s, p, oh, ow, direct = self._layout(plan)
+        conv = self.conv
+        cout = conv.out_channels
+        groups = conv.groups
+        needed = self.in_slot != plan.input_slot
+        gx = gw = gcols = gpad = None
+        if direct:
+            gx = (n, c, oh * ow) if needed else None
+            gw = (n, cout, c)
+        else:
+            gcols = (n, c, k, k, oh, ow) if needed else None
+            gpad = (n, c, h + 2 * p, w + 2 * p) if (p > 0 and needed) else None
+            if groups == 1:
+                gw = (n, cout, c * k * k)
+            elif groups == c == cout:
+                gw = (n, c, 1, k * k)
+            else:
+                gw = (n, groups, cout // groups, (c // groups) * k * k)
+        return gx, gw, gcols, gpad
+
+    def scratch_requests(self, plan):
+        n, c, h, w, k, s, p, oh, ow, direct = self._layout(plan)
+        item = plan.dtype.itemsize
+        if not plan.train:
+            if direct:
+                return ()
+            return ((SCRATCH_MAIN, n * c * k * k * oh * ow * item),)
+        requests = []
+        gx, gw, gcols, gpad = self._backward_ws_shapes(plan)
+        for channel, shape in ((SCRATCH_MAIN, gx), (SCRATCH_GEMM, gw),
+                               (SCRATCH_MAIN, gcols), (SCRATCH_PAD, gpad)):
+            if shape is not None:
+                requests.append((channel, int(np.prod(shape)) * item))
+        return requests
 
     def allocate(self, plan):
         n, c, h, w = plan.shape(self.in_slot)
@@ -273,43 +410,78 @@ class Conv2dStep(Step, _BNMixin):
         # input buffer itself serves as the column matrix, no gather needed.
         self._direct = k == 1 and s == 1 and p == 0 and conv.groups == 1
         self._padded = plan.alloc((n, c, h + 2 * p, w + 2 * p), zero=True) if p > 0 else None
-        self._cols = None if self._direct else plan.alloc((n, c, k, k, oh, ow))
+        # The column workspace is transient in inference plans (dead once the
+        # GEMM consumed it) and may live in the plan's shared scratch arena;
+        # training plans keep it as the saved input patches for backward.
+        if self._direct:
+            self._cols = None
+        elif plan.train:
+            self._cols = plan.alloc((n, c, k, k, oh, ow))
+        else:
+            self._cols = plan.workspace((n, c, k, k, oh, ow), channel=SCRATCH_MAIN)
         self._params = _ParamCache(dtype)
+        if self.fold_bn:
+            self._fw = plan.alloc(conv.weight.data.shape)
+            self._fb = plan.alloc((conv.out_channels,))
+            self._fold_key = None
+            self._fold_stats = None
+
+    def _folded(self):
+        """Folded ``(weight, bias)``, refreshed when the live sources change.
+
+        Invalidation is driven by the :class:`~repro.nn.modules.Parameter`
+        version counters (optimiser updates, ``load_state_dict``, direct
+        ``param.data`` assignment all bump them) plus a content check on the
+        BN running buffers, which are plain arrays mutated in place by
+        train-mode forwards.
+        """
+        conv, bn = self.conv, self.bn
+        stats_version = getattr(bn, "stats_version", None)
+        key = (
+            conv.weight.version,
+            conv.bias.version if conv.bias is not None else -1,
+            bn.gamma.version,
+            bn.beta.version,
+            stats_version,
+        )
+        stats = self._fold_stats
+        if key != self._fold_key or (
+            stats_version is None
+            and (
+                stats is None
+                or not np.array_equal(bn.running_mean, stats[0])
+                or not np.array_equal(bn.running_var, stats[1])
+            )
+        ):
+            inv_std = 1.0 / np.sqrt(bn.running_var + bn.eps)
+            scale = bn.gamma.data * inv_std
+            shift = bn.beta.data - bn.running_mean * scale
+            if conv.bias is not None:
+                shift = shift + conv.bias.data * scale
+            self._fw[...] = conv.weight.data * scale[:, None, None, None]
+            self._fb[...] = shift
+            self._fold_key = key
+            self._fold_stats = (bn.running_mean.copy(), bn.running_var.copy())
+        return self._fw, self._fb
 
     def allocate_backward(self, plan):
         if self.bn is not None:
             raise RuntimeError("training plans must not fuse BN into conv steps")
-        n, c, h, w, k, s, p, oh, ow = self._geom
-        conv = self.conv
-        dtype = plan.dtype
-        cout = conv.out_channels
-        groups = conv.groups
-        self._pg_w = plan.grad_for(conv.weight)
-        self._pg_b = plan.grad_for(conv.bias) if conv.bias is not None else None
+        if self.fold_bn or self.res_slot is not None:
+            raise RuntimeError("optimisation-pass epilogues are inference-only")
+        self._pg_w = plan.grad_for(self.conv.weight)
+        self._pg_b = plan.grad_for(self.conv.bias) if self.conv.bias is not None else None
         # The plan input has no producer, so nothing ever reads its gradient:
         # skip the column GEMM + col2im scatter entirely for stem convs (the
         # single most expensive VJP in the net, at full input resolution).
         self._input_grad_needed = self.in_slot != plan.input_slot
-        if self._direct:
-            self._gx_ws = plan.alloc((n, c, oh * ow)) if self._input_grad_needed else None
-            self._gw_ws = plan.alloc((n, cout, c))
-            self._gcols = None
-            self._gpad = None
-            return
-        self._gcols = plan.alloc((n, c, k, k, oh, ow)) if self._input_grad_needed else None
-        self._gpad = (
-            plan.alloc((n, c, h + 2 * p, w + 2 * p))
-            if p > 0 and self._input_grad_needed
-            else None
-        )
-        if groups == 1:
-            self._gw_ws = plan.alloc((n, cout, c * k * k))
-        elif groups == c == cout:
-            self._gw_ws = plan.alloc((n, c, 1, k * k))
-        else:
-            cin_g = c // groups
-            cout_g = cout // groups
-            self._gw_ws = plan.alloc((n, groups, cout_g, cin_g * k * k))
+        # Every reverse-mode workspace is dead once this step's backward call
+        # returns, so they draw from the shared scratch channels.
+        gx, gw, gcols, gpad = self._backward_ws_shapes(plan)
+        self._gx_ws = plan.workspace(gx, channel=SCRATCH_MAIN) if gx is not None else None
+        self._gw_ws = plan.workspace(gw, channel=SCRATCH_GEMM)
+        self._gcols = plan.workspace(gcols, channel=SCRATCH_MAIN) if gcols is not None else None
+        self._gpad = plan.workspace(gpad, channel=SCRATCH_PAD) if gpad is not None else None
 
     def run(self, bufs):
         x = bufs[self.in_slot]
@@ -329,7 +501,11 @@ class Conv2dStep(Step, _BNMixin):
             np.copyto(self._cols, patches)
             cols = self._cols
         conv = self.conv
-        weight = self._params.fetch("weight", conv.weight.data)
+        folded = self.fold_bn and not self.bn.training
+        if folded:
+            weight, folded_bias = self._folded()
+        else:
+            weight = self._params.fetch_param("weight", conv.weight)
         out = bufs[self.out_slot]
         groups = conv.groups
         if groups == 1:
@@ -354,7 +530,14 @@ class Conv2dStep(Step, _BNMixin):
             w_mats = weight.reshape(groups, cout_g, cin_g * k * k)
             for g in range(groups):
                 np.matmul(w_mats[g], cols4d[:, g], out=out4d[:, g])
-        self._apply_bn_bias_act(out, conv.bias, self._params)
+        res = bufs[self.res_slot] if self.res_slot is not None else None
+        if folded:
+            out += folded_bias[None, :, None, None]
+            if res is not None:
+                out += res
+            apply_activation(self.activation, out)
+        else:
+            self._apply_bn_bias_act(out, conv.bias, self._params, res=res)
 
     def backward(self, bufs, grads):
         gout = grads[self.out_slot]
@@ -363,7 +546,7 @@ class Conv2dStep(Step, _BNMixin):
         conv = self.conv
         if self._pg_b is not None:
             self._pg_b += gout.sum(axis=(0, 2, 3))
-        weight = self._params.fetch("weight", conv.weight.data)
+        weight = self._params.fetch_param("weight", conv.weight)
         cout = conv.out_channels
         groups = conv.groups
         gout3 = gout.reshape(n, cout, oh * ow)
@@ -426,26 +609,39 @@ class LinearStep(Step):
     def allocate(self, plan):
         self._params = _ParamCache(plan.dtype)
 
+    def scratch_requests(self, plan):
+        if not plan.train:
+            return ()
+        n = plan.shape(self.in_slot)[0]
+        item = plan.dtype.itemsize
+        linear = self.linear
+        return (
+            (SCRATCH_MAIN, n * linear.in_features * item),
+            (SCRATCH_GEMM, linear.out_features * linear.in_features * item),
+        )
+
     def allocate_backward(self, plan):
         n = plan.shape(self.in_slot)[0]
         linear = self.linear
         self._pg_w = plan.grad_for(linear.weight)
         self._pg_b = plan.grad_for(linear.bias) if linear.bias is not None else None
-        self._gx_ws = plan.alloc((n, linear.in_features))
-        self._gw_ws = plan.alloc((linear.out_features, linear.in_features))
+        self._gx_ws = plan.workspace((n, linear.in_features), channel=SCRATCH_MAIN)
+        self._gw_ws = plan.workspace(
+            (linear.out_features, linear.in_features), channel=SCRATCH_GEMM
+        )
 
     def run(self, bufs):
-        weight = self._params.fetch("weight", self.linear.weight.data)
+        weight = self._params.fetch_param("weight", self.linear.weight)
         out = bufs[self.out_slot]
         np.matmul(bufs[self.in_slot], weight.T, out=out)
         if self.linear.bias is not None:
-            out += self._params.fetch("bias", self.linear.bias.data)
+            out += self._params.fetch_param("bias", self.linear.bias)
         apply_activation(self.activation, out)
 
     def backward(self, bufs, grads):
         gout = grads[self.out_slot]
         vjp.activation_vjp(self.activation, bufs[self.out_slot], gout)
-        weight = self._params.fetch("weight", self.linear.weight.data)
+        weight = self._params.fetch_param("weight", self.linear.weight)
         _, _, gb = vjp.linear_vjp(
             gout, bufs[self.in_slot], weight, gx_out=self._gx_ws, gw_out=self._gw_ws
         )
@@ -464,34 +660,105 @@ class BatchNormStep(Step, _BNMixin):
     :func:`repro.nn.vjp.batchnorm2d_vjp`.
     """
 
-    def __init__(self, bn, in_slot, out_slot, activation=None):
+    def __init__(self, bn, in_slot, out_slot, activation=None, num_samples=1,
+                 stat_repeats=1):
         self.bn = bn
         self.activation = activation
         self.in_slot = in_slot
         self.out_slot = out_slot
+        #: In stacked-path plans the batch axis is ``num_samples`` independent
+        #: sample groups; train-mode statistics are computed per group so each
+        #: group reproduces the per-path compilation exactly.
+        self.num_samples = int(num_samples)
+        #: Extra running-stat EMA applications per run: shared-trunk BN of a
+        #: stacked-path plan runs once for what per-path execution would run
+        #: K times (see ``_bn_scale_shift``).
+        self.stat_repeats = int(stat_repeats)
 
     def allocate(self, plan):
         self._params = _ParamCache(plan.dtype)
+
+    def scratch_requests(self, plan):
+        if not plan.train:
+            return ()
+        nbytes = int(np.prod(plan.shape(self.in_slot))) * plan.dtype.itemsize
+        return ((SCRATCH_MAIN, nbytes),)
 
     def allocate_backward(self, plan):
         self._capture_stats = True
         self._pg_gamma = plan.grad_for(self.bn.gamma)
         self._pg_beta = plan.grad_for(self.bn.beta)
-        self._bw_ws = plan.alloc(plan.shape(self.in_slot))
-        self._bn_ws = plan.alloc(plan.shape(self.in_slot))
+        # Forward (variance workspace) and backward (VJP workspace) uses never
+        # overlap within a call, so both may view the same scratch channel.
+        self._bw_ws = plan.workspace(plan.shape(self.in_slot), channel=SCRATCH_MAIN)
+        self._bn_ws = plan.workspace(plan.shape(self.in_slot), channel=SCRATCH_MAIN)
+
+    def _stacked_view(self, array):
+        return stacked_view(array, self.num_samples)
 
     def run(self, bufs):
         x = bufs[self.in_slot]
         out = bufs[self.out_slot]
-        scale, shift = self._bn_scale_shift(self.bn, x, self._params)
-        np.multiply(x, scale[None, :, None, None], out=out)
-        out += shift[None, :, None, None]
+        if self.num_samples > 1 and self.bn.training:
+            self._run_stacked(x, out)
+        else:
+            scale, shift = self._bn_scale_shift(self.bn, x, self._params)
+            np.multiply(x, scale[None, :, None, None], out=out)
+            out += shift[None, :, None, None]
         apply_activation(self.activation, out)
+
+    def _run_stacked(self, x, out):
+        """Per-sample-group batch statistics over a ``(K*N, C, H, W)`` slot."""
+        bn = self.bn
+        params = self._params
+        gamma = params.fetch_param("gamma", bn.gamma)
+        beta = params.fetch_param("beta", bn.beta)
+        xv = self._stacked_view(x)
+        mean = xv.mean(axis=(1, 3, 4))  # (K, C)
+        ws = getattr(self, "_bn_ws", None)
+        if ws is None or ws.shape != x.shape or ws.dtype != x.dtype:
+            ws = np.empty_like(x)
+            self._bn_ws = ws
+        wsv = self._stacked_view(ws)
+        np.subtract(xv, mean[:, None, :, None, None], out=wsv)
+        np.square(wsv, out=wsv)
+        var = wsv.mean(axis=(1, 3, 4))
+        # Sequential running-stat updates in ascending sample order mirror the
+        # order K per-path plans would apply them in.
+        for k in range(self.num_samples):
+            bn.running_mean *= 1.0 - bn.momentum
+            bn.running_mean += bn.momentum * np.asarray(mean[k], dtype=np.float64)
+            bn.running_var *= 1.0 - bn.momentum
+            bn.running_var += bn.momentum * np.asarray(var[k], dtype=np.float64)
+        bump = getattr(bn, "bump_stats_version", None)
+        if bump is not None:
+            bump()
+        inv_std = 1.0 / np.sqrt(var + bn.eps)
+        if self._capture_stats:
+            self._saved_stats = (True, mean, inv_std, gamma)
+        scale = gamma * inv_std  # (K, C)
+        shift = beta - mean * scale
+        outv = self._stacked_view(out)
+        np.multiply(xv, scale[:, None, :, None, None], out=outv)
+        outv += shift[:, None, :, None, None]
 
     def backward(self, bufs, grads):
         gout = grads[self.out_slot]
         vjp.activation_vjp(self.activation, bufs[self.out_slot], gout)
         training, mean, inv_std, gamma = self._saved_stats
+        if self.num_samples > 1 and np.ndim(mean) == 2:
+            goutv = self._stacked_view(gout)
+            xv = self._stacked_view(bufs[self.in_slot])
+            ginv = self._stacked_view(grads[self.in_slot])
+            wsv = self._stacked_view(self._bw_ws)
+            for k in range(self.num_samples):
+                gx, dgamma, dbeta = vjp.batchnorm2d_vjp(
+                    goutv[k], xv[k], mean[k], inv_std[k], gamma, training, ws=wsv[k]
+                )
+                self._pg_gamma += dgamma
+                self._pg_beta += dbeta
+                ginv[k] += gx
+            return
         gx, dgamma, dbeta = vjp.batchnorm2d_vjp(
             gout, bufs[self.in_slot], mean, inv_std, gamma, training, ws=self._bw_ws
         )
@@ -662,8 +929,14 @@ class SoftmaxStep(Step):
         self.in_slot = in_slot
         self.out_slot = out_slot
 
+    def scratch_requests(self, plan):
+        if not plan.train:
+            return ()
+        nbytes = int(np.prod(plan.shape(self.out_slot))) * plan.dtype.itemsize
+        return ((SCRATCH_MAIN, nbytes),)
+
     def allocate_backward(self, plan):
-        self._ws = plan.alloc(plan.shape(self.out_slot))
+        self._ws = plan.workspace(plan.shape(self.out_slot), channel=SCRATCH_MAIN)
 
     def run(self, bufs):
         x = bufs[self.in_slot]
@@ -686,31 +959,94 @@ class GateCombineStep(Step):
     them through the (eager, tiny) Gumbel relaxation onto alpha.
     """
 
-    def __init__(self, cell_index, in_slots, out_slot):
+    def __init__(self, cell_index, in_slots, out_slot, num_samples=1):
         self.cell_index = int(cell_index)
         self.in_slots = tuple(in_slots)
         self.out_slot = out_slot
+        #: Stacked-path plans carry a leading sample axis folded into the
+        #: batch: gate values/gradients then have shape ``(K, num_active)``.
+        self.num_samples = int(num_samples)
+
+    def scratch_requests(self, plan):
+        nbytes = int(np.prod(plan.shape(self.out_slot))) * plan.dtype.itemsize
+        return ((SCRATCH_MAIN, nbytes),)
 
     def allocate(self, plan):
         self._plan = plan
-        self._ws = plan.alloc(plan.shape(self.out_slot))
+        self._ws = plan.workspace(plan.shape(self.out_slot), channel=SCRATCH_MAIN)
+
+    def _views(self, array):
+        return stacked_view(array, self.num_samples)
 
     def run(self, bufs):
         gate = self._plan.gate_values[self.cell_index]
         out = bufs[self.out_slot]
-        np.multiply(bufs[self.in_slots[0]], gate[0], out=out)
+        if self.num_samples == 1:
+            np.multiply(bufs[self.in_slots[0]], gate[0], out=out)
+            for i in range(1, len(self.in_slots)):
+                np.multiply(bufs[self.in_slots[i]], gate[i], out=self._ws)
+                out += self._ws
+            return
+        outv = self._views(out)
+        wsv = self._views(self._ws)
+        gshape = (self.num_samples,) + (1,) * (outv.ndim - 1)
+        np.multiply(self._views(bufs[self.in_slots[0]]), gate[:, 0].reshape(gshape), out=outv)
         for i in range(1, len(self.in_slots)):
-            np.multiply(bufs[self.in_slots[i]], gate[i], out=self._ws)
-            out += self._ws
+            np.multiply(self._views(bufs[self.in_slots[i]]), gate[:, i].reshape(gshape), out=wsv)
+            outv += wsv
 
     def backward(self, bufs, grads):
         gate = self._plan.gate_values[self.cell_index]
         gate_grad = self._plan.gate_grads[self.cell_index]
         gout = grads[self.out_slot]
+        if self.num_samples == 1:
+            for i, slot in enumerate(self.in_slots):
+                gate_grad[i] = float(np.vdot(gout, bufs[slot]))
+                np.multiply(gout, gate[i], out=self._ws)
+                grads[slot] += self._ws
+            return
+        k = self.num_samples
+        goutv = self._views(gout)
+        wsv = self._views(self._ws)
+        gshape = (k,) + (1,) * (goutv.ndim - 1)
         for i, slot in enumerate(self.in_slots):
-            gate_grad[i] = float(np.vdot(gout, bufs[slot]))
-            np.multiply(gout, gate[i], out=self._ws)
-            grads[slot] += self._ws
+            bv = self._views(bufs[slot])
+            np.multiply(goutv, bv, out=wsv)
+            gate_grad[:, i] = wsv.reshape(k, -1).sum(axis=1)
+            np.multiply(goutv, gate[:, i].reshape(gshape), out=wsv)
+            self._views(grads[slot])[...] += wsv
+
+    def __repr__(self):
+        return "GateCombineStep(cell={}, paths={}{})".format(
+            self.cell_index, len(self.in_slots),
+            ", K={}".format(self.num_samples) if self.num_samples > 1 else "",
+        )
+
+
+class TileStep(Step):
+    """Replicate an ``(N, ...)`` slot into a ``(K*N, ...)`` stacked slot.
+
+    This is the bridge between the shared trunk (run once on the real batch)
+    and the per-sample gated region of a stacked-path plan.  Backward sums
+    the sample-group gradients back onto the trunk slot.
+    """
+
+    def __init__(self, in_slot, out_slot, num_samples):
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+        self.num_samples = int(num_samples)
+
+    def run(self, bufs):
+        bufs[self.out_slot].reshape(
+            (self.num_samples,) + bufs[self.in_slot].shape
+        )[...] = bufs[self.in_slot]
+
+    def backward(self, bufs, grads):
+        gin = grads[self.in_slot]
+        gin += stacked_view(grads[self.out_slot], self.num_samples).sum(axis=0)
+
+    def __repr__(self):
+        return "TileStep(K={})".format(self.num_samples)
 
 
 class OpaqueStep(Step):
@@ -734,6 +1070,46 @@ class OpaqueStep(Step):
         np.copyto(bufs[self.out_slot], out.data)
 
 
+class StoragePlan:
+    """Buffer-sharing decisions computed by the slot-aliasing pass.
+
+    Produced by :func:`repro.runtime.passes.alias_slots` from a liveness
+    analysis of the forward (and, for training plans, reverse) program;
+    consumed by :meth:`Plan.finalize`, which materialises one byte arena per
+    storage class instead of one buffer per slot.
+    """
+
+    __slots__ = (
+        "slot_arena",
+        "arena_nbytes",
+        "dead_slots",
+        "scratch_channels",
+        "grad_arena",
+        "grad_arena_nbytes",
+        "grad_dead",
+        "grad_fill_schedule",
+    )
+
+    def __init__(self):
+        #: slot -> arena index, for slots that share storage.
+        self.slot_arena = {}
+        #: capacity (bytes) of each forward arena.
+        self.arena_nbytes = []
+        #: slots no step reads or writes after the passes ran (not allocated).
+        self.dead_slots = set()
+        #: shared transient-workspace arenas: ``{channel: nbytes}``.
+        self.scratch_channels = {}
+        #: slot -> arena index for gradient buffers (training plans).
+        self.grad_arena = {}
+        self.grad_arena_nbytes = []
+        #: slots whose gradient no step touches (not allocated).
+        self.grad_dead = set()
+        #: forward-step index -> slots whose gradient buffer must be zeroed
+        #: just before that step's backward runs (their storage was reused by
+        #: an earlier interval of the reverse program).
+        self.grad_fill_schedule = {}
+
+
 class Plan:
     """A compiled module graph for one ``(input shape, dtype)`` signature.
 
@@ -741,11 +1117,16 @@ class Plan:
     gradient buffers (views alias their source buffer), per-parameter
     gradient accumulators keyed by parameter identity, and — for gated
     supernet plans — per-cell gate value/gradient tables.
+
+    ``num_samples > 1`` marks a *stacked-path* plan: past the
+    :class:`TileStep` the batch axis holds ``num_samples`` independent
+    sample groups, and gate tables gain a leading sample axis.
     """
 
-    def __init__(self, dtype=np.float64, train=False, pool=None):
+    def __init__(self, dtype=np.float64, train=False, pool=None, num_samples=1):
         self.dtype = np.dtype(dtype)
         self.train = bool(train)
+        self.num_samples = int(num_samples)
         self.steps = []
         self._shapes = []
         self._view_slots = set()
@@ -760,6 +1141,15 @@ class Plan:
         self.gate_grads = None
         self._pool = pool
         self._blocks = []
+        #: Set by the aliasing pass before finalize; ``None`` = one buffer
+        #: per slot (the pre-pass behaviour).
+        self.storage = None
+        self._scratch_blocks = {}
+        self._grad_fill_schedule = {}
+        self._grad_scheduled = frozenset()
+        #: Total bytes obtained through :meth:`alloc` — the plan's resident
+        #: footprint (arenas counted once, workspaces included).
+        self.alloc_bytes = 0
 
     def alloc(self, shape, dtype=None, zero=False):
         """Allocate a plan-owned array, recycling pooled blocks when possible.
@@ -771,15 +1161,31 @@ class Plan:
         """
         shape = tuple(int(d) for d in shape)
         dtype = self.dtype if dtype is None else np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        self.alloc_bytes += nbytes
         if self._pool is None:
             return np.zeros(shape, dtype=dtype) if zero else np.empty(shape, dtype=dtype)
-        nbytes = int(np.prod(shape)) * dtype.itemsize
         block = self._pool.take(nbytes)
         self._blocks.append(block)
         array = block[:nbytes].view(dtype).reshape(shape)
         if zero:
             array.fill(0)
         return array
+
+    def workspace(self, shape, dtype=None, channel=0):
+        """A transient workspace valid only within one step call.
+
+        When the aliasing pass provisioned a shared scratch arena for
+        ``channel``, every request of that channel views the same block
+        (their lifetimes never overlap by construction); otherwise this is a
+        private :meth:`alloc`.
+        """
+        dtype = self.dtype if dtype is None else np.dtype(dtype)
+        nbytes = int(np.prod(tuple(int(d) for d in shape))) * dtype.itemsize
+        block = self._scratch_blocks.get(channel)
+        if block is None or nbytes > block.nbytes:
+            return self.alloc(shape, dtype=dtype)
+        return block[:nbytes].view(dtype).reshape(shape)
 
     def release(self):
         """Hand this plan's backing blocks back to the pool.
@@ -827,29 +1233,67 @@ class Plan:
             return buf
         return entry[1]
 
+    def _slot_buffers(self, arena_map, arena_blocks, dead):
+        """One buffer per slot, honouring arena sharing and dead slots."""
+        bufs = []
+        for slot, shape in enumerate(self._shapes):
+            if slot in self._view_slots or slot in dead:
+                bufs.append(None)
+            elif slot in arena_map:
+                nbytes = int(np.prod(shape)) * self.dtype.itemsize
+                block = arena_blocks[arena_map[slot]]
+                bufs.append(block[:nbytes].view(self.dtype).reshape(shape))
+            else:
+                bufs.append(self.alloc(shape))
+        return bufs
+
     def finalize(self, input_slot, output_slots):
         """Fix the plan's interface and allocate every buffer and workspace."""
         self.input_slot = input_slot
         self.output_slots = tuple(output_slots)
-        self.bufs = [
-            None if slot in self._view_slots else self.alloc(shape)
-            for slot, shape in enumerate(self._shapes)
-        ]
+        st = self.storage
+        if st is None:
+            self.bufs = self._slot_buffers({}, [], frozenset())
+        else:
+            arena_blocks = [
+                self.alloc((nbytes,), dtype=np.uint8) for nbytes in st.arena_nbytes
+            ]
+            self.bufs = self._slot_buffers(st.slot_arena, arena_blocks, st.dead_slots)
+            self._scratch_blocks = {
+                channel: self.alloc((nbytes,), dtype=np.uint8)
+                for channel, nbytes in st.scratch_channels.items()
+                if nbytes > 0
+            }
         for step in self.steps:
             step.allocate(self)
         if self.gate_layout is not None:
+            gate_shape = (
+                (self.num_samples,) if self.num_samples > 1 else ()
+            )
             self.gate_values = [
-                np.zeros(len(cell), dtype=self.dtype) for cell in self.gate_layout
+                np.zeros(gate_shape + (len(cell),), dtype=self.dtype)
+                for cell in self.gate_layout
             ]
             self.gate_grads = [
-                np.zeros(len(cell), dtype=np.float64) for cell in self.gate_layout
+                np.zeros(gate_shape + (len(cell),), dtype=np.float64)
+                for cell in self.gate_layout
             ]
         if self.train:
-            # No zeroing here: zero_grads() runs before every backward pass.
-            self.grad_bufs = [
-                None if slot in self._view_slots else self.alloc(shape)
-                for slot, shape in enumerate(self._shapes)
-            ]
+            # No zeroing here: zero_grads() runs before every backward pass
+            # (interval-start zeroing for schedule-covered slots happens
+            # inside run_backward).
+            if st is None:
+                grad_arena, grad_blocks, grad_dead = {}, [], frozenset()
+            else:
+                grad_blocks = [
+                    self.alloc((nbytes,), dtype=np.uint8) for nbytes in st.grad_arena_nbytes
+                ]
+                grad_arena, grad_dead = st.grad_arena, st.grad_dead
+                self._grad_fill_schedule = dict(st.grad_fill_schedule)
+                self._grad_scheduled = frozenset(
+                    slot for slots in st.grad_fill_schedule.values() for slot in slots
+                )
+            self.grad_bufs = self._slot_buffers(grad_arena, grad_blocks, grad_dead)
             for step in self.steps:
                 step.allocate_backward(self)
         return self
@@ -877,9 +1321,15 @@ class Plan:
             buf[...] = cell_values
 
     def zero_grads(self):
-        """Reset every slot and parameter gradient accumulator to zero."""
+        """Reset slot and parameter gradient accumulators to zero.
+
+        Slots covered by the aliasing pass's fill schedule are skipped here:
+        their (shared) storage is zeroed by :meth:`run_backward` right when
+        their live interval begins.
+        """
+        scheduled = self._grad_scheduled
         for slot, buf in enumerate(self.grad_bufs):
-            if buf is not None and slot not in self._view_slots:
+            if buf is not None and slot not in self._view_slots and slot not in scheduled:
                 buf.fill(0.0)
         for _, buf in self.param_grads.values():
             buf.fill(0.0)
@@ -896,13 +1346,47 @@ class Plan:
         """
         bufs = self.bufs
         grads = self.grad_bufs
-        for step in reversed(self.steps):
-            step.backward(bufs, grads)
+        schedule = self._grad_fill_schedule
+        if not schedule:
+            for step in reversed(self.steps):
+                step.backward(bufs, grads)
+            return
+        for index in range(len(self.steps) - 1, -1, -1):
+            fills = schedule.get(index)
+            if fills:
+                for slot in fills:
+                    grads[slot].fill(0.0)
+            self.steps[index].backward(bufs, grads)
 
     def param_grad(self, param):
         """The accumulated gradient buffer for ``param`` (``None`` if untouched)."""
         entry = self.param_grads.get(id(param))
         return entry[1] if entry is not None else None
+
+    def memory_stats(self):
+        """Resident-footprint accounting (drives the peak-memory benchmarks).
+
+        ``allocated_bytes`` counts every byte obtained through :meth:`alloc`
+        — shared arenas once — i.e. the plan's actual peak memory.
+        ``logical_slot_bytes`` is what a one-buffer-per-slot allocation of the
+        same step list would need for the activation (and gradient) slots, so
+        the difference is the aliasing pass's saving on this exact program.
+        """
+        logical = 0
+        for slot, shape in enumerate(self._shapes):
+            if slot in self._view_slots:
+                continue
+            dead = self.storage is not None and slot in self.storage.dead_slots
+            if not dead:
+                logical += int(np.prod(shape)) * self.dtype.itemsize
+        if self.train:
+            logical *= 2
+        return {
+            "allocated_bytes": int(self.alloc_bytes),
+            "logical_slot_bytes": int(logical),
+            "num_steps": len(self.steps),
+            "num_slots": len(self._shapes),
+        }
 
     def __repr__(self):
         return "Plan(steps={}, slots={}, dtype={}{})".format(

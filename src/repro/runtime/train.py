@@ -31,6 +31,7 @@ the eager tape as the always-available reference path.
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 
 import numpy as np
@@ -39,6 +40,9 @@ from .compiler import CompileError, compile_plan
 from .plan import BufferPool
 
 __all__ = ["CompiledTrainStep", "TrainStepResult", "DEFAULT_LOSS_WEIGHTS"]
+
+#: Live train-step executors, for :func:`repro.runtime.cache_stats`.
+_TRAIN_STEPS = weakref.WeakSet()
 
 
 class _LossWeights:
@@ -72,17 +76,23 @@ class TrainStepResult:
         stage ran).
     gate_grads:
         For gated supernet steps: per-cell arrays of ``dL/d gate`` aligned
-        with the active-path tuples, for the caller to chain through the
-        Gumbel relaxation onto alpha.  ``None`` otherwise.
+        with :attr:`gate_layout` (shape ``(num_active,)``, or
+        ``(K, num_active)`` for stacked-path steps), for the caller to chain
+        through the Gumbel relaxation onto alpha.  ``None`` otherwise.
+    gate_layout:
+        The plan's final per-cell active-candidate tuples.  Differs from the
+        requested ``gated_paths`` when the dead-branch-elimination pass
+        pruned low-weight branches.
     """
 
-    __slots__ = ("total", "components", "grad_norm", "gate_grads")
+    __slots__ = ("total", "components", "grad_norm", "gate_grads", "gate_layout")
 
-    def __init__(self, total, components, grad_norm=None, gate_grads=None):
+    def __init__(self, total, components, grad_norm=None, gate_grads=None, gate_layout=None):
         self.total = total
         self.components = components
         self.grad_norm = grad_norm
         self.gate_grads = gate_grads
+        self.gate_layout = gate_layout
 
 
 class CompiledTrainStep:
@@ -110,21 +120,33 @@ class CompiledTrainStep:
         gigabytes of fresh workspace every update.
     """
 
-    def __init__(self, agent, optimizer=None, dtype=np.float64, max_plans=2):
+    def __init__(self, agent, optimizer=None, dtype=np.float64, max_plans=2,
+                 gate_topk=None, gate_threshold=None):
         self.agent = agent
         self.optimizer = optimizer
         self.dtype = np.dtype(dtype)
         self.max_plans = int(max_plans)
+        #: Optional dead-branch-elimination limits applied to gated plans
+        #: (see :func:`repro.runtime.passes.dead_branch`): prune active paths
+        #: beyond the top-k / below the threshold of the per-run gate
+        #: weights.  ``None`` keeps every requested path.
+        self.gate_topk = gate_topk
+        self.gate_threshold = gate_threshold
         self._plans = OrderedDict()
         self._failed = set()
         self._pool = BufferPool()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        _TRAIN_STEPS.add(self)
 
     # ------------------------------------------------------------------ #
     # Plan cache
     # ------------------------------------------------------------------ #
-    def plan_for(self, input_shape, path=None, gated_paths=None):
+    def plan_for(self, input_shape, path=None, gated_paths=None, num_samples=1,
+                 gate_weights=None):
         """Fetch (or compile) the training plan for one signature."""
-        key = (tuple(input_shape), path, gated_paths)
+        key = (tuple(input_shape), path, gated_paths, int(num_samples))
         plan = self._plans.get(key)
         if plan is None:
             # Negative cache: an uncompilable agent raises once per signature
@@ -133,6 +155,7 @@ class CompiledTrainStep:
                 raise CompileError(
                     "signature previously failed to compile; using the eager tape"
                 )
+            self.cache_misses += 1
             try:
                 plan = compile_plan(
                     self.agent,
@@ -142,6 +165,10 @@ class CompiledTrainStep:
                     train=True,
                     gated_paths=gated_paths,
                     pool=self._pool,
+                    num_samples=num_samples,
+                    gate_weights=gate_weights,
+                    gate_topk=self.gate_topk,
+                    gate_threshold=self.gate_threshold,
                 )
                 if "logits" not in plan.named_slots:
                     plan.release()
@@ -156,9 +183,21 @@ class CompiledTrainStep:
             while len(self._plans) > self.max_plans:
                 _, evicted = self._plans.popitem(last=False)
                 evicted.release()
+                self.cache_evictions += 1
         else:
+            self.cache_hits += 1
             self._plans.move_to_end(key)
         return plan
+
+    def cache_stats(self):
+        """Plan-cache and buffer-pool counters for observability."""
+        return {
+            "plans": len(self._plans),
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
+            "pool": self._pool.stats(),
+        }
 
     def invalidate(self):
         """Drop every compiled plan (e.g. after structural module surgery)."""
@@ -188,6 +227,8 @@ class CompiledTrainStep:
         op_indices=None,
         gated_paths=None,
         gate_values=None,
+        num_samples=1,
+        gate_weights=None,
     ):
         """Run forward, evaluate the loss head, and fill the gradient buffers.
 
@@ -198,18 +239,37 @@ class CompiledTrainStep:
         supernet path; ``gated_paths`` + ``gate_values`` select a gated
         multi-path-backward expansion.
 
+        ``num_samples = K > 1`` selects stacked-path mode: ``gated_paths``
+        holds the per-cell *union* of K sampled active sets, ``gate_values``
+        per-cell ``(K, num_active)`` arrays, and the loss is the mean of the
+        K per-sample losses (each per-sample gradient contribution matches
+        the plan a per-path compilation of that sample would produce).  The
+        rollout targets are tiled across the sample axis internally.
+
         Returns ``(plan, result)``: the plan holds the parameter gradients in
-        ``plan.param_grads``, the result the scalar losses (and gate grads).
+        ``plan.param_grads``, the result the scalar losses (and gate grads,
+        aligned with ``result.gate_layout``).
         """
         obs = np.asarray(observations)
+        num_samples = int(num_samples)
         path = tuple(int(i) for i in op_indices) if op_indices is not None else None
         gated = (
             tuple(tuple(int(i) for i in cell) for cell in gated_paths)
             if gated_paths is not None
             else None
         )
-        plan = self.plan_for(obs.shape, path=path, gated_paths=gated)
+        plan = self.plan_for(
+            obs.shape, path=path, gated_paths=gated, num_samples=num_samples,
+            gate_weights=gate_weights,
+        )
         if gated is not None:
+            if plan.gate_layout != gated:
+                # Dead-branch elimination pruned some paths: select the kept
+                # positions out of the caller's per-cell gate values.
+                gate_values = [
+                    np.asarray(values)[..., [cell.index(i) for i in kept]]
+                    for values, cell, kept in zip(gate_values, gated, plan.gate_layout)
+                ]
             plan.set_gates(gate_values)
         plan.run(obs)
 
@@ -222,6 +282,16 @@ class CompiledTrainStep:
         actions = np.asarray(actions, dtype=np.int64)
         adv = np.asarray(advantages, dtype=dtype)
         ret = np.asarray(returns, dtype=dtype)
+        if num_samples > 1:
+            # One loss head over all K sample groups: tiling the targets and
+            # averaging over K*N rows equals the mean of per-sample losses.
+            actions = np.tile(actions, num_samples)
+            adv = np.tile(adv, num_samples)
+            ret = np.tile(ret, num_samples)
+            if teacher_probs is not None:
+                teacher_probs = np.tile(np.asarray(teacher_probs), (num_samples, 1))
+            if teacher_values is not None:
+                teacher_values = np.tile(np.asarray(teacher_values), num_samples)
         batch = logits.shape[0]
         idx = np.arange(batch)
 
@@ -277,7 +347,9 @@ class CompiledTrainStep:
         gate_grads = None
         if gated is not None:
             gate_grads = [g.copy() for g in plan.gate_grads]
-        return plan, TrainStepResult(float(total), components, gate_grads=gate_grads)
+        return plan, TrainStepResult(
+            float(total), components, gate_grads=gate_grads, gate_layout=plan.gate_layout
+        )
 
     # ------------------------------------------------------------------ #
     # Full step (gradients + fused optimiser stage)
