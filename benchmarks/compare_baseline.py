@@ -25,6 +25,7 @@ THROUGHPUT_RESULTS = (
     "runtime_throughput.json",
     "train_step_throughput.json",
     "plan_optimizer.json",
+    "env_step_throughput.json",
 )
 
 #: Benchmark files that carry a ``peak_plan_bytes`` table (lower is better).

@@ -1,0 +1,158 @@
+"""Environment-layer throughput: batched SoA engine vs serial per-env stepping.
+
+Two measurements per engine family (paddle, shooter, maze, navigator, duel):
+
+* **env-only stepping** — random-action ``venv.step`` throughput at batch 16,
+  the isolated cost of the environment layer (physics + render + wrappers);
+* **rollout collection** — the full A2C collection loop (batched ``act`` on
+  the float32 runtime + env stepping + buffer writes) on the Breakout analog,
+  serial vs batched backend, plus the *env share* of that loop (env-only
+  time over total loop time), which is the number the batched runtime is
+  meant to shrink.
+
+Acceptance: the batched backend sustains >= 2x the serial env-only
+steps/sec on every family and never slows rollout collection down.
+"""
+
+import time
+
+import numpy as np
+
+from repro.drl import ActorCriticAgent, RolloutCollector
+from repro.envs import make_vector_env
+from repro.networks import AgentSuperNet
+
+from conftest import run_once
+
+NUM_ENVS = 16
+OBS_SIZE = 32
+FRAME_STACK = 2
+ROLLOUT_LENGTH = 5
+REQUIRED_ENV_SPEEDUP = 2.0
+
+#: One registry game per engine family.
+FAMILY_GAMES = ("Breakout", "SpaceInvaders", "Alien", "ChopperCommand", "Boxing")
+
+#: Derived architecture used by the runtime-throughput benchmark.
+DERIVED_PATH = [4, 5, 6, 4, 5, 6, 4, 5, 6, 4, 5, 6]
+
+
+def make_env(game, backend):
+    return make_vector_env(
+        game,
+        num_envs=NUM_ENVS,
+        obs_size=OBS_SIZE,
+        frame_stack=FRAME_STACK,
+        seed=0,
+        backend=backend,
+    )
+
+
+def env_only_steps_per_sec(game, backend, steps, warmup=10):
+    """Random-action stepping throughput (no model in the loop)."""
+    env = make_env(game, backend)
+    env.reset(seed=0)
+    rng = np.random.default_rng(0)
+    actions = rng.integers(env.action_space.n, size=(warmup + steps, NUM_ENVS))
+    for i in range(warmup):
+        env.step(actions[i])
+    start = time.perf_counter()
+    for i in range(warmup, warmup + steps):
+        env.step(actions[i])
+    elapsed = time.perf_counter() - start
+    env.close()
+    return steps * NUM_ENVS / elapsed
+
+
+def build_agent():
+    supernet = AgentSuperNet(
+        in_channels=FRAME_STACK,
+        input_size=OBS_SIZE,
+        feature_dim=128,
+        base_width=16,
+        rng=np.random.default_rng(0),
+    )
+    agent = ActorCriticAgent(
+        supernet.derive(DERIVED_PATH), num_actions=6, feature_dim=128,
+        rng=np.random.default_rng(0),
+    )
+    agent.eval()
+    agent.use_runtime = True
+    agent.runtime_dtype = np.float32
+    return agent
+
+
+def collect_rollouts(agent, env, steps, seed=0):
+    """The measured loop: the production ``RolloutCollector`` A2C runs."""
+    rng = np.random.default_rng(seed)
+    collector = RolloutCollector(env, ROLLOUT_LENGTH)
+    collector.reset(seed=seed)
+    rollouts = max(1, steps // ROLLOUT_LENGTH)
+    policy = lambda observations: agent.act(observations, rng)
+    start = time.perf_counter()
+    for _ in range(rollouts):
+        collector.collect(policy)
+    elapsed = time.perf_counter() - start
+    return rollouts * ROLLOUT_LENGTH * env.num_envs / elapsed
+
+
+def measure(steps, rollout_steps):
+    steps_per_sec = {}
+    env_speedup = {}
+    for game in FAMILY_GAMES:
+        serial = env_only_steps_per_sec(game, "sync", steps)
+        batched = env_only_steps_per_sec(game, "batched", steps)
+        steps_per_sec["{}/serial".format(game)] = serial
+        steps_per_sec["{}/batched".format(game)] = batched
+        env_speedup[game] = batched / serial
+
+    agent = build_agent()
+    rollout = {}
+    env_share = {}
+    for backend in ("sync", "batched"):
+        env = make_env("Breakout", backend)
+        collect_rollouts(agent, env, max(3, rollout_steps // 8))  # warm the plan cache
+        rollout[backend] = collect_rollouts(agent, env, rollout_steps)
+        env.close()
+        # Env share of the loop = env-only steps/sec vs full-loop steps/sec.
+        env_only = steps_per_sec["Breakout/{}".format("serial" if backend == "sync" else "batched")]
+        env_share[backend] = rollout[backend] / env_only
+    steps_per_sec["rollout/serial"] = rollout["sync"]
+    steps_per_sec["rollout/batched"] = rollout["batched"]
+
+    return {
+        "config": {
+            "num_envs": NUM_ENVS,
+            "obs_size": OBS_SIZE,
+            "frame_stack": FRAME_STACK,
+            "games": list(FAMILY_GAMES),
+            "env_only_steps": steps,
+            "rollout_steps": rollout_steps,
+        },
+        "steps_per_sec": steps_per_sec,
+        "env_step_speedup": env_speedup,
+        "rollout_speedup_batched_vs_serial": rollout["batched"] / rollout["sync"],
+        # Fraction of the rollout loop spent inside the env layer.
+        "env_fraction_of_rollout": env_share,
+    }
+
+
+def test_env_step_throughput(benchmark, profile, save_result):
+    steps = max(60, profile.train_steps // 2)
+    rollout_steps = max(10, profile.train_steps // 8)
+    payload = run_once(benchmark, measure, steps=steps, rollout_steps=rollout_steps)
+    save_result("env_step_throughput", payload)
+
+    for game, speedup in payload["env_step_speedup"].items():
+        assert speedup >= REQUIRED_ENV_SPEEDUP, (
+            "batched env stepping only {:.2f}x serial on {} "
+            "(required {:.1f}x): {}".format(
+                speedup, game, REQUIRED_ENV_SPEEDUP, payload["steps_per_sec"])
+        )
+    assert payload["rollout_speedup_batched_vs_serial"] >= 1.0, (
+        "batched backend slowed rollout collection down: {}".format(payload["steps_per_sec"])
+    )
+    shares = payload["env_fraction_of_rollout"]
+    assert shares["batched"] < shares["sync"], (
+        "batched backend did not reduce the env share of the rollout loop: {}".format(shares)
+    )

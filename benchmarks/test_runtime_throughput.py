@@ -57,7 +57,8 @@ def build_agent():
     return agent
 
 
-def make_env(backend="sync"):
+def make_env(backend=None):
+    """Default backend = the production path (batched since PR 4)."""
     return make_vector_env(
         GAME,
         num_envs=NUM_ENVS,

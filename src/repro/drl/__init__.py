@@ -11,7 +11,7 @@ from .losses import (
     policy_gradient_loss,
     value_loss,
 )
-from .rollout import RolloutBuffer, compute_gae, compute_returns, compute_td_errors
+from .rollout import RolloutBuffer, RolloutCollector, compute_gae, compute_returns, compute_td_errors
 from .teacher import make_agent, train_teacher
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "policy_gradient_loss",
     "value_loss",
     "RolloutBuffer",
+    "RolloutCollector",
     "compute_returns",
     "compute_td_errors",
     "compute_gae",

@@ -25,7 +25,7 @@ from ..nn.serialization import load_state_dict, save_state_dict
 from ..utils.logging import MetricLogger
 from .distillation import ACDistiller, DistillationMode
 from .losses import TaskLossWeights, combine_task_loss, entropy_loss, policy_gradient_loss, value_loss
-from .rollout import RolloutBuffer
+from .rollout import RolloutCollector
 
 __all__ = ["A2CConfig", "A2CTrainer"]
 
@@ -99,7 +99,7 @@ class A2CTrainer:
         self.total_env_steps = 0
         self.updates = 0
         self._recent_returns = []
-        self._observations = None
+        self._collector = None
         self._train_step = None
 
     # ------------------------------------------------------------------ #
@@ -116,24 +116,32 @@ class A2CTrainer:
     # ------------------------------------------------------------------ #
     # Rollout collection
     # ------------------------------------------------------------------ #
-    def _collect_rollout(self, buffer):
-        """Fill ``buffer`` with ``rollout_length`` synchronous steps."""
-        if self._observations is None:
-            self._observations = self.env.reset(seed=self.config.seed)
-        buffer.reset()
-        while not buffer.full:
-            actions, values = self.agent.act(self._observations, self.rng)
-            next_observations, rewards, dones, infos = self.env.step(actions)
-            buffer.add(self._observations, actions, rewards, dones, values)
-            self._observations = next_observations
+    def collector(self):
+        """The trainer's :class:`RolloutCollector`, rebound if the env was swapped."""
+        self._collector = RolloutCollector.for_env(
+            self._collector, self.env, self.config.rollout_length
+        )
+        return self._collector
+
+    def _collect_rollout(self):
+        """Collect one rollout; returns the filled buffer and bootstrap values."""
+        collector = self.collector()
+
+        def on_step(infos):
             self.total_env_steps += self.env.num_envs
             for info in infos:
                 if "episode_return" in info:
                     self._recent_returns.append(info["episode_return"])
                     self.logger.log("episode_return", info["episode_return"], step=self.total_env_steps)
+
+        buffer = collector.collect(
+            lambda observations: self.agent.act(observations, self.rng),
+            seed=self.config.seed,
+            on_step=on_step,
+        )
         # Bootstrap values are pure inference: use the tape-free runtime path.
-        _, bootstrap = self.agent.policy_value(self._observations)
-        return bootstrap
+        _, bootstrap = self.agent.policy_value(collector.observations)
+        return buffer, bootstrap
 
     # ------------------------------------------------------------------ #
     # One update
@@ -251,13 +259,11 @@ class A2CTrainer:
         """
         cfg = self.config
         target_steps = total_steps if total_steps is not None else cfg.total_steps
-        obs_shape = self.env.observation_space.shape
-        buffer = RolloutBuffer(cfg.rollout_length, self.env.num_envs, obs_shape)
         next_eval = cfg.eval_interval if cfg.eval_interval else None
 
         self.agent.train()
         while self.total_env_steps < target_steps:
-            bootstrap = self._collect_rollout(buffer)
+            buffer, bootstrap = self._collect_rollout()
             self.update(buffer, bootstrap)
             if next_eval is not None and self.total_env_steps >= next_eval and self.evaluator is not None:
                 self.agent.eval()
@@ -309,7 +315,8 @@ class A2CTrainer:
         self.updates = int(state["trainer.updates"])
         self.rng = np.random.default_rng()
         self.rng.bit_generator.state = json.loads(str(state["trainer.rng"].item()))
-        self._observations = None
+        if self._collector is not None:
+            self._collector.restart()
         return self
 
     # ------------------------------------------------------------------ #

@@ -17,7 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RolloutBuffer", "compute_returns", "compute_td_errors", "compute_gae"]
+__all__ = [
+    "RolloutBuffer",
+    "RolloutCollector",
+    "compute_returns",
+    "compute_td_errors",
+    "compute_gae",
+]
 
 
 def _resolve_dtype(dtype, *arrays):
@@ -99,6 +105,82 @@ def compute_gae(rewards, dones, values, bootstrap_values, gamma, lam=0.95, dtype
         running = deltas[t] + decay * (one - dones[t]) * running
         advantages[t] = running
     return advantages
+
+
+class RolloutCollector:
+    """Array-native rollout collection over a vector environment.
+
+    The one synchronous loop every trainer in this package runs — act on the
+    batched observations, step the vector env, append to the buffer — lives
+    here so A2C, teacher training, and the architecture search all share the
+    same hot path.  Observations stay ``(num_envs, ...)`` arrays end-to-end:
+    with the batched env backend nothing in the loop iterates over envs in
+    Python on the array path (the per-env info dicts remain, for episode
+    bookkeeping).
+
+    Parameters
+    ----------
+    vector_env:
+        Any vector env backend (batched / sync / async).
+    rollout_length:
+        Steps per collected rollout (the paper's ``L``).
+    dtype:
+        Storage dtype of the underlying :class:`RolloutBuffer`.
+    """
+
+    def __init__(self, vector_env, rollout_length, dtype=np.float32):
+        self.env = vector_env
+        self.buffer = RolloutBuffer(
+            rollout_length, vector_env.num_envs, vector_env.observation_space.shape, dtype=dtype
+        )
+        self.observations = None
+
+    @classmethod
+    def for_env(cls, existing, vector_env, rollout_length, dtype=np.float32):
+        """Return ``existing`` if it is bound to ``vector_env``, else a fresh collector.
+
+        The rebind-on-env-swap helper the trainers share: swapping a
+        trainer's env mid-run (checkpoint tests do) must also swap the
+        collector's stream and buffer.
+        """
+        if existing is not None and existing.env is vector_env:
+            return existing
+        return cls(vector_env, rollout_length, dtype=dtype)
+
+    def reset(self, seed=None):
+        """(Re-)start the environment stream; returns the first observations."""
+        self.observations = self.env.reset(seed=seed)
+        return self.observations
+
+    def restart(self):
+        """Forget the stream so the next :meth:`collect` resets the env."""
+        self.observations = None
+
+    def collect(self, policy, seed=None, on_step=None):
+        """Fill the buffer with one rollout from ``policy``.
+
+        ``policy(observations) -> (actions, values)`` is called once per
+        vector step (batched inference); ``on_step(infos)`` — when given —
+        once per vector step after the env transition, which is where
+        trainers count env steps and log completed episodes.  Returns the
+        full buffer; ``self.observations`` then holds the bootstrap
+        observations for the value target.
+        """
+        if self.observations is None:
+            self.reset(seed=seed)
+        buffer = self.buffer
+        buffer.reset()
+        observations = self.observations
+        env = self.env
+        while not buffer.full:
+            actions, values = policy(observations)
+            next_observations, rewards, dones, infos = env.step(actions)
+            buffer.add(observations, actions, rewards, dones, values)
+            observations = next_observations
+            if on_step is not None:
+                on_step(infos)
+        self.observations = observations
+        return buffer
 
 
 class RolloutBuffer:

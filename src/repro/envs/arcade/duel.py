@@ -7,18 +7,21 @@ the 0-100 range of the Atari game.
 Bowling mode (``static_opponent=True``): the "opponent" is replaced by a rack
 of static pins; the player aims and fires a ball down the lane, scoring per
 pin knocked over, with a limited number of throws per episode.
+
+Since the batched-runtime refactor the physics live in
+:class:`repro.envs.batched.duel.BatchedDuelEngine`; this class is the
+single-env (``num_envs=1``) view of one engine lane.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..base import Action, ArcadeGame
+from ..batched.duel import BatchedDuelEngine, _pin_position
+from ..batched.view import BatchedGameView
 
 __all__ = ["DuelGame"]
 
 
-class DuelGame(ArcadeGame):
+class DuelGame(BatchedGameView):
     """Configurable duel / aiming game.
 
     Parameters
@@ -38,6 +41,8 @@ class DuelGame(ArcadeGame):
         Number of throws per episode in bowling mode.
     """
 
+    engine_cls = BatchedDuelEngine
+
     def __init__(
         self,
         game_id="Boxing",
@@ -51,7 +56,6 @@ class DuelGame(ArcadeGame):
         player_speed=0.05,
         **kwargs,
     ):
-        super().__init__(game_id=game_id, **kwargs)
         self.punch_reward = float(punch_reward)
         self.punch_penalty = float(punch_penalty)
         self.opponent_skill = float(opponent_skill)
@@ -60,134 +64,68 @@ class DuelGame(ArcadeGame):
         self.num_pins = int(pins)
         self.max_throws = int(max_throws)
         self.player_speed = float(player_speed)
-
-    # ------------------------------------------------------------------ #
-    def _reset_game(self):
-        self.raw_score = 0.0
-        if self.static_opponent:
-            self.player_x = 0.5
-            self.player_y = 0.9
-            self.pins_standing = np.ones(self.num_pins, dtype=bool)
-            self.throws = 0
-            self.ball = None  # [x, y] when rolling
-        else:
-            self.player_x, self.player_y = 0.3, 0.5
-            self.opponent_x, self.opponent_y = 0.7, 0.5
-            self.player_cooldown = 0
-            self.opponent_cooldown = 0
+        super().__init__(
+            game_id=game_id,
+            engine_params=dict(
+                punch_reward=punch_reward,
+                punch_penalty=punch_penalty,
+                opponent_skill=opponent_skill,
+                score_cap=score_cap,
+                static_opponent=static_opponent,
+                pins=pins,
+                max_throws=max_throws,
+                player_speed=player_speed,
+            ),
+            **kwargs,
+        )
 
     def _pin_position(self, index):
         """Triangular rack layout near the top of the lane."""
-        row = 0
-        count = 0
-        while count + row + 1 <= index:
-            count += row + 1
-            row += 1
-        col = index - count
-        x = 0.5 + (col - row / 2.0) * 0.08
-        y = 0.1 + row * 0.05
-        return x, y
+        return _pin_position(index)
 
-    def _step_bowling(self, action):
-        reward = 0.0
-        if self.ball is None:
-            if action == Action.LEFT:
-                self.player_x -= self.player_speed
-            elif action == Action.RIGHT:
-                self.player_x += self.player_speed
-            elif action == Action.FIRE and self.throws < self.max_throws:
-                self.ball = [self.player_x, self.player_y]
-                self.throws += 1
-            self.player_x = float(np.clip(self.player_x, 0.2, 0.8))
-        else:
-            self.ball[1] -= 0.06
-            # Small lane drift makes perfect strikes stochastic.
-            self.ball[0] += self._rng.normal(0.0, 0.004)
-            for i in range(self.num_pins):
-                if not self.pins_standing[i]:
-                    continue
-                px, py = self._pin_position(i)
-                if abs(self.ball[0] - px) < 0.05 and abs(self.ball[1] - py) < 0.05:
-                    self.pins_standing[i] = False
-                    reward += self.punch_reward
-            if self.ball[1] <= 0.05:
-                self.ball = None
-                if not self.pins_standing.any():
-                    self.pins_standing[:] = True  # new rack
-        return reward, False
+    # ------------------------------------------------------------------ #
+    # Lane views of the game state (read-only introspection)
+    # ------------------------------------------------------------------ #
+    @property
+    def raw_score(self):
+        return self._lane_float(self._engine.raw_score)
 
-    def _is_game_over(self):
-        if self.static_opponent:
-            return self.throws >= self.max_throws and self.ball is None
-        if self.score_cap is not None:
-            return abs(self.raw_score) >= self.score_cap
-        return False
+    @property
+    def player_x(self):
+        return self._lane_float(self._engine.player_x)
 
-    def _step_boxing(self, action):
-        reward = 0.0
-        life_lost = False
+    @property
+    def player_y(self):
+        return self._lane_float(self._engine.player_y)
 
-        if self.player_cooldown > 0:
-            self.player_cooldown -= 1
-        if self.opponent_cooldown > 0:
-            self.opponent_cooldown -= 1
+    @property
+    def opponent_x(self):
+        return self._lane_float(self._engine.opponent_x)
 
-        if action == Action.LEFT:
-            self.player_x -= self.player_speed
-        elif action == Action.RIGHT:
-            self.player_x += self.player_speed
-        elif action == Action.UP:
-            self.player_y -= self.player_speed
-        elif action == Action.DOWN:
-            self.player_y += self.player_speed
-        self.player_x = float(np.clip(self.player_x, 0.1, 0.9))
-        self.player_y = float(np.clip(self.player_y, 0.1, 0.9))
+    @property
+    def opponent_y(self):
+        return self._lane_float(self._engine.opponent_y)
 
-        distance = np.hypot(self.player_x - self.opponent_x, self.player_y - self.opponent_y)
+    @property
+    def player_cooldown(self):
+        return self._lane_int(self._engine.player_cooldown)
 
-        # Player punch.
-        if action == Action.FIRE and self.player_cooldown == 0:
-            self.player_cooldown = 3
-            if distance < 0.15:
-                reward += self.punch_reward
-                self.raw_score += self.punch_reward
+    @property
+    def opponent_cooldown(self):
+        return self._lane_int(self._engine.opponent_cooldown)
 
-        # Opponent behaviour: close in and counter-punch when skilled,
-        # wander otherwise.
-        if self._rng.random() < self.opponent_skill:
-            dx = np.sign(self.player_x - self.opponent_x)
-            dy = np.sign(self.player_y - self.opponent_y)
-            self.opponent_x += dx * self.player_speed * 0.6
-            self.opponent_y += dy * self.player_speed * 0.6
-            if distance < 0.15 and self.opponent_cooldown == 0:
-                self.opponent_cooldown = 4
-                reward -= self.punch_penalty
-                self.raw_score -= self.punch_penalty
-        else:
-            self.opponent_x += self._rng.normal(0.0, 0.01)
-            self.opponent_y += self._rng.normal(0.0, 0.01)
-        self.opponent_x = float(np.clip(self.opponent_x, 0.1, 0.9))
-        self.opponent_y = float(np.clip(self.opponent_y, 0.1, 0.9))
+    @property
+    def pins_standing(self):
+        return self._engine.pins_standing[0]
 
-        return reward, life_lost
+    @property
+    def throws(self):
+        return self._lane_int(self._engine.throws)
 
-    def _step_game(self, action):
-        if self.static_opponent:
-            return self._step_bowling(action)
-        return self._step_boxing(action)
-
-    def _render_objects(self, canvas):
-        if self.static_opponent:
-            self.draw_rect(canvas, self.player_x, self.player_y, 0.06, 0.04, 1.0)
-            for i in range(self.num_pins):
-                if self.pins_standing[i]:
-                    px, py = self._pin_position(i)
-                    self.draw_point(canvas, px, py, 0.7, radius=1)
-            if self.ball is not None:
-                self.draw_point(canvas, self.ball[0], self.ball[1], 0.9, radius=1)
-        else:
-            # Ring ropes.
-            self.draw_rect(canvas, 0.5, 0.05, 0.9, 0.02, 0.2)
-            self.draw_rect(canvas, 0.5, 0.95, 0.9, 0.02, 0.2)
-            self.draw_rect(canvas, self.player_x, self.player_y, 0.07, 0.07, 1.0)
-            self.draw_rect(canvas, self.opponent_x, self.opponent_y, 0.07, 0.07, 0.5)
+    @property
+    def ball(self):
+        """The rolling ball as ``[x, y]``, or ``None`` between throws."""
+        engine = self._engine
+        if not engine.ball_active[0]:
+            return None
+        return [float(engine.ball_x[0]), float(engine.ball_y[0])]

@@ -4,18 +4,23 @@ The player walks on a grid collecting pellets while enemies roam the maze.
 Enemies mix random walking with chasing; touching an enemy loses a life.
 Collecting every pellet clears the level, pays a bonus and respawns a harder
 level, which produces the steadily growing scores of maze games in the paper.
+
+Since the batched-runtime refactor the physics live in
+:class:`repro.envs.batched.maze.BatchedMazeEngine`; this class is the
+single-env (``num_envs=1``) view of one engine lane.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..base import Action, ArcadeGame
+from ..batched.maze import BatchedMazeEngine
+from ..batched.view import BatchedGameView
 
 __all__ = ["MazeGame"]
 
 
-class MazeGame(ArcadeGame):
+class MazeGame(BatchedGameView):
     """Configurable maze-chase game.
 
     Parameters
@@ -37,6 +42,8 @@ class MazeGame(ArcadeGame):
         Fraction of interior cells turned into walls.
     """
 
+    engine_cls = BatchedMazeEngine
+
     def __init__(
         self,
         game_id="Alien",
@@ -50,7 +57,6 @@ class MazeGame(ArcadeGame):
         enemy_move_every=1,
         **kwargs,
     ):
-        super().__init__(game_id=game_id, **kwargs)
         self.grid_size = int(grid_size)
         self.num_enemies = int(num_enemies)
         self.chase_prob = float(chase_prob)
@@ -59,112 +65,47 @@ class MazeGame(ArcadeGame):
         self.enemy_penalty = float(enemy_penalty)
         self.wall_density = float(wall_density)
         self.enemy_move_every = int(enemy_move_every)
+        super().__init__(
+            game_id=game_id,
+            engine_params=dict(
+                grid_size=grid_size,
+                num_enemies=num_enemies,
+                chase_prob=chase_prob,
+                pellet_reward=pellet_reward,
+                clear_bonus=clear_bonus,
+                enemy_penalty=enemy_penalty,
+                wall_density=wall_density,
+                enemy_move_every=enemy_move_every,
+            ),
+            **kwargs,
+        )
 
     # ------------------------------------------------------------------ #
-    def _reset_game(self):
-        self.level = 0
-        self._spawn_level()
+    # Lane views of the game state (read-only introspection)
+    # ------------------------------------------------------------------ #
+    @property
+    def level(self):
+        return self._lane_int(self._engine.level)
 
-    def _spawn_level(self):
-        """Generate walls, pellets, and starting positions for a new level."""
-        size = self.grid_size
-        self.level += 1
-        self.walls = np.zeros((size, size), dtype=bool)
-        interior = self._rng.random((size - 2, size - 2)) < self.wall_density
-        self.walls[1:-1, 1:-1] = interior
-        # Border walls.
-        self.walls[0, :] = True
-        self.walls[-1, :] = True
-        self.walls[:, 0] = True
-        self.walls[:, -1] = True
-        # Player starts at the centre (carve it free).
-        self.player = np.array([size // 2, size // 2])
-        self.walls[tuple(self.player)] = False
-        # Pellets on every free cell except the player's.
-        self.pellets = ~self.walls
-        self.pellets[tuple(self.player)] = False
-        # Enemies start in the corners.
-        corners = [(1, 1), (1, size - 2), (size - 2, 1), (size - 2, size - 2)]
-        self.enemies = []
-        for i in range(self.num_enemies):
-            pos = np.array(corners[i % len(corners)])
-            self.walls[tuple(pos)] = False
-            self.pellets[tuple(pos)] = False
-            self.enemies.append(pos.copy())
-        self._tick = 0
+    @property
+    def walls(self):
+        return self._engine.walls[0]
 
-    def _try_move(self, position, delta):
-        """Return the new position after attempting a move (walls block)."""
-        target = position + delta
-        if self.walls[tuple(target)]:
-            return position
-        return target
+    @property
+    def pellets(self):
+        return self._engine.pellets[0]
 
-    def _step_game(self, action):
-        reward = 0.0
-        life_lost = False
-        self._tick += 1
+    @property
+    def player(self):
+        """Player ``[row, col]`` grid position."""
+        engine = self._engine
+        return np.array([engine.player_r[0], engine.player_c[0]])
 
-        deltas = {
-            Action.UP: np.array([-1, 0]),
-            Action.DOWN: np.array([1, 0]),
-            Action.LEFT: np.array([0, -1]),
-            Action.RIGHT: np.array([0, 1]),
-        }
-        if action in deltas:
-            self.player = self._try_move(self.player, deltas[action])
-
-        # Collect pellet.
-        if self.pellets[tuple(self.player)]:
-            self.pellets[tuple(self.player)] = False
-            reward += self.pellet_reward
-
-        # Enemies move (chase with probability chase_prob, random otherwise),
-        # harder levels move every tick even if enemy_move_every > 1.
-        move_period = max(1, self.enemy_move_every - (self.level - 1))
-        if self._tick % move_period == 0:
-            for enemy in self.enemies:
-                if self._rng.random() < min(0.95, self.chase_prob + 0.05 * (self.level - 1)):
-                    diff = self.player - enemy
-                    if abs(diff[0]) >= abs(diff[1]):
-                        delta = np.array([np.sign(diff[0]), 0], dtype=int)
-                    else:
-                        delta = np.array([0, np.sign(diff[1])], dtype=int)
-                else:
-                    delta = list(deltas.values())[self._rng.integers(4)]
-                enemy[:] = self._try_move(enemy, delta)
-
-        # Collision with an enemy.
-        for enemy in self.enemies:
-            if np.array_equal(enemy, self.player):
-                life_lost = True
-                reward -= self.enemy_penalty
-                # Respawn the player at the centre after being caught.
-                self.player = np.array([self.grid_size // 2, self.grid_size // 2])
-                break
-
-        # Level cleared.
-        if not self.pellets.any():
-            reward += self.clear_bonus * self.level
-            self._spawn_level()
-
-        return reward, life_lost
-
-    def _render_objects(self, canvas):
-        size = self.grid_size
-        cell = 1.0 / size
-        for row in range(size):
-            for col in range(size):
-                x = (col + 0.5) * cell
-                y = (row + 0.5) * cell
-                if self.walls[row, col]:
-                    self.draw_rect(canvas, x, y, cell, cell, 0.3)
-                elif self.pellets[row, col]:
-                    self.draw_point(canvas, x, y, 0.5, radius=0)
-        for enemy in self.enemies:
-            x = (enemy[1] + 0.5) * cell
-            y = (enemy[0] + 0.5) * cell
-            self.draw_rect(canvas, x, y, cell * 0.8, cell * 0.8, 0.7)
-        px = (self.player[1] + 0.5) * cell
-        py = (self.player[0] + 0.5) * cell
-        self.draw_rect(canvas, px, py, cell * 0.8, cell * 0.8, 1.0)
+    @property
+    def enemies(self):
+        """Enemy ``[row, col]`` grid positions."""
+        engine = self._engine
+        return [
+            np.array([engine.enemy_r[0, e], engine.enemy_c[0, e]])
+            for e in range(self.num_enemies)
+        ]

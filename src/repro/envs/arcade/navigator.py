@@ -5,18 +5,23 @@ drift across the field; shooting one yields a reward.  Hazards also spawn and
 must be avoided.  Some games (Seaquest, ChopperCommand) add "rescue" objects
 that pay a bonus when touched.  This single engine, with different spawn rates
 and reward scales, covers the flight / scrolling games of the paper's suite.
+
+Since the batched-runtime refactor the physics live in
+:class:`repro.envs.batched.navigator.BatchedNavigatorEngine`; this class is
+the single-env (``num_envs=1``) view of one engine lane.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..base import Action, ArcadeGame
+from ..batched.navigator import BatchedNavigatorEngine
+from ..batched.view import BatchedGameView
 
 __all__ = ["NavigatorGame"]
 
 
-class NavigatorGame(ArcadeGame):
+class NavigatorGame(BatchedGameView):
     """Configurable free-movement shooter.
 
     Parameters
@@ -36,6 +41,8 @@ class NavigatorGame(ArcadeGame):
         row, making the game behave like a horizontally scrolling shooter).
     """
 
+    engine_cls = BatchedNavigatorEngine
+
     def __init__(
         self,
         game_id="ChopperCommand",
@@ -52,7 +59,6 @@ class NavigatorGame(ArcadeGame):
         vertical_motion=True,
         **kwargs,
     ):
-        super().__init__(game_id=game_id, **kwargs)
         self.target_points = float(target_points)
         self.rescue_points = float(rescue_points)
         self.target_spawn_prob = float(target_spawn_prob)
@@ -64,118 +70,72 @@ class NavigatorGame(ArcadeGame):
         self.bullet_speed = float(bullet_speed)
         self.max_objects = int(max_objects)
         self.vertical_motion = bool(vertical_motion)
+        super().__init__(
+            game_id=game_id,
+            engine_params=dict(
+                target_points=target_points,
+                rescue_points=rescue_points,
+                target_spawn_prob=target_spawn_prob,
+                hazard_spawn_prob=hazard_spawn_prob,
+                rescue_spawn_prob=rescue_spawn_prob,
+                target_speed=target_speed,
+                hazard_speed=hazard_speed,
+                player_speed=player_speed,
+                bullet_speed=bullet_speed,
+                max_objects=max_objects,
+                vertical_motion=vertical_motion,
+            ),
+            **kwargs,
+        )
 
     # ------------------------------------------------------------------ #
-    def _reset_game(self):
-        self.player_x = 0.5
-        self.player_y = 0.8 if self.vertical_motion else 0.9
-        self.facing = 1.0  # +1 right, -1 left; used when the player can fly freely
-        self.targets = []  # each: [x, y, vx]
-        self.hazards = []
-        self.rescues = []
-        self.bullets = []  # each: [x, y, vx, vy]
+    # Lane views of the game state (read-only introspection)
+    # ------------------------------------------------------------------ #
+    @property
+    def player_x(self):
+        return self._lane_float(self._engine.player_x)
 
-    def _spawn(self, speed):
-        """Spawn an object at a random vertical position on either edge."""
-        side = self._rng.integers(2)
-        x = 0.02 if side == 0 else 0.98
-        vx = speed if side == 0 else -speed
-        y = self._rng.uniform(0.1, 0.85)
-        return [x, y, vx]
+    @property
+    def player_y(self):
+        return self._lane_float(self._engine.player_y)
 
-    def _step_game(self, action):
-        reward = 0.0
-        life_lost = False
+    @property
+    def facing(self):
+        return self._lane_float(self._engine.facing)
 
-        # Player control.
-        if action == Action.LEFT:
-            self.player_x -= self.player_speed
-            self.facing = -1.0
-        elif action == Action.RIGHT:
-            self.player_x += self.player_speed
-            self.facing = 1.0
-        elif action == Action.UP and self.vertical_motion:
-            self.player_y -= self.player_speed
-        elif action == Action.DOWN and self.vertical_motion:
-            self.player_y += self.player_speed
-        elif action == Action.FIRE and len(self.bullets) < 3:
-            if self.vertical_motion:
-                # Free-flight games shoot in the direction the player faces.
-                self.bullets.append(
-                    [self.player_x, self.player_y, self.facing * self.bullet_speed, 0.0]
-                )
-            else:
-                # Bottom-pinned games (BeamRider, BattleZone) shoot upward.
-                self.bullets.append([self.player_x, self.player_y, 0.0, -self.bullet_speed])
-        self.player_x = float(np.clip(self.player_x, 0.05, 0.95))
-        self.player_y = float(np.clip(self.player_y, 0.1, 0.9))
+    def _group_view(self, group):
+        """Alive objects of a slot group as ``[x, y, vx]`` in spawn order."""
+        slots = np.flatnonzero(group.alive[0])
+        slots = slots[np.argsort(group.seq[0, slots], kind="stable")]
+        return [
+            [float(group.x[0, s]), float(group.y[0, s]), float(group.vx[0, s])]
+            for s in slots
+        ]
 
-        # Spawning.
-        if len(self.targets) < self.max_objects and self._rng.random() < self.target_spawn_prob:
-            self.targets.append(self._spawn(self.target_speed))
-        if len(self.hazards) < self.max_objects and self._rng.random() < self.hazard_spawn_prob:
-            self.hazards.append(self._spawn(self.hazard_speed))
-        if (
-            self.rescue_points > 0.0
-            and len(self.rescues) < self.max_objects
-            and self._rng.random() < self.rescue_spawn_prob
-        ):
-            self.rescues.append(self._spawn(self.target_speed * 0.5))
+    @property
+    def targets(self):
+        return self._group_view(self._engine.targets)
 
-        # Object drift.
-        for group in (self.targets, self.hazards, self.rescues):
-            for obj in group:
-                obj[0] += obj[2]
-        self.targets = [o for o in self.targets if 0.0 < o[0] < 1.0]
-        self.hazards = [o for o in self.hazards if 0.0 < o[0] < 1.0]
-        self.rescues = [o for o in self.rescues if 0.0 < o[0] < 1.0]
+    @property
+    def hazards(self):
+        return self._group_view(self._engine.hazards)
 
-        # Bullets fly and destroy targets.
-        surviving_bullets = []
-        for bullet in self.bullets:
-            bullet[0] += bullet[2]
-            bullet[1] += bullet[3]
-            if not (0.0 < bullet[0] < 1.0 and 0.0 < bullet[1] < 1.0):
-                continue
-            hit_index = None
-            for i, target in enumerate(self.targets):
-                if abs(bullet[0] - target[0]) < 0.05 and abs(bullet[1] - target[1]) < 0.05:
-                    hit_index = i
-                    break
-            if hit_index is not None:
-                del self.targets[hit_index]
-                reward += self.target_points
-            else:
-                surviving_bullets.append(bullet)
-        self.bullets = surviving_bullets
+    @property
+    def rescues(self):
+        return self._group_view(self._engine.rescues)
 
-        # Hazard collisions.
-        surviving_hazards = []
-        for hazard in self.hazards:
-            if abs(hazard[0] - self.player_x) < 0.05 and abs(hazard[1] - self.player_y) < 0.05:
-                life_lost = True
-                continue
-            surviving_hazards.append(hazard)
-        self.hazards = surviving_hazards
-
-        # Rescue pickups.
-        surviving_rescues = []
-        for rescue in self.rescues:
-            if abs(rescue[0] - self.player_x) < 0.06 and abs(rescue[1] - self.player_y) < 0.06:
-                reward += self.rescue_points
-                continue
-            surviving_rescues.append(rescue)
-        self.rescues = surviving_rescues
-
-        return reward, life_lost
-
-    def _render_objects(self, canvas):
-        self.draw_rect(canvas, self.player_x, self.player_y, 0.07, 0.05, 1.0)
-        for target in self.targets:
-            self.draw_rect(canvas, target[0], target[1], 0.05, 0.04, 0.6)
-        for hazard in self.hazards:
-            self.draw_rect(canvas, hazard[0], hazard[1], 0.05, 0.04, 0.35)
-        for rescue in self.rescues:
-            self.draw_point(canvas, rescue[0], rescue[1], 0.8, radius=1)
-        for bullet in self.bullets:
-            self.draw_point(canvas, bullet[0], bullet[1], 0.9, radius=0)
+    @property
+    def bullets(self):
+        """In-flight bullets as ``[x, y, vx, vy]`` in firing order."""
+        engine = self._engine
+        slots = np.flatnonzero(engine.bullet_alive[0])
+        slots = slots[np.argsort(engine.bullet_seq[0, slots], kind="stable")]
+        return [
+            [
+                float(engine.bullet_x[0, s]),
+                float(engine.bullet_y[0, s]),
+                float(engine.bullet_vx[0, s]),
+                float(engine.bullet_vy[0, s]),
+            ]
+            for s in slots
+        ]

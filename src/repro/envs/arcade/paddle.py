@@ -5,18 +5,21 @@ bottom; depending on configuration the top of the field is either a wall of
 bricks (Breakout-style: destroying a brick scores points) or an opponent
 paddle with a simple tracking policy (Pong/Tennis-style: scoring happens when
 the ball passes the opponent, a life/point is lost when it passes the player).
+
+Since the batched-runtime refactor the physics live in
+:class:`repro.envs.batched.paddle.BatchedPaddleEngine`; this class is the
+single-env (``num_envs=1``) view of one engine lane.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..base import Action, ArcadeGame
+from ..batched.paddle import BatchedPaddleEngine
+from ..batched.view import BatchedGameView
 
 __all__ = ["PaddleGame"]
 
 
-class PaddleGame(ArcadeGame):
+class PaddleGame(BatchedGameView):
     """Configurable paddle game.
 
     Parameters
@@ -37,6 +40,8 @@ class PaddleGame(ArcadeGame):
         Probability per tick that the opponent tracks the ball correctly.
     """
 
+    engine_cls = BatchedPaddleEngine
+
     def __init__(
         self,
         game_id="Breakout",
@@ -51,7 +56,6 @@ class PaddleGame(ArcadeGame):
         opponent_skill=0.7,
         **kwargs,
     ):
-        super().__init__(game_id=game_id, **kwargs)
         self.brick_rows = int(brick_rows)
         self.brick_cols = int(brick_cols)
         self.brick_points = float(brick_points)
@@ -62,135 +66,53 @@ class PaddleGame(ArcadeGame):
         self.paddle_speed = float(paddle_speed)
         self.opponent_skill = float(opponent_skill)
         self.uses_bricks = self.brick_rows > 0
+        super().__init__(
+            game_id=game_id,
+            engine_params=dict(
+                brick_rows=brick_rows,
+                brick_cols=brick_cols,
+                brick_points=brick_points,
+                point_reward=point_reward,
+                point_penalty=point_penalty,
+                ball_speed=ball_speed,
+                paddle_width=paddle_width,
+                paddle_speed=paddle_speed,
+                opponent_skill=opponent_skill,
+            ),
+            **kwargs,
+        )
 
     # ------------------------------------------------------------------ #
-    # Game state
+    # Lane views of the game state (read-only introspection)
     # ------------------------------------------------------------------ #
-    def _reset_game(self):
-        self.paddle_x = 0.5
-        self.opponent_x = 0.5
-        self.ball_live = False
-        self._spawn_ball()
-        if self.uses_bricks:
-            self.bricks = np.ones((self.brick_rows, self.brick_cols), dtype=bool)
-        else:
-            self.bricks = np.zeros((0, 0), dtype=bool)
+    @property
+    def paddle_x(self):
+        return self._lane_float(self._engine.paddle_x)
 
-    def _spawn_ball(self):
-        """Place the ball on the player's paddle waiting for FIRE."""
-        self.ball_x = self.paddle_x
-        self.ball_y = 0.82
-        angle = self._rng.uniform(np.pi * 0.25, np.pi * 0.75)
-        self.ball_vx = self.ball_speed * np.cos(angle)
-        self.ball_vy = -self.ball_speed * np.sin(angle)
-        self.ball_live = False
+    @property
+    def opponent_x(self):
+        return self._lane_float(self._engine.opponent_x)
 
-    def _step_game(self, action):
-        reward = 0.0
-        life_lost = False
+    @property
+    def ball_x(self):
+        return self._lane_float(self._engine.ball_x)
 
-        # Player paddle control.
-        if action == Action.LEFT:
-            self.paddle_x -= self.paddle_speed
-        elif action == Action.RIGHT:
-            self.paddle_x += self.paddle_speed
-        elif action == Action.FIRE and not self.ball_live:
-            self.ball_live = True
-        self.paddle_x = float(np.clip(self.paddle_x, 0.05, 0.95))
+    @property
+    def ball_y(self):
+        return self._lane_float(self._engine.ball_y)
 
-        if not self.ball_live:
-            # Ball follows the paddle until launched.
-            self.ball_x = self.paddle_x
-            return reward, life_lost
+    @property
+    def ball_vx(self):
+        return self._lane_float(self._engine.ball_vx)
 
-        # Opponent paddle (Pong/Tennis mode) tracks the ball imperfectly.
-        if not self.uses_bricks:
-            if self._rng.random() < self.opponent_skill:
-                direction = np.sign(self.ball_x - self.opponent_x)
-                self.opponent_x += direction * self.paddle_speed * 0.8
-            self.opponent_x = float(np.clip(self.opponent_x, 0.05, 0.95))
+    @property
+    def ball_vy(self):
+        return self._lane_float(self._engine.ball_vy)
 
-        # Ball motion.
-        self.ball_x += self.ball_vx
-        self.ball_y += self.ball_vy
+    @property
+    def ball_live(self):
+        return bool(self._engine.ball_live[0])
 
-        # Side walls.
-        if self.ball_x <= 0.02 or self.ball_x >= 0.98:
-            self.ball_vx = -self.ball_vx
-            self.ball_x = float(np.clip(self.ball_x, 0.02, 0.98))
-
-        if self.uses_bricks:
-            # Ceiling bounce.
-            if self.ball_y <= 0.02:
-                self.ball_vy = abs(self.ball_vy)
-            # Brick collisions: bricks occupy y in [0.08, 0.08 + rows*0.05].
-            row = int((self.ball_y - 0.08) / 0.05)
-            col = int(self.ball_x * self.brick_cols)
-            if 0 <= row < self.brick_rows and 0 <= col < self.brick_cols and self.bricks[row, col]:
-                self.bricks[row, col] = False
-                reward += self.brick_points * (self.brick_rows - row)
-                self.ball_vy = abs(self.ball_vy)
-                if not self.bricks.any():
-                    # New wave: refill the wall and speed the ball up slightly.
-                    self.bricks[:] = True
-                    self.ball_vx *= 1.1
-                    self.ball_vy *= 1.1
-        else:
-            # Opponent end: score when the ball passes the opponent paddle.
-            if self.ball_y <= 0.05:
-                if abs(self.ball_x - self.opponent_x) <= self.paddle_width / 2:
-                    self.ball_vy = abs(self.ball_vy)
-                else:
-                    reward += self.point_reward
-                    self._spawn_ball()
-                    return reward, life_lost
-
-        # Player end: bounce off the paddle or lose a life.
-        if self.ball_y >= 0.88:
-            if abs(self.ball_x - self.paddle_x) <= self.paddle_width / 2:
-                self.ball_vy = -abs(self.ball_vy)
-                # English: hitting with the paddle edge skews the ball.
-                offset = (self.ball_x - self.paddle_x) / (self.paddle_width / 2)
-                self.ball_vx += 0.01 * offset
-            else:
-                life_lost = True
-                if not self.uses_bricks:
-                    reward -= self.point_penalty
-                self._spawn_ball()
-
-        return reward, life_lost
-
-    def _brick_layer_canvas(self):
-        """Cached max-composited brick layer.
-
-        Brick geometry is static and bricks only ever disappear, so the
-        per-tick render composites one pre-drawn canvas instead of issuing a
-        ``draw_rect`` per surviving brick (the dominant render cost at the
-        rollout batch sizes the runtime sustains).  The layer is re-drawn
-        whenever the alive mask changed (a brick was destroyed or reset).
-        """
-        layer = getattr(self, "_brick_layer", None)
-        if layer is not None and np.array_equal(self._brick_layer_mask, self.bricks):
-            return layer
-        layer = np.zeros((self.render_size, self.render_size), dtype=np.float64)
-        for row in range(self.brick_rows):
-            for col in range(self.brick_cols):
-                if self.bricks[row, col]:
-                    x = (col + 0.5) / self.brick_cols
-                    y = 0.08 + row * 0.05
-                    self.draw_rect(layer, x, y, 0.9 / self.brick_cols, 0.03,
-                                   0.4 + 0.1 * (self.brick_rows - row))
-        self._brick_layer = layer
-        self._brick_layer_mask = self.bricks.copy()
-        return layer
-
-    def _render_objects(self, canvas):
-        # Player paddle.
-        self.draw_rect(canvas, self.paddle_x, 0.92, self.paddle_width, 0.03, 0.8)
-        # Ball.
-        self.draw_point(canvas, self.ball_x, self.ball_y, 1.0, radius=1)
-        if self.uses_bricks:
-            # Same result as per-brick draw_rect calls: draws max-composite.
-            np.maximum(canvas, self._brick_layer_canvas(), out=canvas)
-        else:
-            self.draw_rect(canvas, self.opponent_x, 0.05, self.paddle_width, 0.03, 0.6)
+    @property
+    def bricks(self):
+        return self._engine.bricks[0]

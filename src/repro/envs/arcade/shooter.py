@@ -6,18 +6,23 @@ drop bombs; being hit or letting the formation reach the bottom loses a life.
 Clearing a wave respawns a faster formation with a wave bonus, which is what
 lets good agents reach the very large scores seen on SpaceInvaders / Asterix /
 DemonAttack in the paper.
+
+Since the batched-runtime refactor the physics live in
+:class:`repro.envs.batched.shooter.BatchedShooterEngine`; this class is the
+single-env (``num_envs=1``) view of one engine lane.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..base import Action, ArcadeGame
+from ..batched.shooter import BatchedShooterEngine
+from ..batched.view import BatchedGameView
 
 __all__ = ["ShooterGame"]
 
 
-class ShooterGame(ArcadeGame):
+class ShooterGame(BatchedGameView):
     """Configurable fixed shooter.
 
     Parameters
@@ -40,6 +45,8 @@ class ShooterGame(ArcadeGame):
         How many player bullets may be in flight simultaneously.
     """
 
+    engine_cls = BatchedShooterEngine
+
     def __init__(
         self,
         game_id="SpaceInvaders",
@@ -56,7 +63,6 @@ class ShooterGame(ArcadeGame):
         max_player_bullets=2,
         **kwargs,
     ):
-        super().__init__(game_id=game_id, **kwargs)
         self.enemy_rows = int(enemy_rows)
         self.enemy_cols = int(enemy_cols)
         self.enemy_points = float(enemy_points)
@@ -68,115 +74,67 @@ class ShooterGame(ArcadeGame):
         self.player_speed = float(player_speed)
         self.bullet_speed = float(bullet_speed)
         self.max_player_bullets = int(max_player_bullets)
+        super().__init__(
+            game_id=game_id,
+            engine_params=dict(
+                enemy_rows=enemy_rows,
+                enemy_cols=enemy_cols,
+                enemy_points=enemy_points,
+                enemy_speed=enemy_speed,
+                descend_step=descend_step,
+                bomb_prob=bomb_prob,
+                bomb_speed=bomb_speed,
+                wave_bonus=wave_bonus,
+                player_speed=player_speed,
+                bullet_speed=bullet_speed,
+                max_player_bullets=max_player_bullets,
+            ),
+            **kwargs,
+        )
 
     # ------------------------------------------------------------------ #
-    def _reset_game(self):
-        self.player_x = 0.5
-        self.wave = 0
-        self._spawn_wave()
-        self.bullets = []  # list of [x, y]
-        self.bombs = []  # list of [x, y]
+    # Lane views of the game state (read-only introspection)
+    # ------------------------------------------------------------------ #
+    @property
+    def player_x(self):
+        return self._lane_float(self._engine.player_x)
 
-    def _spawn_wave(self):
-        """Lay out a fresh enemy formation; later waves move faster."""
-        self.alive = np.ones((self.enemy_rows, self.enemy_cols), dtype=bool)
-        self.formation_x = 0.2
-        self.formation_y = 0.08
-        self.formation_dir = 1.0
-        self.wave += 1
-        self.current_speed = self.enemy_speed * (1.0 + 0.25 * (self.wave - 1))
+    @property
+    def wave(self):
+        return self._lane_int(self._engine.wave)
 
-    def _enemy_position(self, row, col):
-        """Playfield coordinates of the enemy at ``(row, col)``."""
-        x = self.formation_x + col * 0.6 / max(self.enemy_cols - 1, 1)
-        y = self.formation_y + row * 0.28 / max(self.enemy_rows - 1, 1)
-        return x, y
+    @property
+    def current_speed(self):
+        return self._lane_float(self._engine.current_speed)
 
-    def _step_game(self, action):
-        reward = 0.0
-        life_lost = False
+    @property
+    def alive(self):
+        return self._engine.alive[0]
 
-        # Player control.
-        if action == Action.LEFT:
-            self.player_x -= self.player_speed
-        elif action == Action.RIGHT:
-            self.player_x += self.player_speed
-        elif action == Action.FIRE and len(self.bullets) < self.max_player_bullets:
-            self.bullets.append([self.player_x, 0.88])
-        self.player_x = float(np.clip(self.player_x, 0.05, 0.95))
+    @property
+    def formation_x(self):
+        return self._lane_float(self._engine.formation_x)
 
-        # Formation movement.
-        self.formation_x += self.formation_dir * self.current_speed
-        rightmost = self.formation_x + 0.6
-        if self.formation_x <= 0.05 or rightmost >= 0.95:
-            self.formation_dir = -self.formation_dir
-            self.formation_y += self.descend_step
-        if self.formation_y + 0.28 >= 0.85 and self.alive.any():
-            # Formation reached the player row.
-            life_lost = True
-            self._spawn_wave()
-            return reward, life_lost
+    @property
+    def formation_y(self):
+        return self._lane_float(self._engine.formation_y)
 
-        # Enemy bombs.
-        if self.alive.any() and self._rng.random() < self.bomb_prob:
-            candidates = np.argwhere(self.alive)
-            row, col = candidates[self._rng.integers(len(candidates))]
-            x, y = self._enemy_position(row, col)
-            self.bombs.append([x, y])
+    @property
+    def formation_dir(self):
+        return self._lane_float(self._engine.formation_dir)
 
-        # Player bullets move up and hit enemies.
-        surviving_bullets = []
-        for bullet in self.bullets:
-            bullet[1] -= self.bullet_speed
-            if bullet[1] <= 0.0:
-                continue
-            hit = False
-            for row in range(self.enemy_rows):
-                for col in range(self.enemy_cols):
-                    if not self.alive[row, col]:
-                        continue
-                    x, y = self._enemy_position(row, col)
-                    if abs(bullet[0] - x) < 0.05 and abs(bullet[1] - y) < 0.04:
-                        self.alive[row, col] = False
-                        # Higher (further) rows are worth more, as in Space Invaders.
-                        reward += self.enemy_points * (self.enemy_rows - row)
-                        hit = True
-                        break
-                if hit:
-                    break
-            if not hit:
-                surviving_bullets.append(bullet)
-        self.bullets = surviving_bullets
+    @property
+    def bullets(self):
+        """In-flight player bullets as ``[x, y]`` pairs in firing order."""
+        engine = self._engine
+        alive = engine.bullet_alive[0]
+        slots = np.flatnonzero(alive)
+        slots = slots[np.argsort(engine.bullet_seq[0, slots], kind="stable")]
+        return [[float(engine.bullet_x[0, s]), float(engine.bullet_y[0, s])] for s in slots]
 
-        # Bombs move down and may hit the player.
-        surviving_bombs = []
-        for bomb in self.bombs:
-            bomb[1] += self.bomb_speed
-            if bomb[1] >= 0.95:
-                continue
-            if bomb[1] >= 0.88 and abs(bomb[0] - self.player_x) < 0.05:
-                life_lost = True
-                continue
-            surviving_bombs.append(bomb)
-        self.bombs = surviving_bombs
-
-        # Wave cleared.
-        if not self.alive.any():
-            reward += self.wave_bonus
-            self._spawn_wave()
-
-        return reward, life_lost
-
-    def _render_objects(self, canvas):
-        # Player ship.
-        self.draw_rect(canvas, self.player_x, 0.92, 0.08, 0.04, 0.9)
-        # Enemies (intensity varies by row so the formation has texture).
-        for row in range(self.enemy_rows):
-            for col in range(self.enemy_cols):
-                if self.alive[row, col]:
-                    x, y = self._enemy_position(row, col)
-                    self.draw_rect(canvas, x, y, 0.06, 0.04, 0.4 + 0.1 * row)
-        for bullet in self.bullets:
-            self.draw_point(canvas, bullet[0], bullet[1], 1.0, radius=0)
-        for bomb in self.bombs:
-            self.draw_point(canvas, bomb[0], bomb[1], 0.7, radius=0)
+    @property
+    def bombs(self):
+        """Falling enemy bombs as ``[x, y]`` pairs."""
+        engine = self._engine
+        slots = np.flatnonzero(engine.bomb_alive[0])
+        return [[float(engine.bomb_x[0, s]), float(engine.bomb_y[0, s])] for s in slots]

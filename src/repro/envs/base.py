@@ -113,6 +113,11 @@ class ArcadeGame(Env):
     Sub-classes implement ``_reset_game`` / ``_step_game`` / ``_render_objects``
     in terms of abstract game state; this base class provides the canvas
     renderer, lives handling, score accounting and episode-length limits.
+    (The five shipped engines no longer use these hooks: since the batched
+    runtime refactor they are ``num_envs=1`` views over the struct-of-arrays
+    engines in :mod:`repro.envs.batched` — see
+    :class:`repro.envs.batched.view.BatchedGameView`.  The hook-based path
+    remains fully supported for custom games.)
 
     Parameters
     ----------

@@ -1,0 +1,37 @@
+"""Batched arcade runtime: struct-of-arrays engines + array-native rollouts.
+
+The subsystem behind the ``batched`` vector-env backend.  Each game family
+has one engine holding the state of ``num_envs`` game copies in
+``(num_envs, ...)`` arrays (:mod:`.paddle`, :mod:`.shooter`, :mod:`.maze`,
+:mod:`.duel`, :mod:`.navigator`, all built on :mod:`.core`);
+:class:`~repro.envs.batched.pipeline.BatchedVectorEnv` wraps one engine with
+batched frame-skip / resize / frame-stack / reward-clip transforms; and
+:class:`~repro.envs.batched.view.BatchedGameView` re-exposes a single lane
+through the classic ``ArcadeGame`` API (the serial game classes are such
+views, which is what makes serial and batched trajectories bit-identical).
+"""
+
+from .core import BatchedArcadeEngine, BatchedUnsupportedError, blit_points, blit_rects
+from .duel import BatchedDuelEngine
+from .maze import BatchedMazeEngine
+from .navigator import BatchedNavigatorEngine
+from .paddle import BatchedPaddleEngine
+from .pipeline import BATCHED_ENGINES, BatchedVectorEnv, batched_engine_for
+from .shooter import BatchedShooterEngine
+from .view import BatchedGameView
+
+__all__ = [
+    "BatchedArcadeEngine",
+    "BatchedUnsupportedError",
+    "BatchedGameView",
+    "BatchedPaddleEngine",
+    "BatchedShooterEngine",
+    "BatchedMazeEngine",
+    "BatchedNavigatorEngine",
+    "BatchedDuelEngine",
+    "BatchedVectorEnv",
+    "BATCHED_ENGINES",
+    "batched_engine_for",
+    "blit_rects",
+    "blit_points",
+]

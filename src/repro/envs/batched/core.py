@@ -1,0 +1,339 @@
+"""Struct-of-arrays core of the batched arcade runtime.
+
+Every game engine in :mod:`repro.envs.batched` keeps the state of
+``num_envs`` independent game copies in ``(num_envs, ...)`` NumPy arrays and
+advances the whole batch per tick with vectorised physics.  The design goal
+is *bit-exact equivalence with the serial engines*: stepping a batch of N
+games produces, lane by lane, exactly the float64 trajectory that N
+independent single-env games produce.  Three rules make that hold:
+
+* **Elementwise physics.**  All arithmetic along the env axis is elementwise
+  (masked adds, ``np.where`` selects, fancy-indexed updates), so a lane's
+  values never depend on the batch size or on other lanes.
+* **Per-env RNG streams, serial draw order.**  Each lane owns its own
+  ``numpy.random.Generator`` (the same ``SeedSequence`` plumbing the serial
+  :class:`~repro.envs.vector_env.VectorEnv` uses).  Scalar draws are fetched
+  lane by lane in exactly the conditional order the serial engine would draw
+  them — randomness is the one genuinely sequential part of a step, and it
+  is a handful of scalar draws per lane per tick.
+* **Masked auto-reset and sub-stepping.**  ``step(actions, active=...)``
+  leaves inactive lanes untouched (state, RNG, reward), which is what lets
+  the batched frame-skip pipeline reproduce the serial wrappers' early
+  stop on ``done`` exactly.
+
+Rendering is batched too: sprites are *blitted* into a shared
+``(num_envs, H, W)`` canvas by the gather/max/scatter helpers below instead
+of per-object Python loops (see :func:`blit_rects` / :func:`blit_points`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import ACTION_MEANINGS, Action, Box, Discrete
+
+__all__ = [
+    "BatchedArcadeEngine",
+    "BatchedUnsupportedError",
+    "blit_rects",
+    "blit_points",
+]
+
+
+class BatchedUnsupportedError(ValueError):
+    """Raised when a configuration cannot run on the batched backend.
+
+    :func:`repro.envs.make_vector_env` catches this during backend
+    auto-selection and falls back to the serial backend.
+    """
+
+
+def _as_lane_array(value, count):
+    """Broadcast a scalar or per-entry value to a float64 ``(count,)`` array."""
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        return np.broadcast_to(arr, (count,))
+    return arr
+
+
+def blit_rects(canvas, env_idx, x, y, width, height, intensity):
+    """Max-composite axis-aligned rectangles into a batched canvas.
+
+    Mirrors :meth:`repro.envs.base.ArcadeGame.draw_rect` entry by entry:
+    fractional centres ``(x, y)``, fractional extents ``width`` / ``height``,
+    identical rounding and edge clipping.  Entries overlapping within one
+    call compose through the max exactly like sequential ``draw_rect``
+    calls (uniform-intensity calls take a faster scatter; varying-intensity
+    calls go through ``np.maximum.at``, which handles duplicate pixels).
+    """
+    env_idx = np.asarray(env_idx, dtype=np.int64)
+    count = env_idx.shape[0]
+    if count == 0:
+        return
+    size = canvas.shape[1]
+    x = _as_lane_array(x, count)
+    y = _as_lane_array(y, count)
+    half_w = np.maximum(1, np.rint(_as_lane_array(width, count) * size / 2).astype(np.int64))
+    half_h = np.maximum(1, np.rint(_as_lane_array(height, count) * size / 2).astype(np.int64))
+    cx = np.rint(x * (size - 1)).astype(np.int64)
+    cy = np.rint(y * (size - 1)).astype(np.int64)
+    _scatter_max(
+        canvas, env_idx,
+        cx - half_w, 2 * half_w,
+        cy - half_h, 2 * half_h,
+        _as_lane_array(intensity, count),
+    )
+
+
+def blit_points(canvas, env_idx, x, y, intensity, radius=1):
+    """Max-composite small square blobs (``draw_point`` equivalent)."""
+    env_idx = np.asarray(env_idx, dtype=np.int64)
+    count = env_idx.shape[0]
+    if count == 0:
+        return
+    size = canvas.shape[1]
+    cx = np.rint(_as_lane_array(x, count) * (size - 1)).astype(np.int64)
+    cy = np.rint(_as_lane_array(y, count) * (size - 1)).astype(np.int64)
+    extent = np.full(count, 2 * radius + 1, dtype=np.int64)
+    _scatter_max(
+        canvas, env_idx,
+        cx - radius, extent,
+        cy - radius, extent,
+        _as_lane_array(intensity, count),
+    )
+
+
+def _scatter_max(canvas, env_idx, x0, extent_x, y0, extent_y, intensity):
+    """Blit variable-extent pixel blocks, max-compositing duplicate pixels."""
+    size = canvas.shape[1]
+    span_x = int(extent_x.max())
+    span_y = int(extent_y.max())
+    dx = np.arange(span_x)
+    dy = np.arange(span_y)
+    xs = x0[:, None] + dx[None, :]                      # (count, span_x)
+    ys = y0[:, None] + dy[None, :]                      # (count, span_y)
+    ok_x = (dx[None, :] < extent_x[:, None]) & (xs >= 0) & (xs < size)
+    ok_y = (dy[None, :] < extent_y[:, None]) & (ys >= 0) & (ys < size)
+    mask = ok_y[:, :, None] & ok_x[:, None, :]          # (count, span_y, span_x)
+    shape = mask.shape
+    ee = np.broadcast_to(env_idx[:, None, None], shape)[mask]
+    yy = np.broadcast_to(ys[:, :, None], shape)[mask]
+    xx = np.broadcast_to(xs[:, None, :], shape)[mask]
+    vv = np.broadcast_to(intensity[:, None, None], shape)[mask]
+    if intensity.size and (intensity == intensity.flat[0]).all():
+        # Uniform intensity: duplicate pixels write the same value, so the
+        # (faster) gather/max/scatter is exact.
+        canvas[ee, yy, xx] = np.maximum(canvas[ee, yy, xx], vv)
+    else:
+        # Varying intensity: overlapping entries (e.g. adjacent brick rows
+        # at small render sizes) must keep the max, not the last write.
+        np.maximum.at(canvas, (ee, yy, xx), vv)
+
+
+class BatchedArcadeEngine:
+    """Base class of the struct-of-arrays arcade engines.
+
+    Owns the batched bookkeeping that :class:`~repro.envs.base.ArcadeGame`
+    keeps per instance — lives, score, elapsed steps, sticky actions, episode
+    termination — as ``(num_envs,)`` arrays, plus the per-env generators and
+    the shared render canvas.  Subclasses implement ``_reset_game(mask)`` /
+    ``_step_game(actions, active)`` / ``_render_game(canvas)`` (and
+    optionally ``_game_over()``) against that state.
+
+    Parameters mirror :class:`~repro.envs.base.ArcadeGame`; ``randomize``
+    maps parameter names from :attr:`RANDOMIZABLE` to ``(low, high)`` ranges
+    re-drawn per lane from its own generator on every reset (the
+    scenario-diversity hook of ``make_vector_env(..., randomize=...)``).
+    """
+
+    #: randomize= key -> attribute name of the per-lane float64 parameter array.
+    RANDOMIZABLE = {}
+
+    def __init__(
+        self,
+        game_id,
+        num_envs,
+        render_size=84,
+        max_episode_steps=1000,
+        lives=3,
+        score_scale=1.0,
+        sticky_action_prob=0.0,
+        seed=0,
+        randomize=None,
+    ):
+        self.game_id = game_id
+        self.num_envs = int(num_envs)
+        if self.num_envs < 1:
+            raise ValueError("need at least one environment")
+        self.render_size = int(render_size)
+        self.max_episode_steps = int(max_episode_steps)
+        self.initial_lives = int(lives)
+        self.score_scale = float(score_scale)
+        self.sticky_action_prob = float(sticky_action_prob)
+        self.action_space = Discrete(len(ACTION_MEANINGS))
+        self.observation_space = Box(0.0, 1.0, (self.render_size, self.render_size))
+
+        n = self.num_envs
+        # Constructor seeding matches the serial convention of `make_vector_env`
+        # (sub-env i built with seed + i); reset(seed=...) swaps in SeedSequence
+        # streams via seed_all().
+        self.rngs = [np.random.default_rng(seed + i) for i in range(n)]
+        self._elapsed = np.zeros(n, dtype=np.int64)
+        self._lives = np.full(n, self.initial_lives, dtype=np.int64)
+        self._score = np.zeros(n, dtype=np.float64)
+        self._last_action = np.full(n, Action.NOOP, dtype=np.int64)
+        self._done = np.ones(n, dtype=bool)
+        self._life_lost = np.zeros(n, dtype=bool)
+        self._canvas = np.zeros((n, self.render_size, self.render_size), dtype=np.float64)
+        self._env_indices = np.arange(n, dtype=np.int64)
+
+        self.randomize = dict(randomize) if randomize else {}
+        unknown = sorted(set(self.randomize) - set(self.RANDOMIZABLE))
+        if unknown:
+            raise BatchedUnsupportedError(
+                "cannot randomize {} on {}; supported parameters: {}".format(
+                    ", ".join(unknown), type(self).__name__,
+                    ", ".join(sorted(self.RANDOMIZABLE)) or "(none)",
+                )
+            )
+        self._randomize_order = sorted(self.randomize)
+
+    # ------------------------------------------------------------------ #
+    # Seeding / reset
+    # ------------------------------------------------------------------ #
+    def seed_all(self, rngs):
+        """Install one ``numpy.random.Generator`` per lane."""
+        rngs = list(rngs)
+        if len(rngs) != self.num_envs:
+            raise ValueError(
+                "expected {} generators, got {}".format(self.num_envs, len(rngs))
+            )
+        self.rngs = rngs
+
+    def reset(self, rngs=None):
+        """Reset every lane (optionally re-seeding) and render the first frame."""
+        if rngs is not None:
+            self.seed_all(rngs)
+        self.reset_envs(np.ones(self.num_envs, dtype=bool))
+        return self.observe()
+
+    def reset_envs(self, mask):
+        """Start a new episode on the masked lanes (used by auto-reset)."""
+        mask = np.asarray(mask, dtype=bool)
+        if not mask.any():
+            return
+        for i in np.flatnonzero(mask):
+            rng = self.rngs[i]
+            for name in self._randomize_order:
+                low, high = self.randomize[name]
+                getattr(self, self.RANDOMIZABLE[name])[i] = rng.uniform(low, high)
+        self._elapsed[mask] = 0
+        self._lives[mask] = self.initial_lives
+        self._score[mask] = 0.0
+        self._last_action[mask] = Action.NOOP
+        self._done[mask] = False
+        self._life_lost[mask] = False
+        self._reset_game(mask)
+
+    # ------------------------------------------------------------------ #
+    # Stepping
+    # ------------------------------------------------------------------ #
+    def step(self, actions, active=None):
+        """Advance the masked lanes one tick.
+
+        Returns ``(reward, life_lost)`` arrays; lanes outside ``active`` are
+        untouched (no state change, no RNG consumption, zero reward).  Episode
+        bookkeeping (lives, score, elapsed, done) is applied here exactly as
+        the serial :meth:`ArcadeGame.step` does per env.
+        """
+        n = self.num_envs
+        actions = np.array(actions, dtype=np.int64)
+        if actions.shape != (n,):
+            raise ValueError("expected {} actions, got {}".format(n, actions.shape[0] if actions.ndim else actions))
+        if active is None:
+            active = np.ones(n, dtype=bool)
+        else:
+            active = np.asarray(active, dtype=bool)
+        if (active & self._done).any():
+            raise RuntimeError("step() called on a finished episode; call reset() first")
+        bad = active & ((actions < 0) | (actions >= self.action_space.n))
+        if bad.any():
+            raise ValueError("invalid action {}".format(int(actions[np.flatnonzero(bad)[0]])))
+
+        if self.sticky_action_prob > 0.0:
+            for i in np.flatnonzero(active):
+                if self.rngs[i].random() < self.sticky_action_prob:
+                    actions[i] = self._last_action[i]
+        self._last_action[active] = actions[active]
+
+        reward, life_lost = self._step_game(actions, active)
+        reward = np.where(active, reward * self.score_scale, 0.0)
+        life_lost &= active
+        self._score += reward
+        self._elapsed[active] += 1
+        self._lives -= life_lost
+
+        done = (self._lives <= 0) | (self._elapsed >= self.max_episode_steps) | self._game_over()
+        self._done = np.where(active, done, self._done)
+        self._life_lost = np.where(active, life_lost, self._life_lost)
+        return reward, life_lost
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def observe(self):
+        """Render the whole batch into the shared ``(num_envs, H, W)`` canvas.
+
+        The returned array is reused by the next call — callers that keep
+        frames (frame stacks, skip buffers) must copy the rows they need.
+        """
+        canvas = self._canvas
+        canvas[:] = 0.0
+        self._render_game(canvas)
+        np.clip(canvas, 0.0, 1.0, out=canvas)
+        return canvas
+
+    # ------------------------------------------------------------------ #
+    # State the pipeline / views read
+    # ------------------------------------------------------------------ #
+    @property
+    def done(self):
+        return self._done
+
+    @property
+    def lives(self):
+        return self._lives
+
+    @property
+    def score(self):
+        return self._score
+
+    @property
+    def elapsed_steps(self):
+        return self._elapsed
+
+    @property
+    def life_lost(self):
+        return self._life_lost
+
+    # ------------------------------------------------------------------ #
+    # Hooks
+    # ------------------------------------------------------------------ #
+    def _reset_game(self, mask):
+        raise NotImplementedError
+
+    def _step_game(self, actions, active):
+        raise NotImplementedError
+
+    def _render_game(self, canvas):
+        raise NotImplementedError
+
+    def _game_over(self):
+        """Game-specific extra termination condition (default: none)."""
+        return np.zeros(self.num_envs, dtype=bool)
+
+    def __repr__(self):
+        return "{}(game_id={!r}, num_envs={}, obs={}x{})".format(
+            type(self).__name__, self.game_id, self.num_envs,
+            self.render_size, self.render_size,
+        )

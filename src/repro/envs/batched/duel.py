@@ -1,0 +1,231 @@
+"""Batched one-on-one duel engine (Boxing, Bowling).
+
+Struct-of-arrays port of :class:`repro.envs.arcade.duel.DuelGame`: boxing
+keeps both fighters, cooldowns and the capped raw score as lane arrays;
+bowling keeps the pin rack as an ``(num_envs, pins)`` mask and resolves
+ball/pin contact for the whole batch at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Action
+from .core import BatchedArcadeEngine, blit_points, blit_rects
+
+__all__ = ["BatchedDuelEngine"]
+
+
+def _pin_position(index):
+    """Triangular rack layout near the top of the lane (serial formula)."""
+    row = 0
+    count = 0
+    while count + row + 1 <= index:
+        count += row + 1
+        row += 1
+    col = index - count
+    x = 0.5 + (col - row / 2.0) * 0.08
+    y = 0.1 + row * 0.05
+    return x, y
+
+
+class BatchedDuelEngine(BatchedArcadeEngine):
+    """Batched counterpart of ``DuelGame`` (see there for parameters)."""
+
+    RANDOMIZABLE = {
+        "opponent_skill": "opponent_skill",
+        "player_speed": "player_speed",
+    }
+
+    def __init__(
+        self,
+        game_id="Boxing",
+        num_envs=1,
+        punch_reward=1.0,
+        punch_penalty=1.0,
+        opponent_skill=0.5,
+        score_cap=100.0,
+        static_opponent=False,
+        pins=10,
+        max_throws=21,
+        player_speed=0.05,
+        **kwargs,
+    ):
+        super().__init__(game_id=game_id, num_envs=num_envs, **kwargs)
+        n = self.num_envs
+        self.punch_reward = float(punch_reward)
+        self.punch_penalty = float(punch_penalty)
+        self.opponent_skill = np.full(n, float(opponent_skill))
+        self.score_cap = score_cap
+        self.static_opponent = bool(static_opponent)
+        self.num_pins = int(pins)
+        self.max_throws = int(max_throws)
+        self.player_speed = np.full(n, float(player_speed))
+
+        self.raw_score = np.zeros(n)
+        self.player_x = np.zeros(n)
+        self.player_y = np.zeros(n)
+        if self.static_opponent:
+            self.pins_standing = np.zeros((n, self.num_pins), dtype=bool)
+            self.throws = np.zeros(n, dtype=np.int64)
+            self.ball_active = np.zeros(n, dtype=bool)
+            self.ball_x = np.zeros(n)
+            self.ball_y = np.zeros(n)
+            positions = [_pin_position(i) for i in range(self.num_pins)]
+            self._pin_x = np.array([p[0] for p in positions])
+            self._pin_y = np.array([p[1] for p in positions])
+        else:
+            self.opponent_x = np.zeros(n)
+            self.opponent_y = np.zeros(n)
+            self.player_cooldown = np.zeros(n, dtype=np.int64)
+            self.opponent_cooldown = np.zeros(n, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    def _reset_game(self, mask):
+        self.raw_score[mask] = 0.0
+        if self.static_opponent:
+            self.player_x[mask] = 0.5
+            self.player_y[mask] = 0.9
+            self.pins_standing[mask] = True
+            self.throws[mask] = 0
+            self.ball_active[mask] = False
+        else:
+            self.player_x[mask] = 0.3
+            self.player_y[mask] = 0.5
+            self.opponent_x[mask] = 0.7
+            self.opponent_y[mask] = 0.5
+            self.player_cooldown[mask] = 0
+            self.opponent_cooldown[mask] = 0
+
+    def _step_game(self, actions, active):
+        if self.static_opponent:
+            return self._step_bowling(actions, active)
+        return self._step_boxing(actions, active)
+
+    def _game_over(self):
+        if self.static_opponent:
+            return (self.throws >= self.max_throws) & ~self.ball_active
+        if self.score_cap is not None:
+            return np.abs(self.raw_score) >= self.score_cap
+        return np.zeros(self.num_envs, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    def _step_bowling(self, actions, active):
+        n = self.num_envs
+        reward = np.zeros(n)
+
+        # Lanes whose ball is rolling at the start of the tick take the
+        # rolling branch; everyone else aims (and may throw this tick).
+        rolling = active & self.ball_active
+        aiming = active & ~self.ball_active
+
+        left = aiming & (actions == Action.LEFT)
+        right = aiming & (actions == Action.RIGHT)
+        self.player_x[left] -= self.player_speed[left]
+        self.player_x[right] += self.player_speed[right]
+        throw = aiming & (actions == Action.FIRE) & (self.throws < self.max_throws)
+        self.ball_x[throw] = self.player_x[throw]
+        self.ball_y[throw] = self.player_y[throw]
+        self.ball_active |= throw
+        self.throws[throw] += 1
+        np.clip(self.player_x, 0.2, 0.8, out=self.player_x)
+
+        roll_idx = np.flatnonzero(rolling)
+        if roll_idx.size:
+            self.ball_y[roll_idx] -= 0.06
+            # Small lane drift makes perfect strikes stochastic.
+            drift = np.empty(roll_idx.size)
+            for j, i in enumerate(roll_idx):
+                drift[j] = self.rngs[i].normal(0.0, 0.004)
+            self.ball_x[roll_idx] += drift
+            knocked = (
+                self.pins_standing
+                & rolling[:, None]
+                & (np.abs(self.ball_x[:, None] - self._pin_x) < 0.05)
+                & (np.abs(self.ball_y[:, None] - self._pin_y) < 0.05)
+            )
+            self.pins_standing &= ~knocked
+            np.add.at(reward, np.nonzero(knocked)[0], self.punch_reward)
+            done_roll = rolling & (self.ball_y <= 0.05)
+            self.ball_active &= ~done_roll
+            rerack = done_roll & ~self.pins_standing.any(axis=1)
+            self.pins_standing[rerack] = True  # new rack
+
+        return reward, np.zeros(n, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    def _step_boxing(self, actions, active):
+        n = self.num_envs
+        reward = np.zeros(n)
+        life_lost = np.zeros(n, dtype=bool)
+
+        cooling = active & (self.player_cooldown > 0)
+        self.player_cooldown[cooling] -= 1
+        cooling = active & (self.opponent_cooldown > 0)
+        self.opponent_cooldown[cooling] -= 1
+
+        left = active & (actions == Action.LEFT)
+        right = active & (actions == Action.RIGHT)
+        up = active & (actions == Action.UP)
+        down = active & (actions == Action.DOWN)
+        self.player_x[left] -= self.player_speed[left]
+        self.player_x[right] += self.player_speed[right]
+        self.player_y[up] -= self.player_speed[up]
+        self.player_y[down] += self.player_speed[down]
+        np.clip(self.player_x, 0.1, 0.9, out=self.player_x)
+        np.clip(self.player_y, 0.1, 0.9, out=self.player_y)
+
+        distance = np.hypot(
+            self.player_x - self.opponent_x, self.player_y - self.opponent_y
+        )
+
+        # Player punch.
+        punch = active & (actions == Action.FIRE) & (self.player_cooldown == 0)
+        self.player_cooldown[punch] = 3
+        landed = punch & (distance < 0.15)
+        reward[landed] += self.punch_reward
+        self.raw_score[landed] += self.punch_reward
+
+        # Opponent behaviour: close in and counter-punch when skilled,
+        # wander otherwise (two normal draws, as serial).
+        skilled = np.zeros(n, dtype=bool)
+        wander_x = np.zeros(n)
+        wander_y = np.zeros(n)
+        for i in np.flatnonzero(active):
+            rng = self.rngs[i]
+            if rng.random() < self.opponent_skill[i]:
+                skilled[i] = True
+            else:
+                wander_x[i] = rng.normal(0.0, 0.01)
+                wander_y[i] = rng.normal(0.0, 0.01)
+        dx = np.sign(self.player_x - self.opponent_x)
+        dy = np.sign(self.player_y - self.opponent_y)
+        self.opponent_x[skilled] += dx[skilled] * self.player_speed[skilled] * 0.6
+        self.opponent_y[skilled] += dy[skilled] * self.player_speed[skilled] * 0.6
+        counter = skilled & (distance < 0.15) & (self.opponent_cooldown == 0)
+        self.opponent_cooldown[counter] = 4
+        reward[counter] -= self.punch_penalty
+        self.raw_score[counter] -= self.punch_penalty
+        wandering = active & ~skilled
+        self.opponent_x[wandering] += wander_x[wandering]
+        self.opponent_y[wandering] += wander_y[wandering]
+        np.clip(self.opponent_x, 0.1, 0.9, out=self.opponent_x)
+        np.clip(self.opponent_y, 0.1, 0.9, out=self.opponent_y)
+
+        return reward, life_lost
+
+    # ------------------------------------------------------------------ #
+    def _render_game(self, canvas):
+        envs = self._env_indices
+        if self.static_opponent:
+            blit_rects(canvas, envs, self.player_x, self.player_y, 0.06, 0.04, 1.0)
+            env, pin = np.nonzero(self.pins_standing)
+            blit_points(canvas, env, self._pin_x[pin], self._pin_y[pin], 0.7, radius=1)
+            ball = np.flatnonzero(self.ball_active)
+            blit_points(canvas, ball, self.ball_x[ball], self.ball_y[ball], 0.9, radius=1)
+        else:
+            # Ring ropes.
+            blit_rects(canvas, envs, 0.5, 0.05, 0.9, 0.02, 0.2)
+            blit_rects(canvas, envs, 0.5, 0.95, 0.9, 0.02, 0.2)
+            blit_rects(canvas, envs, self.player_x, self.player_y, 0.07, 0.07, 1.0)
+            blit_rects(canvas, envs, self.opponent_x, self.opponent_y, 0.07, 0.07, 0.5)

@@ -1,0 +1,242 @@
+"""Batched maze/chase engine (Alien, WizardOfWor, Qbert, MsPacman).
+
+Struct-of-arrays port of :class:`repro.envs.arcade.maze.MazeGame`.  Walls and
+pellets live in ``(num_envs, grid, grid)`` boolean grids; the static part of
+the frame (walls + remaining pellets) renders from a cached per-lane layer
+that is patched incrementally — collecting a pellet clears one pixel, only a
+level respawn re-blits a lane.  Enemy moves keep the serial draw order: for
+each enemy index, each moving lane draws its chase/random scalars from its
+own generator before the move itself is applied vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Action
+from .core import BatchedArcadeEngine, blit_points, blit_rects
+
+__all__ = ["BatchedMazeEngine"]
+
+#: Row/column deltas per action id (NOOP, FIRE, UP, DOWN, LEFT, RIGHT).
+_ACTION_DR = np.array([0, 0, -1, 1, 0, 0], dtype=np.int64)
+_ACTION_DC = np.array([0, 0, 0, 0, -1, 1], dtype=np.int64)
+#: Random-walk deltas in the serial engine's dict order (UP, DOWN, LEFT, RIGHT).
+_WALK_DR = np.array([-1, 1, 0, 0], dtype=np.int64)
+_WALK_DC = np.array([0, 0, -1, 1], dtype=np.int64)
+
+
+class BatchedMazeEngine(BatchedArcadeEngine):
+    """Batched counterpart of ``MazeGame`` (see there for parameters)."""
+
+    RANDOMIZABLE = {
+        "chase_prob": "chase_prob",
+        "wall_density": "wall_density",
+    }
+
+    def __init__(
+        self,
+        game_id="Alien",
+        num_envs=1,
+        grid_size=11,
+        num_enemies=3,
+        chase_prob=0.4,
+        pellet_reward=10.0,
+        clear_bonus=100.0,
+        enemy_penalty=0.0,
+        wall_density=0.15,
+        enemy_move_every=1,
+        **kwargs,
+    ):
+        super().__init__(game_id=game_id, num_envs=num_envs, **kwargs)
+        n = self.num_envs
+        self.grid_size = int(grid_size)
+        self.num_enemies = int(num_enemies)
+        self.chase_prob = np.full(n, float(chase_prob))
+        self.pellet_reward = float(pellet_reward)
+        self.clear_bonus = float(clear_bonus)
+        self.enemy_penalty = float(enemy_penalty)
+        self.wall_density = np.full(n, float(wall_density))
+        self.enemy_move_every = int(enemy_move_every)
+
+        size = self.grid_size
+        self.level = np.zeros(n, dtype=np.int64)
+        self.walls = np.zeros((n, size, size), dtype=bool)
+        self.pellets = np.zeros((n, size, size), dtype=bool)
+        self.player_r = np.zeros(n, dtype=np.int64)
+        self.player_c = np.zeros(n, dtype=np.int64)
+        self.enemy_r = np.zeros((n, max(self.num_enemies, 1)), dtype=np.int64)
+        self.enemy_c = np.zeros((n, max(self.num_enemies, 1)), dtype=np.int64)
+        self._tick = np.zeros(n, dtype=np.int64)
+
+        self._layer = np.zeros((n, self.render_size, self.render_size))
+        # Grids the cached layer was blitted from; lanes whose walls or
+        # pellets differ (level spawns, pellet pickups that bypassed the
+        # incremental patch, external mutation) are re-blitted.
+        self._layer_walls = self.walls.copy()
+        self._layer_pellets = self.pellets.copy()
+        # Pixel centre of each grid cell (for incremental pellet clearing).
+        cell = 1.0 / size
+        centres = (np.arange(size) + 0.5) * cell
+        self._cell_px = np.rint(centres * (self.render_size - 1)).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    def _reset_game(self, mask):
+        self.level[mask] = 0
+        self._spawn_level(mask)
+
+    def _spawn_level(self, mask):
+        """Generate walls, pellets, and starting positions on masked lanes."""
+        idx = np.flatnonzero(mask)
+        if idx.size == 0:
+            return
+        size = self.grid_size
+        centre = size // 2
+        self.level[idx] += 1
+        corners = ((1, 1), (1, size - 2), (size - 2, 1), (size - 2, size - 2))
+        for i in idx:
+            interior = self.rngs[i].random((size - 2, size - 2)) < self.wall_density[i]
+            walls = self.walls[i]
+            walls[:] = False
+            walls[1:-1, 1:-1] = interior
+            walls[0, :] = True
+            walls[-1, :] = True
+            walls[:, 0] = True
+            walls[:, -1] = True
+            walls[centre, centre] = False
+            pellets = self.pellets[i]
+            np.logical_not(walls, out=pellets)
+            pellets[centre, centre] = False
+            for e in range(self.num_enemies):
+                row, col = corners[e % len(corners)]
+                walls[row, col] = False
+                pellets[row, col] = False
+                self.enemy_r[i, e] = row
+                self.enemy_c[i, e] = col
+        self.player_r[idx] = centre
+        self.player_c[idx] = centre
+        self._tick[idx] = 0
+
+    def _step_game(self, actions, active):
+        n = self.num_envs
+        envs = self._env_indices
+        reward = np.zeros(n)
+        life_lost = np.zeros(n, dtype=bool)
+        self._tick[active] += 1
+
+        # Player move (walls block; the border guarantees targets stay in-grid).
+        moving = active & (actions >= Action.UP)
+        target_r = self.player_r + _ACTION_DR[actions]
+        target_c = self.player_c + _ACTION_DC[actions]
+        allowed = moving & ~self.walls[envs, target_r, target_c]
+        self.player_r[allowed] = target_r[allowed]
+        self.player_c[allowed] = target_c[allowed]
+
+        # Collect pellet.
+        collected = active & self.pellets[envs, self.player_r, self.player_c]
+        coll_idx = np.flatnonzero(collected)
+        if coll_idx.size:
+            self.pellets[coll_idx, self.player_r[coll_idx], self.player_c[coll_idx]] = False
+            reward[collected] += self.pellet_reward
+            # Patch the cached layer in place: a pellet is a single pixel no
+            # wall block reaches, so clearing it needs no re-blit.  The
+            # layer's reference grid is updated in step so the per-render
+            # comparison stays clean.
+            self._layer[
+                coll_idx,
+                self._cell_px[self.player_r[coll_idx]],
+                self._cell_px[self.player_c[coll_idx]],
+            ] = 0.0
+            self._layer_pellets[
+                coll_idx, self.player_r[coll_idx], self.player_c[coll_idx]
+            ] = False
+
+        # Enemies move (chase with probability chase_prob, random otherwise),
+        # harder levels move every tick even if enemy_move_every > 1.
+        period = np.maximum(1, self.enemy_move_every - (self.level - 1))
+        enemies_move = active & (self._tick % period == 0)
+        move_idx = np.flatnonzero(enemies_move)
+        if move_idx.size:
+            threshold = np.minimum(0.95, self.chase_prob + 0.05 * (self.level - 1))
+            for e in range(self.num_enemies):
+                chase = np.zeros(n, dtype=bool)
+                walk = np.zeros(n, dtype=np.int64)
+                for i in move_idx:
+                    if self.rngs[i].random() < threshold[i]:
+                        chase[i] = True
+                    else:
+                        walk[i] = self.rngs[i].integers(4)
+                diff_r = self.player_r - self.enemy_r[:, e]
+                diff_c = self.player_c - self.enemy_c[:, e]
+                vertical = np.abs(diff_r) >= np.abs(diff_c)
+                dr = np.where(
+                    chase, np.where(vertical, np.sign(diff_r), 0), _WALK_DR[walk]
+                )
+                dc = np.where(
+                    chase, np.where(vertical, 0, np.sign(diff_c)), _WALK_DC[walk]
+                )
+                target_r = self.enemy_r[:, e] + dr
+                target_c = self.enemy_c[:, e] + dc
+                step_ok = enemies_move & ~self.walls[envs, target_r, target_c]
+                self.enemy_r[step_ok, e] = target_r[step_ok]
+                self.enemy_c[step_ok, e] = target_c[step_ok]
+
+        # Collision with an enemy (one life / penalty per tick, as serial).
+        if self.num_enemies:
+            caught = active & (
+                (self.enemy_r == self.player_r[:, None])
+                & (self.enemy_c == self.player_c[:, None])
+            ).any(axis=1)
+        else:
+            caught = np.zeros(n, dtype=bool)
+        life_lost |= caught
+        reward[caught] -= self.enemy_penalty
+        # Respawn the player at the centre after being caught.
+        self.player_r[caught] = self.grid_size // 2
+        self.player_c[caught] = self.grid_size // 2
+
+        # Level cleared.
+        cleared = active & ~self.pellets.any(axis=(1, 2))
+        reward[cleared] += self.clear_bonus * self.level[cleared]
+        self._spawn_level(cleared)
+
+        return reward, life_lost
+
+    # ------------------------------------------------------------------ #
+    def _refresh_layer(self):
+        """Re-blit walls + pellets for lanes whose static geometry changed.
+
+        Change detection compares the live grids against the ones the layer
+        was drawn from (pellet pickups patch both in place), so level
+        respawns *and* external mutation of the exposed ``walls`` /
+        ``pellets`` arrays invalidate correctly.
+        """
+        dirty = (
+            (self.walls != self._layer_walls).any(axis=(1, 2))
+            | (self.pellets != self._layer_pellets).any(axis=(1, 2))
+        )
+        if not dirty.any():
+            return
+        self._layer[dirty] = 0.0
+        cell = 1.0 / self.grid_size
+        env, row, col = np.nonzero(self.walls & dirty[:, None, None])
+        blit_rects(self._layer, env, (col + 0.5) * cell, (row + 0.5) * cell, cell, cell, 0.3)
+        env, row, col = np.nonzero(self.pellets & dirty[:, None, None])
+        blit_points(self._layer, env, (col + 0.5) * cell, (row + 0.5) * cell, 0.5, radius=0)
+        self._layer_walls[dirty] = self.walls[dirty]
+        self._layer_pellets[dirty] = self.pellets[dirty]
+
+    def _render_game(self, canvas):
+        self._refresh_layer()
+        np.maximum(canvas, self._layer, out=canvas)
+        cell = 1.0 / self.grid_size
+        if self.num_enemies:
+            env = np.repeat(self._env_indices, self.num_enemies)
+            x = (self.enemy_c[:, : self.num_enemies].reshape(-1) + 0.5) * cell
+            y = (self.enemy_r[:, : self.num_enemies].reshape(-1) + 0.5) * cell
+            blit_rects(canvas, env, x, y, cell * 0.8, cell * 0.8, 0.7)
+        blit_rects(
+            canvas, self._env_indices,
+            (self.player_c + 0.5) * cell, (self.player_r + 0.5) * cell,
+            cell * 0.8, cell * 0.8, 1.0,
+        )

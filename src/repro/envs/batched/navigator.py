@@ -1,0 +1,258 @@
+"""Batched free-navigation shooter engine (ChopperCommand, Seaquest, ...).
+
+Struct-of-arrays port of :class:`repro.envs.arcade.navigator.NavigatorGame`.
+Targets, hazards, rescues, and bullets occupy fixed-capacity slot arrays with
+alive masks and per-lane sequence numbers; bullets are processed in insertion
+order (a loop over the at-most-3 ranks) and each bullet kills the *oldest*
+matching target, reproducing the serial list-scan semantics exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Action
+from .core import BatchedArcadeEngine, blit_points, blit_rects
+
+__all__ = ["BatchedNavigatorEngine"]
+
+_NO_SEQ = np.iinfo(np.int64).max
+_BULLET_CAP = 3
+
+
+class _SlotGroup:
+    """Fixed-capacity drifting-object pool (targets / hazards / rescues)."""
+
+    def __init__(self, num_envs, capacity):
+        self.x = np.zeros((num_envs, capacity))
+        self.y = np.zeros((num_envs, capacity))
+        self.vx = np.zeros((num_envs, capacity))
+        self.alive = np.zeros((num_envs, capacity), dtype=bool)
+        self.seq = np.zeros((num_envs, capacity), dtype=np.int64)
+        self.counter = np.zeros(num_envs, dtype=np.int64)
+
+    def clear(self, mask):
+        self.alive[mask] = False
+        self.counter[mask] = 0
+
+    def add(self, env, x, y, vx):
+        slot = int(np.argmax(~self.alive[env]))
+        self.x[env, slot] = x
+        self.y[env, slot] = y
+        self.vx[env, slot] = vx
+        self.alive[env, slot] = True
+        self.seq[env, slot] = self.counter[env]
+        self.counter[env] += 1
+
+    def drift_and_cull(self, active):
+        """Move alive objects of active lanes; drop the out-of-bounds ones."""
+        moving = self.alive & active[:, None]
+        self.x[moving] += self.vx[moving]
+        self.alive &= ~(moving & ~((self.x > 0.0) & (self.x < 1.0)))
+
+
+class BatchedNavigatorEngine(BatchedArcadeEngine):
+    """Batched counterpart of ``NavigatorGame`` (see there for parameters)."""
+
+    RANDOMIZABLE = {
+        "target_spawn_prob": "target_spawn_prob",
+        "hazard_spawn_prob": "hazard_spawn_prob",
+        "target_speed": "target_speed",
+        "hazard_speed": "hazard_speed",
+        "player_speed": "player_speed",
+    }
+
+    def __init__(
+        self,
+        game_id="ChopperCommand",
+        num_envs=1,
+        target_points=100.0,
+        rescue_points=0.0,
+        target_spawn_prob=0.12,
+        hazard_spawn_prob=0.06,
+        rescue_spawn_prob=0.0,
+        target_speed=0.015,
+        hazard_speed=0.02,
+        player_speed=0.05,
+        bullet_speed=0.08,
+        max_objects=8,
+        vertical_motion=True,
+        **kwargs,
+    ):
+        super().__init__(game_id=game_id, num_envs=num_envs, **kwargs)
+        n = self.num_envs
+        self.target_points = float(target_points)
+        self.rescue_points = float(rescue_points)
+        self.target_spawn_prob = np.full(n, float(target_spawn_prob))
+        self.hazard_spawn_prob = np.full(n, float(hazard_spawn_prob))
+        self.rescue_spawn_prob = float(rescue_spawn_prob)
+        self.target_speed = np.full(n, float(target_speed))
+        self.hazard_speed = np.full(n, float(hazard_speed))
+        self.player_speed = np.full(n, float(player_speed))
+        self.bullet_speed = float(bullet_speed)
+        self.max_objects = int(max_objects)
+        self.vertical_motion = bool(vertical_motion)
+
+        self.player_x = np.full(n, 0.5)
+        self.player_y = np.zeros(n)
+        self.facing = np.ones(n)
+        cap = self.max_objects
+        self.targets = _SlotGroup(n, cap)
+        self.hazards = _SlotGroup(n, cap)
+        self.rescues = _SlotGroup(n, cap)
+        self.bullet_x = np.zeros((n, _BULLET_CAP))
+        self.bullet_y = np.zeros((n, _BULLET_CAP))
+        self.bullet_vx = np.zeros((n, _BULLET_CAP))
+        self.bullet_vy = np.zeros((n, _BULLET_CAP))
+        self.bullet_alive = np.zeros((n, _BULLET_CAP), dtype=bool)
+        self.bullet_seq = np.zeros((n, _BULLET_CAP), dtype=np.int64)
+        self._bullet_counter = np.zeros(n, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    def _reset_game(self, mask):
+        self.player_x[mask] = 0.5
+        self.player_y[mask] = 0.8 if self.vertical_motion else 0.9
+        self.facing[mask] = 1.0
+        self.targets.clear(mask)
+        self.hazards.clear(mask)
+        self.rescues.clear(mask)
+        self.bullet_alive[mask] = False
+        self._bullet_counter[mask] = 0
+
+    def _spawn_object(self, group, env, speed):
+        """One edge spawn (serial draw order: side, then vertical position)."""
+        rng = self.rngs[env]
+        side = rng.integers(2)
+        x = 0.02 if side == 0 else 0.98
+        vx = speed if side == 0 else -speed
+        y = rng.uniform(0.1, 0.85)
+        group.add(env, x, y, vx)
+
+    def _step_game(self, actions, active):
+        n = self.num_envs
+        envs = self._env_indices
+        reward = np.zeros(n)
+        life_lost = np.zeros(n, dtype=bool)
+
+        # Player control.
+        left = active & (actions == Action.LEFT)
+        right = active & (actions == Action.RIGHT)
+        self.player_x[left] -= self.player_speed[left]
+        self.facing[left] = -1.0
+        self.player_x[right] += self.player_speed[right]
+        self.facing[right] = 1.0
+        if self.vertical_motion:
+            up = active & (actions == Action.UP)
+            down = active & (actions == Action.DOWN)
+            self.player_y[up] -= self.player_speed[up]
+            self.player_y[down] += self.player_speed[down]
+        fire = (
+            active
+            & (actions == Action.FIRE)
+            & (self.bullet_alive.sum(axis=1) < _BULLET_CAP)
+        )
+        fire_idx = np.flatnonzero(fire)
+        if fire_idx.size:
+            slot = np.argmax(~self.bullet_alive[fire_idx], axis=1)
+            self.bullet_x[fire_idx, slot] = self.player_x[fire_idx]
+            self.bullet_y[fire_idx, slot] = self.player_y[fire_idx]
+            if self.vertical_motion:
+                # Free-flight games shoot in the direction the player faces.
+                self.bullet_vx[fire_idx, slot] = self.facing[fire_idx] * self.bullet_speed
+                self.bullet_vy[fire_idx, slot] = 0.0
+            else:
+                # Bottom-pinned games (BeamRider, BattleZone) shoot upward.
+                self.bullet_vx[fire_idx, slot] = 0.0
+                self.bullet_vy[fire_idx, slot] = -self.bullet_speed
+            self.bullet_alive[fire_idx, slot] = True
+            self.bullet_seq[fire_idx, slot] = self._bullet_counter[fire_idx]
+            self._bullet_counter[fire_idx] += 1
+        np.clip(self.player_x, 0.05, 0.95, out=self.player_x)
+        np.clip(self.player_y, 0.1, 0.9, out=self.player_y)
+
+        # Spawning (per-lane conditional draws, in the serial order:
+        # targets, then hazards, then rescues).
+        target_room = self.targets.alive.sum(axis=1) < self.max_objects
+        hazard_room = self.hazards.alive.sum(axis=1) < self.max_objects
+        rescue_room = self.rescues.alive.sum(axis=1) < self.max_objects
+        rescues_on = self.rescue_points > 0.0
+        for i in np.flatnonzero(active):
+            rng = self.rngs[i]
+            if target_room[i] and rng.random() < self.target_spawn_prob[i]:
+                self._spawn_object(self.targets, i, self.target_speed[i])
+            if hazard_room[i] and rng.random() < self.hazard_spawn_prob[i]:
+                self._spawn_object(self.hazards, i, self.hazard_speed[i])
+            if rescues_on and rescue_room[i] and rng.random() < self.rescue_spawn_prob:
+                self._spawn_object(self.rescues, i, self.target_speed[i] * 0.5)
+
+        # Object drift + out-of-bounds culling.
+        self.targets.drift_and_cull(active)
+        self.hazards.drift_and_cull(active)
+        self.rescues.drift_and_cull(active)
+
+        # Bullets fly and destroy targets, in per-lane insertion order.
+        order = np.argsort(
+            np.where(self.bullet_alive, self.bullet_seq, _NO_SEQ), axis=1, kind="stable"
+        )
+        targets = self.targets
+        for rank in range(_BULLET_CAP):
+            slot = order[:, rank]
+            acting = active & self.bullet_alive[envs, slot]
+            if not acting.any():
+                continue
+            act_idx = np.flatnonzero(acting)
+            act_slot = slot[act_idx]
+            self.bullet_x[act_idx, act_slot] += self.bullet_vx[act_idx, act_slot]
+            self.bullet_y[act_idx, act_slot] += self.bullet_vy[act_idx, act_slot]
+            bx = self.bullet_x[envs, slot]
+            by = self.bullet_y[envs, slot]
+            out = acting & ~((bx > 0.0) & (bx < 1.0) & (by > 0.0) & (by < 1.0))
+            out_idx = np.flatnonzero(out)
+            self.bullet_alive[out_idx, slot[out_idx]] = False
+            flying = acting & ~out
+            match = (
+                targets.alive
+                & (np.abs(bx[:, None] - targets.x) < 0.05)
+                & (np.abs(by[:, None] - targets.y) < 0.05)
+                & flying[:, None]
+            )
+            hit = match.any(axis=1)
+            # The serial scan deletes the first match in list order == the
+            # alive target with the smallest sequence number.
+            first = np.where(match, targets.seq, _NO_SEQ).argmin(axis=1)
+            hit_idx = np.flatnonzero(hit)
+            targets.alive[hit_idx, first[hit_idx]] = False
+            reward[hit] += self.target_points
+            self.bullet_alive[hit_idx, slot[hit_idx]] = False
+
+        # Hazard collisions.
+        struck = (
+            self.hazards.alive & active[:, None]
+            & (np.abs(self.hazards.x - self.player_x[:, None]) < 0.05)
+            & (np.abs(self.hazards.y - self.player_y[:, None]) < 0.05)
+        )
+        life_lost |= struck.any(axis=1)
+        self.hazards.alive &= ~struck
+
+        # Rescue pickups (one reward increment per rescue, as serial).
+        saved = (
+            self.rescues.alive & active[:, None]
+            & (np.abs(self.rescues.x - self.player_x[:, None]) < 0.06)
+            & (np.abs(self.rescues.y - self.player_y[:, None]) < 0.06)
+        )
+        np.add.at(reward, np.nonzero(saved)[0], self.rescue_points)
+        self.rescues.alive &= ~saved
+
+        return reward, life_lost
+
+    # ------------------------------------------------------------------ #
+    def _render_game(self, canvas):
+        blit_rects(canvas, self._env_indices, self.player_x, self.player_y, 0.07, 0.05, 1.0)
+        env, slot = np.nonzero(self.targets.alive)
+        blit_rects(canvas, env, self.targets.x[env, slot], self.targets.y[env, slot], 0.05, 0.04, 0.6)
+        env, slot = np.nonzero(self.hazards.alive)
+        blit_rects(canvas, env, self.hazards.x[env, slot], self.hazards.y[env, slot], 0.05, 0.04, 0.35)
+        env, slot = np.nonzero(self.rescues.alive)
+        blit_points(canvas, env, self.rescues.x[env, slot], self.rescues.y[env, slot], 0.8, radius=1)
+        env, slot = np.nonzero(self.bullet_alive)
+        blit_points(canvas, env, self.bullet_x[env, slot], self.bullet_y[env, slot], 0.9, radius=0)

@@ -1,0 +1,241 @@
+"""Batched fixed-shooter engine (SpaceInvaders, Assault, DemonAttack, ...).
+
+Struct-of-arrays port of :class:`repro.envs.arcade.shooter.ShooterGame`.
+Formations, bullets, and bombs live in ``(num_envs, ...)`` arrays; player
+bullets are processed in per-lane insertion order (sequence numbers + a loop
+over the at-most-``max_player_bullets`` ranks, not over lanes) so the serial
+"first bullet kills the enemy, the second flies on" semantics hold exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Action
+from .core import BatchedArcadeEngine, blit_points, blit_rects
+
+__all__ = ["BatchedShooterEngine"]
+
+_NO_SEQ = np.iinfo(np.int64).max
+
+
+class BatchedShooterEngine(BatchedArcadeEngine):
+    """Batched counterpart of ``ShooterGame`` (see there for parameters)."""
+
+    RANDOMIZABLE = {
+        "enemy_speed": "enemy_speed",
+        "bomb_prob": "bomb_prob",
+        "player_speed": "player_speed",
+    }
+
+    def __init__(
+        self,
+        game_id="SpaceInvaders",
+        num_envs=1,
+        enemy_rows=4,
+        enemy_cols=6,
+        enemy_points=10.0,
+        enemy_speed=0.01,
+        descend_step=0.04,
+        bomb_prob=0.08,
+        bomb_speed=0.03,
+        wave_bonus=50.0,
+        player_speed=0.05,
+        bullet_speed=0.08,
+        max_player_bullets=2,
+        **kwargs,
+    ):
+        super().__init__(game_id=game_id, num_envs=num_envs, **kwargs)
+        n = self.num_envs
+        self.enemy_rows = int(enemy_rows)
+        self.enemy_cols = int(enemy_cols)
+        self.enemy_points = float(enemy_points)
+        self.enemy_speed = np.full(n, float(enemy_speed))
+        self.descend_step = float(descend_step)
+        self.bomb_prob = np.full(n, float(bomb_prob))
+        self.bomb_speed = float(bomb_speed)
+        self.wave_bonus = float(wave_bonus)
+        self.player_speed = np.full(n, float(player_speed))
+        self.bullet_speed = float(bullet_speed)
+        self.max_player_bullets = int(max_player_bullets)
+
+        self.player_x = np.full(n, 0.5)
+        self.wave = np.zeros(n, dtype=np.int64)
+        self.alive = np.zeros((n, self.enemy_rows, self.enemy_cols), dtype=bool)
+        self.formation_x = np.zeros(n)
+        self.formation_y = np.zeros(n)
+        self.formation_dir = np.ones(n)
+        self.current_speed = np.zeros(n)
+
+        cap = max(1, self.max_player_bullets)
+        self.bullet_x = np.zeros((n, cap))
+        self.bullet_y = np.zeros((n, cap))
+        self.bullet_alive = np.zeros((n, cap), dtype=bool)
+        self.bullet_seq = np.zeros((n, cap), dtype=np.int64)
+        self._bullet_counter = np.zeros(n, dtype=np.int64)
+
+        bomb_cap = 8
+        self.bomb_x = np.zeros((n, bomb_cap))
+        self.bomb_y = np.zeros((n, bomb_cap))
+        self.bomb_alive = np.zeros((n, bomb_cap), dtype=bool)
+
+        # Per-enemy offsets from the formation origin (static grid geometry).
+        self._col_offset = np.arange(self.enemy_cols) * 0.6 / max(self.enemy_cols - 1, 1)
+        self._row_offset = np.arange(self.enemy_rows) * 0.28 / max(self.enemy_rows - 1, 1)
+
+    # ------------------------------------------------------------------ #
+    def _reset_game(self, mask):
+        self.player_x[mask] = 0.5
+        self.wave[mask] = 0
+        self._spawn_wave(mask)
+        self.bullet_alive[mask] = False
+        self._bullet_counter[mask] = 0
+        self.bomb_alive[mask] = False
+
+    def _spawn_wave(self, mask):
+        """Lay out fresh formations on the masked lanes; later waves are faster."""
+        self.alive[mask] = True
+        self.formation_x[mask] = 0.2
+        self.formation_y[mask] = 0.08
+        self.formation_dir[mask] = 1.0
+        self.wave[mask] += 1
+        self.current_speed[mask] = self.enemy_speed[mask] * (1.0 + 0.25 * (self.wave[mask] - 1))
+
+    def _grow_bombs(self):
+        """Double the bomb capacity (rarely needed; preserves slot contents)."""
+        n, cap = self.bomb_x.shape
+        for name in ("bomb_x", "bomb_y"):
+            grown = np.zeros((n, cap * 2))
+            grown[:, :cap] = getattr(self, name)
+            setattr(self, name, grown)
+        grown = np.zeros((n, cap * 2), dtype=bool)
+        grown[:, :cap] = self.bomb_alive
+        self.bomb_alive = grown
+
+    def _add_bomb(self, env, x, y):
+        free = np.flatnonzero(~self.bomb_alive[env])
+        if free.size == 0:
+            self._grow_bombs()
+            free = np.flatnonzero(~self.bomb_alive[env])
+        slot = free[0]
+        self.bomb_x[env, slot] = x
+        self.bomb_y[env, slot] = y
+        self.bomb_alive[env, slot] = True
+
+    def _step_game(self, actions, active):
+        n = self.num_envs
+        envs = self._env_indices
+        reward = np.zeros(n)
+        life_lost = np.zeros(n, dtype=bool)
+
+        # Player control.
+        left = active & (actions == Action.LEFT)
+        right = active & (actions == Action.RIGHT)
+        self.player_x[left] -= self.player_speed[left]
+        self.player_x[right] += self.player_speed[right]
+        fire = (
+            active
+            & (actions == Action.FIRE)
+            & (self.bullet_alive.sum(axis=1) < self.max_player_bullets)
+        )
+        fire_idx = np.flatnonzero(fire)
+        if fire_idx.size:
+            slot = np.argmax(~self.bullet_alive[fire_idx], axis=1)
+            self.bullet_x[fire_idx, slot] = self.player_x[fire_idx]
+            self.bullet_y[fire_idx, slot] = 0.88
+            self.bullet_alive[fire_idx, slot] = True
+            self.bullet_seq[fire_idx, slot] = self._bullet_counter[fire_idx]
+            self._bullet_counter[fire_idx] += 1
+        np.clip(self.player_x, 0.05, 0.95, out=self.player_x)
+
+        # Formation movement.
+        self.formation_x[active] += self.formation_dir[active] * self.current_speed[active]
+        rightmost = self.formation_x + 0.6
+        bounced = active & ((self.formation_x <= 0.05) | (rightmost >= 0.95))
+        self.formation_dir[bounced] = -self.formation_dir[bounced]
+        self.formation_y[bounced] += self.descend_step
+        # Formation reached the player row: lose a life, respawn, step ends.
+        reached = active & (self.formation_y + 0.28 >= 0.85) & self.alive.any(axis=(1, 2))
+        life_lost |= reached
+        self._spawn_wave(reached)
+        finished = reached
+
+        # Enemy bombs (one conditional scalar draw per armed lane, as serial).
+        armed = active & ~finished & self.alive.any(axis=(1, 2))
+        for i in np.flatnonzero(armed):
+            rng = self.rngs[i]
+            if rng.random() < self.bomb_prob[i]:
+                candidates = np.argwhere(self.alive[i])
+                row, col = candidates[rng.integers(len(candidates))]
+                x = self.formation_x[i] + col * 0.6 / max(self.enemy_cols - 1, 1)
+                y = self.formation_y[i] + row * 0.28 / max(self.enemy_rows - 1, 1)
+                self._add_bomb(i, x, y)
+
+        # Player bullets move up and hit enemies, in per-lane insertion order.
+        stepping = active & ~finished
+        enemy_x = self.formation_x[:, None, None] + self._col_offset[None, None, :]
+        enemy_y = self.formation_y[:, None, None] + self._row_offset[None, :, None]
+        order = np.argsort(
+            np.where(self.bullet_alive, self.bullet_seq, _NO_SEQ), axis=1, kind="stable"
+        )
+        for rank in range(order.shape[1]):
+            slot = order[:, rank]
+            acting = stepping & self.bullet_alive[envs, slot]
+            if not acting.any():
+                continue
+            act_idx = np.flatnonzero(acting)
+            act_slot = slot[act_idx]
+            self.bullet_y[act_idx, act_slot] -= self.bullet_speed
+            gone = acting & (self.bullet_y[envs, slot] <= 0.0)
+            self.bullet_alive[np.flatnonzero(gone), slot[np.flatnonzero(gone)]] = False
+            flying = acting & ~gone
+            match = (
+                self.alive
+                & (np.abs(self.bullet_x[envs, slot][:, None, None] - enemy_x) < 0.05)
+                & (np.abs(self.bullet_y[envs, slot][:, None, None] - enemy_y) < 0.04)
+                & flying[:, None, None]
+            )
+            hit = match.any(axis=(1, 2))
+            # argmax over the flattened grid picks the first match in
+            # row-major order, the serial scan order.
+            first = match.reshape(n, -1).argmax(axis=1)
+            row, col = np.divmod(first, self.enemy_cols)
+            hit_idx = np.flatnonzero(hit)
+            self.alive[hit_idx, row[hit_idx], col[hit_idx]] = False
+            # Higher (further) rows are worth more, as in Space Invaders.
+            reward[hit] += self.enemy_points * (self.enemy_rows - row[hit])
+            self.bullet_alive[hit_idx, slot[hit_idx]] = False
+
+        # Bombs move down and may hit the player.
+        falling = self.bomb_alive & stepping[:, None]
+        self.bomb_y[falling] += self.bomb_speed
+        past = falling & (self.bomb_y >= 0.95)
+        struck = (
+            falling & ~past
+            & (self.bomb_y >= 0.88)
+            & (np.abs(self.bomb_x - self.player_x[:, None]) < 0.05)
+        )
+        life_lost |= struck.any(axis=1)
+        self.bomb_alive &= ~(past | struck)
+
+        # Wave cleared.
+        cleared = stepping & ~self.alive.any(axis=(1, 2))
+        reward[cleared] += self.wave_bonus
+        self._spawn_wave(cleared)
+
+        return reward, life_lost
+
+    # ------------------------------------------------------------------ #
+    def _render_game(self, canvas):
+        envs = self._env_indices
+        # Player ships.
+        blit_rects(canvas, envs, self.player_x, 0.92, 0.08, 0.04, 0.9)
+        # Enemies (intensity varies by row so the formation has texture).
+        env, row, col = np.nonzero(self.alive)
+        x = self.formation_x[env] + col * 0.6 / max(self.enemy_cols - 1, 1)
+        y = self.formation_y[env] + row * 0.28 / max(self.enemy_rows - 1, 1)
+        blit_rects(canvas, env, x, y, 0.06, 0.04, 0.4 + 0.1 * row)
+        env, slot = np.nonzero(self.bullet_alive)
+        blit_points(canvas, env, self.bullet_x[env, slot], self.bullet_y[env, slot], 1.0, radius=0)
+        env, slot = np.nonzero(self.bomb_alive)
+        blit_points(canvas, env, self.bomb_x[env, slot], self.bomb_y[env, slot], 0.7, radius=0)

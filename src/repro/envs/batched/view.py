@@ -1,0 +1,115 @@
+"""Single-env facade over a ``num_envs=1`` batched engine.
+
+The serial arcade classes (``PaddleGame`` et al.) are thin views over the
+struct-of-arrays engines: one lane of batched state, the same
+``reset``/``step`` contract as :class:`~repro.envs.base.ArcadeGame`, and the
+lane's own ``numpy.random.Generator`` shared with the engine.  Because the
+view executes the *same* code as the batched backend, a serial
+``VectorEnv`` of views and a ``BatchedVectorEnv`` produce bit-identical
+trajectories by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import ArcadeGame
+
+__all__ = ["BatchedGameView"]
+
+
+class BatchedGameView(ArcadeGame):
+    """An :class:`ArcadeGame` whose state lives in a one-lane batched engine.
+
+    Subclasses set :attr:`engine_cls` and pass the engine's game parameters
+    through ``engine_params``; the :class:`ArcadeGame` bookkeeping arguments
+    (render size, lives, score scale, sticky actions, seed) are forwarded
+    unchanged.
+    """
+
+    engine_cls = None
+
+    def __init__(self, game_id, engine_params=None, **kwargs):
+        super().__init__(game_id=game_id, **kwargs)
+        self._engine = type(self).engine_cls(
+            game_id=game_id,
+            num_envs=1,
+            render_size=self.render_size,
+            max_episode_steps=self.max_episode_steps,
+            lives=self.initial_lives,
+            score_scale=self.score_scale,
+            sticky_action_prob=self.sticky_action_prob,
+            **(engine_params or {}),
+        )
+        # The view's generator *is* the lane's stream (reset(seed=...) and
+        # seed() swap it; auto-resets keep drawing from it).
+        self._engine.rngs[0] = self._rng
+        self._one_action = np.zeros(1, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Env interface
+    # ------------------------------------------------------------------ #
+    def reset(self, seed=None):
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+            self._engine.rngs[0] = self._rng
+        self._done = False
+        return self._engine.reset()[0].copy()
+
+    def step(self, action):
+        engine = self._engine
+        if engine.done[0]:
+            raise RuntimeError("step() called on a finished episode; call reset() first")
+        action = int(action)
+        if not self.action_space.contains(action):
+            raise ValueError("invalid action {}".format(action))
+        self._one_action[0] = action
+        reward, life_lost = engine.step(self._one_action)
+        done = bool(engine.done[0])
+        self._done = done
+        info = {
+            "lives": int(engine.lives[0]),
+            "score": float(engine.score[0]),
+            "elapsed_steps": int(engine.elapsed_steps[0]),
+            "life_lost": bool(life_lost[0]),
+        }
+        return engine.observe()[0].copy(), float(reward[0]), done, info
+
+    def seed(self, seed):
+        result = super().seed(seed)
+        self._engine.rngs[0] = self._rng
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping read from the engine lane
+    # ------------------------------------------------------------------ #
+    @property
+    def lives(self):
+        return int(self._engine.lives[0])
+
+    @property
+    def score(self):
+        return float(self._engine.score[0])
+
+    @property
+    def elapsed_steps(self):
+        return int(self._engine.elapsed_steps[0])
+
+    # The ArcadeGame hooks never run for a view (reset/step are overridden);
+    # keep them defined so introspection and subclassing stay sane.
+    def _reset_game(self):  # pragma: no cover - unreachable by design
+        raise RuntimeError("BatchedGameView delegates to its engine")
+
+    def _step_game(self, action):  # pragma: no cover - unreachable by design
+        raise RuntimeError("BatchedGameView delegates to its engine")
+
+    def _render_objects(self, canvas):  # pragma: no cover - unreachable by design
+        raise RuntimeError("BatchedGameView delegates to its engine")
+
+    @staticmethod
+    def _lane_float(array):
+        return float(array[0])
+
+    @staticmethod
+    def _lane_int(array):
+        return int(array[0])

@@ -235,12 +235,29 @@ def make_env(
 # --------------------------------------------------------------------------- #
 # Vectorised-environment backends
 # --------------------------------------------------------------------------- #
-#: Backend name -> factory taking a list of env constructors.
+#: Backend name -> vector-env constructor.  Two calling conventions exist,
+#: distinguished by the factory's ``constructs_from_game_name`` attribute:
+#: factories without it (the default — "sync" / "async" and most third-party
+#: backends) take a list of per-env constructors, ``factory(env_fns)``;
+#: factories that set it to True (the built-in "batched" backend) are built
+#: from the game name instead, ``factory(name, num_envs=..., seed=...,
+#: randomize=..., **env_kwargs)`` — one struct-of-arrays engine for all
+#: lanes, so no per-env closures exist.  ``make_vector_env`` dispatches on
+#: the attribute; callers resolving a factory directly via
+#: ``get_vector_backend`` must do the same.
 VECTOR_BACKENDS = {}
 
 
 def register_vector_backend(name, factory):
-    """Register a vector-env ``factory(env_fns) -> Env`` under ``name``."""
+    """Register a vector-env factory under ``name``.
+
+    ``factory(env_fns) -> Env`` by default; set
+    ``factory.constructs_from_game_name = True`` to register a name-based
+    backend called as ``factory(game_name, num_envs=..., ...)`` instead
+    (see the ``VECTOR_BACKENDS`` note above).  ``make_vector_env``
+    dispatches either way, so a registered ``"batched"`` replacement is
+    honoured.
+    """
     VECTOR_BACKENDS[name] = factory
     return factory
 
@@ -249,10 +266,16 @@ def default_vector_backend():
     """The backend used when callers do not pick one explicitly.
 
     Controlled by the ``REPRO_VECTOR_BACKEND`` environment variable
-    (``"sync"`` in-process lock-step, ``"async"`` worker processes);
-    defaults to ``"sync"``.
+    (``"batched"`` struct-of-arrays engine, ``"sync"`` in-process lock-step,
+    ``"async"`` worker processes).  Defaults to ``"batched"`` — the
+    auto-selection order is batched > sync > async: every registered game
+    has a batched engine and the serial backends only matter as references
+    or for configurations the batched pipeline does not cover
+    (``make_vector_env`` falls back to ``"sync"`` for those).  ``"async"``
+    is never auto-selected: at current model sizes the fork/pipe round trip
+    per step costs more than the overlapped env work saves (see README).
     """
-    return os.environ.get("REPRO_VECTOR_BACKEND", "sync")
+    return os.environ.get("REPRO_VECTOR_BACKEND", "batched")
 
 
 def get_vector_backend(name=None):
@@ -270,9 +293,14 @@ def get_vector_backend(name=None):
 
 def _ensure_vector_backends():
     """Register the built-in backends (lazy: avoids an import cycle)."""
-    if "sync" in VECTOR_BACKENDS and "async" in VECTOR_BACKENDS:
+    if "sync" in VECTOR_BACKENDS and "async" in VECTOR_BACKENDS and "batched" in VECTOR_BACKENDS:
         return
+    from .batched import BatchedVectorEnv
     from .vector_env import AsyncVectorEnv, VectorEnv
 
     VECTOR_BACKENDS.setdefault("sync", VectorEnv)
     VECTOR_BACKENDS.setdefault("async", AsyncVectorEnv)
+    # Unlike the serial factories, the batched backend is constructed from
+    # the game name (one engine for all lanes), not from per-env closures;
+    # make_vector_env special-cases it.
+    VECTOR_BACKENDS.setdefault("batched", BatchedVectorEnv)

@@ -67,6 +67,7 @@ class VectorEnv(Env):
         self._episode_lengths = np.zeros(self.num_envs, dtype=int)
         self._rngs = [None] * self.num_envs
         self._pending_actions = None
+        self._closed = False
 
     def reset(self, seed=None):
         if self._pending_actions is not None:
@@ -133,6 +134,10 @@ class VectorEnv(Env):
         return self.step(actions)
 
     def close(self):
+        """Close every sub-environment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
         for env in self.envs:
             env.close()
 
@@ -266,8 +271,20 @@ class AsyncVectorEnv(Env):
             raise ValueError("expected {} actions, got {}".format(self.num_envs, actions.shape[0]))
         if self._waiting:
             raise RuntimeError("step_async called twice without step_wait")
-        for conn, action in zip(self._conns, actions):
-            conn.send(("step", int(action)))
+        dead = []
+        for index, (conn, action) in enumerate(zip(self._conns, actions)):
+            try:
+                conn.send(("step", int(action)))
+            except (BrokenPipeError, OSError):
+                dead.append(index)
+        if dead:
+            # A worker died before the dispatch: some workers now hold an
+            # unanswered request, so tear everything down rather than leak.
+            self.close(terminate=True)
+            raise RuntimeError(
+                "async env worker(s) {} died during step dispatch; "
+                "vector env closed".format(dead)
+            )
         self._waiting = True
 
     def step_wait(self):
@@ -278,11 +295,24 @@ class AsyncVectorEnv(Env):
         # wedges the env in the waiting state nor desynchronises the other
         # pipes' request/reply pairing.
         replies = []
+        dead = []
         try:
-            for conn in self._conns:
-                replies.append(conn.recv())
+            for index, conn in enumerate(self._conns):
+                try:
+                    replies.append(conn.recv())
+                except (EOFError, OSError):
+                    dead.append(index)
         finally:
             self._waiting = False
+        if dead:
+            # A worker died mid-step (crash / kill): the request/reply
+            # protocol cannot recover, so tear everything down instead of
+            # leaking the surviving forked workers.
+            self.close(terminate=True)
+            raise RuntimeError(
+                "async env worker(s) {} died during step_wait; "
+                "vector env closed".format(dead)
+            )
         errors = [payload for status, payload in replies if status == "error"]
         if errors:
             raise RuntimeError("async env worker failed:\n{}".format("\n".join(errors)))
@@ -300,23 +330,46 @@ class AsyncVectorEnv(Env):
         self.step_async(actions)
         return self.step_wait()
 
-    def close(self):
+    def close(self, terminate=False):
+        """Shut the workers down (idempotent; safe with a step in flight).
+
+        ``terminate=True`` skips the polite close handshake and kills the
+        workers outright — used when the pipe protocol is already broken.
+        """
         if self._closed:
             return
         self._closed = True
+        if self._waiting and not terminate:
+            # Drain the in-flight step replies so the close command is not
+            # answered by a stale step result (and the workers actually see
+            # it instead of blocking on a full pipe).
+            for conn in self._conns:
+                try:
+                    conn.recv()
+                except (EOFError, OSError):
+                    pass
+            self._waiting = False
+        if not terminate:
+            for conn in self._conns:
+                try:
+                    conn.send(("close", None))
+                except (BrokenPipeError, OSError):
+                    continue
+            for conn in self._conns:
+                try:
+                    conn.recv()
+                except (EOFError, OSError):
+                    pass
         for conn in self._conns:
-            try:
-                conn.send(("close", None))
-            except (BrokenPipeError, OSError):
-                continue
-        for conn in self._conns:
-            try:
-                conn.recv()
-            except (EOFError, OSError):
-                pass
             conn.close()
         for proc in self._procs:
+            if terminate:
+                proc.terminate()
             proc.join(timeout=5)
+            if proc.is_alive():
+                # Last resort: never leak a forked worker into the test run.
+                proc.terminate()
+                proc.join(timeout=5)
 
     def __del__(self):
         try:
@@ -325,19 +378,50 @@ class AsyncVectorEnv(Env):
             pass
 
 
-def make_vector_env(name, num_envs=4, seed=0, backend=None, **env_kwargs):
+def make_vector_env(name, num_envs=4, seed=0, backend=None, randomize=None, **env_kwargs):
     """Build a vectorised environment of ``num_envs`` copies of a registered game.
 
     ``backend`` selects the implementation from the registry in
-    :mod:`repro.envs.registry` (``"sync"`` in-process lock-step, ``"async"``
-    worker processes); ``None`` resolves the default via
+    :mod:`repro.envs.registry` (``"batched"`` struct-of-arrays engine,
+    ``"sync"`` in-process lock-step, ``"async"`` worker processes); ``None``
+    resolves the default via
     :func:`repro.envs.registry.default_vector_backend` (the
-    ``REPRO_VECTOR_BACKEND`` environment variable, falling back to "sync").
+    ``REPRO_VECTOR_BACKEND`` environment variable, falling back to
+    ``"batched"``).  When the default resolution picks ``"batched"`` but the
+    configuration is not batchable (e.g. ``null_op_max``), construction
+    falls back to ``"sync"``; an explicitly requested backend never falls
+    back.  All three backends produce bit-identical trajectories for the
+    same ``reset(seed=N)``.
+
+    ``randomize`` maps engine parameter names (e.g. ``paddle_width``,
+    ``ball_speed``, ``bomb_prob``, ``wall_density``) to ``(low, high)``
+    ranges re-drawn per env from its own stream on every reset — the cheap
+    scenario-diversity hook of the batched backend (serial backends do not
+    support it).
     """
-    from .registry import get_vector_backend, make_env
+    from .batched import BatchedUnsupportedError
+    from .registry import default_vector_backend, get_vector_backend, make_env
+
+    choice = backend if backend is not None else default_vector_backend()
+    factory = get_vector_backend(choice)
+    if getattr(factory, "constructs_from_game_name", False):
+        # Name-based convention (the batched backend, or a registered
+        # replacement): one engine for all lanes, no per-env closures.
+        try:
+            return factory(name, num_envs=num_envs, seed=seed, randomize=randomize, **env_kwargs)
+        except BatchedUnsupportedError:
+            # Fall back to the serial backend only for auto-selected,
+            # randomize-free configs; an explicit backend request or a bad
+            # randomize spec must surface its own error, not the fallback's.
+            if backend is not None or randomize is not None:
+                raise
+            factory = get_vector_backend("sync")
+    if randomize is not None:
+        raise ValueError(
+            "randomize= requires the batched backend (got backend={!r})".format(choice)
+        )
 
     def make_one(index):
         return lambda: make_env(name, seed=seed + index, **env_kwargs)
 
-    factory = get_vector_backend(backend)
     return factory([make_one(i) for i in range(num_envs)])

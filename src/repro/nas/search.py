@@ -25,7 +25,7 @@ import numpy as np
 from ..drl.agent import ActorCriticAgent
 from ..drl.distillation import ACDistiller, DistillationMode
 from ..drl.losses import TaskLossWeights, combine_task_loss, entropy_loss, policy_gradient_loss, value_loss
-from ..drl.rollout import RolloutBuffer
+from ..drl.rollout import RolloutCollector
 from ..envs import make_vector_env
 from ..networks.supernet import AgentSuperNet
 from ..nn import Adam, RMSProp, Tensor, clip_grad_norm, no_grad
@@ -199,32 +199,42 @@ class DRLArchitectureSearch:
         self.logger = MetricLogger()
         self.total_env_steps = 0
         self.updates = 0
-        self._observations = None
+        self._collector = None
         self._recent_returns = []
         self._train_step = None
 
     # ------------------------------------------------------------------ #
     # Rollout collection along the currently sampled path
     # ------------------------------------------------------------------ #
-    def _collect_rollout(self, buffer, sampled_indices):
-        if self._observations is None:
-            self._observations = self.env.reset(seed=self.config.seed)
-        buffer.reset()
-        while not buffer.full:
+    def collector(self):
+        """The search's :class:`RolloutCollector`, rebound if the env was swapped."""
+        self._collector = RolloutCollector.for_env(
+            self._collector, self.env, self.config.rollout_length
+        )
+        return self._collector
+
+    def _collect_rollout(self, sampled_indices):
+        """Collect one rollout along the sampled path; returns (buffer, bootstrap)."""
+        collector = self.collector()
+
+        def policy(observations):
             with no_grad():
-                actions, values = self.agent.act(self._observations, self.rng, op_indices=sampled_indices)
-            next_observations, rewards, dones, infos = self.env.step(actions)
-            buffer.add(self._observations, actions, rewards, dones, values)
-            self._observations = next_observations
+                return self.agent.act(observations, self.rng, op_indices=sampled_indices)
+
+        def on_step(infos):
             self.total_env_steps += self.env.num_envs
             for info in infos:
                 if "episode_return" in info:
                     self._recent_returns.append(info["episode_return"])
                     self.logger.log("episode_return", info["episode_return"], step=self.total_env_steps)
+
+        buffer = collector.collect(policy, seed=self.config.seed, on_step=on_step)
         # Bootstrap values are pure inference along the sampled path: the
         # runtime engine serves them from its per-path plan cache.
-        _, bootstrap = self.agent.policy_value(self._observations, op_indices=sampled_indices)
-        return bootstrap
+        _, bootstrap = self.agent.policy_value(
+            collector.observations, op_indices=sampled_indices
+        )
+        return buffer, bootstrap
 
     # ------------------------------------------------------------------ #
     # Loss evaluation on a rollout with gated (multi-path-backward) forward
@@ -426,7 +436,7 @@ class DRLArchitectureSearch:
         components.setdefault("critic_distill", 0.0)
         return total_value, components, hw_value
 
-    def _stacked_one_level_update(self, buffer):
+    def _stacked_one_level_update(self):
         """One-level update averaging the loss over K sampled architectures."""
         cfg = self.config
         temperature = self.temperature.value(self.total_env_steps)
@@ -435,7 +445,7 @@ class DRLArchitectureSearch:
             for _ in range(cfg.grad_samples)
         ]
         gates0, _, sampled0 = samples[0]
-        bootstrap = self._collect_rollout(buffer, sampled0)
+        buffer, bootstrap = self._collect_rollout(sampled0)
         batch = buffer.compute_targets(bootstrap, cfg.gamma)
         if cfg.use_compiled_train:
             from ..runtime.compiler import CompileError
@@ -462,15 +472,15 @@ class DRLArchitectureSearch:
         self.alpha_optimizer.step()
         return total.item(), components_mean, hw_value
 
-    def _one_level_update(self, buffer):
+    def _one_level_update(self):
         """One-level: weights and alpha updated from the same rollout loss."""
         if self.config.grad_samples > 1:
-            return self._stacked_one_level_update(buffer)
+            return self._stacked_one_level_update()
         temperature = self.temperature.value(self.total_env_steps)
         gates, active, sampled = self.arch.sample(
             temperature, self.rng, num_backward_paths=self.config.num_backward_paths
         )
-        bootstrap = self._collect_rollout(buffer, sampled)
+        buffer, bootstrap = self._collect_rollout(sampled)
         batch = buffer.compute_targets(bootstrap, self.config.gamma)
         if self.config.use_compiled_train:
             from ..runtime.compiler import CompileError
@@ -490,7 +500,7 @@ class DRLArchitectureSearch:
         self.alpha_optimizer.step()
         return total.item(), components, hw_value
 
-    def _bi_level_update(self, buffer):
+    def _bi_level_update(self):
         """Bi-level: weights on one rollout, alpha on a fresh "validation" rollout.
 
         This is the DARTS-style one-step approximation whose gradient bias the
@@ -501,7 +511,7 @@ class DRLArchitectureSearch:
         gates, active, sampled = self.arch.sample(
             temperature, self.rng, num_backward_paths=self.config.num_backward_paths
         )
-        bootstrap = self._collect_rollout(buffer, sampled)
+        buffer, bootstrap = self._collect_rollout(sampled)
         batch = buffer.compute_targets(bootstrap, self.config.gamma)
         total_w, components = self._task_loss(batch, gates, active)
         self.weight_optimizer.zero_grad()
@@ -514,8 +524,8 @@ class DRLArchitectureSearch:
         gates_v, active_v, sampled_v = self.arch.sample(
             temperature, self.rng, num_backward_paths=self.config.num_backward_paths
         )
-        bootstrap_v = self._collect_rollout(buffer, sampled_v)
-        batch_v = buffer.compute_targets(bootstrap_v, self.config.gamma)
+        buffer_v, bootstrap_v = self._collect_rollout(sampled_v)
+        batch_v = buffer_v.compute_targets(bootstrap_v, self.config.gamma)
         total_a, _ = self._task_loss(batch_v, gates_v, active_v)
         total_a, hw_value = self._add_hardware_penalty(total_a, sampled_v, gates_v)
         self.weight_optimizer.zero_grad()
@@ -531,16 +541,14 @@ class DRLArchitectureSearch:
         """Run the agent search and return a :class:`SearchResult`."""
         cfg = self.config
         target = total_steps if total_steps is not None else cfg.total_steps
-        obs_shape = self.env.observation_space.shape
-        buffer = RolloutBuffer(cfg.rollout_length, self.env.num_envs, obs_shape)
         next_eval = cfg.eval_interval if cfg.eval_interval else None
 
         self.agent.train()
         while self.total_env_steps < target:
             if cfg.scheme == OptimizationScheme.ONE_LEVEL:
-                loss_value, components, hw_value = self._one_level_update(buffer)
+                loss_value, components, hw_value = self._one_level_update()
             else:
-                loss_value, components, hw_value = self._bi_level_update(buffer)
+                loss_value, components, hw_value = self._bi_level_update()
             self.updates += 1
             self.logger.log("loss/total", loss_value, step=self.total_env_steps)
             for key, value in components.items():

@@ -27,7 +27,6 @@ class TestCheckpointResume:
         reference.save_checkpoint(path)
         reference.env = make_vector_env(GAME, num_envs=2, obs_size=OBS_SIZE, frame_stack=2,
                                         max_episode_steps=60, seed=7)
-        reference._observations = None
         reference.train(total_steps=120)
 
         # Resumed run: fresh trainer, load the checkpoint, same continuation env.

@@ -170,3 +170,59 @@ class TestDtypePolicy:
         exact = compute_returns(rewards, dones, bootstrap, 0.97)
         single = compute_returns(rewards, dones, bootstrap, 0.97, dtype=np.float32)
         np.testing.assert_allclose(single, exact, rtol=1e-5, atol=1e-5)
+
+
+class TestRolloutCollector:
+    def make_collector(self, rollout_length=4, num_envs=2):
+        from repro.drl import RolloutCollector
+        from repro.envs import make_vector_env
+
+        env = make_vector_env("Breakout", num_envs=num_envs, obs_size=21, frame_stack=2,
+                              max_episode_steps=10, seed=0)
+        return RolloutCollector(env, rollout_length)
+
+    def test_collect_fills_buffer_and_tracks_bootstrap_obs(self):
+        collector = self.make_collector()
+        rng = np.random.default_rng(0)
+
+        def policy(observations):
+            batch = observations.shape[0]
+            return rng.integers(6, size=batch), np.zeros(batch, dtype=np.float32)
+
+        buffer = collector.collect(policy, seed=0)
+        assert buffer.full
+        assert buffer.observations.shape == (4, 2, 2, 21, 21)
+        assert collector.observations.shape == (2, 2, 21, 21)
+
+    def test_on_step_sees_completed_episodes(self):
+        collector = self.make_collector(rollout_length=8)
+        rng = np.random.default_rng(0)
+        episodes = []
+
+        def on_step(infos):
+            episodes.extend(info for info in infos if "episode_return" in info)
+
+        def policy(observations):
+            batch = observations.shape[0]
+            return rng.integers(6, size=batch), np.zeros(batch, dtype=np.float32)
+
+        # 8 steps x frame_skip 2 over a 10-step cap: every lane finishes.
+        collector.collect(policy, seed=0, on_step=on_step)
+        assert episodes
+        assert all("episode_length" in info for info in episodes)
+
+    def test_restart_resets_the_stream(self):
+        collector = self.make_collector()
+        rng = np.random.default_rng(0)
+
+        def policy(observations):
+            batch = observations.shape[0]
+            return rng.integers(6, size=batch), np.zeros(batch, dtype=np.float32)
+
+        collector.collect(policy, seed=3)
+        first = collector.observations.copy()
+        collector.restart()
+        assert collector.observations is None
+        rng = np.random.default_rng(0)
+        collector.collect(policy, seed=3)
+        np.testing.assert_array_equal(collector.observations, first)

@@ -1,0 +1,337 @@
+"""Batched arcade runtime: cross-backend determinism, pipeline, randomization."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.envs import (
+    BatchedUnsupportedError,
+    BatchedVectorEnv,
+    VectorEnv,
+    get_vector_backend,
+    make_game,
+    make_vector_env,
+)
+from repro.envs.batched import blit_points, blit_rects
+
+HAS_FORK = "fork" in mp.get_all_start_methods()
+
+#: One registry game per engine family (paddle covers both brick and
+#: opponent modes, duel covers both boxing and bowling).
+FAMILY_GAMES = ("Breakout", "Pong", "SpaceInvaders", "Alien", "ChopperCommand", "Boxing", "Bowling")
+
+
+def rollout_trajectory(venv, seed, steps=50):
+    """Deterministic random-play trajectory summary for equivalence tests."""
+    observations = [venv.reset(seed=seed)]
+    rewards, dones = [], []
+    action_rng = np.random.default_rng(seed + 99)
+    for _ in range(steps):
+        actions = action_rng.integers(venv.action_space.n, size=venv.num_envs)
+        obs, reward, done, _ = venv.step(actions)
+        observations.append(obs)
+        rewards.append(reward)
+        dones.append(done)
+    return np.stack(observations), np.stack(rewards), np.stack(dones)
+
+
+class TestCrossBackendDeterminism:
+    """Serial, batched, and async must produce bit-identical trajectories."""
+
+    KWARGS = dict(num_envs=3, obs_size=28, frame_stack=2, max_episode_steps=25, seed=0)
+
+    @pytest.mark.parametrize("game", FAMILY_GAMES)
+    def test_batched_matches_serial_exactly(self, game):
+        # 50 steps with a 25-step cap forces auto-resets on every lane, so
+        # the per-env stream continuation is covered too.
+        serial = make_vector_env(game, backend="sync", **self.KWARGS)
+        batched = make_vector_env(game, backend="batched", **self.KWARGS)
+        serial_traj = rollout_trajectory(serial, seed=11)
+        batched_traj = rollout_trajectory(batched, seed=11)
+        for left, right in zip(serial_traj, batched_traj):
+            np.testing.assert_array_equal(left, right)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    @pytest.mark.parametrize("game", ("Breakout", "SpaceInvaders"))
+    def test_batched_matches_async_exactly(self, game):
+        kwargs = dict(self.KWARGS, num_envs=2)
+        batched = make_vector_env(game, backend="batched", **kwargs)
+        async_ = make_vector_env(game, backend="async", **kwargs)
+        try:
+            batched_traj = rollout_trajectory(batched, seed=4, steps=40)
+            async_traj = rollout_trajectory(async_, seed=4, steps=40)
+            for left, right in zip(batched_traj, async_traj):
+                np.testing.assert_array_equal(left, right)
+        finally:
+            async_.close()
+
+    @pytest.mark.parametrize("game", ("Breakout", "Alien"))
+    def test_frame_skip_and_clip_match_serial(self, game):
+        kwargs = dict(num_envs=2, obs_size=28, frame_stack=3, frame_skip=3,
+                      clip_rewards=True, max_episode_steps=20, seed=0)
+        serial = make_vector_env(game, backend="sync", **kwargs)
+        batched = make_vector_env(game, backend="batched", **kwargs)
+        for left, right in zip(rollout_trajectory(serial, seed=3, steps=30),
+                               rollout_trajectory(batched, seed=3, steps=30)):
+            np.testing.assert_array_equal(left, right)
+
+    @pytest.mark.parametrize("game", ("Breakout", "Boxing"))
+    def test_sticky_actions_match_serial_exactly(self, game):
+        """The masked per-lane sticky draw must follow the serial stream."""
+        kwargs = dict(self.KWARGS, sticky_action_prob=0.25)
+        serial = make_vector_env(game, backend="sync", **kwargs)
+        batched = make_vector_env(game, backend="batched", **kwargs)
+        for left, right in zip(rollout_trajectory(serial, seed=7, steps=40),
+                               rollout_trajectory(batched, seed=7, steps=40)):
+            np.testing.assert_array_equal(left, right)
+
+    def test_single_env_view_matches_engine_lane(self):
+        """N single-env views == one N-lane engine, lane by lane."""
+        batched = make_vector_env("SpaceInvaders", backend="batched", num_envs=4,
+                                  obs_size=28, frame_stack=2, max_episode_steps=30, seed=0)
+        serial = make_vector_env("SpaceInvaders", backend="sync", num_envs=4,
+                                 obs_size=28, frame_stack=2, max_episode_steps=30, seed=0)
+        for left, right in zip(rollout_trajectory(serial, seed=9),
+                               rollout_trajectory(batched, seed=9)):
+            np.testing.assert_array_equal(left, right)
+
+
+class TestBatchedVectorEnv:
+    def test_reset_and_step_shapes(self):
+        venv = make_vector_env("Breakout", backend="batched", num_envs=3,
+                               obs_size=28, frame_stack=2, seed=0)
+        obs = venv.reset(seed=0)
+        assert obs.shape == (3, 2, 28, 28)
+        obs, rewards, dones, infos = venv.step([1, 4, 0])
+        assert obs.shape == (3, 2, 28, 28)
+        assert rewards.shape == (3,) and dones.shape == (3,) and len(infos) == 3
+
+    def test_default_backend_is_batched(self):
+        venv = make_vector_env("Breakout", num_envs=2, obs_size=28, seed=0)
+        assert isinstance(venv, BatchedVectorEnv)
+
+    def test_env_var_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_BACKEND", "sync")
+        venv = make_vector_env("Breakout", num_envs=2, obs_size=28, seed=0)
+        assert isinstance(venv, VectorEnv)
+
+    def test_null_op_falls_back_to_serial(self):
+        venv = make_vector_env("Breakout", num_envs=2, obs_size=28, seed=0, null_op_max=5)
+        assert isinstance(venv, VectorEnv)
+
+    def test_explicit_batched_with_null_op_raises(self):
+        with pytest.raises(BatchedUnsupportedError):
+            make_vector_env("Breakout", backend="batched", num_envs=2, obs_size=28,
+                            seed=0, null_op_max=5)
+
+    def test_batched_backend_registered(self):
+        assert get_vector_backend("batched") is BatchedVectorEnv
+
+    def test_wrong_action_count_raises(self):
+        venv = make_vector_env("Breakout", backend="batched", num_envs=2, obs_size=28, seed=0)
+        venv.reset(seed=0)
+        with pytest.raises(ValueError):
+            venv.step([1])
+
+    def test_invalid_action_raises(self):
+        venv = make_vector_env("Breakout", backend="batched", num_envs=2, obs_size=28, seed=0)
+        venv.reset(seed=0)
+        with pytest.raises(ValueError, match="invalid action"):
+            venv.step([99, 1])
+
+    def test_step_async_step_wait_matches_step(self):
+        a = make_vector_env("Breakout", backend="batched", num_envs=2, obs_size=28,
+                            frame_stack=2, seed=0)
+        b = make_vector_env("Breakout", backend="batched", num_envs=2, obs_size=28,
+                            frame_stack=2, seed=0)
+        a.reset(seed=3)
+        b.reset(seed=3)
+        for step in range(10):
+            actions = [step % 6, (step + 1) % 6]
+            obs_a, rew_a, done_a, _ = a.step(actions)
+            b.step_async(actions)
+            obs_b, rew_b, done_b, _ = b.step_wait()
+            np.testing.assert_array_equal(obs_a, obs_b)
+            np.testing.assert_array_equal(rew_a, rew_b)
+
+    def test_reset_with_step_in_flight_raises(self):
+        venv = make_vector_env("Breakout", backend="batched", num_envs=2, obs_size=28, seed=0)
+        venv.reset(seed=0)
+        venv.step_async([0, 0])
+        with pytest.raises(RuntimeError):
+            venv.reset(seed=0)
+        venv.step_wait()
+        venv.reset(seed=0)
+
+    def test_episode_stats_reported(self, rng):
+        venv = make_vector_env("Breakout", backend="batched", num_envs=2, obs_size=28,
+                               frame_stack=2, max_episode_steps=20, seed=0)
+        venv.reset(seed=0)
+        episode_infos = []
+        for _ in range(60):
+            actions = [venv.action_space.sample(rng) for _ in range(venv.num_envs)]
+            _, _, _, infos = venv.step(actions)
+            episode_infos.extend(info for info in infos if "episode_return" in info)
+        assert episode_infos
+        assert all("episode_length" in info for info in episode_infos)
+        assert all(info["episode_length"] <= 20 for info in episode_infos)
+
+    def test_observations_do_not_alias_internal_buffers(self):
+        venv = make_vector_env("Breakout", backend="batched", num_envs=2, obs_size=28,
+                               frame_stack=2, seed=0)
+        first = venv.reset(seed=0)
+        snapshot = first.copy()
+        venv.step([0, 0])
+        np.testing.assert_array_equal(first, snapshot)
+
+    def test_unknown_game_raises(self):
+        with pytest.raises(KeyError, match="unknown game"):
+            make_vector_env("NoSuchGame", backend="batched", num_envs=1)
+
+
+class TestRandomization:
+    def test_randomize_draws_per_lane_parameters(self):
+        venv = make_vector_env(
+            "Breakout", backend="batched", num_envs=4, obs_size=28, seed=0,
+            randomize={"paddle_width": (0.1, 0.3), "ball_speed": (0.02, 0.06)},
+        )
+        venv.reset(seed=0)
+        widths = venv.engine.paddle_width
+        assert np.unique(widths).size > 1
+        assert np.all((widths >= 0.1) & (widths <= 0.3))
+        assert np.all((venv.engine.ball_speed >= 0.02) & (venv.engine.ball_speed <= 0.06))
+
+    def test_randomize_redraws_on_auto_reset(self):
+        venv = make_vector_env(
+            "Breakout", backend="batched", num_envs=2, obs_size=28, seed=0,
+            max_episode_steps=5, randomize={"paddle_width": (0.1, 0.3)},
+        )
+        venv.reset(seed=0)
+        before = venv.engine.paddle_width.copy()
+        finished = False
+        for _ in range(6):
+            _, _, dones, _ = venv.step([0, 0])
+            finished |= bool(dones.any())
+        assert finished, "the 5-step cap must have ended an episode"
+        assert not np.array_equal(before, venv.engine.paddle_width)
+
+    def test_randomize_is_deterministic_per_seed(self):
+        def widths():
+            venv = make_vector_env(
+                "Breakout", backend="batched", num_envs=3, obs_size=28, seed=0,
+                randomize={"paddle_width": (0.1, 0.3)},
+            )
+            venv.reset(seed=5)
+            return venv.engine.paddle_width.copy()
+
+        np.testing.assert_array_equal(widths(), widths())
+
+    def test_randomize_supported_across_engines(self):
+        for game, spec in (
+            ("SpaceInvaders", {"enemy_speed": (0.005, 0.02)}),
+            ("Alien", {"wall_density": (0.05, 0.25), "chase_prob": (0.2, 0.6)}),
+            ("ChopperCommand", {"target_spawn_prob": (0.05, 0.3)}),
+            ("Boxing", {"opponent_skill": (0.2, 0.8)}),
+        ):
+            venv = make_vector_env(game, backend="batched", num_envs=2, obs_size=28,
+                                   seed=0, randomize=spec)
+            venv.reset(seed=0)
+            venv.step([0, 0])
+
+    def test_unknown_randomize_parameter_raises(self):
+        with pytest.raises(BatchedUnsupportedError, match="warp_drive"):
+            make_vector_env("Breakout", backend="batched", num_envs=2, seed=0,
+                            randomize={"warp_drive": (0.0, 1.0)})
+
+    def test_randomize_on_serial_backend_raises(self):
+        with pytest.raises(ValueError, match="batched backend"):
+            make_vector_env("Breakout", backend="sync", num_envs=2, seed=0,
+                            randomize={"paddle_width": (0.1, 0.3)})
+
+
+class TestBlitHelpers:
+    """The batched blits must reproduce the serial canvas primitives."""
+
+    def test_blit_rects_matches_draw_rect(self):
+        game = make_game("Breakout", render_size=32, seed=0)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            x, y = rng.uniform(-0.1, 1.1, size=2)
+            w, h = rng.uniform(0.01, 0.4, size=2)
+            serial = np.zeros((32, 32))
+            game.draw_rect(serial, x, y, w, h, 0.7)
+            batched = np.zeros((1, 32, 32))
+            blit_rects(batched, np.array([0]), np.array([x]), np.array([y]),
+                       np.array([w]), np.array([h]), 0.7)
+            np.testing.assert_array_equal(batched[0], serial)
+
+    def test_blit_points_matches_draw_point(self):
+        game = make_game("Breakout", render_size=32, seed=0)
+        rng = np.random.default_rng(1)
+        for radius in (0, 1, 2):
+            for _ in range(25):
+                x, y = rng.uniform(-0.1, 1.1, size=2)
+                serial = np.zeros((32, 32))
+                game.draw_point(serial, x, y, 0.9, radius=radius)
+                batched = np.zeros((1, 32, 32))
+                blit_points(batched, np.array([0]), np.array([x]), np.array([y]),
+                            0.9, radius=radius)
+                np.testing.assert_array_equal(batched[0], serial)
+
+    def test_blit_composites_with_max(self):
+        canvas = np.full((2, 16, 16), 0.5)
+        blit_rects(canvas, np.array([0]), np.array([0.5]), np.array([0.5]),
+                   np.array([0.5]), np.array([0.5]), 0.2)
+        assert canvas.min() == pytest.approx(0.5)
+
+
+class TestGoldenTrajectories:
+    """Pin the engines to the pre-refactor (serial, per-object) physics.
+
+    The serial games are now views over the batched engines, so serial-vs-
+    batched equality alone cannot detect a change against the original
+    implementation.  This fixture was recorded from the pre-refactor
+    engines (PR 3) for two render sizes — 32 exercises overlapping
+    same-call sprites, the hardest rendering case — and any intentional
+    physics change must regenerate it.
+    """
+
+    GAMES = ("Breakout", "Pong", "SpaceInvaders", "Alien", "ChopperCommand", "Boxing", "Bowling")
+    RENDER_SIZES = (84, 32)
+    STEPS = 40
+
+    @staticmethod
+    def record(game, render_size, seed=0):
+        import hashlib
+
+        env = make_game(game, render_size=render_size, seed=seed, max_episode_steps=30)
+        rng = np.random.default_rng(seed + 1234)
+        obs = env.reset(seed=seed)
+        digests = [hashlib.sha256(np.ascontiguousarray(obs).tobytes()).hexdigest()]
+        rewards, dones = [], []
+        for _ in range(TestGoldenTrajectories.STEPS):
+            obs, reward, done, _ = env.step(int(rng.integers(6)))
+            digests.append(hashlib.sha256(np.ascontiguousarray(obs).tobytes()).hexdigest())
+            rewards.append(reward)
+            dones.append(done)
+            if done:
+                obs = env.reset()
+                digests.append(hashlib.sha256(np.ascontiguousarray(obs).tobytes()).hexdigest())
+        return np.array(digests), np.array(rewards, dtype=np.float64), np.array(dones, dtype=bool)
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), "golden", "arcade_trajectories.npz")
+        return np.load(path)
+
+    @pytest.mark.parametrize("render_size", RENDER_SIZES)
+    @pytest.mark.parametrize("game", GAMES)
+    def test_matches_pre_refactor_engines(self, golden, game, render_size):
+        digests, rewards, dones = self.record(game, render_size)
+        key = "{}_{}".format(game, render_size)
+        np.testing.assert_array_equal(rewards, golden[key + "_rewards"])
+        np.testing.assert_array_equal(dones, golden[key + "_dones"])
+        np.testing.assert_array_equal(digests, golden[key + "_digests"])

@@ -90,6 +90,12 @@ class TestVectorEnv:
         venv.reset(seed=0)
         venv.close()
 
+    def test_close_twice_is_safe(self):
+        venv = make_vector_env("Breakout", num_envs=2, obs_size=28, seed=0, backend="sync")
+        venv.reset(seed=0)
+        venv.close()
+        venv.close()
+
     def test_step_async_step_wait_matches_step(self):
         a = make_vector_env("Breakout", num_envs=2, obs_size=28, frame_stack=2, seed=0)
         b = make_vector_env("Breakout", num_envs=2, obs_size=28, frame_stack=2, seed=0)
@@ -249,6 +255,29 @@ class TestAsyncVectorEnv:
     def test_bad_env_constructor_raises_descriptively(self):
         with pytest.raises(RuntimeError, match="unknown game"):
             make_vector_env("NoSuchGame", num_envs=1, backend="async")
+
+    def test_close_with_step_in_flight_does_not_leak_workers(self):
+        venv = make_vector_env("Breakout", num_envs=2, obs_size=28, seed=0, backend="async")
+        venv.reset(seed=0)
+        venv.step_async([0, 0])
+        venv.close()  # must drain the in-flight step, not wedge or leak
+        for proc in venv._procs:
+            assert not proc.is_alive()
+
+    def test_dead_worker_mid_step_wait_cleans_up(self):
+        venv = make_vector_env("Breakout", num_envs=2, obs_size=28, seed=0, backend="async")
+        venv.reset(seed=0)
+        venv._procs[0].terminate()
+        venv._procs[0].join(timeout=5)
+        # Depending on pipe buffering the death surfaces at dispatch or at
+        # the gather; both must tear the whole vector env down.
+        with pytest.raises(RuntimeError, match="died during step"):
+            venv.step_async([0, 0])
+            venv.step_wait()
+        # Every worker was torn down; closing again stays a no-op.
+        for proc in venv._procs:
+            assert not proc.is_alive()
+        venv.close()
 
     def test_reset_with_step_in_flight_raises(self):
         venv = make_vector_env("Breakout", num_envs=2, obs_size=28, seed=0, backend="async")
