@@ -26,6 +26,7 @@ THROUGHPUT_RESULTS = (
     "train_step_throughput.json",
     "plan_optimizer.json",
     "env_step_throughput.json",
+    "conv_kernels.json",
 )
 
 #: Benchmark files that carry a ``peak_plan_bytes`` table (lower is better).

@@ -6,6 +6,7 @@ writes its rows to ``benchmarks/results/`` so EXPERIMENTS.md can be refreshed
 from the latest run.
 """
 
+import contextlib
 import json
 import os
 
@@ -14,6 +15,25 @@ import pytest
 from repro.experiments import get_profile
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@contextlib.contextmanager
+def pin_env(var, value):
+    """Temporarily pin one environment variable (restored on exit).
+
+    Benchmarks isolate the dimension they measure by pinning the runtime's
+    selection switches (``REPRO_KERNELS``, ``REPRO_RUNTIME_PASSES``) around
+    the compiles they time.
+    """
+    previous = os.environ.get(var)
+    os.environ[var] = value
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = previous
 
 
 @pytest.fixture(scope="session")

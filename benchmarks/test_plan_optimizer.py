@@ -25,9 +25,10 @@ import numpy as np
 from repro.drl.agent import ActorCriticAgent
 from repro.networks import AgentSuperNet
 from repro.runtime import compile_plan
+from repro.runtime.kernels import ENV_VAR as KERNELS_ENV_VAR
 from repro.runtime.passes import ENV_VAR
 
-from conftest import RESULTS_DIR, run_once
+from conftest import RESULTS_DIR, pin_env, run_once
 from test_runtime_throughput import build_agent, collect_rollouts, configure, make_env
 
 PARITY_F32 = 1e-6
@@ -148,7 +149,15 @@ def measure(steps, warmup):
 
 def test_plan_optimizer(benchmark, profile, save_result):
     steps = max(10, profile.train_steps // 8)
-    payload = run_once(benchmark, measure, steps=steps, warmup=3)
+    # This benchmark isolates the graph-level *pass* pipeline, so conv
+    # dispatch is pinned to the whole-batch im2col kernel — the
+    # configuration the committed pass-on/pass-off baselines were recorded
+    # under.  Autotuned kernels shrink the pass-free plans' workspaces on
+    # their own (block-sized columns instead of whole-batch), which would
+    # fold the kernel win into the pass measurement; the kernel dimension
+    # is benchmarked separately by ``test_conv_kernels.py``.
+    with pin_env(KERNELS_ENV_VAR, "im2col"):
+        payload = run_once(benchmark, measure, steps=steps, warmup=3)
     save_result("plan_optimizer", payload)
 
     assert payload["parity"]["rollout_f32"] <= PARITY_F32

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""A2C under per-env scenario randomization (domain-randomized training).
+
+The batched environment runtime can re-draw engine parameters per lane on
+every reset (``make_vector_env(..., randomize={...})``), so each of the N
+parallel environments plays a slightly different variant of the game —
+paddle widths, ball speeds, enemy skills sampled from ranges instead of the
+nominal registry values.  This script is the first-class consumer of that
+hook: it trains one agent on the randomized distribution through the
+experiment harness (``train_backbone_agent(randomize=...)``) and one on the
+nominal game, then evaluates both on the nominal parameters.
+
+Run:  python examples/randomized_a2c.py
+      python examples/randomized_a2c.py --game Breakout \\
+          --randomize paddle_width=0.12:0.30 --randomize ball_speed=0.03:0.06
+
+``--randomize name=low:high`` may be repeated; parameter names are the
+engine's ``RANDOMIZABLE`` keys (e.g. paddle: paddle_width, paddle_speed,
+ball_speed, opponent_skill).
+"""
+
+import argparse
+
+from repro.experiments import get_profile
+from repro.experiments.runners import train_backbone_agent
+
+#: Default randomization ranges for the paddle family (nominal paddle_width
+#: 0.2, ball_speed 0.04): wide enough to visibly change the dynamics.
+DEFAULT_RANDOMIZE = {"paddle_width": (0.12, 0.30), "ball_speed": (0.03, 0.06)}
+
+
+def parse_randomize(specs):
+    """``["name=lo:hi", ...]`` -> ``{name: (lo, hi)}`` (None -> defaults)."""
+    if not specs:
+        return dict(DEFAULT_RANDOMIZE)
+    ranges = {}
+    for spec in specs:
+        name, _, bounds = spec.partition("=")
+        low, _, high = bounds.partition(":")
+        try:
+            ranges[name.strip()] = (float(low), float(high))
+        except ValueError:
+            raise SystemExit(
+                "bad --randomize spec {!r}; expected name=low:high".format(spec)
+            )
+    return ranges
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--game", default="Breakout", help="registered game name")
+    parser.add_argument("--backbone", default="Vanilla", help="registered backbone name")
+    parser.add_argument("--steps", type=int, default=600, help="training env steps per run")
+    parser.add_argument(
+        "--randomize", action="append", metavar="NAME=LOW:HIGH",
+        help="parameter range, repeatable (default: {})".format(
+            ", ".join("{}={}:{}".format(k, lo, hi) for k, (lo, hi) in DEFAULT_RANDOMIZE.items())
+        ),
+    )
+    args = parser.parse_args(argv)
+    ranges = parse_randomize(args.randomize)
+    profile = get_profile("smoke").with_overrides(
+        obs_size=28, num_envs=2, max_episode_steps=200, eval_episodes=3, feature_dim=64
+    )
+
+    print("=== A2C under scenario randomization ===")
+    print("Game: {}   backbone: {}   randomize: {}".format(args.game, args.backbone, ranges))
+
+    randomized = train_backbone_agent(
+        args.game, args.backbone, profile, total_steps=args.steps, randomize=ranges
+    )
+    nominal = train_backbone_agent(
+        args.game, args.backbone, profile, total_steps=args.steps
+    )
+
+    # Both agents are evaluated on the *nominal* game, so the comparison
+    # measures how well training on the randomized distribution transfers.
+    print("Nominal-env evaluation after {} training steps:".format(args.steps))
+    print("  trained on randomized scenarios: {:.1f}".format(randomized["score"]))
+    print("  trained on nominal scenarios   : {:.1f}".format(nominal["score"]))
+    return {"randomized": randomized["score"], "nominal": nominal["score"]}
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,8 @@ __all__ = [
     "BatchedUnsupportedError",
     "blit_rects",
     "blit_points",
+    "take_lanes",
+    "masked_nonzero",
 ]
 
 
@@ -54,6 +56,30 @@ def _as_lane_array(value, count):
     if arr.ndim == 0:
         return np.broadcast_to(arr, (count,))
     return arr
+
+
+def take_lanes(array, lanes):
+    """``array`` restricted to ``lanes`` (``None`` = all lanes, zero-copy).
+
+    Render helper: the full-batch render path keeps handing the engines'
+    per-lane arrays to the blitters untouched, while a lane-masked render
+    gathers just the masked rows.
+    """
+    return array if lanes is None else array[lanes]
+
+
+def masked_nonzero(array, lanes):
+    """``np.nonzero`` over the ``lanes``-restricted rows of ``array``.
+
+    The first returned axis holds *global* lane indices (remapped through
+    ``lanes`` when a mask is active), so the result indexes per-lane state
+    and the canvas directly — centralising the remap every masked renderer
+    would otherwise have to remember.
+    """
+    indices = np.nonzero(take_lanes(array, lanes))
+    if lanes is None:
+        return indices
+    return (lanes[indices[0]],) + indices[1:]
 
 
 def blit_rects(canvas, env_idx, x, y, width, height, intensity):
@@ -137,7 +163,7 @@ class BatchedArcadeEngine:
     keeps per instance — lives, score, elapsed steps, sticky actions, episode
     termination — as ``(num_envs,)`` arrays, plus the per-env generators and
     the shared render canvas.  Subclasses implement ``_reset_game(mask)`` /
-    ``_step_game(actions, active)`` / ``_render_game(canvas)`` (and
+    ``_step_game(actions, active)`` / ``_render_game(canvas, lanes)`` (and
     optionally ``_game_over()``) against that state.
 
     Parameters mirror :class:`~repro.envs.base.ArcadeGame`; ``randomize``
@@ -281,16 +307,32 @@ class BatchedArcadeEngine:
     # ------------------------------------------------------------------ #
     # Rendering
     # ------------------------------------------------------------------ #
-    def observe(self):
-        """Render the whole batch into the shared ``(num_envs, H, W)`` canvas.
+    def observe(self, mask=None):
+        """Render into the shared ``(num_envs, H, W)`` canvas.
+
+        With ``mask=None`` the whole batch is re-rendered.  With a boolean
+        lane mask only the masked lanes are redrawn — rows outside the mask
+        keep whatever the previous call rendered — which is what auto-reset
+        uses to refresh the few lanes that just started a new episode without
+        paying a full batch render.  Masked rows are bit-identical to what a
+        full render would produce (per-lane pixels depend only on that
+        lane's state, and the blit helpers compose order-independently).
 
         The returned array is reused by the next call — callers that keep
         frames (frame stacks, skip buffers) must copy the rows they need.
         """
         canvas = self._canvas
-        canvas[:] = 0.0
-        self._render_game(canvas)
-        np.clip(canvas, 0.0, 1.0, out=canvas)
+        if mask is None:
+            canvas[:] = 0.0
+            self._render_game(canvas)
+            np.clip(canvas, 0.0, 1.0, out=canvas)
+            return canvas
+        lanes = np.flatnonzero(np.asarray(mask, dtype=bool))
+        if lanes.size == 0:
+            return canvas
+        canvas[lanes] = 0.0
+        self._render_game(canvas, lanes)
+        canvas[lanes] = np.clip(canvas[lanes], 0.0, 1.0)
         return canvas
 
     # ------------------------------------------------------------------ #
@@ -325,7 +367,13 @@ class BatchedArcadeEngine:
     def _step_game(self, actions, active):
         raise NotImplementedError
 
-    def _render_game(self, canvas):
+    def _render_game(self, canvas, lanes=None):
+        """Draw the game state into ``canvas``.
+
+        ``lanes=None`` draws every lane (the canvas rows are pre-zeroed);
+        otherwise ``lanes`` is a sorted index array and only those rows may
+        be written — the other rows hold live pixels from a previous render.
+        """
         raise NotImplementedError
 
     def _game_over(self):

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..base import Action
-from .core import BatchedArcadeEngine, blit_points, blit_rects
+from .core import BatchedArcadeEngine, blit_points, blit_rects, masked_nonzero, take_lanes
 
 __all__ = ["BatchedDuelEngine"]
 
@@ -215,17 +215,21 @@ class BatchedDuelEngine(BatchedArcadeEngine):
         return reward, life_lost
 
     # ------------------------------------------------------------------ #
-    def _render_game(self, canvas):
-        envs = self._env_indices
+    def _render_game(self, canvas, lanes=None):
+        envs = self._env_indices if lanes is None else lanes
         if self.static_opponent:
-            blit_rects(canvas, envs, self.player_x, self.player_y, 0.06, 0.04, 1.0)
-            env, pin = np.nonzero(self.pins_standing)
+            blit_rects(canvas, envs, take_lanes(self.player_x, lanes),
+                       take_lanes(self.player_y, lanes), 0.06, 0.04, 1.0)
+            env, pin = masked_nonzero(self.pins_standing, lanes)
             blit_points(canvas, env, self._pin_x[pin], self._pin_y[pin], 0.7, radius=1)
-            ball = np.flatnonzero(self.ball_active)
+            active = take_lanes(self.ball_active, lanes)
+            ball = np.flatnonzero(active) if lanes is None else lanes[active]
             blit_points(canvas, ball, self.ball_x[ball], self.ball_y[ball], 0.9, radius=1)
         else:
             # Ring ropes.
             blit_rects(canvas, envs, 0.5, 0.05, 0.9, 0.02, 0.2)
             blit_rects(canvas, envs, 0.5, 0.95, 0.9, 0.02, 0.2)
-            blit_rects(canvas, envs, self.player_x, self.player_y, 0.07, 0.07, 1.0)
-            blit_rects(canvas, envs, self.opponent_x, self.opponent_y, 0.07, 0.07, 0.5)
+            blit_rects(canvas, envs, take_lanes(self.player_x, lanes),
+                       take_lanes(self.player_y, lanes), 0.07, 0.07, 1.0)
+            blit_rects(canvas, envs, take_lanes(self.opponent_x, lanes),
+                       take_lanes(self.opponent_y, lanes), 0.07, 0.07, 0.5)

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..base import Action
-from .core import BatchedArcadeEngine, blit_points, blit_rects
+from .core import BatchedArcadeEngine, blit_points, blit_rects, take_lanes
 
 __all__ = ["BatchedMazeEngine"]
 
@@ -226,17 +226,22 @@ class BatchedMazeEngine(BatchedArcadeEngine):
         self._layer_walls[dirty] = self.walls[dirty]
         self._layer_pellets[dirty] = self.pellets[dirty]
 
-    def _render_game(self, canvas):
+    def _render_game(self, canvas, lanes=None):
+        envs = self._env_indices if lanes is None else lanes
         self._refresh_layer()
-        np.maximum(canvas, self._layer, out=canvas)
+        if lanes is None:
+            np.maximum(canvas, self._layer, out=canvas)
+        else:
+            canvas[lanes] = np.maximum(canvas[lanes], self._layer[lanes])
         cell = 1.0 / self.grid_size
         if self.num_enemies:
-            env = np.repeat(self._env_indices, self.num_enemies)
-            x = (self.enemy_c[:, : self.num_enemies].reshape(-1) + 0.5) * cell
-            y = (self.enemy_r[:, : self.num_enemies].reshape(-1) + 0.5) * cell
+            env = np.repeat(envs, self.num_enemies)
+            x = (take_lanes(self.enemy_c, lanes)[:, : self.num_enemies].reshape(-1) + 0.5) * cell
+            y = (take_lanes(self.enemy_r, lanes)[:, : self.num_enemies].reshape(-1) + 0.5) * cell
             blit_rects(canvas, env, x, y, cell * 0.8, cell * 0.8, 0.7)
         blit_rects(
-            canvas, self._env_indices,
-            (self.player_c + 0.5) * cell, (self.player_r + 0.5) * cell,
+            canvas, envs,
+            (take_lanes(self.player_c, lanes) + 0.5) * cell,
+            (take_lanes(self.player_r, lanes) + 0.5) * cell,
             cell * 0.8, cell * 0.8, 1.0,
         )

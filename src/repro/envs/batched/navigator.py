@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..base import Action
-from .core import BatchedArcadeEngine, blit_points, blit_rects
+from .core import BatchedArcadeEngine, blit_points, blit_rects, masked_nonzero, take_lanes
 
 __all__ = ["BatchedNavigatorEngine"]
 
@@ -246,13 +246,15 @@ class BatchedNavigatorEngine(BatchedArcadeEngine):
         return reward, life_lost
 
     # ------------------------------------------------------------------ #
-    def _render_game(self, canvas):
-        blit_rects(canvas, self._env_indices, self.player_x, self.player_y, 0.07, 0.05, 1.0)
-        env, slot = np.nonzero(self.targets.alive)
+    def _render_game(self, canvas, lanes=None):
+        envs = self._env_indices if lanes is None else lanes
+        blit_rects(canvas, envs, take_lanes(self.player_x, lanes),
+                   take_lanes(self.player_y, lanes), 0.07, 0.05, 1.0)
+        env, slot = masked_nonzero(self.targets.alive, lanes)
         blit_rects(canvas, env, self.targets.x[env, slot], self.targets.y[env, slot], 0.05, 0.04, 0.6)
-        env, slot = np.nonzero(self.hazards.alive)
+        env, slot = masked_nonzero(self.hazards.alive, lanes)
         blit_rects(canvas, env, self.hazards.x[env, slot], self.hazards.y[env, slot], 0.05, 0.04, 0.35)
-        env, slot = np.nonzero(self.rescues.alive)
+        env, slot = masked_nonzero(self.rescues.alive, lanes)
         blit_points(canvas, env, self.rescues.x[env, slot], self.rescues.y[env, slot], 0.8, radius=1)
-        env, slot = np.nonzero(self.bullet_alive)
+        env, slot = masked_nonzero(self.bullet_alive, lanes)
         blit_points(canvas, env, self.bullet_x[env, slot], self.bullet_y[env, slot], 0.9, radius=0)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..base import Action
-from .core import BatchedArcadeEngine, blit_points, blit_rects
+from .core import BatchedArcadeEngine, blit_points, blit_rects, take_lanes
 
 __all__ = ["BatchedPaddleEngine"]
 
@@ -201,14 +201,20 @@ class BatchedPaddleEngine(BatchedArcadeEngine):
         blit_rects(self._brick_layer, env, x, y, 0.9 / self.brick_cols, 0.03, intensity)
         self._layer_bricks[dirty] = self.bricks[dirty]
 
-    def _render_game(self, canvas):
-        all_envs = self._env_indices
+    def _render_game(self, canvas, lanes=None):
+        envs = self._env_indices if lanes is None else lanes
         # Player paddles.
-        blit_rects(canvas, all_envs, self.paddle_x, 0.92, self.paddle_width, 0.03, 0.8)
+        blit_rects(canvas, envs, take_lanes(self.paddle_x, lanes), 0.92,
+                   take_lanes(self.paddle_width, lanes), 0.03, 0.8)
         # Balls.
-        blit_points(canvas, all_envs, self.ball_x, self.ball_y, 1.0, radius=1)
+        blit_points(canvas, envs, take_lanes(self.ball_x, lanes),
+                    take_lanes(self.ball_y, lanes), 1.0, radius=1)
         if self.uses_bricks:
             self._refresh_brick_layer()
-            np.maximum(canvas, self._brick_layer, out=canvas)
+            if lanes is None:
+                np.maximum(canvas, self._brick_layer, out=canvas)
+            else:
+                canvas[lanes] = np.maximum(canvas[lanes], self._brick_layer[lanes])
         else:
-            blit_rects(canvas, all_envs, self.opponent_x, 0.05, self.paddle_width, 0.03, 0.6)
+            blit_rects(canvas, envs, take_lanes(self.opponent_x, lanes), 0.05,
+                       take_lanes(self.paddle_width, lanes), 0.03, 0.6)

@@ -214,9 +214,11 @@ class BatchedVectorEnv(Env):
                 infos[i]["episode_length"] = int(self._episode_lengths[i])
             self._episode_returns[done_idx] = 0.0
             self._episode_lengths[done_idx] = 0
-            # Auto-reset: each lane continues its own generator stream.
+            # Auto-reset: each lane continues its own generator stream.  The
+            # lane-masked render only redraws the reset lanes instead of
+            # re-rendering the whole batch for a handful of fresh episodes.
             engine.reset_envs(dones)
-            raw_obs[done_idx] = engine.observe()[done_idx]
+            raw_obs[done_idx] = engine.observe(dones)[done_idx]
 
         small = self._resize(raw_obs)
         if self.frame_stack > 1:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..base import Action
-from .core import BatchedArcadeEngine, blit_points, blit_rects
+from .core import BatchedArcadeEngine, blit_points, blit_rects, masked_nonzero, take_lanes
 
 __all__ = ["BatchedShooterEngine"]
 
@@ -226,16 +226,16 @@ class BatchedShooterEngine(BatchedArcadeEngine):
         return reward, life_lost
 
     # ------------------------------------------------------------------ #
-    def _render_game(self, canvas):
-        envs = self._env_indices
+    def _render_game(self, canvas, lanes=None):
+        envs = self._env_indices if lanes is None else lanes
         # Player ships.
-        blit_rects(canvas, envs, self.player_x, 0.92, 0.08, 0.04, 0.9)
+        blit_rects(canvas, envs, take_lanes(self.player_x, lanes), 0.92, 0.08, 0.04, 0.9)
         # Enemies (intensity varies by row so the formation has texture).
-        env, row, col = np.nonzero(self.alive)
+        env, row, col = masked_nonzero(self.alive, lanes)
         x = self.formation_x[env] + col * 0.6 / max(self.enemy_cols - 1, 1)
         y = self.formation_y[env] + row * 0.28 / max(self.enemy_rows - 1, 1)
         blit_rects(canvas, env, x, y, 0.06, 0.04, 0.4 + 0.1 * row)
-        env, slot = np.nonzero(self.bullet_alive)
+        env, slot = masked_nonzero(self.bullet_alive, lanes)
         blit_points(canvas, env, self.bullet_x[env, slot], self.bullet_y[env, slot], 1.0, radius=0)
-        env, slot = np.nonzero(self.bomb_alive)
+        env, slot = masked_nonzero(self.bomb_alive, lanes)
         blit_points(canvas, env, self.bomb_x[env, slot], self.bomb_y[env, slot], 0.7, radius=0)

@@ -27,7 +27,8 @@ def build_evaluator(game, profile, greedy=False):
 
 
 def train_backbone_agent(game, backbone, profile, distillation_mode=DistillationMode.NONE,
-                         teacher=None, track_curve=False, total_steps=None, seed=None):
+                         teacher=None, track_curve=False, total_steps=None, seed=None,
+                         randomize=None):
     """Train one agent on one game at the profile's scale.
 
     Parameters
@@ -43,6 +44,13 @@ def train_backbone_agent(game, backbone, profile, distillation_mode=Distillation
         Record periodic evaluation scores (for the Fig. 1 curves).
     total_steps:
         Override the profile's training budget.
+    randomize:
+        Optional per-env scenario randomization for the *training* vector
+        env: a mapping of engine parameter names to ``(low, high)`` ranges,
+        re-drawn per lane on every reset (forwarded to
+        :func:`repro.envs.make_vector_env`).  Evaluation stays on the
+        nominal parameters, so the returned score measures generalisation
+        from the randomized training distribution.
 
     Returns
     -------
@@ -67,6 +75,7 @@ def train_backbone_agent(game, backbone, profile, distillation_mode=Distillation
         frame_stack=profile.frame_stack,
         max_episode_steps=profile.max_episode_steps,
         seed=seed,
+        randomize=randomize,
     )
     if teacher is None and distillation_mode != DistillationMode.NONE:
         teacher, _ = train_teacher(

@@ -33,6 +33,13 @@ gradient buffers and per-op VJP steps (sharing the rules in
 co-search updates route through.  The eager tape remains the
 always-available reference path, selected per call on
 :class:`~repro.runtime.compiler.CompileError`.
+
+Convolution steps dispatch their compute through the pluggable kernel
+subsystem in :mod:`repro.runtime.kernels`: named implementations (direct
+depthwise, lane-blocked im2col, the general im2col+GEMM fallback) are
+selected per op signature by a registry with a ``REPRO_KERNELS`` override
+and a per-signature autotuner; :func:`cache_stats` reports the chosen
+kernel (and candidate timings) for every signature the process compiled.
 """
 
 from .compiler import CompileError, compile_plan, register_expander, supported_module_types
@@ -59,14 +66,17 @@ __all__ = [
 
 
 def cache_stats():
-    """Aggregate plan-cache and :class:`BufferPool` counters process-wide.
+    """Aggregate plan-cache, :class:`BufferPool` and kernel-dispatch counters.
 
     Sums hits / misses / evictions over every live :class:`InferenceEngine`
-    and :class:`CompiledTrainStep`, and recycled vs freshly-allocated bytes
-    over every live pool, so search loops can log how well compilation
-    amortises (fusion/aliasing wins are invisible without it).
+    and :class:`CompiledTrainStep`, recycled vs freshly-allocated bytes over
+    every live pool, and reports the conv kernel chosen per op signature
+    (with the autotuner's candidate timings where a timing run decided), so
+    search loops can log how well compilation amortises and which compute
+    kernels their plans actually run on.
     """
     from .engine import _ENGINES
+    from .kernels import selection_table
     from .plan import _POOLS
     from .train import _TRAIN_STEPS
 
@@ -83,4 +93,9 @@ def cache_stats():
     train["executors"] = len(_TRAIN_STEPS)
     pools = _sum(list(_POOLS), ("hits", "misses", "bytes_pooled", "bytes_fresh"))
     pools["pools"] = len(_POOLS)
-    return {"inference_plans": inference, "train_plans": train, "buffer_pools": pools}
+    return {
+        "inference_plans": inference,
+        "train_plans": train,
+        "buffer_pools": pools,
+        "kernels": selection_table(),
+    }

@@ -1,0 +1,58 @@
+"""Pluggable compute kernels for the runtime's convolution steps.
+
+This package separates *what* a plan step computes from *how* it is
+computed.  :mod:`~repro.runtime.kernels.registry` holds named kernel
+implementations keyed by op signature (shape / groups / kernel / stride /
+dtype / direction) and a dispatcher with a ``REPRO_KERNELS`` environment
+override; :mod:`~repro.runtime.kernels.autotune` times the candidates for
+each distinct signature once per process and caches the winner.
+
+Registered kernels (import order puts the general fallback last):
+
+* ``depthwise_direct`` — output-stationary direct depthwise convolution
+  (forward + input/weight VJPs) that never materialises im2col columns;
+* ``im2col_block`` — lane-blocked strided-view im2col keeping the gathered
+  columns L2-resident (inference, any groups);
+* ``im2col`` — the original whole-batch im2col + batched GEMM, supporting
+  every signature in both directions.
+
+The same software structure the paper's accelerator templates use in
+hardware — dataflow-specialised conv engines selected per workload shape —
+applied to the NumPy runtime.
+"""
+
+from . import depthwise as _depthwise  # noqa: F401  (registers depthwise_direct)
+from . import conv as _conv  # noqa: F401  (registers im2col_block, im2col)
+from .autotune import clear_cache as clear_autotune_cache
+from .registry import (
+    ENV_VAR,
+    SCRATCH_GEMM,
+    SCRATCH_MAIN,
+    SCRATCH_PAD,
+    ConvKernel,
+    ConvSpec,
+    candidates,
+    kernel_for,
+    kernel_names,
+    register_kernel,
+    reset_selections,
+    scratch_upper_bound,
+    selection_table,
+)
+
+__all__ = [
+    "ConvSpec",
+    "ConvKernel",
+    "ENV_VAR",
+    "register_kernel",
+    "kernel_names",
+    "candidates",
+    "kernel_for",
+    "scratch_upper_bound",
+    "selection_table",
+    "reset_selections",
+    "clear_autotune_cache",
+    "SCRATCH_MAIN",
+    "SCRATCH_GEMM",
+    "SCRATCH_PAD",
+]

@@ -1,0 +1,152 @@
+"""Lightweight per-signature autotuner for the conv kernel registry.
+
+When dispatch runs in ``auto`` mode (the default), the first plan finalised
+against a new signature times every supporting kernel on buffers of the
+plan's real geometry — one warmup call, then best-of-``REPS`` — and caches
+the winner in-process, so each distinct ``(shape, dtype, direction)``
+signature pays the timing cost exactly once per process.  Subsequent
+compiles (plan-cache misses on the same signature, other engines, training
+plans of the same net) reuse the cached choice.
+
+Candidates are timed on *standalone* zero-filled buffers, not the plan's
+slot buffers: a losing candidate must not leave persistent allocations
+behind in the plan, and zero inputs keep the timing free of subnormal /
+NaN artefacts from uninitialised memory.  Only the forward pass is timed —
+for ``train`` signatures the backward rides with the forward winner (the
+two directions share their saved state, and forward cost dominates the
+shapes this runtime compiles).
+
+A challenger only dethrones the general fallback when it wins by a clear
+relative margin (:data:`MARGIN`), so near-ties resolve deterministically:
+two processes on the same host pick the same kernel unless one genuinely
+wins.  Kernels agree only up to float reassociation (1e-12 f64 / 1e-6
+f32), so runs that need *bit*-reproducible trajectories across machines
+should pin ``REPRO_KERNELS=im2col`` (or any fixed kernel) instead of
+relying on timing.
+
+The cache is keyed by the full :class:`~repro.runtime.kernels.registry.ConvSpec`
+(which includes the direction), so ``repro.runtime.cache_stats()`` can report
+the chosen kernel and the per-candidate timings for every signature seen.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = ["choose", "timings_for", "clear_cache", "WARMUP", "REPS"]
+
+#: Warmup calls and timed repetitions per candidate (best-of).
+WARMUP = 1
+REPS = 3
+
+#: A challenger must beat the deterministic fallback (the last-registered
+#: kernel, i.e. ``im2col``) by this relative margin to win.  Near-ties stay
+#: on the fallback, so timing jitter on noisy hosts cannot flip the choice
+#: between processes unless a kernel genuinely wins.
+MARGIN = 0.95
+
+#: spec -> {"kernel": name, "timings": {name: best seconds}}.
+_CACHE = {}
+
+
+class _BenchArena:
+    """Duck-typed stand-in for a :class:`~repro.runtime.plan.Plan` allocator.
+
+    Kernels draw persistent buffers via ``alloc`` and transient workspaces
+    via ``workspace``; during benchmarking both are plain temporary numpy
+    allocations that die with the arena.
+    """
+
+    def __init__(self, spec):
+        self.dtype = np.dtype(spec.dtype)
+        self.train = spec.train
+
+    def alloc(self, shape, dtype=None, zero=False):
+        dtype = self.dtype if dtype is None else np.dtype(dtype)
+        if zero:
+            return np.zeros(tuple(int(d) for d in shape), dtype=dtype)
+        return np.empty(tuple(int(d) for d in shape), dtype=dtype)
+
+    def workspace(self, shape, dtype=None, channel=0):
+        return self.alloc(shape, dtype=dtype)
+
+
+class _NullEpilogue:
+    """No-op epilogue used while timing (kernels still call it per tile)."""
+
+    blockwise = True
+
+    def apply(self, out, lanes=None):
+        return out
+
+
+NULL_EPILOGUE = _NullEpilogue()
+
+
+def _best_of(fn, warmup=WARMUP, reps=REPS):
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def choose(spec, cands):
+    """The winning kernel class for ``spec`` among ``cands``.
+
+    Returns ``(kernel_cls, source)`` where ``source`` is ``"autotuned"`` (a
+    fresh timing run), ``"cached"`` (a previous run decided), or ``"only"``
+    (a single candidate needed no timing).
+    """
+    entry = _CACHE.get(spec)
+    if entry is not None:
+        by_name = {cls.name: cls for cls in cands}
+        winner = by_name.get(entry["kernel"])
+        if winner is not None:
+            return winner, "cached"
+    if len(cands) == 1:
+        _CACHE[spec] = {"kernel": cands[0].name, "timings": {}}
+        return cands[0], "only"
+
+    dtype = np.dtype(spec.dtype)
+    x = np.zeros((spec.batch, spec.in_channels, spec.height, spec.width), dtype=dtype)
+    weight = np.zeros(
+        (spec.out_channels, spec.in_channels // spec.groups, spec.kernel, spec.kernel),
+        dtype=dtype,
+    )
+    out = np.empty(
+        (spec.batch, spec.out_channels, spec.out_height, spec.out_width), dtype=dtype
+    )
+    timings = {}
+    for cls in cands:
+        bound = cls(spec, _BenchArena(spec))
+        timings[cls.name] = _best_of(
+            lambda: bound.forward(x, weight, out, NULL_EPILOGUE)
+        )
+    # The last-registered candidate (the general fallback) is the incumbent:
+    # a challenger must beat it by MARGIN so near-ties resolve
+    # deterministically regardless of timing jitter.
+    winner = cands[-1]
+    for cls in cands[:-1]:
+        if timings[cls.name] < timings[winner.name] * MARGIN:
+            winner = cls
+    _CACHE[spec] = {"kernel": winner.name, "timings": timings}
+    return winner, "autotuned"
+
+
+def timings_for(spec):
+    """Cached per-candidate timings for ``spec`` (``None`` if never tuned)."""
+    entry = _CACHE.get(spec)
+    if entry is None or not entry["timings"]:
+        return None
+    return dict(entry["timings"])
+
+
+def clear_cache():
+    """Forget every tuning decision (tests; re-tuning after CPU migration)."""
+    _CACHE.clear()

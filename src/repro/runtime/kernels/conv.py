@@ -1,0 +1,341 @@
+"""GEMM-backed convolution kernels: the general fallback and a blocked variant.
+
+:class:`GemmIm2colKernel` is the runtime's original convolution path, moved
+out of the plan step so it competes in the registry like everything else:
+copy the input into a persistent zero-padded buffer, gather patches into an
+im2col workspace laid out ``(N, C, kh, kw, oh, ow)``, then one batched GEMM
+per groups class writing straight into the NCHW output.  It supports every
+signature in both directions and registers **last**, making it the dispatch
+fallback.
+
+:class:`BlockedIm2colKernel` runs the same math lane-block by lane-block,
+sizing the block so the gathered column matrix stays L2-resident: the GEMM
+then reads cache-warm columns instead of streaming them back from DRAM, and
+the fused epilogue runs on the block while its output tile is still hot.
+On small-batch rollout shapes this is the strided-view gather that wins the
+early high-resolution depthwise/grouped cells (the wide late cells go to the
+direct kernel in :mod:`repro.runtime.kernels.depthwise`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nn import vjp
+from .registry import (
+    BLOCK_TARGET_BYTES,
+    SCRATCH_GEMM,
+    SCRATCH_MAIN,
+    SCRATCH_PAD,
+    ConvKernel,
+    register_kernel,
+)
+
+__all__ = ["GemmIm2colKernel", "BlockedIm2colKernel"]
+
+
+def _patches_view(padded, n, c, k, oh, ow, stride):
+    """The ``(n, c, k, k, oh, ow)`` im2col gather view of a padded buffer."""
+    st = padded.strides
+    return np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(n, c, k, k, oh, ow),
+        strides=(st[0], st[1], st[2], st[3], st[2] * stride, st[3] * stride),
+    )
+
+
+def _grouped_gemm(weight, cols, out, spec, n):
+    """Dispatch the forward GEMM for one (sub-)batch of gathered columns."""
+    c = spec.in_channels
+    cout = spec.out_channels
+    k = spec.kernel
+    groups = spec.groups
+    oh, ow = spec.out_height, spec.out_width
+    if groups == 1:
+        # (C_out, C*k*k) @ (N, C*k*k, oh*ow) -> (N, C_out, oh*ow).
+        np.matmul(
+            weight.reshape(cout, -1),
+            cols.reshape(n, c * k * k, oh * ow),
+            out=out.reshape(n, cout, oh * ow),
+        )
+    elif groups == c == cout:
+        # Depthwise: (C, 1, k*k) @ (N, C, k*k, oh*ow) -> (N, C, 1, oh*ow).
+        np.matmul(
+            weight.reshape(c, 1, k * k),
+            cols.reshape(n, c, k * k, oh * ow),
+            out=out.reshape(n, c, 1, oh * ow),
+        )
+    else:
+        cin_g = c // groups
+        cout_g = cout // groups
+        cols4d = cols.reshape(n, groups, cin_g * k * k, oh * ow)
+        out4d = out.reshape(n, groups, cout_g, oh * ow)
+        w_mats = weight.reshape(groups, cout_g, cin_g * k * k)
+        for g in range(groups):
+            np.matmul(w_mats[g], cols4d[:, g], out=out4d[:, g])
+
+
+@register_kernel
+class BlockedIm2colKernel(ConvKernel):
+    """Lane-blocked im2col + GEMM with an L2-resident column matrix."""
+
+    name = "im2col_block"
+    trains = False  # training plans keep the full column matrix as saved state
+
+    @classmethod
+    def _block(cls, spec):
+        """Lanes per block so one block's working set fits the cache target."""
+        if spec.pointwise:
+            # No gather: the working set is the input tile (read by the GEMM)
+            # plus the output tile (GEMM write + epilogue).
+            lane_bytes = (
+                (spec.in_channels + spec.out_channels)
+                * spec.out_height * spec.out_width * spec.itemsize
+            )
+        else:
+            lane_bytes = (
+                spec.in_channels * spec.kernel * spec.kernel
+                * spec.out_height * spec.out_width * spec.itemsize
+            )
+        return max(1, min(spec.batch, BLOCK_TARGET_BYTES // max(lane_bytes, 1)))
+
+    @classmethod
+    def supports(cls, spec):
+        if spec.train:
+            return False
+        # Blocking only differs from the whole-batch path when it actually
+        # splits the batch; otherwise skip the duplicate autotune candidate.
+        return cls._block(spec) < spec.batch
+
+    @classmethod
+    def scratch_requests(cls, spec):
+        if spec.pointwise:
+            return ()
+        block = cls._block(spec)
+        item = spec.itemsize
+        cols = (
+            block * spec.in_channels * spec.kernel * spec.kernel
+            * spec.out_height * spec.out_width * item
+        )
+        requests = [(SCRATCH_MAIN, cols)]
+        if spec.padding > 0:
+            padded = (
+                block * spec.in_channels
+                * (spec.height + 2 * spec.padding)
+                * (spec.width + 2 * spec.padding) * item
+            )
+            requests.append((SCRATCH_PAD, padded))
+        return tuple(requests)
+
+    def __init__(self, spec, plan):
+        super().__init__(spec, plan)
+        c = spec.in_channels
+        h, w, p = spec.height, spec.width, spec.padding
+        k = spec.kernel
+        self._b = self._block(spec)
+        # Padding happens per lane block in a scratch workspace (the pad
+        # writes stay cache-resident and no persistent full-batch padded
+        # buffer is carried), mirroring the depthwise kernel.
+        self._padded = (
+            plan.workspace((self._b, c, h + 2 * p, w + 2 * p), channel=SCRATCH_PAD)
+            if p > 0
+            else None
+        )
+        self._cols = (
+            None
+            if spec.pointwise
+            else plan.workspace(
+                (self._b, c, k, k, spec.out_height, spec.out_width), channel=SCRATCH_MAIN
+            )
+        )
+
+    def forward(self, x, weight, out, epilogue):
+        spec = self.spec
+        n, c = spec.batch, spec.in_channels
+        h, w, p, k, s = spec.height, spec.width, spec.padding, spec.kernel, spec.stride
+        oh, ow = spec.out_height, spec.out_width
+        blockwise = epilogue.blockwise
+        for n0 in range(0, n, self._b):
+            n1 = min(n0 + self._b, n)
+            b = n1 - n0
+            if self._cols is None:
+                cols = x[n0:n1]
+            else:
+                src = x[n0:n1]
+                if self._padded is not None:
+                    pad = self._padded[:b]
+                    # The scratch arena is shared with other steps, so the
+                    # padding border must be re-zeroed per block.
+                    pad[:, :, :p] = 0.0
+                    pad[:, :, p + h:] = 0.0
+                    pad[:, :, p:p + h, :p] = 0.0
+                    pad[:, :, p:p + h, p + w:] = 0.0
+                    pad[:, :, p:p + h, p:p + w] = src
+                    src = pad
+                cols = self._cols[:b]
+                np.copyto(cols, _patches_view(src, b, c, k, oh, ow, s))
+            _grouped_gemm(weight, cols, out[n0:n1], spec, b)
+            if blockwise:
+                epilogue.apply(out[n0:n1], lanes=slice(n0, n1))
+        if not blockwise:
+            epilogue.apply(out)
+
+
+@register_kernel
+class GemmIm2colKernel(ConvKernel):
+    """Whole-batch im2col + batched GEMM; the total fallback (fwd + VJPs).
+
+    Pointwise stride-1 convolutions skip the gather entirely (the input
+    buffer itself is the column matrix).  In training plans the column
+    workspace is plan-persistent — it doubles as the saved input patches the
+    weight VJP contracts against; the input VJP is a GEMM into a column-
+    gradient workspace followed by the ``col2im`` scatter of
+    :func:`repro.nn.vjp.col2im_nchw_accumulate`.
+    """
+
+    name = "im2col"
+    trains = True
+
+    @classmethod
+    def supports(cls, spec):
+        return True
+
+    @classmethod
+    def scratch_requests(cls, spec):
+        if spec.pointwise or spec.train:
+            # Pointwise needs no columns; training columns are persistent.
+            return ()
+        cols = (
+            spec.batch * spec.in_channels * spec.kernel * spec.kernel
+            * spec.out_height * spec.out_width * spec.itemsize
+        )
+        return ((SCRATCH_MAIN, cols),)
+
+    @classmethod
+    def _backward_ws_shapes(cls, spec, input_grad_needed):
+        """``(gx, gw, gcols, gpad)`` workspace shapes (``None`` when unused)."""
+        n, c = spec.batch, spec.in_channels
+        cout, groups, k = spec.out_channels, spec.groups, spec.kernel
+        h, w, p = spec.height, spec.width, spec.padding
+        oh, ow = spec.out_height, spec.out_width
+        gx = gw = gcols = gpad = None
+        if spec.pointwise:
+            gx = (n, c, oh * ow) if input_grad_needed else None
+            gw = (n, cout, c)
+        else:
+            gcols = (n, c, k, k, oh, ow) if input_grad_needed else None
+            gpad = (n, c, h + 2 * p, w + 2 * p) if (p > 0 and input_grad_needed) else None
+            if groups == 1:
+                gw = (n, cout, c * k * k)
+            elif groups == c == cout:
+                gw = (n, c, 1, k * k)
+            else:
+                gw = (n, groups, cout // groups, (c // groups) * k * k)
+        return gx, gw, gcols, gpad
+
+    @classmethod
+    def backward_scratch_requests(cls, spec, input_grad_needed):
+        requests = []
+        gx, gw, gcols, gpad = cls._backward_ws_shapes(spec, input_grad_needed)
+        for channel, shape in ((SCRATCH_MAIN, gx), (SCRATCH_GEMM, gw),
+                               (SCRATCH_MAIN, gcols), (SCRATCH_PAD, gpad)):
+            if shape is not None:
+                requests.append((channel, int(np.prod(shape)) * spec.itemsize))
+        return requests
+
+    def __init__(self, spec, plan):
+        super().__init__(spec, plan)
+        n, c = spec.batch, spec.in_channels
+        h, w, p, k = spec.height, spec.width, spec.padding, spec.kernel
+        self._padded = (
+            plan.alloc((n, c, h + 2 * p, w + 2 * p), zero=True) if p > 0 else None
+        )
+        # The column workspace is transient in inference plans (dead once the
+        # GEMM consumed it) and may live in the plan's shared scratch arena;
+        # training plans keep it as the saved input patches for backward.
+        if spec.pointwise:
+            self._cols = None
+        elif spec.train:
+            self._cols = plan.alloc((n, c, k, k, spec.out_height, spec.out_width))
+        else:
+            self._cols = plan.workspace(
+                (n, c, k, k, spec.out_height, spec.out_width), channel=SCRATCH_MAIN
+            )
+
+    def forward(self, x, weight, out, epilogue):
+        spec = self.spec
+        n, c = spec.batch, spec.in_channels
+        h, w, p, k, s = spec.height, spec.width, spec.padding, spec.kernel, spec.stride
+        if spec.pointwise:
+            cols = x
+        else:
+            if self._padded is not None:
+                self._padded[:, :, p:p + h, p:p + w] = x
+                x = self._padded
+            np.copyto(
+                self._cols, _patches_view(x, n, c, k, spec.out_height, spec.out_width, s)
+            )
+            cols = self._cols
+        _grouped_gemm(weight, cols, out, spec, n)
+        epilogue.apply(out)
+
+    def allocate_backward(self, plan, input_grad_needed):
+        self._input_grad_needed = bool(input_grad_needed)
+        gx, gw, gcols, gpad = self._backward_ws_shapes(self.spec, input_grad_needed)
+        self._gx_ws = plan.workspace(gx, channel=SCRATCH_MAIN) if gx is not None else None
+        self._gw_ws = plan.workspace(gw, channel=SCRATCH_GEMM)
+        self._gcols = plan.workspace(gcols, channel=SCRATCH_MAIN) if gcols is not None else None
+        self._gpad = plan.workspace(gpad, channel=SCRATCH_PAD) if gpad is not None else None
+
+    def backward(self, gout, x, weight, gw, gin):
+        spec = self.spec
+        n, c = spec.batch, spec.in_channels
+        cout, groups, k = spec.out_channels, spec.groups, spec.kernel
+        h, w, s, p = spec.height, spec.width, spec.stride, spec.padding
+        oh, ow = spec.out_height, spec.out_width
+        gout3 = gout.reshape(n, cout, oh * ow)
+        if spec.pointwise:
+            x3 = x.reshape(n, c, oh * ow)
+            w_mat = weight.reshape(cout, c)
+            np.matmul(gout3, x3.transpose(0, 2, 1), out=self._gw_ws)
+            gw.reshape(cout, c)[...] += self._gw_ws.sum(axis=0)
+            if gin is not None:
+                np.matmul(w_mat.T, gout3, out=self._gx_ws)
+                gin += self._gx_ws.reshape(n, c, h, w)
+            return
+        cols = self._cols  # saved by the forward run
+        if groups == 1:
+            w_mat = weight.reshape(cout, c * k * k)
+            cols3 = cols.reshape(n, c * k * k, oh * ow)
+            np.matmul(gout3, cols3.transpose(0, 2, 1), out=self._gw_ws)
+            gw.reshape(cout, c * k * k)[...] += self._gw_ws.sum(axis=0)
+            if gin is not None:
+                np.matmul(w_mat.T, gout3, out=self._gcols.reshape(n, c * k * k, oh * ow))
+        elif groups == c == cout:
+            w2 = weight.reshape(c, 1, k * k)
+            cols4 = cols.reshape(n, c, k * k, oh * ow)
+            gout4 = gout.reshape(n, c, 1, oh * ow)
+            np.matmul(gout4, cols4.transpose(0, 1, 3, 2), out=self._gw_ws)
+            gw.reshape(c, 1, k * k)[...] += self._gw_ws.sum(axis=0)
+            if gin is not None:
+                np.matmul(
+                    w2.transpose(0, 2, 1), gout4, out=self._gcols.reshape(n, c, k * k, oh * ow)
+                )
+        else:
+            cin_g = c // groups
+            cout_g = cout // groups
+            cols4 = cols.reshape(n, groups, cin_g * k * k, oh * ow)
+            gout4 = gout.reshape(n, groups, cout_g, oh * ow)
+            gcols4 = (
+                self._gcols.reshape(n, groups, cin_g * k * k, oh * ow)
+                if gin is not None
+                else None
+            )
+            w_mats = weight.reshape(groups, cout_g, cin_g * k * k)
+            for g in range(groups):
+                np.matmul(gout4[:, g], cols4[:, g].transpose(0, 2, 1), out=self._gw_ws[:, g])
+                if gin is not None:
+                    np.matmul(w_mats[g].T, gout4[:, g], out=gcols4[:, g])
+            gw.reshape(groups, cout_g, cin_g * k * k)[...] += self._gw_ws.sum(axis=0)
+        if gin is not None:
+            vjp.col2im_nchw_accumulate(self._gcols, gin, s, p, pad_ws=self._gpad)

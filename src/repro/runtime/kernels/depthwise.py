@@ -1,0 +1,211 @@
+"""Output-stationary direct depthwise convolution (forward + VJPs).
+
+Depthwise convolutions dominate the runtime's rollout plans (the searched
+agents are inverted-residual-heavy), and the im2col path serves them badly:
+the patch gather copies ``k*k`` shifted images through tiny strided runs,
+and the "GEMM" that follows is ``N*C`` degenerate ``(1, k^2) @ (k^2, L)``
+dot products.  This kernel never materialises columns.  Instead it works on
+a channels-last (NHWC) padded copy of the input and accumulates the output
+tile tap by tap::
+
+    out[b, y, x, :] += w[i, j, :] * xpad[b, y*s + i, x*s + j, :]
+
+Channels-last makes each tap a contiguous multiply along the channel axis
+(the per-channel weight broadcasts over the *trailing* dimension, which
+NumPy vectorises well), and the batch is processed in lane blocks sized so
+the padded block, the accumulator and the tap workspace all stay
+L2-resident — the output tile is touched ``k^2`` times but never leaves the
+cache, and the fused epilogue runs on it while it is still hot.
+
+Reverse mode reuses the saved padded NHWC input: the weight VJP is the same
+tap loop with a channel reduction, and the input VJP scatters
+``gout * w[i, j]`` back through the shifted windows (into a padded workspace
+when ``padding > 0``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .registry import (
+    BLOCK_TARGET_BYTES,
+    SCRATCH_GEMM,
+    SCRATCH_MAIN,
+    SCRATCH_PAD,
+    ConvKernel,
+    register_kernel,
+)
+
+__all__ = ["DepthwiseDirectKernel"]
+
+
+@register_kernel
+class DepthwiseDirectKernel(ConvKernel):
+    """Per-tap shifted-view MAC over an NHWC padded input, lane-blocked."""
+
+    name = "depthwise_direct"
+    trains = True
+
+    # ------------------------------------------------------------------ #
+    # Geometry helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _lane_bytes(cls, spec):
+        padded = (spec.height + 2 * spec.padding) * (spec.width + 2 * spec.padding)
+        tile = spec.out_height * spec.out_width
+        return (padded + 2 * tile) * spec.in_channels * spec.itemsize
+
+    @classmethod
+    def _block(cls, spec):
+        return max(1, min(spec.batch, BLOCK_TARGET_BYTES // max(cls._lane_bytes(spec), 1)))
+
+    @classmethod
+    def supports(cls, spec):
+        return spec.depthwise
+
+    @classmethod
+    def scratch_requests(cls, spec):
+        block = cls._block(spec)
+        c, item = spec.in_channels, spec.itemsize
+        tile = block * spec.out_height * spec.out_width * c * item
+        requests = [(SCRATCH_GEMM, tile), (SCRATCH_MAIN, tile)]
+        if not spec.train:
+            padded = (
+                block * (spec.height + 2 * spec.padding)
+                * (spec.width + 2 * spec.padding) * c * item
+            )
+            requests.append((SCRATCH_PAD, padded))
+        return tuple(requests)
+
+    @classmethod
+    def backward_scratch_requests(cls, spec, input_grad_needed):
+        n, c, item = spec.batch, spec.in_channels, spec.itemsize
+        tile = n * spec.out_height * spec.out_width * c * item
+        requests = [(SCRATCH_GEMM, tile), (SCRATCH_MAIN, tile)]
+        if input_grad_needed and spec.padding > 0:
+            padded = (
+                n * (spec.height + 2 * spec.padding)
+                * (spec.width + 2 * spec.padding) * c * item
+            )
+            requests.append((SCRATCH_PAD, padded))
+        return tuple(requests)
+
+    # ------------------------------------------------------------------ #
+    # Binding
+    # ------------------------------------------------------------------ #
+    def __init__(self, spec, plan):
+        super().__init__(spec, plan)
+        n, c = spec.batch, spec.in_channels
+        ph = spec.height + 2 * spec.padding
+        pw = spec.width + 2 * spec.padding
+        oh, ow = spec.out_height, spec.out_width
+        self._b = self._block(spec)
+        if spec.train:
+            # The padded NHWC input is the saved state the VJPs contract
+            # against, so it must survive the forward pass: allocate the full
+            # batch persistently (zeroed once; the border stays zero).
+            self._xph = plan.alloc((n, ph, pw, c), zero=True)
+        else:
+            self._xph = plan.workspace((self._b, ph, pw, c), channel=SCRATCH_PAD)
+        self._outh = plan.workspace((self._b, oh, ow, c), channel=SCRATCH_GEMM)
+        self._wsh = plan.workspace((self._b, oh, ow, c), channel=SCRATCH_MAIN)
+        #: Per-tap weight rows ``(k*k, C)``, refreshed from the live weight
+        #: array every call (tiny next to any feature map).
+        self._wt = plan.alloc((spec.kernel * spec.kernel, c))
+
+    def _tap_view(self, buf, tap):
+        """The shifted ``(b, oh, ow, C)`` window of a padded NHWC buffer."""
+        spec = self.spec
+        i, j = divmod(tap, spec.kernel)
+        s = spec.stride
+        return buf[
+            :,
+            i : i + s * (spec.out_height - 1) + 1 : s,
+            j : j + s * (spec.out_width - 1) + 1 : s,
+            :,
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
+    def forward(self, x, weight, out, epilogue):
+        spec = self.spec
+        n, c, p = spec.batch, spec.in_channels, spec.padding
+        h, w, k = spec.height, spec.width, spec.kernel
+        taps = k * k
+        self._wt[...] = weight.reshape(c, taps).T
+        if spec.train:
+            # Interior fill of the persistent buffer; the border is zero from
+            # allocation and never written.
+            self._xph[:, p:p + h, p:p + w, :] = np.moveaxis(x, 1, -1)
+        blockwise = epilogue.blockwise
+        for n0 in range(0, n, self._b):
+            n1 = min(n0 + self._b, n)
+            b = n1 - n0
+            if spec.train:
+                xb = self._xph[n0:n1]
+            else:
+                xb = self._xph[:b]
+                if p > 0:
+                    # The scratch arena is shared with other steps, so the
+                    # padding border must be re-zeroed per block.
+                    xb[:, :p] = 0.0
+                    xb[:, p + h:] = 0.0
+                    xb[:, p:p + h, :p] = 0.0
+                    xb[:, p:p + h, p + w:] = 0.0
+                xb[:, p:p + h, p:p + w, :] = np.moveaxis(x[n0:n1], 1, -1)
+            ob = self._outh[:b]
+            wb = self._wsh[:b]
+            np.multiply(self._tap_view(xb, 0), self._wt[0], out=ob)
+            for tap in range(1, taps):
+                np.multiply(self._tap_view(xb, tap), self._wt[tap], out=wb)
+                np.add(ob, wb, out=ob)
+            np.copyto(np.moveaxis(out[n0:n1], 1, -1), ob)
+            if blockwise:
+                epilogue.apply(out[n0:n1], lanes=slice(n0, n1))
+        if not blockwise:
+            epilogue.apply(out)
+
+    # ------------------------------------------------------------------ #
+    # Reverse mode
+    # ------------------------------------------------------------------ #
+    def allocate_backward(self, plan, input_grad_needed):
+        spec = self.spec
+        n, c = spec.batch, spec.in_channels
+        oh, ow = spec.out_height, spec.out_width
+        self._gouth = plan.workspace((n, oh, ow, c), channel=SCRATCH_GEMM)
+        self._gtap = plan.workspace((n, oh, ow, c), channel=SCRATCH_MAIN)
+        self._gpadh = None
+        if input_grad_needed and spec.padding > 0:
+            ph = spec.height + 2 * spec.padding
+            pw = spec.width + 2 * spec.padding
+            self._gpadh = plan.workspace((n, ph, pw, c), channel=SCRATCH_PAD)
+
+    def backward(self, gout, x, weight, gw, gin):
+        spec = self.spec
+        c, p = spec.in_channels, spec.padding
+        h, w, k = spec.height, spec.width, spec.kernel
+        taps = k * k
+        self._wt[...] = weight.reshape(c, taps).T
+        np.copyto(self._gouth, np.moveaxis(gout, 1, -1))
+        # Weight VJP: per tap, reduce gout * (shifted saved input) over NHW.
+        for tap in range(taps):
+            np.multiply(self._gouth, self._tap_view(self._xph, tap), out=self._gtap)
+            i, j = divmod(tap, k)
+            gw[:, 0, i, j] += self._gtap.sum(axis=(0, 1, 2))
+        if gin is None:
+            return
+        # Input VJP: scatter gout * w through the shifted windows.  With no
+        # padding the target windows view the caller's accumulator directly;
+        # otherwise a zeroed padded workspace collects the taps and its
+        # interior is accumulated at the end.
+        if self._gpadh is not None:
+            target = self._gpadh
+            target.fill(0.0)
+        else:
+            target = np.moveaxis(gin, 1, -1)
+        for tap in range(taps):
+            np.multiply(self._gouth, self._wt[tap], out=self._gtap)
+            self._tap_view(target, tap)[...] += self._gtap
+        if self._gpadh is not None:
+            gin += np.moveaxis(self._gpadh[:, p:p + h, p:p + w, :], 3, 1)

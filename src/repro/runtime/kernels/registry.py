@@ -1,0 +1,372 @@
+"""Kernel registry + dispatcher: *what* a conv step computes vs *how*.
+
+A :class:`ConvSpec` captures the full op signature of one convolution step
+(shape, kernel/stride/padding/groups, dtype, direction); registered
+:class:`ConvKernel` implementations declare which signatures they
+:meth:`~ConvKernel.supports` and how much call-transient scratch they need.
+The dispatcher (:func:`kernel_for`) picks one implementation per signature:
+
+* ``REPRO_KERNELS`` unset / ``auto`` — the autotuner times every supporting
+  candidate once per process (warmup + best-of-k on real-sized buffers) and
+  caches the winner per signature (:mod:`repro.runtime.kernels.autotune`);
+* ``REPRO_KERNELS=heuristic`` — static shape rules, no timing;
+* ``REPRO_KERNELS=<name>`` — pin one kernel globally (e.g. ``im2col``);
+  signatures the pinned kernel rejects fall back to the heuristic choice;
+* ``REPRO_KERNELS=<class>=<name>,...`` — pin per op class, where the classes
+  are ``pointwise`` / ``depthwise`` / ``grouped`` / ``dense`` (e.g.
+  ``depthwise=depthwise_direct,dense=im2col``).
+
+Every selection is recorded in an in-process table (chosen kernel, how it was
+chosen, candidate timings) surfaced through ``repro.runtime.cache_stats()``.
+
+Kernels are *bound* per plan step: instantiating a kernel class with
+``(spec, plan)`` allocates its persistent buffers through ``plan.alloc`` and
+its transient workspaces through ``plan.workspace``, so kernel memory obeys
+the same buffer-pool and scratch-arena discipline as every other step
+workspace.  The scratch arenas are sized before the kernel is chosen, so
+:func:`scratch_upper_bound` reports the per-channel maxima over *all*
+supporting candidates.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import NamedTuple
+
+import numpy as np
+
+from ...nn.functional import conv_output_size
+
+__all__ = [
+    "ConvSpec",
+    "ConvKernel",
+    "ENV_VAR",
+    "KERNELS",
+    "register_kernel",
+    "kernel_names",
+    "candidates",
+    "kernel_for",
+    "scratch_upper_bound",
+    "selection_table",
+    "reset_selections",
+    "SCRATCH_MAIN",
+    "SCRATCH_GEMM",
+    "SCRATCH_PAD",
+]
+
+ENV_VAR = "REPRO_KERNELS"
+
+#: Shared scratch-arena channels (see :class:`repro.runtime.plan.Plan`).  A
+#: workspace may live in a channel when its contents are only alive within a
+#: single ``forward``/``backward`` call of one step; workspaces that must
+#: coexist within one call use distinct channels.
+SCRATCH_MAIN = 0   # im2col columns / column gradients / elementwise temps
+SCRATCH_GEMM = 1   # weight-gradient workspaces / direct-kernel accumulators
+SCRATCH_PAD = 2    # padded buffers / padded scatter targets
+
+#: Op classes a signature can be pinned by (``REPRO_KERNELS=<class>=<name>``).
+OP_CLASSES = ("pointwise", "depthwise", "grouped", "dense")
+
+#: Per-lane-block working-set target of the blocked kernels — roughly half
+#: the L2 of the small cores this runtime targets, leaving room for the
+#: output tile.  Shared so every kernel family blocks against the same
+#: cache assumption.
+BLOCK_TARGET_BYTES = 1 << 20
+
+
+class ConvSpec(NamedTuple):
+    """Signature of one convolution step: everything dispatch may key on."""
+
+    batch: int
+    in_channels: int
+    out_channels: int
+    height: int
+    width: int
+    kernel: int
+    stride: int
+    padding: int
+    groups: int
+    dtype: str      # numpy dtype name, e.g. "float32"
+    direction: str  # "infer" (forward only) or "train" (forward + VJPs)
+
+    # Derived geometry ---------------------------------------------------- #
+    @property
+    def out_height(self):
+        return conv_output_size(self.height, self.kernel, self.stride, self.padding)
+
+    @property
+    def out_width(self):
+        return conv_output_size(self.width, self.kernel, self.stride, self.padding)
+
+    @property
+    def itemsize(self):
+        return np.dtype(self.dtype).itemsize
+
+    @property
+    def train(self):
+        return self.direction == "train"
+
+    @property
+    def pointwise(self):
+        return (
+            self.kernel == 1 and self.stride == 1 and self.padding == 0 and self.groups == 1
+        )
+
+    @property
+    def depthwise(self):
+        return self.groups > 1 and self.groups == self.in_channels == self.out_channels
+
+    @property
+    def op_class(self):
+        if self.pointwise:
+            return "pointwise"
+        if self.depthwise:
+            return "depthwise"
+        if self.groups > 1:
+            return "grouped"
+        return "dense"
+
+    def describe(self):
+        """Compact human-readable signature key for stats tables."""
+        return (
+            "{op}:n{n}c{c}->{o}@{h}x{w}/k{k}s{s}p{p}g{g}/{dt}/{dir}".format(
+                op=self.op_class, n=self.batch, c=self.in_channels,
+                o=self.out_channels, h=self.height, w=self.width, k=self.kernel,
+                s=self.stride, p=self.padding, g=self.groups, dt=self.dtype,
+                dir=self.direction,
+            )
+        )
+
+
+class ConvKernel:
+    """Base class of one convolution implementation.
+
+    Subclasses are registered (in preference order) via
+    :func:`register_kernel` and bound per plan step by instantiation:
+    ``__init__`` receives the spec plus an allocator object exposing
+    ``alloc(shape, dtype=..., zero=...)`` and
+    ``workspace(shape, dtype=..., channel=...)`` — a real
+    :class:`~repro.runtime.plan.Plan` in production, a temporary arena during
+    autotuning.
+
+    The contract mirrors the plan-step aliasing rules: ``forward`` may mutate
+    only ``out`` and kernel-owned workspaces, never ``x``; ``backward`` may
+    mutate ``gout`` (it owns the output-slot gradient by the time it runs) and
+    must *accumulate* into ``gw`` / ``gin``.
+    """
+
+    #: Registry name (stable; used by ``REPRO_KERNELS`` and stats tables).
+    name = None
+    #: Whether the kernel implements the reverse-mode VJPs.
+    trains = False
+
+    @classmethod
+    def supports(cls, spec):
+        """Whether this kernel can serve ``spec`` (never raises)."""
+        raise NotImplementedError
+
+    @classmethod
+    def scratch_requests(cls, spec):
+        """``(channel, nbytes)`` call-transient forward workspace needs."""
+        return ()
+
+    @classmethod
+    def backward_scratch_requests(cls, spec, input_grad_needed):
+        """``(channel, nbytes)`` call-transient backward workspace needs."""
+        return ()
+
+    def __init__(self, spec, plan):
+        self.spec = spec
+
+    def forward(self, x, weight, out, epilogue):
+        """Compute the convolution into ``out`` and apply ``epilogue``.
+
+        ``epilogue`` is the step's fused bias/BN/residual/activation
+        descriptor: kernels call ``epilogue.apply(block, lanes=...)`` on each
+        freshly computed output tile when ``epilogue.blockwise`` is true
+        (cache-friendly), or once on the whole output otherwise.
+        """
+        raise NotImplementedError
+
+    def allocate_backward(self, plan, input_grad_needed):
+        """Draw reverse-mode workspaces (training plans only)."""
+        raise NotImplementedError(
+            "{} has no reverse-mode implementation".format(type(self).__name__)
+        )
+
+    def backward(self, gout, x, weight, gw, gin):
+        """Accumulate the weight VJP into ``gw`` and the input VJP into ``gin``.
+
+        ``gout`` is the output-slot gradient after the activation VJP and
+        bias accumulation already ran (the step owns those); ``gin`` is
+        ``None`` when the input gradient is not needed (stem convolutions).
+        """
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "{}({})".format(type(self).__name__, self.spec.describe())
+
+
+#: Registered kernel classes, in preference order (earlier wins heuristic
+#: ties; the general fallback registers itself last).
+KERNELS = []
+
+#: signature -> {"kernel": name, "source": how it was chosen}.
+_SELECTIONS = {}
+
+
+def register_kernel(cls):
+    """Register a :class:`ConvKernel` subclass (decorator-friendly)."""
+    if any(existing.name == cls.name for existing in KERNELS):
+        raise ValueError("kernel {!r} already registered".format(cls.name))
+    KERNELS.append(cls)
+    return cls
+
+
+def kernel_names():
+    """Names of every registered kernel, in preference order."""
+    return tuple(cls.name for cls in KERNELS)
+
+
+def candidates(spec):
+    """Registered kernels that support ``spec`` (training needs VJPs too)."""
+    return [
+        cls
+        for cls in KERNELS
+        if (not spec.train or cls.trains) and cls.supports(spec)
+    ]
+
+
+def _parse_env():
+    """Resolve ``REPRO_KERNELS`` into ``(mode, per-class pins)``.
+
+    ``mode`` is ``"auto"`` or ``"heuristic"``; pins map op classes (or the
+    wildcard ``"*"`` for a bare kernel name) to kernel names.  Unknown kernel
+    or class names raise ``ValueError`` so typos fail loudly.
+    """
+    raw = os.environ.get(ENV_VAR, "auto").strip()
+    if raw == "" or raw.lower() == "auto":
+        return "auto", {}
+    if raw.lower() == "heuristic":
+        return "heuristic", {}
+    names = set(kernel_names())
+    pins = {}
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" in part:
+            op_class, _, name = part.partition("=")
+            op_class = op_class.strip().lower()
+            name = name.strip()
+            if op_class not in OP_CLASSES:
+                raise ValueError(
+                    "unknown op class {!r} in {}={!r}; valid classes: {}".format(
+                        op_class, ENV_VAR, raw, list(OP_CLASSES)
+                    )
+                )
+        else:
+            op_class, name = "*", part
+        if name not in names:
+            raise ValueError(
+                "unknown kernel {!r} in {}={!r}; registered kernels: {}".format(
+                    name, ENV_VAR, raw, sorted(names)
+                )
+            )
+        pins[op_class] = name
+    return "pinned", pins
+
+
+def _heuristic(spec, cands):
+    """Static shape rules, in lieu of timing.
+
+    Encodes what the autotuner reliably finds on small-batch rollout shapes:
+    direct NHWC MAC wins for wide late-stage depthwise maps, the lane-blocked
+    gather wins for early high-resolution ones, and everything else stays on
+    the general GEMM path.
+    """
+    by_name = {cls.name: cls for cls in cands}
+    if spec.depthwise:
+        if "depthwise_direct" in by_name and (
+            spec.in_channels >= 64 and spec.out_height * spec.out_width <= 64
+        ):
+            return by_name["depthwise_direct"]
+        if "im2col_block" in by_name:
+            return by_name["im2col_block"]
+    elif "im2col_block" in by_name and spec.kernel > 1:
+        return by_name["im2col_block"]
+    return cands[0] if len(cands) == 1 else by_name.get("im2col", cands[-1])
+
+
+def kernel_for(spec, plan):
+    """Select and bind the kernel serving ``spec`` on ``plan``.
+
+    Selection policy (see module docstring): explicit pin > heuristic mode >
+    autotune.  The decision is recorded in the process-wide selection table.
+    """
+    cands = candidates(spec)
+    if not cands:
+        raise RuntimeError(
+            "no registered kernel supports {} (the im2col fallback should be "
+            "total; was the registry mutated?)".format(spec.describe())
+        )
+    mode, pins = _parse_env()
+    source = None
+    cls = None
+    if mode == "pinned":
+        name = pins.get(spec.op_class, pins.get("*"))
+        if name is not None:
+            by_name = {c.name: c for c in cands}
+            if name in by_name:
+                cls = by_name[name]
+                source = "pinned"
+            else:
+                cls = _heuristic(spec, cands)
+                source = "pin-fallback"
+        else:
+            mode = "auto"
+    if cls is None and mode == "heuristic":
+        cls = _heuristic(spec, cands)
+        source = "heuristic"
+    if cls is None:
+        from .autotune import choose
+
+        cls, source = choose(spec, cands)
+    _SELECTIONS[spec] = {"kernel": cls.name, "source": source}
+    return cls(spec, plan)
+
+
+def scratch_upper_bound(spec, input_grad_needed=True):
+    """Per-channel scratch maxima over every candidate kernel.
+
+    The aliasing pass sizes the shared scratch arenas *before* the kernel is
+    selected, so it must provision for whichever candidate dispatch later
+    picks.  Returns ``(channel, nbytes)`` pairs.
+    """
+    channels = {}
+    for cls in candidates(spec):
+        requests = list(cls.scratch_requests(spec))
+        if spec.train:
+            requests += list(cls.backward_scratch_requests(spec, input_grad_needed))
+        for channel, nbytes in requests:
+            channels[channel] = max(channels.get(channel, 0), int(nbytes))
+    return tuple(sorted(channels.items()))
+
+
+def selection_table():
+    """Chosen kernel per signature (with autotuner timings where available)."""
+    from .autotune import timings_for
+
+    table = {}
+    for spec, entry in _SELECTIONS.items():
+        row = dict(entry)
+        timings = timings_for(spec)
+        if timings is not None:
+            row["timings_ms"] = {name: t * 1e3 for name, t in timings.items()}
+        table[spec.describe()] = row
+    return table
+
+
+def reset_selections():
+    """Clear the selection table (autotimer cache is cleared separately)."""
+    _SELECTIONS.clear()

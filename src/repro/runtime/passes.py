@@ -15,9 +15,13 @@ deep-learning-compiler pipeline, specialised to the runtime's flat slot IR:
 
 ``fuse_epilogue``
     Epilogue fusion for inference plans: standalone batch-norm, activation
-    and residual-add steps are folded into the producing GEMM step
+    and residual-add steps are folded into the producing compute step
     (:class:`Conv2dStep` / :class:`LinearStep`), so each intermediate feature
     map is written once instead of being re-traversed per elementwise op.
+    Conv steps hand the fused tail to their dispatched
+    :mod:`repro.runtime.kernels` implementation as an epilogue descriptor —
+    blocked kernels apply it per output tile while the tile is cache-hot
+    rather than assuming a whole-batch GEMM follows.
 
 ``fold_bn``
     Inference-mode conv-BN weight folding: the (eval-mode) BN scale/shift is

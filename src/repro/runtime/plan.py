@@ -3,8 +3,11 @@
 A :class:`Plan` is the compiled form of a module graph for one concrete
 ``(batch, dtype)`` signature: an ordered list of :class:`Step` objects reading
 and writing integer-indexed activation *slots*.  All activation buffers and
-im2col workspaces are allocated when the plan is finalised; running the plan
+step workspaces are allocated when the plan is finalised; running the plan
 performs no allocations beyond what NumPy's kernels do internally.
+Convolution steps delegate their compute to a
+:mod:`repro.runtime.kernels` implementation selected per op signature at
+finalise time (autotuned by default, pinnable via ``REPRO_KERNELS``).
 
 Steps hold references to their source :class:`~repro.nn.modules.Module` and
 fetch parameter arrays (``module.weight.data``) on every run, so optimiser
@@ -37,7 +40,8 @@ from collections import OrderedDict
 import numpy as np
 
 from ..nn import vjp
-from ..nn.functional import conv_output_size
+from . import kernels as conv_kernels
+from .kernels import SCRATCH_GEMM, SCRATCH_MAIN, SCRATCH_PAD
 
 __all__ = [
     "Plan",
@@ -63,14 +67,10 @@ __all__ = [
 #: Live pools, for :func:`repro.runtime.cache_stats` aggregation.
 _POOLS = weakref.WeakSet()
 
-#: Shared scratch-arena channels.  A workspace may live in a channel when its
-#: contents are only alive within a single ``run``/``backward`` call of one
-#: step; workspaces that must coexist within one call use distinct channels
-#: (a conv backward holds its column gradients, weight-gradient workspace and
-#: padded scatter target at the same time).
-SCRATCH_MAIN = 0   # im2col columns / column gradients / elementwise temps
-SCRATCH_GEMM = 1   # per-sample weight-gradient workspaces
-SCRATCH_PAD = 2    # padded col2im scatter targets
+# The shared scratch-arena channel ids (SCRATCH_MAIN / SCRATCH_GEMM /
+# SCRATCH_PAD) are defined in repro.runtime.kernels.registry — the kernel
+# implementations draw from the same arenas — and re-exported here for the
+# plan steps and backwards compatibility.
 
 
 def stacked_view(array, num_samples):
@@ -317,22 +317,61 @@ class _BNMixin:
         apply_activation(self.activation, out)
 
 
+class _ConvEpilogue:
+    """Fused-epilogue descriptor handed to the selected conv kernel.
+
+    Wraps the step's bias / batch-norm / residual / activation tail so the
+    kernel decides *when* to apply it: blocked kernels call
+    ``apply(out_block, lanes=...)`` on each output tile while it is still
+    cache-hot, whole-batch kernels call it once.  ``blockwise`` is false
+    exactly when train-mode batch-norm statistics need the full batch.
+
+    One descriptor is allocated per step at plan finalise; the per-run
+    fields (folded bias, residual buffer) are refreshed in place so the
+    hot path stays allocation-free.
+    """
+
+    __slots__ = ("step", "folded_bias", "res")
+
+    def __init__(self, step, folded_bias=None, res=None):
+        self.step = step
+        self.folded_bias = folded_bias
+        self.res = res
+
+    @property
+    def blockwise(self):
+        step = self.step
+        if self.folded_bias is not None or step.bn is None:
+            return True
+        return not step.bn.training
+
+    def apply(self, out, lanes=None):
+        step = self.step
+        res = self.res
+        if res is not None and lanes is not None:
+            res = res[lanes]
+        if self.folded_bias is not None:
+            out += self.folded_bias[None, :, None, None]
+            if res is not None:
+                out += res
+            apply_activation(step.activation, out)
+        else:
+            step._apply_bn_bias_act(out, step.conv.bias, step._params, res=res)
+        return out
+
+
 class Conv2dStep(Step, _BNMixin):
     """Convolution (any ``groups``), optionally fused with BN and activation.
 
-    Per run: copy the input into a persistent zero-padded buffer, gather
-    patches into an im2col workspace laid out ``(N, C, kh, kw, oh, ow)`` —
-    the innermost spatial axes copy as contiguous rows, unlike the channels-
-    last layout the eager path materialises — then one batched GEMM
-    ``(C_out, C*k*k) @ (N, C*k*k, oh*ow)`` writing straight into the NCHW
-    output slot (no transposes), with bias / BN / activation applied in
-    place.  Depthwise convolutions use the same workspace with a per-channel
-    batched GEMM instead of the eager engine's per-group Python loop.
+    The step owns *what* is computed — the op signature, the live parameter
+    reads, the fused bias/BN/residual/activation epilogue and the folded-
+    weight machinery — while *how* the convolution itself runs is delegated
+    to a :mod:`repro.runtime.kernels` implementation selected per signature
+    by the registry dispatcher (autotuned by default; pin with
+    ``REPRO_KERNELS``).  Reverse mode delegates the weight / input VJPs to
+    the same bound kernel, which keeps whatever forward state it needs
+    (saved im2col columns, padded channels-last input, ...).
 
-    Reverse mode reuses the forward column workspace as the saved input
-    patches: the weight gradient is one batched GEMM against it, the input
-    gradient is a GEMM into a dedicated column-gradient workspace followed by
-    the ``col2im`` scatter of :func:`repro.nn.vjp.col2im_nchw_accumulate`.
     Training plans never fuse BN into the conv (the compiler emits a separate
     :class:`BatchNormStep` so the pre-normalisation activations survive).
     """
@@ -351,80 +390,40 @@ class Conv2dStep(Step, _BNMixin):
         #: pass, inference plans only).  Train-mode BN falls back at run time.
         self.fold_bn = False
 
-    def _layout(self, plan):
-        """Shared geometry facts for allocation and scratch sizing."""
+    def _spec(self, plan):
+        """The kernel-registry signature of this step on ``plan``."""
         n, c, h, w = plan.shape(self.in_slot)
         conv = self.conv
-        k, s, p = conv.kernel_size, conv.stride, conv.padding
-        oh = conv_output_size(h, k, s, p)
-        ow = conv_output_size(w, k, s, p)
-        direct = k == 1 and s == 1 and p == 0 and conv.groups == 1
-        return n, c, h, w, k, s, p, oh, ow, direct
-
-    def _backward_ws_shapes(self, plan):
-        """``(gx, gw, gcols, gpad)`` workspace shapes (``None`` when unused)."""
-        n, c, h, w, k, s, p, oh, ow, direct = self._layout(plan)
-        conv = self.conv
-        cout = conv.out_channels
-        groups = conv.groups
-        needed = self.in_slot != plan.input_slot
-        gx = gw = gcols = gpad = None
-        if direct:
-            gx = (n, c, oh * ow) if needed else None
-            gw = (n, cout, c)
-        else:
-            gcols = (n, c, k, k, oh, ow) if needed else None
-            gpad = (n, c, h + 2 * p, w + 2 * p) if (p > 0 and needed) else None
-            if groups == 1:
-                gw = (n, cout, c * k * k)
-            elif groups == c == cout:
-                gw = (n, c, 1, k * k)
-            else:
-                gw = (n, groups, cout // groups, (c // groups) * k * k)
-        return gx, gw, gcols, gpad
+        return conv_kernels.ConvSpec(
+            batch=n,
+            in_channels=c,
+            out_channels=conv.out_channels,
+            height=h,
+            width=w,
+            kernel=conv.kernel_size,
+            stride=conv.stride,
+            padding=conv.padding,
+            groups=conv.groups,
+            dtype=plan.dtype.name,
+            direction="train" if plan.train else "infer",
+        )
 
     def scratch_requests(self, plan):
-        n, c, h, w, k, s, p, oh, ow, direct = self._layout(plan)
-        item = plan.dtype.itemsize
-        if not plan.train:
-            if direct:
-                return ()
-            return ((SCRATCH_MAIN, n * c * k * k * oh * ow * item),)
-        requests = []
-        gx, gw, gcols, gpad = self._backward_ws_shapes(plan)
-        for channel, shape in ((SCRATCH_MAIN, gx), (SCRATCH_GEMM, gw),
-                               (SCRATCH_MAIN, gcols), (SCRATCH_PAD, gpad)):
-            if shape is not None:
-                requests.append((channel, int(np.prod(shape)) * item))
-        return requests
+        # The shared scratch arenas are sized before the kernel is selected,
+        # so provision the per-channel maxima over every candidate.
+        return conv_kernels.scratch_upper_bound(
+            self._spec(plan), input_grad_needed=self.in_slot != plan.input_slot
+        )
 
     def allocate(self, plan):
-        n, c, h, w = plan.shape(self.in_slot)
-        conv = self.conv
-        k, s, p = conv.kernel_size, conv.stride, conv.padding
-        oh = conv_output_size(h, k, s, p)
-        ow = conv_output_size(w, k, s, p)
-        self._geom = (n, c, h, w, k, s, p, oh, ow)
-        dtype = plan.dtype
-        # Pointwise stride-1 convolutions are plain channel-mixing GEMMs: the
-        # input buffer itself serves as the column matrix, no gather needed.
-        self._direct = k == 1 and s == 1 and p == 0 and conv.groups == 1
-        self._padded = plan.alloc((n, c, h + 2 * p, w + 2 * p), zero=True) if p > 0 else None
-        # The column workspace is transient in inference plans (dead once the
-        # GEMM consumed it) and may live in the plan's shared scratch arena;
-        # training plans keep it as the saved input patches for backward.
-        if self._direct:
-            self._cols = None
-        elif plan.train:
-            self._cols = plan.alloc((n, c, k, k, oh, ow))
-        else:
-            self._cols = plan.workspace((n, c, k, k, oh, ow), channel=SCRATCH_MAIN)
-        self._params = _ParamCache(dtype)
+        self._params = _ParamCache(plan.dtype)
         if self.fold_bn:
-            self._fw = plan.alloc(conv.weight.data.shape)
-            self._fb = plan.alloc((conv.out_channels,))
+            self._fw = plan.alloc(self.conv.weight.data.shape)
+            self._fb = plan.alloc((self.conv.out_channels,))
             self._fold_key = None
             self._fold_stats = None
+        self._epilogue = _ConvEpilogue(self)
+        self._kernel = conv_kernels.kernel_for(self._spec(plan), plan)
 
     def _folded(self):
         """Folded ``(weight, bias)``, refreshed when the live sources change.
@@ -472,129 +471,30 @@ class Conv2dStep(Step, _BNMixin):
         self._pg_w = plan.grad_for(self.conv.weight)
         self._pg_b = plan.grad_for(self.conv.bias) if self.conv.bias is not None else None
         # The plan input has no producer, so nothing ever reads its gradient:
-        # skip the column GEMM + col2im scatter entirely for stem convs (the
-        # single most expensive VJP in the net, at full input resolution).
+        # skip the input VJP entirely for stem convs (the single most
+        # expensive VJP in the net, at full input resolution).
         self._input_grad_needed = self.in_slot != plan.input_slot
-        # Every reverse-mode workspace is dead once this step's backward call
-        # returns, so they draw from the shared scratch channels.
-        gx, gw, gcols, gpad = self._backward_ws_shapes(plan)
-        self._gx_ws = plan.workspace(gx, channel=SCRATCH_MAIN) if gx is not None else None
-        self._gw_ws = plan.workspace(gw, channel=SCRATCH_GEMM)
-        self._gcols = plan.workspace(gcols, channel=SCRATCH_MAIN) if gcols is not None else None
-        self._gpad = plan.workspace(gpad, channel=SCRATCH_PAD) if gpad is not None else None
+        self._kernel.allocate_backward(plan, self._input_grad_needed)
 
     def run(self, bufs):
-        x = bufs[self.in_slot]
-        n, c, h, w, k, s, p, oh, ow = self._geom
-        if self._direct:
-            cols = x
-        else:
-            if self._padded is not None:
-                self._padded[:, :, p:p + h, p:p + w] = x
-                x = self._padded
-            st = x.strides
-            patches = np.lib.stride_tricks.as_strided(
-                x,
-                shape=(n, c, k, k, oh, ow),
-                strides=(st[0], st[1], st[2], st[3], st[2] * s, st[3] * s),
-            )
-            np.copyto(self._cols, patches)
-            cols = self._cols
         conv = self.conv
-        folded = self.fold_bn and not self.bn.training
-        if folded:
-            weight, folded_bias = self._folded()
+        epilogue = self._epilogue
+        if self.fold_bn and not self.bn.training:
+            weight, epilogue.folded_bias = self._folded()
         else:
             weight = self._params.fetch_param("weight", conv.weight)
-        out = bufs[self.out_slot]
-        groups = conv.groups
-        if groups == 1:
-            # (C_out, C*k*k) @ (N, C*k*k, oh*ow) -> (N, C_out, oh*ow).
-            np.matmul(
-                weight.reshape(conv.out_channels, -1),
-                cols.reshape(n, c * k * k, oh * ow),
-                out=out.reshape(n, conv.out_channels, oh * ow),
-            )
-        elif groups == c == conv.out_channels:
-            # Depthwise: (C, 1, k*k) @ (N, C, k*k, oh*ow) -> (N, C, 1, oh*ow).
-            np.matmul(
-                weight.reshape(c, 1, k * k),
-                cols.reshape(n, c, k * k, oh * ow),
-                out=out.reshape(n, c, 1, oh * ow),
-            )
-        else:
-            cin_g = c // groups
-            cout_g = conv.out_channels // groups
-            cols4d = cols.reshape(n, groups, cin_g * k * k, oh * ow)
-            out4d = out.reshape(n, groups, cout_g, oh * ow)
-            w_mats = weight.reshape(groups, cout_g, cin_g * k * k)
-            for g in range(groups):
-                np.matmul(w_mats[g], cols4d[:, g], out=out4d[:, g])
-        res = bufs[self.res_slot] if self.res_slot is not None else None
-        if folded:
-            out += folded_bias[None, :, None, None]
-            if res is not None:
-                out += res
-            apply_activation(self.activation, out)
-        else:
-            self._apply_bn_bias_act(out, conv.bias, self._params, res=res)
+            epilogue.folded_bias = None
+        epilogue.res = bufs[self.res_slot] if self.res_slot is not None else None
+        self._kernel.forward(bufs[self.in_slot], weight, bufs[self.out_slot], epilogue)
 
     def backward(self, bufs, grads):
         gout = grads[self.out_slot]
         vjp.activation_vjp(self.activation, bufs[self.out_slot], gout)
-        n, c, h, w, k, s, p, oh, ow = self._geom
-        conv = self.conv
         if self._pg_b is not None:
             self._pg_b += gout.sum(axis=(0, 2, 3))
-        weight = self._params.fetch_param("weight", conv.weight)
-        cout = conv.out_channels
-        groups = conv.groups
-        gout3 = gout.reshape(n, cout, oh * ow)
-        if self._direct:
-            x3 = bufs[self.in_slot].reshape(n, c, oh * ow)
-            w_mat = weight.reshape(cout, c)
-            np.matmul(gout3, x3.transpose(0, 2, 1), out=self._gw_ws)
-            self._pg_w.reshape(cout, c)[...] += self._gw_ws.sum(axis=0)
-            if self._input_grad_needed:
-                np.matmul(w_mat.T, gout3, out=self._gx_ws)
-                grads[self.in_slot] += self._gx_ws.reshape(n, c, h, w)
-            return
-        cols = self._cols  # saved by the forward run
-        if groups == 1:
-            w_mat = weight.reshape(cout, c * k * k)
-            cols3 = cols.reshape(n, c * k * k, oh * ow)
-            np.matmul(gout3, cols3.transpose(0, 2, 1), out=self._gw_ws)
-            self._pg_w.reshape(cout, c * k * k)[...] += self._gw_ws.sum(axis=0)
-            if self._input_grad_needed:
-                np.matmul(w_mat.T, gout3, out=self._gcols.reshape(n, c * k * k, oh * ow))
-        elif groups == c == cout:
-            w2 = weight.reshape(c, 1, k * k)
-            cols4 = cols.reshape(n, c, k * k, oh * ow)
-            gout4 = gout.reshape(n, c, 1, oh * ow)
-            np.matmul(gout4, cols4.transpose(0, 1, 3, 2), out=self._gw_ws)
-            self._pg_w.reshape(c, 1, k * k)[...] += self._gw_ws.sum(axis=0)
-            if self._input_grad_needed:
-                np.matmul(
-                    w2.transpose(0, 2, 1), gout4, out=self._gcols.reshape(n, c, k * k, oh * ow)
-                )
-        else:
-            cin_g = c // groups
-            cout_g = cout // groups
-            cols4 = cols.reshape(n, groups, cin_g * k * k, oh * ow)
-            gout4 = gout.reshape(n, groups, cout_g, oh * ow)
-            gcols4 = (
-                self._gcols.reshape(n, groups, cin_g * k * k, oh * ow)
-                if self._input_grad_needed
-                else None
-            )
-            w_mats = weight.reshape(groups, cout_g, cin_g * k * k)
-            for g in range(groups):
-                np.matmul(gout4[:, g], cols4[:, g].transpose(0, 2, 1), out=self._gw_ws[:, g])
-                if self._input_grad_needed:
-                    np.matmul(w_mats[g].T, gout4[:, g], out=gcols4[:, g])
-            self._pg_w.reshape(groups, cout_g, cin_g * k * k)[...] += self._gw_ws.sum(axis=0)
-        if self._input_grad_needed:
-            vjp.col2im_nchw_accumulate(self._gcols, grads[self.in_slot], s, p, pad_ws=self._gpad)
+        weight = self._params.fetch_param("weight", self.conv.weight)
+        gin = grads[self.in_slot] if self._input_grad_needed else None
+        self._kernel.backward(gout, bufs[self.in_slot], weight, self._pg_w, gin)
 
 
 class LinearStep(Step):

@@ -13,7 +13,10 @@ Eq. 12 without ever touching the autograd tape:
    components (for logging) and the exact seed gradients ``dL/d logits`` and
    ``dL/d value``;
 3. the reverse-mode program (the forward steps, reversed) pushes those seeds
-   through per-op VJPs into pre-allocated parameter-gradient accumulators;
+   through per-op VJPs into pre-allocated parameter-gradient accumulators —
+   convolution VJPs dispatch through the same :mod:`repro.runtime.kernels`
+   registry as the forward pass (the bound kernel keeps the saved state its
+   backward contracts against);
 4. the fused optimiser stage (:meth:`repro.nn.optim.Optimizer.apply_gradients`)
    applies global-norm clipping and the RMSProp update in place on the
    parameter arrays, reusing one scratch buffer instead of materialising

@@ -190,6 +190,40 @@ class TestBatchedVectorEnv:
             make_vector_env("NoSuchGame", backend="batched", num_envs=1)
 
 
+class TestMaskedObserve:
+    """Lane-masked rendering must reproduce a full render bit-exactly."""
+
+    @pytest.mark.parametrize("game", FAMILY_GAMES)
+    def test_masked_rows_match_full_render(self, game):
+        venv = make_vector_env(game, backend="batched", num_envs=4, obs_size=28,
+                               frame_stack=2, max_episode_steps=20, seed=0)
+        venv.reset(seed=3)
+        engine = venv.engine
+        rng = np.random.default_rng(17)
+        for _ in range(12):
+            actions = rng.integers(venv.action_space.n, size=venv.num_envs)
+            venv.step(actions)
+            full = engine.observe().copy()
+            for mask in (
+                np.array([True, False, True, False]),
+                np.array([False, False, False, True]),
+            ):
+                # Scribble on the masked rows so a stale-canvas pass would fail.
+                engine._canvas[mask] = 0.123
+                masked = engine.observe(mask)
+                np.testing.assert_array_equal(masked[mask], full[mask])
+                np.testing.assert_array_equal(masked[~mask], full[~mask])
+
+    def test_empty_mask_renders_nothing(self):
+        venv = make_vector_env("Breakout", backend="batched", num_envs=2,
+                               obs_size=28, seed=0)
+        venv.reset(seed=1)
+        engine = venv.engine
+        before = engine.observe().copy()
+        engine.observe(np.zeros(2, dtype=bool))
+        np.testing.assert_array_equal(engine._canvas, before)
+
+
 class TestRandomization:
     def test_randomize_draws_per_lane_parameters(self):
         venv = make_vector_env(

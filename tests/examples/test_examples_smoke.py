@@ -108,6 +108,15 @@ def test_model_size_study_runs(monkeypatch, capsys, smoke_profile):
     assert "best backbone at this scale" in out
 
 
+def test_randomized_a2c_runs(monkeypatch, capsys, smoke_profile):
+    module = load_example("randomized_a2c")
+    monkeypatch.setattr(module, "get_profile", lambda *args, **kwargs: smoke_profile)
+    scores = module.main(["--steps", "40", "--randomize", "paddle_width=0.12:0.3"])
+    out = capsys.readouterr().out
+    assert "trained on randomized scenarios" in out
+    assert set(scores) == {"randomized", "nominal"}
+
+
 def test_accelerator_search_runs(monkeypatch, capsys):
     module = load_example("accelerator_search")
     shrink_das_search(monkeypatch, module)

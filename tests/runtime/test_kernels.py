@@ -1,0 +1,260 @@
+"""Conv kernel registry: parity across implementations, dispatch, autotuning.
+
+Every registered kernel must reproduce the im2col reference bit-tightly
+(f64 <= 1e-12, f32 <= 1e-6) in both directions, across depthwise / grouped /
+dense / pointwise signatures, strides and paddings — including stacked-path
+and train-mode plans.  Dispatch must honour ``REPRO_KERNELS`` pinning, fall
+back cleanly when a pinned kernel rejects a signature, and the autotuner
+must make one cached, deterministic decision per signature per process.
+"""
+
+import numpy as np
+import pytest
+
+from repro import runtime
+from repro.drl.agent import ActorCriticAgent
+from repro.networks import AgentSuperNet
+from repro.nn import Conv2d, Sequential
+from repro.runtime import compile_plan
+from repro.runtime.kernels import (
+    ENV_VAR,
+    ConvSpec,
+    candidates,
+    clear_autotune_cache,
+    kernel_names,
+    selection_table,
+)
+from repro.runtime.kernels.conv import BlockedIm2colKernel
+from repro.runtime.kernels.depthwise import DepthwiseDirectKernel
+from repro.runtime.kernels.registry import reset_selections
+
+F64_TOL = 1e-12
+F32_TOL = 1e-6
+
+
+@pytest.fixture(autouse=True)
+def _fresh_selection_table():
+    """The selection table is process-global; tests inspect only their own rows."""
+    reset_selections()
+    yield
+    reset_selections()
+
+#: (in_channels, out_channels, kernel, stride, padding, groups, height)
+SHAPES = (
+    (6, 6, 3, 1, 1, 6, 9),     # depthwise k3 s1
+    (5, 5, 5, 2, 2, 5, 8),     # depthwise k5 s2
+    (4, 4, 5, 1, 2, 4, 7),     # depthwise k5 s1
+    (4, 4, 3, 1, 0, 4, 6),     # depthwise, no padding
+    (6, 8, 3, 1, 1, 2, 7),     # grouped (non-depthwise)
+    (3, 7, 3, 2, 1, 1, 9),     # dense strided
+    (5, 9, 1, 1, 0, 1, 6),     # pointwise
+)
+
+
+def conv_net(cin, cout, k, s, p, g, seed=3):
+    """Producer conv + conv-under-test, so the input VJP path is exercised."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(cin, cin, 3, stride=1, padding=1, rng=rng),
+        Conv2d(cin, cout, k, stride=s, padding=p, groups=g, rng=rng),
+    )
+
+
+def spec_for(cin, cout, k, s, p, g, h, batch=4, dtype="float64", direction="infer"):
+    return ConvSpec(batch, cin, cout, h, h, k, s, p, g, dtype, direction)
+
+
+def run_pinned(monkeypatch, pin, shape, dtype, train=False):
+    """Compile + run (and backward) the two-conv net under one kernel pin."""
+    cin, cout, k, s, p, g, h = shape
+    monkeypatch.setenv(ENV_VAR, pin)
+    net = conv_net(cin, cout, k, s, p, g)
+    x = np.random.default_rng(11).random((4, cin, h, h)).astype(dtype)
+    plan = compile_plan(net, x.shape, dtype=dtype, train=train)
+    out = np.asarray(plan.run(x)).copy()
+    grads = None
+    if train:
+        plan.zero_grads()
+        plan.seed_grad(plan.output_slots[0], np.ones_like(out))
+        plan.run_backward()
+        grads = [g.copy() for _, g in plan.param_grads.values()]
+    return out, grads
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("dtype,tol", [(np.float64, F64_TOL), (np.float32, F32_TOL)])
+    def test_forward_parity_all_kernels(self, monkeypatch, shape, dtype, tol):
+        reference, _ = run_pinned(monkeypatch, "im2col", shape, dtype)
+        for name in kernel_names():
+            if name == "im2col":
+                continue
+            # Pinning a kernel that rejects the signature falls back — the
+            # result must be correct either way.
+            produced, _ = run_pinned(monkeypatch, name, shape, dtype)
+            np.testing.assert_allclose(produced, reference, atol=tol, err_msg=name)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_backward_parity_all_kernels(self, monkeypatch, shape):
+        reference, ref_grads = run_pinned(monkeypatch, "im2col", shape, np.float64, train=True)
+        for name in kernel_names():
+            if name == "im2col":
+                continue
+            produced, grads = run_pinned(monkeypatch, name, shape, np.float64, train=True)
+            np.testing.assert_allclose(produced, reference, atol=F64_TOL, err_msg=name)
+            assert len(grads) == len(ref_grads)
+            for got, expected in zip(grads, ref_grads):
+                np.testing.assert_allclose(got, expected, atol=F64_TOL, err_msg=name)
+
+    def test_blocked_kernel_splits_batch(self, monkeypatch):
+        """A signature big enough to block must still match the reference."""
+        shape = (32, 32, 5, 1, 2, 32, 16)
+        spec = spec_for(*shape, batch=4, dtype="float32")
+        assert BlockedIm2colKernel.supports(spec)
+        assert BlockedIm2colKernel._block(spec) < spec.batch
+        reference, _ = run_pinned(monkeypatch, "im2col", shape, np.float32)
+        produced, _ = run_pinned(monkeypatch, "im2col_block", shape, np.float32)
+        np.testing.assert_allclose(produced, reference, atol=F32_TOL)
+
+    def test_f32_fast_path_depthwise_direct(self, monkeypatch):
+        shape = (6, 6, 3, 1, 1, 6, 9)
+        reference, _ = run_pinned(monkeypatch, "im2col", shape, np.float32)
+        produced, _ = run_pinned(monkeypatch, "depthwise_direct", shape, np.float32)
+        assert produced.dtype == np.float32
+        np.testing.assert_allclose(produced, reference, atol=F32_TOL)
+
+
+class TestStackedAndTrainPlans:
+    def _grads(self, monkeypatch, pin, dtype=np.float64, num_samples=2):
+        monkeypatch.setenv(ENV_VAR, pin)
+        supernet = AgentSuperNet(in_channels=2, input_size=16, feature_dim=32,
+                                 base_width=8, num_cells=3,
+                                 rng=np.random.default_rng(0))
+        agent = ActorCriticAgent(supernet, num_actions=4, feature_dim=32,
+                                 rng=np.random.default_rng(0))
+        agent.train()
+        gated = tuple((2, 4) for _ in range(supernet.num_cells))
+        x = np.random.default_rng(5).random((3, 2, 16, 16))
+        plan = compile_plan(agent, x.shape, dtype=dtype, train=True,
+                            gated_paths=gated, num_samples=num_samples)
+        values = [np.full((num_samples, len(cell)), 0.5) for cell in plan.gate_layout]
+        plan.set_gates(values)
+        probs, _ = plan.run(x)
+        plan.zero_grads()
+        plan.seed_grad(plan.named_slots["logits"], np.ones((3 * num_samples, 4)))
+        plan.seed_grad(plan.named_slots["value_col"], np.ones((3 * num_samples, 1)))
+        plan.run_backward()
+        return np.asarray(probs).copy(), [g.copy() for _, g in plan.param_grads.values()]
+
+    def test_stacked_gated_train_plan_parity(self, monkeypatch):
+        """Stacked-path supernet training: all kernels agree on alpha-path grads."""
+        ref_probs, ref_grads = self._grads(monkeypatch, "im2col")
+        probs, grads = self._grads(monkeypatch, "depthwise_direct")
+        np.testing.assert_allclose(probs, ref_probs, atol=F64_TOL)
+        for got, expected in zip(grads, ref_grads):
+            np.testing.assert_allclose(got, expected, atol=1e-11)
+
+
+class TestDispatch:
+    def test_unknown_kernel_name_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "no_such_kernel")
+        net = conv_net(4, 4, 3, 1, 1, 4)
+        with pytest.raises(ValueError, match="no_such_kernel"):
+            compile_plan(net, (2, 4, 6, 6))
+
+    def test_unknown_op_class_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "bogus_class=im2col")
+        net = conv_net(4, 4, 3, 1, 1, 4)
+        with pytest.raises(ValueError, match="bogus_class"):
+            compile_plan(net, (2, 4, 6, 6))
+
+    def test_pin_is_recorded_per_signature(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "depthwise_direct")
+        net = conv_net(4, 4, 3, 1, 1, 4)
+        compile_plan(net, (2, 4, 6, 6))
+        table = selection_table()
+        row = next(v for k, v in table.items() if k.startswith("depthwise:n2c4"))
+        assert row["kernel"] == "depthwise_direct"
+        assert row["source"] == "pinned"
+
+    def test_pin_falls_back_when_unsupported(self, monkeypatch):
+        """depthwise_direct rejects dense convs; dispatch must fall back."""
+        monkeypatch.setenv(ENV_VAR, "depthwise_direct")
+        rng = np.random.default_rng(0)
+        net = Sequential(Conv2d(3, 5, 3, stride=1, padding=1, rng=rng))
+        x = np.random.default_rng(1).random((2, 3, 8, 8))
+        plan = compile_plan(net, x.shape)
+        row = next(
+            v for k, v in selection_table().items() if k.startswith("dense:n2c3")
+        )
+        assert row["kernel"] != "depthwise_direct"
+        assert row["source"] == "pin-fallback"
+        monkeypatch.setenv(ENV_VAR, "im2col")
+        reference = compile_plan(
+            Sequential(Conv2d(3, 5, 3, stride=1, padding=1, rng=np.random.default_rng(0))),
+            x.shape,
+        )
+        np.testing.assert_allclose(plan.run(x), reference.run(x), atol=F64_TOL)
+
+    def test_per_op_class_pins(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "depthwise=depthwise_direct,dense=im2col")
+        net = conv_net(4, 4, 5, 2, 2, 4)  # producer dense k3 + depthwise k5 s2
+        compile_plan(net, (2, 4, 9, 9))
+        table = selection_table()
+        dense = next(v for k, v in table.items() if k.startswith("dense:n2c4"))
+        depthwise = next(v for k, v in table.items() if k.startswith("depthwise:n2c4"))
+        assert dense["kernel"] == "im2col"
+        assert depthwise["kernel"] == "depthwise_direct"
+
+    def test_candidates_respect_training(self):
+        infer = spec_for(4, 4, 3, 1, 1, 4, 6, direction="infer")
+        train = spec_for(4, 4, 3, 1, 1, 4, 6, direction="train")
+        assert {cls.name for cls in candidates(train)} <= {
+            cls.name for cls in candidates(infer)
+        } | {"im2col", "depthwise_direct"}
+        assert all(cls.trains for cls in candidates(train))
+
+    def test_depthwise_direct_rejects_dense(self):
+        assert not DepthwiseDirectKernel.supports(spec_for(3, 5, 3, 1, 1, 1, 8))
+        assert DepthwiseDirectKernel.supports(spec_for(4, 4, 3, 1, 1, 4, 8))
+
+
+class TestAutotuner:
+    def test_auto_decision_is_cached_and_deterministic(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        clear_autotune_cache()
+        shape = (6, 6, 3, 1, 1, 6, 9)
+        out1, _ = run_pinned(monkeypatch, "auto", shape, np.float64)
+        table = selection_table()
+        key, row = next(
+            (k, v) for k, v in table.items() if k.startswith("depthwise:n4c6")
+        )
+        assert row["source"] in ("autotuned", "only")
+        first_choice = row["kernel"]
+        # Second compile of the same signature must reuse the cached winner
+        # without re-timing (deterministic within the process).
+        out2, _ = run_pinned(monkeypatch, "auto", shape, np.float64)
+        row = selection_table()[key]
+        assert row["kernel"] == first_choice
+        assert row["source"] == "cached"
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_autotuned_rows_report_timings(self, monkeypatch):
+        clear_autotune_cache()
+        shape = (6, 6, 3, 1, 1, 6, 9)
+        run_pinned(monkeypatch, "auto", shape, np.float64)
+        row = next(
+            v for k, v in selection_table().items() if k.startswith("depthwise:n4c6")
+        )
+        if row["source"] == "autotuned":
+            assert set(row["timings_ms"]) >= {"im2col", "depthwise_direct"}
+            assert all(t > 0 for t in row["timings_ms"].values())
+
+    def test_cache_stats_reports_kernel_table(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "im2col")
+        net = conv_net(4, 4, 3, 1, 1, 4)
+        compile_plan(net, (2, 4, 6, 6))
+        stats = runtime.cache_stats()
+        assert "kernels" in stats
+        assert any(key.startswith("depthwise:") for key in stats["kernels"])
+        assert all("kernel" in row and "source" in row for row in stats["kernels"].values())
