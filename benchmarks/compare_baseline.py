@@ -27,6 +27,7 @@ THROUGHPUT_RESULTS = (
     "plan_optimizer.json",
     "env_step_throughput.json",
     "conv_kernels.json",
+    "layout_ir.json",
 )
 
 #: Benchmark files that carry a ``peak_plan_bytes`` table (lower is better).

@@ -1,0 +1,292 @@
+"""Layout-aware plan IR: channels-last propagation vs the NCHW-pinned plans.
+
+Measures what the ``layout`` pass (``repro.runtime.passes.assign_layouts``)
+buys on the derived inverted-residual agent, against two controls compiled
+from the same network:
+
+* ``im2col``  — every conv pinned to the ``im2col`` kernel, all-NCHW (the
+  pinned reproducibility baseline, as in ``test_conv_kernels``);
+* ``nchw``    — autotuned kernels with the layout pass disabled (the PR-5
+  dispatch behaviour): isolates the layout contribution from the kernel
+  contribution;
+* ``layout``  — autotuned kernels with channels-last propagation (default).
+
+Three views are recorded:
+
+* **rollout / train-grad throughput** (batch 16, float32): interleaved
+  rounds, summarised by the median of *per-round paired ratios* so load
+  drift on shared hosts cancels;
+* **per-cell step timings**: every conv / transpose step of the compiled
+  plan timed in place and bucketed by the cell's spatial size, for the
+  ``nchw`` and ``layout`` plans — the committed JSON shows where the
+  channels-last chains actually pay off and that the GEMM-bound H=16 cells
+  did not get slower;
+* **plan structure**: per-layout conv counts and transpose counts (the
+  boundary cost the assignment pass weighs against kernel savings).
+
+The asserted floors sit below the tracked goals (1.5x rollout vs pinned
+im2col; H=16 cells no slower) so shared-runner noise cannot flake CI; the
+committed numbers carry the real margins.
+"""
+
+import statistics
+import time
+
+import numpy as np
+
+from repro.runtime import CompiledTrainStep, compile_plan
+from repro.runtime.kernels import ENV_VAR as KERNELS_ENV
+from repro.runtime.passes import ENV_VAR as PASSES_ENV, PASS_NAMES
+from repro.runtime.plan import Conv2dStep, TransposeStep
+
+from conftest import pin_env, run_once
+from test_runtime_throughput import (
+    NUM_ENVS,
+    build_agent,
+    collect_rollouts,
+    configure,
+    make_env,
+)
+
+#: In-run rollout floor for the layout plan over the pinned im2col baseline.
+#: The tracked goal is 1.5x (ROADMAP item 1); the floor leaves noise margin.
+REQUIRED_ROLLOUT_SPEEDUP = 1.25
+#: H=16 cells must not get slower than the NCHW plan (10% noise allowance).
+H16_SLOWDOWN_ALLOWANCE = 1.10
+
+NO_LAYOUT = ",".join(sorted(frozenset(PASS_NAMES) - {"layout"}))
+
+#: mode -> (REPRO_KERNELS pin, REPRO_RUNTIME_PASSES pin); ``None`` = default.
+MODES = {
+    "im2col": ("im2col", None),
+    "nchw": (None, NO_LAYOUT),
+    "layout": (None, None),
+}
+
+
+def _pins(mode):
+    kernels, passes = MODES[mode]
+    pins = []
+    if kernels is not None:
+        pins.append((KERNELS_ENV, kernels))
+    if passes is not None:
+        pins.append((PASSES_ENV, passes))
+    return pins
+
+
+def _under_mode(mode, fn):
+    kernels, passes = MODES[mode]
+    if kernels is not None and passes is not None:
+        with pin_env(KERNELS_ENV, kernels), pin_env(PASSES_ENV, passes):
+            return fn()
+    if kernels is not None:
+        with pin_env(KERNELS_ENV, kernels):
+            return fn()
+    if passes is not None:
+        with pin_env(PASSES_ENV, passes):
+            return fn()
+    return fn()
+
+
+def _measure_rollout(steps, warmup, rounds):
+    """Median rollout steps/sec per mode + paired layout-vs-baseline ratios."""
+    setups = {}
+    for mode in MODES:
+        def build():
+            agent = build_agent()
+            configure(agent, "runtime_f32")
+            env = make_env()
+            collect_rollouts(agent, env, warmup)  # compiles under these pins
+            return agent, env
+        setups[mode] = _under_mode(mode, build)
+    rates = {mode: [] for mode in MODES}
+    for _ in range(rounds):
+        for mode, (agent, env) in setups.items():
+            rates[mode].append(collect_rollouts(agent, env, steps))
+    for _, env in setups.values():
+        env.close()
+    summary = {mode: statistics.median(values) for mode, values in rates.items()}
+    summary["paired_layout_vs_im2col"] = statistics.median(
+        layout / im2col for layout, im2col in zip(rates["layout"], rates["im2col"])
+    )
+    summary["paired_layout_vs_nchw"] = statistics.median(
+        layout / nchw for layout, nchw in zip(rates["layout"], rates["nchw"])
+    )
+    return summary
+
+
+def _measure_train(updates, warmup, rounds):
+    """Median train-gradient updates/sec (forward + reverse) per mode."""
+    rng = np.random.default_rng(0)
+    obs = rng.random((NUM_ENVS, 2, 32, 32)).astype(np.float32)
+    actions = rng.integers(0, 6, size=NUM_ENVS)
+    returns = rng.standard_normal(NUM_ENVS).astype(np.float32)
+    advantages = rng.standard_normal(NUM_ENVS).astype(np.float32)
+
+    steps = {}
+    for mode in MODES:
+        def build():
+            agent = build_agent()
+            agent.train()
+            step = CompiledTrainStep(agent, dtype=np.float32)
+            for _ in range(warmup):
+                step.compute_gradients(obs, actions, returns, advantages)
+            return step
+        steps[mode] = _under_mode(mode, build)
+    durations = {mode: [] for mode in MODES}
+    for _ in range(rounds):
+        for mode, step in steps.items():
+            start = time.perf_counter()
+            for _ in range(updates):
+                step.compute_gradients(obs, actions, returns, advantages)
+            durations[mode].append((time.perf_counter() - start) / updates)
+    rates = {mode: 1.0 / statistics.median(values) for mode, values in durations.items()}
+    rates["paired_layout_vs_im2col"] = statistics.median(
+        im2col / layout for layout, im2col in zip(durations["layout"], durations["im2col"])
+    )
+    return rates
+
+
+def _compile_inference_plan(mode):
+    agent = build_agent()
+    shape = (NUM_ENVS, 2, 32, 32)
+    return _under_mode(
+        mode, lambda: compile_plan(agent.backbone, shape, dtype=np.float32)
+    ), shape
+
+
+def _step_rows(plan, rounds):
+    """Median in-place seconds per step over interleaved rounds."""
+    bufs = plan.bufs
+    samples = [[] for _ in plan.steps]
+    for _ in range(rounds):
+        for index, step in enumerate(plan.steps):
+            start = time.perf_counter()
+            step.run(bufs)
+            samples[index].append(time.perf_counter() - start)
+    rows = []
+    for step, times in zip(plan.steps, samples):
+        seconds = statistics.median(times)
+        if isinstance(step, Conv2dStep):
+            spec = step._spec(plan)
+            kind = (
+                "depthwise" if spec.groups == spec.in_channels
+                else "pointwise" if spec.kernel == 1
+                else "dense"
+            )
+            rows.append({
+                "step": kind,
+                "layout": step.layout,
+                "kernel": step._kernel.name if step._kernel is not None else None,
+                "height": spec.height,
+                "in_channels": spec.in_channels,
+                "kernel_size": spec.kernel,
+                "stride": spec.stride,
+                "us": seconds * 1e6,
+            })
+        elif isinstance(step, TransposeStep):
+            n, c, h, w = plan.shape(step.in_slot)
+            rows.append({
+                "step": "transpose",
+                "layout": "{}->{}".format(step.from_layout, step.to_layout),
+                "kernel": None,
+                "height": h,
+                "in_channels": c,
+                "kernel_size": None,
+                "stride": None,
+                "us": seconds * 1e6,
+            })
+    return rows
+
+
+def _per_cell_timings(rounds=9):
+    """Conv/transpose step timings of the ``nchw`` vs ``layout`` plans.
+
+    The two plans are compiled from the same derived network and their steps
+    are timed in interleaved rounds; the rows are bucketed by the conv's
+    input spatial size (the stem runs at 32, the three cell stages at
+    16 / 8 / 4).
+    """
+    plans = {}
+    for mode in ("nchw", "layout"):
+        plan, shape = _compile_inference_plan(mode)
+        plan.run(np.zeros(shape, dtype=np.float32))  # warm buffers + pages
+        plans[mode] = plan
+    rows = {mode: _step_rows(plan, rounds) for mode, plan in plans.items()}
+    buckets = {}
+    for mode, mode_rows in rows.items():
+        per_height = {}
+        for row in mode_rows:
+            per_height.setdefault(row["height"], 0.0)
+            per_height[row["height"]] += row["us"]
+        buckets[mode] = {str(h): us for h, us in sorted(per_height.items())}
+    layout_plan = plans["layout"]
+    convs = [s for s in layout_plan.steps if isinstance(s, Conv2dStep)]
+    structure = {
+        "convs_nhwc": sum(1 for s in convs if s.layout == "NHWC"),
+        "convs_nchw": sum(1 for s in convs if s.layout == "NCHW"),
+        "transposes": sum(
+            1 for s in layout_plan.steps if isinstance(s, TransposeStep)
+        ),
+    }
+    return rows, buckets, structure
+
+
+def measure(steps, warmup):
+    rollout = _measure_rollout(steps, warmup, rounds=5)
+    train = _measure_train(updates=max(2, steps // 10), warmup=2, rounds=3)
+    step_rows, cell_us, structure = _per_cell_timings()
+    return {
+        "config": {
+            "num_envs": NUM_ENVS,
+            "obs_size": 32,
+            "measured_steps": steps,
+            "modes": {mode: dict(_pins(mode)) for mode in MODES},
+        },
+        "steps_per_sec": {
+            "rollout_f32_im2col": rollout["im2col"],
+            "rollout_f32_nchw": rollout["nchw"],
+            "rollout_f32_layout": rollout["layout"],
+            "train_grad_f32_im2col": train["im2col"],
+            "train_grad_f32_nchw": train["nchw"],
+            "train_grad_f32_layout": train["layout"],
+        },
+        "speedup": {
+            "rollout_layout_vs_im2col": rollout["paired_layout_vs_im2col"],
+            "rollout_layout_vs_nchw": rollout["paired_layout_vs_nchw"],
+            "train_layout_vs_im2col": train["paired_layout_vs_im2col"],
+        },
+        "plan_structure": structure,
+        "cell_us": cell_us,
+        "step_timings": step_rows,
+    }
+
+
+def test_layout_ir(benchmark, profile, save_result):
+    steps = max(20, profile.train_steps // 8)
+    payload = run_once(benchmark, measure, steps=steps, warmup=5)
+    save_result("layout_ir", payload)
+
+    structure = payload["plan_structure"]
+    assert structure["convs_nhwc"] > 0, "layout pass propagated nothing"
+    # Boundary transposes must stay rare: propagation through whole chains,
+    # not one pack/unpack pair per conv.
+    assert structure["transposes"] <= structure["convs_nhwc"] // 4 + 2, structure
+
+    speedup = payload["speedup"]["rollout_layout_vs_im2col"]
+    assert speedup >= REQUIRED_ROLLOUT_SPEEDUP, (
+        "layout-propagated rollout only {:.2f}x the pinned im2col baseline "
+        "(required {:.2f}x): {}".format(
+            speedup, REQUIRED_ROLLOUT_SPEEDUP, payload["steps_per_sec"]
+        )
+    )
+    # The layout pass must not regress the GEMM-bound H=16 cells.
+    h16_layout = payload["cell_us"]["layout"].get("16")
+    h16_nchw = payload["cell_us"]["nchw"].get("16")
+    assert h16_layout is not None and h16_nchw is not None
+    assert h16_layout <= h16_nchw * H16_SLOWDOWN_ALLOWANCE, (
+        "H=16 cells regressed: {:.0f}us (layout) vs {:.0f}us (nchw)".format(
+            h16_layout, h16_nchw
+        )
+    )
+    assert payload["speedup"]["train_layout_vs_im2col"] >= 0.9

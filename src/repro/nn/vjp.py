@@ -190,15 +190,16 @@ def col2im_nchw_accumulate(gcols, out, stride, padding, pad_ws=None):
 # Normalisation / softmax / pooling
 # --------------------------------------------------------------------------- #
 @register_vjp("batchnorm2d")
-def batchnorm2d_vjp(grad, x, mean, inv_std, gamma, training, ws=None):
-    """Gradients of batch norm over an NCHW tensor.
+def batchnorm2d_vjp(grad, x, mean, inv_std, gamma, training, ws=None, channel_axis=1):
+    """Gradients of batch norm over a 4-D tensor.
 
     Parameters
     ----------
     grad:
-        Gradient w.r.t. the BN output, shape ``(N, C, H, W)``.
+        Gradient w.r.t. the BN output, shape ``(N, C, H, W)`` (or
+        ``(N, H, W, C)`` when ``channel_axis=3``).
     x:
-        The BN *input* (pre-normalisation activations).
+        The BN *input* (pre-normalisation activations), same layout.
     mean, inv_std:
         The statistics used by the forward pass: batch statistics in training
         mode, running statistics in eval mode.  ``inv_std = 1/sqrt(var+eps)``.
@@ -208,28 +209,41 @@ def batchnorm2d_vjp(grad, x, mean, inv_std, gamma, training, ws=None):
         Whether the forward used batch statistics (their dependence on ``x``
         contributes extra terms to ``gx``).
     ws:
-        Optional ``(N, C, H, W)`` workspace; ``gx`` is written into it.
+        Optional workspace of ``grad``'s shape; ``gx`` is written into it.
+    channel_axis:
+        Which axis carries channels: ``1`` (NCHW, the default) or ``3``
+        (NHWC, used by layout-propagated compiled plans).
 
     Returns
     -------
     gx, dgamma, dbeta
     """
+    if channel_axis == 1:
+        bcast = lambda v: v[None, :, None, None]  # noqa: E731
+        axes = (0, 2, 3)
+        contract = "nchw,nchw->c"
+    else:
+        bcast = lambda v: v  # noqa: E731  (channels trail: natural broadcast)
+        axes = (0, 1, 2)
+        contract = "nhwc,nhwc->c"
     if ws is None:
         ws = np.empty_like(grad)
     # xhat in the workspace.
-    np.subtract(x, mean[None, :, None, None], out=ws)
-    ws *= inv_std[None, :, None, None]
-    dgamma = np.einsum("nchw,nchw->c", grad, ws)
-    dbeta = grad.sum(axis=(0, 2, 3))
+    np.subtract(x, bcast(mean), out=ws)
+    ws *= bcast(inv_std)
+    dgamma = np.einsum(contract, grad, ws)
+    dbeta = grad.sum(axis=axes)
     scale = gamma * inv_std
     if training:
-        m = x.shape[0] * x.shape[2] * x.shape[3]
-        ws *= (dgamma / m)[None, :, None, None]
+        m = 1
+        for axis in axes:
+            m *= x.shape[axis]
+        ws *= bcast(dgamma / m)
         np.subtract(grad, ws, out=ws)
-        ws -= (dbeta / m)[None, :, None, None]
-        ws *= scale[None, :, None, None]
+        ws -= bcast(dbeta / m)
+        ws *= bcast(scale)
     else:
-        np.multiply(grad, scale[None, :, None, None], out=ws)
+        np.multiply(grad, bcast(scale), out=ws)
     return ws, dgamma, dbeta
 
 

@@ -12,9 +12,17 @@ Registered kernels (import order puts the general fallback last):
 * ``depthwise_direct`` — output-stationary direct depthwise convolution
   (forward + input/weight VJPs) that never materialises im2col columns;
 * ``im2col_block`` — lane-blocked strided-view im2col keeping the gathered
-  columns L2-resident (inference, any groups);
+  columns L2-resident (inference; NCHW any groups, NHWC ungrouped);
+* ``pointwise_nhwc`` — 1x1 convolutions on channels-last activations as one
+  flat GEMM over the trailing channel axis (forward + VJPs);
 * ``im2col`` — the original whole-batch im2col + batched GEMM, supporting
-  every signature in both directions.
+  every NCHW signature in both directions (the total fallback for that
+  layout).
+
+Signatures carry a physical activation layout (``NCHW`` / ``NHWC``); the
+layout-assignment pass in :mod:`repro.runtime.passes` uses per-layout
+candidate timings (:func:`~repro.runtime.kernels.registry.layout_costs`)
+to decide where channels-last propagation pays for its transposes.
 
 The same software structure the paper's accelerator templates use in
 hardware — dataflow-specialised conv engines selected per workload shape —
@@ -22,10 +30,12 @@ applied to the NumPy runtime.
 """
 
 from . import depthwise as _depthwise  # noqa: F401  (registers depthwise_direct)
-from . import conv as _conv  # noqa: F401  (registers im2col_block, im2col)
+from . import conv as _conv  # noqa: F401  (registers im2col_block, pointwise_nhwc, im2col)
 from .autotune import clear_cache as clear_autotune_cache
+from .autotune import transpose_seconds
 from .registry import (
     ENV_VAR,
+    LAYOUTS,
     SCRATCH_GEMM,
     SCRATCH_MAIN,
     SCRATCH_PAD,
@@ -34,6 +44,7 @@ from .registry import (
     candidates,
     kernel_for,
     kernel_names,
+    layout_costs,
     register_kernel,
     reset_selections,
     scratch_upper_bound,
@@ -44,10 +55,13 @@ __all__ = [
     "ConvSpec",
     "ConvKernel",
     "ENV_VAR",
+    "LAYOUTS",
     "register_kernel",
     "kernel_names",
     "candidates",
     "kernel_for",
+    "layout_costs",
+    "transpose_seconds",
     "scratch_upper_bound",
     "selection_table",
     "reset_selections",

@@ -35,7 +35,15 @@ import time
 
 import numpy as np
 
-__all__ = ["choose", "timings_for", "clear_cache", "WARMUP", "REPS"]
+__all__ = [
+    "choose",
+    "cost_for",
+    "transpose_seconds",
+    "timings_for",
+    "clear_cache",
+    "WARMUP",
+    "REPS",
+]
 
 #: Warmup calls and timed repetitions per candidate (best-of).
 WARMUP = 1
@@ -47,8 +55,15 @@ REPS = 3
 #: between processes unless a kernel genuinely wins.
 MARGIN = 0.95
 
-#: spec -> {"kernel": name, "timings": {name: best seconds}}.
+#: spec -> {"kernel": name or None, "timings": {name: best seconds},
+#: "chosen": bool}.  ``cost_for`` (the layout pass) may populate timings
+#: before dispatch ever asks for a winner; only :func:`choose` sets
+#: ``chosen``, so the first real dispatch still reports ``"autotuned"``
+#: even when it reuses pre-measured timings.
 _CACHE = {}
+
+#: (nchw shape, dtype) -> measured seconds for one materialised transpose.
+_TRANSPOSE_CACHE = {}
 
 
 class _BenchArena:
@@ -96,38 +111,56 @@ def _best_of(fn, warmup=WARMUP, reps=REPS):
     return best
 
 
-def choose(spec, cands):
-    """The winning kernel class for ``spec`` among ``cands``.
-
-    Returns ``(kernel_cls, source)`` where ``source`` is ``"autotuned"`` (a
-    fresh timing run), ``"cached"`` (a previous run decided), or ``"only"``
-    (a single candidate needed no timing).
-    """
+def _entry(spec):
     entry = _CACHE.get(spec)
-    if entry is not None:
-        by_name = {cls.name: cls for cls in cands}
-        winner = by_name.get(entry["kernel"])
-        if winner is not None:
-            return winner, "cached"
-    if len(cands) == 1:
-        _CACHE[spec] = {"kernel": cands[0].name, "timings": {}}
-        return cands[0], "only"
+    if entry is None:
+        entry = {"kernel": None, "timings": {}, "chosen": False}
+        _CACHE[spec] = entry
+    return entry
 
+
+def _time_kernels(spec, cands):
+    """Best-of forward seconds per candidate on standalone buffers."""
     dtype = np.dtype(spec.dtype)
-    x = np.zeros((spec.batch, spec.in_channels, spec.height, spec.width), dtype=dtype)
+    x = np.zeros(spec.in_shape, dtype=dtype)
     weight = np.zeros(
         (spec.out_channels, spec.in_channels // spec.groups, spec.kernel, spec.kernel),
         dtype=dtype,
     )
-    out = np.empty(
-        (spec.batch, spec.out_channels, spec.out_height, spec.out_width), dtype=dtype
-    )
+    out = np.empty(spec.out_shape, dtype=dtype)
     timings = {}
     for cls in cands:
         bound = cls(spec, _BenchArena(spec))
         timings[cls.name] = _best_of(
             lambda: bound.forward(x, weight, out, NULL_EPILOGUE)
         )
+    return timings
+
+
+def choose(spec, cands):
+    """The winning kernel class for ``spec`` among ``cands``.
+
+    Returns ``(kernel_cls, source)`` where ``source`` is ``"autotuned"`` (a
+    fresh decision, possibly reusing timings pre-measured by ``cost_for``),
+    ``"cached"`` (a previous *decision* is reused), or ``"only"`` (a single
+    candidate needed no timing).
+    """
+    entry = _CACHE.get(spec)
+    if entry is not None and entry.get("chosen"):
+        by_name = {cls.name: cls for cls in cands}
+        winner = by_name.get(entry["kernel"])
+        if winner is not None:
+            return winner, "cached"
+    entry = _entry(spec)
+    if len(cands) == 1:
+        entry["kernel"] = cands[0].name
+        entry["chosen"] = True
+        return cands[0], "only"
+
+    missing = [cls for cls in cands if cls.name not in entry["timings"]]
+    if missing:
+        entry["timings"].update(_time_kernels(spec, missing))
+    timings = entry["timings"]
     # The last-registered candidate (the general fallback) is the incumbent:
     # a challenger must beat it by MARGIN so near-ties resolve
     # deterministically regardless of timing jitter.
@@ -135,8 +168,42 @@ def choose(spec, cands):
     for cls in cands[:-1]:
         if timings[cls.name] < timings[winner.name] * MARGIN:
             winner = cls
-    _CACHE[spec] = {"kernel": winner.name, "timings": timings}
+    entry["kernel"] = winner.name
+    entry["chosen"] = True
     return winner, "autotuned"
+
+
+def cost_for(spec, cands):
+    """Best candidate forward seconds for ``spec`` among ``cands``.
+
+    Times candidates missing from the cache and stores the measurements, but
+    does *not* decide a winner — dispatch's first :func:`choose` call on the
+    signature still reports ``"autotuned"``.
+    """
+    entry = _entry(spec)
+    missing = [cls for cls in cands if cls.name not in entry["timings"]]
+    if missing:
+        entry["timings"].update(_time_kernels(spec, missing))
+    return min(entry["timings"][cls.name] for cls in cands)
+
+
+def transpose_seconds(shape, dtype):
+    """Measured seconds for one materialised NCHW<->NHWC transpose.
+
+    ``shape`` is the logical NCHW slot shape.  Both directions cost the same
+    copy, so one measurement (cached per shape/dtype) serves either boundary
+    the layout pass weighs.
+    """
+    key = (tuple(int(d) for d in shape), str(np.dtype(dtype)))
+    hit = _TRANSPOSE_CACHE.get(key)
+    if hit is not None:
+        return hit
+    n, c, h, w = key[0]
+    src = np.zeros(key[0], dtype=key[1])
+    dst = np.empty((n, h, w, c), dtype=key[1])
+    cost = _best_of(lambda: np.copyto(dst, np.moveaxis(src, 1, 3)))
+    _TRANSPOSE_CACHE[key] = cost
+    return cost
 
 
 def timings_for(spec):
@@ -150,3 +217,4 @@ def timings_for(spec):
 def clear_cache():
     """Forget every tuning decision (tests; re-tuning after CPU migration)."""
     _CACHE.clear()
+    _TRANSPOSE_CACHE.clear()

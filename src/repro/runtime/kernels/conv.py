@@ -15,6 +15,14 @@ the fused epilogue runs on the block while its output tile is still hot.
 On small-batch rollout shapes this is the strided-view gather that wins the
 early high-resolution depthwise/grouped cells (the wide late cells go to the
 direct kernel in :mod:`repro.runtime.kernels.depthwise`).
+
+:class:`PointwiseNHWCKernel` serves 1x1 convolutions on channels-last slots:
+with channels trailing, the whole op is a single flat
+``(N*H*W, C_in) @ (C_in, C_out)`` GEMM with no gather, no reshape copies and
+trivially contiguous VJPs — the payoff the layout-assignment pass chases on
+the GEMM-bound high-resolution cells.  :class:`BlockedIm2colKernel` also
+accepts ungrouped NHWC inference signatures (the gather view permutes to
+``(b, oh, ow, k, k, c)`` so each GEMM row is a contiguous patch).
 """
 
 from __future__ import annotations
@@ -31,7 +39,7 @@ from .registry import (
     register_kernel,
 )
 
-__all__ = ["GemmIm2colKernel", "BlockedIm2colKernel"]
+__all__ = ["GemmIm2colKernel", "BlockedIm2colKernel", "PointwiseNHWCKernel"]
 
 
 def _patches_view(padded, n, c, k, oh, ow, stride):
@@ -41,6 +49,22 @@ def _patches_view(padded, n, c, k, oh, ow, stride):
         padded,
         shape=(n, c, k, k, oh, ow),
         strides=(st[0], st[1], st[2], st[3], st[2] * stride, st[3] * stride),
+    )
+
+
+def _patches_view_nhwc(padded, n, c, k, oh, ow, stride):
+    """The ``(n, oh, ow, c, k, k)`` gather view of a padded NHWC buffer.
+
+    The patch axes are ordered channel-major — the same ``(C, kh, kw)``
+    reduction order as the NCHW im2col GEMM — so the channels-last GEMM
+    accumulates in the identical sequence and matches the reference kernels
+    to rounding, not just to summation-reorder noise.
+    """
+    st = padded.strides
+    return np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(n, oh, ow, c, k, k),
+        strides=(st[0], st[1] * stride, st[2] * stride, st[3], st[1], st[2]),
     )
 
 
@@ -103,6 +127,12 @@ class BlockedIm2colKernel(ConvKernel):
     def supports(cls, spec):
         if spec.train:
             return False
+        if spec.layout == "NHWC":
+            # The whole-batch im2col fallback is NCHW-only, so serve every
+            # ungrouped non-pointwise NHWC inference signature even when
+            # blocking degenerates to the full batch (pointwise NHWC goes to
+            # the flat-GEMM kernel below).
+            return spec.groups == 1 and not spec.pointwise
         # Blocking only differs from the whole-batch path when it actually
         # splits the batch; otherwise skip the duplicate autotune candidate.
         return cls._block(spec) < spec.batch
@@ -132,10 +162,22 @@ class BlockedIm2colKernel(ConvKernel):
         c = spec.in_channels
         h, w, p = spec.height, spec.width, spec.padding
         k = spec.kernel
+        oh, ow = spec.out_height, spec.out_width
         self._b = self._block(spec)
         # Padding happens per lane block in a scratch workspace (the pad
         # writes stay cache-resident and no persistent full-batch padded
         # buffer is carried), mirroring the depthwise kernel.
+        if spec.layout == "NHWC":
+            self._padded = (
+                plan.workspace((self._b, h + 2 * p, w + 2 * p, c), channel=SCRATCH_PAD)
+                if p > 0
+                else None
+            )
+            self._cols = plan.workspace((self._b, oh, ow, c, k, k), channel=SCRATCH_MAIN)
+            #: ``(C_out, C*k*k)`` weight matrix in patch order, refreshed from
+            #: the live weight array every call (tiny next to the columns).
+            self._wmat = plan.alloc((spec.out_channels, c * k * k))
+            return
         self._padded = (
             plan.workspace((self._b, c, h + 2 * p, w + 2 * p), channel=SCRATCH_PAD)
             if p > 0
@@ -144,13 +186,50 @@ class BlockedIm2colKernel(ConvKernel):
         self._cols = (
             None
             if spec.pointwise
-            else plan.workspace(
-                (self._b, c, k, k, spec.out_height, spec.out_width), channel=SCRATCH_MAIN
-            )
+            else plan.workspace((self._b, c, k, k, oh, ow), channel=SCRATCH_MAIN)
         )
+
+    def _forward_nhwc(self, x, weight, out, epilogue):
+        spec = self.spec
+        n, c = spec.batch, spec.in_channels
+        h, w, p, k, s = spec.height, spec.width, spec.padding, spec.kernel, spec.stride
+        oh, ow = spec.out_height, spec.out_width
+        cout = spec.out_channels
+        self._wmat[...] = weight.reshape(cout, -1)
+        blockwise = epilogue.blockwise
+        for n0 in range(0, n, self._b):
+            n1 = min(n0 + self._b, n)
+            b = n1 - n0
+            src = x[n0:n1]
+            if self._padded is not None:
+                pad = self._padded[:b]
+                # The scratch arena is shared with other steps, so the
+                # padding border must be re-zeroed per block.
+                pad[:, :p] = 0.0
+                pad[:, p + h:] = 0.0
+                pad[:, p:p + h, :p] = 0.0
+                pad[:, p:p + h, p + w:] = 0.0
+                pad[:, p:p + h, p:p + w, :] = src
+                src = pad
+            cols = self._cols[:b]
+            np.copyto(cols, _patches_view_nhwc(src, b, c, k, oh, ow, s))
+            # One flat GEMM per block straight into the NHWC output tile; the
+            # channel-major patch order keeps the reduction sequence identical
+            # to the NCHW reference GEMM.
+            np.matmul(
+                cols.reshape(b * oh * ow, c * k * k),
+                self._wmat.T,
+                out=out[n0:n1].reshape(b * oh * ow, cout),
+            )
+            if blockwise:
+                epilogue.apply(out[n0:n1], lanes=slice(n0, n1))
+        if not blockwise:
+            epilogue.apply(out)
 
     def forward(self, x, weight, out, epilogue):
         spec = self.spec
+        if spec.layout == "NHWC":
+            return self._forward_nhwc(x, weight, out, epilogue)
         n, c = spec.batch, spec.in_channels
         h, w, p, k, s = spec.height, spec.width, spec.padding, spec.kernel, spec.stride
         oh, ow = spec.out_height, spec.out_width
@@ -182,6 +261,58 @@ class BlockedIm2colKernel(ConvKernel):
 
 
 @register_kernel
+class PointwiseNHWCKernel(ConvKernel):
+    """1x1 convolution over a channels-last slot as one flat GEMM (+ VJPs).
+
+    With channels trailing, ``(N, H, W, C_in)`` *is* the column matrix: the
+    forward is ``x2 @ W.T`` over ``(N*H*W, C_in)`` with no gather and no
+    reshape copies, and both VJPs are equally direct GEMMs contracting
+    against the plan's own slot buffers — no saved state at all.
+    """
+
+    name = "pointwise_nhwc"
+    trains = True
+
+    @classmethod
+    def supports(cls, spec):
+        return spec.layout == "NHWC" and spec.pointwise
+
+    @classmethod
+    def backward_scratch_requests(cls, spec, input_grad_needed):
+        item = spec.itemsize
+        requests = [(SCRATCH_GEMM, spec.out_channels * spec.in_channels * item)]
+        if input_grad_needed:
+            m = spec.batch * spec.out_height * spec.out_width
+            requests.append((SCRATCH_MAIN, m * spec.in_channels * item))
+        return tuple(requests)
+
+    def forward(self, x, weight, out, epilogue):
+        spec = self.spec
+        c, cout = spec.in_channels, spec.out_channels
+        np.matmul(x.reshape(-1, c), weight.reshape(cout, c).T, out=out.reshape(-1, cout))
+        epilogue.apply(out)
+
+    def allocate_backward(self, plan, input_grad_needed):
+        spec = self.spec
+        c, cout = spec.in_channels, spec.out_channels
+        self._gw_ws = plan.workspace((cout, c), channel=SCRATCH_GEMM)
+        self._gx_ws = None
+        if input_grad_needed:
+            m = spec.batch * spec.out_height * spec.out_width
+            self._gx_ws = plan.workspace((m, c), channel=SCRATCH_MAIN)
+
+    def backward(self, gout, x, weight, gw, gin):
+        spec = self.spec
+        c, cout = spec.in_channels, spec.out_channels
+        g2 = gout.reshape(-1, cout)
+        np.matmul(g2.T, x.reshape(-1, c), out=self._gw_ws)
+        gw.reshape(cout, c)[...] += self._gw_ws
+        if gin is not None:
+            np.matmul(g2, weight.reshape(cout, c), out=self._gx_ws)
+            gin.reshape(-1, c)[...] += self._gx_ws
+
+
+@register_kernel
 class GemmIm2colKernel(ConvKernel):
     """Whole-batch im2col + batched GEMM; the total fallback (fwd + VJPs).
 
@@ -198,7 +329,9 @@ class GemmIm2colKernel(ConvKernel):
 
     @classmethod
     def supports(cls, spec):
-        return True
+        # Total over NCHW; channels-last signatures go to the NHWC-native
+        # kernels (the layout pass only re-tags a step when one exists).
+        return spec.layout == "NCHW"
 
     @classmethod
     def scratch_requests(cls, spec):

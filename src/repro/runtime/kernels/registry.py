@@ -42,10 +42,12 @@ __all__ = [
     "ConvKernel",
     "ENV_VAR",
     "KERNELS",
+    "LAYOUTS",
     "register_kernel",
     "kernel_names",
     "candidates",
     "kernel_for",
+    "layout_costs",
     "scratch_upper_bound",
     "selection_table",
     "reset_selections",
@@ -66,6 +68,11 @@ SCRATCH_PAD = 2    # padded buffers / padded scatter targets
 
 #: Op classes a signature can be pinned by (``REPRO_KERNELS=<class>=<name>``).
 OP_CLASSES = ("pointwise", "depthwise", "grouped", "dense")
+
+#: Memory layouts a plan slot (and hence a conv signature) may carry.  The
+#: layout describes the *physical* axis order of the activation buffers; the
+#: logical shape stays NCHW everywhere (weights included).
+LAYOUTS = ("NCHW", "NHWC")
 
 #: Per-lane-block working-set target of the blocked kernels — roughly half
 #: the L2 of the small cores this runtime targets, leaving room for the
@@ -88,6 +95,7 @@ class ConvSpec(NamedTuple):
     groups: int
     dtype: str      # numpy dtype name, e.g. "float32"
     direction: str  # "infer" (forward only) or "train" (forward + VJPs)
+    layout: str = "NCHW"  # physical activation layout ("NCHW" or "NHWC")
 
     # Derived geometry ---------------------------------------------------- #
     @property
@@ -126,14 +134,28 @@ class ConvSpec(NamedTuple):
             return "grouped"
         return "dense"
 
+    @property
+    def in_shape(self):
+        """Physical input-array shape under this spec's layout."""
+        if self.layout == "NHWC":
+            return (self.batch, self.height, self.width, self.in_channels)
+        return (self.batch, self.in_channels, self.height, self.width)
+
+    @property
+    def out_shape(self):
+        """Physical output-array shape under this spec's layout."""
+        if self.layout == "NHWC":
+            return (self.batch, self.out_height, self.out_width, self.out_channels)
+        return (self.batch, self.out_channels, self.out_height, self.out_width)
+
     def describe(self):
         """Compact human-readable signature key for stats tables."""
         return (
-            "{op}:n{n}c{c}->{o}@{h}x{w}/k{k}s{s}p{p}g{g}/{dt}/{dir}".format(
+            "{op}:n{n}c{c}->{o}@{h}x{w}/k{k}s{s}p{p}g{g}/{dt}/{dir}/{lay}".format(
                 op=self.op_class, n=self.batch, c=self.in_channels,
                 o=self.out_channels, h=self.height, w=self.width, k=self.kernel,
                 s=self.stride, p=self.padding, g=self.groups, dt=self.dtype,
-                dir=self.direction,
+                dir=self.direction, lay=self.layout.lower(),
             )
         )
 
@@ -332,25 +354,69 @@ def kernel_for(spec, plan):
         from .autotune import choose
 
         cls, source = choose(spec, cands)
-    _SELECTIONS[spec] = {"kernel": cls.name, "source": source}
+    _SELECTIONS[spec] = {"kernel": cls.name, "source": source, "layout": spec.layout}
     return cls(spec, plan)
 
 
-def scratch_upper_bound(spec, input_grad_needed=True):
-    """Per-channel scratch maxima over every candidate kernel.
+def scratch_upper_bound(spec, input_grad_needed=True, layouts=LAYOUTS):
+    """Per-channel scratch maxima over every candidate kernel and layout.
 
     The aliasing pass sizes the shared scratch arenas *before* the kernel is
-    selected, so it must provision for whichever candidate dispatch later
-    picks.  Returns ``(channel, nbytes)`` pairs.
+    selected, and the layout-assignment pass may re-tag a step after the
+    arenas were sized, so the bound covers every ``(candidate, layout)``
+    variant of the signature — the per-channel maxima in *bytes*, not one
+    NCHW geometry.  Returns ``(channel, nbytes)`` pairs.
     """
     channels = {}
-    for cls in candidates(spec):
-        requests = list(cls.scratch_requests(spec))
-        if spec.train:
-            requests += list(cls.backward_scratch_requests(spec, input_grad_needed))
-        for channel, nbytes in requests:
-            channels[channel] = max(channels.get(channel, 0), int(nbytes))
+    for layout in layouts:
+        variant = spec._replace(layout=layout)
+        for cls in candidates(variant):
+            requests = list(cls.scratch_requests(variant))
+            if variant.train:
+                requests += list(
+                    cls.backward_scratch_requests(variant, input_grad_needed)
+                )
+            for channel, nbytes in requests:
+                channels[channel] = max(channels.get(channel, 0), int(nbytes))
     return tuple(sorted(channels.items()))
+
+
+def layout_costs(spec):
+    """Estimated forward seconds per layout, for the layout-assignment pass.
+
+    Returns ``{layout: cost}`` where ``cost`` is ``inf`` when no kernel can
+    serve the signature in that layout (respecting ``REPRO_KERNELS`` pins:
+    a pinned kernel that rejects a layout makes the layout infeasible, so
+    pinned runs keep their reproducible kernel choice), ``None`` when no
+    timing is available (``heuristic`` mode — the pass falls back to static
+    rules), and otherwise the best candidate's measured forward time from
+    the autotuner cache.  When only one layout is feasible no timing runs at
+    all: there is nothing to compare.
+    """
+    from .autotune import cost_for
+
+    mode, pins = _parse_env()
+    cands_by_layout = {}
+    for layout in LAYOUTS:
+        variant = spec._replace(layout=layout)
+        cands = candidates(variant)
+        if mode == "pinned":
+            name = pins.get(variant.op_class, pins.get("*"))
+            if name is not None:
+                cands = [cls for cls in cands if cls.name == name]
+        cands_by_layout[layout] = (variant, cands)
+    feasible = [lay for lay, (_, cands) in cands_by_layout.items() if cands]
+    costs = {}
+    for layout, (variant, cands) in cands_by_layout.items():
+        if not cands:
+            costs[layout] = float("inf")
+        elif len(feasible) == 1:
+            costs[layout] = 0.0
+        elif mode == "heuristic":
+            costs[layout] = None
+        else:
+            costs[layout] = cost_for(variant, cands)
+    return costs
 
 
 def selection_table():

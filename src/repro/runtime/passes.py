@@ -31,6 +31,22 @@ deep-learning-compiler pipeline, specialised to the runtime's flat slot IR:
     content checks), so training between rollouts refreshes them
     automatically; train-mode BN falls back to the unfolded math at run time.
 
+``layout``
+    Cost-driven layout assignment: every 4-D slot carries a physical layout
+    tag (NCHW / NHWC) and each convolution is assigned the layout whose
+    dispatched kernel candidates time fastest
+    (:func:`repro.runtime.kernels.layout_costs`), charged against measured
+    transpose costs at the boundaries.  Channels-last propagates through the
+    layout-agnostic follow steps (BN / activation / residual-add / gate
+    combine / tile), so inverted-residual expand -> depthwise -> project
+    chains run end-to-end NHWC: the pointwise convs become single flat GEMMs
+    over trailing channels with fused trailing-axis epilogues and the direct
+    depthwise kernel drops its per-call padded channels-last copy.  Explicit
+    :class:`~repro.runtime.plan.TransposeStep`\\ s are materialised only at
+    surviving boundaries (anchor steps, the plan input, protected outputs);
+    under ``REPRO_KERNELS=heuristic`` the assignment falls back to static
+    rules (deterministic, no timing).
+
 ``alias_slots``
     Slot-liveness buffer aliasing: a last-use analysis over the forward
     program (and over the reverse program for training plans) assigns
@@ -38,6 +54,13 @@ deep-learning-compiler pipeline, specialised to the runtime's flat slot IR:
     arena for the transient im2col workspaces, cutting peak plan memory.
     For training plans the gradient buffers are interval-shared with a fill
     schedule that zeroes each buffer exactly when its live interval begins.
+    Arenas are shared by *bytes*, so NHWC intervals coexist with NCHW ones.
+
+After the passes run, a plan-lint debug check (:func:`lint_plan`) validates
+the layout and aliasing invariants — no adjacent transpose-transpose pairs,
+every step's input layouts matching its slot tags, aliased buffers fitting
+their arenas — and raises :class:`PlanLintError` on violation.  It is on by
+default under pytest and controllable via ``REPRO_RUNTIME_LINT=1/0``.
 
 Pass selection: every pass runs by default; the ``REPRO_RUNTIME_PASSES``
 environment variable (``all`` | ``none`` | comma-list, e.g.
@@ -52,6 +75,7 @@ import os
 
 import numpy as np
 
+from . import kernels as conv_kernels
 from .plan import (
     ActivationStep,
     AddStep,
@@ -67,16 +91,29 @@ from .plan import (
     SoftmaxStep,
     StoragePlan,
     TileStep,
+    TransposeStep,
 )
 
-__all__ = ["PASS_NAMES", "enabled_passes", "run_passes", "PassContext"]
+__all__ = [
+    "PASS_NAMES",
+    "enabled_passes",
+    "run_passes",
+    "PassContext",
+    "PlanLintError",
+    "lint_plan",
+    "lint_enabled",
+]
 
 #: Pipeline order matters: branch pruning first (smaller graph for everything
-#: after), then structural fusion, then weight folding, then the liveness
-#: analysis over the final step list.
-PASS_NAMES = ("dead_branch", "fuse_epilogue", "fold_bn", "alias_slots")
+#: after), then structural fusion, then weight folding, then layout
+#: assignment (which may insert transpose steps), then the liveness analysis
+#: over the final step list.
+PASS_NAMES = ("dead_branch", "fuse_epilogue", "fold_bn", "layout", "alias_slots")
 
 ENV_VAR = "REPRO_RUNTIME_PASSES"
+
+#: Debug-lint control: "1"/"0" force it on/off; unset means "on under pytest".
+LINT_ENV_VAR = "REPRO_RUNTIME_LINT"
 
 #: Step types the analyses understand.  A plan containing anything else
 #: (custom :class:`Step` subclasses from third-party expanders) only receives
@@ -96,6 +133,7 @@ _KNOWN_STEPS = frozenset(
         ReshapeStep,
         SoftmaxStep,
         TileStep,
+        TransposeStep,
     }
 )
 
@@ -398,6 +436,303 @@ def fold_bn(plan, ctx):
 
 
 # --------------------------------------------------------------------------- #
+# layout: cost-driven NCHW/NHWC assignment + transpose materialisation
+# --------------------------------------------------------------------------- #
+#: Hill-climb acceptance threshold (relative improvement) and round cap.
+_LAYOUT_MARGIN = 0.97
+_LAYOUT_ROUNDS = 8
+
+#: Synthetic costs for heuristic mode (``REPRO_KERNELS=heuristic``): a
+#: deterministic stand-in for measured seconds.  Depthwise / pointwise convs
+#: prefer NHWC strongly enough that a chain of two or more flips; a lone conv
+#: does not pay for its boundary transposes.
+_SYN_NCHW = 1.0
+_SYN_NHWC_GOOD = 0.5
+_SYN_NHWC_NEUTRAL = 0.99
+_SYN_TRANSPOSE = 0.25
+
+
+def _step_layout_plan(step, lay, conv_layout, zero_slots):
+    """Decide the layout a step runs in and what it needs from its inputs.
+
+    ``lay`` maps a slot to its current layout tag (``None`` for non-4-D
+    slots).  Returns ``(step_layout, requires, out_layouts)``: ``requires``
+    maps read slots to the layout the step must observe them in (zero slots
+    are wildcards, satisfied by re-tagging instead of transposing) and
+    ``out_layouts`` maps (re)defined slots to their tags after the step.
+    """
+    if isinstance(step, Conv2dStep):
+        layout = conv_layout.get(id(step), "NCHW")
+        requires = {step.in_slot: layout}
+        if step.res_slot is not None:
+            requires[step.res_slot] = layout
+        return layout, requires, {step.out_slot: layout}
+    if isinstance(step, (BatchNormStep, TileStep)):
+        layout = lay(step.in_slot) or "NCHW"
+        return layout, {}, {step.out_slot: layout}
+    if isinstance(step, ActivationStep):
+        # Elementwise in place: runs in whatever layout the slot carries, but
+        # redefines the slot (any transposed twin of it goes stale).
+        return lay(step.slot), {}, {step.slot: lay(step.slot)}
+    if isinstance(step, AddStep):
+        if step.out_slot in (step.a_slot, step.b_slot):
+            # In-place join: the aliased operand cannot be transposed away.
+            layout = lay(step.out_slot) or "NCHW"
+        else:
+            prefs = [
+                lay(slot)
+                for slot in (step.a_slot, step.b_slot)
+                if slot not in zero_slots and lay(slot) is not None
+            ]
+            layout = prefs[0] if prefs else "NCHW"
+        requires = {
+            slot: layout
+            for slot in (step.a_slot, step.b_slot)
+            if slot != step.out_slot
+        }
+        return layout, requires, {step.out_slot: layout}
+    if isinstance(step, GateCombineStep):
+        prefs = [
+            lay(slot)
+            for slot in step.in_slots
+            if slot not in zero_slots and lay(slot) is not None
+        ]
+        nhwc = sum(1 for pref in prefs if pref == "NHWC")
+        if not prefs:
+            layout = "NCHW"
+        elif nhwc * 2 > len(prefs):
+            layout = "NHWC"
+        elif nhwc * 2 < len(prefs):
+            layout = "NCHW"
+        else:
+            layout = prefs[0]
+        return layout, {slot: layout for slot in step.in_slots}, {step.out_slot: layout}
+    if isinstance(step, GlobalAvgPoolStep):
+        # Reduces over whatever layout its input carries; output is 2-D.
+        return lay(step.in_slot) or "NCHW", {}, {}
+    if isinstance(step, TransposeStep):
+        return step.to_layout, {step.in_slot: step.from_layout}, {
+            step.out_slot: step.to_layout
+        }
+    # Anchors: pooling / flatten / reshape / opaque (and anything else that
+    # indexes spatial axes logically) require physical NCHW on 4-D slots.
+    requires = {slot: "NCHW" for slot in step_reads(step) if lay(slot) is not None}
+    return "NCHW", requires, {}
+
+
+def _walk_layouts(plan, ctx, conv_layout, on_boundary, materialize=None):
+    """Shared propagation walk for the cost model and the materialiser.
+
+    Walks the program in order tracking per-slot layout tags, slot write
+    versions and first-claim re-tagging of all-zero wildcard slots; calls
+    ``on_boundary(step, slot, version, current, needed)`` (returning a
+    replacement slot, or ``None``) for every read whose tag mismatches.
+    """
+    if materialize is None:
+        layouts = list(plan._layouts)
+    else:
+        layouts = plan._layouts  # mutated in place
+    versions = {}
+    claimed_zero = set()
+    for step in plan.steps:
+        layout, requires, outs = _step_layout_plan(
+            step, lambda s: layouts[s], conv_layout, ctx.zero_slots
+        )
+        remap = {}
+        for slot, needed in requires.items():
+            current = layouts[slot]
+            if current is None or current == needed:
+                continue
+            if slot in ctx.zero_slots and slot not in claimed_zero:
+                # All-zero contents are layout-invariant: re-tag for free.
+                claimed_zero.add(slot)
+                layouts[slot] = needed
+                continue
+            twin = on_boundary(step, slot, versions.get(slot, 0), current, needed)
+            if twin is not None:
+                remap[slot] = twin
+        if materialize is not None:
+            if remap:
+                _rewire_reads(step, remap)
+            if isinstance(step, (Conv2dStep, BatchNormStep, GlobalAvgPoolStep)):
+                step.layout = layout
+            materialize.append(step)
+        for slot, new_layout in outs.items():
+            if new_layout is not None:
+                layouts[slot] = new_layout
+            versions[slot] = versions.get(slot, 0) + 1
+
+
+def _rewire_reads(step, remap):
+    """Point a step's reads at transposed twin slots."""
+    if isinstance(step, Conv2dStep):
+        step.in_slot = remap.get(step.in_slot, step.in_slot)
+        if step.res_slot is not None:
+            step.res_slot = remap.get(step.res_slot, step.res_slot)
+    elif isinstance(step, AddStep):
+        step.a_slot = remap.get(step.a_slot, step.a_slot)
+        step.b_slot = remap.get(step.b_slot, step.b_slot)
+    elif isinstance(step, GateCombineStep):
+        step.in_slots = tuple(remap.get(slot, slot) for slot in step.in_slots)
+    elif hasattr(step, "in_slot"):
+        step.in_slot = remap.get(step.in_slot, step.in_slot)
+
+
+def _conv_components(plan, convs):
+    """Group convs whose 4-D slots connect through layout-agnostic steps.
+
+    Components flip together during the search (an inverted-residual chain is
+    only worth NHWC end-to-end); anchor steps break the connectivity.
+    """
+    parent = {}
+
+    def find(x):
+        while parent.setdefault(x, x) != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        parent[find(a)] = find(b)
+
+    for step in plan.steps:
+        slots = None
+        if isinstance(step, Conv2dStep):
+            slots = [step.in_slot, step.out_slot] + (
+                [step.res_slot] if step.res_slot is not None else []
+            )
+        elif isinstance(step, (BatchNormStep, TileStep)):
+            slots = [step.in_slot, step.out_slot]
+        elif isinstance(step, AddStep):
+            slots = [step.a_slot, step.b_slot, step.out_slot]
+        elif isinstance(step, GateCombineStep):
+            slots = list(step.in_slots) + [step.out_slot]
+        if slots:
+            for slot in slots[1:]:
+                union(slots[0], slot)
+    groups = {}
+    for step in convs:
+        groups.setdefault(find(step.in_slot), []).append(id(step))
+    return list(groups.values())
+
+
+def assign_layouts(plan, ctx):
+    """Assign NCHW/NHWC per conv by cost, then materialise transpose steps.
+
+    Candidate layouts and their measured kernel costs come from
+    :func:`repro.runtime.kernels.layout_costs`; boundary costs from
+    :func:`repro.runtime.kernels.transpose_seconds`.  Under heuristic mode
+    (no timing) a deterministic synthetic cost model prefers NHWC for
+    depthwise / pointwise convolutions.  A hill-climb from the all-NCHW
+    assignment tries whole-component flips and single-conv toggles, accepting
+    moves that beat the incumbent by more than 3%.
+    """
+    convs = [step for step in plan.steps if isinstance(step, Conv2dStep)]
+    if not convs:
+        return
+
+    conv_costs = {}
+    heuristic = False
+    for step in convs:
+        costs = dict(conv_kernels.layout_costs(step._spec(plan)))
+        if step.out_slot in ctx.protected_slots:
+            costs["NHWC"] = float("inf")  # externally observed contents
+        if any(cost is None for cost in costs.values()):
+            heuristic = True
+        conv_costs[id(step)] = costs
+    if heuristic:
+        for step in convs:
+            spec = step._spec(plan)
+            feasible = conv_costs[id(step)].get("NHWC") != float("inf")
+            good = spec.depthwise or spec.pointwise
+            conv_costs[id(step)] = {
+                "NCHW": _SYN_NCHW,
+                "NHWC": (_SYN_NHWC_GOOD if good else _SYN_NHWC_NEUTRAL)
+                if feasible
+                else float("inf"),
+            }
+
+        def trans_cost(slot):
+            return _SYN_TRANSPOSE
+
+    else:
+
+        def trans_cost(slot):
+            return conv_kernels.transpose_seconds(plan.shape(slot), plan.dtype)
+
+    def evaluate(assign):
+        boundaries = set()
+
+        def on_boundary(step, slot, version, current, needed):
+            boundaries.add((slot, version, needed))
+            return None
+
+        _walk_layouts(plan, ctx, assign, on_boundary)
+        total = sum(conv_costs[cid][layout] for cid, layout in assign.items())
+        # A training-plan transpose also runs (reversed) in the backward pass.
+        weight = 2.0 if plan.train else 1.0
+        return total + weight * sum(trans_cost(slot) for slot, _, _ in boundaries)
+
+    def feasible_flip(assign, cid, layout):
+        if conv_costs[cid][layout] == float("inf"):
+            return None
+        if assign[cid] == layout:
+            return None
+        return layout
+
+    assign = {id(step): "NCHW" for step in convs}
+    best = evaluate(assign)
+    components = _conv_components(plan, convs)
+    for _ in range(_LAYOUT_ROUNDS):
+        moves = []
+        for comp in components:
+            for layout in conv_kernels.LAYOUTS:
+                moves.append([(cid, layout) for cid in comp])
+        for step in convs:
+            cid = id(step)
+            moves.append([(cid, "NHWC" if assign[cid] == "NCHW" else "NCHW")])
+        winner = None
+        winner_cost = best
+        for move in moves:
+            candidate = dict(assign)
+            changed = False
+            for cid, layout in move:
+                if feasible_flip(candidate, cid, layout):
+                    candidate[cid] = layout
+                    changed = True
+            if not changed:
+                continue
+            cost = evaluate(candidate)
+            if cost < winner_cost * _LAYOUT_MARGIN:
+                winner, winner_cost = candidate, cost
+        if winner is None:
+            break
+        assign, best = winner, winner_cost
+
+    if all(layout == "NCHW" for layout in assign.values()):
+        return
+
+    # Materialise: insert transpose steps at surviving boundaries, re-tag
+    # slots and steps, rewire reads through versioned twin slots.
+    twins = {}
+    new_steps = []
+
+    def on_boundary(step, slot, version, current, needed):
+        key = (slot, version, needed)
+        twin = twins.get(key)
+        if twin is None:
+            twin = plan.new_slot(plan.shape(slot), layout=needed)
+            new_steps.append(TransposeStep(slot, twin, current, needed))
+            twins[key] = twin
+            if slot == plan.input_slot or slot in plan._no_grad_slots:
+                plan._no_grad_slots.add(twin)
+        return twin
+
+    _walk_layouts(plan, ctx, assign, on_boundary, materialize=new_steps)
+    plan.steps = new_steps
+
+
+# --------------------------------------------------------------------------- #
 # alias_slots: liveness analysis -> shared storage arenas
 # --------------------------------------------------------------------------- #
 def _assign_arenas(intervals, nbytes_of):
@@ -541,10 +876,124 @@ def mark_dead_slots(plan, ctx):
     }
 
 
+# --------------------------------------------------------------------------- #
+# Plan lint: layout / aliasing invariant checks (debug, on under pytest)
+# --------------------------------------------------------------------------- #
+class PlanLintError(RuntimeError):
+    """A compiled plan violates the layout / aliasing invariants."""
+
+
+def lint_enabled():
+    """Whether :func:`run_passes` should lint: env override, else pytest."""
+    raw = os.environ.get(LINT_ENV_VAR)
+    if raw is not None:
+        return raw.strip().lower() not in ("", "0", "false", "off")
+    return "PYTEST_CURRENT_TEST" in os.environ
+
+
+def _expected_layouts(step, lay):
+    """Per-read/write layout every step type requires, given its own tags."""
+    if isinstance(step, Conv2dStep):
+        expected = {step.in_slot: step.layout, step.out_slot: step.layout}
+        if step.res_slot is not None:
+            expected[step.res_slot] = step.layout
+        return expected
+    if isinstance(step, BatchNormStep):
+        return {step.in_slot: step.layout, step.out_slot: step.layout}
+    if isinstance(step, GlobalAvgPoolStep):
+        return {step.in_slot: step.layout}
+    if isinstance(step, AddStep):
+        layout = lay(step.out_slot)
+        return {} if layout is None else {
+            step.a_slot: layout,
+            step.b_slot: layout,
+        }
+    if isinstance(step, GateCombineStep):
+        layout = lay(step.out_slot)
+        return {} if layout is None else {slot: layout for slot in step.in_slots}
+    if isinstance(step, TileStep):
+        layout = lay(step.out_slot)
+        return {} if layout is None else {step.in_slot: layout}
+    if isinstance(step, TransposeStep):
+        return {
+            step.in_slot: step.from_layout,
+            step.out_slot: step.to_layout,
+        }
+    if isinstance(step, ActivationStep):
+        return {}
+    # Anchors (pooling / flatten / reshape / opaque / ...): logical NCHW.
+    return {slot: "NCHW" for slot in step_reads(step) if lay(slot) is not None}
+
+
+def lint_plan(plan, ctx=None):
+    """Validate the layout and aliasing invariants; raise on any violation.
+
+    Checks, in one walk over the program plus the storage plan:
+
+    * no transpose step consumes another transpose's still-current output
+      (adjacent pairs must have been cancelled through the twin memo);
+    * every step observes each 4-D slot in the layout the slot is tagged
+      with (conv/BN/pool steps via their own ``layout`` attribute, joins via
+      their operands' tags, anchor steps as NCHW);
+    * every aliased slot fits its arena (forward and gradient), byte-wise.
+    """
+    problems = []
+    lay = plan.layout
+    transposed = {}  # slot -> True while its latest definition is a transpose
+    for index, step in enumerate(plan.steps):
+        if isinstance(step, TransposeStep):
+            if step.from_layout == step.to_layout:
+                problems.append(
+                    "step {}: transpose {}->{} is a no-op".format(
+                        index, step.from_layout, step.to_layout
+                    )
+                )
+            if transposed.get(step.in_slot):
+                problems.append(
+                    "step {}: transpose of slot {} consumes another "
+                    "transpose's output (uncancelled adjacent pair)".format(
+                        index, step.in_slot
+                    )
+                )
+        for slot, needed in _expected_layouts(step, lay).items():
+            tag = lay(slot)
+            if tag is not None and tag != needed:
+                problems.append(
+                    "step {} ({}): slot {} tagged {} but step expects {}".format(
+                        index, type(step).__name__, slot, tag, needed
+                    )
+                )
+        for slot in step_writes(step):
+            transposed[slot] = isinstance(step, TransposeStep)
+    storage = plan.storage
+    if storage is not None:
+        itemsize = plan.dtype.itemsize
+        checks = (
+            ("forward", storage.slot_arena, storage.arena_nbytes),
+            ("grad", storage.grad_arena, storage.grad_arena_nbytes),
+        )
+        for kind, slot_arena, arena_nbytes in checks:
+            for slot, arena in slot_arena.items():
+                need = int(np.prod(plan.shape(slot))) * itemsize
+                if arena_nbytes[arena] < need:
+                    problems.append(
+                        "{} arena {} holds {} bytes but aliased slot {} "
+                        "needs {}".format(
+                            kind, arena, arena_nbytes[arena], slot, need
+                        )
+                    )
+    if problems:
+        raise PlanLintError(
+            "plan lint failed:\n  " + "\n  ".join(problems)
+        )
+    return plan
+
+
 _PASS_FUNCS = {
     "dead_branch": dead_branch,
     "fuse_epilogue": fuse_epilogue,
     "fold_bn": fold_bn,
+    "layout": assign_layouts,
     "alias_slots": alias_slots,
 }
 
@@ -567,4 +1016,6 @@ def run_passes(plan, ctx, enabled=None):
         _PASS_FUNCS[name](plan, ctx)
     if analyzable:
         mark_dead_slots(plan, ctx)
+        if lint_enabled():
+            lint_plan(plan, ctx)
     return plan

@@ -60,6 +60,7 @@ __all__ = [
     "SoftmaxStep",
     "GateCombineStep",
     "TileStep",
+    "TransposeStep",
     "OpaqueStep",
     "apply_activation",
 ]
@@ -76,6 +77,18 @@ _POOLS = weakref.WeakSet()
 def stacked_view(array, num_samples):
     """View a ``(K*N, ...)`` stacked-batch array as ``(K, N, ...)``."""
     return array.reshape((num_samples, array.shape[0] // num_samples) + array.shape[1:])
+
+
+def _channel_axes(layout):
+    """Reduction axes collapsing everything but channels under ``layout``."""
+    return (0, 1, 2) if layout == "NHWC" else (0, 2, 3)
+
+
+def _per_channel(v, layout):
+    """Broadcast a per-channel vector across a 4-D activation of ``layout``."""
+    if layout == "NHWC":
+        return v  # channels trail: natural broadcast
+    return v[None, :, None, None]
 
 
 def apply_activation(kind, array):
@@ -258,28 +271,31 @@ class _BNMixin:
     #: its backward needs; inference plans pay nothing for it.
     _capture_stats = False
 
-    def _bn_scale_shift(self, bn, nchw, params):
+    def _bn_scale_shift(self, bn, x, params):
         """Per-channel ``(scale, shift)`` for ``y = x * scale + shift``.
 
-        ``nchw`` is the activation with channels second; in training mode the
-        batch statistics are computed from it and the module's running
-        buffers are updated in place (exactly like the eager path does during
-        rollout collection).
+        ``x`` is the activation in the step's physical layout (channels
+        second for NCHW, trailing for NHWC); in training mode the batch
+        statistics are computed from it and the module's running buffers are
+        updated in place (exactly like the eager path does during rollout
+        collection).
         """
+        layout = getattr(self, "layout", "NCHW")
         gamma = params.fetch_param("gamma", bn.gamma)
         beta = params.fetch_param("beta", bn.beta)
         if bn.training:
-            mean = nchw.mean(axis=(0, 2, 3))
+            axes = _channel_axes(layout)
+            mean = x.mean(axis=axes)
             # Two-pass variance (same association as the eager engine) via a
             # lazily-allocated workspace: train-mode BN stays allocation-free
             # per run without paying the workspace in eval-only plans.
             ws = getattr(self, "_bn_ws", None)
-            if ws is None or ws.shape != nchw.shape or ws.dtype != nchw.dtype:
-                ws = np.empty_like(nchw)
+            if ws is None or ws.shape != x.shape or ws.dtype != x.dtype:
+                ws = np.empty_like(x)
                 self._bn_ws = ws
-            np.subtract(nchw, mean[None, :, None, None], out=ws)
+            np.subtract(x, _per_channel(mean, layout), out=ws)
             np.square(ws, out=ws)
-            var = ws.mean(axis=(0, 2, 3))
+            var = ws.mean(axis=axes)
             # Shared-trunk steps of stacked-path plans run once where K
             # per-path executions (and the eager K-sample fallback) would run
             # K times on identical batch statistics: repeat the EMA so the
@@ -306,12 +322,13 @@ class _BNMixin:
 
     def _apply_bn_bias_act(self, out, bias, params, res=None):
         """Fused bias + batch-norm (+ residual) + activation, in place on ``out``."""
+        layout = getattr(self, "layout", "NCHW")
         if bias is not None:
-            out += params.fetch_param("bias", bias)[None, :, None, None]
+            out += _per_channel(params.fetch_param("bias", bias), layout)
         if self.bn is not None:
             scale, shift = self._bn_scale_shift(self.bn, out, params)
-            out *= scale[None, :, None, None]
-            out += shift[None, :, None, None]
+            out *= _per_channel(scale, layout)
+            out += _per_channel(shift, layout)
         if res is not None:
             out += res
         apply_activation(self.activation, out)
@@ -351,7 +368,7 @@ class _ConvEpilogue:
         if res is not None and lanes is not None:
             res = res[lanes]
         if self.folded_bias is not None:
-            out += self.folded_bias[None, :, None, None]
+            out += _per_channel(self.folded_bias, step.layout)
             if res is not None:
                 out += res
             apply_activation(step.activation, out)
@@ -389,6 +406,9 @@ class Conv2dStep(Step, _BNMixin):
         #: per-run channel-wise passes over the output map disappear (fold-BN
         #: pass, inference plans only).  Train-mode BN falls back at run time.
         self.fold_bn = False
+        #: Physical activation layout of both slots (layout-assignment pass
+        #: re-tags this; the emitter always starts from NCHW).
+        self.layout = "NCHW"
 
     def _spec(self, plan):
         """The kernel-registry signature of this step on ``plan``."""
@@ -406,13 +426,21 @@ class Conv2dStep(Step, _BNMixin):
             groups=conv.groups,
             dtype=plan.dtype.name,
             direction="train" if plan.train else "infer",
+            layout=self.layout,
+        )
+
+    def _input_grad(self, plan):
+        return (
+            self.in_slot != plan.input_slot
+            and self.in_slot not in plan._no_grad_slots
         )
 
     def scratch_requests(self, plan):
         # The shared scratch arenas are sized before the kernel is selected,
-        # so provision the per-channel maxima over every candidate.
+        # so provision the per-channel maxima over every candidate (and over
+        # both layouts: the layout pass may re-tag the step afterwards).
         return conv_kernels.scratch_upper_bound(
-            self._spec(plan), input_grad_needed=self.in_slot != plan.input_slot
+            self._spec(plan), input_grad_needed=self._input_grad(plan)
         )
 
     def allocate(self, plan):
@@ -470,10 +498,11 @@ class Conv2dStep(Step, _BNMixin):
             raise RuntimeError("optimisation-pass epilogues are inference-only")
         self._pg_w = plan.grad_for(self.conv.weight)
         self._pg_b = plan.grad_for(self.conv.bias) if self.conv.bias is not None else None
-        # The plan input has no producer, so nothing ever reads its gradient:
-        # skip the input VJP entirely for stem convs (the single most
-        # expensive VJP in the net, at full input resolution).
-        self._input_grad_needed = self.in_slot != plan.input_slot
+        # The plan input has no producer (and neither does a layout twin of
+        # it), so nothing ever reads its gradient: skip the input VJP
+        # entirely for stem convs (the single most expensive VJP in the net,
+        # at full input resolution).
+        self._input_grad_needed = self._input_grad(plan)
         self._kernel.allocate_backward(plan, self._input_grad_needed)
 
     def run(self, bufs):
@@ -491,7 +520,7 @@ class Conv2dStep(Step, _BNMixin):
         gout = grads[self.out_slot]
         vjp.activation_vjp(self.activation, bufs[self.out_slot], gout)
         if self._pg_b is not None:
-            self._pg_b += gout.sum(axis=(0, 2, 3))
+            self._pg_b += gout.sum(axis=_channel_axes(self.layout))
         weight = self._params.fetch_param("weight", self.conv.weight)
         gin = grads[self.in_slot] if self._input_grad_needed else None
         self._kernel.backward(gout, bufs[self.in_slot], weight, self._pg_w, gin)
@@ -574,6 +603,8 @@ class BatchNormStep(Step, _BNMixin):
         #: stacked-path plan runs once for what per-path execution would run
         #: K times (see ``_bn_scale_shift``).
         self.stat_repeats = int(stat_repeats)
+        #: Physical activation layout of both slots (layout-assignment pass).
+        self.layout = "NCHW"
 
     def allocate(self, plan):
         self._params = _ParamCache(plan.dtype)
@@ -590,8 +621,9 @@ class BatchNormStep(Step, _BNMixin):
         self._pg_beta = plan.grad_for(self.bn.beta)
         # Forward (variance workspace) and backward (VJP workspace) uses never
         # overlap within a call, so both may view the same scratch channel.
-        self._bw_ws = plan.workspace(plan.shape(self.in_slot), channel=SCRATCH_MAIN)
-        self._bn_ws = plan.workspace(plan.shape(self.in_slot), channel=SCRATCH_MAIN)
+        shape = plan.physical_shape(self.in_slot)
+        self._bw_ws = plan.workspace(shape, channel=SCRATCH_MAIN)
+        self._bn_ws = plan.workspace(shape, channel=SCRATCH_MAIN)
 
     def _stacked_view(self, array):
         return stacked_view(array, self.num_samples)
@@ -603,26 +635,33 @@ class BatchNormStep(Step, _BNMixin):
             self._run_stacked(x, out)
         else:
             scale, shift = self._bn_scale_shift(self.bn, x, self._params)
-            np.multiply(x, scale[None, :, None, None], out=out)
-            out += shift[None, :, None, None]
+            np.multiply(x, _per_channel(scale, self.layout), out=out)
+            out += _per_channel(shift, self.layout)
         apply_activation(self.activation, out)
 
     def _run_stacked(self, x, out):
-        """Per-sample-group batch statistics over a ``(K*N, C, H, W)`` slot."""
+        """Per-sample-group batch statistics over a ``(K*N, ...)`` slot."""
         bn = self.bn
         params = self._params
         gamma = params.fetch_param("gamma", bn.gamma)
         beta = params.fetch_param("beta", bn.beta)
+        k = self.num_samples
+        # Reduction axes / per-channel broadcast shape under the stacked
+        # (K, N, ...) view, for either physical layout.
+        if self.layout == "NHWC":
+            axes, bshape = (1, 2, 3), (k, 1, 1, 1, -1)
+        else:
+            axes, bshape = (1, 3, 4), (k, 1, -1, 1, 1)
         xv = self._stacked_view(x)
-        mean = xv.mean(axis=(1, 3, 4))  # (K, C)
+        mean = xv.mean(axis=axes)  # (K, C)
         ws = getattr(self, "_bn_ws", None)
         if ws is None or ws.shape != x.shape or ws.dtype != x.dtype:
             ws = np.empty_like(x)
             self._bn_ws = ws
         wsv = self._stacked_view(ws)
-        np.subtract(xv, mean[:, None, :, None, None], out=wsv)
+        np.subtract(xv, mean.reshape(bshape), out=wsv)
         np.square(wsv, out=wsv)
-        var = wsv.mean(axis=(1, 3, 4))
+        var = wsv.mean(axis=axes)
         # Sequential running-stat updates in ascending sample order mirror the
         # order K per-path plans would apply them in.
         for k in range(self.num_samples):
@@ -639,13 +678,14 @@ class BatchNormStep(Step, _BNMixin):
         scale = gamma * inv_std  # (K, C)
         shift = beta - mean * scale
         outv = self._stacked_view(out)
-        np.multiply(xv, scale[:, None, :, None, None], out=outv)
-        outv += shift[:, None, :, None, None]
+        np.multiply(xv, scale.reshape(bshape), out=outv)
+        outv += shift.reshape(bshape)
 
     def backward(self, bufs, grads):
         gout = grads[self.out_slot]
         vjp.activation_vjp(self.activation, bufs[self.out_slot], gout)
         training, mean, inv_std, gamma = self._saved_stats
+        channel_axis = 3 if self.layout == "NHWC" else 1
         if self.num_samples > 1 and np.ndim(mean) == 2:
             goutv = self._stacked_view(gout)
             xv = self._stacked_view(bufs[self.in_slot])
@@ -653,14 +693,16 @@ class BatchNormStep(Step, _BNMixin):
             wsv = self._stacked_view(self._bw_ws)
             for k in range(self.num_samples):
                 gx, dgamma, dbeta = vjp.batchnorm2d_vjp(
-                    goutv[k], xv[k], mean[k], inv_std[k], gamma, training, ws=wsv[k]
+                    goutv[k], xv[k], mean[k], inv_std[k], gamma, training,
+                    ws=wsv[k], channel_axis=channel_axis,
                 )
                 self._pg_gamma += dgamma
                 self._pg_beta += dbeta
                 ginv[k] += gx
             return
         gx, dgamma, dbeta = vjp.batchnorm2d_vjp(
-            gout, bufs[self.in_slot], mean, inv_std, gamma, training, ws=self._bw_ws
+            gout, bufs[self.in_slot], mean, inv_std, gamma, training,
+            ws=self._bw_ws, channel_axis=channel_axis,
         )
         self._pg_gamma += dgamma
         self._pg_beta += dbeta
@@ -753,18 +795,31 @@ class ReshapeStep(Step):
 
 
 class GlobalAvgPoolStep(Step):
-    """Mean over the spatial extent of an NCHW slot -> ``(N, C)``."""
+    """Mean over the spatial extent of a 4-D slot -> ``(N, C)``.
+
+    Accepts either physical layout — the output is layout-free ``(N, C)``,
+    so the layout pass never needs a transpose in front of it.
+    """
 
     def __init__(self, in_slot, out_slot):
         self.in_slot = in_slot
         self.out_slot = out_slot
+        self.layout = "NCHW"
 
     def run(self, bufs):
-        bufs[self.in_slot].mean(axis=(2, 3), out=bufs[self.out_slot])
+        axes = (1, 2) if self.layout == "NHWC" else (2, 3)
+        bufs[self.in_slot].mean(axis=axes, out=bufs[self.out_slot])
 
     def backward(self, bufs, grads):
-        spatial = bufs[self.in_slot].shape[2:]
-        grads[self.in_slot] += vjp.global_avg_pool_vjp(grads[self.out_slot], spatial)
+        x = bufs[self.in_slot]
+        if self.layout == "NHWC":
+            h, w = x.shape[1], x.shape[2]
+            scaled = grads[self.out_slot] * (1.0 / (h * w))
+            grads[self.in_slot] += scaled[:, None, None, :]
+            return
+        grads[self.in_slot] += vjp.global_avg_pool_vjp(
+            grads[self.out_slot], x.shape[2:]
+        )
 
 
 class Pool2dStep(Step):
@@ -873,7 +928,7 @@ class GateCombineStep(Step):
 
     def allocate(self, plan):
         self._plan = plan
-        self._ws = plan.workspace(plan.shape(self.out_slot), channel=SCRATCH_MAIN)
+        self._ws = plan.workspace(plan.physical_shape(self.out_slot), channel=SCRATCH_MAIN)
 
     def _views(self, array):
         return stacked_view(array, self.num_samples)
@@ -947,6 +1002,48 @@ class TileStep(Step):
 
     def __repr__(self):
         return "TileStep(K={})".format(self.num_samples)
+
+
+class TransposeStep(Step):
+    """Materialised NCHW <-> NHWC conversion at a layout boundary.
+
+    Inserted only by the layout-assignment pass.  Both slots describe the
+    same logical NCHW tensor; only the physical axis order differs, so the
+    VJP is the opposite transpose.  A transpose of the plan input (or of
+    another no-grad twin) skips its backward entirely — nothing reads the
+    input's gradient.
+    """
+
+    def __init__(self, in_slot, out_slot, from_layout, to_layout):
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+        self.from_layout = from_layout
+        self.to_layout = to_layout
+
+    def allocate_backward(self, plan):
+        self._input_grad_needed = (
+            self.in_slot != plan.input_slot
+            and self.in_slot not in plan._no_grad_slots
+        )
+
+    def run(self, bufs):
+        x = bufs[self.in_slot]
+        if self.to_layout == "NHWC":
+            np.copyto(bufs[self.out_slot], np.moveaxis(x, 1, 3))
+        else:
+            np.copyto(bufs[self.out_slot], np.moveaxis(x, 3, 1))
+
+    def backward(self, bufs, grads):
+        if not self._input_grad_needed:
+            return
+        gout = grads[self.out_slot]
+        if self.to_layout == "NHWC":
+            grads[self.in_slot] += np.moveaxis(gout, 3, 1)
+        else:
+            grads[self.in_slot] += np.moveaxis(gout, 1, 3)
+
+    def __repr__(self):
+        return "TransposeStep({}->{})".format(self.from_layout, self.to_layout)
 
 
 class OpaqueStep(Step):
@@ -1029,7 +1126,11 @@ class Plan:
         self.num_samples = int(num_samples)
         self.steps = []
         self._shapes = []
+        self._layouts = []
         self._view_slots = set()
+        #: Slots whose gradient nothing ever reads (layout twins of the plan
+        #: input): their producers and consumers skip the input VJP.
+        self._no_grad_slots = set()
         self.bufs = None
         self.input_slot = None
         self.output_slots = ()
@@ -1102,17 +1203,41 @@ class Plan:
     # ------------------------------------------------------------------ #
     # Compile-time API (used by the compiler)
     # ------------------------------------------------------------------ #
-    def new_slot(self, shape, view=False):
-        """Register an activation slot; ``view`` slots are filled by steps."""
+    def new_slot(self, shape, view=False, layout=None):
+        """Register an activation slot; ``view`` slots are filled by steps.
+
+        ``layout`` tags the slot's *physical* axis order; 4-D slots default
+        to ``"NCHW"`` (the logical order), other ranks carry no layout.
+        """
         slot = len(self._shapes)
-        self._shapes.append(tuple(int(d) for d in shape))
+        shape = tuple(int(d) for d in shape)
+        self._shapes.append(shape)
+        if layout is None:
+            layout = "NCHW" if len(shape) == 4 else None
+        self._layouts.append(layout)
         if view:
             self._view_slots.add(slot)
         return slot
 
     def shape(self, slot):
-        """Compile-time shape of ``slot``."""
+        """Compile-time *logical* (NCHW-ordered) shape of ``slot``."""
         return self._shapes[slot]
+
+    def layout(self, slot):
+        """Physical layout tag of ``slot`` (``None`` for non-4-D slots)."""
+        return self._layouts[slot]
+
+    def set_layout(self, slot, layout):
+        """Re-tag ``slot``'s physical layout (layout-assignment pass only)."""
+        self._layouts[slot] = layout
+
+    def physical_shape(self, slot):
+        """Physical buffer shape of ``slot`` (permuted when tagged NHWC)."""
+        shape = self._shapes[slot]
+        if self._layouts[slot] == "NHWC":
+            n, c, h, w = shape
+            return (n, h, w, c)
+        return shape
 
     def add(self, step):
         """Append a step to the execution order."""
@@ -1134,9 +1259,14 @@ class Plan:
         return entry[1]
 
     def _slot_buffers(self, arena_map, arena_blocks, dead):
-        """One buffer per slot, honouring arena sharing and dead slots."""
+        """One buffer per slot, honouring arena sharing and dead slots.
+
+        Buffers take the slot's *physical* shape; arena sharing is by bytes,
+        so NHWC intervals coexist with NCHW ones in the same arena.
+        """
         bufs = []
-        for slot, shape in enumerate(self._shapes):
+        for slot in range(len(self._shapes)):
+            shape = self.physical_shape(slot)
             if slot in self._view_slots or slot in dead:
                 bufs.append(None)
             elif slot in arena_map:
