@@ -28,10 +28,15 @@ THROUGHPUT_RESULTS = (
     "env_step_throughput.json",
     "conv_kernels.json",
     "layout_ir.json",
+    "quantized_inference.json",
 )
 
 #: Benchmark files that carry a ``peak_plan_bytes`` table (lower is better).
 MEMORY_RESULTS = ("plan_optimizer.json",)
+
+#: Benchmark files that carry a per-family ``score_parity`` table: the fresh
+#: quantized mean must stay within the committed run's 2-sigma band.
+SCORE_PARITY_RESULTS = ("quantized_inference.json",)
 
 
 def load_table(path, table):
@@ -59,6 +64,22 @@ def compare_file(name, baseline_dir, results_dir, threshold, table="steps_per_se
         regressed = ratio < 1.0 - threshold if higher_is_better else ratio > 1.0 + threshold
         if regressed:
             yield mode, base_value, fresh_value, ratio
+
+
+def compare_score_parity(name, baseline_dir, results_dir):
+    """Yield families whose fresh quantized score left the committed 2-sigma band."""
+    baseline = load_table(os.path.join(baseline_dir, name), "score_parity")
+    fresh = load_table(os.path.join(results_dir, name), "score_parity")
+    if not baseline or not fresh:
+        return
+    for family, base_row in sorted(baseline.items()):
+        fresh_row = fresh.get(family)
+        if not fresh_row:
+            continue
+        drift = abs(fresh_row["q8_mean"] - base_row["q8_mean"])
+        tolerance = base_row.get("tolerance_2sigma", 0.0)
+        if drift > tolerance:
+            yield family, base_row, fresh_row, drift, tolerance
 
 
 def main(argv=None):
@@ -97,6 +118,20 @@ def main(argv=None):
                 "({pct:.0f}% of baseline, threshold {thr:.0f}%)".format(
                     name=name, mode=mode, fresh=fresh_value, base=base_value,
                     pct=ratio * 100.0, thr=(1.0 + args.threshold) * 100.0,
+                )
+            )
+    for name in SCORE_PARITY_RESULTS:
+        for family, base_row, fresh_row, drift, tolerance in compare_score_parity(
+            name, args.baseline_dir, args.results_dir
+        ):
+            regressions += 1
+            print(
+                "::warning file=benchmarks/results/{name}::"
+                "{name} {family} ({game}): quantized score {fresh:.2f} vs committed "
+                "{base:.2f} (drift {drift:.2f} > 2-sigma {tol:.2f})".format(
+                    name=name, family=family, game=base_row.get("game", "?"),
+                    fresh=fresh_row["q8_mean"], base=base_row["q8_mean"],
+                    drift=drift, tol=tolerance,
                 )
             )
     if regressions == 0:

@@ -1,0 +1,248 @@
+"""Quantized inference: rollout-calibrated int8 vs the autotuned float32 runtime.
+
+Measures what the quantize pass buys end-to-end on the derived
+inverted-residual agent.  Two agents with identical weights are compared:
+
+* ``f32`` — the default autotuned float32 runtime (the PR-6 layout path);
+* ``q8``  — the same runtime with a rollout-harvested
+  :class:`~repro.runtime.QuantCalibration` attached, lowering the eligible
+  conv chains to int8 kernels with f32 boundary quantize/dequantize steps.
+
+Three views are recorded:
+
+* **rollout throughput** (batch 16, the paddle env): interleaved rounds
+  summarised by the median of per-round paired q8/f32 ratios, so load drift
+  on shared hosts cancels;
+* **score parity across the five game families** (paddle / shooter / maze /
+  navigator / duel, one game each): per-episode scores at batch 1 with a
+  per-family batch-1 calibration, asserting the quantized policy's mean
+  score drifts by at most two standard deviations;
+* **plan structure + numerics**: how many convs lowered to int8, how many
+  boundary steps the pass paid, which kernels the autotuner picked per
+  signature, and the worst-case policy/value deviation on a live batch.
+
+The asserted floor (1.25x rollout) sits below the tracked goal so
+shared-runner noise cannot flake CI; the committed JSON carries the real
+margin.
+"""
+
+import statistics
+
+import numpy as np
+
+from repro.drl import evaluate_agent
+from repro.envs import make_vector_env
+from repro.runtime import Calibrator
+from repro.runtime.kernels import selection_table
+from repro.runtime.plan import Conv2dStep, DequantizeStep, QuantizeStep
+
+from conftest import run_once
+from test_runtime_throughput import (
+    FRAME_STACK,
+    GAME,
+    NUM_ENVS,
+    OBS_SIZE,
+    build_agent,
+    collect_rollouts,
+    configure,
+    make_env,
+)
+
+#: In-run floor for the quantized rollout over the autotuned f32 baseline.
+#: The tracked goal is 1.35x; the floor leaves noise margin.
+REQUIRED_ROLLOUT_SPEEDUP = 1.25
+#: Worst acceptable |policy delta| on a live batch (q8 noise, probs in [0,1]).
+PROB_TOLERANCE = 0.1
+
+#: One representative game per arcade engine family.
+FAMILY_GAMES = {
+    "paddle": "Breakout",
+    "shooter": "SpaceInvaders",
+    "maze": "Alien",
+    "navigator": "TimePilot",
+    "duel": "Boxing",
+}
+
+SCORE_EPISODES = 20
+MAX_EPISODE_STEPS = 120
+CALIBRATION_STEPS = 25
+
+OBS_SHAPE = (FRAME_STACK, OBS_SIZE, OBS_SIZE)
+
+
+def _calibrate(agent, game, batch, steps=CALIBRATION_STEPS):
+    """Harvest a q8 calibration for ``batch``-sized inputs from a live rollout."""
+    calibrator = Calibrator(agent, (batch,) + OBS_SHAPE, dtype=np.float32)
+    env = make_vector_env(
+        game, num_envs=batch, obs_size=OBS_SIZE, frame_stack=FRAME_STACK, seed=7
+    )
+    rng = np.random.default_rng(7)
+    observations = env.reset(seed=7)
+    for _ in range(steps):
+        calibrator.observe(observations)
+        actions, _ = agent.act(observations, rng)
+        observations, _, _, _ = env.step(actions)
+    env.close()
+    return calibrator.result("q8")
+
+
+def _build_pair():
+    """Two identically-weighted agents: float32 baseline and quantized."""
+    agents = {"f32": build_agent(), "q8": build_agent()}
+    for agent in agents.values():
+        configure(agent, "runtime_f32")
+    return agents
+
+
+def _measure_rollout(agents, steps, warmup, rounds):
+    """Median rollout steps/sec per mode + paired q8-vs-f32 ratios."""
+    envs = {mode: make_env() for mode in agents}
+    for mode, agent in agents.items():
+        collect_rollouts(agent, envs[mode], warmup)  # compile + autotune
+    rates = {mode: [] for mode in agents}
+    for _ in range(rounds):
+        for mode, agent in agents.items():
+            rates[mode].append(collect_rollouts(agent, envs[mode], steps))
+    for env in envs.values():
+        env.close()
+    summary = {mode: statistics.median(values) for mode, values in rates.items()}
+    summary["paired_q8_vs_f32"] = statistics.median(
+        q8 / f32 for q8, f32 in zip(rates["q8"], rates["f32"])
+    )
+    return summary
+
+
+def _plan_structure(agent):
+    """Quantized/float conv counts and boundary steps of the batched plan."""
+    plan = agent.runtime.engine.plan_for((NUM_ENVS,) + OBS_SHAPE)
+    convs = [s for s in plan.steps if isinstance(s, Conv2dStep)]
+    return {
+        "convs_quantized": sum(1 for s in convs if s.quant is not None),
+        "convs_float": sum(1 for s in convs if s.quant is None),
+        "quantize_steps": sum(1 for s in plan.steps if isinstance(s, QuantizeStep)),
+        "dequantize_steps": sum(1 for s in plan.steps if isinstance(s, DequantizeStep)),
+    }
+
+
+def _episode_scores(agent, game, episodes):
+    """Per-episode scores (each episode gets its own seed and NOOP start)."""
+    return [
+        evaluate_agent(
+            agent,
+            game,
+            episodes=1,
+            seed=seed,
+            env_kwargs={"obs_size": OBS_SIZE, "frame_stack": FRAME_STACK},
+            max_steps_per_episode=MAX_EPISODE_STEPS,
+        )
+        for seed in range(episodes)
+    ]
+
+
+def _score_parity(agents, episodes):
+    """Five-family score comparison with a per-family batch-1 calibration."""
+    rows = {}
+    for family, game in FAMILY_GAMES.items():
+        agents["q8"].runtime_quantize = None  # calibrate on the float path
+        calibration = _calibrate(agents["q8"], game, batch=1)
+        agents["q8"].runtime_quantize = [calibration]
+        f32_scores = _episode_scores(agents["f32"], game, episodes)
+        q8_scores = _episode_scores(agents["q8"], game, episodes)
+        f32_std = statistics.pstdev(f32_scores)
+        q8_std = statistics.pstdev(q8_scores)
+        rows[family] = {
+            "game": game,
+            "episodes": episodes,
+            "f32_mean": statistics.mean(f32_scores),
+            "q8_mean": statistics.mean(q8_scores),
+            "f32_std": f32_std,
+            "q8_std": q8_std,
+            "drift": statistics.mean(q8_scores) - statistics.mean(f32_scores),
+            "tolerance_2sigma": 2.0 * max(f32_std, q8_std),
+        }
+    return rows
+
+
+def measure(steps, warmup, episodes):
+    agents = _build_pair()
+    agents["q8"].runtime_quantize = [_calibrate(agents["q8"], GAME, batch=NUM_ENVS)]
+
+    rollout = _measure_rollout(agents, steps, warmup, rounds=5)
+    structure = _plan_structure(agents["q8"])
+
+    # Worst-case live-batch numerics between the two paths.
+    env = make_env()
+    obs = env.reset(seed=3)
+    env.close()
+    f32_probs, f32_value = agents["f32"].policy_value(obs)
+    q8_probs, q8_value = agents["q8"].policy_value(obs)
+    numeric = {
+        "prob_maxabs_diff": float(np.abs(q8_probs - f32_probs).max()),
+        "value_maxabs_diff": float(np.abs(q8_value - f32_value).max()),
+    }
+
+    kernels = {
+        signature: row["kernel"]
+        for signature, row in sorted(selection_table().items())
+        if "/q8" in signature
+    }
+
+    scores = _score_parity(agents, episodes)
+
+    return {
+        "config": {
+            "game": GAME,
+            "num_envs": NUM_ENVS,
+            "obs_size": OBS_SIZE,
+            "frame_stack": FRAME_STACK,
+            "measured_steps": steps,
+            "calibration_steps": CALIBRATION_STEPS,
+            "score_episodes": episodes,
+            "max_episode_steps": MAX_EPISODE_STEPS,
+            "family_games": dict(FAMILY_GAMES),
+        },
+        "steps_per_sec": {
+            "rollout_f32_autotuned": rollout["f32"],
+            "rollout_q8": rollout["q8"],
+        },
+        "speedup": {"rollout_q8_vs_f32": rollout["paired_q8_vs_f32"]},
+        "plan_structure": structure,
+        "numeric_parity": numeric,
+        "score_parity": scores,
+        "quantized_kernels": kernels,
+    }
+
+
+def test_quantized_inference(benchmark, profile, save_result):
+    steps = max(20, profile.train_steps // 8)
+    episodes = max(SCORE_EPISODES, profile.eval_episodes)
+    payload = run_once(benchmark, measure, steps=steps, warmup=5, episodes=episodes)
+    save_result("quantized_inference", payload)
+
+    structure = payload["plan_structure"]
+    assert structure["convs_quantized"] > 0, "quantize pass lowered nothing"
+    # Boundary steps must stay rare: int8 chains through consecutive convs,
+    # not one quantize/dequantize pair per conv.
+    assert (
+        structure["quantize_steps"] + structure["dequantize_steps"]
+        <= structure["convs_quantized"] // 4 + 4
+    ), structure
+
+    assert payload["numeric_parity"]["prob_maxabs_diff"] <= PROB_TOLERANCE
+
+    speedup = payload["speedup"]["rollout_q8_vs_f32"]
+    assert speedup >= REQUIRED_ROLLOUT_SPEEDUP, (
+        "quantized rollout only {:.2f}x the autotuned f32 baseline "
+        "(required {:.2f}x): {}".format(
+            speedup, REQUIRED_ROLLOUT_SPEEDUP, payload["steps_per_sec"]
+        )
+    )
+
+    for family, row in payload["score_parity"].items():
+        drift = abs(row["drift"])
+        assert drift <= row["tolerance_2sigma"] or drift == 0.0, (
+            "{} ({}) quantized score drifted {:.2f} "
+            "(2-sigma tolerance {:.2f}): {}".format(
+                family, row["game"], drift, row["tolerance_2sigma"], row
+            )
+        )

@@ -66,15 +66,26 @@ class ActorCriticAgent(Module):
         self.value_head = Linear(self.feature_dim, 1, rng=rng, init_scheme="orthogonal")
         self.use_runtime = bool(use_runtime)
         self.runtime_dtype = runtime_dtype if runtime_dtype is not None else np.float64
+        #: Optional :class:`~repro.runtime.quantize.QuantCalibration` (or an
+        #: iterable of them) enabling the quantized inference path on the
+        #: lazily-built runtime; assign and the next ``runtime`` access
+        #: rebuilds the policy with it.
+        self.runtime_quantize = None
         self._runtime = None
 
     @property
     def runtime(self):
         """The lazily-built tape-free :class:`~repro.runtime.RuntimePolicy`."""
-        if self._runtime is None or self._runtime.dtype != np.dtype(self.runtime_dtype):
+        if (
+            self._runtime is None
+            or self._runtime.dtype != np.dtype(self.runtime_dtype)
+            or self._runtime.quantize is not self.runtime_quantize
+        ):
             from ..runtime import RuntimePolicy
 
-            self._runtime = RuntimePolicy(self, dtype=self.runtime_dtype)
+            self._runtime = RuntimePolicy(
+                self, dtype=self.runtime_dtype, quantize=self.runtime_quantize
+            )
         return self._runtime
 
     # ------------------------------------------------------------------ #

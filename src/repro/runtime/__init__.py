@@ -40,12 +40,21 @@ depthwise, lane-blocked im2col, the general im2col+GEMM fallback) are
 selected per op signature by a registry with a ``REPRO_KERNELS`` override
 and a per-signature autotuner; :func:`cache_stats` reports the chosen
 kernel (and candidate timings) for every signature the process compiled.
+
+The quantized inference path rides the same machinery:
+:class:`~repro.runtime.quantize.Calibrator` harvests activation ranges from
+a short rollout, and passing the resulting
+:class:`~repro.runtime.quantize.QuantCalibration` to an engine (or
+``compile_plan(quantize=...)``) lowers eligible convolutions to int8/int16
+kernels with a fused requantization tail — eval-only, score-parity gated,
+and bitwise-reproducible across kernel candidates.
 """
 
 from .compiler import CompileError, compile_plan, register_expander, supported_module_types
 from .engine import InferenceEngine, RuntimePolicy
 from .passes import PASS_NAMES, enabled_passes
 from .plan import BufferPool, Plan
+from .quantize import Calibrator, QuantCalibration
 from .train import CompiledTrainStep, TrainStepResult
 
 __all__ = [
@@ -59,6 +68,8 @@ __all__ = [
     "RuntimePolicy",
     "CompiledTrainStep",
     "TrainStepResult",
+    "Calibrator",
+    "QuantCalibration",
     "PASS_NAMES",
     "enabled_passes",
     "cache_stats",

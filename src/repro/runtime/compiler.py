@@ -466,7 +466,7 @@ def _register_network_expanders():
 
 def compile_plan(module, input_shape, dtype=np.float64, path=None, train=False, gated_paths=None,
                  pool=None, passes=None, num_samples=1, gate_weights=None, gate_topk=None,
-                 gate_threshold=None):
+                 gate_threshold=None, quantize=None):
     """Compile ``module`` for a concrete ``input_shape`` into a ready :class:`Plan`.
 
     Parameters
@@ -507,6 +507,13 @@ def compile_plan(module, input_shape, dtype=np.float64, path=None, train=False, 
         Compile-time gate weights (aligned with ``gated_paths``) and pruning
         limits for the gate-aware dead-branch-elimination pass.  The plan's
         final per-cell layout is ``plan.gate_layout``.
+    quantize:
+        A :class:`~repro.runtime.quantize.QuantCalibration` (or an iterable
+        of them) enabling the ``quantize`` pass for inference plans.  The
+        first calibration matching this compile's ``(input_shape, path,
+        dtype)`` signature is used; no match (or a training compile) leaves
+        the plan float.  The pass itself must also be enabled via
+        ``passes`` / ``REPRO_RUNTIME_PASSES`` (it is, by default).
 
     Returns
     -------
@@ -548,6 +555,17 @@ def compile_plan(module, input_shape, dtype=np.float64, path=None, train=False, 
     protected = {input_slot}
     protected.update(outputs)
     protected.update(plan.named_slots.values())
+    calibration = None
+    if quantize is not None and not train:
+        from .quantize import QuantCalibration
+
+        candidates = (
+            (quantize,) if isinstance(quantize, QuantCalibration) else tuple(quantize)
+        )
+        for cand in candidates:
+            if cand.matches(input_shape, path, dtype):
+                calibration = cand
+                break
     run_passes(
         plan,
         PassContext(
@@ -556,6 +574,7 @@ def compile_plan(module, input_shape, dtype=np.float64, path=None, train=False, 
             gate_weights=gate_weights,
             gate_topk=gate_topk,
             gate_threshold=gate_threshold,
+            quantize=calibration,
         ),
         enabled=enabled,
     )

@@ -44,12 +44,18 @@ class InferenceEngine:
         Number of compiled ``(path, shape)`` signatures kept in the LRU
         cache.  Rollout collection alternates over a handful of signatures;
         supernet co-search churns through sampled paths, hence the bound.
+    quantize:
+        Optional :class:`~repro.runtime.quantize.QuantCalibration` (or an
+        iterable of them, e.g. one per batch size) forwarded to every
+        compile: signatures with a matching calibration run the quantized
+        inference path, everything else stays float.
     """
 
-    def __init__(self, module, dtype=np.float64, max_plans=32):
+    def __init__(self, module, dtype=np.float64, max_plans=32, quantize=None):
         self.module = module
         self.dtype = np.dtype(dtype)
         self.max_plans = int(max_plans)
+        self.quantize = quantize
         self._plans = OrderedDict()
         #: Evicted plans hand their buffers back here, so the per-sampled-path
         #: recompiles of co-search rollouts reuse warm pages.
@@ -66,7 +72,7 @@ class InferenceEngine:
         if plan is None:
             self.cache_misses += 1
             plan = compile_plan(self.module, key[0], dtype=self.dtype, path=key[1],
-                                pool=self.pool)
+                                pool=self.pool, quantize=self.quantize)
             self._plans[key] = plan
             while len(self._plans) > self.max_plans:
                 _, evicted = self._plans.popitem(last=False)
@@ -126,13 +132,19 @@ class RuntimePolicy:
     callers can fall back to the eager engine.
     """
 
-    def __init__(self, agent, dtype=np.float64, max_plans=32):
+    def __init__(self, agent, dtype=np.float64, max_plans=32, quantize=None):
         self.agent = agent
-        self.engine = InferenceEngine(agent, dtype=dtype, max_plans=max_plans)
+        self.engine = InferenceEngine(
+            agent, dtype=dtype, max_plans=max_plans, quantize=quantize
+        )
 
     @property
     def dtype(self):
         return self.engine.dtype
+
+    @property
+    def quantize(self):
+        return self.engine.quantize
 
     def policy_value(self, observations, op_indices=None, **unsupported):
         """Mirror ``ActorCriticAgent.policy_value`` on the runtime engine.

@@ -17,7 +17,13 @@ Registered kernels (import order puts the general fallback last):
   flat GEMM over the trailing channel axis (forward + VJPs);
 * ``im2col`` — the original whole-batch im2col + batched GEMM, supporting
   every NCHW signature in both directions (the total fallback for that
-  layout).
+  layout);
+* ``depthwise_native_q8/q16``, ``depthwise_direct_q8/q16``,
+  ``depthwise_einsum_q8/q16``, ``pointwise_q8/q16`` — the quantized
+  inference kernels (:mod:`~repro.runtime.kernels.quantized`): integer
+  activations, wide accumulation, fused per-channel requant tail.  They
+  serve only signatures whose ``quant`` field is set, so the float paths
+  are untouched.
 
 Signatures carry a physical activation layout (``NCHW`` / ``NHWC``); the
 layout-assignment pass in :mod:`repro.runtime.passes` uses per-layout
@@ -31,8 +37,10 @@ applied to the NumPy runtime.
 
 from . import depthwise as _depthwise  # noqa: F401  (registers depthwise_direct)
 from . import conv as _conv  # noqa: F401  (registers im2col_block, pointwise_nhwc, im2col)
+from . import quantized as _quantized  # noqa: F401  (registers the q8/q16 kernels)
 from .autotune import clear_cache as clear_autotune_cache
 from .autotune import transpose_seconds
+from .quantized import RequantEpilogue
 from .registry import (
     ENV_VAR,
     LAYOUTS,
@@ -54,6 +62,7 @@ from .registry import (
 __all__ = [
     "ConvSpec",
     "ConvKernel",
+    "RequantEpilogue",
     "ENV_VAR",
     "LAYOUTS",
     "register_kernel",

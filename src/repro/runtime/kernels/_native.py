@@ -1,0 +1,408 @@
+"""Tiny compiled helpers for the quantized depthwise kernels.
+
+NumPy has no fused integer multiply-accumulate: an ``int8`` einsum runs
+through the generic scalar inner loop, slower than the f32 path it is meant
+to replace.  The quantized depthwise convolution therefore ships a ~60-line
+C kernel compiled on demand with the system C compiler (no new dependency —
+the toolchain that built CPython is already on the host) and loaded through
+:mod:`ctypes`.  The int8 variant accumulates in ``int32`` with a fused
+per-channel requantization tail; the int16 variant accumulates in ``int64``
+and requantizes in ``double``.
+
+Exactness contract: the C kernels must be *bitwise identical* to the pure
+NumPy fallbacks in :mod:`repro.runtime.kernels.quantized`.  Both sides
+compute the same integer accumulation exactly (the fallbacks upcast to
+float, where every product and partial sum stays below 2**24 / 2**53, so
+the float arithmetic is exact integer arithmetic), and the requant tail
+uses the same rounding sequence: one multiply round, one add round per
+term, round-half-even to integer.  The build pins ``-ffp-contract=off`` so
+the compiler cannot fuse the multiply/add into an FMA, and ``rintf`` /
+``rint`` match ``np.rint`` under the default rounding mode.
+
+The shared object is cached inside the package (``_ccache/``, keyed by a
+hash of the source and flags, ignored by git).  Builds are atomic
+(tempfile + rename) so concurrent processes race benignly.  Any failure —
+no compiler, sandboxed filesystem, exotic cc — degrades silently:
+``available()`` returns ``False`` and the NumPy fallbacks serve the plan
+with identical numerics.  ``REPRO_NATIVE=0`` disables the path outright.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+
+__all__ = ["available", "dw_conv_q8", "dw_conv_q16", "requant_q8", "requant_q16"]
+
+ENV_VAR = "REPRO_NATIVE"
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+#include <string.h>
+
+/* Depthwise NHWC convolution with implicit zero padding, int32 accumulate,
+ * fused per-channel requantization (scale, bias, optional residual, clip,
+ * round-half-even, narrow).  `acc` is caller scratch of ow*c int32.
+ * Bounds are clipped per (row, tap) so the channel loop stays branch-free
+ * and vectorisable. */
+void dw_conv_q8(const int8_t *restrict x, const int8_t *restrict w,
+                const float *restrict scale, const float *restrict bias,
+                const int8_t *restrict res, float res_scale,
+                int8_t *restrict out, int32_t *restrict acc,
+                int n, int h, int wd, int c, int k, int s, int p,
+                int oh, int ow, float lo, float hi)
+{
+    const long in_row = (long)wd * c;
+    const long out_img = (long)oh * ow * c;
+    for (int b = 0; b < n; ++b) {
+        const int8_t *xb = x + (long)b * h * in_row;
+        int8_t *ob = out + (long)b * out_img;
+        const int8_t *rb = res ? res + (long)b * out_img : 0;
+        for (int y = 0; y < oh; ++y) {
+            memset(acc, 0, (size_t)ow * c * sizeof(int32_t));
+            for (int i = 0; i < k; ++i) {
+                int yi = y * s + i - p;
+                if (yi < 0 || yi >= h) continue;
+                const int8_t *xrow = xb + (long)yi * in_row;
+                for (int j = 0; j < k; ++j) {
+                    int xo_lo = 0, xo_hi = ow;
+                    if (j - p < 0) xo_lo = (p - j + s - 1) / s;
+                    if (s * (ow - 1) + j - p >= wd) xo_hi = (wd - 1 - j + p) / s + 1;
+                    const int8_t *wp = w + ((long)i * k + j) * c;
+                    for (int xo = xo_lo; xo < xo_hi; ++xo) {
+                        const int8_t *xp = xrow + (long)(xo * s + j - p) * c;
+                        int32_t *ap = acc + (long)xo * c;
+                        #pragma omp simd
+                        for (int ch = 0; ch < c; ++ch)
+                            ap[ch] += (int32_t)xp[ch] * (int32_t)wp[ch];
+                    }
+                }
+            }
+            int8_t *op = ob + (long)y * ow * c;
+            const int8_t *rp = rb ? rb + (long)y * ow * c : 0;
+            for (int xo = 0; xo < ow; ++xo) {
+                const int32_t *ap = acc + (long)xo * c;
+                int8_t *o = op + (long)xo * c;
+                if (rp) {
+                    const int8_t *r = rp + (long)xo * c;
+                    #pragma omp simd
+                    for (int ch = 0; ch < c; ++ch) {
+                        float v = (float)ap[ch] * scale[ch];
+                        v = v + bias[ch];
+                        float t = (float)r[ch] * res_scale;
+                        v = v + t;
+                        v = v < lo ? lo : (v > hi ? hi : v);
+                        o[ch] = (int8_t)rintf(v);
+                    }
+                } else {
+                    #pragma omp simd
+                    for (int ch = 0; ch < c; ++ch) {
+                        float v = (float)ap[ch] * scale[ch];
+                        v = v + bias[ch];
+                        v = v < lo ? lo : (v > hi ? hi : v);
+                        o[ch] = (int8_t)rintf(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/* int16 twin: int64 accumulate, double requant. */
+void dw_conv_q16(const int16_t *restrict x, const int16_t *restrict w,
+                 const double *restrict scale, const double *restrict bias,
+                 const int16_t *restrict res, double res_scale,
+                 int16_t *restrict out, int64_t *restrict acc,
+                 int n, int h, int wd, int c, int k, int s, int p,
+                 int oh, int ow, double lo, double hi)
+{
+    const long in_row = (long)wd * c;
+    const long out_img = (long)oh * ow * c;
+    for (int b = 0; b < n; ++b) {
+        const int16_t *xb = x + (long)b * h * in_row;
+        int16_t *ob = out + (long)b * out_img;
+        const int16_t *rb = res ? res + (long)b * out_img : 0;
+        for (int y = 0; y < oh; ++y) {
+            memset(acc, 0, (size_t)ow * c * sizeof(int64_t));
+            for (int i = 0; i < k; ++i) {
+                int yi = y * s + i - p;
+                if (yi < 0 || yi >= h) continue;
+                const int16_t *xrow = xb + (long)yi * in_row;
+                for (int j = 0; j < k; ++j) {
+                    int xo_lo = 0, xo_hi = ow;
+                    if (j - p < 0) xo_lo = (p - j + s - 1) / s;
+                    if (s * (ow - 1) + j - p >= wd) xo_hi = (wd - 1 - j + p) / s + 1;
+                    const int16_t *wp = w + ((long)i * k + j) * c;
+                    for (int xo = xo_lo; xo < xo_hi; ++xo) {
+                        const int16_t *xp = xrow + (long)(xo * s + j - p) * c;
+                        int64_t *ap = acc + (long)xo * c;
+                        #pragma omp simd
+                        for (int ch = 0; ch < c; ++ch)
+                            ap[ch] += (int64_t)xp[ch] * (int64_t)wp[ch];
+                    }
+                }
+            }
+            int16_t *op = ob + (long)y * ow * c;
+            const int16_t *rp = rb ? rb + (long)y * ow * c : 0;
+            for (int xo = 0; xo < ow; ++xo) {
+                const int64_t *ap = acc + (long)xo * c;
+                int16_t *o = op + (long)xo * c;
+                if (rp) {
+                    const int16_t *r = rp + (long)xo * c;
+                    #pragma omp simd
+                    for (int ch = 0; ch < c; ++ch) {
+                        double v = (double)ap[ch] * scale[ch];
+                        v = v + bias[ch];
+                        double t = (double)r[ch] * res_scale;
+                        v = v + t;
+                        v = v < lo ? lo : (v > hi ? hi : v);
+                        o[ch] = (int16_t)rint(v);
+                    }
+                } else {
+                    #pragma omp simd
+                    for (int ch = 0; ch < c; ++ch) {
+                        double v = (double)ap[ch] * scale[ch];
+                        v = v + bias[ch];
+                        v = v < lo ? lo : (v > hi ? hi : v);
+                        o[ch] = (int16_t)rint(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/* Standalone requant tail for the float-accumulate fallback kernels: one
+ * fused pass over a flat (rows, channels) accumulator instead of NumPy's
+ * five (scale, bias, clip, round, narrow).  `acc` holds exact integer
+ * values in float, so the sequence below is bitwise identical to the NumPy
+ * epilogue (same per-op rounding, -ffp-contract=off). */
+void requant_q8(const float *restrict acc, const float *restrict scale,
+                const float *restrict bias, const int8_t *restrict res,
+                float res_scale, int8_t *restrict out,
+                long rows, int c, float lo, float hi)
+{
+    for (long m = 0; m < rows; ++m) {
+        const float *ap = acc + m * c;
+        int8_t *o = out + m * c;
+        if (res) {
+            const int8_t *r = res + m * c;
+            #pragma omp simd
+            for (int ch = 0; ch < c; ++ch) {
+                float v = ap[ch] * scale[ch];
+                v = v + bias[ch];
+                float t = (float)r[ch] * res_scale;
+                v = v + t;
+                v = v < lo ? lo : (v > hi ? hi : v);
+                o[ch] = (int8_t)rintf(v);
+            }
+        } else {
+            #pragma omp simd
+            for (int ch = 0; ch < c; ++ch) {
+                float v = ap[ch] * scale[ch];
+                v = v + bias[ch];
+                v = v < lo ? lo : (v > hi ? hi : v);
+                o[ch] = (int8_t)rintf(v);
+            }
+        }
+    }
+}
+
+/* int16 twin: double accumulator/requant. */
+void requant_q16(const double *restrict acc, const double *restrict scale,
+                 const double *restrict bias, const int16_t *restrict res,
+                 double res_scale, int16_t *restrict out,
+                 long rows, int c, double lo, double hi)
+{
+    for (long m = 0; m < rows; ++m) {
+        const double *ap = acc + m * c;
+        int16_t *o = out + m * c;
+        if (res) {
+            const int16_t *r = res + m * c;
+            #pragma omp simd
+            for (int ch = 0; ch < c; ++ch) {
+                double v = ap[ch] * scale[ch];
+                v = v + bias[ch];
+                double t = (double)r[ch] * res_scale;
+                v = v + t;
+                v = v < lo ? lo : (v > hi ? hi : v);
+                o[ch] = (int16_t)rint(v);
+            }
+        } else {
+            #pragma omp simd
+            for (int ch = 0; ch < c; ++ch) {
+                double v = ap[ch] * scale[ch];
+                v = v + bias[ch];
+                v = v < lo ? lo : (v > hi ? hi : v);
+                o[ch] = (int16_t)rint(v);
+            }
+        }
+    }
+}
+"""
+
+#: ``-ffp-contract=off`` is load-bearing: a fused multiply-add in the requant
+#: tail would round differently from the NumPy fallbacks and break the
+#: bitwise C-vs-NumPy contract.
+_CFLAGS = (
+    "-O3", "-march=native", "-fopenmp-simd", "-fno-math-errno",
+    "-ffp-contract=off", "-shared", "-fPIC",
+)
+
+_lib = None
+_load_attempted = False
+
+
+def _cache_path():
+    tag = hashlib.sha256(
+        (_SOURCE + "\x00" + " ".join(_CFLAGS)).encode()
+    ).hexdigest()[:16]
+    return os.path.join(os.path.dirname(__file__), "_ccache", "dwq_{}.so".format(tag))
+
+
+def _build(so_path):
+    cache_dir = os.path.dirname(so_path)
+    os.makedirs(cache_dir, exist_ok=True)
+    fd, tmp_c = tempfile.mkstemp(suffix=".c", dir=cache_dir)
+    tmp_so = tmp_c[:-2] + ".so"
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(_SOURCE)
+        subprocess.run(
+            ["cc", *_CFLAGS, tmp_c, "-o", tmp_so],
+            check=True, capture_output=True, timeout=120,
+        )
+        os.replace(tmp_so, so_path)  # atomic: concurrent builders race benignly
+    finally:
+        for path in (tmp_c, tmp_so):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
+def _bind(lib):
+    i8p = ctypes.POINTER(ctypes.c_int8)
+    i16p = ctypes.POINTER(ctypes.c_int16)
+    f32p = ctypes.POINTER(ctypes.c_float)
+    f64p = ctypes.POINTER(ctypes.c_double)
+    i32p = ctypes.POINTER(ctypes.c_int32)
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    ints = [ctypes.c_int] * 9
+    lib.dw_conv_q8.restype = None
+    lib.dw_conv_q8.argtypes = [
+        i8p, i8p, f32p, f32p, i8p, ctypes.c_float, i8p, i32p,
+        *ints, ctypes.c_float, ctypes.c_float,
+    ]
+    lib.dw_conv_q16.restype = None
+    lib.dw_conv_q16.argtypes = [
+        i16p, i16p, f64p, f64p, i16p, ctypes.c_double, i16p, i64p,
+        *ints, ctypes.c_double, ctypes.c_double,
+    ]
+    lib.requant_q8.restype = None
+    lib.requant_q8.argtypes = [
+        f32p, f32p, f32p, i8p, ctypes.c_float, i8p,
+        ctypes.c_long, ctypes.c_int, ctypes.c_float, ctypes.c_float,
+    ]
+    lib.requant_q16.restype = None
+    lib.requant_q16.argtypes = [
+        f64p, f64p, f64p, i16p, ctypes.c_double, i16p,
+        ctypes.c_long, ctypes.c_int, ctypes.c_double, ctypes.c_double,
+    ]
+
+
+def _load():
+    """The loaded library, building it on first use (``None`` on any failure)."""
+    global _lib, _load_attempted
+    if _load_attempted:
+        return _lib
+    _load_attempted = True
+    if os.environ.get(ENV_VAR, "1").strip() == "0":
+        return None
+    try:
+        so_path = _cache_path()
+        if not os.path.exists(so_path):
+            _build(so_path)
+        lib = ctypes.CDLL(so_path)
+        _bind(lib)
+        _lib = lib
+    except Exception:
+        _lib = None
+    return _lib
+
+
+def available():
+    """Whether the compiled depthwise quant kernels can be used."""
+    return _load() is not None
+
+
+def _ptr(arr, ctype):
+    return arr.ctypes.data_as(ctypes.POINTER(ctype))
+
+
+def dw_conv_q8(x, w_taps, scale, bias, res, res_scale, out, acc,
+               k, stride, padding, lo, hi):
+    """int8 NHWC depthwise conv + fused requant (see the C source).
+
+    ``x``/``out``/``res`` are contiguous NHWC int8; ``w_taps`` is the
+    tap-major ``(k*k, C)`` int8 weight; ``acc`` is ``ow*C`` int32 scratch.
+    """
+    n, h, wd, c = x.shape
+    oh, ow = out.shape[1], out.shape[2]
+    _lib.dw_conv_q8(
+        _ptr(x, ctypes.c_int8), _ptr(w_taps, ctypes.c_int8),
+        _ptr(scale, ctypes.c_float), _ptr(bias, ctypes.c_float),
+        _ptr(res, ctypes.c_int8) if res is not None else None,
+        ctypes.c_float(res_scale),
+        _ptr(out, ctypes.c_int8), _ptr(acc, ctypes.c_int32),
+        n, h, wd, c, k, stride, padding, oh, ow,
+        ctypes.c_float(lo), ctypes.c_float(hi),
+    )
+
+
+def dw_conv_q16(x, w_taps, scale, bias, res, res_scale, out, acc,
+                k, stride, padding, lo, hi):
+    """int16 twin of :func:`dw_conv_q8` (int64 accumulate, double requant)."""
+    n, h, wd, c = x.shape
+    oh, ow = out.shape[1], out.shape[2]
+    _lib.dw_conv_q16(
+        _ptr(x, ctypes.c_int16), _ptr(w_taps, ctypes.c_int16),
+        _ptr(scale, ctypes.c_double), _ptr(bias, ctypes.c_double),
+        _ptr(res, ctypes.c_int16) if res is not None else None,
+        ctypes.c_double(res_scale),
+        _ptr(out, ctypes.c_int16), _ptr(acc, ctypes.c_int64),
+        n, h, wd, c, k, stride, padding, oh, ow,
+        ctypes.c_double(lo), ctypes.c_double(hi),
+    )
+
+
+def requant_q8(acc, scale, bias, res, res_scale, out, lo, hi):
+    """Fused requant pass over a contiguous float32 accumulator.
+
+    ``acc``/``out``/``res`` are C-contiguous with ``channels`` innermost and
+    the same leading extent; any leading shape is treated as flat rows.
+    """
+    c = acc.shape[-1]
+    _lib.requant_q8(
+        _ptr(acc, ctypes.c_float), _ptr(scale, ctypes.c_float),
+        _ptr(bias, ctypes.c_float),
+        _ptr(res, ctypes.c_int8) if res is not None else None,
+        ctypes.c_float(res_scale), _ptr(out, ctypes.c_int8),
+        acc.size // c, c, ctypes.c_float(lo), ctypes.c_float(hi),
+    )
+
+
+def requant_q16(acc, scale, bias, res, res_scale, out, lo, hi):
+    """int16 twin of :func:`requant_q8` (double accumulator)."""
+    c = acc.shape[-1]
+    _lib.requant_q16(
+        _ptr(acc, ctypes.c_double), _ptr(scale, ctypes.c_double),
+        _ptr(bias, ctypes.c_double),
+        _ptr(res, ctypes.c_int16) if res is not None else None,
+        ctypes.c_double(res_scale), _ptr(out, ctypes.c_int16),
+        acc.size // c, c, ctypes.c_double(lo), ctypes.c_double(hi),
+    )

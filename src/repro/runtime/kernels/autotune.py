@@ -121,18 +121,27 @@ def _entry(spec):
 
 def _time_kernels(spec, cands):
     """Best-of forward seconds per candidate on standalone buffers."""
-    dtype = np.dtype(spec.dtype)
-    x = np.zeros(spec.in_shape, dtype=dtype)
+    act_dtype = spec.act_dtype
+    x = np.zeros(spec.in_shape, dtype=act_dtype)
     weight = np.zeros(
         (spec.out_channels, spec.in_channels // spec.groups, spec.kernel, spec.kernel),
-        dtype=dtype,
+        dtype=act_dtype,
     )
-    out = np.empty(spec.out_shape, dtype=dtype)
+    out = np.empty(spec.out_shape, dtype=act_dtype)
+    if spec.quant:
+        # Quantized kernels fuse a real per-channel requant tail (the C
+        # kernels read the scale/bias arrays directly), so time them against
+        # one rather than the no-op float epilogue.
+        from .quantized import RequantEpilogue
+
+        epilogue = RequantEpilogue(spec.out_channels, spec.acc_dtype, spec.qmax)
+    else:
+        epilogue = NULL_EPILOGUE
     timings = {}
     for cls in cands:
         bound = cls(spec, _BenchArena(spec))
         timings[cls.name] = _best_of(
-            lambda: bound.forward(x, weight, out, NULL_EPILOGUE)
+            lambda: bound.forward(x, weight, out, epilogue)
         )
     return timings
 

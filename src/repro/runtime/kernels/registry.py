@@ -96,6 +96,7 @@ class ConvSpec(NamedTuple):
     dtype: str      # numpy dtype name, e.g. "float32"
     direction: str  # "infer" (forward only) or "train" (forward + VJPs)
     layout: str = "NCHW"  # physical activation layout ("NCHW" or "NHWC")
+    quant: str = ""  # quantization mode: "" (float), "q8" (int8) or "q16" (int16)
 
     # Derived geometry ---------------------------------------------------- #
     @property
@@ -109,6 +110,31 @@ class ConvSpec(NamedTuple):
     @property
     def itemsize(self):
         return np.dtype(self.dtype).itemsize
+
+    @property
+    def act_dtype(self):
+        """Physical dtype of the activation buffers under this spec."""
+        if self.quant == "q8":
+            return np.dtype(np.int8)
+        if self.quant == "q16":
+            return np.dtype(np.int16)
+        return np.dtype(self.dtype)
+
+    @property
+    def acc_dtype(self):
+        """Float dtype whose arithmetic is exact for this quant mode.
+
+        Quantized products and sums stay below 2**24 (q8) / 2**53 (q16), so
+        float32 / float64 accumulation computes the exact integer result in
+        any summation order — the NumPy fallback kernels lean on this to
+        match the C kernels bitwise.
+        """
+        return np.dtype(np.float32 if self.quant == "q8" else np.float64)
+
+    @property
+    def qmax(self):
+        """Symmetric integer clip bound of the quant mode (127 / 32767)."""
+        return 127 if self.quant == "q8" else 32767
 
     @property
     def train(self):
@@ -150,7 +176,7 @@ class ConvSpec(NamedTuple):
 
     def describe(self):
         """Compact human-readable signature key for stats tables."""
-        return (
+        base = (
             "{op}:n{n}c{c}->{o}@{h}x{w}/k{k}s{s}p{p}g{g}/{dt}/{dir}/{lay}".format(
                 op=self.op_class, n=self.batch, c=self.in_channels,
                 o=self.out_channels, h=self.height, w=self.width, k=self.kernel,
@@ -158,6 +184,9 @@ class ConvSpec(NamedTuple):
                 dir=self.direction, lay=self.layout.lower(),
             )
         )
+        if self.quant:
+            base += "/" + self.quant
+        return base
 
 
 class ConvKernel:
@@ -181,6 +210,10 @@ class ConvKernel:
     name = None
     #: Whether the kernel implements the reverse-mode VJPs.
     trains = False
+    #: Quantization mode the kernel serves ("" = float).  Dispatch only
+    #: considers kernels whose mode matches the spec's ``quant`` field, so
+    #: float kernels never see int8 buffers and vice versa.
+    quant = ""
 
     @classmethod
     def supports(cls, spec):
@@ -255,7 +288,9 @@ def candidates(spec):
     return [
         cls
         for cls in KERNELS
-        if (not spec.train or cls.trains) and cls.supports(spec)
+        if cls.quant == spec.quant
+        and (not spec.train or cls.trains)
+        and cls.supports(spec)
     ]
 
 
@@ -308,6 +343,15 @@ def _heuristic(spec, cands):
     the general GEMM path.
     """
     by_name = {cls.name: cls for cls in cands}
+    if spec.quant:
+        # Quantized signatures: the compiled depthwise kernel when the host
+        # could build it, the einsum upcast otherwise; pointwise has a single
+        # candidate per mode.
+        for name in ("depthwise_native_" + spec.quant,
+                     "depthwise_einsum_" + spec.quant):
+            if name in by_name:
+                return by_name[name]
+        return cands[-1]
     if spec.depthwise:
         if "depthwise_direct" in by_name and (
             spec.in_channels >= 64 and spec.out_height * spec.out_width <= 64

@@ -47,6 +47,18 @@ deep-learning-compiler pipeline, specialised to the runtime's flat slot IR:
     under ``REPRO_KERNELS=heuristic`` the assignment falls back to static
     rules (deterministic, no timing).
 
+``quantize``
+    Opt-in int8/int16 lowering for inference plans (requires a
+    :class:`~repro.runtime.quantize.QuantCalibration` in the pass context):
+    eligible NHWC depthwise / pointwise convolutions are converted to
+    integer arithmetic with per-tensor activation scales from calibration,
+    and explicit :class:`~repro.runtime.plan.QuantizeStep` /
+    :class:`~repro.runtime.plan.DequantizeStep` boundary steps bracket the
+    quantized regions the way transpose steps bracket NHWC regions.  Heads,
+    the dense stem and anything without a quantized kernel stay float; when
+    the calibration does not match the compiled plan (slot drift across
+    processes) the pass declines to fire rather than apply wrong scales.
+
 ``alias_slots``
     Slot-liveness buffer aliasing: a last-use analysis over the forward
     program (and over the reverse program for training plans) assigns
@@ -81,12 +93,15 @@ from .plan import (
     AddStep,
     BatchNormStep,
     Conv2dStep,
+    DequantizeStep,
     FlattenStep,
     GateCombineStep,
     GlobalAvgPoolStep,
     LinearStep,
     OpaqueStep,
     Pool2dStep,
+    QuantInfo,
+    QuantizeStep,
     ReshapeStep,
     SoftmaxStep,
     StoragePlan,
@@ -106,9 +121,13 @@ __all__ = [
 
 #: Pipeline order matters: branch pruning first (smaller graph for everything
 #: after), then structural fusion, then weight folding, then layout
-#: assignment (which may insert transpose steps), then the liveness analysis
-#: over the final step list.
-PASS_NAMES = ("dead_branch", "fuse_epilogue", "fold_bn", "layout", "alias_slots")
+#: assignment (which may insert transpose steps), then quantization (whose
+#: slot-identity contract with calibration depends on all earlier passes
+#: having run identically), then the liveness analysis over the final step
+#: list.
+PASS_NAMES = (
+    "dead_branch", "fuse_epilogue", "fold_bn", "layout", "quantize", "alias_slots"
+)
 
 ENV_VAR = "REPRO_RUNTIME_PASSES"
 
@@ -130,6 +149,8 @@ _KNOWN_STEPS = frozenset(
         LinearStep,
         OpaqueStep,
         Pool2dStep,
+        QuantizeStep,
+        DequantizeStep,
         ReshapeStep,
         SoftmaxStep,
         TileStep,
@@ -177,6 +198,7 @@ class PassContext:
         gate_weights=None,
         gate_topk=None,
         gate_threshold=None,
+        quantize=None,
     ):
         #: Slots with externally visible contents (plan input/outputs, named
         #: slots): never re-routed, never storage-shared, never dead.
@@ -189,6 +211,9 @@ class PassContext:
         self.gate_weights = gate_weights
         self.gate_topk = gate_topk
         self.gate_threshold = gate_threshold
+        #: :class:`~repro.runtime.quantize.QuantCalibration` matching this
+        #: compile, or ``None``; enables the ``quantize`` pass.
+        self.quantize = quantize
 
 
 # --------------------------------------------------------------------------- #
@@ -733,6 +758,132 @@ def assign_layouts(plan, ctx):
 
 
 # --------------------------------------------------------------------------- #
+# quantize: calibrated int8/int16 lowering of eligible convolutions
+# --------------------------------------------------------------------------- #
+def quantize_plan(plan, ctx):
+    """Convert eligible convs to integer arithmetic (inference, opt-in).
+
+    Runs only when the pass context carries a
+    :class:`~repro.runtime.quantize.QuantCalibration` whose slot identity
+    matches this plan (the calibration was taken on a plan compiled with the
+    same passes minus ``quantize``, so slot indices line up; any drift makes
+    the pass decline entirely — quantization is an optimisation, never a
+    correctness requirement).
+
+    A conv is eligible when it is NHWC depthwise or pointwise, inference
+    direction, its activation quantizes losslessly into the requant clip
+    (``None`` / ``relu``), its BN (if any) is folded into the weights, its
+    output slot is unprotected and single-writer, a registered kernel serves
+    the quantized signature, and calibration observed all its slots with the
+    right channel counts.  The walk then threads integer data through
+    eligible chains: a quantized conv reading a float slot gets a
+    :class:`~repro.runtime.plan.QuantizeStep` twin, a float step reading a
+    quantized slot gets a :class:`~repro.runtime.plan.DequantizeStep` twin
+    (memoised per slot, like the layout pass's transpose twins), and
+    conv-to-conv edges inside a chain stay integer with matching scales by
+    construction.  Value / policy heads stay float automatically: their
+    first read of a quantized slot dequantizes it.
+    """
+    calib = ctx.quantize
+    if calib is None or plan.train:
+        return
+    if calib.num_slots != len(plan._shapes):
+        return  # slot identity drifted from calibration: fail safe to float
+    mode = calib.mode
+    act_dtype = np.dtype(np.int8 if mode == "q8" else np.int16)
+    qmax = 127 if mode == "q8" else 32767
+
+    _, writers = _analyze(plan)
+
+    def slot_scale(slot):
+        channels = calib.channels(slot)
+        if channels is None or channels != plan.shape(slot)[1]:
+            return None
+        return calib.scale(slot, qmax)
+
+    eligible = {}
+    for step in plan.steps:
+        if not isinstance(step, Conv2dStep):
+            continue
+        spec = step._spec(plan)
+        if (
+            step.layout != "NHWC"
+            or step.activation not in (None, "relu")
+            or spec.op_class not in ("pointwise", "depthwise")
+            or (step.bn is not None and not step.fold_bn)
+            or step.out_slot in ctx.protected_slots
+            or len(writers.get(step.out_slot, ())) != 1
+            or not conv_kernels.candidates(spec._replace(quant=mode))
+        ):
+            continue
+        in_scale = slot_scale(step.in_slot)
+        out_scale = slot_scale(step.out_slot)
+        res_scale = (
+            slot_scale(step.res_slot) if step.res_slot is not None else 0.0
+        )
+        if in_scale is None or out_scale is None or res_scale is None:
+            continue
+        eligible[id(step)] = (in_scale, out_scale, res_scale)
+    if not eligible:
+        return
+
+    new_steps = []
+    int_scale = {}  # slot -> activation scale, for slots carrying integers
+    qtwins = {}     # (float slot, write version) -> integer twin
+    ftwins = {}     # integer slot -> float twin
+    versions = {}
+
+    def int_view(slot, scale, layout):
+        key = (slot, versions.get(slot, 0))
+        twin = qtwins.get(key)
+        if twin is None:
+            twin = plan.new_slot(plan.shape(slot), layout=layout, dtype=act_dtype)
+            new_steps.append(QuantizeStep(slot, twin, scale, qmax, layout=layout))
+            int_scale[twin] = scale
+            qtwins[key] = twin
+        return twin
+
+    def float_view(slot, layout):
+        twin = ftwins.get(slot)
+        if twin is None:
+            twin = plan.new_slot(plan.shape(slot), layout=layout)
+            new_steps.append(
+                DequantizeStep(slot, twin, int_scale[slot], layout=layout)
+            )
+            ftwins[slot] = twin
+        return twin
+
+    for step in plan.steps:
+        scales = eligible.get(id(step))
+        if scales is not None:
+            in_scale, out_scale, res_scale = scales
+            if step.in_slot in int_scale:
+                in_scale = int_scale[step.in_slot]
+            else:
+                step.in_slot = int_view(step.in_slot, in_scale, step.layout)
+            if step.res_slot is not None:
+                if step.res_slot in int_scale:
+                    res_scale = int_scale[step.res_slot]
+                else:
+                    step.res_slot = int_view(step.res_slot, res_scale, step.layout)
+            plan.set_slot_dtype(step.out_slot, act_dtype)
+            int_scale[step.out_slot] = out_scale
+            step.quant = QuantInfo(mode, in_scale, out_scale, res_scale)
+        else:
+            remap = {
+                slot: float_view(slot, plan.layout(slot))
+                for slot in step_reads(step)
+                if slot in int_scale
+            }
+            if remap:
+                _rewire_reads(step, remap)
+        new_steps.append(step)
+        for slot in step_writes(step):
+            versions[slot] = versions.get(slot, 0) + 1
+    plan.steps = new_steps
+
+
+# --------------------------------------------------------------------------- #
 # alias_slots: liveness analysis -> shared storage arenas
 # --------------------------------------------------------------------------- #
 def _assign_arenas(intervals, nbytes_of):
@@ -790,10 +941,11 @@ def alias_slots(plan, ctx):
     """
     storage = _ensure_storage(plan)
     root_map, find = _view_roots(plan)
-    itemsize = plan.dtype.itemsize
 
     def nbytes_of(slot):
-        return int(np.prod(plan.shape(slot))) * itemsize
+        # Per-slot dtype: quantized activation slots are narrower than the
+        # plan dtype, and arenas are shared by bytes.
+        return int(np.prod(plan.shape(slot))) * plan.slot_dtype(slot).itemsize
 
     protected_roots = {find(slot) for slot in ctx.protected_slots}
     protected_roots |= {find(slot) for slot in ctx.zero_slots}
@@ -919,6 +1071,13 @@ def _expected_layouts(step, lay):
             step.in_slot: step.from_layout,
             step.out_slot: step.to_layout,
         }
+    if isinstance(step, (QuantizeStep, DequantizeStep)):
+        # Dtype boundaries preserve the physical layout on both sides.
+        layout = step.layout
+        return {} if layout is None else {
+            step.in_slot: layout,
+            step.out_slot: layout,
+        }
     if isinstance(step, ActivationStep):
         return {}
     # Anchors (pooling / flatten / reshape / opaque / ...): logical NCHW.
@@ -935,7 +1094,14 @@ def lint_plan(plan, ctx=None):
     * every step observes each 4-D slot in the layout the slot is tagged
       with (conv/BN/pool steps via their own ``layout`` attribute, joins via
       their operands' tags, anchor steps as NCHW);
-    * every aliased slot fits its arena (forward and gradient), byte-wise.
+    * quantized edges are scale-consistent: every integer slot's scale is
+      fixed by its writer (quantize step or quantized conv) and every
+      consumer — quantized conv input/residual, dequantize step — must
+      carry exactly that scale; integer slots may only be read by
+      quant-aware steps (no un-dequantized edges) and protected slots stay
+      in the plan dtype;
+    * every aliased slot fits its arena (forward and gradient), byte-wise,
+      under its own dtype.
     """
     problems = []
     lay = plan.layout
@@ -965,16 +1131,79 @@ def lint_plan(plan, ctx=None):
                 )
         for slot in step_writes(step):
             transposed[slot] = isinstance(step, TransposeStep)
+    # Quantized-edge invariants: an integer slot's scale is fixed by its
+    # writer; every consumer must agree on it exactly, and only quant-aware
+    # steps may read integer data.
+    scale_of = {}
+    for step in plan.steps:
+        if isinstance(step, QuantizeStep):
+            scale_of[step.out_slot] = step.scale
+        elif isinstance(step, Conv2dStep) and step.quant is not None:
+            scale_of[step.out_slot] = step.quant.out_scale
+    for index, step in enumerate(plan.steps):
+        if isinstance(step, Conv2dStep) and step.quant is not None:
+            if plan.train:
+                problems.append(
+                    "step {}: quantized conv in a training plan".format(index)
+                )
+            if scale_of.get(step.in_slot) != step.quant.in_scale:
+                problems.append(
+                    "step {}: quantized conv reads slot {} at scale {!r} but "
+                    "its producer wrote scale {!r}".format(
+                        index, step.in_slot, step.quant.in_scale,
+                        scale_of.get(step.in_slot),
+                    )
+                )
+            if (
+                step.res_slot is not None
+                and scale_of.get(step.res_slot) != step.quant.res_scale
+            ):
+                problems.append(
+                    "step {}: quantized conv residual slot {} at scale {!r} "
+                    "but its producer wrote scale {!r}".format(
+                        index, step.res_slot, step.quant.res_scale,
+                        scale_of.get(step.res_slot),
+                    )
+                )
+        elif isinstance(step, DequantizeStep):
+            if scale_of.get(step.in_slot) != step.scale:
+                problems.append(
+                    "step {}: dequantize of slot {} at scale {!r} but its "
+                    "producer wrote scale {!r}".format(
+                        index, step.in_slot, step.scale,
+                        scale_of.get(step.in_slot),
+                    )
+                )
+        for slot in step_reads(step):
+            if plan.slot_dtype(slot).kind not in "iu":
+                continue
+            quant_aware = isinstance(step, DequantizeStep) or (
+                isinstance(step, Conv2dStep) and step.quant is not None
+            )
+            if not quant_aware:
+                problems.append(
+                    "step {} ({}): reads quantized slot {} without "
+                    "dequantizing".format(index, type(step).__name__, slot)
+                )
+    if ctx is not None:
+        for slot in sorted(ctx.protected_slots):
+            if plan.slot_dtype(slot) != plan.dtype:
+                problems.append(
+                    "protected slot {} carries dtype {} instead of the plan "
+                    "dtype {}".format(slot, plan.slot_dtype(slot), plan.dtype)
+                )
     storage = plan.storage
     if storage is not None:
-        itemsize = plan.dtype.itemsize
         checks = (
             ("forward", storage.slot_arena, storage.arena_nbytes),
             ("grad", storage.grad_arena, storage.grad_arena_nbytes),
         )
         for kind, slot_arena, arena_nbytes in checks:
             for slot, arena in slot_arena.items():
-                need = int(np.prod(plan.shape(slot))) * itemsize
+                need = (
+                    int(np.prod(plan.shape(slot)))
+                    * plan.slot_dtype(slot).itemsize
+                )
                 if arena_nbytes[arena] < need:
                     problems.append(
                         "{} arena {} holds {} bytes but aliased slot {} "
@@ -994,6 +1223,7 @@ _PASS_FUNCS = {
     "fuse_epilogue": fuse_epilogue,
     "fold_bn": fold_bn,
     "layout": assign_layouts,
+    "quantize": quantize_plan,
     "alias_slots": alias_slots,
 }
 

@@ -61,6 +61,9 @@ __all__ = [
     "GateCombineStep",
     "TileStep",
     "TransposeStep",
+    "QuantInfo",
+    "QuantizeStep",
+    "DequantizeStep",
     "OpaqueStep",
     "apply_activation",
 ]
@@ -409,6 +412,9 @@ class Conv2dStep(Step, _BNMixin):
         #: Physical activation layout of both slots (layout-assignment pass
         #: re-tags this; the emitter always starts from NCHW).
         self.layout = "NCHW"
+        #: :class:`QuantInfo` when the quantize pass converted this step to
+        #: integer arithmetic (inference plans only); ``None`` = float.
+        self.quant = None
 
     def _spec(self, plan):
         """The kernel-registry signature of this step on ``plan``."""
@@ -427,6 +433,7 @@ class Conv2dStep(Step, _BNMixin):
             dtype=plan.dtype.name,
             direction="train" if plan.train else "infer",
             layout=self.layout,
+            quant=self.quant.mode if self.quant is not None else "",
         )
 
     def _input_grad(self, plan):
@@ -450,7 +457,21 @@ class Conv2dStep(Step, _BNMixin):
             self._fb = plan.alloc((self.conv.out_channels,))
             self._fold_key = None
             self._fold_stats = None
+            self._fold_serial = 0
         self._epilogue = _ConvEpilogue(self)
+        if self.quant is not None:
+            spec = self._spec(plan)
+            self._qmax = spec.qmax
+            self._qw = plan.alloc(self.conv.weight.data.shape, dtype=spec.act_dtype)
+            self._qepilogue = conv_kernels.RequantEpilogue(
+                self.conv.out_channels, spec.acc_dtype, spec.qmax,
+                relu=self.activation == "relu",
+            )
+            if self.res_slot is not None:
+                # Residual integers carry the residual slot's scale; one
+                # static factor maps them into output units.
+                self._qepilogue.res_scale = self.quant.res_scale / self.quant.out_scale
+            self._qkey = None
         self._kernel = conv_kernels.kernel_for(self._spec(plan), plan)
 
     def _folded(self):
@@ -489,6 +510,7 @@ class Conv2dStep(Step, _BNMixin):
             self._fb[...] = shift
             self._fold_key = key
             self._fold_stats = (bn.running_mean.copy(), bn.running_var.copy())
+            self._fold_serial += 1
         return self._fw, self._fb
 
     def allocate_backward(self, plan):
@@ -505,7 +527,49 @@ class Conv2dStep(Step, _BNMixin):
         self._input_grad_needed = self._input_grad(plan)
         self._kernel.allocate_backward(plan, self._input_grad_needed)
 
+    def _requantize_weights(self, weight, bias):
+        """Re-derive the integer weights and requant parameters in place.
+
+        Per-output-channel symmetric weight scales from the live float
+        weights; the epilogue then folds ``in_scale * sw / out_scale`` into
+        one per-channel multiplier and the bias into output units.  Bumping
+        the epilogue version tells the bound kernel to refresh whatever
+        private weight form it caches (tap-major copies, GEMM matrices).
+        """
+        q = self.quant
+        qmax = self._qmax
+        epi = self._qepilogue
+        w = np.asarray(weight, dtype=np.float64)
+        sw = np.abs(w.reshape(w.shape[0], -1)).max(axis=1) / qmax
+        sw[sw == 0.0] = 1.0  # all-zero channel: any scale maps 0 -> 0
+        qf = np.rint(w / sw[:, None, None, None])
+        np.clip(qf, -qmax, qmax, out=qf)
+        self._qw[...] = qf
+        epi.scale[...] = q.in_scale * sw / q.out_scale
+        epi.bias[...] = 0.0 if bias is None else np.asarray(bias, np.float64) / q.out_scale
+        epi.version += 1
+
+    def _run_quantized(self, bufs):
+        conv = self.conv
+        if self.fold_bn:
+            weight, bias = self._folded()
+            key = self._fold_serial
+        else:
+            weight = conv.weight.data
+            bias = conv.bias.data if conv.bias is not None else None
+            key = (conv.weight.version,
+                   conv.bias.version if conv.bias is not None else -1)
+        if key != self._qkey:
+            self._requantize_weights(weight, bias)
+            self._qkey = key
+        epilogue = self._qepilogue
+        epilogue.res = bufs[self.res_slot] if self.res_slot is not None else None
+        self._kernel.forward(bufs[self.in_slot], self._qw, bufs[self.out_slot], epilogue)
+
     def run(self, bufs):
+        if self.quant is not None:
+            self._run_quantized(bufs)
+            return
         conv = self.conv
         epilogue = self._epilogue
         if self.fold_bn and not self.bn.training:
@@ -1046,6 +1110,90 @@ class TransposeStep(Step):
         return "TransposeStep({}->{})".format(self.from_layout, self.to_layout)
 
 
+class QuantInfo:
+    """Quantization parameters the quantize pass attaches to a conv step.
+
+    All scales are symmetric per-tensor activation scales harvested from
+    calibration: ``in_scale`` is the input slot's (real units per integer
+    step), ``out_scale`` the output slot's, ``res_scale`` the residual
+    slot's (0 when the step has no residual).  Per-output-channel weight
+    scales are derived from the live weights at run time, so optimiser-free
+    weight swaps (``load_state_dict``) requantize automatically.
+    """
+
+    __slots__ = ("mode", "in_scale", "out_scale", "res_scale")
+
+    def __init__(self, mode, in_scale, out_scale, res_scale=0.0):
+        self.mode = str(mode)
+        self.in_scale = float(in_scale)
+        self.out_scale = float(out_scale)
+        self.res_scale = float(res_scale)
+
+    def __repr__(self):
+        return "QuantInfo({}, in={:g}, out={:g}, res={:g})".format(
+            self.mode, self.in_scale, self.out_scale, self.res_scale
+        )
+
+
+class QuantizeStep(Step):
+    """Float -> integer boundary (inserted only by the quantize pass).
+
+    Both slots describe the same logical tensor; the output slot carries the
+    integer dtype and ``out = cast(clip(rint(x / scale), -qmax, qmax))``.
+    The mirror of :class:`TransposeStep` for the dtype dimension: quantized
+    regions of a plan are bracketed by these the way NHWC regions are
+    bracketed by transposes.  Inference-only (quantized plans have no
+    reverse program).
+    """
+
+    def __init__(self, in_slot, out_slot, scale, qmax, layout="NHWC"):
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+        self.scale = float(scale)
+        self.qmax = int(qmax)
+        self.layout = layout
+
+    def scratch_requests(self, plan):
+        nbytes = int(np.prod(plan.shape(self.in_slot))) * plan.dtype.itemsize
+        return ((SCRATCH_MAIN, nbytes),)
+
+    def allocate(self, plan):
+        self._ws = plan.workspace(
+            plan.physical_shape(self.in_slot), channel=SCRATCH_MAIN
+        )
+
+    def run(self, bufs):
+        ws = self._ws
+        np.multiply(bufs[self.in_slot], 1.0 / self.scale, out=ws)
+        np.rint(ws, out=ws)
+        np.clip(ws, -self.qmax, self.qmax, out=ws)
+        np.copyto(bufs[self.out_slot], ws, casting="unsafe")
+
+    def __repr__(self):
+        return "QuantizeStep(scale={:g})".format(self.scale)
+
+
+class DequantizeStep(Step):
+    """Integer -> float boundary (inserted only by the quantize pass).
+
+    One broadcast multiply: ``out = x * scale``.  Consumers past this step
+    (heads, pooling, unquantized convs) see ordinary float activations.
+    """
+
+    def __init__(self, in_slot, out_slot, scale, layout="NHWC"):
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+        self.scale = float(scale)
+        self.layout = layout
+
+    def run(self, bufs):
+        out = bufs[self.out_slot]
+        np.multiply(bufs[self.in_slot], out.dtype.type(self.scale), out=out)
+
+    def __repr__(self):
+        return "DequantizeStep(scale={:g})".format(self.scale)
+
+
 class OpaqueStep(Step):
     """Fallback: run an uncompilable module eagerly under ``no_grad``.
 
@@ -1127,6 +1275,7 @@ class Plan:
         self.steps = []
         self._shapes = []
         self._layouts = []
+        self._dtypes = []
         self._view_slots = set()
         #: Slots whose gradient nothing ever reads (layout twins of the plan
         #: input): their producers and consumers skip the input VJP.
@@ -1203,11 +1352,14 @@ class Plan:
     # ------------------------------------------------------------------ #
     # Compile-time API (used by the compiler)
     # ------------------------------------------------------------------ #
-    def new_slot(self, shape, view=False, layout=None):
+    def new_slot(self, shape, view=False, layout=None, dtype=None):
         """Register an activation slot; ``view`` slots are filled by steps.
 
         ``layout`` tags the slot's *physical* axis order; 4-D slots default
         to ``"NCHW"`` (the logical order), other ranks carry no layout.
+        ``dtype`` overrides the plan dtype for this slot (the quantize pass
+        registers integer activation slots this way); ``None`` means the
+        slot follows :attr:`dtype`.
         """
         slot = len(self._shapes)
         shape = tuple(int(d) for d in shape)
@@ -1215,6 +1367,7 @@ class Plan:
         if layout is None:
             layout = "NCHW" if len(shape) == 4 else None
         self._layouts.append(layout)
+        self._dtypes.append(None if dtype is None else np.dtype(dtype))
         if view:
             self._view_slots.add(slot)
         return slot
@@ -1230,6 +1383,15 @@ class Plan:
     def set_layout(self, slot, layout):
         """Re-tag ``slot``'s physical layout (layout-assignment pass only)."""
         self._layouts[slot] = layout
+
+    def slot_dtype(self, slot):
+        """Buffer dtype of ``slot`` (the plan dtype unless overridden)."""
+        dtype = self._dtypes[slot]
+        return self.dtype if dtype is None else dtype
+
+    def set_slot_dtype(self, slot, dtype):
+        """Override ``slot``'s buffer dtype (quantize pass only)."""
+        self._dtypes[slot] = None if dtype is None else np.dtype(dtype)
 
     def physical_shape(self, slot):
         """Physical buffer shape of ``slot`` (permuted when tagged NHWC)."""
@@ -1267,14 +1429,15 @@ class Plan:
         bufs = []
         for slot in range(len(self._shapes)):
             shape = self.physical_shape(slot)
+            dtype = self.slot_dtype(slot)
             if slot in self._view_slots or slot in dead:
                 bufs.append(None)
             elif slot in arena_map:
-                nbytes = int(np.prod(shape)) * self.dtype.itemsize
+                nbytes = int(np.prod(shape)) * dtype.itemsize
                 block = arena_blocks[arena_map[slot]]
-                bufs.append(block[:nbytes].view(self.dtype).reshape(shape))
+                bufs.append(block[:nbytes].view(dtype).reshape(shape))
             else:
-                bufs.append(self.alloc(shape))
+                bufs.append(self.alloc(shape, dtype=dtype))
         return bufs
 
     def finalize(self, input_slot, output_slots):
@@ -1408,7 +1571,7 @@ class Plan:
                 continue
             dead = self.storage is not None and slot in self.storage.dead_slots
             if not dead:
-                logical += int(np.prod(shape)) * self.dtype.itemsize
+                logical += int(np.prod(shape)) * self.slot_dtype(slot).itemsize
         if self.train:
             logical *= 2
         return {

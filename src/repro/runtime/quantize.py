@@ -1,0 +1,214 @@
+"""Rollout-based calibration for the quantized inference path.
+
+Quantizing activations needs their dynamic ranges, and the ranges that
+matter are the ones the policy actually visits — so calibration *runs the
+plan*: a :class:`Calibrator` compiles the module exactly as the inference
+engine would (same passes, same layout assignment, minus the quantize pass
+itself) and observes every activation slot over a short rollout's worth of
+batches.  The harvested per-channel amax profile is packaged as a
+:class:`QuantCalibration`, keyed like the engine's plan cache
+(``(input shape, gate path, dtype)``) so an engine holding several
+calibrations can pick the right one per compiled signature.
+
+Scales are *per-tensor* symmetric (``scale = amax / qmax``): the consumer
+conv reads its input scale from the producer slot's profile, so scale
+matching across plan edges holds by construction — the plan-lint pass
+re-verifies it anyway.  Per-*channel* weight scales are derived from the
+live weights at run time by the conv step itself (no calibration needed:
+weights are known exactly).
+
+Slot-identity contract: the quantize pass appends its new slots/steps
+*after* the shared pass pipeline ran, so slot indices assigned by
+compilation-minus-quantize are identical between the calibration plan and
+the engine's plan.  If they ever diverge (e.g. autotuner timing flips a
+layout decision in another process), the calibration's ``num_slots`` /
+per-slot channel counts stop matching and the quantize pass declines to
+fire rather than apply wrong scales — quantization is an optimisation, so
+the fail-safe is the float path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .compiler import compile_plan
+from .passes import enabled_passes
+
+__all__ = ["Calibrator", "QuantCalibration", "POLICIES"]
+
+#: Range-harvesting policies: ``minmax`` tracks the exact per-channel amax,
+#: ``percentile`` tracks a per-batch |x| quantile (robust to rare spikes that
+#: would otherwise stretch the scale and waste integer resolution).
+POLICIES = ("minmax", "percentile")
+
+
+def _norm_path(path):
+    return None if path is None else tuple(int(p) for p in path)
+
+
+def _channel_axis(layout):
+    return 3 if layout == "NHWC" else 1
+
+
+class Calibrator:
+    """Observes activation ranges of one compiled signature over real batches.
+
+    Compile-observe-package workflow::
+
+        cal = Calibrator(agent.features, (16, 2, 32, 32), dtype=np.float32)
+        for obs in rollout_batches:
+            cal.observe(obs)
+        calibration = cal.result(mode="q8")
+
+    ``observe`` runs the internally compiled plan (float, full pass pipeline
+    minus ``quantize`` and ``alias_slots``) and folds each written 4-D slot's
+    per-channel |x| statistic into the running profile.
+    """
+
+    def __init__(self, module, input_shape, dtype=np.float64, path=None,
+                 passes=None, policy="minmax", percentile=99.9, pool=None):
+        if policy not in POLICIES:
+            raise ValueError(
+                "unknown calibration policy {!r}; valid: {}".format(policy, POLICIES)
+            )
+        self.input_shape = tuple(int(d) for d in input_shape)
+        self.path = _norm_path(path)
+        self.dtype = np.dtype(dtype)
+        self.policy = policy
+        self.percentile = float(percentile)
+        # The profile plan must disable ``alias_slots`` as well as
+        # ``quantize``: aliasing lets later steps reuse a dead slot's arena
+        # region, so reading every slot buffer *after* the run would observe
+        # overwritten garbage for early activations.  Dropping the aliasing
+        # pass only costs memory; it appends no slots, so slot indices still
+        # line up with the quantized plan (whose own appended quantize-twin
+        # slots come after every calibrated index).
+        enabled = tuple(
+            p for p in enabled_passes(passes) if p not in ("quantize", "alias_slots")
+        )
+        self._plan = compile_plan(
+            module, self.input_shape, dtype=self.dtype, path=path,
+            passes=enabled, pool=pool,
+        )
+        self._amax = {}
+        self.num_batches = 0
+
+    @property
+    def num_slots(self):
+        return len(self._plan._shapes)
+
+    def observe(self, x):
+        """Run one batch through the plan and update the range profile."""
+        plan = self._plan
+        plan.run(np.asarray(x, dtype=self.dtype))
+        for slot, buf in enumerate(plan.bufs):
+            if buf is None or buf.ndim != 4:
+                continue
+            axis = _channel_axis(plan.layout(slot))
+            reduce_axes = tuple(a for a in range(4) if a != axis)
+            mag = np.abs(buf)
+            if self.policy == "percentile":
+                stat = np.quantile(mag, self.percentile / 100.0, axis=reduce_axes)
+            else:
+                stat = mag.max(axis=reduce_axes)
+            stat = np.asarray(stat, dtype=np.float64)
+            prev = self._amax.get(slot)
+            self._amax[slot] = stat if prev is None else np.maximum(prev, stat)
+        self.num_batches += 1
+
+    def result(self, mode="q8"):
+        """Package the harvested profile as a :class:`QuantCalibration`."""
+        if self.num_batches == 0:
+            raise RuntimeError("observe() at least one batch before result()")
+        return QuantCalibration(
+            input_shape=self.input_shape,
+            path=self.path,
+            dtype=self.dtype.name,
+            mode=mode,
+            policy=self.policy,
+            num_slots=self.num_slots,
+            amax={slot: stat.copy() for slot, stat in self._amax.items()},
+        )
+
+
+class QuantCalibration:
+    """Serializable per-slot activation ranges of one compiled signature."""
+
+    __slots__ = ("input_shape", "path", "dtype", "mode", "policy",
+                 "num_slots", "amax")
+
+    def __init__(self, input_shape, path, dtype, mode, policy, num_slots, amax):
+        if mode not in ("q8", "q16"):
+            raise ValueError("unknown quant mode {!r}".format(mode))
+        self.input_shape = tuple(int(d) for d in input_shape)
+        self.path = _norm_path(path)
+        self.dtype = str(np.dtype(dtype).name)
+        self.mode = mode
+        self.policy = policy
+        self.num_slots = int(num_slots)
+        self.amax = {
+            int(slot): np.asarray(stat, dtype=np.float64)
+            for slot, stat in amax.items()
+        }
+
+    def matches(self, input_shape, path, dtype):
+        """Whether this calibration was taken for the given plan signature."""
+        return (
+            self.input_shape == tuple(int(d) for d in input_shape)
+            and self.path == _norm_path(path)
+            and self.dtype == np.dtype(dtype).name
+        )
+
+    def channels(self, slot):
+        """Observed channel count of ``slot`` (``None`` if never observed)."""
+        stat = self.amax.get(slot)
+        return None if stat is None else int(stat.shape[0])
+
+    def scale(self, slot, qmax):
+        """Per-tensor symmetric scale of ``slot`` (``None`` if unobserved).
+
+        A degenerate all-zero profile maps to ``1 / qmax``: any scale
+        represents an identically-zero activation exactly.
+        """
+        stat = self.amax.get(slot)
+        if stat is None:
+            return None
+        amax = float(stat.max())
+        if amax <= 0.0:
+            return 1.0 / float(qmax)
+        return amax / float(qmax)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_json(self):
+        """JSON text round-tripping through :meth:`from_json`."""
+        return json.dumps({
+            "input_shape": list(self.input_shape),
+            "path": None if self.path is None else list(self.path),
+            "dtype": self.dtype,
+            "mode": self.mode,
+            "policy": self.policy,
+            "num_slots": self.num_slots,
+            "amax": {str(slot): stat.tolist() for slot, stat in self.amax.items()},
+        })
+
+    @classmethod
+    def from_json(cls, text):
+        payload = json.loads(text)
+        return cls(
+            input_shape=payload["input_shape"],
+            path=payload["path"],
+            dtype=payload["dtype"],
+            mode=payload["mode"],
+            policy=payload["policy"],
+            num_slots=payload["num_slots"],
+            amax={int(slot): stat for slot, stat in payload["amax"].items()},
+        )
+
+    def __repr__(self):
+        return "QuantCalibration({}, shape={}, path={}, {} slots)".format(
+            self.mode, self.input_shape, self.path, len(self.amax)
+        )

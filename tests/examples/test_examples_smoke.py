@@ -117,6 +117,20 @@ def test_randomized_a2c_runs(monkeypatch, capsys, smoke_profile):
     assert set(scores) == {"randomized", "nominal"}
 
 
+def test_quantized_eval_runs(monkeypatch, capsys):
+    module = load_example("quantized_eval")
+    monkeypatch.setattr(module, "NUM_ENVS", 2)
+    monkeypatch.setattr(module, "CALIBRATION_STEPS", 4)
+    monkeypatch.setattr(module, "EVAL_EPISODES", 1)
+    monkeypatch.setattr(module, "MAX_EPISODE_STEPS", 40)
+    monkeypatch.setattr(module, "TIMED_BATCHES", 2)
+    module.main()
+    out = capsys.readouterr().out
+    assert "score delta" in out
+    assert "Quantized kernel selections" in out
+    assert "Opt-out restores float32 inference" in out
+
+
 def test_accelerator_search_runs(monkeypatch, capsys):
     module = load_example("accelerator_search")
     shrink_das_search(monkeypatch, module)

@@ -258,3 +258,32 @@ class TestAutotuner:
         assert "kernels" in stats
         assert any(key.startswith("depthwise:") for key in stats["kernels"])
         assert all("kernel" in row and "source" in row for row in stats["kernels"].values())
+
+
+class TestScratchArenas:
+    def test_einsum_pad_copy_is_arena_backed(self, monkeypatch):
+        """The NHWC einsum depthwise pad copy draws from the shared scratch
+        arena — a plan-owned block sized by the aliasing pass — not a fresh
+        per-call (or even per-plan private) allocation."""
+        from repro.nn import Sequential as Seq
+        from repro.runtime.kernels.depthwise import DepthwiseEinsumKernel
+        from repro.runtime.kernels.registry import SCRATCH_PAD
+        from repro.runtime.plan import Conv2dStep
+
+        monkeypatch.setenv(ENV_VAR, "depthwise=depthwise_einsum")
+        rng = np.random.default_rng(0)
+        net = Seq(
+            Conv2d(6, 6, 3, stride=1, padding=1, groups=6, rng=rng),
+            Conv2d(6, 4, 3, stride=1, padding=1, rng=rng),  # dense head, unpinned
+        )
+        plan = compile_plan(net, (2, 6, 10, 10), dtype=np.float32)
+        kernels = [
+            step._kernel for step in plan.steps
+            if isinstance(step, Conv2dStep) and isinstance(step._kernel, DepthwiseEinsumKernel)
+        ]
+        assert kernels, "pin did not select the einsum depthwise kernel"
+        pad_block = plan._scratch_blocks.get(SCRATCH_PAD)
+        assert pad_block is not None, "aliasing pass provisioned no pad arena"
+        for kernel in kernels:
+            assert kernel._xph is not None
+            assert np.shares_memory(kernel._xph, pad_block)

@@ -1,0 +1,450 @@
+"""Quantized inference path: kernels, calibration, the quantize pass, lint.
+
+Four layers of guarantees:
+
+* **Kernel numerics** — every registered q8/q16 kernel (including the
+  compiled C ones when the host can build them) is *bitwise identical* to
+  an int64-accumulate reference that applies the documented requant
+  sequence, across shapes, strides, fused ReLU and fused residuals.  This
+  is the contract that lets the autotuner swap candidates freely.
+* **Calibration** — rollout range harvesting observes true per-slot
+  activations (no aliasing contamination), serialises losslessly, and
+  refuses to apply to mismatched plans.
+* **Plan integration** — a calibrated compile lowers eligible convs to
+  integer kernels bracketed by quantize/dequantize boundary steps, heads
+  stay float, accuracy degrades gracefully (q16 strictly tighter than q8),
+  and the opt-out path is bitwise identical to an uncalibrated compile.
+* **Lint** — scale-mismatched edges, un-dequantized integer reads and
+  quantized convs in training plans are rejected.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, ReLU, Sequential
+from repro.runtime import Calibrator, QuantCalibration, compile_plan
+from repro.runtime.kernels import ENV_VAR as KERNELS_ENV
+from repro.runtime.kernels import _native, candidates, clear_autotune_cache
+from repro.runtime.kernels.autotune import _BenchArena, timings_for
+from repro.runtime.kernels.quantized import RequantEpilogue
+from repro.runtime.kernels.registry import ConvSpec, kernel_for, reset_selections, selection_table
+from repro.runtime.passes import PlanLintError, lint_plan
+from repro.runtime.plan import Conv2dStep, DequantizeStep, QuantInfo, QuantizeStep
+
+#: mode -> (activation dtype, exact-accumulate float dtype, clip bound)
+QMODES = {"q8": (np.int8, np.float32, 127), "q16": (np.int16, np.float64, 32767)}
+
+#: Kernel pins that force every depthwise/pointwise conv onto NHWC-only
+#: float kernels, so the layout pass deterministically assigns NHWC and the
+#: quantize pass sees eligible chains regardless of host timings.
+NHWC_PINS = "depthwise=depthwise_einsum,pointwise=pointwise_nhwc"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_selection_table():
+    reset_selections()
+    yield
+    reset_selections()
+
+
+# --------------------------------------------------------------------- #
+# Kernel-level bitwise parity
+# --------------------------------------------------------------------- #
+
+#: (batch, channels, height, kernel, stride, padding) depthwise geometries.
+DW_SHAPES = (
+    (3, 8, 12, 3, 1, 1),
+    (2, 6, 9, 5, 1, 2),
+    (2, 8, 8, 3, 2, 1),
+    (2, 5, 7, 5, 2, 2),
+    (2, 4, 6, 3, 1, 0),
+)
+
+
+def _dw_spec(mode, n, c, h, k, s, p):
+    return ConvSpec(n, c, c, h, h, k, s, p, c, "float32", "infer", "NHWC", mode)
+
+
+def _pw_spec(mode, n, cin, cout, h):
+    return ConvSpec(n, cin, cout, h, h, 1, 1, 0, 1, "float32", "infer", "NHWC", mode)
+
+
+def _random_epilogue(spec, rng, relu, with_res):
+    epi = RequantEpilogue(spec.out_channels, spec.acc_dtype, spec.qmax, relu=relu)
+    epi.scale[...] = rng.uniform(1e-3, 2e-2, spec.out_channels)
+    epi.bias[...] = rng.uniform(-3.0, 3.0, spec.out_channels)
+    res = None
+    if with_res:
+        res = rng.integers(
+            -spec.qmax, spec.qmax + 1, (spec.batch, spec.out_height, spec.out_width, spec.out_channels)
+        ).astype(spec.act_dtype)
+        epi.res = res
+        epi.res_scale = float(rng.uniform(0.1, 1.5))
+    return epi, res
+
+
+def _requant_reference(acc_i64, epi, res, acc_dtype):
+    """The documented requant sequence, applied to the exact i64 accumulator."""
+    acc = acc_i64.astype(acc_dtype)
+    acc = acc * epi.scale
+    acc = acc + epi.bias
+    if res is not None:
+        acc = acc + res * acc_dtype.type(epi.res_scale)
+    acc = np.clip(acc, acc_dtype.type(epi.lo), acc_dtype.type(epi.hi))
+    return np.rint(acc).astype(res.dtype if res is not None else epi.scale.dtype).astype(
+        np.int8 if acc_dtype == np.float32 else np.int16
+    )
+
+
+def _depthwise_reference(spec, x, weight, epi, res):
+    n, c, h = spec.batch, spec.in_channels, spec.height
+    k, s, p = spec.kernel, spec.stride, spec.padding
+    oh, ow = spec.out_height, spec.out_width
+    xp = np.zeros((n, h + 2 * p, h + 2 * p, c), dtype=np.int64)
+    xp[:, p:p + h, p:p + h, :] = x
+    wt = weight.reshape(c, k * k).T.astype(np.int64)  # (k*k, c)
+    acc = np.zeros((n, oh, ow, c), dtype=np.int64)
+    for i in range(k):
+        for j in range(k):
+            window = xp[:, i:i + (oh - 1) * s + 1:s, j:j + (ow - 1) * s + 1:s, :]
+            acc += window * wt[i * k + j]
+    return _requant_reference(acc, epi, res, spec.acc_dtype)
+
+
+def _pointwise_reference(spec, x, weight, epi, res):
+    n, h = spec.batch, spec.height
+    acc = (
+        x.reshape(-1, spec.in_channels).astype(np.int64)
+        @ weight.reshape(spec.out_channels, spec.in_channels).T.astype(np.int64)
+    ).reshape(n, h, h, spec.out_channels)
+    return _requant_reference(acc, epi, res, spec.acc_dtype)
+
+
+class TestQuantKernelParity:
+    @pytest.mark.parametrize("mode", sorted(QMODES))
+    @pytest.mark.parametrize("shape", DW_SHAPES)
+    def test_depthwise_bitwise_vs_i64_reference(self, mode, shape):
+        spec = _dw_spec(mode, *shape)
+        cands = candidates(spec)
+        assert cands, "no quant depthwise candidates registered"
+        rng = np.random.default_rng(hash((mode,) + shape) % 2**32)
+        qmax = spec.qmax
+        x = rng.integers(-qmax, qmax + 1, spec.in_shape).astype(spec.act_dtype)
+        weight = rng.integers(-qmax, qmax + 1, (spec.out_channels, 1, spec.kernel, spec.kernel)).astype(spec.act_dtype)
+        for relu in (False, True):
+            for with_res in (False, True):
+                epi, res = _random_epilogue(spec, rng, relu, with_res)
+                expected = _depthwise_reference(spec, x, weight, epi, res)
+                for cls in cands:
+                    out = np.empty(spec.out_shape, dtype=spec.act_dtype)
+                    cls(spec, _BenchArena(spec)).forward(x, weight, out, epi)
+                    assert np.array_equal(out, expected), (
+                        "{} diverges (relu={}, res={})".format(cls.name, relu, with_res)
+                    )
+
+    @pytest.mark.parametrize("mode", sorted(QMODES))
+    @pytest.mark.parametrize("cin,cout,h", ((8, 16, 6), (16, 8, 5), (7, 9, 4)))
+    def test_pointwise_bitwise_vs_i64_reference(self, mode, cin, cout, h):
+        spec = _pw_spec(mode, 3, cin, cout, h)
+        cands = candidates(spec)
+        assert cands
+        rng = np.random.default_rng(cin * 131 + cout)
+        qmax = spec.qmax
+        x = rng.integers(-qmax, qmax + 1, spec.in_shape).astype(spec.act_dtype)
+        weight = rng.integers(-qmax, qmax + 1, (cout, cin, 1, 1)).astype(spec.act_dtype)
+        for relu in (False, True):
+            for with_res in (False, True):
+                epi, res = _random_epilogue(spec, rng, relu, with_res)
+                expected = _pointwise_reference(spec, x, weight, epi, res)
+                for cls in cands:
+                    out = np.empty(spec.out_shape, dtype=spec.act_dtype)
+                    cls(spec, _BenchArena(spec)).forward(x, weight, out, epi)
+                    assert np.array_equal(out, expected), cls.name
+
+    def test_native_kernels_registered_when_available(self):
+        names = [cls.name for cls in candidates(_dw_spec("q8", 2, 4, 6, 3, 1, 1))]
+        if _native.available():
+            assert "depthwise_native_q8" in names
+        assert "depthwise_einsum_q8" in names  # always-available fallback
+
+    def test_requant_native_matches_numpy_fallback(self, monkeypatch):
+        """The fused C requant pass and the 5-pass NumPy tail agree bitwise."""
+        rng = np.random.default_rng(0)
+        for mode, (act_dtype, acc_dtype, qmax) in QMODES.items():
+            epi = RequantEpilogue(6, acc_dtype, qmax, relu=False)
+            epi.scale[...] = rng.uniform(1e-3, 2e-2, 6)
+            epi.bias[...] = rng.uniform(-2, 2, 6)
+            epi.res_scale = 0.7
+            acc = rng.integers(-qmax * 20, qmax * 20, (10, 6)).astype(acc_dtype)
+            res = rng.integers(-qmax, qmax + 1, (10, 6)).astype(act_dtype)
+            native_out = np.empty((10, 6), dtype=act_dtype)
+            epi.requant(acc.copy(), native_out, res=res)
+            monkeypatch.setattr(_native, "_lib", None)
+            monkeypatch.setattr(_native, "_load_attempted", True)
+            assert not _native.available()
+            numpy_out = np.empty((10, 6), dtype=act_dtype)
+            epi.requant(acc.copy(), numpy_out, res=res)
+            monkeypatch.undo()
+            assert np.array_equal(native_out, numpy_out), mode
+
+
+# --------------------------------------------------------------------- #
+# Calibration
+# --------------------------------------------------------------------- #
+
+def quantizable_net(seed=7):
+    """Depthwise/pointwise chain with fusable ReLUs: everything the
+    quantize pass can lower except the protected output conv."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(8, 8, 3, stride=1, padding=1, groups=8, rng=rng),
+        ReLU(),
+        Conv2d(8, 16, 1, rng=rng),
+        ReLU(),
+        Conv2d(16, 16, 5, stride=1, padding=2, groups=16, rng=rng),
+        # Dense head: its op class is unpinned (both layouts stay feasible
+        # even though it writes the protected output slot) and it has no
+        # quantized kernels, so it doubles as the heads-stay-float check.
+        Conv2d(16, 8, 3, stride=1, padding=1, rng=rng),
+    )
+
+
+SHAPE = (4, 8, 12, 12)
+
+
+def _calibrate(net, batches, dtype=np.float32, **kwargs):
+    cal = Calibrator(net, SHAPE, dtype=dtype, **kwargs)
+    for x in batches:
+        cal.observe(x)
+    return cal
+
+
+def _batches(count=3, seed=5):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(SHAPE).astype(np.float32) for _ in range(count)]
+
+
+class TestCalibration:
+    def test_observes_every_activation_slot(self):
+        net = quantizable_net()
+        cal = _calibrate(net, _batches())
+        calib = cal.result(mode="q8")
+        assert calib.num_slots == cal.num_slots
+        # Every conv in/out slot must have per-channel stats with positive scale.
+        observed = [s for s in range(calib.num_slots) if calib.scale(s, 127) is not None]
+        assert len(observed) >= 5
+        for slot in observed:
+            assert calib.scale(slot, 127) > 0
+
+    def test_scale_is_amax_over_qmax(self):
+        calib = QuantCalibration(
+            input_shape=SHAPE, path=None, dtype="float32", mode="q8",
+            policy="minmax", num_slots=2, amax={0: np.array([2.0, 254.0])},
+        )
+        assert calib.scale(0, 127) == pytest.approx(2.0)
+        assert calib.scale(1, 127) is None
+        degenerate = QuantCalibration(
+            input_shape=SHAPE, path=None, dtype="float32", mode="q8",
+            policy="minmax", num_slots=1, amax={0: np.array([0.0, 0.0])},
+        )
+        assert degenerate.scale(0, 127) == pytest.approx(1.0 / 127)
+
+    def test_percentile_policy_is_no_looser_than_minmax(self):
+        net = quantizable_net()
+        batches = _batches()
+        minmax = _calibrate(net, batches).result(mode="q8")
+        pct = _calibrate(net, batches, policy="percentile", percentile=95.0).result(mode="q8")
+        pairs = 0
+        for slot in range(minmax.num_slots):
+            lo, hi = pct.scale(slot, 127), minmax.scale(slot, 127)
+            if lo is not None and hi is not None:
+                assert lo <= hi * (1 + 1e-12)
+                pairs += 1
+        assert pairs > 0
+
+    def test_json_round_trip(self):
+        calib = _calibrate(quantizable_net(), _batches()).result(mode="q16")
+        clone = QuantCalibration.from_json(calib.to_json())
+        assert clone.mode == calib.mode
+        assert clone.num_slots == calib.num_slots
+        assert clone.input_shape == calib.input_shape
+        assert clone.matches(SHAPE, None, np.dtype(np.float32))
+        for slot in range(calib.num_slots):
+            ours, theirs = calib.scale(slot, 127), clone.scale(slot, 127)
+            assert (ours is None) == (theirs is None)
+            if ours is not None:
+                assert ours == pytest.approx(theirs, rel=0, abs=0)
+
+    def test_matches_keys_on_shape_path_dtype(self):
+        calib = _calibrate(quantizable_net(), _batches()).result()
+        assert calib.matches(SHAPE, None, np.dtype(np.float32))
+        assert not calib.matches((8,) + SHAPE[1:], None, np.dtype(np.float32))
+        assert not calib.matches(SHAPE, None, np.dtype(np.float64))
+        assert not calib.matches(SHAPE, (1, 2), np.dtype(np.float32))
+
+
+# --------------------------------------------------------------------- #
+# Plan integration
+# --------------------------------------------------------------------- #
+
+def _quantized_setup(monkeypatch, mode="q8"):
+    monkeypatch.setenv(KERNELS_ENV, NHWC_PINS)
+    net = quantizable_net()
+    batches = _batches()
+    calib = _calibrate(net, batches).result(mode=mode)
+    return net, batches, calib
+
+
+class TestQuantizedPlans:
+    def test_structure_accuracy_and_opt_out(self, monkeypatch):
+        net, batches, calib = _quantized_setup(monkeypatch)
+        ref_plan = compile_plan(net, SHAPE, dtype=np.float32)
+        refs = [np.asarray(ref_plan.run(x)).copy() for x in batches]
+
+        qplan = compile_plan(net, SHAPE, dtype=np.float32, quantize=calib)
+        quantized = [s for s in qplan.steps if isinstance(s, Conv2dStep) and s.quant is not None]
+        assert len(quantized) >= 2, "quantize pass lowered nothing"
+        # The output-writing conv is protected and must stay float.
+        out_slot = qplan.output_slots[0]
+        for step in qplan.steps:
+            if isinstance(step, Conv2dStep) and step.out_slot == out_slot:
+                assert step.quant is None
+        assert any(isinstance(s, QuantizeStep) for s in qplan.steps)
+        assert any(isinstance(s, DequantizeStep) for s in qplan.steps)
+        lint_plan(qplan)  # boundary-scale invariants hold
+
+        errs = []
+        for x, ref in zip(batches, refs):
+            got = np.asarray(qplan.run(x))
+            errs.append(np.abs(got - ref).max())
+        absmax = max(np.abs(r).max() for r in refs)
+        assert max(errs) < 0.1 * absmax, (max(errs), absmax)
+
+        # Opt-out path: a compile without a calibration is bitwise identical.
+        plain = compile_plan(net, SHAPE, dtype=np.float32)
+        for x, ref in zip(batches, refs):
+            assert np.array_equal(np.asarray(plain.run(x)), ref)
+
+    def test_q16_strictly_tighter_than_q8(self, monkeypatch):
+        net, batches, _ = _quantized_setup(monkeypatch)
+        ref_plan = compile_plan(net, SHAPE, dtype=np.float32)
+        refs = [np.asarray(ref_plan.run(x)).copy() for x in batches]
+        errs = {}
+        for mode in ("q8", "q16"):
+            calib = _calibrate(net, batches).result(mode=mode)
+            plan = compile_plan(net, SHAPE, dtype=np.float32, quantize=calib)
+            errs[mode] = max(
+                np.abs(np.asarray(plan.run(x)) - ref).max() for x, ref in zip(batches, refs)
+            )
+        assert errs["q16"] < errs["q8"] / 10
+
+    def test_mismatched_calibration_declines(self, monkeypatch):
+        net, batches, calib = _quantized_setup(monkeypatch)
+        stale = QuantCalibration(
+            input_shape=calib.input_shape, path=calib.path, dtype=calib.dtype,
+            mode="q8", policy="minmax", num_slots=3, amax={0: np.array([1.0])},
+        )
+        ref_plan = compile_plan(net, SHAPE, dtype=np.float32)
+        plan = compile_plan(net, SHAPE, dtype=np.float32, quantize=stale)
+        assert not any(isinstance(s, QuantizeStep) for s in plan.steps)
+        x = batches[0]
+        assert np.array_equal(np.asarray(plan.run(x)), np.asarray(ref_plan.run(x)))
+
+    def test_train_plans_never_quantize(self, monkeypatch):
+        net, _, calib = _quantized_setup(monkeypatch)
+        plan = compile_plan(net, SHAPE, dtype=np.float32, train=True, quantize=calib)
+        assert not any(isinstance(s, (QuantizeStep, DequantizeStep)) for s in plan.steps)
+        for step in plan.steps:
+            if isinstance(step, Conv2dStep):
+                assert step.quant is None
+
+    def test_selection_table_reports_quant_signatures(self, monkeypatch):
+        net, batches, calib = _quantized_setup(monkeypatch)
+        plan = compile_plan(net, SHAPE, dtype=np.float32, quantize=calib)
+        plan.run(batches[0])
+        rows = selection_table()
+        q8_rows = {sig: row for sig, row in rows.items() if "/q8" in sig}
+        assert q8_rows
+        for row in q8_rows.values():
+            assert row["kernel"].endswith("_q8")
+
+
+class TestQuantLint:
+    def test_scale_mismatch_rejected(self, monkeypatch):
+        net, _, calib = _quantized_setup(monkeypatch)
+        plan = compile_plan(net, SHAPE, dtype=np.float32, quantize=calib)
+        conv = next(s for s in plan.steps if isinstance(s, Conv2dStep) and s.quant is not None)
+        conv.quant.in_scale *= 2.0
+        with pytest.raises(PlanLintError, match="scale"):
+            lint_plan(plan)
+
+    def test_undequantized_edge_rejected(self, monkeypatch):
+        net, _, calib = _quantized_setup(monkeypatch)
+        plan = compile_plan(net, SHAPE, dtype=np.float32, quantize=calib)
+        dequant = next(s for s in plan.steps if isinstance(s, DequantizeStep))
+        reader = next(
+            s for s in plan.steps
+            if not isinstance(s, DequantizeStep) and getattr(s, "in_slot", None) == dequant.out_slot
+        )
+        reader.in_slot = dequant.in_slot  # read the integer slot directly
+        with pytest.raises(PlanLintError, match="dequantiz"):
+            lint_plan(plan)
+
+    def test_quantized_conv_in_train_plan_rejected(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, NHWC_PINS)
+        net = quantizable_net()
+        plan = compile_plan(net, SHAPE, dtype=np.float32, train=True)
+        conv = next(s for s in plan.steps if isinstance(s, Conv2dStep))
+        conv.quant = QuantInfo("q8", 0.1, 0.1, 0.0)
+        with pytest.raises(PlanLintError, match="training"):
+            lint_plan(plan)
+
+
+# --------------------------------------------------------------------- #
+# Dispatch / autotune hygiene under mixed signatures
+# --------------------------------------------------------------------- #
+
+class TestQuantDispatch:
+    def test_candidates_partition_by_quant(self):
+        f_spec = _dw_spec("", 2, 8, 8, 3, 1, 1)._replace(quant="")
+        q_spec = _dw_spec("q8", 2, 8, 8, 3, 1, 1)
+        float_names = {cls.name for cls in candidates(f_spec)}
+        quant_names = {cls.name for cls in candidates(q_spec)}
+        assert not any(n.endswith(("_q8", "_q16")) for n in float_names)
+        assert all(n.endswith("_q8") for n in quant_names)
+        # Quantized kernels are NHWC-only: the NCHW variant has no candidates.
+        assert not candidates(q_spec._replace(layout="NCHW"))
+        # And inference-only.
+        assert not candidates(q_spec._replace(direction="train"))
+
+    def test_float_pin_falls_back_on_quant_spec(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "depthwise=depthwise_einsum")
+        spec = _dw_spec("q8", 2, 8, 8, 3, 1, 1)
+        kernel = kernel_for(spec, _BenchArena(spec))
+        assert kernel.name.endswith("_q8")
+        row = selection_table()[spec.describe()]
+        assert row["source"] == "pin-fallback"
+
+    def test_quant_pin_falls_back_on_float_spec(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "depthwise=depthwise_native_q8")
+        spec = _dw_spec("", 2, 8, 8, 3, 1, 1)._replace(quant="")
+        kernel = kernel_for(spec, _BenchArena(spec))
+        assert not kernel.name.endswith(("_q8", "_q16"))
+        row = selection_table()[spec.describe()]
+        assert row["source"] == "pin-fallback"
+
+    def test_autotune_quant_decision_cached_and_complete(self, monkeypatch):
+        monkeypatch.delenv(KERNELS_ENV, raising=False)
+        clear_autotune_cache()
+        spec = _dw_spec("q8", 2, 8, 10, 3, 1, 1)
+        cands = candidates(spec)
+        first = kernel_for(spec, _BenchArena(spec))
+        second = kernel_for(spec, _BenchArena(spec))
+        assert first.name == second.name
+        row = selection_table()[spec.describe()]
+        assert row["source"] in ("cached", "autotuned", "only")
+        if len(cands) > 1:
+            timings = timings_for(spec)
+            # Losing candidates leave timings behind but no other state.
+            assert set(timings) == {cls.name for cls in cands}
+        clear_autotune_cache()
