@@ -102,6 +102,47 @@ class DifferentiableAcceleratorSearch:
         self.steps_taken = 0
 
     # ------------------------------------------------------------------ #
+    # Checkpointing (the co-search bundles this with the searcher state)
+    # ------------------------------------------------------------------ #
+    def state_dict(self):
+        """Everything needed to resume the accelerator search bit-identically.
+
+        Returns a flat ``{name: ndarray}`` dict: per-dimension logits
+        (``phi.<name>``), the Adam state, the RNG stream (json-encoded, as a
+        0-d unicode array), the step counter driving the temperature
+        schedule, and the moving-average cost baseline when one exists.
+        """
+        import json
+
+        state = {
+            "steps_taken": np.int64(self.steps_taken),
+            "rng": np.asarray(json.dumps(self.rng.bit_generator.state)),
+        }
+        if self._baseline is not None:
+            state["baseline"] = np.float64(self._baseline)
+        for name, logits in self.phi.items():
+            state["phi." + name] = logits.data.copy()
+        for key, value in self.optimizer.state_dict().items():
+            state["optim." + key] = value
+        return state
+
+    def load_state_dict(self, state):
+        """Restore :meth:`state_dict` output (in place)."""
+        import json
+
+        self.steps_taken = int(state["steps_taken"])
+        self.rng = np.random.default_rng()
+        self.rng.bit_generator.state = json.loads(str(np.asarray(state["rng"]).item()))
+        self._baseline = float(state["baseline"]) if "baseline" in state else None
+        for name, logits in self.phi.items():
+            logits.data[...] = state["phi." + name]
+            logits.bump_version()
+        self.optimizer.load_state_dict(
+            {k[len("optim."):]: v for k, v in state.items() if k.startswith("optim.")}
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
     # Sampling and evaluation
     # ------------------------------------------------------------------ #
     def sample(self, temperature):

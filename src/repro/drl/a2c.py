@@ -16,12 +16,15 @@ runtime cannot compile the step (``use_compiled_train=False`` forces it).
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..nn import RMSProp, clip_grad_norm
-from ..nn.serialization import load_state_dict, save_state_dict
+from ..nn.serialization import load_state_dict, save_state_dict, validate_state
+from ..reliability import health
+from ..reliability.faults import get_injector
 from ..utils.logging import MetricLogger
 from .distillation import ACDistiller, DistillationMode
 from .losses import TaskLossWeights, combine_task_loss, entropy_loss, policy_gradient_loss, value_loss
@@ -58,6 +61,15 @@ class A2CConfig:
     #: stays available per call); ``compiled_train_dtype=None`` means float64.
     use_compiled_train: bool = True
     compiled_train_dtype: object = None
+    #: Crash safety: write a full checkpoint to ``autosave_path`` every
+    #: ``autosave_interval`` updates (0 disables).  The write is atomic, so a
+    #: SIGKILL mid-save leaves the previous autosave intact and resuming from
+    #: it reproduces the uninterrupted run bit-identically.
+    autosave_interval: int = 0
+    autosave_path: object = None
+    #: After this many *consecutive* non-finite updates (guard trips), roll
+    #: the trainer back to the last autosave (when one exists; 0 disables).
+    guard_rollback_after: int = 3
 
     def loss_weights(self):
         """Bundle the beta coefficients into a :class:`TaskLossWeights`."""
@@ -101,6 +113,7 @@ class A2CTrainer:
         self._recent_returns = []
         self._collector = None
         self._train_step = None
+        self._guard_streak = 0
 
     # ------------------------------------------------------------------ #
     # Learning-rate schedule (paper: hold then linear decay)
@@ -183,6 +196,7 @@ class A2CTrainer:
             teacher_values=teacher_values,
         )
         self.updates += 1
+        self._note_guard(result.skipped)
         self.logger.log("loss/total", result.total, step=self.total_env_steps)
         for name in ("policy", "value", "entropy", "actor_distill", "critic_distill"):
             if name in result.components:
@@ -205,7 +219,7 @@ class A2CTrainer:
             try:
                 return self._update_compiled(batch)
             except CompileError:
-                pass
+                health.record("eager_fallbacks")
         observations = batch["observations"]
         actions = batch["actions"]
 
@@ -231,10 +245,23 @@ class A2CTrainer:
 
         self.optimizer.zero_grad()
         total.backward()
+        injector = get_injector()
+        if injector is not None and injector.should_fire("nan_grad"):
+            for param in self.agent.parameters():
+                if param.grad is not None:
+                    param.grad.flat[0] = np.nan
+                    break
         grad_norm = clip_grad_norm(self.agent.parameters(), cfg.max_grad_norm)
         self.optimizer.set_lr(self._current_lr())
-        self.optimizer.step()
+        skipped = not (np.isfinite(total.item()) and np.isfinite(grad_norm))
+        if skipped:
+            # Same guard as the compiled path: a poisoned loss or gradient
+            # must not reach the optimiser state or the parameters.
+            health.record("guard_trips")
+        else:
+            self.optimizer.step()
         self.updates += 1
+        self._note_guard(skipped)
 
         self.logger.log("loss/total", total.item(), step=self.total_env_steps)
         self.logger.log("loss/policy", loss_policy.item(), step=self.total_env_steps)
@@ -247,6 +274,41 @@ class A2CTrainer:
         self.logger.log("grad_norm", grad_norm, step=self.total_env_steps)
         self.logger.log("lr", self.optimizer.lr, step=self.total_env_steps)
         return total.item()
+
+    # ------------------------------------------------------------------ #
+    # Non-finite guard bookkeeping
+    # ------------------------------------------------------------------ #
+    def _note_guard(self, skipped):
+        """Track consecutive guard trips; roll back after K in a row.
+
+        Skipped updates leave parameters untouched, but K consecutive trips
+        mean the optimiser state (or the parameters themselves, poisoned
+        before the streak started) are beyond saving forward — reload the
+        last autosave instead of looping on garbage.  No-op when rollback is
+        disabled or no autosave exists yet.
+        """
+        if not skipped:
+            self._guard_streak = 0
+            return
+        self._guard_streak += 1
+        cfg = self.config
+        if not cfg.guard_rollback_after or self._guard_streak < cfg.guard_rollback_after:
+            return
+        self._guard_streak = 0
+        if cfg.autosave_path and os.path.exists(str(cfg.autosave_path)):
+            self.load_checkpoint(cfg.autosave_path)
+            health.record("checkpoint_rollbacks")
+
+    def _maybe_autosave(self):
+        """Write the periodic autosave checkpoint when one is due."""
+        cfg = self.config
+        if (
+            cfg.autosave_interval
+            and cfg.autosave_path
+            and self.updates % cfg.autosave_interval == 0
+        ):
+            self.save_checkpoint(cfg.autosave_path)
+            health.record("autosaves")
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -265,6 +327,7 @@ class A2CTrainer:
         while self.total_env_steps < target_steps:
             buffer, bootstrap = self._collect_rollout()
             self.update(buffer, bootstrap)
+            self._maybe_autosave()
             if next_eval is not None and self.total_env_steps >= next_eval and self.evaluator is not None:
                 self.agent.eval()
                 score = float(self.evaluator(self.agent))
@@ -286,6 +349,10 @@ class A2CTrainer:
         with a freshly constructed (seeded) environment, exactly as at the
         start of training.
         """
+        return save_state_dict(self._checkpoint_state(), path)
+
+    def _checkpoint_state(self):
+        """The full resume state (also the key/shape reference for loads)."""
         state = {}
         for key, value in self.agent.state_dict().items():
             state["agent." + key] = value
@@ -294,7 +361,7 @@ class A2CTrainer:
         state["trainer.total_env_steps"] = np.int64(self.total_env_steps)
         state["trainer.updates"] = np.int64(self.updates)
         state["trainer.rng"] = np.asarray(json.dumps(self.rng.bit_generator.state))
-        return save_state_dict(state, path)
+        return state
 
     def load_checkpoint(self, path):
         """Restore a checkpoint written by :meth:`save_checkpoint` (in place).
@@ -303,8 +370,14 @@ class A2CTrainer:
         survive the load; the next rollout re-seeds from a fresh environment
         reset, and continuation is bit-identical to a trainer that never
         stopped (given the same environment construction).
+
+        The checkpoint is validated against the trainer's current state
+        layout *before* anything is restored, so a truncated, corrupt, or
+        mismatched file raises :class:`~repro.nn.serialization.CheckpointError`
+        (naming the path and the offending keys) and never half-restores.
         """
         state = load_state_dict(path)
+        validate_state(state, self._checkpoint_state(), path)
         self.agent.load_state_dict(
             {k[len("agent."):]: v for k, v in state.items() if k.startswith("agent.")}
         )

@@ -111,12 +111,13 @@ class ActorCriticAgent(Module):
         arguments the runtime cannot compile (e.g. gated supernet forwards).
         """
         if self.use_runtime:
+            from ..reliability import health
             from ..runtime.compiler import CompileError
 
             try:
                 return self.runtime.policy_value(observations, **backbone_kwargs)
             except CompileError:
-                pass
+                health.record("eager_fallbacks")
         with no_grad():
             output = self.forward(observations, **backbone_kwargs)
         return output.probs.data, output.value.data

@@ -30,6 +30,7 @@ __all__ = [
     "register_vector_backend",
     "get_vector_backend",
     "default_vector_backend",
+    "async_supervision",
 ]
 
 
@@ -276,6 +277,26 @@ def default_vector_backend():
     per step costs more than the overlapped env work saves (see README).
     """
     return os.environ.get("REPRO_VECTOR_BACKEND", "batched")
+
+
+def async_supervision():
+    """Resolve the async backend's supervision defaults from the environment.
+
+    Returns a dict with ``step_timeout`` (seconds one ``step_wait`` may wait
+    per worker; ``REPRO_ENV_STEP_TIMEOUT``, default 60, <= 0 disables the
+    deadline), ``restart_budget`` (consecutive failures one lane may absorb
+    before the env degrades to the sync backend;
+    ``REPRO_ENV_RESTART_BUDGET``, default 5) and ``restart_backoff`` (base
+    seconds of the exponential respawn backoff;
+    ``REPRO_ENV_RESTART_BACKOFF``, default 0.05).  Explicit
+    ``supervision=`` kwargs to ``make_vector_env`` override these.
+    """
+    timeout = float(os.environ.get("REPRO_ENV_STEP_TIMEOUT", "60"))
+    return {
+        "step_timeout": timeout if timeout > 0 else 0.0,
+        "restart_budget": int(os.environ.get("REPRO_ENV_RESTART_BUDGET", "5")),
+        "restart_backoff": float(os.environ.get("REPRO_ENV_RESTART_BACKOFF", "0.05")),
+    }
 
 
 def get_vector_backend(name=None):

@@ -22,14 +22,33 @@ continue the same per-env stream instead of silently re-deriving state from
 the original ``seed + index`` integer.  (``np.random.default_rng(generator)``
 returns the generator itself, so the base ``Env.reset(seed=...)`` contract is
 unchanged.)
+
+Supervision: the async backend is *supervised* — every ``step_wait`` enforces
+a per-worker deadline (``REPRO_ENV_STEP_TIMEOUT``), and a worker that dies or
+hangs is killed and respawned from its lane's retained ``SeedSequence`` (a
+fresh spawn child, so restarted lanes stay on deterministic, independent
+streams).  The restarted lane reports ``(reset_obs, 0.0, done=True,
+{"worker_restarted": True})`` — masked exactly like an auto-reset boundary,
+so rollout buffers and return bootstrapping stay well-defined.  Restarts are
+budgeted per lane with exponential backoff
+(:class:`~repro.reliability.retry.RetryPolicy`); when a lane exhausts its
+budget (``REPRO_ENV_RESTART_BUDGET`` consecutive failures) the whole env
+*degrades* to the in-process sync backend — one all-lanes ``done=True``
+boundary, then training continues without worker processes instead of dying
+mid-rollout.  Worker-side *program* errors (bad action, bad game name, env
+bug) still raise ``RuntimeError`` in the parent: a restart cannot fix those.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 
 import numpy as np
 
+from ..reliability import health
+from ..reliability.faults import get_injector
+from ..reliability.retry import RetryPolicy
 from .base import Env
 
 __all__ = ["VectorEnv", "AsyncVectorEnv", "make_vector_env", "spawn_env_generators"]
@@ -201,24 +220,47 @@ def _async_worker(env_fn, conn):
 
 
 class AsyncVectorEnv(Env):
-    """Worker-process vectorised environment behind the ``VectorEnv`` interface.
+    """Supervised worker-process vector env behind the ``VectorEnv`` interface.
 
     Each sub-environment lives in a forked worker; ``step_async`` ships one
     action per worker and returns immediately, letting rollout collectors
     overlap environment stepping with batched policy inference on the main
     process.  ``step`` is ``step_async`` + ``step_wait`` for drop-in use.
 
+    The parent *supervises* the workers (see the module docstring): crashed
+    or deadline-blown workers are respawned on their lane's seed stream and
+    the lane is masked like an auto-reset boundary; a lane that keeps dying
+    degrades the whole env to the in-process sync backend instead of raising
+    mid-rollout.
+
     Parameters
     ----------
     env_fns:
         Zero-argument environment constructors, one per worker.  Fork start
         method means plain closures work (nothing is pickled at spawn time).
+        The constructors are retained for respawns and the sync fallback.
     context:
         ``multiprocessing`` start method; ``"fork"`` (default) is required
         for closure ``env_fns`` and is available on every POSIX platform.
+    step_timeout:
+        Per-worker deadline (seconds) that one ``step_wait`` enforces across
+        all lanes.  ``None`` resolves ``REPRO_ENV_STEP_TIMEOUT`` (default 60);
+        0 disables the deadline.
+    restart_budget:
+        Consecutive failed steps one lane may accumulate before the env
+        degrades to the sync backend.  ``None`` resolves
+        ``REPRO_ENV_RESTART_BUDGET`` (default 5).
+    restart_backoff:
+        Base backoff (seconds) of the exponential respawn delay.  ``None``
+        resolves ``REPRO_ENV_RESTART_BACKOFF`` (default 0.05).
     """
 
-    def __init__(self, env_fns, context="fork"):
+    #: ``make_vector_env`` forwards its ``supervision=`` kwargs only to
+    #: factories declaring this attribute.
+    accepts_supervision = True
+
+    def __init__(self, env_fns, context="fork", step_timeout=None,
+                 restart_budget=None, restart_backoff=None):
         if not env_fns:
             raise ValueError("need at least one environment")
         try:
@@ -228,17 +270,40 @@ class AsyncVectorEnv(Env):
                 "AsyncVectorEnv needs the {!r} multiprocessing start method; "
                 "use the sync backend on this platform".format(context)
             ) from error
+        from .registry import async_supervision
+
+        defaults = async_supervision()
+        if step_timeout is None:
+            step_timeout = defaults["step_timeout"]
+        self._step_timeout = float(step_timeout) if step_timeout else None
+        if restart_budget is None:
+            restart_budget = defaults["restart_budget"]
+        self._restart_budget = max(0, int(restart_budget))
+        if restart_backoff is None:
+            restart_backoff = defaults["restart_backoff"]
+        self._retry = RetryPolicy(
+            max_attempts=max(1, self._restart_budget),
+            backoff=float(restart_backoff),
+            factor=2.0,
+            max_backoff=2.0,
+        )
+        self._ctx = ctx
+        self._env_fns = list(env_fns)
         self.num_envs = len(env_fns)
-        self._conns = []
-        self._procs = []
-        for fn in env_fns:
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(target=_async_worker, args=(fn, child), daemon=True)
-            proc.start()
-            child.close()
-            self._conns.append(parent)
-            self._procs.append(proc)
-        self._seed_sequences = [None] * self.num_envs
+        self._conns = [None] * self.num_envs
+        self._procs = [None] * self.num_envs
+        for index in range(self.num_envs):
+            self._spawn_worker(index)
+        #: Retained per-lane seed streams: delivered to the worker at seeded
+        #: resets, and spawned from (``seq.spawn(1)[0]``) to re-seed
+        #: replacement workers, so restarts stay deterministic per lane.
+        self._lane_sequences = [None] * self.num_envs
+        #: Consecutive failed steps per lane; reset by any successful reply.
+        self._streaks = [0] * self.num_envs
+        #: Lanes whose dispatch failed (no reply will come): index -> reason.
+        self._broken = {}
+        #: The sync :class:`VectorEnv` this env delegates to after degrading.
+        self._fallback = None
         self._waiting = False
         self._closed = False
         self._conns[0].send(("spec", None))
@@ -252,71 +317,252 @@ class AsyncVectorEnv(Env):
             raise RuntimeError("async env worker failed:\n{}".format(payload))
         return payload
 
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn_worker(self, index):
+        """(Re)create lane ``index``'s worker process and pipe."""
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_async_worker, args=(self._env_fns[index], child), daemon=True
+        )
+        proc.start()
+        child.close()
+        self._conns[index] = parent
+        self._procs[index] = proc
+
+    def _kill_lane(self, index):
+        """Tear down lane ``index``'s worker unconditionally (never raises)."""
+        conn = self._conns[index]
+        proc = self._procs[index]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if proc is not None:
+            try:
+                proc.terminate()
+                proc.join(timeout=5)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=5)
+            except Exception:
+                pass
+
+    def _teardown_workers(self):
+        """Kill every worker (degrade path; ``close`` handles the polite path)."""
+        for index in range(self.num_envs):
+            self._kill_lane(index)
+
+    def _restart_lane(self, index, reason, reset_payload=None):
+        """Respawn a dead or hung lane and reset its replacement worker.
+
+        Returns the lane's masked step result ``(reset_obs, 0.0, True,
+        info)`` — the same shape as an auto-reset boundary — or ``None``
+        when the lane's restart budget is exhausted (the caller degrades the
+        env).  ``reset_payload`` overrides the replacement's seed stream
+        (used by :meth:`reset`, where the lane's undelivered ``SeedSequence``
+        must reach the new worker verbatim so seeded resets stay exact).
+        """
+        while True:
+            streak = self._streaks[index]
+            if streak >= self._restart_budget:
+                return None
+            self._streaks[index] = streak + 1
+            delay = self._retry.delay(self._streaks[index])
+            if delay:
+                time.sleep(delay)
+            self._kill_lane(index)
+            self._spawn_worker(index)
+            payload = reset_payload
+            if payload is None:
+                sequence = self._lane_sequences[index]
+                payload = (
+                    sequence.spawn(1)[0] if sequence is not None else np.random.SeedSequence()
+                )
+            conn = self._conns[index]
+            try:
+                conn.send(("reset", payload))
+                if self._step_timeout is not None and not conn.poll(self._step_timeout):
+                    raise EOFError("replacement worker missed the reset deadline")
+                status, reply = conn.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                # The replacement died too: burn another unit of budget.
+                continue
+            if status == "error":
+                # The env itself cannot construct or reset — a program error
+                # no amount of restarting fixes.
+                self._waiting = False
+                self.close(terminate=True)
+                raise RuntimeError("async env worker failed:\n{}".format(reply))
+            health.record("worker_restarts")
+            info = {"worker_restarted": True, "restart_reason": reason}
+            return reply, 0.0, True, info
+
+    def _degrade_to_sync(self, seed=None):
+        """Budget exhausted: continue on an in-process :class:`VectorEnv`.
+
+        Tears the workers down, builds the sync env from the retained
+        constructors, and seeds each lane by spawning a fresh child off the
+        lane's retained ``SeedSequence`` (or with ``seed`` when degrading
+        inside a seeded ``reset``).  Returns the reset observations.
+        """
+        health.record("env_degraded")
+        self._teardown_workers()
+        fallback = VectorEnv(self._env_fns)
+        if seed is not None:
+            observations = fallback.reset(seed=seed)
+        else:
+            fallback._rngs = [
+                np.random.default_rng(seq.spawn(1)[0]) if seq is not None
+                else np.random.default_rng()
+                for seq in self._lane_sequences
+            ]
+            observations = fallback.reset()
+        self._fallback = fallback
+        self._waiting = False
+        self._broken = {}
+        return observations
+
+    # ------------------------------------------------------------------ #
+    # Env interface
+    # ------------------------------------------------------------------ #
     def reset(self, seed=None):
+        if self._fallback is not None:
+            return self._fallback.reset(seed=seed)
         if self._waiting:
             raise RuntimeError("reset called with a step_async in flight; call step_wait first")
         if seed is not None:
-            self._seed_sequences = np.random.SeedSequence(seed).spawn(self.num_envs)
-        for conn, child_sequence in zip(self._conns, self._seed_sequences):
-            conn.send(("reset", child_sequence))
-        observations = [self._recv(conn) for conn in self._conns]
-        # Sequences were delivered; workers keep the generators from now on.
-        self._seed_sequences = [None] * self.num_envs
+            self._lane_sequences = np.random.SeedSequence(seed).spawn(self.num_envs)
+            payloads = list(self._lane_sequences)
+        else:
+            payloads = [None] * self.num_envs
+        delivered = [False] * self.num_envs
+        for index, conn in enumerate(self._conns):
+            try:
+                conn.send(("reset", payloads[index]))
+                delivered[index] = True
+            except (BrokenPipeError, OSError):
+                pass
+        observations = [None] * self.num_envs
+        for index, conn in enumerate(self._conns):
+            obs = None
+            if delivered[index]:
+                try:
+                    if self._step_timeout is not None and not conn.poll(self._step_timeout):
+                        raise EOFError("reset deadline expired")
+                    status, reply = conn.recv()
+                except (EOFError, OSError):
+                    pass
+                else:
+                    if status == "error":
+                        raise RuntimeError("async env worker failed:\n{}".format(reply))
+                    obs = reply
+                    self._streaks[index] = 0
+            if obs is None:
+                result = self._restart_lane(index, "reset", reset_payload=payloads[index])
+                if result is None:
+                    return self._degrade_to_sync(seed=seed)
+                obs = result[0]
+            observations[index] = obs
         return np.stack(observations)
 
     def step_async(self, actions):
         """Dispatch one action per worker without waiting for results."""
+        if self._fallback is not None:
+            return self._fallback.step_async(actions)
         actions = np.asarray(actions)
         if actions.shape[0] != self.num_envs:
             raise ValueError("expected {} actions, got {}".format(self.num_envs, actions.shape[0]))
         if self._waiting:
             raise RuntimeError("step_async called twice without step_wait")
-        dead = []
+        injector = get_injector()
+        self._broken = {}
         for index, (conn, action) in enumerate(zip(self._conns, actions)):
+            if injector is not None:
+                if injector.should_fire("worker_crash"):
+                    # Kill the worker under the parent's feet; the recv path
+                    # discovers the death and restarts the lane.
+                    try:
+                        self._procs[index].kill()
+                    except (OSError, AttributeError):
+                        pass
+                if injector.should_fire("step_hang"):
+                    # Withhold the request: the lane never replies, so its
+                    # deadline expires in step_wait — a synthetic hang.
+                    continue
             try:
                 conn.send(("step", int(action)))
             except (BrokenPipeError, OSError):
-                dead.append(index)
-        if dead:
-            # A worker died before the dispatch: some workers now hold an
-            # unanswered request, so tear everything down rather than leak.
-            self.close(terminate=True)
-            raise RuntimeError(
-                "async env worker(s) {} died during step dispatch; "
-                "vector env closed".format(dead)
-            )
+                # Dead at dispatch: no reply will come; restart in step_wait.
+                self._broken[index] = "crash"
         self._waiting = True
 
     def step_wait(self):
-        """Gather the results of the in-flight :meth:`step_async`."""
+        """Gather the in-flight step, supervising every lane.
+
+        One shared deadline covers all lanes; dead lanes restart immediately,
+        deadline-blown lanes are treated as hung and restarted, and worker
+        *program* errors still raise after every lane is drained.  A lane out
+        of restart budget degrades the whole env to the sync backend: all
+        lanes reset and report ``done=True`` (a global episode boundary).
+        """
+        if self._fallback is not None:
+            return self._fallback.step_wait()
         if not self._waiting:
             raise RuntimeError("step_wait called without step_async")
-        # Drain every worker before raising so one failed worker neither
-        # wedges the env in the waiting state nor desynchronises the other
-        # pipes' request/reply pairing.
-        replies = []
-        dead = []
-        try:
-            for index, conn in enumerate(self._conns):
+        deadline = (
+            None if self._step_timeout is None else time.monotonic() + self._step_timeout
+        )
+        results = [None] * self.num_envs
+        errors = []
+        degrade = False
+        for index, conn in enumerate(self._conns):
+            if index in self._broken:
+                result = self._restart_lane(index, self._broken[index])
+            else:
+                timed_out = False
                 try:
-                    replies.append(conn.recv())
+                    if deadline is not None:
+                        remaining = max(0.0, deadline - time.monotonic())
+                        if not conn.poll(remaining):
+                            timed_out = True
+                    if not timed_out:
+                        status, payload = conn.recv()
                 except (EOFError, OSError):
-                    dead.append(index)
-        finally:
-            self._waiting = False
-        if dead:
-            # A worker died mid-step (crash / kill): the request/reply
-            # protocol cannot recover, so tear everything down instead of
-            # leaking the surviving forked workers.
-            self.close(terminate=True)
-            raise RuntimeError(
-                "async env worker(s) {} died during step_wait; "
-                "vector env closed".format(dead)
+                    result = self._restart_lane(index, "crash")
+                else:
+                    if timed_out:
+                        health.record("step_timeouts")
+                        result = self._restart_lane(index, "hang")
+                    elif status == "error":
+                        errors.append(payload)
+                        self._streaks[index] = 0
+                        result = ("worker-error", 0.0, False, {})
+                    else:
+                        self._streaks[index] = 0
+                        result = payload
+            if result is None:
+                degrade = True
+                break
+            results[index] = result
+        self._broken = {}
+        self._waiting = False
+        if degrade:
+            observations = self._degrade_to_sync()
+            infos = [
+                {"worker_restarted": True, "env_degraded": True}
+                for _ in range(self.num_envs)
+            ]
+            return (
+                observations,
+                np.zeros(self.num_envs),
+                np.ones(self.num_envs, dtype=bool),
+                infos,
             )
-        errors = [payload for status, payload in replies if status == "error"]
         if errors:
             raise RuntimeError("async env worker failed:\n{}".format("\n".join(errors)))
-        results = [payload for _, payload in replies]
         observations, rewards, dones, infos = zip(*results)
         return (
             np.stack(observations),
@@ -339,13 +585,20 @@ class AsyncVectorEnv(Env):
         if self._closed:
             return
         self._closed = True
+        if self._fallback is not None:
+            self._fallback.close()
+            return
         if self._waiting and not terminate:
             # Drain the in-flight step replies so the close command is not
             # answered by a stale step result (and the workers actually see
-            # it instead of blocking on a full pipe).
-            for conn in self._conns:
+            # it instead of blocking on a full pipe).  Lanes that never got a
+            # request (or never reply) bound the wait by the step deadline.
+            for index, conn in enumerate(self._conns):
+                if index in self._broken:
+                    continue
                 try:
-                    conn.recv()
+                    if conn.poll(self._step_timeout):
+                        conn.recv()
                 except (EOFError, OSError):
                     pass
             self._waiting = False
@@ -357,12 +610,18 @@ class AsyncVectorEnv(Env):
                     continue
             for conn in self._conns:
                 try:
-                    conn.recv()
+                    if conn.poll(self._step_timeout):
+                        conn.recv()
                 except (EOFError, OSError):
                     pass
         for conn in self._conns:
-            conn.close()
+            try:
+                conn.close()
+            except OSError:
+                pass
         for proc in self._procs:
+            if proc is None:
+                continue
             if terminate:
                 proc.terminate()
             proc.join(timeout=5)
@@ -378,7 +637,8 @@ class AsyncVectorEnv(Env):
             pass
 
 
-def make_vector_env(name, num_envs=4, seed=0, backend=None, randomize=None, **env_kwargs):
+def make_vector_env(name, num_envs=4, seed=0, backend=None, randomize=None,
+                    supervision=None, **env_kwargs):
     """Build a vectorised environment of ``num_envs`` copies of a registered game.
 
     ``backend`` selects the implementation from the registry in
@@ -398,6 +658,12 @@ def make_vector_env(name, num_envs=4, seed=0, backend=None, randomize=None, **en
     ranges re-drawn per env from its own stream on every reset — the cheap
     scenario-diversity hook of the batched backend (serial backends do not
     support it).
+
+    ``supervision`` is a dict of supervision overrides (``step_timeout``,
+    ``restart_budget``, ``restart_backoff``) forwarded to backends declaring
+    ``accepts_supervision`` (the built-in ``"async"``); passing it with any
+    other backend raises ``ValueError``.  Omitted, the env-var defaults of
+    :func:`repro.envs.registry.async_supervision` apply.
     """
     from .batched import BatchedUnsupportedError
     from .registry import default_vector_backend, get_vector_backend, make_env
@@ -405,6 +671,10 @@ def make_vector_env(name, num_envs=4, seed=0, backend=None, randomize=None, **en
     choice = backend if backend is not None else default_vector_backend()
     factory = get_vector_backend(choice)
     if getattr(factory, "constructs_from_game_name", False):
+        if supervision is not None:
+            raise ValueError(
+                "supervision= requires a worker-process backend (got backend={!r})".format(choice)
+            )
         # Name-based convention (the batched backend, or a registered
         # replacement): one engine for all lanes, no per-env closures.
         try:
@@ -420,8 +690,15 @@ def make_vector_env(name, num_envs=4, seed=0, backend=None, randomize=None, **en
         raise ValueError(
             "randomize= requires the batched backend (got backend={!r})".format(choice)
         )
+    if supervision is not None and not getattr(factory, "accepts_supervision", False):
+        raise ValueError(
+            "supervision= requires a supervised backend (got backend={!r})".format(choice)
+        )
 
     def make_one(index):
         return lambda: make_env(name, seed=seed + index, **env_kwargs)
 
-    return factory([make_one(i) for i in range(num_envs)])
+    env_fns = [make_one(i) for i in range(num_envs)]
+    if getattr(factory, "accepts_supervision", False) and supervision is not None:
+        return factory(env_fns, **supervision)
+    return factory(env_fns)

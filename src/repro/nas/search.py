@@ -18,6 +18,8 @@ term of Eq. 4 added to the architecture-parameter gradient (Eq. 8).
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,6 +31,9 @@ from ..drl.rollout import RolloutCollector
 from ..envs import make_vector_env
 from ..networks.supernet import AgentSuperNet
 from ..nn import Adam, RMSProp, Tensor, clip_grad_norm, no_grad
+from ..nn.serialization import load_state_dict, save_state_dict, validate_state
+from ..reliability import health
+from ..reliability.faults import get_injector
 from ..utils.logging import MetricLogger
 from .arch_params import ArchitectureParameters
 from .gumbel import TemperatureSchedule
@@ -91,6 +96,15 @@ class SearchConfig:
     #: gradient at far less than K compiled updates' cost.  The rollout is
     #: still collected along the first sample's hard path.
     grad_samples: int = 1
+    #: Crash safety: atomically checkpoint the full search state (alphas,
+    #: both optimisers, supernet weights, RNG, counters) to ``autosave_path``
+    #: every ``autosave_interval`` updates (0 disables).  Resuming from an
+    #: autosave reproduces the uninterrupted run bit-identically.
+    autosave_interval: int = 0
+    autosave_path: object = None
+    #: After this many *consecutive* non-finite updates (guard trips), roll
+    #: the search back to the last autosave (when one exists; 0 disables).
+    guard_rollback_after: int = 3
 
     def loss_weights(self):
         """Bundle the beta coefficients of Eq. 12."""
@@ -202,6 +216,12 @@ class DRLArchitectureSearch:
         self._collector = None
         self._recent_returns = []
         self._train_step = None
+        self._guard_streak = 0
+        self._update_skipped = False
+        #: Override for the periodic autosave (the co-search points this at
+        #: its combined searcher+DAS checkpoint); ``None`` uses
+        #: :meth:`save_checkpoint` on ``config.autosave_path``.
+        self.autosave_fn = None
 
     # ------------------------------------------------------------------ #
     # Rollout collection along the currently sampled path
@@ -327,6 +347,16 @@ class DRLArchitectureSearch:
                 for c, cell in enumerate(active)
             ],
         )
+        if result.skipped:
+            # The non-finite guard suppressed the weight update; the gate
+            # gradients came from the same poisoned backward, so alpha skips
+            # too (and the search loop notes the trip for rollback streaks).
+            self._note_guard(True)
+            components = dict(result.components)
+            components.setdefault("actor_distill", 0.0)
+            components.setdefault("critic_distill", 0.0)
+            return result.total, components, 0.0
+        self._note_guard(False)
         # Alpha update: seed the gate gradients back through the Gumbel graph.
         self.alpha_optimizer.zero_grad()
         seed = None
@@ -403,6 +433,13 @@ class DRLArchitectureSearch:
             num_samples=num_samples,
         )
         gates0, _, sampled0 = samples[0]
+        if result.skipped:
+            self._note_guard(True)
+            components = dict(result.components)
+            components.setdefault("actor_distill", 0.0)
+            components.setdefault("critic_distill", 0.0)
+            return result.total, components, 0.0
+        self._note_guard(False)
         self.alpha_optimizer.zero_grad()
         seed = None
         for k, (gates, active, _) in enumerate(samples):
@@ -453,7 +490,7 @@ class DRLArchitectureSearch:
             try:
                 return self._compiled_stacked_one_level(batch, samples)
             except CompileError:
-                pass
+                health.record("eager_fallbacks")
         # Eager fallback: mean of the K per-sample task losses on the tape.
         total = None
         components_mean = {}
@@ -467,9 +504,7 @@ class DRLArchitectureSearch:
         self.weight_optimizer.zero_grad()
         self.alpha_optimizer.zero_grad()
         total.backward()
-        clip_grad_norm(self.agent.parameters(), cfg.max_grad_norm)
-        self.weight_optimizer.step()
-        self.alpha_optimizer.step()
+        self._guarded_eager_step(total)
         return total.item(), components_mean, hw_value
 
     def _one_level_update(self):
@@ -488,17 +523,47 @@ class DRLArchitectureSearch:
             try:
                 return self._compiled_one_level(batch, gates, active, sampled)
             except CompileError:
-                pass
+                health.record("eager_fallbacks")
         total, components = self._task_loss(batch, gates, active)
         total, hw_value = self._add_hardware_penalty(total, sampled, gates)
 
         self.weight_optimizer.zero_grad()
         self.alpha_optimizer.zero_grad()
         total.backward()
-        clip_grad_norm(self.agent.parameters(), self.config.max_grad_norm)
-        self.weight_optimizer.step()
-        self.alpha_optimizer.step()
+        self._guarded_eager_step(total)
         return total.item(), components, hw_value
+
+    def _guarded_eager_step(self, total, update_alpha=True):
+        """Clip, guard, and apply the eager optimiser step(s).
+
+        Mirrors the compiled path's non-finite guard: a NaN/Inf loss, weight
+        gradient norm, or alpha gradient norm skips both optimiser steps
+        (leaving parameters and optimiser state untouched), bumps the
+        ``guard_trips`` counter, and feeds the rollback streak.  The
+        ``nan_grad`` fault poisons the first weight gradient here, exactly
+        as on the compiled path.  Returns True when the step was applied.
+        """
+        injector = get_injector()
+        if injector is not None and injector.should_fire("nan_grad"):
+            for param in self.agent.parameters():
+                if param.grad is not None:
+                    param.grad.flat[0] = np.nan
+                    break
+        grad_norm = clip_grad_norm(self.agent.parameters(), self.config.max_grad_norm)
+        alpha_norm = clip_grad_norm(self.arch.parameters(), None) if update_alpha else 0.0
+        if not (
+            np.isfinite(total.item())
+            and np.isfinite(grad_norm)
+            and np.isfinite(alpha_norm)
+        ):
+            health.record("guard_trips")
+            self._note_guard(True)
+            return False
+        self.weight_optimizer.step()
+        if update_alpha:
+            self.alpha_optimizer.step()
+        self._note_guard(False)
+        return True
 
     def _bi_level_update(self):
         """Bi-level: weights on one rollout, alpha on a fresh "validation" rollout.
@@ -517,8 +582,7 @@ class DRLArchitectureSearch:
         self.weight_optimizer.zero_grad()
         self.alpha_optimizer.zero_grad()
         total_w.backward()
-        clip_grad_norm(self.agent.parameters(), self.config.max_grad_norm)
-        self.weight_optimizer.step()
+        self._guarded_eager_step(total_w, update_alpha=False)
 
         # --- alpha step on a fresh rollout ("validation" data) -----------
         gates_v, active_v, sampled_v = self.arch.sample(
@@ -531,7 +595,12 @@ class DRLArchitectureSearch:
         self.weight_optimizer.zero_grad()
         self.alpha_optimizer.zero_grad()
         total_a.backward()
-        self.alpha_optimizer.step()
+        alpha_norm = clip_grad_norm(self.arch.parameters(), None)
+        if np.isfinite(total_a.item()) and np.isfinite(alpha_norm):
+            self.alpha_optimizer.step()
+        else:
+            health.record("guard_trips")
+            self._note_guard(True)
         return total_w.item(), components, hw_value
 
     # ------------------------------------------------------------------ #
@@ -550,6 +619,7 @@ class DRLArchitectureSearch:
             else:
                 loss_value, components, hw_value = self._bi_level_update()
             self.updates += 1
+            self._maybe_autosave()
             self.logger.log("loss/total", loss_value, step=self.total_env_steps)
             for key, value in components.items():
                 self.logger.log("loss/{}".format(key), value, step=self.total_env_steps)
@@ -572,13 +642,114 @@ class DRLArchitectureSearch:
             total_env_steps=self.total_env_steps,
         )
 
+    # ------------------------------------------------------------------ #
+    # Guard bookkeeping + crash safety
+    # ------------------------------------------------------------------ #
+    def _note_guard(self, skipped):
+        """Track consecutive guard trips; roll back after K in a row."""
+        if not skipped:
+            self._update_skipped = False
+            self._guard_streak = 0
+            return
+        self._update_skipped = True
+        self._guard_streak += 1
+        cfg = self.config
+        if not cfg.guard_rollback_after or self._guard_streak < cfg.guard_rollback_after:
+            return
+        self._guard_streak = 0
+        if cfg.autosave_path and os.path.exists(str(cfg.autosave_path)):
+            self.load_checkpoint(cfg.autosave_path)
+            health.record("checkpoint_rollbacks")
+
+    def _maybe_autosave(self):
+        """Write the periodic autosave checkpoint when one is due.
+
+        The co-search overrides the write via :attr:`autosave_fn` so one
+        autosave covers the searcher *and* the accelerator-search state.
+        """
+        cfg = self.config
+        if not cfg.autosave_interval or self.updates % cfg.autosave_interval != 0:
+            return
+        if self.autosave_fn is not None:
+            self.autosave_fn()
+            health.record("autosaves")
+        elif cfg.autosave_path:
+            self.save_checkpoint(cfg.autosave_path)
+            health.record("autosaves")
+
+    def save_checkpoint(self, path):
+        """Atomically persist everything needed to resume bit-identically.
+
+        Covers the supernet/agent parameters and buffers, both optimisers
+        (RMSProp on the weights, Adam on alpha), the architecture
+        parameters, the search RNG stream, and the step/update counters
+        driving the temperature schedule.  The environment is *not*
+        serialised — resume with a freshly constructed (seeded) environment,
+        exactly as at the start of the search.
+        """
+        return save_state_dict(self._checkpoint_state(), path)
+
+    def _checkpoint_state(self):
+        """The full resume state (also the key/shape reference for loads)."""
+        state = {}
+        for key, value in self.agent.state_dict().items():
+            state["agent." + key] = value
+        for key, value in self.weight_optimizer.state_dict().items():
+            state["woptim." + key] = value
+        for key, value in self.alpha_optimizer.state_dict().items():
+            state["aoptim." + key] = value
+        for key, value in self.arch.state_dict().items():
+            state["arch." + key] = value
+        state["search.total_env_steps"] = np.int64(self.total_env_steps)
+        state["search.updates"] = np.int64(self.updates)
+        state["search.rng"] = np.asarray(json.dumps(self.rng.bit_generator.state))
+        return state
+
+    def load_checkpoint(self, path):
+        """Restore a checkpoint written by :meth:`save_checkpoint` (in place).
+
+        The checkpoint is validated against the searcher's current state
+        layout *before* anything is restored, so a truncated, corrupt, or
+        mismatched file raises
+        :class:`~repro.nn.serialization.CheckpointError` and never
+        half-restores.  Compiled plans read parameters live and survive the
+        load; continuation is bit-identical to a search that never stopped
+        (given the same environment construction).
+        """
+        state = load_state_dict(path)
+        validate_state(state, self._checkpoint_state(), path)
+        self.agent.load_state_dict(
+            {k[len("agent."):]: v for k, v in state.items() if k.startswith("agent.")}
+        )
+        self.weight_optimizer.load_state_dict(
+            {k[len("woptim."):]: v for k, v in state.items() if k.startswith("woptim.")}
+        )
+        self.alpha_optimizer.load_state_dict(
+            {k[len("aoptim."):]: v for k, v in state.items() if k.startswith("aoptim.")}
+        )
+        self.arch.load_state_dict(
+            {k[len("arch."):]: v for k, v in state.items() if k.startswith("arch.")}
+        )
+        self.total_env_steps = int(state["search.total_env_steps"])
+        self.updates = int(state["search.updates"])
+        self.rng = np.random.default_rng()
+        self.rng.bit_generator.state = json.loads(str(state["search.rng"].item()))
+        self._guard_streak = 0
+        if self._collector is not None:
+            self._collector.restart()
+        return self
+
     def _log_runtime_stats(self):
         """Log plan-cache / buffer-pool counters so compilation amortisation
-        (and the fusion/aliasing wins behind it) stays observable."""
+        (and the fusion/aliasing wins behind it) stays observable, plus the
+        process-wide reliability counters (restarts, guard trips, fallbacks)
+        so recovery activity shows up in the same per-update stream."""
         from ..runtime import cache_stats
 
         stats = cache_stats()
         step = self.total_env_steps
+        for name, value in stats["health"].items():
+            self.logger.log("health/" + name, value, step=step)
         self.logger.log("runtime/train_plan_hits", stats["train_plans"]["cache_hits"], step=step)
         self.logger.log("runtime/train_plan_misses", stats["train_plans"]["cache_misses"], step=step)
         self.logger.log(

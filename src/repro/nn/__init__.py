@@ -42,7 +42,14 @@ from .optim import (
     StepDecaySchedule,
     clip_grad_norm,
 )
-from .serialization import load_module, load_state_dict, save_module, save_state_dict
+from .serialization import (
+    CheckpointError,
+    load_module,
+    load_state_dict,
+    save_module,
+    save_state_dict,
+    validate_state,
+)
 from .tensor import Tensor, as_tensor, no_grad, is_grad_enabled, unbroadcast
 
 F = functional
@@ -89,6 +96,8 @@ __all__ = [
     "clip_grad_norm",
     "save_state_dict",
     "load_state_dict",
+    "validate_state",
+    "CheckpointError",
     "save_module",
     "load_module",
 ]

@@ -76,7 +76,7 @@ class Optimizer:
     # ------------------------------------------------------------------ #
     # Fused in-place update path (compiled training runtime)
     # ------------------------------------------------------------------ #
-    def apply_gradients(self, grads, max_norm=None):
+    def apply_gradients(self, grads, max_norm=None, skip_nonfinite=False):
         """Clip and apply raw gradient arrays in one fused, in-place pass.
 
         Parameters
@@ -89,10 +89,19 @@ class Optimizer:
             get re-zeroed before the next backward.
         max_norm:
             Optional global L2-norm bound (the trainers' grad clipping).
+        skip_nonfinite:
+            When True and the global norm is NaN/Inf, return without clipping
+            or applying anything — parameters and optimiser state are left
+            untouched.  The check costs nothing extra: any non-finite grad
+            entry propagates into the norm already computed for logging.
+            (The check must precede clipping: an Inf norm would otherwise
+            scale every grad to ~0 and "apply" a silent no-op-ish update.)
 
         Returns
         -------
-        The pre-clipping global gradient norm, for logging.
+        The pre-clipping global gradient norm, for logging.  Callers using
+        ``skip_nonfinite`` detect a skipped update by the norm being
+        non-finite.
         """
         grads = list(grads)
         if len(grads) != len(self.parameters):
@@ -100,6 +109,8 @@ class Optimizer:
                 "expected {} gradient arrays, got {}".format(len(self.parameters), len(grads))
             )
         total = float(np.sqrt(sum(float(np.vdot(g, g)) for g in grads if g is not None)))
+        if skip_nonfinite and not np.isfinite(total):
+            return total
         if max_norm is not None and total > max_norm and total > 0.0:
             scale = max_norm / (total + 1e-12)
             for grad in grads:

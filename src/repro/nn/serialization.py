@@ -1,27 +1,127 @@
-"""Saving and loading module state dicts to ``.npz`` files."""
+"""Saving and loading module state dicts to ``.npz`` files.
+
+Checkpoint writes are *atomic*: the archive is written to a temporary file in
+the destination directory, fsynced, and ``os.replace``d over the target, so a
+crash (or SIGKILL) mid-write can never corrupt the previous checkpoint — the
+invariant the autosave/rollback machinery in the trainers depends on.
+Corrupt, truncated, or mismatched checkpoints surface as
+:class:`CheckpointError` naming the path (and the missing/extra keys for
+shape/key validation), never as raw ``KeyError`` / zipfile noise.
+"""
 
 from __future__ import annotations
 
 import os
+import tempfile
+import zipfile
 
 import numpy as np
 
-__all__ = ["save_state_dict", "load_state_dict", "save_module", "load_module"]
+__all__ = [
+    "CheckpointError",
+    "save_state_dict",
+    "load_state_dict",
+    "validate_state",
+    "save_module",
+    "load_module",
+]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be read or does not match the expected state."""
 
 
 def save_state_dict(state_dict, path):
-    """Write a ``{name: ndarray}`` state dict to a compressed ``.npz`` file."""
-    directory = os.path.dirname(os.path.abspath(path))
+    """Atomically write a ``{name: ndarray}`` state dict to a ``.npz`` file.
+
+    The write lands in a temp file next to ``path`` first (same filesystem,
+    so the final ``os.replace`` is atomic), is flushed and fsynced, then
+    renamed over the target; the directory entry is fsynced afterwards.  A
+    reader therefore always sees either the old complete checkpoint or the
+    new complete checkpoint, never a partial file.
+    """
+    path = os.path.abspath(path)
+    directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(path, **{k: np.asarray(v) for k, v in state_dict.items()})
+    arrays = {key: np.asarray(value) for key, value in state_dict.items()}
+    fd, temp_path = tempfile.mkstemp(dir=directory, prefix=os.path.basename(path) + ".tmp.")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            # Passing the open handle (not a name) stops numpy appending
+            # ".npz" to the extensionless temp path.
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return path
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
     return path
 
 
 def load_state_dict(path):
-    """Load a state dict previously written by :func:`save_state_dict`."""
-    with np.load(path) as data:
-        return {key: data[key] for key in data.files}
+    """Load a state dict previously written by :func:`save_state_dict`.
+
+    Raises :class:`CheckpointError` (naming the path) on missing, truncated,
+    or corrupt files instead of leaking raw zipfile / numpy exceptions.
+    """
+    if not os.path.exists(path):
+        raise CheckpointError("checkpoint {!r} does not exist".format(str(path)))
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            return {key: data[key] for key in data.files}
+    except CheckpointError:
+        raise
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError, KeyError) as error:
+        raise CheckpointError(
+            "checkpoint {!r} is truncated or corrupt: {}".format(str(path), error)
+        ) from error
+
+
+def validate_state(state, reference, path="<checkpoint>"):
+    """Check a loaded ``state`` against a ``reference`` state dict.
+
+    ``reference`` maps the expected keys to arrays of the expected shapes
+    (typically the consumer's *current* ``state_dict()``).  Missing keys,
+    unexpected extra keys, and shape mismatches raise :class:`CheckpointError`
+    naming the path and every offending key — *before* any state is mutated,
+    so a bad checkpoint can never half-restore a trainer.
+    """
+    missing = sorted(set(reference) - set(state))
+    extra = sorted(set(state) - set(reference))
+    if missing or extra:
+        raise CheckpointError(
+            "checkpoint {!r} does not match the expected state: missing keys {}, "
+            "unexpected keys {}".format(str(path), missing or "none", extra or "none")
+        )
+    mismatched = [
+        "{} (checkpoint {} vs expected {})".format(
+            key, np.asarray(state[key]).shape, np.asarray(reference[key]).shape
+        )
+        for key in reference
+        if np.asarray(state[key]).shape != np.asarray(reference[key]).shape
+    ]
+    if mismatched:
+        raise CheckpointError(
+            "checkpoint {!r} has mismatched shapes: {}".format(
+                str(path), "; ".join(sorted(mismatched))
+            )
+        )
+    return state
 
 
 def save_module(module, path):

@@ -1,0 +1,79 @@
+"""Process-wide reliability counters.
+
+A flat, dependency-free counter registry: the env supervisor, the runtime
+guards, and the checkpoint layer record events here, and observability
+surfaces read them back — ``repro.runtime.cache_stats()`` exposes them under
+``"health"`` and the search loop logs them per update.  Counters are plain
+ints behind module functions (no locks: the instrumented paths are all
+single-threaded; forked env workers get an independent copy-on-write copy
+that nothing reads).
+
+Well-known counter names (always present in :func:`stats`, so dashboards and
+tests can rely on the keys):
+
+``worker_restarts``
+    Async env workers respawned after a crash or a step deadline.
+``step_timeouts``
+    Async env steps that exceeded their per-worker deadline.
+``env_degraded``
+    Vector envs that exhausted their restart budget and fell back to the
+    in-process sync backend.
+``guard_trips``
+    Updates skipped because the loss or gradient norm went non-finite.
+``checkpoint_rollbacks``
+    Trainer state rolled back to the last autosave after K consecutive
+    guard trips.
+``eager_fallbacks``
+    Compiled-runtime calls (train or inference) that fell back to the eager
+    tape on :class:`~repro.runtime.compiler.CompileError`.
+``quarantined_kernels``
+    Autotuner candidates excluded for the session after raising or
+    producing non-finite output.
+``autosaves``
+    Periodic checkpoints written by the training / search loops.
+``faults_injected``
+    Faults actually fired by the :mod:`repro.reliability.faults` injector.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KNOWN_COUNTERS", "record", "get", "stats", "reset"]
+
+#: Counter names guaranteed to appear in :func:`stats` (with value 0 when
+#: never recorded), so consumers can key on them unconditionally.
+KNOWN_COUNTERS = (
+    "worker_restarts",
+    "step_timeouts",
+    "env_degraded",
+    "guard_trips",
+    "checkpoint_rollbacks",
+    "eager_fallbacks",
+    "quarantined_kernels",
+    "autosaves",
+    "faults_injected",
+)
+
+_COUNTS = {}
+
+
+def record(name, count=1):
+    """Add ``count`` to counter ``name`` (created on first use)."""
+    _COUNTS[name] = _COUNTS.get(name, 0) + int(count)
+    return _COUNTS[name]
+
+
+def get(name):
+    """Current value of counter ``name`` (0 if never recorded)."""
+    return _COUNTS.get(name, 0)
+
+
+def stats():
+    """Snapshot of every counter, known names always included."""
+    out = {name: 0 for name in KNOWN_COUNTERS}
+    out.update(_COUNTS)
+    return out
+
+
+def reset():
+    """Zero every counter (tests)."""
+    _COUNTS.clear()

@@ -1,0 +1,105 @@
+"""Reusable retry policies: max attempts, exponential backoff, deadline.
+
+One :class:`RetryPolicy` object describes *how* to retry (how many times,
+how long to sleep between attempts, how much wall-clock the whole effort may
+burn); callers either wrap a callable with :meth:`RetryPolicy.call` or drive
+their own loop off :meth:`RetryPolicy.delay` when the retry state machine
+spans multiple entry points (the async env supervisor's per-lane restart
+streaks work that way).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["RetryPolicy", "RetryError"]
+
+
+class RetryError(RuntimeError):
+    """Every attempt failed (or the deadline expired).
+
+    The last underlying exception is chained as ``__cause__`` and kept on
+    :attr:`last_error`.
+    """
+
+    def __init__(self, message, last_error=None, attempts=0):
+        super().__init__(message)
+        self.last_error = last_error
+        self.attempts = attempts
+
+
+class RetryPolicy:
+    """Bounded exponential backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts (first try included); must be >= 1.
+    backoff:
+        Sleep before the second attempt, in seconds.  Attempt ``k``
+        (0-indexed) retries after ``backoff * factor**(k-1)`` seconds,
+        capped at ``max_backoff``.
+    factor:
+        Exponential growth factor of the backoff.
+    max_backoff:
+        Upper bound on any single sleep, in seconds.
+    deadline:
+        Optional wall-clock budget for the whole :meth:`call`, in seconds;
+        a retry whose scheduled sleep would overrun the deadline is not
+        attempted.
+    sleep:
+        Injection point for tests (defaults to :func:`time.sleep`).
+    """
+
+    def __init__(self, max_attempts=3, backoff=0.05, factor=2.0, max_backoff=2.0,
+                 deadline=None, sleep=time.sleep):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1, got {}".format(max_attempts))
+        self.max_attempts = int(max_attempts)
+        self.backoff = float(backoff)
+        self.factor = float(factor)
+        self.max_backoff = float(max_backoff)
+        self.deadline = None if deadline is None else float(deadline)
+        self._sleep = sleep
+
+    def delay(self, failures):
+        """Backoff seconds after ``failures`` consecutive failures (>= 1)."""
+        if failures <= 0:
+            return 0.0
+        return min(self.max_backoff, self.backoff * self.factor ** (failures - 1))
+
+    def call(self, fn, retry_on=(Exception,)):
+        """Invoke ``fn()`` until it succeeds, backing off between attempts.
+
+        Re-raises nothing mid-flight: exceptions matching ``retry_on`` are
+        swallowed until the attempt/deadline budget runs out, at which point
+        a :class:`RetryError` chaining the last failure is raised.
+        Exceptions *not* matching ``retry_on`` propagate immediately.
+        """
+        start = time.monotonic()
+        last = None
+        for attempt in range(self.max_attempts):
+            if attempt:
+                pause = self.delay(attempt)
+                if self.deadline is not None and (
+                    time.monotonic() - start + pause > self.deadline
+                ):
+                    break
+                if pause:
+                    self._sleep(pause)
+            try:
+                return fn()
+            except retry_on as error:  # noqa: PERF203 — the loop IS the point
+                last = error
+        raise RetryError(
+            "gave up after {} attempt(s): {!r}".format(
+                self.max_attempts if last is not None else 0, last
+            ),
+            last_error=last,
+            attempts=self.max_attempts,
+        ) from last
+
+    def __repr__(self):
+        return "RetryPolicy(max_attempts={}, backoff={}, factor={}, max_backoff={}, deadline={})".format(
+            self.max_attempts, self.backoff, self.factor, self.max_backoff, self.deadline
+        )

@@ -84,8 +84,12 @@ def cache_stats():
     every live pool, and reports the conv kernel chosen per op signature
     (with the autotuner's candidate timings where a timing run decided), so
     search loops can log how well compilation amortises and which compute
-    kernels their plans actually run on.
+    kernels their plans actually run on.  The ``"health"`` entry mirrors the
+    process-wide reliability counters of :mod:`repro.reliability.health`
+    (worker restarts, guard trips, eager fallbacks, ...), putting recovery
+    activity next to the cache counters in the same observability surface.
     """
+    from ..reliability import health
     from .engine import _ENGINES
     from .kernels import selection_table
     from .plan import _POOLS
@@ -109,4 +113,5 @@ def cache_stats():
         "train_plans": train,
         "buffer_pools": pools,
         "kernels": selection_table(),
+        "health": health.stats(),
     }

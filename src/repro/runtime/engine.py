@@ -19,6 +19,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..reliability.faults import get_injector
 from .compiler import CompileError, compile_plan
 from .plan import BufferPool
 
@@ -67,6 +68,11 @@ class InferenceEngine:
 
     def plan_for(self, input_shape, path=None):
         """Fetch (or compile) the plan for ``input_shape`` / ``path``."""
+        injector = get_injector()
+        if injector is not None and injector.should_fire("compile_error"):
+            # Injected before the cache lookup so a fault never replaces (or
+            # shadows) a good cached plan — the next call compiles normally.
+            raise CompileError("injected compile_error fault")
         key = (tuple(input_shape), tuple(int(i) for i in path) if path is not None else None)
         plan = self._plans.get(key)
         if plan is None:

@@ -50,9 +50,12 @@ from .registry import (
     ConvKernel,
     ConvSpec,
     candidates,
+    clear_quarantine,
     kernel_for,
     kernel_names,
     layout_costs,
+    quarantine_kernel,
+    quarantined_kernels,
     register_kernel,
     reset_selections,
     scratch_upper_bound,
@@ -68,6 +71,9 @@ __all__ = [
     "register_kernel",
     "kernel_names",
     "candidates",
+    "quarantine_kernel",
+    "quarantined_kernels",
+    "clear_quarantine",
     "kernel_for",
     "layout_costs",
     "transpose_seconds",

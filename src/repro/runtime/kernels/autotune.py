@@ -40,6 +40,7 @@ __all__ = [
     "cost_for",
     "transpose_seconds",
     "timings_for",
+    "failures_for",
     "clear_cache",
     "WARMUP",
     "REPS",
@@ -114,13 +115,25 @@ def _best_of(fn, warmup=WARMUP, reps=REPS):
 def _entry(spec):
     entry = _CACHE.get(spec)
     if entry is None:
-        entry = {"kernel": None, "timings": {}, "chosen": False}
+        entry = {"kernel": None, "timings": {}, "failures": {}, "chosen": False}
         _CACHE[spec] = entry
     return entry
 
 
 def _time_kernels(spec, cands):
-    """Best-of forward seconds per candidate on standalone buffers."""
+    """Best-of forward seconds per candidate on standalone buffers.
+
+    A candidate that raises (or fills ``out`` with non-finite values) is not
+    allowed to take the process down — or worse, to win: its timing is
+    recorded as ``inf``, the failure reason lands in the signature's cache
+    entry, and the kernel is quarantined for the rest of the session (the
+    general fallback excepted; see
+    :func:`~repro.runtime.kernels.registry.quarantine_kernel`).  The
+    ``kernel_error`` fault makes the named candidate raise here on demand.
+    """
+    from ...reliability.faults import get_injector
+    from .registry import quarantine_kernel
+
     act_dtype = spec.act_dtype
     x = np.zeros(spec.in_shape, dtype=act_dtype)
     weight = np.zeros(
@@ -137,12 +150,25 @@ def _time_kernels(spec, cands):
         epilogue = RequantEpilogue(spec.out_channels, spec.acc_dtype, spec.qmax)
     else:
         epilogue = NULL_EPILOGUE
+    entry = _entry(spec)
+    injector = get_injector()
     timings = {}
     for cls in cands:
-        bound = cls(spec, _BenchArena(spec))
-        timings[cls.name] = _best_of(
-            lambda: bound.forward(x, weight, out, epilogue)
-        )
+        try:
+            if injector is not None and injector.should_fire("kernel_error", target=cls.name):
+                raise RuntimeError("injected kernel_error fault")
+            bound = cls(spec, _BenchArena(spec))
+            timing = _best_of(lambda: bound.forward(x, weight, out, epilogue))
+            if not np.all(np.isfinite(np.asarray(out, dtype=np.float64))):
+                raise RuntimeError("kernel produced non-finite output on zero input")
+        except Exception as error:  # noqa: BLE001 — any candidate crash degrades
+            timings[cls.name] = float("inf")
+            entry.setdefault("failures", {})[cls.name] = "{}: {}".format(
+                type(error).__name__, error
+            )
+            quarantine_kernel(cls.name, entry["failures"][cls.name])
+        else:
+            timings[cls.name] = timing
     return timings
 
 
@@ -221,6 +247,14 @@ def timings_for(spec):
     if entry is None or not entry["timings"]:
         return None
     return dict(entry["timings"])
+
+
+def failures_for(spec):
+    """``{kernel: reason}`` of candidates that crashed while tuning ``spec``."""
+    entry = _CACHE.get(spec)
+    if entry is None or not entry.get("failures"):
+        return None
+    return dict(entry["failures"])
 
 
 def clear_cache():

@@ -326,6 +326,7 @@ class GemmIm2colKernel(ConvKernel):
 
     name = "im2col"
     trains = True
+    fallback = True
 
     @classmethod
     def supports(cls, spec):

@@ -46,6 +46,9 @@ __all__ = [
     "register_kernel",
     "kernel_names",
     "candidates",
+    "quarantine_kernel",
+    "quarantined_kernels",
+    "clear_quarantine",
     "kernel_for",
     "layout_costs",
     "scratch_upper_bound",
@@ -214,6 +217,10 @@ class ConvKernel:
     #: considers kernels whose mode matches the spec's ``quant`` field, so
     #: float kernels never see int8 buffers and vice versa.
     quant = ""
+    #: Whether this kernel is the total fallback every signature (of its
+    #: quant tier) can degrade to.  Fallback kernels are exempt from
+    #: quarantine: with them gone there is nothing left to dispatch to.
+    fallback = False
 
     @classmethod
     def supports(cls, spec):
@@ -269,6 +276,42 @@ KERNELS = []
 #: signature -> {"kernel": name, "source": how it was chosen}.
 _SELECTIONS = {}
 
+#: kernel name -> reason, for candidates excluded for the rest of the
+#: session after raising (or producing non-finite output) during an
+#: autotuner timing run.  Dispatch simply never sees a quarantined kernel
+#: again, so one broken implementation degrades to the fallback instead of
+#: crashing every plan that would have picked it.
+_QUARANTINED = {}
+
+
+def quarantine_kernel(name, reason):
+    """Exclude kernel ``name`` from dispatch for the rest of the session.
+
+    Fallback kernels (``cls.fallback``) are never quarantined — they are the
+    total implementation every signature can degrade to; if one of *them* is
+    broken there is nothing to fall back on and the error must surface.
+    Re-quarantining an already-quarantined kernel keeps the first reason and
+    does not bump the health counter again.
+    """
+    if any(cls.fallback for cls in KERNELS if cls.name == name):
+        return False
+    if name not in _QUARANTINED:
+        _QUARANTINED[name] = str(reason)
+        from ...reliability import health
+
+        health.record("quarantined_kernels")
+    return True
+
+
+def quarantined_kernels():
+    """``{kernel name: reason}`` of every currently quarantined kernel."""
+    return dict(_QUARANTINED)
+
+
+def clear_quarantine():
+    """Lift every quarantine (tests)."""
+    _QUARANTINED.clear()
+
 
 def register_kernel(cls):
     """Register a :class:`ConvKernel` subclass (decorator-friendly)."""
@@ -284,14 +327,24 @@ def kernel_names():
 
 
 def candidates(spec):
-    """Registered kernels that support ``spec`` (training needs VJPs too)."""
-    return [
+    """Registered kernels that support ``spec`` (training needs VJPs too).
+
+    Quarantined kernels are excluded — unless exclusion would leave no
+    candidate at all (a registry stripped down in a test), in which case the
+    unfiltered list is returned so dispatch never goes empty-handed.
+    """
+    supporting = [
         cls
         for cls in KERNELS
         if cls.quant == spec.quant
         and (not spec.train or cls.trains)
         and cls.supports(spec)
     ]
+    if _QUARANTINED:
+        healthy = [cls for cls in supporting if cls.name not in _QUARANTINED]
+        if healthy:
+            return healthy
+    return supporting
 
 
 def _parse_env():
@@ -464,8 +517,13 @@ def layout_costs(spec):
 
 
 def selection_table():
-    """Chosen kernel per signature (with autotuner timings where available)."""
-    from .autotune import timings_for
+    """Chosen kernel per signature (with autotuner timings where available).
+
+    Candidates that crashed while tuning appear with an ``inf`` timing and a
+    ``"failures"`` entry naming the reason, so a quarantined kernel is
+    visible in the same table as the selection it lost.
+    """
+    from .autotune import failures_for, timings_for
 
     table = {}
     for spec, entry in _SELECTIONS.items():
@@ -473,6 +531,9 @@ def selection_table():
         timings = timings_for(spec)
         if timings is not None:
             row["timings_ms"] = {name: t * 1e3 for name, t in timings.items()}
+        failures = failures_for(spec)
+        if failures is not None:
+            row["failures"] = failures
         table[spec.describe()] = row
     return table
 

@@ -39,6 +39,8 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..reliability import health
+from ..reliability.faults import get_injector
 from .compiler import CompileError, compile_plan
 from .plan import BufferPool
 
@@ -86,16 +88,23 @@ class TrainStepResult:
         The plan's final per-cell active-candidate tuples.  Differs from the
         requested ``gated_paths`` when the dead-branch-elimination pass
         pruned low-weight branches.
+    skipped:
+        True when the non-finite guard suppressed the optimiser stage: the
+        loss or the global gradient norm was NaN/Inf, so no parameter (or
+        optimiser state) was touched.  The scalar losses and ``grad_norm``
+        still report the poisoned values for logging.
     """
 
-    __slots__ = ("total", "components", "grad_norm", "gate_grads", "gate_layout")
+    __slots__ = ("total", "components", "grad_norm", "gate_grads", "gate_layout", "skipped")
 
-    def __init__(self, total, components, grad_norm=None, gate_grads=None, gate_layout=None):
+    def __init__(self, total, components, grad_norm=None, gate_grads=None, gate_layout=None,
+                 skipped=False):
         self.total = total
         self.components = components
         self.grad_norm = grad_norm
         self.gate_grads = gate_grads
         self.gate_layout = gate_layout
+        self.skipped = skipped
 
 
 class CompiledTrainStep:
@@ -149,6 +158,11 @@ class CompiledTrainStep:
     def plan_for(self, input_shape, path=None, gated_paths=None, num_samples=1,
                  gate_weights=None):
         """Fetch (or compile) the training plan for one signature."""
+        injector = get_injector()
+        if injector is not None and injector.should_fire("compile_error"):
+            # Injected before the negative cache on purpose: a fault must not
+            # poison ``_failed`` and permanently disable the compiled path.
+            raise CompileError("injected compile_error fault")
         key = (tuple(input_shape), path, gated_paths, int(num_samples))
         plan = self._plans.get(key)
         if plan is None:
@@ -360,7 +374,11 @@ class CompiledTrainStep:
     def step(self, observations, actions, returns, advantages, max_grad_norm=None, **kwargs):
         """One complete update: gradients + clipped fused optimiser step.
 
-        Returns a :class:`TrainStepResult` with ``grad_norm`` populated.
+        Returns a :class:`TrainStepResult` with ``grad_norm`` populated.  A
+        non-finite loss or gradient norm trips the guard instead of poisoning
+        the parameters: the optimiser stage is suppressed, ``result.skipped``
+        is set, and the ``guard_trips`` health counter is bumped (the caller
+        decides whether a streak of trips warrants a checkpoint rollback).
         """
         if self.optimizer is None:
             raise RuntimeError("CompiledTrainStep.step requires an optimizer")
@@ -368,7 +386,27 @@ class CompiledTrainStep:
             observations, actions, returns, advantages, **kwargs
         )
         grads = [plan.param_grad(param) for param in self.optimizer.parameters]
-        result.grad_norm = self.optimizer.apply_gradients(grads, max_norm=max_grad_norm)
+        injector = get_injector()
+        if injector is not None and injector.should_fire("nan_grad"):
+            for grad in grads:
+                if grad is not None:
+                    grad.flat[0] = np.nan
+                    break
+        if not np.isfinite(result.total):
+            # Loss already diverged: don't touch the parameters at all.  The
+            # norm is still computed (skip_nonfinite suppresses the apply on
+            # its own when only the grads are poisoned).
+            result.grad_norm = float(
+                np.sqrt(sum(float(np.vdot(g, g)) for g in grads if g is not None))
+            )
+            result.skipped = True
+        else:
+            result.grad_norm = self.optimizer.apply_gradients(
+                grads, max_norm=max_grad_norm, skip_nonfinite=True
+            )
+            result.skipped = not np.isfinite(result.grad_norm)
+        if result.skipped:
+            health.record("guard_trips")
         return result
 
     def __repr__(self):

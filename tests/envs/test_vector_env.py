@@ -264,20 +264,30 @@ class TestAsyncVectorEnv:
         for proc in venv._procs:
             assert not proc.is_alive()
 
-    def test_dead_worker_mid_step_wait_cleans_up(self):
+    def test_dead_worker_mid_step_is_restarted(self):
+        """A killed worker is respawned in place; the lane reports a reset boundary."""
+        from repro.reliability import health
+
         venv = make_vector_env("Breakout", num_envs=2, obs_size=28, seed=0, backend="async")
-        venv.reset(seed=0)
-        venv._procs[0].terminate()
-        venv._procs[0].join(timeout=5)
-        # Depending on pipe buffering the death surfaces at dispatch or at
-        # the gather; both must tear the whole vector env down.
-        with pytest.raises(RuntimeError, match="died during step"):
+        try:
+            venv.reset(seed=0)
+            before = health.get("worker_restarts")
+            dead = venv._procs[0]
+            dead.terminate()
+            dead.join(timeout=5)
             venv.step_async([0, 0])
-            venv.step_wait()
-        # Every worker was torn down; closing again stays a no-op.
+            obs, rewards, dones, infos = venv.step_wait()
+            assert health.get("worker_restarts") == before + 1
+            assert dones[0] and infos[0].get("worker_restarted")
+            assert rewards[0] == 0.0
+            assert venv._procs[0] is not dead and venv._procs[0].is_alive()
+            # The healthy lane was unaffected and normal stepping resumes.
+            assert not infos[1].get("worker_restarted")
+            venv.step([1, 1])
+        finally:
+            venv.close()
         for proc in venv._procs:
             assert not proc.is_alive()
-        venv.close()
 
     def test_reset_with_step_in_flight_raises(self):
         venv = make_vector_env("Breakout", num_envs=2, obs_size=28, seed=0, backend="async")

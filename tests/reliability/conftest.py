@@ -1,0 +1,31 @@
+"""Shared fixtures for the reliability suite.
+
+The injector, health counters, and kernel quarantine are process-global by
+design; every test here restores them so the rest of the suite (and test
+ordering) never observes leftover fault state.
+"""
+
+import pytest
+
+from repro.reliability import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults(monkeypatch):
+    """Run every test with no inherited fault spec and a fresh injector."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.reset_injector()
+    yield
+    faults.reset_injector()
+
+
+@pytest.fixture
+def set_faults(monkeypatch):
+    """``set_faults("name=value,...")`` -> the freshly built injector."""
+
+    def _set(spec):
+        monkeypatch.setenv(faults.ENV_VAR, spec)
+        faults.reset_injector()
+        return faults.get_injector()
+
+    return _set

@@ -1,0 +1,59 @@
+"""CompileError eager fallbacks: exercised on demand, silent on happy path.
+
+``compile_error=1.0`` makes every ``plan_for`` (inference engine and
+compiled train step) raise, so a full training run executes exclusively on
+the eager tape — and must therefore match a run *configured* eager
+bit-for-bit.  With no faults, the same run must never take the fallback.
+"""
+
+import numpy as np
+
+from repro.drl import A2CConfig, A2CTrainer, make_agent
+from repro.envs import make_vector_env
+from repro.reliability import health
+
+GAME = "Breakout"
+OBS_SIZE = 21
+
+
+def run_training(use_runtime, use_compiled_train):
+    agent = make_agent("Vanilla", obs_size=OBS_SIZE, frame_stack=2, feature_dim=16,
+                       seed=0, use_runtime=use_runtime)
+    env = make_vector_env(GAME, num_envs=2, obs_size=OBS_SIZE, frame_stack=2,
+                          max_episode_steps=60, seed=0)
+    config = A2CConfig(total_steps=60, num_envs=2, seed=0,
+                       use_compiled_train=use_compiled_train)
+    trainer = A2CTrainer(agent, env, config=config)
+    trainer.train()
+    return trainer
+
+
+class TestEagerFallback:
+    def test_happy_path_never_falls_back(self):
+        before = health.get("eager_fallbacks")
+        trainer = run_training(use_runtime=True, use_compiled_train=True)
+        assert trainer.updates > 0
+        assert health.get("eager_fallbacks") == before
+
+    def test_injected_compile_error_matches_eager_bitwise(self, set_faults):
+        set_faults("compile_error=1.0")
+        before = health.get("eager_fallbacks")
+        faulted = run_training(use_runtime=True, use_compiled_train=True)
+        fallbacks = health.get("eager_fallbacks") - before
+        assert fallbacks > 0
+        # The compiled machinery was never entered.
+        assert faulted._train_step is None or faulted._train_step.num_plans == 0
+
+        set_faults("")  # disable injection for the reference run
+        reference = run_training(use_runtime=False, use_compiled_train=False)
+
+        assert faulted.updates == reference.updates
+        assert faulted.total_env_steps == reference.total_env_steps
+        faulted_state = faulted.agent.state_dict()
+        reference_state = reference.agent.state_dict()
+        for key in reference_state:
+            np.testing.assert_array_equal(
+                np.asarray(faulted_state[key]), np.asarray(reference_state[key]),
+                err_msg=key,
+            )
+        assert faulted.logger.names() == reference.logger.names()

@@ -1,0 +1,43 @@
+"""Process-wide health counters and their surfacing points."""
+
+from repro.reliability import KNOWN_COUNTERS, health
+
+
+class TestCounters:
+    def test_stats_always_reports_known_counters(self):
+        stats = health.stats()
+        for name in KNOWN_COUNTERS:
+            assert name in stats
+            assert isinstance(stats[name], int)
+
+    def test_record_and_get(self):
+        before = health.get("worker_restarts")
+        health.record("worker_restarts")
+        health.record("worker_restarts", 2)
+        assert health.get("worker_restarts") == before + 3
+
+    def test_unknown_counter_defaults_to_zero_reads(self):
+        assert health.get("never_recorded_counter") == 0
+
+
+class TestSurfacing:
+    def test_cache_stats_includes_health(self):
+        from repro import runtime
+
+        stats = runtime.cache_stats()
+        assert stats["health"] == health.stats()
+
+    def test_search_loop_logs_health_per_update(self):
+        from repro.nas import DRLArchitectureSearch, SearchConfig
+
+        searcher = DRLArchitectureSearch(
+            "Breakout",
+            config=SearchConfig(total_steps=10, num_envs=2, seed=0),
+            env_kwargs={"obs_size": 21, "frame_stack": 2, "max_episode_steps": 60},
+            supernet_kwargs={"input_size": 21, "in_channels": 2, "feature_dim": 32,
+                             "base_width": 4, "num_cells": 6},
+        )
+        searcher.search()
+        logged = searcher.logger.names()
+        for name in KNOWN_COUNTERS:
+            assert "health/" + name in logged

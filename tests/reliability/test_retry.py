@@ -1,0 +1,72 @@
+"""RetryPolicy: backoff schedule, attempt budget, deadline, error chaining."""
+
+import pytest
+
+from repro.reliability import RetryError, RetryPolicy
+
+
+class TestDelaySchedule:
+    def test_exponential_with_cap(self):
+        policy = RetryPolicy(max_attempts=5, backoff=0.1, factor=2.0, max_backoff=0.5)
+        assert policy.delay(0) == 0.0
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(4) == pytest.approx(0.5)   # capped
+        assert policy.delay(9) == pytest.approx(0.5)
+
+    def test_at_least_one_attempt_required(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestCall:
+    def test_success_after_failures_sleeps_on_schedule(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=4, backoff=0.1, factor=2.0,
+                             max_backoff=10.0, sleep=sleeps.append)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("boom")
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert calls["n"] == 3
+        assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_exhausted_attempts_raise_retry_error(self):
+        policy = RetryPolicy(max_attempts=3, backoff=0.0, sleep=lambda _: None)
+
+        def always():
+            raise OSError("still broken")
+
+        with pytest.raises(RetryError) as excinfo:
+            policy.call(always)
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, OSError)
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_non_retryable_exception_propagates(self):
+        policy = RetryPolicy(max_attempts=3, backoff=0.0, sleep=lambda _: None)
+
+        def wrong_kind():
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            policy.call(wrong_kind, retry_on=(OSError,))
+
+    def test_deadline_stops_retrying(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=5, backoff=0.1, deadline=0.0,
+                             sleep=sleeps.append)
+
+        def always():
+            raise OSError("boom")
+
+        with pytest.raises(RetryError):
+            policy.call(always)
+        # A scheduled sleep would overrun the (zero) deadline: no retry ran.
+        assert sleeps == []

@@ -1,0 +1,132 @@
+"""Supervised async vector env: deadlines, lane restarts, graceful degrade."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.envs import make_vector_env
+from repro.envs.registry import async_supervision
+from repro.reliability import health
+
+HAS_FORK = "fork" in mp.get_all_start_methods()
+
+FAST = {"step_timeout": 5.0, "restart_budget": 3, "restart_backoff": 0.01}
+
+
+def make_async(supervision=FAST, num_envs=2):
+    return make_vector_env(
+        "Breakout", num_envs=num_envs, obs_size=21, frame_stack=2,
+        max_episode_steps=60, seed=0, backend="async", supervision=dict(supervision),
+    )
+
+
+class TestSupervisionPlumbing:
+    def test_env_var_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENV_STEP_TIMEOUT", "7.5")
+        monkeypatch.setenv("REPRO_ENV_RESTART_BUDGET", "9")
+        monkeypatch.setenv("REPRO_ENV_RESTART_BACKOFF", "0.25")
+        assert async_supervision() == {
+            "step_timeout": 7.5, "restart_budget": 9, "restart_backoff": 0.25,
+        }
+
+    def test_nonpositive_timeout_disables_deadline(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENV_STEP_TIMEOUT", "0")
+        assert async_supervision()["step_timeout"] == 0.0
+
+    def test_supervision_rejected_for_sync_backend(self):
+        with pytest.raises(ValueError, match="supervision"):
+            make_vector_env("Breakout", num_envs=2, obs_size=21, seed=0,
+                            backend="sync", supervision=dict(FAST))
+
+    def test_supervision_rejected_for_batched_backend(self):
+        with pytest.raises(ValueError, match="supervision"):
+            make_vector_env("Breakout", num_envs=2, obs_size=21, seed=0,
+                            backend="batched", supervision=dict(FAST))
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+class TestLaneRestarts:
+    def test_scheduled_hang_blows_deadline_and_restarts(self, set_faults):
+        # step_hang is queried once per lane per dispatch; with 2 lanes the
+        # 3rd opportunity is lane 0 of the second step.
+        set_faults("step_hang=1@step:3")
+        venv = make_async(supervision={"step_timeout": 0.5, "restart_budget": 3,
+                                       "restart_backoff": 0.01})
+        try:
+            venv.reset(seed=0)
+            timeouts = health.get("step_timeouts")
+            restarts = health.get("worker_restarts")
+            obs, _, dones, infos = venv.step([1, 1])       # clean step
+            assert not any(info.get("worker_restarted") for info in infos)
+            obs, rewards, dones, infos = venv.step([1, 1])  # lane 0 hangs
+            assert health.get("step_timeouts") == timeouts + 1
+            assert health.get("worker_restarts") == restarts + 1
+            assert dones[0] and infos[0].get("worker_restarted")
+            assert infos[0]["restart_reason"] == "hang"
+            assert rewards[0] == 0.0
+            assert obs.shape == (2, 2, 21, 21)
+            assert not infos[1].get("worker_restarted")
+            venv.step([1, 1])                               # stream continues
+        finally:
+            venv.close()
+
+    def test_injected_crash_restarts_lane(self, set_faults):
+        set_faults("worker_crash=1@step:1")
+        venv = make_async()
+        try:
+            venv.reset(seed=0)
+            restarts = health.get("worker_restarts")
+            obs, _, dones, infos = venv.step([1, 1])
+            assert health.get("worker_restarts") == restarts + 1
+            assert dones[0] and infos[0].get("worker_restarted")
+            assert infos[0]["restart_reason"] == "crash"
+            assert obs.shape == (2, 2, 21, 21)
+            venv.step([1, 1])
+        finally:
+            venv.close()
+
+    def test_restarted_lane_uses_its_seed_stream(self, set_faults):
+        """The respawned lane resets from the lane's SeedSequence, so its
+        post-restart observation equals a plain reset of that lane."""
+        set_faults("worker_crash=1@step:1")
+        venv = make_async()
+        try:
+            first = venv.reset(seed=3)
+            obs, _, _, infos = venv.step([1, 1])
+            assert infos[0].get("worker_restarted")
+            # A restart is a reset boundary: the lane starts a fresh episode
+            # from its own (spawned) stream, not a replay of reset(seed=3).
+            assert obs[0].shape == first[0].shape
+            assert np.all(np.isfinite(obs[0]))
+        finally:
+            venv.close()
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+class TestGracefulDegrade:
+    def test_budget_exhaustion_degrades_to_sync(self, set_faults):
+        set_faults("worker_crash=1.0,seed=1")
+        venv = make_async(supervision={"step_timeout": 5.0, "restart_budget": 1,
+                                       "restart_backoff": 0.0})
+        try:
+            venv.reset(seed=0)
+            degraded = health.get("env_degraded")
+            # First step: every lane crashes once and restarts (budget 1).
+            _, _, dones, infos = venv.step([1, 1])
+            assert all(info.get("worker_restarted") for info in infos)
+            assert venv._fallback is None
+            # Second step: the budget is spent; the env degrades to the sync
+            # backend instead of raising mid-rollout.
+            obs, rewards, dones, infos = venv.step([1, 1])
+            assert health.get("env_degraded") == degraded + 1
+            assert venv._fallback is not None
+            assert all(dones)
+            assert all(info.get("env_degraded") for info in infos)
+            assert obs.shape == (2, 2, 21, 21)
+            # The degraded env keeps serving the normal API in-process.
+            obs, rewards, dones, infos = venv.step([1, 1])
+            assert obs.shape == (2, 2, 21, 21)
+            venv.reset(seed=0)
+        finally:
+            venv.close()
