@@ -38,6 +38,10 @@ MEMORY_RESULTS = ("plan_optimizer.json",)
 #: quantized mean must stay within the committed run's 2-sigma band.
 SCORE_PARITY_RESULTS = ("quantized_inference.json",)
 
+#: Serving SLO results: request throughput (higher is better) and p99
+#: latency (lower is better) per batching policy.
+SERVING_RESULTS = ("serving_slo.json",)
+
 
 def load_table(path, table):
     """One named table of a result file (``None`` if absent)."""
@@ -115,6 +119,33 @@ def main(argv=None):
             print(
                 "::warning file=benchmarks/results/{name}::"
                 "{name} {mode}: {fresh:.0f} peak plan bytes vs committed {base:.0f} "
+                "({pct:.0f}% of baseline, threshold {thr:.0f}%)".format(
+                    name=name, mode=mode, fresh=fresh_value, base=base_value,
+                    pct=ratio * 100.0, thr=(1.0 + args.threshold) * 100.0,
+                )
+            )
+    for name in SERVING_RESULTS:
+        for mode, base_value, fresh_value, ratio in compare_file(
+            name, args.baseline_dir, args.results_dir, args.threshold,
+            table="throughput_rps",
+        ):
+            regressions += 1
+            print(
+                "::warning file=benchmarks/results/{name}::"
+                "{name} {mode}: {fresh:.1f} req/s vs committed {base:.1f} "
+                "({pct:.0f}% of baseline, threshold {thr:.0f}%)".format(
+                    name=name, mode=mode, fresh=fresh_value, base=base_value,
+                    pct=ratio * 100.0, thr=(1.0 - args.threshold) * 100.0,
+                )
+            )
+        for mode, base_value, fresh_value, ratio in compare_file(
+            name, args.baseline_dir, args.results_dir, args.threshold,
+            table="p99_ms", higher_is_better=False,
+        ):
+            regressions += 1
+            print(
+                "::warning file=benchmarks/results/{name}::"
+                "{name} {mode}: p99 {fresh:.1f} ms vs committed {base:.1f} ms "
                 "({pct:.0f}% of baseline, threshold {thr:.0f}%)".format(
                     name=name, mode=mode, fresh=fresh_value, base=base_value,
                     pct=ratio * 100.0, thr=(1.0 + args.threshold) * 100.0,

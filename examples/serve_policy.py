@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Policy serving: one process, many clients, dynamically batched inference.
+
+Rollout collection drives the compiled runtime with one fixed batch size;
+deployment looks nothing like that — many independent sessions each hold a
+single observation and want an answer *now*.  This example walks the
+serving recipe end to end:
+
+1. build a derived A3C-S agent and register it (plus a rollout-calibrated
+   int8 variant of the same weights) with a :class:`repro.serving.PolicyServer`,
+2. warm every batch bucket so no live request pays compile latency,
+3. drive the server with concurrent closed-loop clients and compare
+   request throughput against batch-1 serving (a single-bucket policy),
+4. poke the failure modes on purpose: overload shedding with a typed
+   error, and graceful shutdown draining in-flight requests.
+
+Run:  python examples/serve_policy.py
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from repro.drl import ActorCriticAgent
+from repro.envs import make_vector_env
+from repro.networks import AgentSuperNet
+from repro.runtime import Calibrator
+from repro.serving import (
+    BucketPolicy,
+    PolicyServer,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+
+GAME = "Breakout"
+OBS_SIZE = 32
+FRAME_STACK = 2
+NUM_CLIENTS = 16
+REQUESTS_PER_CLIENT = 8
+CALIBRATION_STEPS = 10
+MAX_WAIT = 0.002
+OBS_SHAPE = (FRAME_STACK, OBS_SIZE, OBS_SIZE)
+
+#: Inverted-residual-heavy derived architecture, like the paper's searched agents.
+DERIVED_PATH = [4, 5, 6, 4, 5, 6, 4, 5, 6, 4, 5, 6]
+
+
+def build_agent():
+    supernet = AgentSuperNet(
+        in_channels=FRAME_STACK,
+        input_size=OBS_SIZE,
+        feature_dim=128,
+        base_width=16,
+        rng=np.random.default_rng(0),
+    )
+    agent = ActorCriticAgent(
+        supernet.derive(DERIVED_PATH), num_actions=6, feature_dim=128,
+        rng=np.random.default_rng(0),
+    )
+    agent.eval()
+    agent.runtime_dtype = np.float32
+    return agent
+
+
+def calibrate_q8(agent, batch, steps=CALIBRATION_STEPS):
+    """Harvest activation ranges for ``batch``-sized inputs from a rollout."""
+    calibrator = Calibrator(agent, (batch,) + OBS_SHAPE, dtype=np.float32)
+    env = make_vector_env(
+        GAME, num_envs=batch, obs_size=OBS_SIZE, frame_stack=FRAME_STACK, seed=0
+    )
+    rng = np.random.default_rng(0)
+    observations = env.reset(seed=0)
+    for _ in range(steps):
+        calibrator.observe(observations)
+        actions, _ = agent.act(observations, rng)
+        observations, _, _, _ = env.step(actions)
+    env.close()
+    return calibrator.result("q8")
+
+
+def traffic(steps=4):
+    """Realistic observation frames from a short env rollout."""
+    env = make_vector_env(
+        GAME, num_envs=16, obs_size=OBS_SIZE, frame_stack=FRAME_STACK, seed=3
+    )
+    rng = np.random.default_rng(3)
+    frames = [env.reset(seed=3)]
+    for _ in range(steps):
+        frames.append(env.step(rng.integers(0, 6, size=16))[0])
+    env.close()
+    return np.concatenate(frames).astype(np.float32)
+
+
+def drive_clients(server, models, observations):
+    """Closed-loop concurrent clients; returns (req/sec, latencies)."""
+    latencies = []
+    lock = threading.Lock()
+
+    def client(idx):
+        model = models[idx % len(models)]
+        for step in range(REQUESTS_PER_CLIENT):
+            obs = observations[(idx * 5 + step) % len(observations)]
+            begin = time.perf_counter()
+            server.policy_value(model, obs, timeout=60)
+            elapsed = time.perf_counter() - begin
+            with lock:
+                latencies.append(elapsed * 1000.0)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(NUM_CLIENTS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    return len(latencies) / wall, latencies
+
+
+def main():
+    print("=== Policy serving with dynamic cross-session batching ===")
+    observations = traffic()
+
+    print("\nBatch-1 serving (single-bucket policy, every request alone):")
+    agent = build_agent()
+    server = PolicyServer(BucketPolicy(buckets=(1,), max_wait=0.0))
+    server.register_model("pilot", agent, obs_shape=OBS_SHAPE, warm=True)
+    batch1_rps, _ = drive_clients(server, ["pilot"], observations)
+    server.close()
+    print("  {:.0f} req/s".format(batch1_rps))
+
+    print("\nDynamic batching (bucket ladder, {} ms coalescing deadline),".format(MAX_WAIT * 1000))
+    print("with an int8 variant of the same weights served beside float32:")
+    f32_agent = build_agent()
+    q8_agent = build_agent()
+    q8_agent.runtime_quantize = [calibrate_q8(q8_agent, batch=8)]
+    server = PolicyServer(BucketPolicy(buckets=(1, 2, 4, 8, 16), max_wait=MAX_WAIT))
+    server.register_model("pilot-f32", f32_agent, obs_shape=OBS_SHAPE, warm=True)
+    server.register_model("pilot-q8", q8_agent, obs_shape=OBS_SHAPE, warm=True)
+    dynamic_rps, latencies = drive_clients(
+        server, ["pilot-f32", "pilot-q8"], observations
+    )
+    stats = server.stats()
+    print("  {:.0f} req/s ({:.2f}x batch-1), p50 {:.1f} ms, p99 {:.1f} ms".format(
+        dynamic_rps, dynamic_rps / batch1_rps,
+        float(np.percentile(latencies, 50)), float(np.percentile(latencies, 99)),
+    ))
+    print("  batches executed: {} (avg batch {:.1f}), per model: {}".format(
+        stats["batches"], stats["avg_batch"], stats["models"],
+    ))
+
+    print("\nOverload: a tiny queue sheds excess load with a typed error:")
+    tiny = PolicyServer(BucketPolicy(max_wait=0.05), max_queue=4, start=False)
+    tiny.register_model("pilot", f32_agent, obs_shape=OBS_SHAPE)
+    admitted, shed = [], 0
+    for row in range(8):
+        try:
+            admitted.append(tiny.submit("pilot", observations[row]))
+        except ServerOverloadedError:
+            shed += 1
+    window = tiny.health_window()
+    print("  8 submitted, {} shed (serving_shed counter: {})".format(
+        shed, window.counters["serving_shed"],
+    ))
+
+    print("\nGraceful shutdown: queued requests resolve, never hang:")
+    tiny.close()
+    outcomes = []
+    for future in admitted:
+        try:
+            future.result(timeout=0)
+            outcomes.append("answered")
+        except ServerClosedError:
+            outcomes.append("ServerClosedError")
+    print("  queued futures resolved as: {}".format(outcomes))
+
+    server.close()
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -88,6 +88,24 @@ class ActorCriticAgent(Module):
             )
         return self._runtime
 
+    def warm(self, obs_shape, batch_sizes=(1,)):
+        """Precompile the inference plan for each batch size, ahead of traffic.
+
+        The runtime's plan cache keys by input shape, so the first request at
+        a new batch size pays compile + autotune latency inline.  A serving
+        tier that promises a p99 cannot pay that on a live request:
+        ``warm(obs_shape, policy.buckets)`` runs one throwaway batch of zeros
+        per size, leaving every bucket's plan (and its kernel selections and
+        buffers) hot.  ``obs_shape`` is a single observation's shape, without
+        the batch axis.  Returns ``self``.
+        """
+        obs_shape = tuple(int(dim) for dim in obs_shape)
+        compute_dtype = np.dtype(self.runtime_dtype) if self.use_runtime else np.float32
+        for size in batch_sizes:
+            zeros = np.zeros((int(size),) + obs_shape, dtype=compute_dtype)
+            self.policy_value(zeros)
+        return self
+
     # ------------------------------------------------------------------ #
     # Forward passes
     # ------------------------------------------------------------------ #

@@ -25,9 +25,11 @@ costs nothing on clean runs.
 
 from .faults import FaultInjector, get_injector, reset_injector
 from .health import KNOWN_COUNTERS
+from .health import delta as health_delta
 from .health import get as health_get
 from .health import record as health_record
 from .health import reset as health_reset
+from .health import snapshot as health_snapshot
 from .health import stats as health_stats
 from .retry import RetryError, RetryPolicy
 
@@ -42,4 +44,6 @@ __all__ = [
     "health_get",
     "health_stats",
     "health_reset",
+    "health_snapshot",
+    "health_delta",
 ]

@@ -33,11 +33,29 @@ tests can rely on the keys):
     Periodic checkpoints written by the training / search loops.
 ``faults_injected``
     Faults actually fired by the :mod:`repro.reliability.faults` injector.
+``serving_shed``
+    Policy-server requests rejected at admission because the intake queue
+    was full (the typed load-shed path, never silent queue growth).
+``serving_batch_failures``
+    Policy-server batches whose model call raised; every request in the
+    batch had the error set on its future and the server kept serving.
+``serving_restarts``
+    Policy-server worker loops restarted after an unexpected crash outside
+    the per-batch guard.
+
+Counters only ever grow, which is the right shape for a training run but
+useless for a long-lived server that wants per-window rates.
+:func:`snapshot` freezes the current totals and :func:`delta` reports what
+accumulated since, with wall-clock seconds and per-second rates — dashboards
+poll ``delta(window)`` and re-snapshot instead of diffing totals by hand.
 """
 
 from __future__ import annotations
 
-__all__ = ["KNOWN_COUNTERS", "record", "get", "stats", "reset"]
+import time
+
+__all__ = ["KNOWN_COUNTERS", "record", "get", "stats", "reset", "snapshot", "delta",
+           "Snapshot", "Window"]
 
 #: Counter names guaranteed to appear in :func:`stats` (with value 0 when
 #: never recorded), so consumers can key on them unconditionally.
@@ -51,6 +69,9 @@ KNOWN_COUNTERS = (
     "quarantined_kernels",
     "autosaves",
     "faults_injected",
+    "serving_shed",
+    "serving_batch_failures",
+    "serving_restarts",
 )
 
 _COUNTS = {}
@@ -77,3 +98,63 @@ def stats():
 def reset():
     """Zero every counter (tests)."""
     _COUNTS.clear()
+
+
+class Snapshot:
+    """Frozen counter totals at one instant, the base of a reporting window."""
+
+    __slots__ = ("counters", "taken_at")
+
+    def __init__(self, counters, taken_at):
+        self.counters = counters
+        self.taken_at = taken_at
+
+    def __repr__(self):
+        nonzero = {k: v for k, v in self.counters.items() if v}
+        return "Snapshot({})".format(nonzero)
+
+
+class Window:
+    """What accumulated between a :class:`Snapshot` and now.
+
+    ``counters`` holds per-counter increments (never negative: a counter
+    reset mid-window clamps to 0 rather than reporting a phantom decrease),
+    ``seconds`` the wall-clock width of the window, and :attr:`rates` the
+    per-second view a long-lived server reports instead of lifetime totals.
+    """
+
+    __slots__ = ("counters", "seconds")
+
+    def __init__(self, counters, seconds):
+        self.counters = counters
+        self.seconds = seconds
+
+    @property
+    def rates(self):
+        """Per-second rate of every counter over this window."""
+        seconds = max(self.seconds, 1e-9)
+        return {name: count / seconds for name, count in self.counters.items()}
+
+    def __repr__(self):
+        nonzero = {k: v for k, v in self.counters.items() if v}
+        return "Window({}, seconds={:.3f})".format(nonzero, self.seconds)
+
+
+def snapshot():
+    """Freeze the current totals as the base of a reporting window."""
+    return Snapshot(stats(), time.monotonic())
+
+
+def delta(since):
+    """The :class:`Window` of counter increments since ``since``.
+
+    Counters that first appeared after the snapshot report their full value;
+    known counters that never moved report 0, so window consumers can key on
+    the same names as :func:`stats`.
+    """
+    current = stats()
+    counters = {
+        name: max(0, value - since.counters.get(name, 0))
+        for name, value in current.items()
+    }
+    return Window(counters, time.monotonic() - since.taken_at)

@@ -88,8 +88,13 @@ def cache_stats():
     process-wide reliability counters of :mod:`repro.reliability.health`
     (worker restarts, guard trips, eager fallbacks, ...), putting recovery
     activity next to the cache counters in the same observability surface.
+    The ``"serving"`` entry aggregates every live
+    :class:`repro.serving.PolicyServer` (requests, batches, shed counts,
+    per-bucket dispatch histogram) so batching efficiency shows up beside
+    the plan-cache hit rates it exists to protect.
     """
     from ..reliability import health
+    from ..serving.server import serving_stats
     from .engine import _ENGINES
     from .kernels import selection_table
     from .plan import _POOLS
@@ -114,4 +119,5 @@ def cache_stats():
         "buffer_pools": pools,
         "kernels": selection_table(),
         "health": health.stats(),
+        "serving": serving_stats(),
     }

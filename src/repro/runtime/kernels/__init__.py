@@ -38,6 +38,7 @@ applied to the NumPy runtime.
 from . import depthwise as _depthwise  # noqa: F401  (registers depthwise_direct)
 from . import conv as _conv  # noqa: F401  (registers im2col_block, pointwise_nhwc, im2col)
 from . import quantized as _quantized  # noqa: F401  (registers the q8/q16 kernels)
+from .autotune import blas_thread_count
 from .autotune import clear_cache as clear_autotune_cache
 from .autotune import transpose_seconds
 from .quantized import RequantEpilogue
@@ -77,6 +78,7 @@ __all__ = [
     "kernel_for",
     "layout_costs",
     "transpose_seconds",
+    "blas_thread_count",
     "scratch_upper_bound",
     "selection_table",
     "reset_selections",

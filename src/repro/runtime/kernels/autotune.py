@@ -31,6 +31,7 @@ the chosen kernel and the per-candidate timings for every signature seen.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -41,6 +42,8 @@ __all__ = [
     "transpose_seconds",
     "timings_for",
     "failures_for",
+    "blas_thread_count",
+    "threads_for",
     "clear_cache",
     "WARMUP",
     "REPS",
@@ -112,10 +115,34 @@ def _best_of(fn, warmup=WARMUP, reps=REPS):
     return best
 
 
+def blas_thread_count():
+    """Effective upper bound on the host BLAS thread count.
+
+    NumPy's BLAS honours the standard thread-count environment variables;
+    when none is set it uses every core the process can see.  The measured
+    balance between the threaded GEMM kernels and the single-threaded
+    per-tap kernels shifts with this number, so every timing run records it
+    (see :func:`threads_for`): a selection table committed on a 1-core
+    container is visibly stale on a 16-core serving host.
+    """
+    for var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
+        value = os.environ.get(var)
+        if value:
+            try:
+                return max(1, int(value))
+            except ValueError:
+                continue
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
 def _entry(spec):
     entry = _CACHE.get(spec)
     if entry is None:
-        entry = {"kernel": None, "timings": {}, "failures": {}, "chosen": False}
+        entry = {"kernel": None, "timings": {}, "failures": {}, "chosen": False,
+                 "blas_threads": None}
         _CACHE[spec] = entry
     return entry
 
@@ -151,6 +178,7 @@ def _time_kernels(spec, cands):
     else:
         epilogue = NULL_EPILOGUE
     entry = _entry(spec)
+    entry["blas_threads"] = blas_thread_count()
     injector = get_injector()
     timings = {}
     for cls in cands:
@@ -255,6 +283,18 @@ def failures_for(spec):
     if entry is None or not entry.get("failures"):
         return None
     return dict(entry["failures"])
+
+
+def threads_for(spec):
+    """BLAS thread count the timings of ``spec`` were measured under.
+
+    ``None`` when the signature was never timed (single candidate, pinned or
+    heuristic selection).
+    """
+    entry = _CACHE.get(spec)
+    if entry is None:
+        return None
+    return entry.get("blas_threads")
 
 
 def clear_cache():

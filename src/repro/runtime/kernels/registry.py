@@ -521,16 +521,24 @@ def selection_table():
 
     Candidates that crashed while tuning appear with an ``inf`` timing and a
     ``"failures"`` entry naming the reason, so a quarantined kernel is
-    visible in the same table as the selection it lost.
+    visible in the same table as the selection it lost.  Timed rows carry
+    ``timed_blas_threads`` (the BLAS thread count the timings were measured
+    under) next to the host's current ``host_blas_threads``: committed
+    kernel choices whose two numbers disagree were tuned on a differently
+    threaded host — a threaded BLAS favours the GEMM kernels, the per-tap
+    kernels are single-threaded — and deserve a re-tune before serving.
     """
-    from .autotune import failures_for, timings_for
+    from .autotune import blas_thread_count, failures_for, threads_for, timings_for
 
+    host_threads = blas_thread_count()
     table = {}
     for spec, entry in _SELECTIONS.items():
         row = dict(entry)
+        row["host_blas_threads"] = host_threads
         timings = timings_for(spec)
         if timings is not None:
             row["timings_ms"] = {name: t * 1e3 for name, t in timings.items()}
+            row["timed_blas_threads"] = threads_for(spec)
         failures = failures_for(spec)
         if failures is not None:
             row["failures"] = failures

@@ -1,0 +1,46 @@
+"""Typed errors of the policy-serving tier.
+
+Every way a request can fail without an answer has its own exception class,
+so clients can branch on *why* — shed and retry later
+(:class:`ServerOverloadedError`), re-resolve the model name
+(:class:`UnknownModelError`), or stop cleanly because the server is going
+away (:class:`ServerClosedError`).  All of them derive from
+:class:`ServingError`, so "anything the serving tier did to my request" is
+one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServingError",
+    "ServerOverloadedError",
+    "ServerClosedError",
+    "UnknownModelError",
+]
+
+
+class ServingError(RuntimeError):
+    """Base class of every policy-server failure."""
+
+
+class ServerOverloadedError(ServingError):
+    """The intake queue is full: the request was shed at admission.
+
+    Raised synchronously by ``submit`` — the request never entered the
+    queue, so there is no future to wait on.  Back off and retry; the queue
+    bound is the server's promise that latency stays bounded instead of
+    growing without limit under overload.
+    """
+
+
+class ServerClosedError(ServingError):
+    """The server is shut down (or shutting down).
+
+    Raised synchronously by ``submit`` after ``close()``, and set on the
+    futures of queued requests that the shutdown did not drain — a client
+    blocked on ``future.result()`` gets this instead of hanging forever.
+    """
+
+
+class UnknownModelError(ServingError):
+    """The request named a model that was never registered."""

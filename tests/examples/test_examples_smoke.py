@@ -138,3 +138,16 @@ def test_accelerator_search_runs(monkeypatch, capsys):
     module.main()
     out = capsys.readouterr().out
     assert "DAS-searched accelerator" in out
+
+
+def test_serve_policy_runs(monkeypatch, capsys):
+    module = load_example("serve_policy")
+    monkeypatch.setattr(module, "NUM_CLIENTS", 4)
+    monkeypatch.setattr(module, "REQUESTS_PER_CLIENT", 3)
+    monkeypatch.setattr(module, "CALIBRATION_STEPS", 3)
+    module.main()
+    out = capsys.readouterr().out
+    assert "req/s" in out
+    assert "shed (serving_shed counter:" in out
+    assert "queued futures resolved as:" in out
+    assert "ServerClosedError" in out

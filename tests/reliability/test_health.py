@@ -20,6 +20,48 @@ class TestCounters:
         assert health.get("never_recorded_counter") == 0
 
 
+class TestWindows:
+    def test_snapshot_freezes_current_totals(self):
+        health.record("worker_restarts", 2)
+        snap = health.snapshot()
+        assert snap.counters == health.stats()
+        health.record("worker_restarts")
+        assert snap.counters["worker_restarts"] == health.get("worker_restarts") - 1
+
+    def test_delta_reports_only_window_increments(self):
+        snap = health.snapshot()
+        health.record("serving_shed", 3)
+        health.record("guard_trips")
+        window = health.delta(snap)
+        assert window.counters["serving_shed"] == 3
+        assert window.counters["guard_trips"] == 1
+        assert window.counters["eager_fallbacks"] == 0
+        assert window.seconds >= 0
+        assert set(KNOWN_COUNTERS) <= set(window.counters)
+
+    def test_rates_divide_by_window_seconds(self):
+        window = health.Window({"serving_shed": 10}, seconds=2.0)
+        assert window.rates == {"serving_shed": 5.0}
+
+    def test_counter_reset_mid_window_clamps_to_zero(self):
+        health.record("autosaves", 5)
+        snap = health.snapshot()
+        health.reset()
+        window = health.delta(snap)
+        assert window.counters["autosaves"] == 0
+
+    def test_counter_born_inside_window_reports_full_value(self):
+        snap = health.snapshot()
+        health.record("brand_new_counter", 4)
+        assert health.delta(snap).counters["brand_new_counter"] == 4
+
+    def test_reliability_package_exports(self):
+        from repro.reliability import health_delta, health_snapshot
+
+        window = health_delta(health_snapshot())
+        assert window.seconds >= 0
+
+
 class TestSurfacing:
     def test_cache_stats_includes_health(self):
         from repro import runtime

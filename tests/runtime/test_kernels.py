@@ -287,3 +287,41 @@ class TestScratchArenas:
         for kernel in kernels:
             assert kernel._xph is not None
             assert np.shares_memory(kernel._xph, pad_block)
+
+
+class TestBlasThreadRecording:
+    """Selection rows carry the BLAS thread context they were decided under."""
+
+    def test_blas_thread_count_positive(self):
+        from repro.runtime.kernels import blas_thread_count
+
+        assert blas_thread_count() >= 1
+
+    def test_env_override_wins(self, monkeypatch):
+        from repro.runtime.kernels import blas_thread_count
+
+        monkeypatch.setenv("OPENBLAS_NUM_THREADS", "3")
+        assert blas_thread_count() == 3
+
+    def test_every_selection_row_reports_host_threads(self, monkeypatch):
+        from repro.runtime.kernels import blas_thread_count
+
+        monkeypatch.setenv(ENV_VAR, "heuristic")
+        compile_plan(conv_net(4, 4, 3, 1, 1, 4), (2, 4, 6, 6))
+        table = selection_table()
+        assert table
+        for row in table.values():
+            assert row["host_blas_threads"] == blas_thread_count()
+            # Heuristic selection never timed, so no timed context exists.
+            assert "timed_blas_threads" not in row
+
+    def test_timed_rows_record_tuning_thread_context(self, monkeypatch):
+        from repro.runtime.kernels import blas_thread_count
+
+        clear_autotune_cache()
+        run_pinned(monkeypatch, "auto", (6, 6, 3, 1, 1, 6, 9), np.float64)
+        row = next(
+            v for k, v in selection_table().items() if k.startswith("depthwise:n4c6")
+        )
+        if row["source"] == "autotuned":
+            assert row["timed_blas_threads"] == blas_thread_count()

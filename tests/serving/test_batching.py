@@ -1,0 +1,67 @@
+"""BucketPolicy: ladder validation, bucket selection, padding."""
+
+import numpy as np
+import pytest
+
+from repro.serving import DEFAULT_BUCKETS, BucketPolicy
+
+
+class TestValidation:
+    def test_default_ladder_matches_plan_cache_keying(self):
+        assert BucketPolicy().buckets == DEFAULT_BUCKETS == (1, 2, 4, 8, 16, 32)
+
+    def test_buckets_sorted_and_deduplicated(self):
+        assert BucketPolicy(buckets=(8, 1, 8, 4)).buckets == (1, 4, 8)
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            BucketPolicy(buckets=())
+
+    def test_nonpositive_bucket_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            BucketPolicy(buckets=(0, 4))
+
+    def test_negative_max_wait_rejected(self):
+        with pytest.raises(ValueError, match="max_wait"):
+            BucketPolicy(max_wait=-0.001)
+
+
+class TestBucketFor:
+    def test_smallest_bucket_holding_count(self):
+        policy = BucketPolicy()
+        for count, expected in [(1, 1), (2, 2), (3, 4), (5, 8), (9, 16), (17, 32), (32, 32)]:
+            assert policy.bucket_for(count) == expected
+
+    def test_max_batch_is_largest_bucket(self):
+        assert BucketPolicy().max_batch == 32
+        assert BucketPolicy(buckets=(4,)).max_batch == 4
+
+    def test_over_capacity_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            BucketPolicy().bucket_for(33)
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            BucketPolicy().bucket_for(0)
+
+
+class TestPad:
+    def test_partial_bucket_zero_padded(self):
+        policy = BucketPolicy()
+        rng = np.random.default_rng(0)
+        observations = [rng.standard_normal((2, 8, 8)).astype(np.float32) for _ in range(5)]
+        batch, valid = policy.pad(observations)
+        assert valid == 5
+        assert batch.shape == (8, 2, 8, 8)
+        assert batch.dtype == np.float32
+        for row, obs in enumerate(observations):
+            np.testing.assert_array_equal(batch[row], obs)
+        assert not batch[5:].any()
+
+    def test_exact_bucket_needs_no_padding(self):
+        policy = BucketPolicy()
+        observations = [np.ones((3,), dtype=np.float32)] * 4
+        batch, valid = policy.pad(observations)
+        assert batch.shape == (4, 3)
+        assert valid == 4
+        assert batch.all()
