@@ -29,7 +29,15 @@ THROUGHPUT_RESULTS = (
     "conv_kernels.json",
     "layout_ir.json",
     "quantized_inference.json",
+    "telemetry_overhead.json",
 )
+
+#: Telemetry acceptance: the fresh *disabled-mode* rollout throughput
+#: (``telemetry_overhead.json``) must stay within this fraction of the
+#: committed layout-IR rollout baseline — the pre-telemetry hot path.
+TELEMETRY_DISABLED_THRESHOLD = 0.02
+TELEMETRY_RESULT = "telemetry_overhead.json"
+TELEMETRY_BASELINE = "layout_ir.json"
 
 #: Benchmark files that carry a ``peak_plan_bytes`` table (lower is better).
 MEMORY_RESULTS = ("plan_optimizer.json",)
@@ -84,6 +92,27 @@ def compare_score_parity(name, baseline_dir, results_dir):
         tolerance = base_row.get("tolerance_2sigma", 0.0)
         if drift > tolerance:
             yield family, base_row, fresh_row, drift, tolerance
+
+
+def compare_telemetry_disabled_mode(baseline_dir, results_dir):
+    """Fresh disabled-mode rollout vs the committed layout-IR baseline.
+
+    The cross-file pairing behind PR 10's acceptance bound: both numbers
+    come from the same ``collect_rollouts`` loop and config, so a >2% gap
+    means the telemetry guard (not host drift alone) is suspect.  Yields at
+    most one ``(baseline, fresh, ratio)`` row.
+    """
+    baseline = load_table(os.path.join(baseline_dir, TELEMETRY_BASELINE), "steps_per_sec")
+    fresh = load_table(os.path.join(results_dir, TELEMETRY_RESULT), "steps_per_sec")
+    if not baseline or not fresh:
+        return
+    base_value = baseline.get("rollout_f32_layout")
+    fresh_value = fresh.get("rollout_f32_off")
+    if not base_value or not fresh_value:
+        return
+    ratio = fresh_value / base_value
+    if ratio < 1.0 - TELEMETRY_DISABLED_THRESHOLD:
+        yield base_value, fresh_value, ratio
 
 
 def main(argv=None):
@@ -165,6 +194,20 @@ def main(argv=None):
                     drift=drift, tol=tolerance,
                 )
             )
+    for base_value, fresh_value, ratio in compare_telemetry_disabled_mode(
+        args.baseline_dir, args.results_dir
+    ):
+        regressions += 1
+        print(
+            "::warning file=benchmarks/results/{name}::"
+            "disabled-mode rollout {fresh:.1f} steps/s vs committed layout-IR "
+            "baseline {base:.1f} ({pct:.0f}% of baseline, telemetry budget "
+            "{thr:.0f}%)".format(
+                name=TELEMETRY_RESULT, fresh=fresh_value, base=base_value,
+                pct=ratio * 100.0,
+                thr=(1.0 - TELEMETRY_DISABLED_THRESHOLD) * 100.0,
+            )
+        )
     if regressions == 0:
         print("benchmark throughput and plan memory within {:.0f}% of the committed "
               "baseline".format(args.threshold * 100.0))

@@ -1,0 +1,247 @@
+"""Telemetry overhead: the disabled tracer must be free on the hot path.
+
+PR 10's acceptance gate: with ``REPRO_TRACE`` off, rollout and serving
+throughput stay within 2% of the committed baselines.  Shared 1-core runners
+see >2% load drift *between* runs, so the hard assert here is the in-run
+paired comparison — the only honest one:
+
+* **plan-run pairing** — ``Plan.run`` (which now carries one
+  ``trace.enabled`` attribute load + branch per call) is timed interleaved
+  against the inlined raw step loop, i.e. byte-for-byte the pre-telemetry
+  body (``np.copyto`` + ``step.run`` over the step list).  Each round times
+  both variants back to back and the median of the per-round paired ratios
+  is compared (the ``test_layout_ir`` idiom), so load drift hits both sides
+  of a ratio equally.  Asserted <= 2%.
+* **serving instrumentation** — the per-request metrics work the server
+  added (two histogram observes + a queue-depth gauge write) is timed
+  directly and asserted to cost <= 2% of the committed per-request service
+  time from ``serving_slo.json`` (falling back to a fixed 60us budget when
+  no baseline is committed).
+
+Cross-run numbers are recorded, not asserted: ``rollout_f32_off`` uses the
+exact ``collect_rollouts`` loop and config of ``test_runtime_throughput`` /
+``test_layout_ir``, so ``compare_baseline.py`` can warn (non-blocking) when
+a fresh disabled-mode run drops >2% below the committed layout-IR rollout
+baseline.  ``rollout_f32_traced`` documents the cost of turning tracing on
+(every plan step becomes a span): useful for judging whether always-on
+tracing would be affordable, not a regression gate.
+"""
+
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro import telemetry
+from repro.telemetry import metrics, trace
+
+from conftest import run_once
+from test_runtime_throughput import (
+    FRAME_STACK,
+    OBS_SIZE,
+    build_agent,
+    collect_rollouts,
+    configure,
+    make_env,
+)
+
+#: Disabled-mode overhead ceiling (the ISSUE's 2% acceptance bound).
+MAX_DISABLED_OVERHEAD = 0.02
+#: Fallback per-request instrumentation budget when no serving baseline
+#: exists: 60us is ~2% of a 3ms per-request service time.
+FALLBACK_SERVING_BUDGET_S = 60e-6
+
+PLAN_BATCH = 16
+#: Single-run times on this host carry ~10% steal-burst noise, so the
+#: paired-ratio median needs a few hundred samples to push its own sigma
+#: well under the 2% bound (240 pairs ~ 0.6% sigma, ~7s of timing).
+PLAN_PAIRS = 240
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+# --------------------------------------------------------------------- #
+# Plan-run pairing
+# --------------------------------------------------------------------- #
+def _time_guarded(plan, x, iters):
+    """Time ``iters`` calls of the shipping ``Plan.run`` (guard included)."""
+    run = plan.run
+    start = time.perf_counter_ns()
+    for _ in range(iters):
+        run(x)
+    return time.perf_counter_ns() - start
+
+
+def _time_raw(plan, x, iters):
+    """Time ``iters`` runs of the pre-telemetry body: copy-in + step loop."""
+    bufs = plan.bufs
+    slot = plan.input_slot
+    steps = plan.steps
+    start = time.perf_counter_ns()
+    for _ in range(iters):
+        np.copyto(bufs[slot], x)
+        for step in steps:
+            step.run(bufs)
+    return time.perf_counter_ns() - start
+
+
+def measure_plan_overhead(agent):
+    """Paired raw-vs-guarded plan execution; returns the comparison row.
+
+    Like ``test_layout_ir``, the summary statistic is the **median of
+    paired ratios**: each pair times one raw and one guarded run back to
+    back (alternating which goes first to cancel ordering bias), so load
+    drift hits both sides of a ratio equally; the median over many pairs
+    then shrugs off the steal-time bursts that poison any mean or
+    min-of-chunks estimator on shared 1-core hosts.
+    """
+    configure(agent, "runtime_f32")
+    x = np.random.default_rng(0).standard_normal(
+        (PLAN_BATCH, FRAME_STACK, OBS_SIZE, OBS_SIZE)
+    ).astype(np.float32)
+    plan = agent.runtime.engine.plan_for(x.shape)
+    _time_guarded(plan, x, 3)  # warm kernels and parameter caches
+
+    ratios = []
+    raw_ns = guarded_ns = None
+    for pair_index in range(PLAN_PAIRS):
+        if pair_index % 2 == 0:
+            raw = _time_raw(plan, x, 1)
+            guarded = _time_guarded(plan, x, 1)
+        else:
+            guarded = _time_guarded(plan, x, 1)
+            raw = _time_raw(plan, x, 1)
+        ratios.append(guarded / raw)
+        raw_ns = raw if raw_ns is None else min(raw_ns, raw)
+        guarded_ns = guarded if guarded_ns is None else min(guarded_ns, guarded)
+    ratios.sort()
+    overhead = statistics.median(ratios) - 1.0
+    return {
+        "pairs": PLAN_PAIRS,
+        "raw_us_per_run": raw_ns / 1e3,
+        "guarded_us_per_run": guarded_ns / 1e3,
+        "ratio_p10": ratios[len(ratios) // 10],
+        "ratio_p90": ratios[-1 - len(ratios) // 10],
+        "overhead_fraction": overhead,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Serving instrumentation cost
+# --------------------------------------------------------------------- #
+def _committed_per_request_s():
+    """Per-request service time implied by the committed serving baseline."""
+    try:
+        with open(os.path.join(RESULTS_DIR, "serving_slo.json")) as handle:
+            table = json.load(handle)["data"]["throughput_rps"]
+        rps = max(table.values())
+    except (OSError, ValueError, KeyError):
+        return None
+    return 1.0 / rps if rps else None
+
+
+def measure_serving_instrumentation(calls=20000):
+    """Direct cost of the per-request metrics the server now records."""
+    latency = metrics.Histogram("request_latency_seconds")
+    occupancy = metrics.Histogram("batch_occupancy", buckets=metrics.FRACTION_BUCKETS)
+    depth = metrics.Gauge("queue_depth")
+    registry_latency = metrics.registry().histogram(
+        "serving/request_latency_seconds", buckets=metrics.DEFAULT_LATENCY_BUCKETS
+    )
+    start = time.perf_counter_ns()
+    for index in range(calls):
+        value = (index % 97) * 1e-4
+        latency.observe(value)
+        registry_latency.observe(value)
+        occupancy.observe(0.5)
+        depth.set(index % 8)
+    per_call_s = (time.perf_counter_ns() - start) / calls / 1e9
+    baseline_request_s = _committed_per_request_s()
+    budget_s = (
+        MAX_DISABLED_OVERHEAD * baseline_request_s
+        if baseline_request_s
+        else FALLBACK_SERVING_BUDGET_S
+    )
+    return {
+        "calls": calls,
+        "us_per_request": per_call_s * 1e6,
+        "budget_us": budget_s * 1e6,
+        "committed_request_us": (
+            baseline_request_s * 1e6 if baseline_request_s else None
+        ),
+        "fraction_of_request": (
+            per_call_s / baseline_request_s if baseline_request_s else None
+        ),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Rollout throughput, trace off / on
+# --------------------------------------------------------------------- #
+def measure(steps, warmup):
+    agent = build_agent()
+    plan_row = measure_plan_overhead(agent)
+    serving_row = measure_serving_instrumentation()
+
+    configure(agent, "runtime_f32")
+    rows = {}
+    env = make_env()
+    try:
+        trace.disable()
+        collect_rollouts(agent, env, warmup)
+        rows["rollout_f32_off"] = collect_rollouts(agent, env, steps)
+        trace.enable()
+        trace.clear()
+        collect_rollouts(agent, env, warmup)
+        rows["rollout_f32_traced"] = collect_rollouts(agent, env, steps)
+        profile_rows = telemetry.profile().as_dict()
+    finally:
+        trace.disable()
+        trace.clear()
+        env.close()
+    # Keep the committed JSON readable: top self-time consumers only.
+    profile_rows["rows"] = profile_rows["rows"][:15]
+
+    return {
+        "config": {
+            "num_envs": env.num_envs,
+            "plan_batch": PLAN_BATCH,
+            "measured_steps": steps,
+            "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        },
+        "steps_per_sec": rows,
+        "traced_over_off": rows["rollout_f32_traced"] / rows["rollout_f32_off"],
+        "plan_run": plan_row,
+        "serving_instrumentation": serving_row,
+        "traced_profile": profile_rows,
+    }
+
+
+def test_telemetry_disabled_overhead(benchmark, profile, save_result):
+    steps = max(10, profile.train_steps // 8)
+    payload = run_once(benchmark, measure, steps=steps, warmup=3)
+    save_result("telemetry_overhead", payload)
+
+    plan_row = payload["plan_run"]
+    assert plan_row["overhead_fraction"] <= MAX_DISABLED_OVERHEAD, (
+        "disabled-tracer Plan.run is {:.2%} slower than the raw step loop "
+        "(budget {:.0%}): guarded {:.1f}us vs raw {:.1f}us per run".format(
+            plan_row["overhead_fraction"],
+            MAX_DISABLED_OVERHEAD,
+            plan_row["guarded_us_per_run"],
+            plan_row["raw_us_per_run"],
+        )
+    )
+
+    serving_row = payload["serving_instrumentation"]
+    assert serving_row["us_per_request"] <= serving_row["budget_us"], (
+        "per-request serving metrics cost {:.1f}us, over the {:.1f}us budget "
+        "(2% of the committed per-request service time)".format(
+            serving_row["us_per_request"], serving_row["budget_us"]
+        )
+    )
+
+    # Tracing on must still make forward progress (documented, not gated).
+    assert payload["traced_over_off"] > 0.0

@@ -25,6 +25,7 @@ from ..nn import RMSProp, clip_grad_norm
 from ..nn.serialization import load_state_dict, save_state_dict, validate_state
 from ..reliability import health
 from ..reliability.faults import get_injector
+from ..telemetry.metrics import Reporter
 from ..utils.logging import MetricLogger
 from .distillation import ACDistiller, DistillationMode
 from .losses import TaskLossWeights, combine_task_loss, entropy_loss, policy_gradient_loss, value_loss
@@ -70,6 +71,11 @@ class A2CConfig:
     #: After this many *consecutive* non-finite updates (guard trips), roll
     #: the trainer back to the last autosave (when one exists; 0 disables).
     guard_rollback_after: int = 3
+    #: Sample ``repro.telemetry.snapshot()`` every this many updates into the
+    #: trainer's :class:`~repro.telemetry.metrics.Reporter` (0 disables);
+    #: ``telemetry_path`` appends the snapshots to a JSONL file.
+    telemetry_interval: int = 0
+    telemetry_path: object = None
 
     def loss_weights(self):
         """Bundle the beta coefficients into a :class:`TaskLossWeights`."""
@@ -107,6 +113,9 @@ class A2CTrainer:
         self.evaluator = evaluator
         self.optimizer = RMSProp(self.agent.parameters(), lr=self.config.learning_rate)
         self.logger = MetricLogger()
+        self.reporter = Reporter(
+            interval=self.config.telemetry_interval, path=self.config.telemetry_path
+        )
         self.rng = np.random.default_rng(self.config.seed)
         self.total_env_steps = 0
         self.updates = 0
@@ -217,7 +226,9 @@ class A2CTrainer:
             from ..runtime.compiler import CompileError
 
             try:
-                return self._update_compiled(batch)
+                total = self._update_compiled(batch)
+                self.reporter.tick(step=self.total_env_steps)
+                return total
             except CompileError:
                 health.record("eager_fallbacks")
         observations = batch["observations"]
@@ -273,6 +284,7 @@ class A2CTrainer:
             self.logger.log("loss/critic_distill", critic_distill.item(), step=self.total_env_steps)
         self.logger.log("grad_norm", grad_norm, step=self.total_env_steps)
         self.logger.log("lr", self.optimizer.lr, step=self.total_env_steps)
+        self.reporter.tick(step=self.total_env_steps)
         return total.item()
 
     # ------------------------------------------------------------------ #

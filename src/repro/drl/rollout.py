@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry import trace
+
 __all__ = [
     "RolloutBuffer",
     "RolloutCollector",
@@ -172,15 +174,43 @@ class RolloutCollector:
         buffer.reset()
         observations = self.observations
         env = self.env
-        while not buffer.full:
-            actions, values = policy(observations)
-            next_observations, rewards, dones, infos = env.step(actions)
-            buffer.add(observations, actions, rewards, dones, values)
-            observations = next_observations
-            if on_step is not None:
-                on_step(infos)
+        # Hoisted enabled check: the untraced loop below stays byte-identical
+        # to the pre-telemetry hot path (disabled cost: one branch per rollout).
+        if trace.enabled:
+            observations = self._collect_traced(policy, observations, on_step)
+        else:
+            while not buffer.full:
+                actions, values = policy(observations)
+                next_observations, rewards, dones, infos = env.step(actions)
+                buffer.add(observations, actions, rewards, dones, values)
+                observations = next_observations
+                if on_step is not None:
+                    on_step(infos)
         self.observations = observations
         return buffer
+
+    def _collect_traced(self, policy, observations, on_step):
+        """The :meth:`collect` loop with per-phase spans (act / env / buffer)."""
+        buffer = self.buffer
+        env = self.env
+        trace.begin("rollout/collect", "rollout")
+        try:
+            while not buffer.full:
+                trace.begin("rollout/act", "rollout")
+                actions, values = policy(observations)
+                trace.end()
+                trace.begin("rollout/env_step", "rollout")
+                next_observations, rewards, dones, infos = env.step(actions)
+                trace.end()
+                trace.begin("rollout/buffer_add", "rollout")
+                buffer.add(observations, actions, rewards, dones, values)
+                trace.end()
+                observations = next_observations
+                if on_step is not None:
+                    on_step(infos)
+        finally:
+            trace.end()
+        return observations
 
 
 class RolloutBuffer:

@@ -34,6 +34,7 @@ from ..nn import Adam, RMSProp, Tensor, clip_grad_norm, no_grad
 from ..nn.serialization import load_state_dict, save_state_dict, validate_state
 from ..reliability import health
 from ..reliability.faults import get_injector
+from ..telemetry.metrics import Reporter
 from ..utils.logging import MetricLogger
 from .arch_params import ArchitectureParameters
 from .gumbel import TemperatureSchedule
@@ -105,6 +106,10 @@ class SearchConfig:
     #: After this many *consecutive* non-finite updates (guard trips), roll
     #: the search back to the last autosave (when one exists; 0 disables).
     guard_rollback_after: int = 3
+    #: Sample ``repro.telemetry.snapshot()`` every this many updates (0
+    #: disables); ``telemetry_path`` appends the snapshots to a JSONL file.
+    telemetry_interval: int = 0
+    telemetry_path: object = None
 
     def loss_weights(self):
         """Bundle the beta coefficients of Eq. 12."""
@@ -211,6 +216,9 @@ class DRLArchitectureSearch:
             decay_interval=self.config.temperature_interval,
         )
         self.logger = MetricLogger()
+        self.reporter = Reporter(
+            interval=self.config.telemetry_interval, path=self.config.telemetry_path
+        )
         self.total_env_steps = 0
         self.updates = 0
         self._collector = None
@@ -627,6 +635,7 @@ class DRLArchitectureSearch:
                 self.logger.log("loss/hw_penalty", hw_value, step=self.total_env_steps)
             self.logger.log("alpha_entropy", self.arch.entropy(), step=self.total_env_steps)
             self._log_runtime_stats()
+            self.reporter.tick(step=self.total_env_steps)
 
             if next_eval is not None and self.total_env_steps >= next_eval and self.evaluator is not None:
                 score = float(self.evaluator(self.agent, self.arch.derive()))

@@ -22,6 +22,7 @@ import numpy as np
 from ..nn import blocks as nn_blocks
 from ..nn import modules as nn_modules
 from ..nn.functional import conv_output_size
+from ..telemetry import trace
 from .passes import PassContext, enabled_passes, run_passes
 from .plan import (
     AddStep,
@@ -528,6 +529,26 @@ def compile_plan(module, input_shape, dtype=np.float64, path=None, train=False, 
         raise CompileError("stacked-path compilation (num_samples > 1) requires gated_paths")
     enabled = enabled_passes(passes)
     plan = Plan(dtype=dtype, train=train, pool=pool, num_samples=num_samples)
+    plan.trace_name = "plan/{}[{},{},n{}]".format(
+        type(module).__name__,
+        np.dtype(dtype).name,
+        "train" if train else "infer",
+        input_shape[0],
+    )
+    trace.begin("compile/" + type(module).__name__, "compile")
+    try:
+        return _compile_plan_body(
+            module, input_shape, dtype, path, train, gated_paths, plan,
+            num_samples, gate_weights, gate_topk, gate_threshold, quantize,
+            enabled,
+        )
+    finally:
+        trace.end()
+
+
+def _compile_plan_body(module, input_shape, dtype, path, train, gated_paths, plan,
+                       num_samples, gate_weights, gate_topk, gate_threshold,
+                       quantize, enabled):
     ctx = CompileContext(
         plan,
         path=tuple(int(i) for i in path) if path is not None else None,

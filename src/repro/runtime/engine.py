@@ -20,6 +20,7 @@ from collections import OrderedDict
 import numpy as np
 
 from ..reliability.faults import get_injector
+from ..telemetry import trace
 from .compiler import CompileError, compile_plan
 from .plan import BufferPool
 
@@ -108,6 +109,11 @@ class InferenceEngine:
         backing memory through the buffer pool.  Copy before storing.
         """
         x = np.asarray(x)
+        if trace.enabled:
+            # One span over lookup + execution, so plan-cache misses show up
+            # as compile time attributed to the engine call that paid it.
+            with trace.span("engine/run", "engine"):
+                return self.plan_for(x.shape, path=path).run(x)
         return self.plan_for(x.shape, path=path).run(x)
 
     def invalidate(self):

@@ -36,6 +36,7 @@ from typing import NamedTuple
 import numpy as np
 
 from ...nn.functional import conv_output_size
+from ...telemetry import trace
 
 __all__ = [
     "ConvSpec",
@@ -450,7 +451,8 @@ def kernel_for(spec, plan):
     if cls is None:
         from .autotune import choose
 
-        cls, source = choose(spec, cands)
+        with trace.span("autotune/" + spec.describe(), "kernel"):
+            cls, source = choose(spec, cands)
     _SELECTIONS[spec] = {"kernel": cls.name, "source": source, "layout": spec.layout}
     return cls(spec, plan)
 

@@ -87,6 +87,7 @@ import os
 
 import numpy as np
 
+from ..telemetry import trace
 from . import kernels as conv_kernels
 from .plan import (
     ActivationStep,
@@ -1243,7 +1244,8 @@ def run_passes(plan, ctx, enabled=None):
             continue
         if not analyzable and name not in _ANALYSIS_FREE:
             continue
-        _PASS_FUNCS[name](plan, ctx)
+        with trace.span("pass/" + name, "compile"):
+            _PASS_FUNCS[name](plan, ctx)
     if analyzable:
         mark_dead_slots(plan, ctx)
         if lint_enabled():

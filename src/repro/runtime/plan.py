@@ -40,6 +40,7 @@ from collections import OrderedDict
 import numpy as np
 
 from ..nn import vjp
+from ..telemetry import trace
 from . import kernels as conv_kernels
 from .kernels import SCRATCH_GEMM, SCRATCH_MAIN, SCRATCH_PAD
 
@@ -186,6 +187,21 @@ class BufferPool:
 
 class Step:
     """Base class of one executable plan node."""
+
+    #: Cached span name for traced runs (built lazily: most plans never
+    #: trace, and conv labels need the bound kernel, known only after
+    #: ``allocate``).
+    _trace_label = None
+
+    def trace_label(self):
+        """The span name a traced plan run records for this step."""
+        label = self._trace_label
+        if label is None:
+            label = self._trace_label = self._format_trace_label()
+        return label
+
+    def _format_trace_label(self):
+        return type(self).__name__
 
     def run(self, bufs):
         """Execute against the plan's buffer table ``bufs`` (list of arrays)."""
@@ -441,6 +457,14 @@ class Conv2dStep(Step, _BNMixin):
             self.in_slot != plan.input_slot
             and self.in_slot not in plan._no_grad_slots
         )
+
+    def _format_trace_label(self):
+        # Per-signature attribution: the bound kernel's name plus the op
+        # signature string, e.g. "conv:im2col:n16c2->16@32x32/k3s1p1/...".
+        kernel = getattr(self, "_kernel", None)
+        if kernel is None:
+            return type(self).__name__
+        return "conv:{}:{}".format(kernel.name, kernel.spec.describe())
 
     def scratch_requests(self, plan):
         # The shared scratch arenas are sized before the kernel is selected,
@@ -1300,6 +1324,9 @@ class Plan:
         #: Total bytes obtained through :meth:`alloc` — the plan's resident
         #: footprint (arenas counted once, workspaces included).
         self.alloc_bytes = 0
+        #: Span name traced runs record (the compiler overwrites it with the
+        #: module/signature, e.g. ``"plan/ActorCriticAgent[f32,infer,n16]"``).
+        self.trace_name = "plan/anonymous"
 
     def alloc(self, shape, dtype=None, zero=False):
         """Allocate a plan-owned array, recycling pooled blocks when possible.
@@ -1502,8 +1529,26 @@ class Plan:
         """
         np.copyto(self.bufs[self.input_slot], x)
         bufs = self.bufs
+        # The enabled check is hoisted out of the step loop: a disabled
+        # tracer costs one attribute load per plan run, not per step.
+        if trace.enabled:
+            return self._run_traced(bufs)
         for step in self.steps:
             step.run(bufs)
+        if len(self.output_slots) == 1:
+            return bufs[self.output_slots[0]]
+        return tuple(bufs[slot] for slot in self.output_slots)
+
+    def _run_traced(self, bufs):
+        """The :meth:`run` step loop with one span per plan run and per step."""
+        trace.begin(self.trace_name, "plan")
+        try:
+            for step in self.steps:
+                trace.begin(step.trace_label(), "step")
+                step.run(bufs)
+                trace.end()
+        finally:
+            trace.end()
         if len(self.output_slots) == 1:
             return bufs[self.output_slots[0]]
         return tuple(bufs[slot] for slot in self.output_slots)
@@ -1540,6 +1585,8 @@ class Plan:
         bufs = self.bufs
         grads = self.grad_bufs
         schedule = self._grad_fill_schedule
+        if trace.enabled:
+            return self._run_backward_traced(bufs, grads, schedule)
         if not schedule:
             for step in reversed(self.steps):
                 step.backward(bufs, grads)
@@ -1550,6 +1597,22 @@ class Plan:
                 for slot in fills:
                     grads[slot].fill(0.0)
             self.steps[index].backward(bufs, grads)
+
+    def _run_backward_traced(self, bufs, grads, schedule):
+        """The :meth:`run_backward` loop with per-step backward spans."""
+        trace.begin(self.trace_name + "/backward", "plan")
+        try:
+            for index in range(len(self.steps) - 1, -1, -1):
+                fills = schedule.get(index) if schedule else None
+                if fills:
+                    for slot in fills:
+                        grads[slot].fill(0.0)
+                step = self.steps[index]
+                trace.begin(step.trace_label() + "/bwd", "step")
+                step.backward(bufs, grads)
+                trace.end()
+        finally:
+            trace.end()
 
     def param_grad(self, param):
         """The accumulated gradient buffer for ``param`` (``None`` if untouched)."""

@@ -41,6 +41,7 @@ import numpy as np
 
 from ..reliability import health
 from ..reliability.faults import get_injector
+from ..telemetry import trace
 from .compiler import CompileError, compile_plan
 from .plan import BufferPool
 
@@ -288,8 +289,11 @@ class CompiledTrainStep:
                     for values, cell, kept in zip(gate_values, gated, plan.gate_layout)
                 ]
             plan.set_gates(gate_values)
+        trace.begin("train/forward", "train")
         plan.run(obs)
+        trace.end()
 
+        trace.begin("train/loss_head", "train")
         weights = weights if weights is not None else DEFAULT_LOSS_WEIGHTS
         dtype = plan.dtype
         slots = plan.named_slots
@@ -355,11 +359,14 @@ class CompiledTrainStep:
             components["critic_distill"] = critic_distill
         dlogits /= batch
         dvalue /= batch
+        trace.end()
 
+        trace.begin("train/backward", "train")
         plan.zero_grads()
         plan.seed_grad(slots["logits"], dlogits)
         plan.seed_grad(slots["value_col"], dvalue[:, None])
         plan.run_backward()
+        trace.end()
 
         gate_grads = None
         if gated is not None:
@@ -382,6 +389,12 @@ class CompiledTrainStep:
         """
         if self.optimizer is None:
             raise RuntimeError("CompiledTrainStep.step requires an optimizer")
+        with trace.span("train/step", "train"):
+            return self._step_body(
+                observations, actions, returns, advantages, max_grad_norm, kwargs
+            )
+
+    def _step_body(self, observations, actions, returns, advantages, max_grad_norm, kwargs):
         plan, result = self.compute_gradients(
             observations, actions, returns, advantages, **kwargs
         )
@@ -401,9 +414,10 @@ class CompiledTrainStep:
             )
             result.skipped = True
         else:
-            result.grad_norm = self.optimizer.apply_gradients(
-                grads, max_norm=max_grad_norm, skip_nonfinite=True
-            )
+            with trace.span("train/optim", "train"):
+                result.grad_norm = self.optimizer.apply_gradients(
+                    grads, max_norm=max_grad_norm, skip_nonfinite=True
+                )
             result.skipped = not np.isfinite(result.grad_norm)
         if result.skipped:
             health.record("guard_trips")

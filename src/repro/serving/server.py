@@ -63,6 +63,7 @@ import numpy as np
 
 from ..reliability import health
 from ..reliability.retry import RetryPolicy
+from ..telemetry import metrics, trace
 from .batching import BucketPolicy
 from .errors import ServerClosedError, ServerOverloadedError, ServingError, UnknownModelError
 
@@ -75,17 +76,41 @@ _SERVERS = weakref.WeakSet()
 #: observed, without busy-waiting an empty queue.
 _IDLE_WAIT = 0.05
 
+# Process-wide serving metrics (shared across servers; per-server percentiles
+# live on the server's private histograms and surface through stats()).
+_M_LATENCY = metrics.registry().histogram(
+    "serving/request_latency_seconds", help="submit -> future-resolved latency"
+)
+_M_OCCUPANCY = metrics.registry().histogram(
+    "serving/batch_occupancy",
+    buckets=metrics.FRACTION_BUCKETS,
+    help="valid rows / bucket size per executed batch",
+)
+_M_SHED = metrics.registry().counter(
+    "serving/shed", help="requests rejected by admission control"
+)
+_M_RESTARTS = metrics.registry().counter(
+    "serving/restarts", help="worker-loop restarts after a crash"
+)
+_M_QUEUE_DEPTH = metrics.registry().gauge(
+    "serving/queue_depth", help="waiting requests (all live servers)"
+)
+
 
 class _Request:
     """One queued inference request."""
 
-    __slots__ = ("model", "observation", "future", "arrived")
+    __slots__ = ("model", "observation", "future", "arrived", "arrived_ns")
 
-    def __init__(self, model, observation, future, arrived):
+    def __init__(self, model, observation, future, arrived, arrived_ns=0):
         self.model = model
         self.observation = observation
         self.future = future
         self.arrived = arrived
+        #: ``perf_counter_ns`` arrival stamp, captured only while tracing
+        #: (the trace clock; ``arrived`` stays on ``monotonic`` for the
+        #: batching deadlines).
+        self.arrived_ns = arrived_ns
 
 
 class _Model:
@@ -157,6 +182,12 @@ class PolicyServer:
         self._batch_failures = 0
         self._restarts = 0
         self._bucket_counts = {}
+        # Private per-server distributions (the process-wide registry copies
+        # aggregate across servers and would blur per-server percentiles).
+        self._latency = metrics.Histogram("request_latency_seconds")
+        self._occupancy = metrics.Histogram(
+            "batch_occupancy", buckets=metrics.FRACTION_BUCKETS
+        )
         self._started_at = health.snapshot()
         _SERVERS.add(self)
         if start:
@@ -226,12 +257,15 @@ class PolicyServer:
             if len(self._queue) >= self.max_queue:
                 self._shed += 1
                 health.record("serving_shed")
+                _M_SHED.inc()
                 raise ServerOverloadedError(
                     "intake queue full ({} waiting); request shed".format(self.max_queue)
                 )
             future = Future()
-            self._queue.append(_Request(model, obs, future, time.monotonic()))
+            arrived_ns = time.perf_counter_ns() if trace.enabled else 0
+            self._queue.append(_Request(model, obs, future, time.monotonic(), arrived_ns))
             self._accepted += 1
+            _M_QUEUE_DEPTH.set(len(self._queue))
             self._ready.notify()
         return future
 
@@ -286,10 +320,16 @@ class PolicyServer:
     def _execute(self, batch):
         """Run one coalesced batch and fan results out to the futures."""
         entry = self._models[batch[0].model]
+        trace.begin("serve/batch", "serving")
         padded, valid = self.policy.pad([request.observation for request in batch])
         try:
-            probs, values = entry.agent.policy_value(padded)
+            trace.begin("serve/infer", "serving")
+            try:
+                probs, values = entry.agent.policy_value(padded)
+            finally:
+                trace.end()
         except Exception as error:  # noqa: BLE001 — contained per batch
+            trace.end()
             health.record("serving_batch_failures")
             with self._lock:
                 self._batch_failures += 1
@@ -297,8 +337,24 @@ class PolicyServer:
             for request in batch:
                 _resolve(request.future, error=error)
             return
+        done = time.monotonic()
+        done_ns = time.perf_counter_ns() if trace.enabled else 0
         for row, request in enumerate(batch):
             _resolve(request.future, result=(probs[row].copy(), values[row].copy()))
+            latency = done - request.arrived
+            self._latency.observe(latency)
+            _M_LATENCY.observe(latency)
+            if done_ns and request.arrived_ns:
+                # The full request lifecycle (enqueue -> coalesce -> infer ->
+                # resolve) as one cross-thread interval on the worker track.
+                trace.complete(
+                    "serve/request", "serving",
+                    request.arrived_ns, done_ns - request.arrived_ns, depth=1,
+                )
+        occupancy = valid / padded.shape[0]
+        self._occupancy.observe(occupancy)
+        _M_OCCUPANCY.observe(occupancy)
+        trace.end()
         with self._lock:
             entry.served += len(batch)
             self._completed += len(batch)
@@ -306,6 +362,7 @@ class PolicyServer:
             self._padded_slots += padded.shape[0] - valid
             bucket = int(padded.shape[0])
             self._bucket_counts[bucket] = self._bucket_counts.get(bucket, 0) + 1
+            _M_QUEUE_DEPTH.set(len(self._queue))
 
     def step(self):
         """Synchronously process one waiting batch (manual / test mode).
@@ -342,6 +399,7 @@ class PolicyServer:
                         _resolve(request.future, error=error)
                 consecutive_failures += 1
                 health.record("serving_restarts")
+                _M_RESTARTS.inc()
                 with self._lock:
                     self._restarts += 1
                 if consecutive_failures >= self.restart.max_attempts:
@@ -431,11 +489,17 @@ class PolicyServer:
     # Observability
     # ------------------------------------------------------------------ #
     def stats(self):
-        """Counters: intake, execution, batching efficiency, failure modes."""
+        """Counters plus request-latency and batch-occupancy distributions.
+
+        ``latency`` carries the per-server p50/p95/p99 (seconds, submit to
+        future-resolved) from a fixed-bucket histogram — percentiles, not
+        just aggregates, because tail latency is what the coalescing
+        deadline trades against.
+        """
         with self._lock:
             batches = self._batches
             completed = self._completed
-            return {
+            out = {
                 "requests": self._accepted,
                 "completed": completed,
                 "failed": self._failed,
@@ -451,6 +515,9 @@ class PolicyServer:
                 "closed": self._closed,
                 "degraded": self._degraded,
             }
+        out["latency"] = self._latency.summary()
+        out["occupancy"] = self._occupancy.summary()
+        return out
 
     def health_window(self, reset=False):
         """Reliability-counter increments since server start (or last reset).

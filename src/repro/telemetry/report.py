@@ -1,0 +1,138 @@
+"""Profile report: aggregate trace spans into a self-time table.
+
+The "where did the milliseconds go" view: :func:`profile` folds the span
+tracer's retained events into per-name totals — call count, total (wall)
+time, and **self time**, i.e. total minus the time spent in child spans —
+so a traced rollout answers which kernels, passes, or phases actually
+consumed the clock rather than merely containing something that did.
+
+Self time is computed per thread with an interval stack: events sorted by
+start time, a span is a child of the span on top of the stack whenever it
+starts before that span ends.  This reconstructs the nesting from the flat
+ring buffer without needing parent pointers in the hot-path record.
+"""
+
+from __future__ import annotations
+
+from . import trace
+
+__all__ = ["ProfileReport", "profile", "self_times"]
+
+
+def self_times(events=None):
+    """Per-event self time in ns: ``[(event, self_ns), ...]``.
+
+    ``events`` defaults to the tracer's retained events.  Events are
+    grouped per thread; within a thread, nesting is reconstructed by start
+    time (a span whose start falls inside the top-of-stack span is its
+    child, and its duration is subtracted from the parent's self time).
+    """
+    if events is None:
+        events = trace.events()
+    by_tid = {}
+    for event in events:
+        by_tid.setdefault(event["tid"], []).append(event)
+    out = []
+    for tid_events in by_tid.values():
+        tid_events.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # [event, end_ns, child_ns]
+        for event in tid_events:
+            while stack and stack[-1][1] <= event["ts"]:
+                popped = stack.pop()
+                out.append((popped[0], popped[0]["dur"] - popped[2]))
+            if stack:
+                stack[-1][2] += event["dur"]
+            stack.append([event, event["ts"] + event["dur"], 0])
+        while stack:
+            popped = stack.pop()
+            out.append((popped[0], popped[0]["dur"] - popped[2]))
+    return out
+
+
+class ProfileReport:
+    """Aggregated per-span-name profile over one trace snapshot."""
+
+    def __init__(self, events=None):
+        self.rows = {}
+        self.total_wall_ns = 0
+        per_event = self_times(events)
+        roots_by_tid = {}
+        for event, self_ns in per_event:
+            row = self.rows.get(event["name"])
+            if row is None:
+                row = self.rows[event["name"]] = {
+                    "name": event["name"],
+                    "cat": event["cat"],
+                    "count": 0,
+                    "total_ns": 0,
+                    "self_ns": 0,
+                }
+            row["count"] += 1
+            row["total_ns"] += event["dur"]
+            row["self_ns"] += max(0, self_ns)
+            if event["depth"] == 0:
+                end = event["ts"] + event["dur"]
+                spans = roots_by_tid.get(event["tid"])
+                if spans is None:
+                    roots_by_tid[event["tid"]] = [event["ts"], end]
+                else:
+                    spans[0] = min(spans[0], event["ts"])
+                    spans[1] = max(spans[1], end)
+        # Wall time: widest root-span extent across threads.
+        for first_ts, last_end in roots_by_tid.values():
+            self.total_wall_ns = max(self.total_wall_ns, last_end - first_ts)
+
+    def sorted_rows(self, key="self_ns"):
+        return sorted(self.rows.values(), key=lambda r: r[key], reverse=True)
+
+    def as_dict(self):
+        """JSON-friendly: rows sorted by self time, plus wall-clock extent."""
+        return {
+            "total_wall_ms": self.total_wall_ns / 1e6,
+            "rows": [
+                {
+                    "name": row["name"],
+                    "cat": row["cat"],
+                    "count": row["count"],
+                    "total_ms": row["total_ns"] / 1e6,
+                    "self_ms": row["self_ns"] / 1e6,
+                }
+                for row in self.sorted_rows()
+            ],
+        }
+
+    def table(self, limit=30):
+        """Printable self-time table, widest consumers first."""
+        rows = self.sorted_rows()[:limit]
+        name_width = max([len(r["name"]) for r in rows] + [len("span")])
+        lines = [
+            "{:<{w}}  {:>7}  {:>10}  {:>10}  {:>6}".format(
+                "span", "count", "total ms", "self ms", "self%", w=name_width
+            ),
+            "-" * (name_width + 41),
+        ]
+        total_self = sum(r["self_ns"] for r in self.rows.values()) or 1
+        for row in rows:
+            lines.append(
+                "{:<{w}}  {:>7}  {:>10.3f}  {:>10.3f}  {:>5.1f}%".format(
+                    row["name"],
+                    row["count"],
+                    row["total_ns"] / 1e6,
+                    row["self_ns"] / 1e6,
+                    100.0 * row["self_ns"] / total_self,
+                    w=name_width,
+                )
+            )
+        if len(self.rows) > limit:
+            lines.append("... ({} more spans)".format(len(self.rows) - limit))
+        lines.append(
+            "wall {:.3f} ms over {} spans".format(
+                self.total_wall_ns / 1e6, sum(r["count"] for r in self.rows.values())
+            )
+        )
+        return "\n".join(lines)
+
+
+def profile(events=None):
+    """Build a :class:`ProfileReport` from the current trace (or ``events``)."""
+    return ProfileReport(events)

@@ -6,6 +6,7 @@ for the tier-1 suite.
 """
 
 import importlib.util
+import json
 import os
 import sys
 
@@ -138,6 +139,26 @@ def test_accelerator_search_runs(monkeypatch, capsys):
     module.main()
     out = capsys.readouterr().out
     assert "DAS-searched accelerator" in out
+
+
+def test_profile_rollout_runs(monkeypatch, capsys, tmp_path):
+    module = load_example("profile_rollout")
+    monkeypatch.setattr(module, "NUM_ENVS", 2)
+    monkeypatch.setattr(module, "ROLLOUT_LENGTH", 4)
+    trace_path = str(tmp_path / "trace.json")
+    monkeypatch.setattr(module, "TRACE_PATH", trace_path)
+    module.main()
+    out = capsys.readouterr().out
+    assert "Self-time profile" in out
+    assert "telemetry.snapshot() sources" in out
+    assert "open at https://ui.perfetto.dev" in out
+    with open(trace_path) as handle:
+        doc = json.load(handle)
+    assert doc["traceEvents"], "trace export should contain events"
+    # Tracing must be switched back off for the tests that follow.
+    from repro.telemetry import trace
+
+    assert not trace.enabled
 
 
 def test_serve_policy_runs(monkeypatch, capsys):

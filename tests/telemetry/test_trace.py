@@ -1,0 +1,174 @@
+"""Span tracer: nesting, thread-safety, ring wraparound, Chrome export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import trace
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Every test starts disabled with an empty ring and leaves it that way."""
+    trace.disable()
+    trace.clear()
+    yield
+    trace.disable()
+    trace.clear()
+
+
+def test_disabled_records_nothing():
+    trace.begin("ghost")
+    trace.end()
+    with trace.span("also-ghost"):
+        pass
+    trace.complete("ghost", "app", 0, 100)
+    assert trace.events() == []
+    assert trace.stats()["recorded"] == 0
+    assert trace.stats()["enabled"] is False
+
+
+def test_nested_spans_record_depth_and_containment():
+    trace.enable()
+    with trace.span("outer", "phase"):
+        with trace.span("inner-a", "op"):
+            pass
+        with trace.span("inner-b", "op"):
+            pass
+    trace.disable()
+    events = trace.events()
+    by_name = {event["name"]: event for event in events}
+    assert set(by_name) == {"outer", "inner-a", "inner-b"}
+    outer, inner_a, inner_b = by_name["outer"], by_name["inner-a"], by_name["inner-b"]
+    assert outer["depth"] == 0
+    assert inner_a["depth"] == 1 and inner_b["depth"] == 1
+    assert outer["cat"] == "phase" and inner_a["cat"] == "op"
+    # Children are contained in the parent interval and ordered.
+    assert outer["ts"] <= inner_a["ts"]
+    assert inner_a["ts"] + inner_a["dur"] <= inner_b["ts"]
+    assert inner_b["ts"] + inner_b["dur"] <= outer["ts"] + outer["dur"]
+    # Inner ends before outer, so it lands in the ring first.
+    assert events[0]["name"] == "inner-a"
+    assert events[-1]["name"] == "outer"
+
+
+def test_unbalanced_end_is_tolerated():
+    trace.enable()
+    trace.end()  # no matching begin: silent no-op
+    with trace.span("survivor"):
+        pass
+    assert [event["name"] for event in trace.events()] == ["survivor"]
+
+
+def test_enable_mid_span_does_not_corrupt_later_nesting():
+    trace.enable()
+    trace.begin("opened-while-on")
+    trace.disable()
+    trace.end()  # guard is off: the open frame is simply abandoned
+    trace.enable()
+    trace.clear()
+    with trace.span("after"):
+        pass
+    events = trace.events()
+    assert [event["name"] for event in events] == ["after"]
+    assert events[0]["depth"] == 0
+
+
+def test_ring_wraparound_keeps_newest_events():
+    trace.enable(capacity=8)
+    try:
+        for index in range(20):
+            with trace.span("span-{}".format(index)):
+                pass
+        stats = trace.stats()
+        assert stats["capacity"] == 8
+        assert stats["recorded"] == 20
+        assert stats["retained"] == 8
+        assert stats["dropped"] == 12
+        names = [event["name"] for event in trace.events()]
+        assert names == ["span-{}".format(i) for i in range(12, 20)]
+    finally:
+        trace.enable(capacity=trace.DEFAULT_CAPACITY)
+
+
+def test_threads_trace_concurrently_without_interleaving():
+    trace.enable()
+    barrier = threading.Barrier(4)
+
+    def worker(index):
+        barrier.wait()
+        for _ in range(50):
+            with trace.span("worker-{}".format(index)):
+                with trace.span("child-{}".format(index)):
+                    pass
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    events = trace.events()
+    assert len(events) == 4 * 50 * 2
+    for index in range(4):
+        tids = {
+            event["tid"] for event in events
+            if event["name"].endswith("-{}".format(index))
+        }
+        assert len(tids) == 1, "each worker's spans stay on its own thread"
+        depths = {
+            event["name"].split("-")[0]: event["depth"]
+            for event in events
+            if event["name"].endswith("-{}".format(index))
+        }
+        assert depths == {"worker": 0, "child": 1}
+
+
+def test_complete_records_cross_thread_interval():
+    trace.enable()
+    trace.complete("request", "serving", start_ns=1000, dur_ns=2500, depth=1)
+    (event,) = trace.events()
+    assert event == {
+        "name": "request", "cat": "serving", "ts": 1000, "dur": 2500,
+        "tid": threading.get_ident(), "depth": 1,
+    }
+
+
+def test_chrome_export_schema(tmp_path):
+    trace.enable()
+    with trace.span("outer"):
+        with trace.span("inner"):
+            pass
+    trace.disable()
+    path = str(tmp_path / "trace.json")
+    assert trace.export_chrome(path) == path
+    with open(path) as handle:
+        doc = json.load(handle)
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    metadata = [event for event in events if event["ph"] == "M"]
+    complete = [event for event in events if event["ph"] == "X"]
+    assert metadata and metadata[0]["name"] == "process_name"
+    assert {event["name"] for event in complete} == {"outer", "inner"}
+    for event in complete:
+        # Chrome trace-event required keys, microsecond timestamps.
+        assert set(event) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+        assert event["dur"] >= 0
+    ring = {event["name"]: event for event in trace.events()}
+    exported = {event["name"]: event for event in complete}
+    assert exported["inner"]["ts"] == pytest.approx(ring["inner"]["ts"] / 1e3)
+    assert exported["inner"]["dur"] == pytest.approx(ring["inner"]["dur"] / 1e3)
+
+
+def test_enable_resize_clears_and_stats_flag():
+    trace.enable(capacity=16)
+    try:
+        with trace.span("a"):
+            pass
+        assert trace.stats()["recorded"] == 1
+        trace.enable(capacity=32)  # resize drops history
+        assert trace.stats()["recorded"] == 0
+        assert trace.stats()["capacity"] == 32
+        assert trace.stats()["enabled"] is True
+    finally:
+        trace.enable(capacity=trace.DEFAULT_CAPACITY)
